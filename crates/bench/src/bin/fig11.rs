@@ -1,0 +1,36 @@
+//! Figure 11: CORD's lookup-table storage overhead vs number of PUs
+//! (paper §5.4).
+//!
+//! Peak processor-side and directory-side storage (bytes) for the three
+//! most storage-hungry Table 2 applications (SSSP, PAD, PR) and the ATA
+//! `alltoall` stressor, at 2/4/8 hosts over CXL and UPI.
+
+use cord_bench::{print_table, run_app, Fabric};
+use cord_proto::{ConsistencyModel, ProtocolKind};
+use cord_workloads::AppSpec;
+
+fn main() {
+    let apps = ["SSSP", "PAD", "PR", "ATA"];
+    for fabric in Fabric::BOTH {
+        let mut rows = Vec::new();
+        for name in apps {
+            let app = AppSpec::by_name(name).expect("known app");
+            for hosts in [2u32, 4, 8] {
+                let r = run_app(&app, ProtocolKind::Cord, fabric, hosts, ConsistencyModel::Rc);
+                let proc = r.proc_storage_peak();
+                let dir = r.dir_storage_peak();
+                rows.push(vec![
+                    name.to_string(),
+                    hosts.to_string(),
+                    proc.peak_total().to_string(),
+                    dir.peak_total().to_string(),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Fig 11 ({}): peak CORD storage (bytes)", fabric.label()),
+            &["app", "PUs", "proc storage B", "dir storage B"],
+            &rows,
+        );
+    }
+}

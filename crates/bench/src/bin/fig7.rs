@@ -1,0 +1,79 @@
+//! Figure 7: end-to-end performance and traffic under release consistency.
+//!
+//! For each Table 2 application over CXL and UPI, reports execution time and
+//! inter-PU traffic for MP, SO, and WB normalized to CORD (the paper's
+//! y-axes), plus geometric means. TQH cannot run under naive message
+//! passing (paper §3.2), so its MP cells are n/a.
+
+use cord_bench::{geomean, print_table, ratio, run_app, Fabric};
+use cord_proto::{ConsistencyModel, ProtocolKind};
+use cord_workloads::table2_apps;
+
+fn main() {
+    for fabric in Fabric::BOTH {
+        let mut rows = Vec::new();
+        let mut mp_t = Vec::new();
+        let mut so_t = Vec::new();
+        let mut wb_t = Vec::new();
+        let mut mp_b = Vec::new();
+        let mut so_b = Vec::new();
+        let mut wb_b = Vec::new();
+        for app in table2_apps() {
+            if app.name == "ATA" {
+                continue;
+            }
+            let cord = run_app(&app, ProtocolKind::Cord, fabric, 8, ConsistencyModel::Rc);
+            let t0 = cord.makespan.as_ns_f64();
+            let b0 = cord.inter_bytes() as f64;
+            let rel = |kind: ProtocolKind| -> (Option<f64>, Option<f64>) {
+                if kind == ProtocolKind::Mp && !app.mp_compatible {
+                    return (None, None);
+                }
+                let r = run_app(&app, kind, fabric, 8, ConsistencyModel::Rc);
+                (
+                    Some(r.makespan.as_ns_f64() / t0),
+                    Some(r.inter_bytes() as f64 / b0),
+                )
+            };
+            let (mpt, mpb) = rel(ProtocolKind::Mp);
+            let (sot, sob) = rel(ProtocolKind::So);
+            let (wbt, wbb) = rel(ProtocolKind::Wb);
+            mp_t.push(mpt);
+            so_t.push(sot);
+            wb_t.push(wbt);
+            mp_b.push(mpb);
+            so_b.push(sob);
+            wb_b.push(wbb);
+            rows.push(vec![
+                app.name.to_string(),
+                format!("{:.1}", t0 / 1000.0),
+                ratio(mpt),
+                ratio(sot),
+                ratio(wbt),
+                format!("{:.0}", b0 / 1024.0),
+                ratio(mpb),
+                ratio(sob),
+                ratio(wbb),
+            ]);
+        }
+        rows.push(vec![
+            "geomean".into(),
+            String::new(),
+            ratio(geomean(mp_t)),
+            ratio(geomean(so_t)),
+            ratio(geomean(wb_t)),
+            String::new(),
+            ratio(geomean(mp_b)),
+            ratio(geomean(so_b)),
+            ratio(geomean(wb_b)),
+        ]);
+        print_table(
+            &format!(
+                "Fig 7 ({}): time & traffic normalized to CORD (CORD columns absolute)",
+                fabric.label()
+            ),
+            &["app", "CORD us", "MP t", "SO t", "WB t", "CORD KB", "MP b", "SO b", "WB b"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! §4.5 verification campaign summary (the Murphi-substitute run).
+//!
+//! Runs every litmus shape under every placement for CORD (six provisioning
+//! stress configurations), source ordering, mixed CORD/SO, and message
+//! passing, then prints the campaign totals — including the MP violations
+//! the paper's §3.2 predicts.
+
+use cord_bench::print_table;
+use cord_check::{
+    classic_suite, explore, explore_all_placements, stress_configs, weak_suite, CheckConfig,
+    ThreadProto,
+};
+
+const CAP: usize = 2_000_000;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut total_checks = 0usize;
+    let mut total_states = 0usize;
+
+    // CORD under all stress configurations.
+    for (cfg_name, mk) in stress_configs() {
+        let mut checks = 0;
+        let mut states = 0;
+        let mut failures = 0;
+        for lit in classic_suite() {
+            for (_, report) in explore_all_placements(&mk(lit.thread_count(), 3), &lit, CAP) {
+                checks += 1;
+                states += report.states;
+                if !report.passes(&lit) {
+                    failures += 1;
+                }
+            }
+        }
+        rows.push(vec![
+            format!("CORD [{cfg_name}]"),
+            checks.to_string(),
+            states.to_string(),
+            failures.to_string(),
+        ]);
+        total_checks += checks;
+        total_states += states;
+    }
+
+    // Source ordering and mixed systems.
+    for (name, protos) in [("SO", 0usize), ("mixed CORD/SO", 1)] {
+        let mut checks = 0;
+        let mut states = 0;
+        let mut failures = 0;
+        for lit in classic_suite() {
+            let n = lit.thread_count();
+            let cfg = if protos == 0 {
+                CheckConfig::so(n, 3)
+            } else {
+                CheckConfig {
+                    protos: (0..n)
+                        .map(|i| if i % 2 == 0 { ThreadProto::Cord } else { ThreadProto::So })
+                        .collect(),
+                    ..CheckConfig::cord(n, 3)
+                }
+            };
+            for (_, report) in explore_all_placements(&cfg, &lit, CAP) {
+                checks += 1;
+                states += report.states;
+                if !report.passes(&lit) {
+                    failures += 1;
+                }
+            }
+        }
+        rows.push(vec![name.into(), checks.to_string(), states.to_string(), failures.to_string()]);
+        total_checks += checks;
+        total_states += states;
+    }
+
+    // Message passing: violations are the expected (paper §3.2) outcome.
+    let mut mp_checks = 0;
+    let mut mp_violating_shapes = Vec::new();
+    for lit in classic_suite() {
+        let mut bad = false;
+        for (_, report) in explore_all_placements(&CheckConfig::mp(lit.thread_count(), 3), &lit, CAP)
+        {
+            mp_checks += 1;
+            bad |= !report.violations(&lit).is_empty();
+        }
+        if bad {
+            mp_violating_shapes.push(lit.name);
+        }
+    }
+    rows.push(vec![
+        "MP (violations expected)".into(),
+        mp_checks.to_string(),
+        String::new(),
+        mp_violating_shapes.len().to_string(),
+    ]);
+    total_checks += mp_checks;
+
+    print_table(
+        "Litmus campaign (§4.5): forbidden-outcome + deadlock-freedom checks",
+        &["system", "checks", "states explored", "failures/violations"],
+        &rows,
+    );
+
+    println!("\nMP violates release consistency on: {mp_violating_shapes:?}");
+
+    // Weak-outcome reachability (not accidentally SC).
+    let mut weak_ok = 0;
+    for (lit, must_see) in weak_suite() {
+        let mut seen = false;
+        for (_, report) in explore_all_placements(&CheckConfig::cord(lit.thread_count(), 3), &lit, CAP)
+        {
+            seen |= report.outcomes.iter().any(|flat| {
+                let split = flat.len() - lit.vars as usize;
+                let (reg_flat, mem) = flat.split_at(split);
+                let regs: Vec<Vec<u64>> = reg_flat.chunks(4).map(|c| c.to_vec()).collect();
+                must_see.matches(&regs, mem)
+            });
+        }
+        if seen {
+            weak_ok += 1;
+        }
+    }
+    println!("Weak (RC-allowed) outcomes reachable: {weak_ok}/{}", weak_suite().len());
+    println!("Total checks: {total_checks}; total states: {total_states}");
+    println!("Murphi-substitute campaign complete");
+
+    // A final ISA2 spot check mirroring paper Fig. 3.
+    let isa2 = classic_suite().into_iter().find(|l| l.name == "ISA2").unwrap();
+    let mp = explore(CheckConfig::mp(3, 3), &isa2, &[2, 1, 2], CAP);
+    let cord = explore(CheckConfig::cord(3, 3), &isa2, &[2, 1, 2], CAP);
+    println!(
+        "ISA2 (X,Z on T2's memory; Y on T1's): MP forbidden outcome reachable = {}, CORD = {}",
+        !mp.violations(&isa2).is_empty(),
+        !cord.violations(&isa2).is_empty()
+    );
+}

@@ -1,0 +1,173 @@
+//! Explicit-state exploration (the Murphi-style search).
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use crate::litmus::Litmus;
+use crate::model::{CheckConfig, Model, State};
+
+/// Result of exhaustively exploring one model.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Final-state observations: registers (thread-major, 4 per thread)
+    /// followed by final memory values.
+    pub outcomes: BTreeSet<Vec<u64>>,
+    /// Reachable stuck states that are not final (deadlocks), rendered for
+    /// diagnosis.
+    pub deadlocks: Vec<String>,
+    /// Whether exploration hit the state cap (results then incomplete).
+    pub truncated: bool,
+}
+
+impl Report {
+    /// Outcomes matching any of the test's forbidden conditions.
+    pub fn violations(&self, lit: &Litmus) -> Vec<Vec<u64>> {
+        self.outcomes
+            .iter()
+            .filter(|flat| {
+                let split = flat.len() - lit.vars as usize;
+                let (reg_flat, mem) = flat.split_at(split);
+                let regs: Vec<Vec<u64>> = reg_flat.chunks(4).map(|c| c.to_vec()).collect();
+                lit.forbidden.iter().any(|c| c.matches(&regs, mem))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Whether the protocol satisfied the test: no forbidden outcome and no
+    /// deadlock.
+    pub fn passes(&self, lit: &Litmus) -> bool {
+        !self.truncated && self.deadlocks.is_empty() && self.violations(lit).is_empty()
+    }
+}
+
+/// Exhaustively explores `lit` under `cfg` with variables homed per
+/// `placement`.
+///
+/// # Panics
+///
+/// Panics if a directory lookup table overflows (the processor-side
+/// provisioning checks are supposed to make that unreachable — an overflow
+/// is a protocol bug).
+pub fn explore(cfg: CheckConfig, lit: &Litmus, placement: &[u8], cap: usize) -> Report {
+    let model = Model::new(cfg, lit, placement);
+    let init = model.init();
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut queue: VecDeque<State> = VecDeque::new();
+    seen.insert(init.clone());
+    queue.push_back(init);
+    let mut outcomes = BTreeSet::new();
+    let mut deadlocks = Vec::new();
+    let mut truncated = false;
+    while let Some(s) = queue.pop_front() {
+        let succ = model.successors(&s);
+        if succ.is_empty() {
+            if model.is_final(&s) {
+                outcomes.insert(s.outcome());
+            } else if deadlocks.len() < 4 {
+                deadlocks.push(format!("{s:?}"));
+            } else {
+                deadlocks.push(String::from("…"));
+            }
+            continue;
+        }
+        for n in succ {
+            if seen.len() >= cap {
+                truncated = true;
+                break;
+            }
+            if seen.insert(n.clone()) {
+                queue.push_back(n);
+            }
+        }
+        if truncated {
+            break;
+        }
+    }
+    Report { states: seen.len(), outcomes, deadlocks, truncated }
+}
+
+/// Explores every placement variant of `lit`; returns `(placement, report)`
+/// pairs.
+pub fn explore_all_placements(
+    cfg: &CheckConfig,
+    lit: &Litmus,
+    cap: usize,
+) -> Vec<(Vec<u8>, Report)> {
+    lit.placements()
+        .into_iter()
+        .map(|p| {
+            // Placements may name more directories than cfg.dirs; clamp.
+            let dirs = cfg.dirs;
+            let p: Vec<u8> = p.into_iter().map(|d| d % dirs).collect();
+            let r = explore(cfg.clone(), lit, &p, cap);
+            (p, r)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::litmus::dsl::*;
+    use crate::litmus::Cond;
+
+    fn mp_shape() -> Litmus {
+        Litmus::new(
+            "MP",
+            vec![vec![w(0, 1), wrel(1, 1)], vec![wacq(1, 1), r(0, 0)]],
+            2,
+            vec![Cond::regs(vec![(1, 0, 0)])],
+        )
+    }
+
+    #[test]
+    fn cord_passes_mp_shape_everywhere() {
+        let lit = mp_shape();
+        for (p, report) in explore_all_placements(&CheckConfig::cord(2, 2), &lit, 1_000_000) {
+            assert!(report.passes(&lit), "placement {p:?}: {:?}", report.violations(&lit));
+            assert!(report.states > 10);
+            assert!(!report.outcomes.is_empty());
+        }
+    }
+
+    #[test]
+    fn so_passes_mp_shape() {
+        let lit = mp_shape();
+        for (p, report) in explore_all_placements(&CheckConfig::so(2, 2), &lit, 1_000_000) {
+            assert!(report.passes(&lit), "placement {p:?}");
+        }
+    }
+
+    #[test]
+    fn mp_passes_two_thread_mp_shape() {
+        // Point-to-point ordering suffices for the 2-thread pattern: both
+        // stores use the same channel when vars share a home, and the
+        // consumer polls its local memory.
+        let lit = mp_shape();
+        let report = explore(CheckConfig::mp(2, 1), &lit, &[0, 0], 1_000_000);
+        assert!(report.passes(&lit), "{:?}", report.violations(&lit));
+    }
+
+    #[test]
+    fn mp_violates_mp_shape_across_directories() {
+        // With X and Y homed on different destinations the two posted
+        // writes travel different channels and can reorder: the forbidden
+        // (r1=1, r0=0) outcome becomes reachable. This is the §3.2 argument
+        // in its simplest form.
+        let lit = mp_shape();
+        let report = explore(CheckConfig::mp(2, 2), &lit, &[0, 1], 1_000_000);
+        assert!(
+            !report.violations(&lit).is_empty(),
+            "expected the destination-ordering violation to be reachable"
+        );
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let lit = mp_shape();
+        let report = explore(CheckConfig::cord(2, 2), &lit, &[0, 1], 4);
+        assert!(report.truncated);
+    }
+}

@@ -1,0 +1,275 @@
+//! Litmus-test DSL.
+//!
+//! A litmus test is a handful of tiny threads over a handful of shared
+//! variables, plus a set of *forbidden* final register valuations that
+//! release consistency rules out. The checker enumerates every reachable
+//! execution of a protocol model and verifies no forbidden outcome is
+//! reachable (and, for the message-passing positive control, that the
+//! violation *is* reachable — paper §3.2).
+//!
+//! Variables are placed on directories explicitly; placement *variants*
+//! multiply each shape across single-directory and multi-directory layouts,
+//! exercising different protocol paths (paper §4.5 runs 122 herd-generated
+//! + 180 customized tests the same way).
+
+use cord_proto::{FenceKind, LoadOrd, StoreOrd};
+
+/// One operation of a litmus thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LOp {
+    /// Store `val` to `var`.
+    Store {
+        /// Variable index.
+        var: u8,
+        /// Value stored.
+        val: u64,
+        /// Ordering annotation.
+        ord: StoreOrd,
+    },
+    /// Load `var` into register `reg`.
+    Load {
+        /// Variable index.
+        var: u8,
+        /// Destination register.
+        reg: u8,
+        /// Ordering annotation.
+        ord: LoadOrd,
+    },
+    /// Spin until `var == val` with acquire semantics
+    /// (`while !(r := acq var)` in the paper's ISA2 rendering).
+    WaitAcq {
+        /// Variable index.
+        var: u8,
+        /// Value awaited.
+        val: u64,
+    },
+    /// An atomic fetch-add returning the old value into `reg` (blocking).
+    FetchAdd {
+        /// Variable operated on.
+        var: u8,
+        /// Addend.
+        add: u64,
+        /// Destination register for the old value.
+        reg: u8,
+        /// Ordering annotation.
+        ord: StoreOrd,
+    },
+    /// A memory barrier.
+    Fence(FenceKind),
+}
+
+/// One conjunct of a final-state condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CondAtom {
+    /// `thread:reg == v`.
+    Reg(u8, u8, u64),
+    /// Final memory `var == v` (coherence-order tests like "S").
+    Mem(u8, u64),
+}
+
+/// A conjunction of final-state equalities, e.g. `1:r0=1 ∧ x=2`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cond(pub Vec<CondAtom>);
+
+impl Cond {
+    /// Whether the final `regs` and `mem` satisfy every conjunct.
+    pub fn matches(&self, regs: &[Vec<u64>], mem: &[u64]) -> bool {
+        self.0.iter().all(|atom| match *atom {
+            CondAtom::Reg(t, r, v) => regs[t as usize][r as usize] == v,
+            CondAtom::Mem(var, v) => mem[var as usize] == v,
+        })
+    }
+
+    /// A register-only condition.
+    pub fn regs(atoms: Vec<(u8, u8, u64)>) -> Cond {
+        Cond(atoms.into_iter().map(|(t, r, v)| CondAtom::Reg(t, r, v)).collect())
+    }
+}
+
+/// A complete litmus test.
+#[derive(Debug, Clone)]
+pub struct Litmus {
+    /// Test name (herd-style where applicable).
+    pub name: &'static str,
+    /// Per-thread operation lists.
+    pub threads: Vec<Vec<LOp>>,
+    /// Number of shared variables.
+    pub vars: u8,
+    /// Final valuations forbidden by release consistency.
+    pub forbidden: Vec<Cond>,
+}
+
+impl Litmus {
+    /// Creates a test, validating basic shape constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread references an out-of-range variable/register, or
+    /// issues two Relaxed stores to the same variable with no intervening
+    /// Release (same-address write ordering is outside the checked models'
+    /// scope, as in classic litmus suites).
+    pub fn new(
+        name: &'static str,
+        threads: Vec<Vec<LOp>>,
+        vars: u8,
+        forbidden: Vec<Cond>,
+    ) -> Self {
+        for (t, ops) in threads.iter().enumerate() {
+            let mut last_relaxed_store: Option<u8> = None;
+            for op in ops {
+                match *op {
+                    LOp::Store { var, ord, .. } => {
+                        assert!(var < vars, "{name}: thread {t} uses var {var} ≥ {vars}");
+                        if ord == StoreOrd::Relaxed {
+                            assert_ne!(
+                                last_relaxed_store,
+                                Some(var),
+                                "{name}: thread {t} relaxed-stores var {var} twice in a row"
+                            );
+                            last_relaxed_store = Some(var);
+                        } else {
+                            last_relaxed_store = None;
+                        }
+                    }
+                    LOp::Load { var, reg, .. } => {
+                        assert!(var < vars, "{name}: var {var} out of range");
+                        assert!(reg < 4, "{name}: reg {reg} out of range");
+                    }
+                    LOp::WaitAcq { var, .. } => {
+                        assert!(var < vars, "{name}: var {var} out of range");
+                    }
+                    LOp::FetchAdd { var, reg, .. } => {
+                        assert!(var < vars, "{name}: var {var} out of range");
+                        assert!(reg < 4, "{name}: reg {reg} out of range");
+                        last_relaxed_store = None; // atomics serialize at memory
+                    }
+                    LOp::Fence(_) => last_relaxed_store = None,
+                }
+            }
+        }
+        for cond in &forbidden {
+            for atom in &cond.0 {
+                match *atom {
+                    CondAtom::Reg(t, r, _) => {
+                        assert!((t as usize) < threads.len(), "{name}: bad thread in cond");
+                        assert!(r < 4, "{name}: bad reg in cond");
+                    }
+                    CondAtom::Mem(v, _) => assert!(v < vars, "{name}: bad var in cond"),
+                }
+            }
+        }
+        Litmus { name, threads, vars, forbidden }
+    }
+
+    /// Number of threads.
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Placement variants to check: every variable on one directory, each
+    /// variable on its own directory, and (for ≥2 vars) two mixed splits.
+    pub fn placements(&self) -> Vec<Vec<u8>> {
+        let v = self.vars as usize;
+        let mut out = vec![vec![0; v]];
+        if v >= 2 {
+            out.push((0..v as u8).collect());
+            out.push((0..v).map(|i| (i % 2) as u8).collect());
+            out.push((0..v).map(|i| if i == 0 { 1 } else { 0 }).collect());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Convenience constructors for the operation DSL.
+pub mod dsl {
+    use super::*;
+
+    /// Relaxed store.
+    pub fn w(var: u8, val: u64) -> LOp {
+        LOp::Store { var, val, ord: StoreOrd::Relaxed }
+    }
+
+    /// Release store.
+    pub fn wrel(var: u8, val: u64) -> LOp {
+        LOp::Store { var, val, ord: StoreOrd::Release }
+    }
+
+    /// Relaxed load.
+    pub fn r(var: u8, reg: u8) -> LOp {
+        LOp::Load { var, reg, ord: LoadOrd::Relaxed }
+    }
+
+    /// Acquire load.
+    pub fn racq(var: u8, reg: u8) -> LOp {
+        LOp::Load { var, reg, ord: LoadOrd::Acquire }
+    }
+
+    /// Acquire spin-until-equal.
+    pub fn wacq(var: u8, val: u64) -> LOp {
+        LOp::WaitAcq { var, val }
+    }
+
+    /// Relaxed atomic fetch-add.
+    pub fn amo(var: u8, add: u64, reg: u8) -> LOp {
+        LOp::FetchAdd { var, add, reg, ord: StoreOrd::Relaxed }
+    }
+
+    /// Release atomic fetch-add.
+    pub fn amorel(var: u8, add: u64, reg: u8) -> LOp {
+        LOp::FetchAdd { var, add, reg, ord: StoreOrd::Release }
+    }
+
+    /// Release fence.
+    pub fn frel() -> LOp {
+        LOp::Fence(FenceKind::Release)
+    }
+
+    /// Full fence.
+    pub fn ffull() -> LOp {
+        LOp::Fence(FenceKind::Full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::dsl::*;
+    use super::*;
+
+    #[test]
+    fn cond_matching() {
+        let c = Cond::regs(vec![(0, 0, 1), (1, 1, 0)]);
+        assert!(c.matches(&[vec![1, 9, 0, 0], vec![9, 0, 0, 0]], &[]));
+        assert!(!c.matches(&[vec![0, 9, 0, 0], vec![9, 0, 0, 0]], &[]));
+        let m = Cond(vec![CondAtom::Mem(0, 2)]);
+        assert!(m.matches(&[], &[2]));
+        assert!(!m.matches(&[], &[1]));
+    }
+
+    #[test]
+    fn placements_cover_single_and_multi_dir() {
+        let lit = Litmus::new(
+            "mp",
+            vec![vec![w(0, 1), wrel(1, 1)], vec![wacq(1, 1), r(0, 0)]],
+            2,
+            vec![Cond::regs(vec![(1, 0, 0)])],
+        );
+        let ps = lit.placements();
+        assert!(ps.contains(&vec![0, 0]), "single-directory variant");
+        assert!(ps.contains(&vec![0, 1]), "multi-directory variant");
+        assert!(ps.len() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice in a row")]
+    fn same_var_racing_stores_rejected() {
+        Litmus::new("bad", vec![vec![w(0, 1), w(0, 2)]], 1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_var_rejected() {
+        Litmus::new("bad", vec![vec![r(3, 0)]], 2, vec![]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Litmus-test suites (paper §4.5).
+//!
+//! [`classic_suite`] holds the release-consistency shapes from the standard
+//! weak-memory literature (MP, ISA2, WRC, S, chained releases, fence
+//! variants), each annotated with the outcomes RC forbids. The checker runs
+//! every shape under every placement variant and every stress configuration
+//! from [`stress_configs`] — tiny epoch/counter moduli and under-provisioned
+//! tables — multiplying into the hundreds of individual checks the paper's
+//! Murphi campaign performs.
+//!
+//! [`weak_suite`] holds shapes whose weak outcome RC *allows*; the checker
+//! asserts those outcomes are actually reachable, guarding against the
+//! models accidentally being stronger than intended (e.g. secretly
+//! sequentially consistent).
+
+use crate::litmus::dsl::*;
+use crate::litmus::{Cond, CondAtom, Litmus};
+use crate::model::CheckConfig;
+
+/// Shapes with RC-forbidden outcomes. Every conforming protocol (CORD, SO,
+/// and mixed CORD/SO) must exclude them under all placements and
+/// provisioning configurations.
+pub fn classic_suite() -> Vec<Litmus> {
+    vec![
+        // MP: the canonical publish pattern (paper Fig. 4 left).
+        Litmus::new(
+            "MP",
+            vec![vec![w(0, 1), wrel(1, 1)], vec![wacq(1, 1), r(0, 0)]],
+            2,
+            vec![Cond::regs(vec![(1, 0, 0)])],
+        ),
+        // MP with two Relaxed stores before the Release.
+        Litmus::new(
+            "MP+2W",
+            vec![
+                vec![w(0, 1), w(2, 1), wrel(1, 1)],
+                vec![wacq(1, 1), r(0, 0), r(2, 1)],
+            ],
+            3,
+            vec![Cond::regs(vec![(1, 0, 0)]), Cond::regs(vec![(1, 1, 0)])],
+        ),
+        // MP via a Release fence + Relaxed flag store (C11 fence rule).
+        Litmus::new(
+            "MP+rel-fence",
+            vec![vec![w(0, 1), frel(), w(1, 1)], vec![wacq(1, 1), r(0, 0)]],
+            2,
+            vec![Cond::regs(vec![(1, 0, 0)])],
+        ),
+        // MP via a Full fence.
+        Litmus::new(
+            "MP+full-fence",
+            vec![vec![w(0, 1), ffull(), w(1, 1)], vec![wacq(1, 1), r(0, 0)]],
+            2,
+            vec![Cond::regs(vec![(1, 0, 0)])],
+        ),
+        // ISA2: the paper's §3.2 transitive-synchronization test (Fig. 3).
+        Litmus::new(
+            "ISA2",
+            vec![
+                vec![w(0, 1), wrel(1, 1)],
+                vec![wacq(1, 1), wrel(2, 1)],
+                vec![wacq(2, 1), r(0, 0)],
+            ],
+            3,
+            vec![Cond::regs(vec![(2, 0, 0)])],
+        ),
+        // WRC: write-to-read causality (A-cumulativity).
+        Litmus::new(
+            "WRC",
+            vec![
+                vec![w(0, 1)],
+                vec![wacq(0, 1), wrel(1, 1)],
+                vec![wacq(1, 1), r(0, 0)],
+            ],
+            2,
+            vec![Cond::regs(vec![(2, 0, 0)])],
+        ),
+        // Release-Release chaining through one or two directories
+        // (exercises lastPrevEp — paper Fig. 4 middle).
+        Litmus::new(
+            "REL-REL",
+            vec![vec![wrel(0, 1), wrel(1, 1)], vec![wacq(1, 1), r(0, 0)]],
+            2,
+            vec![Cond::regs(vec![(1, 0, 0)])],
+        ),
+        // Epoch separation: two publishes back to back; each flag must
+        // cover exactly its own epoch's data.
+        Litmus::new(
+            "EPOCHS",
+            vec![
+                vec![w(0, 1), wrel(1, 1), w(2, 1), wrel(3, 1)],
+                vec![wacq(3, 1), r(2, 0), r(0, 1)],
+            ],
+            4,
+            vec![Cond::regs(vec![(1, 0, 0)]), Cond::regs(vec![(1, 1, 0)])],
+        ),
+        // S: coherence order of a Relaxed store racing a synchronized one —
+        // the final value of x must be the post-synchronization write.
+        Litmus::new(
+            "S",
+            vec![vec![w(0, 2), wrel(1, 1)], vec![wacq(1, 1), w(0, 1)]],
+            2,
+            vec![Cond(vec![CondAtom::Mem(0, 2)])],
+        ),
+        // PO-REL: a Release store is itself ordered after program-order
+        // earlier Releases to *different* variables read by one observer.
+        Litmus::new(
+            "PO-REL",
+            vec![
+                vec![wrel(0, 1), wrel(1, 1), wrel(2, 1)],
+                vec![wacq(2, 1), r(0, 0), r(1, 1)],
+            ],
+            3,
+            vec![Cond::regs(vec![(1, 0, 0)]), Cond::regs(vec![(1, 1, 0)])],
+        ),
+        // MP-DEEP: many Relaxed stores (store-counter exercise, with tiny
+        // cnt modulus this forces mid-epoch counter wraps).
+        Litmus::new(
+            "MP-DEEP",
+            vec![
+                vec![w(0, 1), w(1, 1), w(2, 1), w(3, 1), wrel(4, 1)],
+                vec![wacq(4, 1), r(0, 0), r(3, 1)],
+            ],
+            5,
+            vec![Cond::regs(vec![(1, 0, 0)]), Cond::regs(vec![(1, 1, 0)])],
+        ),
+        // Atomic publication: a Release fetch-add as the flag (the paper's
+        // write-through "atomics").
+        Litmus::new(
+            "ATOM-PUB",
+            vec![vec![w(0, 1), amorel(1, 1, 0)], vec![wacq(1, 1), r(0, 0)]],
+            2,
+            vec![Cond::regs(vec![(1, 0, 0)])],
+        ),
+        // Atomicity: two concurrent fetch-adds must both take effect and
+        // return distinct old values.
+        Litmus::new(
+            "ATOM-ATOM",
+            vec![vec![amo(0, 1, 0)], vec![amo(0, 1, 0)]],
+            1,
+            vec![
+                Cond(vec![CondAtom::Mem(0, 0)]),
+                Cond(vec![CondAtom::Mem(0, 1)]),
+                Cond::regs(vec![(0, 0, 1), (1, 0, 1)]),
+                Cond::regs(vec![(0, 0, 0), (1, 0, 0)]),
+            ],
+        ),
+        // WWC-rel: a release chain where the last observer reads through
+        // two hops of different variables.
+        Litmus::new(
+            "CHAIN3",
+            vec![
+                vec![w(0, 1), wrel(1, 1)],
+                vec![wacq(1, 1), w(2, 1), wrel(3, 1)],
+                vec![wacq(3, 1), r(2, 0), r(0, 1)],
+            ],
+            4,
+            vec![Cond::regs(vec![(2, 0, 0)]), Cond::regs(vec![(2, 1, 0)])],
+        ),
+    ]
+}
+
+/// Shapes whose weak outcome is *allowed* by RC; the checker asserts these
+/// outcomes are reachable under CORD (our implementation must not be
+/// accidentally sequentially consistent). The `Cond` here is the outcome
+/// that must be observable.
+pub fn weak_suite() -> Vec<(Litmus, Cond)> {
+    vec![
+        (
+            // MP without a Release: reordering is allowed.
+            Litmus::new(
+                "MP-rlx (allowed)",
+                vec![vec![w(0, 1), w(1, 1)], vec![wacq(1, 1), r(0, 0)]],
+                2,
+                vec![],
+            ),
+            Cond::regs(vec![(1, 0, 0)]),
+        ),
+        (
+            // SB: both threads may read zero under RC.
+            Litmus::new(
+                "SB (allowed)",
+                vec![vec![w(0, 1), r(1, 0)], vec![w(1, 1), r(0, 0)]],
+                2,
+                vec![],
+            ),
+            Cond::regs(vec![(0, 0, 0), (1, 0, 0)]),
+        ),
+    ]
+}
+
+/// A named configuration factory taking (threads, dirs).
+pub type ConfigFactory = fn(usize, u8) -> CheckConfig;
+
+/// Shapes whose weak outcome RC allows but **TSO forbids** (paper §6):
+/// store-store reordering observed through plain Relaxed stores.
+pub fn tso_suite() -> Vec<Litmus> {
+    vec![
+        // Two Relaxed stores must stay ordered under TSO.
+        Litmus::new(
+            "TSO-SS",
+            vec![vec![w(0, 1), w(1, 1)], vec![wacq(1, 1), r(0, 0)]],
+            2,
+            vec![Cond::regs(vec![(1, 0, 0)])],
+        ),
+        // Three-store chain across directories.
+        Litmus::new(
+            "TSO-SSS",
+            vec![
+                vec![w(0, 1), w(1, 1), w(2, 1)],
+                vec![wacq(2, 1), r(0, 0), r(1, 1)],
+            ],
+            3,
+            vec![Cond::regs(vec![(1, 0, 0)]), Cond::regs(vec![(1, 1, 0)])],
+        ),
+        // Store → atomic ordering.
+        Litmus::new(
+            "TSO-ST-AMO",
+            vec![vec![w(0, 1), amo(1, 1, 0)], vec![wacq(1, 1), r(0, 0)]],
+            2,
+            vec![Cond::regs(vec![(1, 0, 0)])],
+        ),
+    ]
+}
+
+/// Stress configurations for CORD: each returns a name and a configuration
+/// factory taking (threads, dirs).
+pub fn stress_configs() -> Vec<(&'static str, ConfigFactory)> {
+    fn default_cfg(t: usize, d: u8) -> CheckConfig {
+        CheckConfig::cord(t, d)
+    }
+    fn tiny_epoch(t: usize, d: u8) -> CheckConfig {
+        CheckConfig { epoch_modulus: 2, ..CheckConfig::cord(t, d) }
+    }
+    fn tiny_cnt(t: usize, d: u8) -> CheckConfig {
+        CheckConfig { cnt_modulus: 2, ..CheckConfig::cord(t, d) }
+    }
+    fn one_unacked(t: usize, d: u8) -> CheckConfig {
+        CheckConfig { proc_unacked_cap: 1, ..CheckConfig::cord(t, d) }
+    }
+    fn tight_dir_tables(t: usize, d: u8) -> CheckConfig {
+        CheckConfig { dir_cnt_cap: 2, dir_noti_cap: 2, ..CheckConfig::cord(t, d) }
+    }
+    fn everything_tiny(t: usize, d: u8) -> CheckConfig {
+        CheckConfig {
+            epoch_modulus: 2,
+            cnt_modulus: 2,
+            proc_unacked_cap: 1,
+            dir_cnt_cap: 2,
+            dir_noti_cap: 2,
+            ..CheckConfig::cord(t, d)
+        }
+    }
+    vec![
+        ("default", default_cfg),
+        ("epoch-bits=1", tiny_epoch),
+        ("cnt-bits=1", tiny_cnt),
+        ("unacked-cap=1", one_unacked),
+        ("tight-dir-tables", tight_dir_tables),
+        ("everything-tiny", everything_tiny),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shapes_are_well_formed() {
+        let suite = classic_suite();
+        assert!(suite.len() >= 12);
+        for lit in &suite {
+            assert!(!lit.forbidden.is_empty(), "{} needs forbidden outcomes", lit.name);
+            assert!(!lit.placements().is_empty());
+        }
+        for (lit, _) in weak_suite() {
+            assert!(lit.forbidden.is_empty(), "{} is an allowed-outcome test", lit.name);
+        }
+        assert_eq!(stress_configs().len(), 6);
+    }
+}

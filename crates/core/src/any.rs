@@ -1,0 +1,186 @@
+//! Enum dispatch over all protocol engines.
+//!
+//! The system runner is non-generic: it holds [`AnyCore`] / [`AnyDir`]
+//! values constructed from [`cord_proto::ProtocolKind`] and dispatches
+//! through the shared [`CoreProtocol`] / [`DirProtocol`] traits.
+
+use cord_proto::{
+    CoreCtx, CoreId, CoreProtoStats, CoreProtocol, DirCtx, DirId, DirProtocol, DirStorage,
+    Issue, Msg, MsgKind, MpCore, MpDir, NodeRef, Op, ProtocolKind, SeqCore, SeqDir, SoCore,
+    SoDir, SystemConfig, WbCore, WbDir,
+};
+
+use crate::cord_core::CordCore;
+use crate::cord_dir::CordDir;
+use crate::hybrid::{HybridCore, HybridDir, WbWindow};
+
+/// A processor-side engine of any protocol.
+///
+/// Variant sizes differ widely (the hybrid engine embeds two protocol
+/// engines), but exactly one instance exists per core, so boxing would only
+/// add indirection.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum AnyCore {
+    /// CORD (directory ordering).
+    Cord(CordCore),
+    /// Source ordering.
+    So(SoCore),
+    /// Message passing.
+    Mp(MpCore),
+    /// Write-back MESI.
+    Wb(WbCore),
+    /// SEQ-N strawman.
+    Seq(SeqCore),
+    /// Hybrid write-through/write-back (§4.4).
+    Hybrid(HybridCore),
+}
+
+impl AnyCore {
+    /// Builds the engine selected by `cfg.protocol` for core `id`.
+    pub fn new(id: CoreId, cfg: &SystemConfig) -> Self {
+        match cfg.protocol {
+            ProtocolKind::Cord => AnyCore::Cord(CordCore::new(id, cfg)),
+            ProtocolKind::So => AnyCore::So(SoCore::new(id, cfg)),
+            ProtocolKind::Mp => AnyCore::Mp(MpCore::new(id, cfg)),
+            ProtocolKind::Wb => AnyCore::Wb(WbCore::new(id, cfg)),
+            ProtocolKind::Seq { .. } => AnyCore::Seq(SeqCore::new(id, cfg)),
+            ProtocolKind::Hybrid { wb_lo, wb_hi } => {
+                AnyCore::Hybrid(HybridCore::new(id, cfg, WbWindow { lo: wb_lo, hi: wb_hi }))
+            }
+        }
+    }
+}
+
+macro_rules! each_core {
+    ($self:expr, $e:ident => $body:expr) => {
+        match $self {
+            AnyCore::Cord($e) => $body,
+            AnyCore::So($e) => $body,
+            AnyCore::Mp($e) => $body,
+            AnyCore::Wb($e) => $body,
+            AnyCore::Seq($e) => $body,
+            AnyCore::Hybrid($e) => $body,
+        }
+    };
+}
+
+impl CoreProtocol for AnyCore {
+    fn issue(&mut self, op: &Op, ctx: &mut CoreCtx<'_>) -> Issue {
+        each_core!(self, e => e.issue(op, ctx))
+    }
+
+    fn on_msg(&mut self, from: NodeRef, kind: MsgKind, ctx: &mut CoreCtx<'_>) {
+        each_core!(self, e => e.on_msg(from, kind, ctx))
+    }
+
+    fn quiesced(&self) -> bool {
+        each_core!(self, e => e.quiesced())
+    }
+
+    fn stats(&self) -> CoreProtoStats {
+        each_core!(self, e => e.stats())
+    }
+}
+
+/// A directory-side engine of any protocol.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub enum AnyDir {
+    /// CORD (directory ordering).
+    Cord(CordDir),
+    /// Source ordering.
+    So(SoDir),
+    /// Message passing.
+    Mp(MpDir),
+    /// Write-back MESI.
+    Wb(WbDir),
+    /// SEQ-N strawman.
+    Seq(SeqDir),
+    /// Hybrid write-through/write-back (§4.4).
+    Hybrid(HybridDir),
+}
+
+impl AnyDir {
+    /// Builds the engine selected by `cfg.protocol` for directory `id`.
+    pub fn new(id: DirId, cfg: &SystemConfig) -> Self {
+        match cfg.protocol {
+            ProtocolKind::Cord => AnyDir::Cord(CordDir::new(id, cfg)),
+            ProtocolKind::So => AnyDir::So(SoDir::new(id, cfg)),
+            ProtocolKind::Mp => AnyDir::Mp(MpDir::new(id, cfg)),
+            ProtocolKind::Wb => AnyDir::Wb(WbDir::new(id, cfg)),
+            ProtocolKind::Seq { .. } => AnyDir::Seq(SeqDir::new(id, cfg)),
+            ProtocolKind::Hybrid { .. } => AnyDir::Hybrid(HybridDir::new(id, cfg)),
+        }
+    }
+}
+
+macro_rules! each_dir {
+    ($self:expr, $e:ident => $body:expr) => {
+        match $self {
+            AnyDir::Cord($e) => $body,
+            AnyDir::So($e) => $body,
+            AnyDir::Mp($e) => $body,
+            AnyDir::Wb($e) => $body,
+            AnyDir::Seq($e) => $body,
+            AnyDir::Hybrid($e) => $body,
+        }
+    };
+}
+
+impl DirProtocol for AnyDir {
+    fn on_msg(&mut self, msg: Msg, ctx: &mut DirCtx<'_>) {
+        each_dir!(self, e => e.on_msg(msg, ctx))
+    }
+
+    fn retry(&mut self, ctx: &mut DirCtx<'_>) {
+        each_dir!(self, e => e.retry(ctx))
+    }
+
+    fn storage(&self) -> DirStorage {
+        each_dir!(self, e => e.storage())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructs_matching_engine() {
+        let kinds = [
+            ProtocolKind::Cord,
+            ProtocolKind::So,
+            ProtocolKind::Mp,
+            ProtocolKind::Wb,
+            ProtocolKind::Seq { bits: 8 },
+            ProtocolKind::Hybrid { wb_lo: 0, wb_hi: 4096 },
+        ];
+        for kind in kinds {
+            let cfg = SystemConfig::cxl(kind, 2);
+            let core = AnyCore::new(CoreId(0), &cfg);
+            let dir = AnyDir::new(DirId(0), &cfg);
+            let core_matches = matches!(
+                (&core, kind),
+                (AnyCore::Cord(_), ProtocolKind::Cord)
+                    | (AnyCore::So(_), ProtocolKind::So)
+                    | (AnyCore::Mp(_), ProtocolKind::Mp)
+                    | (AnyCore::Wb(_), ProtocolKind::Wb)
+                    | (AnyCore::Seq(_), ProtocolKind::Seq { .. })
+                    | (AnyCore::Hybrid(_), ProtocolKind::Hybrid { .. })
+            );
+            let dir_matches = matches!(
+                (&dir, kind),
+                (AnyDir::Cord(_), ProtocolKind::Cord)
+                    | (AnyDir::So(_), ProtocolKind::So)
+                    | (AnyDir::Mp(_), ProtocolKind::Mp)
+                    | (AnyDir::Wb(_), ProtocolKind::Wb)
+                    | (AnyDir::Seq(_), ProtocolKind::Seq { .. })
+                    | (AnyDir::Hybrid(_), ProtocolKind::Hybrid { .. })
+            );
+            assert!(core_matches && dir_matches, "mismatch for {kind:?}");
+            assert!(core.quiesced());
+            assert_eq!(dir.storage(), DirStorage::default());
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Hybrid write-through + write-back CORD (paper §4.4).
+//!
+//! Real multi-PU applications mix access classes: producer-consumer buffers
+//! use directory-ordered **write-through** stores (CORD's domain), while
+//! core-private or reuse-heavy data uses **write-back** caching, which CORD
+//! leaves *source-ordered* ("cord does not change ordering for write-back
+//! stores").
+//!
+//! The one interaction that needs new machinery is §4.4's rule: a Relaxed
+//! directory-ordered write-through store carries no acknowledgment, so it
+//! cannot be source-ordered against a subsequent **Release write-back
+//! store**. The processor therefore *injects a directory-ordered Release
+//! barrier* after the write-through stores and stalls until it is
+//! acknowledged before issuing the write-back Release.
+//!
+//! The hybrid engine composes the CORD and MESI engines, routing each
+//! operation by a configured **write-back address window**:
+//!
+//! * stores/atomics/loads inside the window → the MESI (write-back) engine;
+//! * everything else → the CORD (write-through) engine;
+//! * `Op::StoreWb` forces the write-back path regardless of address.
+//!
+//! Write-through and write-back accesses must not alias the same cache line
+//! (the two coherence domains do not merge dirty data); the workload layer
+//! keeps the regions disjoint, matching how Spandex-style systems segregate
+//! request classes by page attributes.
+
+use cord_mem::Addr;
+use cord_proto::{
+    ConsistencyModel, CoreCtx, CoreId, CoreProtoStats, CoreProtocol, DirCtx, DirId, DirProtocol,
+    DirStorage, FenceKind, Issue, Msg, MsgKind, NodeRef, Op, SoDir, StallCause, StoreOrd,
+    SystemConfig, WbCore, WbDir,
+};
+
+use crate::cord_core::CordCore;
+use crate::cord_dir::CordDir;
+
+/// Address window routed to the write-back engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WbWindow {
+    /// First byte of the window.
+    pub lo: u64,
+    /// One past the last byte.
+    pub hi: u64,
+}
+
+impl WbWindow {
+    /// Whether `addr` falls in the window.
+    pub fn contains(&self, addr: Addr) -> bool {
+        (self.lo..self.hi).contains(&addr.raw())
+    }
+}
+
+/// Processor-side hybrid engine: CORD for write-through, MESI for write-back.
+#[derive(Debug)]
+pub struct HybridCore {
+    cord: CordCore,
+    wb: WbCore,
+    window: WbWindow,
+    model: ConsistencyModel,
+}
+
+impl HybridCore {
+    /// Creates the engine for core `id` with the given write-back window.
+    pub fn new(id: CoreId, cfg: &SystemConfig, window: WbWindow) -> Self {
+        HybridCore {
+            cord: CordCore::new(id, cfg),
+            wb: WbCore::new(id, cfg),
+            window,
+            model: cfg.model,
+        }
+    }
+
+    fn routes_wb(&self, op: &Op) -> bool {
+        match *op {
+            Op::StoreWb { .. } => true,
+            Op::Store { addr, .. }
+            | Op::Load { addr, .. }
+            | Op::BulkRead { addr, .. }
+            | Op::WaitValue { addr, .. }
+            | Op::AtomicRmw { addr, .. } => self.window.contains(addr),
+            Op::Fence { .. } | Op::Compute { .. } => false,
+        }
+    }
+
+    /// Whether the CORD side has un-acknowledgeable Relaxed write-through
+    /// state that a write-back Release could otherwise overtake (§4.4).
+    fn wt_needs_barrier(&self) -> bool {
+        !self.cord.quiesced() || self.cord.has_pending_relaxed()
+    }
+}
+
+impl CoreProtocol for HybridCore {
+    fn issue(&mut self, op: &Op, ctx: &mut CoreCtx<'_>) -> Issue {
+        if !self.routes_wb(op) {
+            // Write-through side; a Release additionally source-orders any
+            // outstanding write-back stores (they are acknowledged by their
+            // ownership fills, so plain source ordering applies — §4.4).
+            if let Op::Store { ord: StoreOrd::Release, .. }
+            | Op::AtomicRmw { ord: StoreOrd::Release, .. } = *op
+            {
+                if !self.wb.quiesced() {
+                    return Issue::Stall(StallCause::AckWait);
+                }
+            }
+            if let Op::Fence { .. } = *op {
+                if !self.wb.quiesced() {
+                    return Issue::Stall(StallCause::AckWait);
+                }
+            }
+            return self.cord.issue(op, ctx);
+        }
+        // Write-back side.
+        let is_release = matches!(
+            *op,
+            Op::Store { ord: StoreOrd::Release, .. }
+                | Op::StoreWb { ord: StoreOrd::Release, .. }
+                | Op::AtomicRmw { ord: StoreOrd::Release, .. }
+        );
+        if (is_release || self.model == ConsistencyModel::Tso) && self.wt_needs_barrier() {
+            // §4.4: an earlier directory-ordered Relaxed store has no ack to
+            // source-order against — inject a Release barrier and stall
+            // until the directories acknowledge it. The CORD fence is
+            // idempotent across retries (it tracks its own broadcast state).
+            match self.cord.issue(&Op::Fence { kind: FenceKind::Release }, ctx) {
+                Issue::Done => {}
+                Issue::Pending => return Issue::Stall(StallCause::AckWait),
+                Issue::Stall(cause) => return Issue::Stall(cause),
+            }
+        }
+        // Route (StoreWb becomes a plain store for the MESI engine, which
+        // coerces internally).
+        self.wb.issue(op, ctx)
+    }
+
+    fn on_msg(&mut self, from: NodeRef, kind: MsgKind, ctx: &mut CoreCtx<'_>) {
+        match kind {
+            // MESI replies.
+            MsgKind::DataResp { .. } | MsgKind::FwdGetS { .. } | MsgKind::Inv { .. } => {
+                self.wb.on_msg(from, kind, ctx)
+            }
+            // Everything else is CORD-side.
+            _ => self.cord.on_msg(from, kind, ctx),
+        }
+    }
+
+    fn quiesced(&self) -> bool {
+        self.cord.quiesced() && self.wb.quiesced()
+    }
+
+    fn stats(&self) -> CoreProtoStats {
+        self.cord.stats()
+    }
+}
+
+/// Directory-side hybrid engine: CORD tables for write-through traffic, a
+/// MESI directory for write-back traffic, one shared memory.
+#[derive(Debug)]
+pub struct HybridDir {
+    cord: CordDir,
+    wb: WbDir,
+    /// Source-ordering fallback for stray acknowledged write-through stores.
+    so: SoDir,
+}
+
+impl HybridDir {
+    /// Creates the engine for directory `id` under `cfg`.
+    pub fn new(id: DirId, cfg: &SystemConfig) -> Self {
+        HybridDir { cord: CordDir::new(id, cfg), wb: WbDir::new(id, cfg), so: SoDir::new(id, cfg) }
+    }
+}
+
+impl DirProtocol for HybridDir {
+    fn on_msg(&mut self, msg: Msg, ctx: &mut DirCtx<'_>) {
+        match msg.kind {
+            MsgKind::GetS { .. }
+            | MsgKind::GetM { .. }
+            | MsgKind::InvAck { .. }
+            | MsgKind::PutM { .. } => self.wb.on_msg(msg, ctx),
+            MsgKind::WtStore { meta: cord_proto::WtMeta::None, .. } => self.so.on_msg(msg, ctx),
+            _ => self.cord.on_msg(msg, ctx),
+        }
+    }
+
+    fn retry(&mut self, ctx: &mut DirCtx<'_>) {
+        self.cord.retry(ctx);
+        self.wb.retry(ctx);
+    }
+
+    fn storage(&self) -> DirStorage {
+        self.cord.storage()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_proto::ProtocolKind;
+
+    #[test]
+    fn window_routing() {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+        let w = WbWindow { lo: 4096, hi: 8192 };
+        let core = HybridCore::new(CoreId(0), &cfg, w);
+        assert!(core.routes_wb(&Op::Store {
+            addr: Addr::new(5000),
+            bytes: 8,
+            value: 0,
+            ord: StoreOrd::Relaxed
+        }));
+        assert!(!core.routes_wb(&Op::Store {
+            addr: Addr::new(100),
+            bytes: 8,
+            value: 0,
+            ord: StoreOrd::Relaxed
+        }));
+        assert!(core.routes_wb(&Op::StoreWb {
+            addr: Addr::new(100),
+            bytes: 8,
+            value: 0,
+            ord: StoreOrd::Relaxed
+        }));
+        assert!(!core.routes_wb(&Op::Fence { kind: FenceKind::Release }));
+    }
+
+    #[test]
+    fn wb_release_injects_cord_barrier() {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+        let w = WbWindow { lo: 1 << 30, hi: 2 << 30 };
+        let mut core = HybridCore::new(CoreId(0), &cfg, w);
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(cord_sim::Time::ZERO, &mut fx);
+        // A Relaxed write-through store (outside the window): no ack exists.
+        let wt = Op::Store { addr: Addr::new(0), bytes: 64, value: 1, ord: StoreOrd::Relaxed };
+        assert_eq!(core.issue(&wt, &mut ctx), Issue::Done);
+        // A Release write-back store must stall behind the injected barrier.
+        let wbrel =
+            Op::StoreWb { addr: Addr::new(1 << 30), bytes: 8, value: 2, ord: StoreOrd::Release };
+        let r = core.issue(&wbrel, &mut ctx);
+        assert_eq!(r, Issue::Stall(StallCause::AckWait));
+        // The barrier is an empty directory-ordered Release store.
+        let has_empty_release = fx.iter().any(|e| match e {
+            cord_proto::CoreEffect::Send { msg, .. } => matches!(
+                msg.kind,
+                MsgKind::WtStore { ord: StoreOrd::Release, bytes: 0, needs_ack: true, .. }
+            ),
+            _ => false,
+        });
+        assert!(has_empty_release, "§4.4 barrier not injected: {fx:?}");
+    }
+
+    #[test]
+    fn dir_routes_by_message_family() {
+        use cord_mem::Memory;
+        use cord_proto::{DirCtx, WtMeta};
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+        let mut dir = HybridDir::new(DirId(0), &cfg);
+        let mut mem = Memory::new();
+        let mut fx = Vec::new();
+        // A MESI GetM goes to the write-back side (grants M, sends data).
+        let getm = Msg::new(
+            NodeRef::Core(CoreId(1)),
+            NodeRef::Dir(DirId(0)),
+            MsgKind::GetM { tid: 1, line: Addr::new(0x1000) },
+        );
+        dir.on_msg(getm, &mut DirCtx::new(cord_sim::Time::ZERO, &mut mem, &mut fx));
+        assert_eq!(fx.len(), 1, "GetM answered by the MESI directory");
+        // A CORD Relaxed store goes to the CORD side (commits, no reply).
+        fx.clear();
+        let wt = Msg::new(
+            NodeRef::Core(CoreId(1)),
+            NodeRef::Dir(DirId(0)),
+            MsgKind::WtStore {
+                tid: 2,
+                addr: Addr::new(0x2000),
+                bytes: 8,
+                value: 9,
+                ord: StoreOrd::Relaxed,
+                meta: WtMeta::Epoch { ep: 0 },
+                needs_ack: false,
+            },
+        );
+        dir.on_msg(wt, &mut DirCtx::new(cord_sim::Time::ZERO, &mut mem, &mut fx));
+        assert!(fx.is_empty(), "Relaxed write-through commits silently");
+        assert_eq!(mem.peek(Addr::new(0x2000)), 9);
+    }
+}

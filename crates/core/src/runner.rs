@@ -1,0 +1,539 @@
+//! The system runner: cores + directories + interconnect + event loop.
+//!
+//! [`System`] composes the paper's Table 1 machine: one [`Frontend`] +
+//! protocol core engine and one directory engine + memory slice per tile,
+//! wired through the `cord-noc` interconnect, driven by a deterministic
+//! event queue. [`System::run`] executes every program to completion and
+//! returns a [`RunResult`] with the measurements the paper's figures report:
+//! execution time, per-class interconnect traffic, stall attribution, and
+//! peak lookup-table/buffer storage.
+
+use std::collections::HashMap;
+
+use cord_mem::{Addr, Memory};
+use cord_noc::{Noc, TileId, TrafficStats};
+use cord_proto::{
+    CoreCtx, CoreEffect, CoreId, CoreProtoStats, CoreProtocol, DirCtx, DirEffect, DirId,
+    DirProtocol, DirStorage, Msg, NodeRef, Program, StallCause, SystemConfig,
+};
+use cord_sim::{EventQueue, Time};
+
+use crate::any::{AnyCore, AnyDir};
+use crate::frontend::{FeAction, Frontend};
+
+/// Events driving the simulation.
+#[derive(Debug)]
+enum Event {
+    /// A message arrives at its destination.
+    Deliver(Msg),
+    /// A core's scheduled issue step (with its generation stamp).
+    CoreStep { core: u32, gen: u64 },
+    /// A protocol wake for a stalled core.
+    CoreWake { core: u32 },
+    /// A directory retry callback.
+    DirWake { dir: u32 },
+}
+
+struct CoreNode {
+    engine: AnyCore,
+    fe: Frontend,
+}
+
+struct DirNode {
+    engine: AnyDir,
+    mem: Memory,
+}
+
+/// Measurements from one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Latest per-core program completion time ("execution time").
+    pub makespan: Time,
+    /// Time the last event (including protocol drain) was processed.
+    pub drained: Time,
+    /// Interconnect traffic by class and scope.
+    pub traffic: TrafficStats,
+    /// Aggregate stalled time per cause, summed over cores.
+    pub stalls: HashMap<StallCause, Time>,
+    /// Sum of per-core busy spans (finish times), for stall-fraction math.
+    pub core_time_total: Time,
+    /// Per-core protocol storage peaks.
+    pub proc_storages: Vec<CoreProtoStats>,
+    /// Per-directory protocol storage peaks.
+    pub dir_storages: Vec<DirStorage>,
+    /// Final register files (observations).
+    pub regs: Vec<[u64; 16]>,
+    /// Total flag polls across cores.
+    pub polls: u64,
+    /// Events processed.
+    pub events: u64,
+}
+
+impl RunResult {
+    /// Total stalled time for `cause` across all cores.
+    pub fn stall(&self, cause: StallCause) -> Time {
+        self.stalls.get(&cause).copied().unwrap_or(Time::ZERO)
+    }
+
+    /// Largest per-core storage peak (paper Fig. 11 "Proc Storage").
+    pub fn proc_storage_peak(&self) -> CoreProtoStats {
+        self.proc_storages
+            .iter()
+            .copied()
+            .max_by_key(|s| s.peak_total())
+            .unwrap_or_default()
+    }
+
+    /// Largest per-directory storage peak (paper Fig. 11 "Dir Storage").
+    pub fn dir_storage_peak(&self) -> DirStorage {
+        self.dir_storages
+            .iter()
+            .copied()
+            .max_by_key(|s| s.peak_total())
+            .unwrap_or_default()
+    }
+
+    /// Total inter-host bytes (the paper's "traffic" metric).
+    pub fn inter_bytes(&self) -> u64 {
+        self.traffic.inter_bytes()
+    }
+
+    /// Completion time including protocol drain — the right "execution
+    /// time" for fire-and-forget workloads with no consumer to gate the
+    /// makespan (e.g. the §5.3 single-thread microbenchmark).
+    pub fn completion(&self) -> Time {
+        self.makespan.max(self.drained)
+    }
+}
+
+/// A complete simulated multi-PU system.
+///
+/// # Example
+///
+/// ```
+/// use cord::System;
+/// use cord_mem::Addr;
+/// use cord_proto::{Program, ProtocolKind, SystemConfig};
+///
+/// let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+/// // Core 0 (host 0) publishes data + flag into host 1's memory;
+/// // core 8 (host 1, tile 0) polls the flag, then reads the data.
+/// let data = cfg.map.addr_on_host(1, 0);
+/// let flag = cfg.map.addr_on_host(1, 4096);
+/// let producer = Program::build()
+///     .store_relaxed(data, 42)
+///     .store_release(flag, 1)
+///     .finish();
+/// let consumer = Program::build()
+///     .wait_value(flag, 1)
+///     .load(data, 8, cord_proto::LoadOrd::Relaxed, 0)
+///     .finish();
+/// let mut programs = vec![Program::new(); 16];
+/// programs[0] = producer;
+/// programs[8] = consumer;
+/// let result = System::new(cfg, programs).run();
+/// assert_eq!(result.regs[8][0], 42, "consumer observed the data");
+/// ```
+pub struct System {
+    cfg: SystemConfig,
+    queue: EventQueue<Event>,
+    noc: Noc,
+    cores: Vec<CoreNode>,
+    dirs: Vec<DirNode>,
+    max_events: u64,
+}
+
+impl System {
+    /// Builds a system running `cfg.protocol`, loading `programs[i]` onto
+    /// core `i` (missing entries run empty programs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs` has more entries than the system has cores, or
+    /// if `cfg` is internally inconsistent.
+    pub fn new(cfg: SystemConfig, mut programs: Vec<Program>) -> Self {
+        cfg.validate();
+        let tiles = cfg.total_tiles() as usize;
+        assert!(
+            programs.len() <= tiles,
+            "{} programs for {} cores",
+            programs.len(),
+            tiles
+        );
+        programs.resize(tiles, Program::new());
+        let mut queue = EventQueue::new();
+        let cores: Vec<CoreNode> = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let fe = Frontend::new(p, &cfg.costs);
+                let FeAction::StepAt { at, gen } = fe.initial_action();
+                queue.push(at, Event::CoreStep { core: i as u32, gen });
+                CoreNode { engine: AnyCore::new(CoreId(i as u32), &cfg), fe }
+            })
+            .collect();
+        let dirs: Vec<DirNode> = (0..tiles)
+            .map(|i| DirNode {
+                engine: AnyDir::new(DirId(i as u32), &cfg),
+                mem: Memory::new(),
+            })
+            .collect();
+        System {
+            noc: Noc::new(cfg.noc),
+            cfg,
+            queue,
+            cores,
+            dirs,
+            max_events: 500_000_000,
+        }
+    }
+
+    /// Caps the number of processed events (guards against livelock in
+    /// exploratory experiments).
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Reads a committed word from its home directory (test observation).
+    pub fn mem_peek(&self, addr: Addr) -> u64 {
+        let d = self.cfg.map.home_dir(addr) as usize;
+        self.dirs[d].mem.peek(addr)
+    }
+
+    /// Runs to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (event queue drained with unfinished programs) or
+    /// when the event cap is exceeded.
+    pub fn run(&mut self) -> RunResult {
+        let mut events = 0u64;
+        let mut drained = Time::ZERO;
+        while let Some((now, ev)) = self.queue.pop() {
+            events += 1;
+            assert!(
+                events <= self.max_events,
+                "event cap exceeded ({events}): livelock or runaway program?"
+            );
+            drained = now;
+            match ev {
+                Event::Deliver(msg) => match msg.dst {
+                    NodeRef::Core(CoreId(c)) => {
+                        self.with_core(c as usize, now, |fe, eng, fx, acts| {
+                            let _ = fe;
+                            let _ = acts;
+                            let mut ctx = CoreCtx::new(now, fx);
+                            eng.on_msg(msg.src, msg.kind, &mut ctx);
+                        });
+                    }
+                    NodeRef::Dir(DirId(d)) => self.deliver_dir(d as usize, now, msg),
+                },
+                Event::CoreStep { core, gen } => {
+                    self.with_core(core as usize, now, |fe, eng, fx, acts| {
+                        fe.on_step(gen, now, eng, fx, acts);
+                    });
+                }
+                Event::CoreWake { core } => {
+                    self.with_core(core as usize, now, |fe, eng, fx, acts| {
+                        fe.on_wake(now, eng, fx, acts);
+                    });
+                }
+                Event::DirWake { dir } => {
+                    let d = dir as usize;
+                    let mut fx = Vec::new();
+                    {
+                        let node = &mut self.dirs[d];
+                        let mut ctx = DirCtx::new(now, &mut node.mem, &mut fx);
+                        node.engine.retry(&mut ctx);
+                    }
+                    self.apply_dir_effects(d, now, fx);
+                }
+            }
+        }
+        self.check_finished();
+        self.collect(drained, events)
+    }
+
+    /// Runs a closure against core `i`'s frontend+engine, then applies all
+    /// produced effects and scheduling actions.
+    fn with_core(
+        &mut self,
+        i: usize,
+        now: Time,
+        f: impl FnOnce(&mut Frontend, &mut AnyCore, &mut Vec<CoreEffect>, &mut Vec<FeAction>),
+    ) {
+        let mut fx = Vec::new();
+        let mut acts = Vec::new();
+        {
+            let node = &mut self.cores[i];
+            f(&mut node.fe, &mut node.engine, &mut fx, &mut acts);
+        }
+        // Effects may re-enter the frontend (load/op completions), which can
+        // append more effects; index-iterate so appends are seen.
+        let mut k = 0;
+        while k < fx.len() {
+            match fx[k].clone() {
+                CoreEffect::Send { msg, at } => self.route(at.max(now), msg),
+                CoreEffect::Wake(t) => {
+                    self.queue
+                        .push(t.max(now), Event::CoreWake { core: i as u32 });
+                }
+                CoreEffect::LoadDone { value } => {
+                    self.cores[i].fe.on_load_done(value, now, &mut acts);
+                }
+                CoreEffect::OpDone => {
+                    self.cores[i].fe.on_op_done(now, &mut acts);
+                }
+            }
+            k += 1;
+        }
+        for FeAction::StepAt { at, gen } in acts {
+            self.queue
+                .push(at.max(now), Event::CoreStep { core: i as u32, gen });
+        }
+    }
+
+    fn deliver_dir(&mut self, d: usize, now: Time, msg: Msg) {
+        let mut fx = Vec::new();
+        {
+            let node = &mut self.dirs[d];
+            let mut ctx = DirCtx::new(now, &mut node.mem, &mut fx);
+            node.engine.on_msg(msg, &mut ctx);
+        }
+        self.apply_dir_effects(d, now, fx);
+    }
+
+    fn apply_dir_effects(&mut self, d: usize, now: Time, fx: Vec<DirEffect>) {
+        for e in fx {
+            match e {
+                DirEffect::Send { msg, at } => self.route(at.max(now), msg),
+                DirEffect::Wake(t) => {
+                    self.queue.push(t.max(now), Event::DirWake { dir: d as u32 });
+                }
+            }
+        }
+    }
+
+    /// Routes a message through the interconnect and schedules its delivery.
+    fn route(&mut self, depart: Time, msg: Msg) {
+        let tph = self.cfg.noc.tiles_per_host;
+        let src = TileId::from_flat(msg.src.tile_flat(), tph);
+        let dst = TileId::from_flat(msg.dst.tile_flat(), tph);
+        let arrive = self.noc.send(depart, src, dst, msg.bytes, msg.class());
+        self.queue.push(arrive, Event::Deliver(msg));
+    }
+
+    fn check_finished(&self) {
+        for (i, node) in self.cores.iter().enumerate() {
+            assert!(
+                node.fe.is_done(),
+                "deadlock: core {i} stuck at pc {} on {:?} (engine quiesced: {})",
+                node.fe.pc(),
+                node.fe.current_op().map(|o| o.mnemonic()),
+                node.engine.quiesced()
+            );
+            debug_assert!(node.engine.quiesced(), "core {i} engine not quiesced at drain");
+        }
+    }
+
+    fn collect(&self, drained: Time, events: u64) -> RunResult {
+        let mut stalls: HashMap<StallCause, Time> = HashMap::new();
+        let mut makespan = Time::ZERO;
+        let mut core_time_total = Time::ZERO;
+        let mut polls = 0;
+        for node in &self.cores {
+            for (cause, t) in node.fe.stall_totals() {
+                *stalls.entry(cause).or_insert(Time::ZERO) += t;
+            }
+            if let Some(f) = node.fe.finish_time() {
+                makespan = makespan.max(f);
+                core_time_total += f;
+            }
+            polls += node.fe.polls();
+        }
+        RunResult {
+            makespan,
+            drained,
+            traffic: *self.noc.stats(),
+            stalls,
+            core_time_total,
+            proc_storages: self.cores.iter().map(|c| c.engine.stats()).collect(),
+            dir_storages: self.dirs.iter().map(|d| d.engine.storage()).collect(),
+            regs: self.cores.iter().map(|c| *c.fe.regs()).collect(),
+            polls,
+            events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_noc::MsgClass;
+    use cord_proto::{ConsistencyModel, LoadOrd, ProtocolKind};
+
+    /// Producer on host 0 writes `n` relaxed words + release flag into host
+    /// 1's memory; consumer on host 1 polls the flag then reads a word.
+    fn producer_consumer(cfg: &SystemConfig, n: u64) -> Vec<Program> {
+        let data = cfg.map.addr_on_host(1, 0);
+        let flag = cfg.map.addr_on_host(1, 1 << 20);
+        let producer = {
+            // Stride of 8 lines keeps every store homed on slice 0 of host 1
+            // (single-directory communication).
+            let mut b = Program::build();
+            for i in 0..n {
+                b = b.store(data.offset(i * 512), 64, i + 1, cord_proto::StoreOrd::Relaxed);
+            }
+            b.store_release(flag, 1).finish()
+        };
+        let consumer = Program::build()
+            .wait_value(flag, 1)
+            .load(data, 8, LoadOrd::Relaxed, 0)
+            .finish();
+        let tiles = cfg.total_tiles() as usize;
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = producer;
+        programs[cfg.noc.tiles_per_host as usize] = consumer;
+        programs
+    }
+
+    fn run(kind: ProtocolKind) -> RunResult {
+        let cfg = SystemConfig::cxl(kind, 2);
+        let programs = producer_consumer(&cfg, 16);
+        System::new(cfg, programs).run()
+    }
+
+    #[test]
+    fn all_protocols_deliver_the_data() {
+        for kind in [
+            ProtocolKind::Cord,
+            ProtocolKind::So,
+            ProtocolKind::Mp,
+            ProtocolKind::Wb,
+            ProtocolKind::Seq { bits: 8 },
+        ] {
+            let r = run(kind);
+            assert_eq!(r.regs[8][0], 1, "{kind:?}: consumer must see data");
+            assert!(r.makespan > Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn cord_beats_so_on_latency_and_traffic() {
+        let cord = run(ProtocolKind::Cord);
+        let so = run(ProtocolKind::So);
+        assert!(
+            cord.makespan < so.makespan,
+            "CORD {} vs SO {}",
+            cord.makespan,
+            so.makespan
+        );
+        assert!(
+            cord.inter_bytes() < so.inter_bytes(),
+            "CORD {} B vs SO {} B",
+            cord.inter_bytes(),
+            so.inter_bytes()
+        );
+        // SO's extra traffic is exactly acknowledgments.
+        assert!(so.traffic[MsgClass::Ack].inter_msgs >= 17); // 16 relaxed + release
+        assert_eq!(cord.traffic[MsgClass::Ack].inter_msgs, 1); // release only
+    }
+
+    #[test]
+    fn cord_close_to_mp() {
+        let cord = run(ProtocolKind::Cord);
+        let mp = run(ProtocolKind::Mp);
+        // Single-destination communication: no notifications, so CORD's only
+        // extra cost is the release metadata + ack.
+        let gap = cord.inter_bytes() as f64 / mp.inter_bytes() as f64;
+        assert!(gap < 1.10, "CORD within 10% of MP traffic, got {gap}");
+    }
+
+    #[test]
+    fn so_release_stall_is_visible() {
+        let so = run(ProtocolKind::So);
+        assert!(
+            so.stall(StallCause::AckWait) > Time::ZERO,
+            "source ordering must stall on acknowledgments"
+        );
+        let cord = run(ProtocolKind::Cord);
+        assert_eq!(cord.stall(StallCause::AckWait), Time::ZERO);
+    }
+
+    #[test]
+    fn multi_directory_release_consistency_under_cord() {
+        // Producer writes data on host 1 AND host 2, flag on host 3.
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+        let d1 = cfg.map.addr_on_host(1, 0);
+        let d2 = cfg.map.addr_on_host(2, 0);
+        let flag = cfg.map.addr_on_host(3, 0);
+        let tiles = cfg.total_tiles() as usize;
+        let tph = cfg.noc.tiles_per_host as usize;
+        let producer = Program::build()
+            .store_relaxed(d1, 11)
+            .store_relaxed(d2, 22)
+            .store_release(flag, 1)
+            .finish();
+        let consumer = Program::build()
+            .wait_value(flag, 1)
+            .load(d1, 8, LoadOrd::Relaxed, 0)
+            .load(d2, 8, LoadOrd::Relaxed, 1)
+            .finish();
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = producer;
+        programs[3 * tph] = consumer;
+        let mut sys = System::new(cfg, programs);
+        let r = sys.run();
+        assert_eq!(r.regs[3 * tph][0], 11);
+        assert_eq!(r.regs[3 * tph][1], 22);
+        // The release crossed directories: notifications must have flowed.
+        assert_eq!(r.traffic[MsgClass::ReqNotify].inter_msgs, 2);
+        assert_eq!(r.traffic[MsgClass::Notify].inter_msgs, 2);
+    }
+
+    #[test]
+    fn tso_mode_runs_and_cord_outruns_so() {
+        let mk = |kind| {
+            let cfg = SystemConfig::cxl(kind, 2).with_model(ConsistencyModel::Tso);
+            let programs = producer_consumer(&cfg, 16);
+            System::new(cfg, programs).run()
+        };
+        let cord = mk(ProtocolKind::Cord);
+        let so = mk(ProtocolKind::So);
+        assert_eq!(cord.regs[8][0], 1);
+        assert_eq!(so.regs[8][0], 1);
+        assert!(
+            cord.makespan * 2 < so.makespan,
+            "directory ordering should crush serialized TSO source ordering: {} vs {}",
+            cord.makespan,
+            so.makespan
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = run(ProtocolKind::Cord);
+        let b = run(ProtocolKind::Cord);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.inter_bytes(), b.inter_bytes());
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    #[should_panic(expected = "event cap exceeded")]
+    fn unsatisfied_poll_is_reported() {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+        let flag = cfg.map.addr_on_host(1, 0);
+        let tiles = cfg.total_tiles() as usize;
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = Program::build().wait_value(flag, 1).finish();
+        let mut sys = System::new(cfg, programs);
+        sys.set_max_events(50_000);
+        sys.run(); // poll spins until the event cap...
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests for the CORD engines: protocol invariants over random
+//! store/release interleavings driven directly through the engine API.
+
+use proptest::prelude::*;
+
+use cord::{CordCore, CordDir, LookupTable};
+use cord_mem::{Addr, Memory};
+use cord_proto::{
+    CoreCtx, CoreEffect, CoreId, CoreProtocol, DirCtx, DirEffect, DirId, DirProtocol, Issue, Msg,
+    MsgKind, Op, ProtocolKind, StoreOrd, SystemConfig,
+};
+use cord_sim::Time;
+
+/// host 0, slice `s`, line k — deterministic single-host addressing.
+fn addr(s: u64, k: u64) -> Addr {
+    Addr::new((k * 8 + s) * 64)
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Relaxed { slice: u64, k: u64 },
+    Release { slice: u64, k: u64 },
+    DeliverAck, // deliver the oldest in-flight ack
+}
+
+fn steps() -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u64..4, 0u64..8).prop_map(|(slice, k)| Step::Relaxed { slice, k }),
+            (0u64..4, 0u64..8).prop_map(|(slice, k)| Step::Release { slice, k }),
+            Just(Step::DeliverAck),
+        ],
+        1..120,
+    )
+}
+
+/// Drives one CordCore and its directories synchronously, queueing acks.
+struct Rig {
+    core: CordCore,
+    dirs: Vec<CordDir>,
+    mems: Vec<Memory>,
+    acks: Vec<Msg>,
+    now: Time,
+    committed_releases: u64,
+    issued_releases: u64,
+}
+
+impl Rig {
+    fn new(cfg: &SystemConfig) -> Self {
+        Rig {
+            core: CordCore::new(CoreId(0), cfg),
+            dirs: (0..8).map(|d| CordDir::new(DirId(d), cfg)).collect(),
+            mems: (0..8).map(|_| Memory::new()).collect(),
+            acks: Vec::new(),
+            now: Time::ZERO,
+            committed_releases: 0,
+            issued_releases: 0,
+        }
+    }
+
+    fn issue(&mut self, op: &Op) -> Issue {
+        self.now = self.now + Time::from_ns(1);
+        let mut fx = Vec::new();
+        let r = {
+            let mut ctx = CoreCtx::new(self.now, &mut fx);
+            self.core.issue(op, &mut ctx)
+        };
+        for e in fx {
+            if let CoreEffect::Send { msg, .. } = e {
+                self.deliver_to_dir(msg);
+            }
+        }
+        r
+    }
+
+    fn deliver_to_dir(&mut self, msg: Msg) {
+        let d = msg.dst.tile_flat() as usize;
+        let mut fx = Vec::new();
+        {
+            let mut ctx = DirCtx::new(self.now, &mut self.mems[d], &mut fx);
+            self.dirs[d].on_msg(msg, &mut ctx);
+        }
+        for e in fx {
+            if let DirEffect::Send { msg, .. } = e {
+                match msg.dst {
+                    cord_proto::NodeRef::Core(_) => {
+                        if matches!(msg.kind, MsgKind::WtAck { .. }) {
+                            self.committed_releases += 1;
+                        }
+                        self.acks.push(msg);
+                    }
+                    cord_proto::NodeRef::Dir(_) => self.deliver_to_dir(msg),
+                }
+            }
+        }
+    }
+
+    fn deliver_ack(&mut self) {
+        if self.acks.is_empty() {
+            return;
+        }
+        let msg = self.acks.remove(0);
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(self.now, &mut fx);
+        self.core.on_msg(msg.src, msg.kind, &mut ctx);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Engine invariants over arbitrary interleavings:
+    /// * the unacked table never exceeds its capacity;
+    /// * stalled Releases always become issuable after acks drain;
+    /// * every issued Release eventually commits and is acked exactly once;
+    /// * directory storage is fully reclaimed at quiescence.
+    #[test]
+    fn cord_engine_invariants(script in steps()) {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 1);
+        let cap = cfg.tables.proc_unacked;
+        let mut rig = Rig::new(&cfg);
+        for step in script {
+            match step {
+                Step::Relaxed { slice, k } => {
+                    let op = Op::Store { addr: addr(slice, k), bytes: 8, value: 1, ord: StoreOrd::Relaxed };
+                    // Relaxed stores may stall only on table bounds; retry
+                    // after draining an ack.
+                    if rig.issue(&op) == Issue::Done {
+                        continue;
+                    }
+                    rig.deliver_ack();
+                }
+                Step::Release { slice, k } => {
+                    let op = Op::Store { addr: addr(slice, k), bytes: 8, value: 2, ord: StoreOrd::Release };
+                    if rig.issue(&op) == Issue::Done {
+                        rig.issued_releases += 1;
+                    }
+                }
+                Step::DeliverAck => rig.deliver_ack(),
+            }
+            prop_assert!(rig.core.unacked_len() <= cap, "unacked table overflow");
+        }
+        // Drain all remaining acknowledgments.
+        while !rig.acks.is_empty() {
+            rig.deliver_ack();
+        }
+        prop_assert!(rig.core.quiesced(), "core must quiesce after drain");
+        prop_assert_eq!(rig.committed_releases, rig.issued_releases, "every release acked once");
+        // Per-epoch directory entries fully reclaimed: only largestEp stays.
+        for d in &rig.dirs {
+            prop_assert_eq!(d.buffered_bytes(), 0, "recycled buffer drained");
+        }
+    }
+
+    /// LookupTable never exceeds capacity and its peak is monotone.
+    #[test]
+    fn lookup_table_bounds(ops in prop::collection::vec((0u8..16, any::<bool>()), 1..200), cap in 1usize..12) {
+        let mut t: LookupTable<u8, u8> = LookupTable::new(cap, 4);
+        let mut peak = 0;
+        for (k, insert) in ops {
+            if insert {
+                let _ = t.try_insert(k, 0);
+            } else {
+                t.remove(&k);
+            }
+            prop_assert!(t.len() <= cap);
+            prop_assert!(t.peak_bytes() >= peak, "peak regressed");
+            peak = t.peak_bytes();
+            prop_assert!(t.bytes() <= t.peak_bytes());
+        }
+    }
+}

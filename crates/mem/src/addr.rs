@@ -1,0 +1,298 @@
+//! Physical addresses and the static home mapping.
+//!
+//! The simulated system (paper Table 1 / Fig. 6 right) statically partitions
+//! the global physical address space across CPU hosts (4 GB per host), and
+//! line-interleaves each host's share across its LLC slices. Every cache line
+//! therefore has exactly one *home* directory, co-located with one LLC slice.
+
+use std::fmt;
+
+/// Cache-line size in bytes (64 B, paper Table 1).
+pub const LINE_BYTES: u64 = 64;
+/// Machine word size in bytes (8 B); the granularity of [`crate::Memory`].
+pub const WORD_BYTES: u64 = 8;
+
+/// A physical byte address.
+///
+/// # Example
+///
+/// ```
+/// use cord_mem::{Addr, LINE_BYTES};
+///
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.line().base().raw(), 0x1234 / LINE_BYTES * LINE_BYTES);
+/// assert_eq!(a.offset_in_line(), 0x1234 % LINE_BYTES);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    pub const fn new(raw: u64) -> Self {
+        Addr(raw)
+    }
+
+    /// The raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_BYTES)
+    }
+
+    /// Byte offset within the containing cache line.
+    pub const fn offset_in_line(self) -> u64 {
+        self.0 % LINE_BYTES
+    }
+
+    /// The address rounded down to its containing word.
+    pub const fn word(self) -> Addr {
+        Addr(self.0 / WORD_BYTES * WORD_BYTES)
+    }
+
+    /// This address displaced by `bytes`.
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-line number (byte address divided by [`LINE_BYTES`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line number directly.
+    pub const fn new(n: u64) -> Self {
+        LineAddr(n)
+    }
+
+    /// The raw line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// First byte address of the line.
+    pub const fn base(self) -> Addr {
+        Addr(self.0 * LINE_BYTES)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line({:#x})", self.0)
+    }
+}
+
+/// Static mapping from addresses to their home host and LLC slice.
+///
+/// Hosts own contiguous `bytes_per_host` ranges; within a host, lines are
+/// interleaved round-robin across `slices_per_host` LLC slices.
+///
+/// # Example
+///
+/// ```
+/// use cord_mem::AddressMap;
+///
+/// let map = AddressMap::new(2, 4, 1 << 20);
+/// let a = map.addr_on_host(1, 64 * 5); // line 5 of host 1
+/// assert_eq!(map.home_host(a), 1);
+/// assert_eq!(map.home_slice(a), 5 % 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    hosts: u32,
+    slices_per_host: u32,
+    bytes_per_host: u64,
+}
+
+impl AddressMap {
+    /// Creates a map for `hosts` hosts, each with `slices_per_host` LLC
+    /// slices and owning `bytes_per_host` bytes of the address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `bytes_per_host` is not
+    /// line-aligned.
+    pub fn new(hosts: u32, slices_per_host: u32, bytes_per_host: u64) -> Self {
+        assert!(hosts > 0 && slices_per_host > 0, "empty topology");
+        assert!(
+            bytes_per_host > 0 && bytes_per_host.is_multiple_of(LINE_BYTES),
+            "bytes_per_host must be a positive multiple of the line size"
+        );
+        AddressMap {
+            hosts,
+            slices_per_host,
+            bytes_per_host,
+        }
+    }
+
+    /// Number of hosts in the system.
+    pub fn hosts(&self) -> u32 {
+        self.hosts
+    }
+
+    /// Number of LLC slices (directories) per host.
+    pub fn slices_per_host(&self) -> u32 {
+        self.slices_per_host
+    }
+
+    /// Bytes of address space owned by each host.
+    pub fn bytes_per_host(&self) -> u64 {
+        self.bytes_per_host
+    }
+
+    /// Total number of directories in the system.
+    pub fn total_slices(&self) -> u32 {
+        self.hosts * self.slices_per_host
+    }
+
+    /// The host owning `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` lies beyond the last host's partition.
+    pub fn home_host(&self, addr: Addr) -> u32 {
+        let host = (addr.raw() / self.bytes_per_host) as u32;
+        assert!(host < self.hosts, "address {addr:?} outside address space");
+        host
+    }
+
+    /// The LLC slice (within its home host) owning `addr`.
+    pub fn home_slice(&self, addr: Addr) -> u32 {
+        let within = addr.raw() % self.bytes_per_host;
+        ((within / LINE_BYTES) % self.slices_per_host as u64) as u32
+    }
+
+    /// Global directory index (host-major) owning `addr`.
+    pub fn home_dir(&self, addr: Addr) -> u32 {
+        self.home_host(addr) * self.slices_per_host + self.home_slice(addr)
+    }
+
+    /// An address at byte `offset` within `host`'s partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` or `offset` is out of range.
+    pub fn addr_on_host(&self, host: u32, offset: u64) -> Addr {
+        assert!(host < self.hosts, "host {host} out of range");
+        assert!(offset < self.bytes_per_host, "offset {offset} out of range");
+        Addr::new(host as u64 * self.bytes_per_host + offset)
+    }
+
+    /// An address on `host` whose home slice is exactly `slice`, at the
+    /// `k`-th line owned by that slice (plus `byte` within the line).
+    ///
+    /// Useful for litmus tests and microbenchmarks that need precise control
+    /// over which directory orders an access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` or the resulting offset is out of range.
+    pub fn addr_on_slice(&self, host: u32, slice: u32, k: u64, byte: u64) -> Addr {
+        assert!(slice < self.slices_per_host, "slice {slice} out of range");
+        assert!(byte < LINE_BYTES, "byte {byte} out of range");
+        let line_in_host = k * self.slices_per_host as u64 + slice as u64;
+        self.addr_on_host(host, line_in_host * LINE_BYTES + byte)
+    }
+}
+
+impl Default for AddressMap {
+    /// The paper's Table 1 system: 8 hosts × 8 slices × 4 GB.
+    fn default() -> Self {
+        AddressMap::new(8, 8, 4 << 30)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_line_and_word() {
+        let a = Addr::new(0x1003);
+        assert_eq!(a.line(), LineAddr::new(0x1003 / 64));
+        assert_eq!(a.line().base(), Addr::new(0x1000));
+        assert_eq!(a.offset_in_line(), 3);
+        assert_eq!(a.word(), Addr::new(0x1000));
+        assert_eq!(a.offset(5), Addr::new(0x1008));
+        assert_eq!(Addr::from(7u64).raw(), 7);
+    }
+
+    #[test]
+    fn home_mapping_partitions_hosts() {
+        let map = AddressMap::new(4, 2, 1 << 16);
+        for host in 0..4 {
+            let a = map.addr_on_host(host, 0);
+            assert_eq!(map.home_host(a), host);
+            let last = map.addr_on_host(host, (1 << 16) - 64);
+            assert_eq!(map.home_host(last), host);
+        }
+    }
+
+    #[test]
+    fn slices_interleave_by_line() {
+        let map = AddressMap::new(2, 4, 1 << 16);
+        for line in 0u64..16 {
+            let a = map.addr_on_host(0, line * LINE_BYTES);
+            assert_eq!(map.home_slice(a), (line % 4) as u32);
+            // all bytes of a line map to the same slice
+            let b = map.addr_on_host(0, line * LINE_BYTES + 63);
+            assert_eq!(map.home_slice(b), map.home_slice(a));
+        }
+    }
+
+    #[test]
+    fn home_dir_is_host_major() {
+        let map = AddressMap::new(3, 4, 1 << 16);
+        let a = map.addr_on_host(2, 5 * LINE_BYTES);
+        assert_eq!(map.home_dir(a), 2 * 4 + 1);
+        assert_eq!(map.total_slices(), 12);
+    }
+
+    #[test]
+    fn addr_on_slice_targets_exact_directory() {
+        let map = AddressMap::default();
+        for host in 0..8 {
+            for slice in 0..8 {
+                for k in 0..3 {
+                    let a = map.addr_on_slice(host, slice, k, 8);
+                    assert_eq!(map.home_host(a), host);
+                    assert_eq!(map.home_slice(a), slice);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside address space")]
+    fn out_of_space_panics() {
+        let map = AddressMap::new(2, 2, 1 << 16);
+        map.home_host(Addr::new(2 << 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "host 9 out of range")]
+    fn bad_host_panics() {
+        AddressMap::new(2, 2, 1 << 16).addr_on_host(9, 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Set-associative cache tag/state arrays with LRU replacement.
+//!
+//! Used for the private L1/L2 caches of the write-back (MESI) baseline and
+//! reusable for any line-granularity lookup structure. The array stores a
+//! caller-supplied per-line state `S` (e.g. a MESI state) plus a dirty bit;
+//! data values live in the directory-side [`crate::Memory`], so the cache
+//! tracks presence/permission, which is all the timing and traffic models
+//! need, while dirty lines carry their pending word values.
+
+use std::collections::HashMap;
+
+use crate::addr::LineAddr;
+
+/// A line evicted to make room for an insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eviction<S> {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// The evicted line's protocol state.
+    pub state: S,
+    /// Whether the line was dirty (must be written back).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Way<S> {
+    line: LineAddr,
+    state: S,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// A set-associative, LRU cache array holding per-line state `S`.
+///
+/// # Example
+///
+/// ```
+/// use cord_mem::{CacheArray, LineAddr};
+///
+/// // 1 set × 2 ways
+/// let mut c: CacheArray<char> = CacheArray::new(1, 2);
+/// assert!(c.insert(LineAddr::new(0), 'm').is_none());
+/// assert!(c.insert(LineAddr::new(2), 'e').is_none());
+/// // A third line evicts the LRU entry (line 0).
+/// let ev = c.insert(LineAddr::new(4), 's').unwrap();
+/// assert_eq!(ev.line, LineAddr::new(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray<S> {
+    sets: Vec<Vec<Way<S>>>,
+    ways: usize,
+    tick: u64,
+    // line -> set index cache is implicit (modulo); this maps nothing extra.
+    hits: u64,
+    misses: u64,
+    index: HashMap<LineAddr, ()>, // fast containment check across sets
+}
+
+impl<S> CacheArray<S> {
+    /// Creates an array with `sets` sets of `ways` ways each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache must have at least one way");
+        CacheArray {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            index: HashMap::new(),
+        }
+    }
+
+    /// Creates an array sized from a capacity in bytes and a line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn with_capacity_bytes(capacity: u64, line_bytes: u64, ways: usize) -> Self {
+        let lines = capacity / line_bytes;
+        assert!(lines > 0 && capacity.is_multiple_of(line_bytes), "bad capacity");
+        assert!((lines as usize).is_multiple_of(ways), "ways must divide line count");
+        Self::new(lines as usize / ways, ways)
+    }
+
+    fn set_of(&self, line: LineAddr) -> usize {
+        // Hash the index (as real caches do) so strided access patterns —
+        // e.g. slice-local regions striding whole interleave periods —
+        // don't alias into a handful of sets.
+        let mut x = line.raw();
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up `line`, updating LRU and hit/miss statistics.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut S> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line);
+        let found = self.sets[set].iter_mut().find(|w| w.line == line);
+        match found {
+            Some(w) => {
+                w.last_use = tick;
+                self.hits += 1;
+                Some(&mut w.state)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up `line` without perturbing LRU or statistics.
+    pub fn peek(&self, line: LineAddr) -> Option<&S> {
+        let set = self.set_of(line);
+        self.sets[set].iter().find(|w| w.line == line).map(|w| &w.state)
+    }
+
+    /// Whether `line` is present.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.index.contains_key(&line)
+    }
+
+    /// Marks `line` dirty; returns `false` if the line is absent.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            w.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Clears `line`'s dirty bit (e.g. after its data was written back);
+    /// returns `false` if the line is absent.
+    pub fn clear_dirty(&mut self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            w.dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `line` is present and dirty.
+    pub fn is_dirty(&self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        self.sets[set]
+            .iter()
+            .any(|w| w.line == line && w.dirty)
+    }
+
+    /// Inserts `line` with `state` (clean), evicting the LRU way of its set
+    /// if the set is full. Returns the eviction, if any.
+    ///
+    /// If the line is already present its state is replaced in place and no
+    /// eviction occurs.
+    pub fn insert(&mut self, line: LineAddr, state: S) -> Option<Eviction<S>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.ways;
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(w) = set.iter_mut().find(|w| w.line == line) {
+            w.state = state;
+            w.last_use = tick;
+            return None;
+        }
+        let evicted = if set.len() == ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_use)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            let victim = set.swap_remove(lru);
+            self.index.remove(&victim.line);
+            Some(Eviction {
+                line: victim.line,
+                state: victim.state,
+                dirty: victim.dirty,
+            })
+        } else {
+            None
+        };
+        set.push(Way {
+            line,
+            state,
+            dirty: false,
+            last_use: tick,
+        });
+        self.index.insert(line, ());
+        evicted
+    }
+
+    /// Removes `line` (e.g. on invalidation), returning its state and dirty
+    /// bit if it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<(S, bool)> {
+        let set_idx = self.set_of(line);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|w| w.line == line)?;
+        let w = set.swap_remove(pos);
+        self.index.remove(&line);
+        Some((w.state, w.dirty))
+    }
+
+    /// Total lookups that hit.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Iterates over all resident lines and their states.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &S)> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|w| (w.line, &w.state)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c: CacheArray<u8> = CacheArray::new(4, 2);
+        c.insert(LineAddr::new(10), 1);
+        assert_eq!(c.lookup(LineAddr::new(10)).copied(), Some(1));
+        assert!(c.contains(LineAddr::new(10)));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c: CacheArray<u8> = CacheArray::new(1, 2);
+        c.insert(LineAddr::new(1), 1);
+        c.insert(LineAddr::new(2), 2);
+        c.lookup(LineAddr::new(1)); // make line 2 the LRU
+        let ev = c.insert(LineAddr::new(3), 3).unwrap();
+        assert_eq!(ev.line, LineAddr::new(2));
+        assert!(!ev.dirty);
+        assert!(c.contains(LineAddr::new(1)));
+        assert!(c.contains(LineAddr::new(3)));
+    }
+
+    #[test]
+    fn dirty_propagates_to_eviction() {
+        let mut c: CacheArray<u8> = CacheArray::new(1, 1);
+        c.insert(LineAddr::new(5), 0);
+        assert!(c.mark_dirty(LineAddr::new(5)));
+        assert!(c.is_dirty(LineAddr::new(5)));
+        let ev = c.insert(LineAddr::new(6), 0).unwrap();
+        assert!(ev.dirty);
+        assert!(!c.mark_dirty(LineAddr::new(5)));
+    }
+
+    #[test]
+    fn reinsert_replaces_state_in_place() {
+        let mut c: CacheArray<u8> = CacheArray::new(1, 1);
+        c.insert(LineAddr::new(7), 1);
+        assert!(c.insert(LineAddr::new(7), 9).is_none());
+        assert_eq!(c.peek(LineAddr::new(7)).copied(), Some(9));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c: CacheArray<u8> = CacheArray::new(2, 2);
+        c.insert(LineAddr::new(0), 4);
+        c.mark_dirty(LineAddr::new(0));
+        assert_eq!(c.invalidate(LineAddr::new(0)), Some((4, true)));
+        assert_eq!(c.invalidate(LineAddr::new(0)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn geometry_from_bytes() {
+        // 64 KB, 64 B lines, 2-way => 512 sets (paper's L1)
+        let c: CacheArray<()> = CacheArray::with_capacity_bytes(64 << 10, 64, 2);
+        assert_eq!(c.sets.len(), 512);
+    }
+
+    #[test]
+    fn iter_sees_all_lines() {
+        let mut c: CacheArray<u8> = CacheArray::new(8, 8);
+        for i in 0..8 {
+            c.insert(LineAddr::new(i), i as u8);
+        }
+        let mut lines: Vec<u64> = c.iter().map(|(l, _)| l.raw()).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        let _: CacheArray<()> = CacheArray::new(0, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Memory-system substrate for the CORD multi-PU simulator.
+//!
+//! Provides the pieces of the memory hierarchy that every coherence protocol
+//! in the workspace shares:
+//!
+//! * [`Addr`] / [`LineAddr`] — typed physical addresses,
+//! * [`AddressMap`] — the static partitioning of the global address space
+//!   across hosts and the line-interleaving across each host's LLC slices
+//!   (paper §5.1, Fig. 6 right),
+//! * [`CacheArray`] — a set-associative, LRU cache tag/state array used for
+//!   the private L1/L2 caches of the write-back (MESI) baseline,
+//! * [`Memory`] — word-granularity backing storage held by each directory.
+//!
+//! # Example
+//!
+//! ```
+//! use cord_mem::AddressMap;
+//!
+//! let map = AddressMap::new(8, 8, 4 << 30); // 8 hosts, 8 slices each, 4 GB/host
+//! let a = map.addr_on_host(3, 0x1000);
+//! assert_eq!(map.home_host(a), 3);
+//! assert!(map.home_slice(a) < 8);
+//! ```
+
+mod addr;
+mod cache;
+mod memory;
+
+pub use addr::{Addr, AddressMap, LineAddr, LINE_BYTES, WORD_BYTES};
+pub use cache::{CacheArray, Eviction};
+pub use memory::Memory;

@@ -1,0 +1,155 @@
+//! Word-granularity backing storage.
+//!
+//! Each directory/LLC slice owns the authoritative copy of the words it
+//! homes. The simulator tracks data values (not just timing) so that
+//! producer-consumer polling, litmus tests, and protocol correctness checks
+//! observe real committed state. Unwritten words read as zero, matching the
+//! "all variables initially zero" convention of litmus tests.
+
+use std::collections::HashMap;
+
+use crate::addr::{Addr, LineAddr};
+
+/// Sparse word-addressed memory; unwritten words are zero.
+///
+/// # Example
+///
+/// ```
+/// use cord_mem::{Addr, Memory};
+///
+/// let mut m = Memory::new();
+/// assert_eq!(m.load(Addr::new(0x40)), 0);
+/// m.store(Addr::new(0x40), 7);
+/// assert_eq!(m.load(Addr::new(0x40)), 7);
+/// // sub-word addresses alias their containing word
+/// assert_eq!(m.load(Addr::new(0x44)), 7);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Memory {
+    words: HashMap<Addr, u64>,
+    stores: u64,
+    loads: u64,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `value` at the word containing `addr`.
+    pub fn store(&mut self, addr: Addr, value: u64) {
+        self.stores += 1;
+        self.words.insert(addr.word(), value);
+    }
+
+    /// Loads the word containing `addr` (zero if never written).
+    pub fn load(&mut self, addr: Addr) -> u64 {
+        self.loads += 1;
+        self.words.get(&addr.word()).copied().unwrap_or(0)
+    }
+
+    /// Atomically adds `add` to the word containing `addr`, returning the
+    /// previous value.
+    pub fn fetch_add(&mut self, addr: Addr, add: u64) -> u64 {
+        let old = self.load(addr);
+        self.store(addr, old.wrapping_add(add));
+        old
+    }
+
+    /// Reads without updating access statistics.
+    pub fn peek(&self, addr: Addr) -> u64 {
+        self.words.get(&addr.word()).copied().unwrap_or(0)
+    }
+
+    /// Total stores performed.
+    pub fn store_count(&self) -> u64 {
+        self.stores
+    }
+
+    /// Total loads performed.
+    pub fn load_count(&self) -> u64 {
+        self.loads
+    }
+
+    /// Number of distinct words ever written.
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Word values of `line` that have ever been written, as (address,
+    /// value) pairs in address order. Unwritten words are omitted (they are
+    /// zero).
+    pub fn line_values(&self, line: LineAddr) -> Vec<(Addr, u64)> {
+        let base = line.base();
+        (0..crate::addr::LINE_BYTES / crate::addr::WORD_BYTES)
+            .filter_map(|i| {
+                let a = base.offset(i * crate::addr::WORD_BYTES);
+                self.words.get(&a).map(|&v| (a, v))
+            })
+            .collect()
+    }
+
+    /// Applies a set of word writes (e.g. a write-back from an owner cache).
+    pub fn apply(&mut self, values: &[(Addr, u64)]) {
+        for &(a, v) in values {
+            self.store(a, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_initialized() {
+        let mut m = Memory::new();
+        assert_eq!(m.load(Addr::new(0)), 0);
+        assert_eq!(m.peek(Addr::new(12345)), 0);
+    }
+
+    #[test]
+    fn store_load_roundtrip() {
+        let mut m = Memory::new();
+        m.store(Addr::new(0x100), 42);
+        assert_eq!(m.load(Addr::new(0x100)), 42);
+        assert_eq!(m.peek(Addr::new(0x107)), 42); // same word
+        assert_eq!(m.peek(Addr::new(0x108)), 0); // next word
+    }
+
+    #[test]
+    fn line_values_and_apply() {
+        let mut m = Memory::new();
+        m.store(Addr::new(0x48), 2);
+        m.store(Addr::new(0x40), 1);
+        let vals = m.line_values(LineAddr::new(1));
+        assert_eq!(vals, vec![(Addr::new(0x40), 1), (Addr::new(0x48), 2)]);
+        assert!(m.line_values(LineAddr::new(2)).is_empty());
+
+        let mut m2 = Memory::new();
+        m2.apply(&vals);
+        assert_eq!(m2.peek(Addr::new(0x40)), 1);
+        assert_eq!(m2.peek(Addr::new(0x48)), 2);
+    }
+
+    #[test]
+    fn fetch_add_returns_old() {
+        let mut m = Memory::new();
+        assert_eq!(m.fetch_add(Addr::new(0x40), 5), 0);
+        assert_eq!(m.fetch_add(Addr::new(0x40), 3), 5);
+        assert_eq!(m.peek(Addr::new(0x40)), 8);
+    }
+
+    #[test]
+    fn counters_and_footprint() {
+        let mut m = Memory::new();
+        m.store(Addr::new(0), 1);
+        m.store(Addr::new(8), 2);
+        m.store(Addr::new(8), 3);
+        m.load(Addr::new(0));
+        assert_eq!(m.store_count(), 3);
+        assert_eq!(m.load_count(), 1);
+        assert_eq!(m.footprint_words(), 2);
+    }
+}

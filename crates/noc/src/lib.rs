@@ -1,0 +1,39 @@
+//! Interconnect model for the CORD multi-PU simulator.
+//!
+//! Models the paper's Table 1 system fabric:
+//!
+//! * each CPU host is a 2×4 **mesh** of tiles (core + co-located LLC slice /
+//!   directory), XY-routed with a fixed per-hop latency;
+//! * hosts connect through a single **switch** (CXL or UPI): a one-way
+//!   host-to-host latency plus 64 GB/s link bandwidth with egress/ingress
+//!   serialization and contention;
+//! * all inter-host traffic is accounted per message class ([`MsgClass`]) so
+//!   experiments can report acknowledgment/notification overheads exactly as
+//!   the paper's figures do.
+//!
+//! Delivery on a given (source, destination) pair is FIFO: departures are
+//! serialized on shared egress/ingress channels and path latency is constant,
+//! so arrival order matches send order. Protocols that tolerate reordering
+//! (CORD, SO) are verified against *arbitrary* reordering separately by the
+//! `cord-check` model checker; the performance model's FIFO property is a
+//! common, conservative network assumption.
+//!
+//! # Example
+//!
+//! ```
+//! use cord_noc::{MsgClass, Noc, NocConfig, TileId};
+//! use cord_sim::Time;
+//!
+//! let mut noc = Noc::new(NocConfig::cxl(8, 8));
+//! let src = TileId::new(0, 0);
+//! let dst = TileId::new(1, 3);
+//! let arrive = noc.send(Time::ZERO, src, dst, 80, MsgClass::Data);
+//! assert!(arrive >= Time::from_ns(150)); // at least one switch traversal
+//! assert_eq!(noc.stats().inter_bytes(), 80);
+//! ```
+
+mod topology;
+mod traffic;
+
+pub use topology::{MsgClass, Noc, NocConfig, PodConfig, TileId};
+pub use traffic::{ClassStats, TrafficStats};

@@ -1,0 +1,403 @@
+//! Topology, routing and link timing.
+
+use cord_sim::Time;
+
+use crate::traffic::TrafficStats;
+
+/// Identifies one tile (core + co-located LLC slice/directory) in the system.
+///
+/// # Example
+///
+/// ```
+/// use cord_noc::TileId;
+///
+/// let t = TileId::new(2, 5);
+/// assert_eq!(t.host, 2);
+/// assert_eq!(t.flat(8), 21);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TileId {
+    /// Host (CPU package) index.
+    pub host: u32,
+    /// Tile index within the host's mesh.
+    pub tile: u32,
+}
+
+impl TileId {
+    /// Creates a tile id.
+    pub const fn new(host: u32, tile: u32) -> Self {
+        TileId { host, tile }
+    }
+
+    /// Flat host-major index given `tiles_per_host`.
+    pub const fn flat(self, tiles_per_host: u32) -> u32 {
+        self.host * tiles_per_host + self.tile
+    }
+
+    /// Inverse of [`TileId::flat`].
+    pub const fn from_flat(flat: u32, tiles_per_host: u32) -> Self {
+        TileId {
+            host: flat / tiles_per_host,
+            tile: flat % tiles_per_host,
+        }
+    }
+}
+
+/// Message classes for traffic accounting (paper Figs. 2, 7, 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum MsgClass {
+    /// Payload-bearing messages: write-through stores, MP writes, data
+    /// responses, write-backs.
+    Data = 0,
+    /// Store/Release acknowledgments (the traffic source ordering adds).
+    Ack = 1,
+    /// CORD request-for-notification messages (processor → pending dir).
+    ReqNotify = 2,
+    /// CORD notification messages (pending dir → destination dir).
+    Notify = 3,
+    /// Other control: read requests, GetS/GetM, invalidations, …
+    Ctrl = 4,
+}
+
+impl MsgClass {
+    /// Number of message classes.
+    pub const COUNT: usize = 5;
+    /// All classes, in index order.
+    pub const ALL: [MsgClass; Self::COUNT] = [
+        MsgClass::Data,
+        MsgClass::Ack,
+        MsgClass::ReqNotify,
+        MsgClass::Notify,
+        MsgClass::Ctrl,
+    ];
+}
+
+/// Two-level inter-host hierarchy: hosts grouped into pods with local
+/// switches, pods joined by a root switch (the "increasingly complex
+/// interconnect topologies" of CXL fabrics the paper points to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PodConfig {
+    /// Hosts per pod.
+    pub hosts_per_pod: u32,
+    /// One-way latency through a pod-local switch.
+    pub pod_latency: Time,
+    /// Additional one-way latency pod-switch → root switch → pod-switch for
+    /// cross-pod traffic.
+    pub root_latency: Time,
+}
+
+/// Interconnect parameters (paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Number of CPU hosts.
+    pub hosts: u32,
+    /// Tiles (cores / LLC slices) per host.
+    pub tiles_per_host: u32,
+    /// Mesh columns (2×4 mesh ⇒ 4 columns).
+    pub mesh_cols: u32,
+    /// Per-mesh-hop latency (10 cycles @ 2 GHz = 5 ns).
+    pub hop_latency: Time,
+    /// One-way host-to-host latency through the switch.
+    pub inter_host_latency: Time,
+    /// Link bandwidth in bytes per nanosecond (64 GB/s ⇒ 64 B/ns).
+    pub link_bytes_per_ns: u64,
+    /// Tile hosting the CXL/UPI port on each host.
+    pub port_tile: u32,
+    /// Optional two-level switch hierarchy; `None` = the paper's single
+    /// switch with `inter_host_latency` per traversal.
+    pub pods: Option<PodConfig>,
+}
+
+impl NocConfig {
+    /// CXL fabric: 150 ns one-way inter-host latency (paper Table 1, [39]).
+    pub fn cxl(hosts: u32, tiles_per_host: u32) -> Self {
+        NocConfig {
+            hosts,
+            tiles_per_host,
+            mesh_cols: 4,
+            hop_latency: Time::from_ns(5),
+            inter_host_latency: Time::from_ns(150),
+            link_bytes_per_ns: 64,
+            port_tile: 0,
+            pods: None,
+        }
+    }
+
+    /// Intel UPI fabric: 50 ns one-way inter-host latency.
+    pub fn upi(hosts: u32, tiles_per_host: u32) -> Self {
+        NocConfig {
+            inter_host_latency: Time::from_ns(50),
+            ..Self::cxl(hosts, tiles_per_host)
+        }
+    }
+
+    /// Replaces the inter-host latency (Fig. 9 sweeps).
+    pub fn with_inter_host_latency(mut self, latency: Time) -> Self {
+        self.inter_host_latency = latency;
+        self
+    }
+
+    /// Switches to a two-level pod/root hierarchy (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hosts_per_pod` is zero or does not divide the host count.
+    pub fn with_pods(mut self, pods: PodConfig) -> Self {
+        assert!(
+            pods.hosts_per_pod > 0 && self.hosts % pods.hosts_per_pod == 0,
+            "pods must partition the {} hosts",
+            self.hosts
+        );
+        self.pods = Some(pods);
+        self
+    }
+
+    /// One-way switch-fabric latency between two (distinct) hosts.
+    pub fn fabric_latency(&self, src_host: u32, dst_host: u32) -> Time {
+        match self.pods {
+            None => self.inter_host_latency,
+            Some(p) => {
+                if src_host / p.hosts_per_pod == dst_host / p.hosts_per_pod {
+                    p.pod_latency
+                } else {
+                    p.pod_latency + p.root_latency
+                }
+            }
+        }
+    }
+
+    /// XY-routed hop count between two tiles of the same host's mesh.
+    pub fn mesh_hops(&self, a: u32, b: u32) -> u32 {
+        let cols = self.mesh_cols.max(1);
+        let (ra, ca) = (a / cols, a % cols);
+        let (rb, cb) = (b / cols, b % cols);
+        ra.abs_diff(rb) + ca.abs_diff(cb)
+    }
+
+    fn serialization(&self, bytes: u64) -> Time {
+        Time::from_ps(bytes * 1000 / self.link_bytes_per_ns)
+    }
+}
+
+impl Default for NocConfig {
+    /// Paper Table 1: 8 hosts × 8 tiles over CXL.
+    fn default() -> Self {
+        Self::cxl(8, 8)
+    }
+}
+
+/// The interconnect: computes message delivery times with link contention and
+/// accounts traffic.
+///
+/// See the [crate-level documentation](crate) for the timing model and an
+/// example.
+#[derive(Debug, Clone)]
+pub struct Noc {
+    cfg: NocConfig,
+    egress_free: Vec<Time>,
+    ingress_free: Vec<Time>,
+    stats: TrafficStats,
+}
+
+impl Noc {
+    /// Creates an idle interconnect.
+    pub fn new(cfg: NocConfig) -> Self {
+        Noc {
+            egress_free: vec![Time::ZERO; cfg.hosts as usize],
+            ingress_free: vec![Time::ZERO; cfg.hosts as usize],
+            stats: TrafficStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration this interconnect was built with.
+    pub fn config(&self) -> &NocConfig {
+        &self.cfg
+    }
+
+    /// Traffic accounted so far.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Sends `bytes` from `src` to `dst` at time `now`; returns the delivery
+    /// time at `dst` and accounts the traffic under `class`.
+    ///
+    /// Messages from a tile to itself are delivered after one hop latency
+    /// (local slice access is modeled by the component, not the NoC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` references a host or tile outside the
+    /// configured topology.
+    pub fn send(&mut self, now: Time, src: TileId, dst: TileId, bytes: u64, class: MsgClass) -> Time {
+        self.check(src);
+        self.check(dst);
+        let inter = src.host != dst.host;
+        self.stats.record(class, bytes, inter);
+        if !inter {
+            let hops = self.cfg.mesh_hops(src.tile, dst.tile).max(1);
+            return now + self.cfg.hop_latency * hops as u64;
+        }
+        // Mesh to the local CXL/UPI port.
+        let to_port = self.cfg.mesh_hops(src.tile, self.cfg.port_tile) as u64;
+        let at_port = now + self.cfg.hop_latency * to_port;
+        // Egress link: serialize behind earlier departures from this host.
+        let ser = self.cfg.serialization(bytes);
+        let depart = at_port.max(self.egress_free[src.host as usize]);
+        self.egress_free[src.host as usize] = depart + ser;
+        // Switch-fabric traversal to the destination host's port.
+        let reach = depart + ser + self.cfg.fabric_latency(src.host, dst.host);
+        // Ingress link contention at the destination host.
+        let recv = reach.max(self.ingress_free[dst.host as usize]);
+        self.ingress_free[dst.host as usize] = recv + ser;
+        // Mesh from the port to the destination tile.
+        let from_port = self.cfg.mesh_hops(self.cfg.port_tile, dst.tile) as u64;
+        recv + self.cfg.hop_latency * from_port
+    }
+
+    /// Latency of an uncontended message (no state change, no accounting).
+    ///
+    /// Useful for capacity planning and tests.
+    pub fn uncontended_latency(&self, src: TileId, dst: TileId, bytes: u64) -> Time {
+        if src.host == dst.host {
+            let hops = self.cfg.mesh_hops(src.tile, dst.tile).max(1);
+            return self.cfg.hop_latency * hops as u64;
+        }
+        let to_port = self.cfg.mesh_hops(src.tile, self.cfg.port_tile) as u64;
+        let from_port = self.cfg.mesh_hops(self.cfg.port_tile, dst.tile) as u64;
+        self.cfg.hop_latency * (to_port + from_port)
+            + self.cfg.serialization(bytes)
+            + self.cfg.fabric_latency(src.host, dst.host)
+    }
+
+    fn check(&self, t: TileId) {
+        assert!(
+            t.host < self.cfg.hosts && t.tile < self.cfg.tiles_per_host,
+            "tile {t:?} outside topology ({}x{})",
+            self.cfg.hosts,
+            self.cfg.tiles_per_host
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_flat_roundtrip() {
+        for flat in 0..64 {
+            let t = TileId::from_flat(flat, 8);
+            assert_eq!(t.flat(8), flat);
+        }
+    }
+
+    #[test]
+    fn mesh_hops_xy() {
+        let cfg = NocConfig::default();
+        assert_eq!(cfg.mesh_hops(0, 0), 0);
+        assert_eq!(cfg.mesh_hops(0, 3), 3); // same row
+        assert_eq!(cfg.mesh_hops(0, 4), 1); // next row
+        assert_eq!(cfg.mesh_hops(0, 7), 4); // opposite corner of 2x4
+    }
+
+    #[test]
+    fn intra_host_latency_scales_with_hops() {
+        let mut noc = Noc::new(NocConfig::default());
+        let t0 = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(0, 1), 64, MsgClass::Data);
+        let t1 = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(0, 7), 64, MsgClass::Data);
+        assert_eq!(t0, Time::from_ns(5));
+        assert_eq!(t1, Time::from_ns(20));
+        assert_eq!(noc.stats().inter_bytes(), 0);
+        assert_eq!(noc.stats().intra_bytes(), 128);
+    }
+
+    #[test]
+    fn inter_host_includes_switch_latency() {
+        let mut noc = Noc::new(NocConfig::cxl(2, 8));
+        let arrive = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), 64, MsgClass::Data);
+        // port is tile 0 on both sides: pure switch latency + serialization
+        assert_eq!(arrive, Time::from_ns(150) + Time::from_ps(64 * 1000 / 64));
+        assert_eq!(noc.stats().inter_bytes(), 64);
+    }
+
+    #[test]
+    fn upi_is_faster_than_cxl() {
+        let mut cxl = Noc::new(NocConfig::cxl(2, 8));
+        let mut upi = Noc::new(NocConfig::upi(2, 8));
+        let a = cxl.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), 16, MsgClass::Ack);
+        let b = upi.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), 16, MsgClass::Ack);
+        assert!(b < a);
+    }
+
+    #[test]
+    fn egress_serialization_backs_up() {
+        let mut noc = Noc::new(NocConfig::cxl(2, 8));
+        let big = 64 * 1024; // 64 KB: 1 us serialization at 64 B/ns
+        let first = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), big, MsgClass::Data);
+        let second = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), big, MsgClass::Data);
+        assert!(second >= first + Time::from_us(1));
+    }
+
+    #[test]
+    fn fifo_per_channel() {
+        let mut noc = Noc::new(NocConfig::cxl(4, 8));
+        let mut last = Time::ZERO;
+        for i in 0..20u64 {
+            let t = noc.send(
+                Time::from_ns(i),
+                TileId::new(0, 3),
+                TileId::new(2, 5),
+                16 + (i % 5) * 64,
+                MsgClass::Data,
+            );
+            assert!(t >= last, "FIFO violated at msg {i}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn uncontended_matches_first_send() {
+        let mut noc = Noc::new(NocConfig::cxl(2, 8));
+        let est = noc.uncontended_latency(TileId::new(0, 2), TileId::new(1, 6), 128);
+        let real = noc.send(Time::ZERO, TileId::new(0, 2), TileId::new(1, 6), 128, MsgClass::Data);
+        assert_eq!(est, real);
+    }
+
+    #[test]
+    fn pod_hierarchy_latencies() {
+        let cfg = NocConfig::cxl(8, 8).with_pods(PodConfig {
+            hosts_per_pod: 4,
+            pod_latency: Time::from_ns(60),
+            root_latency: Time::from_ns(180),
+        });
+        let mut noc = Noc::new(cfg);
+        // Same pod: one pod-switch traversal.
+        let near = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), 64, MsgClass::Data);
+        // Cross pod: pod + root.
+        let far = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(5, 0), 64, MsgClass::Data);
+        assert_eq!(near, Time::from_ns(60) + Time::from_ps(1000));
+        assert!(far >= near + Time::from_ns(180));
+        assert_eq!(cfg.fabric_latency(0, 3), Time::from_ns(60));
+        assert_eq!(cfg.fabric_latency(0, 4), Time::from_ns(240));
+    }
+
+    #[test]
+    #[should_panic(expected = "pods must partition")]
+    fn bad_pod_partition_panics() {
+        let _ = NocConfig::cxl(8, 8).with_pods(PodConfig {
+            hosts_per_pod: 3,
+            pod_latency: Time::from_ns(1),
+            root_latency: Time::from_ns(1),
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn bad_tile_panics() {
+        let mut noc = Noc::new(NocConfig::cxl(2, 8));
+        noc.send(Time::ZERO, TileId::new(5, 0), TileId::new(0, 0), 1, MsgClass::Ctrl);
+    }
+}

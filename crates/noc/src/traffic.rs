@@ -1,0 +1,136 @@
+//! Traffic accounting by message class and scope.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::topology::MsgClass;
+
+/// Byte/message counts for one message class.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Bytes crossing the inter-host switch.
+    pub inter_bytes: u64,
+    /// Messages crossing the inter-host switch.
+    pub inter_msgs: u64,
+    /// Bytes staying within a host's mesh.
+    pub intra_bytes: u64,
+    /// Messages staying within a host's mesh.
+    pub intra_msgs: u64,
+}
+
+impl ClassStats {
+    fn record(&mut self, bytes: u64, inter: bool) {
+        if inter {
+            self.inter_bytes += bytes;
+            self.inter_msgs += 1;
+        } else {
+            self.intra_bytes += bytes;
+            self.intra_msgs += 1;
+        }
+    }
+}
+
+/// Aggregate traffic statistics, indexable by [`MsgClass`].
+///
+/// # Example
+///
+/// ```
+/// use cord_noc::{MsgClass, TrafficStats};
+///
+/// let mut t = TrafficStats::default();
+/// t.record(MsgClass::Ack, 16, true);
+/// t.record(MsgClass::Data, 80, true);
+/// assert_eq!(t.inter_bytes(), 96);
+/// assert_eq!(t[MsgClass::Ack].inter_msgs, 1);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficStats {
+    classes: [ClassStats; MsgClass::COUNT],
+}
+
+impl TrafficStats {
+    /// Records one message of `bytes` bytes; `inter` marks switch-crossing
+    /// traffic.
+    pub fn record(&mut self, class: MsgClass, bytes: u64, inter: bool) {
+        self.classes[class as usize].record(bytes, inter);
+    }
+
+    /// Total inter-host bytes across all classes (the paper's "traffic").
+    pub fn inter_bytes(&self) -> u64 {
+        self.classes.iter().map(|c| c.inter_bytes).sum()
+    }
+
+    /// Total inter-host messages across all classes.
+    pub fn inter_msgs(&self) -> u64 {
+        self.classes.iter().map(|c| c.inter_msgs).sum()
+    }
+
+    /// Total intra-host bytes across all classes.
+    pub fn intra_bytes(&self) -> u64 {
+        self.classes.iter().map(|c| c.intra_bytes).sum()
+    }
+
+    /// Iterates `(class, stats)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MsgClass, &ClassStats)> {
+        MsgClass::ALL.iter().map(move |&c| (c, &self.classes[c as usize]))
+    }
+}
+
+impl Index<MsgClass> for TrafficStats {
+    type Output = ClassStats;
+    fn index(&self, class: MsgClass) -> &ClassStats {
+        &self.classes[class as usize]
+    }
+}
+
+impl IndexMut<MsgClass> for TrafficStats {
+    fn index_mut(&mut self, class: MsgClass) -> &mut ClassStats {
+        &mut self.classes[class as usize]
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inter {} B in {} msgs", self.inter_bytes(), self.inter_msgs())?;
+        for (c, s) in self.iter() {
+            if s.inter_bytes > 0 {
+                write!(f, "; {c:?}={} B", s.inter_bytes)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_per_class_and_scope() {
+        let mut t = TrafficStats::default();
+        t.record(MsgClass::Data, 100, true);
+        t.record(MsgClass::Data, 50, false);
+        t.record(MsgClass::Notify, 16, true);
+        assert_eq!(t[MsgClass::Data].inter_bytes, 100);
+        assert_eq!(t[MsgClass::Data].intra_bytes, 50);
+        assert_eq!(t[MsgClass::Data].intra_msgs, 1);
+        assert_eq!(t.inter_bytes(), 116);
+        assert_eq!(t.inter_msgs(), 2);
+        assert_eq!(t.intra_bytes(), 50);
+    }
+
+    #[test]
+    fn iter_covers_all_classes() {
+        let t = TrafficStats::default();
+        assert_eq!(t.iter().count(), MsgClass::COUNT);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut t = TrafficStats::default();
+        t.record(MsgClass::Ack, 16, true);
+        let s = t.to_string();
+        assert!(s.contains("16 B"), "{s}");
+        assert!(s.contains("Ack"), "{s}");
+    }
+}

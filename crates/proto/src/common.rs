@@ -1,0 +1,63 @@
+//! Helpers shared by the write-through protocol engines (including the
+//! CORD engines in the `cord` crate).
+
+use cord_mem::{Addr, AddressMap};
+
+use crate::engine::CoreCtx;
+use crate::msg::{CoreId, DirId, Msg, MsgKind, NodeRef};
+
+/// The directory homing `addr` under `map`.
+pub fn home_dir(map: &AddressMap, addr: Addr) -> DirId {
+    DirId(map.home_dir(addr))
+}
+
+/// The blocking-load path shared by all write-through engines: at most one
+/// outstanding read per core (the frontend blocks on loads), served by the
+/// home directory's committed memory.
+#[derive(Debug, Default)]
+pub struct ReadPath {
+    next_tid: u64,
+    pending: Option<u64>,
+}
+
+impl ReadPath {
+    /// Issues a read of `bytes` at `addr` to its home directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a read is already outstanding (the frontend must block).
+    pub fn issue(
+        &mut self,
+        core: CoreId,
+        map: &AddressMap,
+        addr: Addr,
+        bytes: u32,
+        ctx: &mut CoreCtx<'_>,
+    ) {
+        assert!(self.pending.is_none(), "core {core:?}: overlapping loads");
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        self.pending = Some(tid);
+        let dir = home_dir(map, addr);
+        ctx.send(Msg::new(
+            NodeRef::Core(core),
+            NodeRef::Dir(dir),
+            MsgKind::ReadReq { tid, addr, bytes },
+        ));
+    }
+
+    /// Handles a read response; completes the frontend's load.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a response that matches no outstanding read.
+    pub fn on_resp(&mut self, tid: u64, value: u64, ctx: &mut CoreCtx<'_>) {
+        assert_eq!(self.pending.take(), Some(tid), "unexpected read response");
+        ctx.load_done(value);
+    }
+
+    /// Whether a read is outstanding.
+    pub fn is_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+}

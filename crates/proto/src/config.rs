@@ -1,0 +1,317 @@
+//! System configuration: protocol selection, consistency model, CORD
+//! metadata widths, table provisioning, and cost parameters.
+
+use cord_mem::AddressMap;
+use cord_noc::NocConfig;
+use cord_sim::Time;
+
+/// Which coherence protocol the system runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// CORD: write-through stores ordered at the directory (this paper).
+    Cord,
+    /// Source ordering: write-through stores acknowledged and ordered at the
+    /// issuing processor (AMBA CHI OWO / CXL UIO style).
+    So,
+    /// Message passing: PCIe-style posted writes, destination-ordered per
+    /// point-to-point channel. Does **not** provide global release
+    /// consistency (paper §3.2).
+    Mp,
+    /// Write-back MESI baseline.
+    Wb,
+    /// Naive directory ordering with a single `bits`-wide sequence number on
+    /// every write-through store (paper §4.1 / Fig. 10).
+    Seq {
+        /// Sequence-number bit width.
+        bits: u8,
+    },
+    /// Hybrid write-through (CORD) + write-back (MESI) per §4.4: addresses
+    /// in `[wb_lo, wb_hi)` (and all `StoreWb` ops) use the write-back path.
+    Hybrid {
+        /// First byte of the write-back window.
+        wb_lo: u64,
+        /// One past the last byte of the write-back window.
+        wb_hi: u64,
+    },
+}
+
+impl ProtocolKind {
+    /// Short label used in experiment output.
+    pub fn label(self) -> String {
+        match self {
+            ProtocolKind::Cord => "CORD".into(),
+            ProtocolKind::So => "SO".into(),
+            ProtocolKind::Mp => "MP".into(),
+            ProtocolKind::Wb => "WB".into(),
+            ProtocolKind::Seq { bits } => format!("SEQ-{bits}"),
+            ProtocolKind::Hybrid { .. } => "HYBRID".into(),
+        }
+    }
+}
+
+/// Which memory consistency model the protocol enforces (paper §2.2, §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsistencyModel {
+    /// Release consistency (the paper's primary target).
+    #[default]
+    Rc,
+    /// Total Store Ordering (paper §6): all stores are totally ordered;
+    /// store→load may still reorder through the FIFO store buffer.
+    Tso,
+}
+
+/// Bit widths of CORD's decoupled sequence numbers (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CordWidths {
+    /// Epoch-number bits (default 8; fits in reserved header bits).
+    pub epoch_bits: u8,
+    /// Store-counter bits (default 32).
+    pub cnt_bits: u8,
+    /// Reserved header bits available for free metadata (CXL 3.0 transaction
+    /// packets' reserved bits; default 8).
+    pub reserved_bits: u8,
+}
+
+impl CordWidths {
+    /// Exclusive upper bound of the epoch space.
+    pub fn epoch_modulus(&self) -> u64 {
+        1u64 << self.epoch_bits.min(63)
+    }
+
+    /// Exclusive upper bound of the store-counter space.
+    pub fn cnt_modulus(&self) -> u64 {
+        1u64.checked_shl(self.cnt_bits.min(63) as u32).unwrap_or(u64::MAX)
+    }
+
+    /// Wire overhead (bytes) added to every Relaxed store: epoch bits beyond
+    /// the free reserved bits.
+    pub fn relaxed_overhead_bytes(&self) -> u64 {
+        let extra = self.epoch_bits.saturating_sub(self.reserved_bits) as u64;
+        extra.div_ceil(8)
+    }
+
+    /// Wire overhead (bytes) added to every Release store: the store counter
+    /// plus one byte each for `lastPrevEp` and the notification count, plus
+    /// any epoch bits that did not fit in reserved bits.
+    pub fn release_overhead_bytes(&self) -> u64 {
+        (self.cnt_bits as u64).div_ceil(8) + 2 + self.relaxed_overhead_bytes()
+    }
+
+    /// Wire overhead (bytes) a SEQ-`bits` store pays beyond reserved bits.
+    pub fn seq_overhead_bytes(bits: u8, reserved_bits: u8) -> u64 {
+        (bits.saturating_sub(reserved_bits) as u64).div_ceil(8)
+    }
+}
+
+impl Default for CordWidths {
+    /// Paper defaults: 8-bit epochs, 32-bit store counters, 8 reserved bits.
+    fn default() -> Self {
+        CordWidths { epoch_bits: 8, cnt_bits: 32, reserved_bits: 8 }
+    }
+}
+
+/// Lookup-table provisioning (paper §4.3 / Table 3).
+///
+/// All tables are per-unit capacities; CORD stalls Release stores whenever an
+/// insert would overflow, preserving correctness at any (≥ 1) size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableSizes {
+    /// Processor: per-directory store-counter entries (per processor).
+    pub proc_cnt: usize,
+    /// Processor: unacknowledged-epoch entries (per processor).
+    pub proc_unacked: usize,
+    /// Directory: store-counter entries **per processor core**.
+    pub dir_cnt_per_proc: usize,
+    /// Directory: notification-counter entries **per processor core**.
+    pub dir_noti_per_proc: usize,
+    /// Directory: recycled (stalled) Release/ReqNotify buffer entries.
+    pub dir_pending_buf: usize,
+}
+
+impl Default for TableSizes {
+    /// Paper Table 3 provisioning.
+    fn default() -> Self {
+        TableSizes {
+            proc_cnt: 8,
+            proc_unacked: 8,
+            dir_cnt_per_proc: 8,
+            dir_noti_per_proc: 16,
+            dir_pending_buf: 64,
+        }
+    }
+}
+
+/// Timing/size cost parameters shared by all protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Core issue cost per operation (1 cycle @ 2 GHz).
+    pub issue: Time,
+    /// Extra per-store cost: the write-through path through L1/L2 to the
+    /// CXL/UPI port (8 cycles @ 2 GHz).
+    pub store_issue: Time,
+    /// Core store-injection bandwidth in bytes/ns (write-combining drain
+    /// rate; 16 GB/s).
+    pub inject_bytes_per_ns: u64,
+    /// Private-cache hit latency (WB baseline).
+    pub l1_hit: Time,
+    /// LLC slice / directory access latency (8 cycles @ 2 GHz).
+    pub llc_access: Time,
+    /// Interval between successive polls of a flag.
+    pub poll_interval: Time,
+    /// Maximum outstanding write-through stores per core (issue window).
+    pub store_window: usize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            issue: Time::from_ps(500),
+            store_issue: Time::from_ns(4),
+            inject_bytes_per_ns: 16,
+            l1_hit: Time::from_ns(1),
+            llc_access: Time::from_ns(4),
+            poll_interval: Time::from_ns(25),
+            store_window: usize::MAX,
+        }
+    }
+}
+
+/// Full system configuration.
+///
+/// # Example
+///
+/// ```
+/// use cord_proto::{ProtocolKind, SystemConfig};
+///
+/// let cfg = SystemConfig::cxl(ProtocolKind::Cord, 8);
+/// assert_eq!(cfg.map.hosts(), 8);
+/// assert_eq!(cfg.protocol, ProtocolKind::Cord);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Interconnect parameters.
+    pub noc: NocConfig,
+    /// Address-space partitioning.
+    pub map: AddressMap,
+    /// Protocol under test.
+    pub protocol: ProtocolKind,
+    /// Consistency model enforced.
+    pub model: ConsistencyModel,
+    /// CORD metadata widths.
+    pub widths: CordWidths,
+    /// Lookup-table provisioning.
+    pub tables: TableSizes,
+    /// Timing costs.
+    pub costs: CostModel,
+    /// Run seed (workload sampling determinism).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// A CXL system with `hosts` hosts of 8 tiles each (paper Table 1).
+    pub fn cxl(protocol: ProtocolKind, hosts: u32) -> Self {
+        Self::with_noc(protocol, NocConfig::cxl(hosts, 8))
+    }
+
+    /// A UPI system with `hosts` hosts of 8 tiles each.
+    pub fn upi(protocol: ProtocolKind, hosts: u32) -> Self {
+        Self::with_noc(protocol, NocConfig::upi(hosts, 8))
+    }
+
+    /// Builds a configuration around an explicit interconnect.
+    pub fn with_noc(protocol: ProtocolKind, noc: NocConfig) -> Self {
+        SystemConfig {
+            map: AddressMap::new(noc.hosts, noc.tiles_per_host, 4 << 30),
+            noc,
+            protocol,
+            model: ConsistencyModel::Rc,
+            widths: CordWidths::default(),
+            tables: TableSizes::default(),
+            costs: CostModel::default(),
+            seed: 0xC04D,
+        }
+    }
+
+    /// Switches the consistency model (builder style).
+    pub fn with_model(mut self, model: ConsistencyModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Total cores (= tiles = directories) in the system.
+    pub fn total_tiles(&self) -> u32 {
+        self.noc.hosts * self.noc.tiles_per_host
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address map and interconnect disagree on the topology.
+    pub fn validate(&self) {
+        assert_eq!(self.map.hosts(), self.noc.hosts, "map/noc host mismatch");
+        assert_eq!(
+            self.map.slices_per_host(),
+            self.noc.tiles_per_host,
+            "map/noc slice mismatch"
+        );
+        assert!(self.tables.proc_unacked >= 1, "tables must hold ≥1 entry");
+        assert!(self.tables.dir_cnt_per_proc >= 1, "tables must hold ≥1 entry");
+        assert!(self.tables.dir_noti_per_proc >= 1, "tables must hold ≥1 entry");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_widths_match_paper() {
+        let w = CordWidths::default();
+        assert_eq!(w.epoch_modulus(), 256);
+        assert_eq!(w.cnt_modulus(), 1 << 32);
+        // 8-bit epoch fits entirely in reserved bits: free Relaxed stores.
+        assert_eq!(w.relaxed_overhead_bytes(), 0);
+        // 32-bit counter + lastPrevEp + notiCnt = 6 bytes per Release store.
+        assert_eq!(w.release_overhead_bytes(), 6);
+    }
+
+    #[test]
+    fn wide_epochs_cost_bytes() {
+        let w = CordWidths { epoch_bits: 16, cnt_bits: 32, reserved_bits: 8 };
+        assert_eq!(w.relaxed_overhead_bytes(), 1);
+        assert_eq!(w.release_overhead_bytes(), 7);
+    }
+
+    #[test]
+    fn seq_overhead() {
+        assert_eq!(CordWidths::seq_overhead_bytes(8, 8), 0);
+        assert_eq!(CordWidths::seq_overhead_bytes(40, 8), 4);
+        assert_eq!(CordWidths::seq_overhead_bytes(4, 8), 0);
+    }
+
+    #[test]
+    fn config_presets_validate() {
+        for hosts in [2, 4, 8] {
+            SystemConfig::cxl(ProtocolKind::So, hosts).validate();
+            SystemConfig::upi(ProtocolKind::Cord, hosts).validate();
+        }
+        let cfg = SystemConfig::cxl(ProtocolKind::Mp, 8).with_model(ConsistencyModel::Tso);
+        assert_eq!(cfg.model, ConsistencyModel::Tso);
+        assert_eq!(cfg.total_tiles(), 64);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ProtocolKind::Cord.label(), "CORD");
+        assert_eq!(ProtocolKind::Seq { bits: 40 }.label(), "SEQ-40");
+    }
+
+    #[test]
+    #[should_panic(expected = "map/noc host mismatch")]
+    fn mismatched_topology_panics() {
+        let mut cfg = SystemConfig::cxl(ProtocolKind::So, 4);
+        cfg.map = AddressMap::new(2, 8, 4 << 30);
+        cfg.validate();
+    }
+}

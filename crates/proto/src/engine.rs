@@ -1,0 +1,301 @@
+//! Protocol-engine interfaces.
+//!
+//! A coherence protocol plugs into the simulator as two engines:
+//!
+//! * a [`CoreProtocol`] at each processor core, deciding when program
+//!   operations may issue and reacting to directory messages, and
+//! * a [`DirProtocol`] at each directory/LLC slice, committing stores and
+//!   enforcing its side of the ordering rules.
+//!
+//! Engines are pure state machines: they never touch the event queue or the
+//! interconnect directly. Instead they emit [`CoreEffect`]s / [`DirEffect`]s
+//! through a context, and the system runner (in the `cord` crate) turns those
+//! into messages and scheduled events. This keeps every engine unit-testable
+//! in isolation.
+
+use cord_mem::Memory;
+use cord_sim::Time;
+
+use crate::msg::{Msg, MsgKind, NodeRef};
+use crate::ops::Op;
+
+/// Outcome of attempting to issue an operation at a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Issue {
+    /// The operation completed at issue (e.g. a fire-and-forget store); the
+    /// frontend advances after the issue cost.
+    Done,
+    /// The operation was issued but completes later; the engine will emit
+    /// [`CoreEffect::OpDone`] (or [`CoreEffect::LoadDone`] for loads).
+    Pending,
+    /// The operation cannot issue yet; the engine will emit
+    /// [`CoreEffect::Wake`] when conditions may have changed, at which point
+    /// the frontend re-attempts the same operation. The cause is recorded
+    /// for stall-time attribution (paper Fig. 2).
+    Stall(StallCause),
+}
+
+/// Why an operation could not issue (stall-time attribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// Waiting for write-through acknowledgments (source ordering).
+    AckWait,
+    /// The store issue window is full.
+    StoreWindow,
+    /// A CORD lookup table (processor or directory allocation) is full
+    /// (paper §4.3).
+    TableFull,
+    /// Epoch or sequence-number space exhausted; draining before reset
+    /// (paper §4.1).
+    Overflow,
+    /// The FIFO store buffer is draining (TSO mode).
+    StoreBuffer,
+    /// Any other protocol-specific condition.
+    Other,
+}
+
+/// Effects a core engine requests from the runner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreEffect {
+    /// Transmit a message over the interconnect at time `at`.
+    Send {
+        /// The message.
+        msg: Msg,
+        /// Departure time (≥ now; models local access latencies).
+        at: Time,
+    },
+    /// Re-attempt the stalled operation at (or after) the given time.
+    Wake(Time),
+    /// Complete the frontend's pending load with a value.
+    LoadDone {
+        /// Loaded value (first word).
+        value: u64,
+    },
+    /// Complete the frontend's pending non-load operation.
+    OpDone,
+}
+
+/// Mutable view a core engine gets during a callback.
+#[derive(Debug)]
+pub struct CoreCtx<'a> {
+    /// Current simulation time.
+    pub now: Time,
+    effects: &'a mut Vec<CoreEffect>,
+}
+
+impl<'a> CoreCtx<'a> {
+    /// Creates a context writing effects into `effects`.
+    pub fn new(now: Time, effects: &'a mut Vec<CoreEffect>) -> Self {
+        CoreCtx { now, effects }
+    }
+
+    /// Requests immediate transmission of `msg`.
+    pub fn send(&mut self, msg: Msg) {
+        let at = self.now;
+        self.effects.push(CoreEffect::Send { msg, at });
+    }
+
+    /// Requests transmission of `msg` after `delay`.
+    pub fn send_after(&mut self, delay: Time, msg: Msg) {
+        let at = self.now + delay;
+        self.effects.push(CoreEffect::Send { msg, at });
+    }
+
+    /// Requests an issue retry at time `at`.
+    pub fn wake_at(&mut self, at: Time) {
+        self.effects.push(CoreEffect::Wake(at));
+    }
+
+    /// Requests an immediate issue retry.
+    pub fn wake(&mut self) {
+        let now = self.now;
+        self.wake_at(now);
+    }
+
+    /// Completes the frontend's pending load.
+    pub fn load_done(&mut self, value: u64) {
+        self.effects.push(CoreEffect::LoadDone { value });
+    }
+
+    /// Completes the frontend's pending operation.
+    pub fn op_done(&mut self) {
+        self.effects.push(CoreEffect::OpDone);
+    }
+}
+
+/// Storage-occupancy statistics reported by a core engine (paper Fig. 11/12).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreProtoStats {
+    /// Peak bytes of per-directory store counters.
+    pub peak_cnt_bytes: u64,
+    /// Peak bytes of all other lookup tables (unacknowledged epochs, …).
+    pub peak_other_bytes: u64,
+}
+
+impl CoreProtoStats {
+    /// Total peak storage.
+    pub fn peak_total(&self) -> u64 {
+        self.peak_cnt_bytes + self.peak_other_bytes
+    }
+}
+
+/// The processor-side half of a coherence protocol.
+pub trait CoreProtocol {
+    /// Attempts to issue `op`.
+    fn issue(&mut self, op: &Op, ctx: &mut CoreCtx<'_>) -> Issue;
+
+    /// Handles a message delivered to this core.
+    fn on_msg(&mut self, from: NodeRef, kind: MsgKind, ctx: &mut CoreCtx<'_>);
+
+    /// Whether every issued operation has fully drained (used for fences and
+    /// end-of-program accounting).
+    fn quiesced(&self) -> bool {
+        true
+    }
+
+    /// Storage-occupancy statistics.
+    fn stats(&self) -> CoreProtoStats {
+        CoreProtoStats::default()
+    }
+}
+
+/// Effects a directory engine requests from the runner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DirEffect {
+    /// Transmit a message over the interconnect at time `at`.
+    Send {
+        /// The message.
+        msg: Msg,
+        /// Departure time (≥ now; models the LLC/directory access latency).
+        at: Time,
+    },
+    /// Invoke [`DirProtocol::retry`] at (or after) the given time.
+    Wake(Time),
+}
+
+/// Mutable view a directory engine gets during a callback, including the
+/// slice's backing memory.
+#[derive(Debug)]
+pub struct DirCtx<'a> {
+    /// Current simulation time.
+    pub now: Time,
+    /// This slice's authoritative word storage.
+    pub mem: &'a mut Memory,
+    effects: &'a mut Vec<DirEffect>,
+}
+
+impl<'a> DirCtx<'a> {
+    /// Creates a context over the slice memory, writing effects into
+    /// `effects`.
+    pub fn new(now: Time, mem: &'a mut Memory, effects: &'a mut Vec<DirEffect>) -> Self {
+        DirCtx { now, mem, effects }
+    }
+
+    /// Requests immediate transmission of `msg`.
+    pub fn send(&mut self, msg: Msg) {
+        let at = self.now;
+        self.effects.push(DirEffect::Send { msg, at });
+    }
+
+    /// Requests transmission of `msg` after `delay` (e.g. the LLC access
+    /// latency).
+    pub fn send_after(&mut self, delay: Time, msg: Msg) {
+        let at = self.now + delay;
+        self.effects.push(DirEffect::Send { msg, at });
+    }
+
+    /// Requests a [`DirProtocol::retry`] callback at time `at`.
+    pub fn wake_at(&mut self, at: Time) {
+        self.effects.push(DirEffect::Wake(at));
+    }
+}
+
+/// Storage-occupancy statistics reported by a directory engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStorage {
+    /// Peak bytes of lookup tables (store counters, notification counters,
+    /// largest-committed epochs).
+    pub peak_lut_bytes: u64,
+    /// Peak bytes of the network buffer holding recycled (stalled) requests.
+    pub peak_buf_bytes: u64,
+}
+
+impl DirStorage {
+    /// Total peak storage.
+    pub fn peak_total(&self) -> u64 {
+        self.peak_lut_bytes + self.peak_buf_bytes
+    }
+}
+
+/// The directory-side half of a coherence protocol.
+pub trait DirProtocol {
+    /// Handles a message delivered to this directory.
+    fn on_msg(&mut self, msg: Msg, ctx: &mut DirCtx<'_>);
+
+    /// Re-examines stalled/recycled requests (invoked after
+    /// [`DirEffect::Wake`]).
+    fn retry(&mut self, ctx: &mut DirCtx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Storage-occupancy statistics.
+    fn storage(&self) -> DirStorage {
+        DirStorage::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{CoreId, DirId};
+    use cord_mem::Addr;
+
+    #[test]
+    fn core_ctx_collects_effects() {
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(Time::from_ns(5), &mut fx);
+        ctx.wake();
+        ctx.load_done(9);
+        ctx.op_done();
+        assert_eq!(
+            fx,
+            vec![
+                CoreEffect::Wake(Time::from_ns(5)),
+                CoreEffect::LoadDone { value: 9 },
+                CoreEffect::OpDone,
+            ]
+        );
+    }
+
+    #[test]
+    fn dir_ctx_exposes_memory() {
+        let mut fx = Vec::new();
+        let mut mem = Memory::new();
+        let mut ctx = DirCtx::new(Time::ZERO, &mut mem, &mut fx);
+        ctx.mem.store(Addr::new(0x40), 3);
+        ctx.wake_at(Time::from_ns(1));
+        assert_eq!(ctx.mem.peek(Addr::new(0x40)), 3);
+        assert_eq!(fx, vec![DirEffect::Wake(Time::from_ns(1))]);
+    }
+
+    #[test]
+    fn ctx_send_records_message() {
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
+        let msg = Msg::new(
+            NodeRef::Core(CoreId(0)),
+            NodeRef::Dir(DirId(1)),
+            MsgKind::ReadReq { tid: 7, addr: Addr::new(0), bytes: 8 },
+        );
+        ctx.send(msg.clone());
+        assert_eq!(fx, vec![CoreEffect::Send { msg, at: Time::ZERO }]);
+    }
+
+    #[test]
+    fn storage_totals() {
+        let c = CoreProtoStats { peak_cnt_bytes: 10, peak_other_bytes: 5 };
+        assert_eq!(c.peak_total(), 15);
+        let d = DirStorage { peak_lut_bytes: 7, peak_buf_bytes: 3 };
+        assert_eq!(d.peak_total(), 10);
+    }
+}

@@ -1,0 +1,257 @@
+//! Message passing (MP): PCIe-style posted writes with destination ordering.
+//!
+//! A PU writes through to another PU's memory with "posted" transactions —
+//! no acknowledgments, because ordering is enforced *at the destination
+//! endpoint*: the interconnect delivers each (source, destination) channel in
+//! FIFO order and the destination commits on arrival (paper §3.2).
+//!
+//! MP therefore never stalls the source and adds zero control traffic, but
+//! it only provides **point-to-point** ordering. It does not enforce release
+//! consistency across three or more PUs (synchronization cumulativity): the
+//! ISA2 litmus variant in `cord-check` exhibits the forbidden outcome, and
+//! under TSO it remains an upper bound on efficiency rather than a correct
+//! implementation (paper §6).
+
+use cord_sim::Time;
+
+use cord_mem::AddressMap;
+
+use crate::common::ReadPath;
+use crate::config::SystemConfig;
+use crate::engine::{CoreCtx, CoreProtocol, DirCtx, DirProtocol, Issue};
+use crate::msg::{CoreId, DirId, Msg, MsgKind, NodeRef};
+use crate::ops::{Op, StoreOrd};
+
+/// Processor-side message-passing engine.
+#[derive(Debug)]
+pub struct MpCore {
+    id: CoreId,
+    map: AddressMap,
+    reads: ReadPath,
+    next_tid: u64,
+    pending_atomic: Option<u64>,
+}
+
+impl MpCore {
+    /// Creates the engine for core `id` under `cfg`.
+    pub fn new(id: CoreId, cfg: &SystemConfig) -> Self {
+        MpCore { id, map: cfg.map, reads: ReadPath::default(), next_tid: 0, pending_atomic: None }
+    }
+}
+
+impl CoreProtocol for MpCore {
+    fn issue(&mut self, op: &Op, ctx: &mut CoreCtx<'_>) -> Issue {
+        // Pure write-through baseline: coerce write-back stores (§4.4) to
+        // write-through.
+        let coerced;
+        let op = match *op {
+            Op::StoreWb { addr, bytes, value, ord } => {
+                coerced = Op::Store { addr, bytes, value, ord };
+                &coerced
+            }
+            _ => op,
+        };
+        match *op {
+            Op::Store { addr, bytes, value, ord } => {
+                let dir = DirId(self.map.home_dir(addr));
+                ctx.send(Msg::new(
+                    NodeRef::Core(self.id),
+                    NodeRef::Dir(dir),
+                    MsgKind::MpWrite { addr, bytes, value, strong: ord == StoreOrd::Release },
+                ));
+                Issue::Done
+            }
+            Op::AtomicRmw { addr, add, ord, .. } => {
+                // PCIe atomics are non-posted: request + completion, ordered
+                // within the channel like any other transaction.
+                let tid = self.next_tid;
+                self.next_tid += 1;
+                self.pending_atomic = Some(tid);
+                let dir = DirId(self.map.home_dir(addr));
+                ctx.send(Msg::new(
+                    NodeRef::Core(self.id),
+                    NodeRef::Dir(dir),
+                    MsgKind::AtomicReq { tid, addr, add, ord, meta: crate::msg::WtMeta::None },
+                ));
+                Issue::Pending
+            }
+            Op::Load { addr, bytes, .. } => {
+                self.reads.issue(self.id, &self.map, addr, bytes, ctx);
+                Issue::Pending
+            }
+            Op::BulkRead { addr, bytes, .. } => {
+                self.reads.issue(self.id, &self.map, addr, bytes, ctx);
+                Issue::Pending
+            }
+            Op::WaitValue { addr, .. } => {
+                self.reads.issue(self.id, &self.map, addr, 8, ctx);
+                Issue::Pending
+            }
+            // Point-to-point ordering is already guaranteed by the FIFO
+            // channel; fences are free (and insufficient — see §3.2).
+            Op::Fence { .. } | Op::Compute { .. } => Issue::Done,
+            Op::StoreWb { .. } => unreachable!("write-back stores are coerced above"),
+        }
+    }
+
+    fn on_msg(&mut self, _from: NodeRef, kind: MsgKind, ctx: &mut CoreCtx<'_>) {
+        match kind {
+            MsgKind::AtomicResp { tid, old, .. } => {
+                assert_eq!(self.pending_atomic.take(), Some(tid), "unexpected atomic response");
+                ctx.load_done(old);
+            }
+            MsgKind::ReadResp { tid, value, .. } => self.reads.on_resp(tid, value, ctx),
+            other => panic!("MpCore: unexpected message {other:?}"),
+        }
+    }
+
+    fn quiesced(&self) -> bool {
+        !self.reads.is_pending() && self.pending_atomic.is_none()
+    }
+}
+
+/// Destination-side message-passing engine: commits posted writes on arrival.
+#[derive(Debug)]
+pub struct MpDir {
+    id: DirId,
+    llc_access: Time,
+}
+
+impl MpDir {
+    /// Creates the engine for directory (destination memory) `id` under
+    /// `cfg`.
+    pub fn new(id: DirId, cfg: &SystemConfig) -> Self {
+        MpDir { id, llc_access: cfg.costs.llc_access }
+    }
+}
+
+impl DirProtocol for MpDir {
+    fn on_msg(&mut self, msg: Msg, ctx: &mut DirCtx<'_>) {
+        match msg.kind {
+            MsgKind::MpWrite { addr, value, .. } => {
+                // Posted write: committed in arrival (= channel) order.
+                ctx.mem.store(addr, value);
+            }
+            MsgKind::AtomicReq { tid, addr, add, .. } => {
+                let old = ctx.mem.fetch_add(addr, add);
+                ctx.send_after(
+                    self.llc_access,
+                    Msg::new(
+                        NodeRef::Dir(self.id),
+                        msg.src,
+                        MsgKind::AtomicResp { tid, old, epoch: None },
+                    ),
+                );
+            }
+            MsgKind::ReadReq { tid, addr, bytes } => {
+                let value = ctx.mem.load(addr);
+                ctx.send_after(
+                    self.llc_access,
+                    Msg::new(
+                        NodeRef::Dir(self.id),
+                        msg.src,
+                        MsgKind::ReadResp { tid, value, bytes },
+                    ),
+                );
+            }
+            other => panic!("MpDir: unexpected message {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolKind;
+    use crate::engine::CoreEffect;
+    use crate::ops::{FenceKind, LoadOrd};
+    use cord_mem::{Addr, Memory};
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::cxl(ProtocolKind::Mp, 2)
+    }
+
+    #[test]
+    fn stores_are_posted_without_acks() {
+        let c = cfg();
+        let mut core = MpCore::new(CoreId(0), &c);
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
+        for i in 0..4u64 {
+            let op = Op::Store {
+                addr: Addr::new(i * 64),
+                bytes: 64,
+                value: i,
+                ord: if i == 3 { StoreOrd::Release } else { StoreOrd::Relaxed },
+            };
+            assert_eq!(core.issue(&op, &mut ctx), Issue::Done);
+        }
+        assert_eq!(fx.len(), 4);
+        assert!(core.quiesced(), "posted writes never hold the source");
+        // release store is flagged strong
+        let strong = fx.iter().filter(|e| matches!(e,
+            CoreEffect::Send { msg: Msg { kind: MsgKind::MpWrite { strong: true, .. }, .. }, .. }
+        )).count();
+        assert_eq!(strong, 1);
+    }
+
+    #[test]
+    fn fences_are_free() {
+        let c = cfg();
+        let mut core = MpCore::new(CoreId(0), &c);
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
+        for kind in [FenceKind::Acquire, FenceKind::Release, FenceKind::Full] {
+            assert_eq!(core.issue(&Op::Fence { kind }, &mut ctx), Issue::Done);
+        }
+        assert!(fx.is_empty());
+    }
+
+    #[test]
+    fn destination_commits_in_arrival_order() {
+        let c = cfg();
+        let mut dir = MpDir::new(DirId(0), &c);
+        let mut mem = Memory::new();
+        let mut fx = Vec::new();
+        for v in [1u64, 2, 3] {
+            let msg = Msg::new(
+                NodeRef::Core(CoreId(8)),
+                NodeRef::Dir(DirId(0)),
+                MsgKind::MpWrite { addr: Addr::new(0x80), bytes: 8, value: v, strong: false },
+            );
+            dir.on_msg(msg, &mut DirCtx::new(Time::ZERO, &mut mem, &mut fx));
+        }
+        assert_eq!(mem.peek(Addr::new(0x80)), 3);
+        assert!(fx.is_empty(), "no acknowledgments generated");
+    }
+
+    #[test]
+    fn read_path_roundtrip() {
+        let c = cfg();
+        let mut core = MpCore::new(CoreId(0), &c);
+        let mut dir = MpDir::new(DirId(0), &c);
+        let mut mem = Memory::new();
+        mem.store(Addr::new(0x100), 5);
+
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
+        let op = Op::Load { addr: Addr::new(0x100), bytes: 8, ord: LoadOrd::Acquire, reg: 1 };
+        assert_eq!(core.issue(&op, &mut ctx), Issue::Pending);
+        assert!(!core.quiesced());
+        let req = match &fx[0] {
+            CoreEffect::Send { msg, .. } => msg.clone(),
+            other => panic!("{other:?}"),
+        };
+        let mut dfx = Vec::new();
+        dir.on_msg(req, &mut DirCtx::new(Time::from_ns(10), &mut mem, &mut dfx));
+        let resp = match &dfx[0] {
+            crate::engine::DirEffect::Send { msg, .. } => msg.clone(),
+            other => panic!("{other:?}"),
+        };
+        let mut fx2 = Vec::new();
+        let mut ctx2 = CoreCtx::new(Time::from_ns(20), &mut fx2);
+        core.on_msg(resp.src, resp.kind, &mut ctx2);
+        assert_eq!(fx2, vec![CoreEffect::LoadDone { value: 5 }]);
+        assert!(core.quiesced());
+    }
+}

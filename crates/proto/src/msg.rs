@@ -1,0 +1,395 @@
+//! On-wire protocol messages.
+//!
+//! All protocol engines share one message vocabulary so the system runner,
+//! traffic accounting, and tests stay uniform. Each message knows its wire
+//! size (16 B control header + payload + any ordering metadata the sender
+//! added) and its traffic class for the paper's per-class breakdowns.
+
+use cord_mem::Addr;
+use cord_noc::MsgClass;
+
+use crate::ops::StoreOrd;
+
+/// Control/header bytes of every message (CXL-flit-style header).
+pub const CTRL_BYTES: u64 = 16;
+
+/// Identifies a processor core by its flat tile index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoreId(pub u32);
+
+/// Identifies a directory (LLC slice) by its flat tile index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DirId(pub u32);
+
+/// A message endpoint: a core or a directory.
+///
+/// Cores and directories are co-located pairwise on tiles, so both map to
+/// the same [`cord_noc::TileId`] space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum NodeRef {
+    /// A processor core.
+    Core(CoreId),
+    /// A directory / LLC slice.
+    Dir(DirId),
+}
+
+impl NodeRef {
+    /// The flat tile index this endpoint lives on.
+    pub fn tile_flat(self) -> u32 {
+        match self {
+            NodeRef::Core(CoreId(t)) | NodeRef::Dir(DirId(t)) => t,
+        }
+    }
+}
+
+impl From<CoreId> for NodeRef {
+    fn from(c: CoreId) -> Self {
+        NodeRef::Core(c)
+    }
+}
+
+impl From<DirId> for NodeRef {
+    fn from(d: DirId) -> Self {
+        NodeRef::Dir(d)
+    }
+}
+
+/// Ordering metadata embedded in a write-through store (paper §4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WtMeta {
+    /// No ordering metadata (source ordering, message passing).
+    None,
+    /// CORD Relaxed store: epoch number only.
+    Epoch {
+        /// Issuing processor's current epoch.
+        ep: u64,
+    },
+    /// CORD Release store: full sequence metadata.
+    Release {
+        /// Epoch this Release store closes.
+        ep: u64,
+        /// Relaxed stores issued to the destination directory in epoch `ep`.
+        cnt: u64,
+        /// Last prior epoch whose Release store targeted this directory and
+        /// is still unacknowledged (`None` if all are acknowledged).
+        last_prev_ep: Option<u64>,
+        /// Number of pending directories that will send notifications.
+        noti_cnt: u32,
+    },
+    /// SEQ-N strawman: a single per-(processor, directory) sequence number.
+    Seq {
+        /// Sequence number of this store.
+        seq: u64,
+    },
+}
+
+/// Protocol message payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MsgKind {
+    /// A write-through store (SO, SEQ, CORD).
+    WtStore {
+        /// Sender-local transaction id (matches acknowledgment).
+        tid: u64,
+        /// First byte written.
+        addr: Addr,
+        /// Payload size in bytes.
+        bytes: u32,
+        /// Value for the first word.
+        value: u64,
+        /// Release/Relaxed annotation.
+        ord: StoreOrd,
+        /// Ordering metadata.
+        meta: WtMeta,
+        /// Whether the directory must acknowledge this store.
+        needs_ack: bool,
+    },
+    /// Directory → core acknowledgment of a write-through store.
+    WtAck {
+        /// Transaction id being acknowledged.
+        tid: u64,
+        /// For CORD: the epoch whose Release is acknowledged (reclaims the
+        /// unacknowledged-epoch table entry).
+        epoch: Option<u64>,
+    },
+    /// Core → directory atomic fetch-add (far atomic). Carries the same
+    /// ordering metadata as a write-through store.
+    AtomicReq {
+        /// Transaction id (matched by the response).
+        tid: u64,
+        /// Word operated on.
+        addr: Addr,
+        /// Addend.
+        add: u64,
+        /// Release/Relaxed annotation.
+        ord: StoreOrd,
+        /// Ordering metadata.
+        meta: WtMeta,
+    },
+    /// Directory → core atomic response: the pre-operation value. For a
+    /// Release atomic it doubles as the Release acknowledgment (`epoch`).
+    AtomicResp {
+        /// Transaction id of the request.
+        tid: u64,
+        /// Value before the addend was applied.
+        old: u64,
+        /// For CORD Release atomics: the acknowledged epoch.
+        epoch: Option<u64>,
+    },
+    /// Core → directory read request.
+    ReadReq {
+        /// Transaction id.
+        tid: u64,
+        /// First byte read.
+        addr: Addr,
+        /// Bytes requested.
+        bytes: u32,
+    },
+    /// Directory → core read response.
+    ReadResp {
+        /// Transaction id of the request.
+        tid: u64,
+        /// Value of the first word.
+        value: u64,
+        /// Bytes returned.
+        bytes: u32,
+    },
+    /// CORD: core → pending directory, request for notification (paper §4.2).
+    ReqNotify {
+        /// Issuing core.
+        core: CoreId,
+        /// The epoch being closed by the triggering Release store.
+        ep: u64,
+        /// Relaxed stores issued to this pending directory in epoch `ep`.
+        relaxed_cnt: u64,
+        /// Last unacknowledged epoch whose Release targeted this directory.
+        last_unacked_ep: Option<u64>,
+        /// Destination directory of the triggering Release store.
+        noti_dst: DirId,
+    },
+    /// CORD: pending directory → destination directory notification.
+    Notify {
+        /// Core whose stores are now committed at the sender.
+        core: CoreId,
+        /// Epoch the notification covers.
+        ep: u64,
+    },
+    /// Message passing: a posted write (PCIe-style), destination-ordered.
+    MpWrite {
+        /// First byte written.
+        addr: Addr,
+        /// Payload size in bytes.
+        bytes: u32,
+        /// Value for the first word.
+        value: u64,
+        /// Strong (Release-like) vs Relaxed ordering within the channel.
+        strong: bool,
+    },
+    /// MESI: read-shared request.
+    GetS {
+        /// Transaction id.
+        tid: u64,
+        /// Requested line (base address).
+        line: Addr,
+    },
+    /// MESI: read-modified (ownership) request.
+    GetM {
+        /// Transaction id.
+        tid: u64,
+        /// Requested line (base address).
+        line: Addr,
+    },
+    /// MESI: directory → core data response.
+    DataResp {
+        /// Transaction id of the request.
+        tid: u64,
+        /// Line base address.
+        line: Addr,
+        /// Word values of the line known to the directory.
+        values: Vec<(Addr, u64)>,
+        /// Whether the line is granted exclusively (E/M).
+        exclusive: bool,
+    },
+    /// MESI: directory → owner, forward of a GetS (owner must downgrade and
+    /// return data to the directory).
+    FwdGetS {
+        /// Transaction id of the original request.
+        tid: u64,
+        /// Line base address.
+        line: Addr,
+    },
+    /// MESI: directory → copy holder, invalidation.
+    Inv {
+        /// Transaction id of the triggering request.
+        tid: u64,
+        /// Line base address.
+        line: Addr,
+    },
+    /// MESI: copy holder → directory, invalidation acknowledgment
+    /// (carries dirty data if the holder owned the line).
+    InvAck {
+        /// Transaction id of the triggering request.
+        tid: u64,
+        /// Line base address.
+        line: Addr,
+        /// Dirty word values, empty if the copy was clean or absent.
+        values: Vec<(Addr, u64)>,
+    },
+    /// MESI: owner → directory write-back on eviction.
+    PutM {
+        /// Line base address.
+        line: Addr,
+        /// Dirty word values.
+        values: Vec<(Addr, u64)>,
+    },
+}
+
+impl MsgKind {
+    /// Wire size in bytes, excluding protocol-specific metadata overhead
+    /// (see [`Msg::sized`]).
+    pub fn base_bytes(&self) -> u64 {
+        match self {
+            MsgKind::WtStore { bytes, .. } => CTRL_BYTES + *bytes as u64,
+            MsgKind::WtAck { .. } => CTRL_BYTES,
+            MsgKind::AtomicReq { .. } => CTRL_BYTES + 8,
+            MsgKind::AtomicResp { .. } => CTRL_BYTES + 8,
+            MsgKind::ReadReq { .. } => CTRL_BYTES,
+            MsgKind::ReadResp { bytes, .. } => CTRL_BYTES + *bytes as u64,
+            MsgKind::ReqNotify { .. } => CTRL_BYTES + 8,
+            MsgKind::Notify { .. } => CTRL_BYTES,
+            MsgKind::MpWrite { bytes, .. } => CTRL_BYTES + *bytes as u64,
+            MsgKind::GetS { .. } | MsgKind::GetM { .. } => CTRL_BYTES,
+            MsgKind::DataResp { .. } => CTRL_BYTES + cord_mem::LINE_BYTES,
+            MsgKind::FwdGetS { .. } | MsgKind::Inv { .. } => CTRL_BYTES,
+            MsgKind::InvAck { values, .. } => {
+                if values.is_empty() {
+                    CTRL_BYTES
+                } else {
+                    CTRL_BYTES + cord_mem::LINE_BYTES
+                }
+            }
+            MsgKind::PutM { .. } => CTRL_BYTES + cord_mem::LINE_BYTES,
+        }
+    }
+
+    /// Traffic class for accounting.
+    pub fn class(&self) -> MsgClass {
+        match self {
+            MsgKind::WtStore { .. } | MsgKind::MpWrite { .. } => MsgClass::Data,
+            MsgKind::AtomicReq { .. } | MsgKind::AtomicResp { .. } => MsgClass::Data,
+            MsgKind::ReadResp { .. } | MsgKind::DataResp { .. } | MsgKind::PutM { .. } => {
+                MsgClass::Data
+            }
+            MsgKind::InvAck { values, .. } if !values.is_empty() => MsgClass::Data,
+            MsgKind::WtAck { .. } => MsgClass::Ack,
+            MsgKind::ReqNotify { .. } => MsgClass::ReqNotify,
+            MsgKind::Notify { .. } => MsgClass::Notify,
+            _ => MsgClass::Ctrl,
+        }
+    }
+}
+
+/// A routed protocol message with its final wire size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Msg {
+    /// Sender.
+    pub src: NodeRef,
+    /// Receiver.
+    pub dst: NodeRef,
+    /// Payload.
+    pub kind: MsgKind,
+    /// Total wire bytes (base size + ordering-metadata overhead).
+    pub bytes: u64,
+}
+
+impl Msg {
+    /// Creates a message whose size is the payload's base size plus
+    /// `meta_overhead` bytes of ordering metadata.
+    pub fn sized(src: NodeRef, dst: NodeRef, kind: MsgKind, meta_overhead: u64) -> Self {
+        let bytes = kind.base_bytes() + meta_overhead;
+        Msg { src, dst, kind, bytes }
+    }
+
+    /// Creates a message with no metadata overhead.
+    pub fn new(src: NodeRef, dst: NodeRef, kind: MsgKind) -> Self {
+        Self::sized(src, dst, kind, 0)
+    }
+
+    /// Traffic class of the payload.
+    pub fn class(&self) -> MsgClass {
+        self.kind.class()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store(bytes: u32, needs_ack: bool) -> MsgKind {
+        MsgKind::WtStore {
+            tid: 1,
+            addr: Addr::new(0x40),
+            bytes,
+            value: 7,
+            ord: StoreOrd::Relaxed,
+            meta: WtMeta::None,
+            needs_ack,
+        }
+    }
+
+    #[test]
+    fn sizes_include_payload() {
+        assert_eq!(store(64, true).base_bytes(), 80);
+        assert_eq!(MsgKind::WtAck { tid: 1, epoch: None }.base_bytes(), 16);
+        assert_eq!(MsgKind::ReqNotify {
+            core: CoreId(0),
+            ep: 0,
+            relaxed_cnt: 0,
+            last_unacked_ep: None,
+            noti_dst: DirId(1),
+        }
+        .base_bytes(), 24);
+        assert_eq!(
+            MsgKind::ReadResp { tid: 0, value: 0, bytes: 8 }.base_bytes(),
+            24
+        );
+    }
+
+    #[test]
+    fn classes_match_paper_accounting() {
+        assert_eq!(store(8, false).class(), MsgClass::Data);
+        assert_eq!(MsgKind::WtAck { tid: 0, epoch: None }.class(), MsgClass::Ack);
+        assert_eq!(MsgKind::Notify { core: CoreId(0), ep: 1 }.class(), MsgClass::Notify);
+        assert_eq!(
+            MsgKind::ReadReq { tid: 0, addr: Addr::new(0), bytes: 8 }.class(),
+            MsgClass::Ctrl
+        );
+        let clean = MsgKind::InvAck { tid: 0, line: Addr::new(0), values: vec![] };
+        let dirty = MsgKind::InvAck { tid: 0, line: Addr::new(0), values: vec![(Addr::new(0), 1)] };
+        assert_eq!(clean.class(), MsgClass::Ctrl);
+        assert_eq!(dirty.class(), MsgClass::Data);
+        assert_eq!(clean.base_bytes(), 16);
+        assert_eq!(dirty.base_bytes(), 16 + 64);
+    }
+
+    #[test]
+    fn sized_adds_meta_overhead() {
+        let m = Msg::sized(
+            NodeRef::Core(CoreId(0)),
+            NodeRef::Dir(DirId(1)),
+            store(8, true),
+            6,
+        );
+        assert_eq!(m.bytes, 16 + 8 + 6);
+        assert_eq!(m.class(), MsgClass::Data);
+        assert_eq!(m.src.tile_flat(), 0);
+        assert_eq!(m.dst.tile_flat(), 1);
+    }
+
+    #[test]
+    fn noderef_conversions() {
+        let c: NodeRef = CoreId(3).into();
+        let d: NodeRef = DirId(4).into();
+        assert_eq!(c, NodeRef::Core(CoreId(3)));
+        assert_eq!(d, NodeRef::Dir(DirId(4)));
+    }
+}

@@ -1,0 +1,512 @@
+//! SEQ-N: naive directory ordering with a single sequence number.
+//!
+//! The strawman the paper contrasts CORD against (§4.1, Fig. 10): every
+//! write-through store carries one N-bit sequence number per (processor,
+//! directory) stream, and the directory commits stores in sequence order.
+//!
+//! The bit width exposes the trade-off CORD's decoupled epoch/store-counter
+//! design breaks:
+//!
+//! * **small N** (SEQ-8): no wire overhead (fits reserved header bits), but
+//!   the sequence space wraps every 2^N stores — the processor must stall
+//!   and drain before reusing numbers, degrading performance;
+//! * **large N** (SEQ-40): wraps are negligible, but every store pays
+//!   `ceil((N-8)/8)` bytes of header overhead, inflating traffic.
+//!
+//! SEQ orders stores within each directory; it is exercised by the paper's
+//! single-directory microbenchmark. Release stores are acknowledged so the
+//! processor can detect wrap-drain completion.
+
+use std::collections::{BTreeMap, HashMap};
+
+use cord_mem::{Addr, AddressMap};
+use cord_sim::Time;
+
+use crate::common::{home_dir, ReadPath};
+use crate::config::{CordWidths, ProtocolKind, SystemConfig};
+use crate::engine::{CoreCtx, CoreProtocol, DirCtx, DirProtocol, DirStorage, Issue, StallCause};
+use crate::msg::{CoreId, DirId, Msg, MsgKind, NodeRef, WtMeta};
+use crate::ops::{FenceKind, Op, StoreOrd};
+
+fn seq_bits(cfg: &SystemConfig) -> u8 {
+    match cfg.protocol {
+        ProtocolKind::Seq { bits } => bits,
+        _ => 8,
+    }
+}
+
+#[derive(Debug, Default)]
+struct SeqStream {
+    next_seq: u64,
+    /// Waiting for the wrap store's acknowledgment before reusing numbers.
+    draining: bool,
+}
+
+/// Processor-side SEQ-N engine.
+#[derive(Debug)]
+pub struct SeqCore {
+    id: CoreId,
+    map: AddressMap,
+    bits: u8,
+    overhead: u64,
+    next_tid: u64,
+    streams: HashMap<DirId, SeqStream>,
+    /// tid → (directory, is_wrap_store) for acknowledged stores.
+    pending_acks: HashMap<u64, (DirId, bool)>,
+    pending_atomic: Option<(u64, DirId, bool)>,
+    reads: ReadPath,
+}
+
+impl SeqCore {
+    /// Creates the engine for core `id` under `cfg`.
+    pub fn new(id: CoreId, cfg: &SystemConfig) -> Self {
+        let bits = seq_bits(cfg);
+        SeqCore {
+            id,
+            map: cfg.map,
+            bits,
+            overhead: CordWidths::seq_overhead_bytes(bits, cfg.widths.reserved_bits),
+            next_tid: 0,
+            streams: HashMap::new(),
+            pending_acks: HashMap::new(),
+            pending_atomic: None,
+            reads: ReadPath::default(),
+        }
+    }
+
+    fn modulus(&self) -> u64 {
+        1u64.checked_shl(self.bits as u32).unwrap_or(u64::MAX)
+    }
+}
+
+impl CoreProtocol for SeqCore {
+    fn issue(&mut self, op: &Op, ctx: &mut CoreCtx<'_>) -> Issue {
+        // Pure write-through baseline: coerce write-back stores (§4.4) to
+        // write-through.
+        let coerced;
+        let op = match *op {
+            Op::StoreWb { addr, bytes, value, ord } => {
+                coerced = Op::Store { addr, bytes, value, ord };
+                &coerced
+            }
+            _ => op,
+        };
+        match *op {
+            Op::Store { addr, bytes, value, ord } => {
+                let dir = home_dir(&self.map, addr);
+                let modulus = self.modulus();
+                let stream = self.streams.entry(dir).or_default();
+                if stream.draining {
+                    // About to overflow: wait until every prior sequence
+                    // number is ordered and the space can be reset.
+                    return Issue::Stall(StallCause::Overflow);
+                }
+                let seq = stream.next_seq;
+                let wrap = seq == modulus - 1;
+                stream.next_seq = (seq + 1) % modulus;
+                if wrap {
+                    stream.draining = true;
+                }
+                let needs_ack = wrap || ord == StoreOrd::Release;
+                let tid = self.next_tid;
+                self.next_tid += 1;
+                if needs_ack {
+                    self.pending_acks.insert(tid, (dir, wrap));
+                }
+                ctx.send(Msg::sized(
+                    NodeRef::Core(self.id),
+                    NodeRef::Dir(dir),
+                    MsgKind::WtStore {
+                        tid,
+                        addr,
+                        bytes,
+                        value,
+                        ord,
+                        meta: WtMeta::Seq { seq },
+                        needs_ack,
+                    },
+                    self.overhead,
+                ));
+                Issue::Done
+            }
+            Op::AtomicRmw { addr, add, .. } => {
+                let dir = home_dir(&self.map, addr);
+                let modulus = self.modulus();
+                let stream = self.streams.entry(dir).or_default();
+                if stream.draining {
+                    return Issue::Stall(StallCause::Overflow);
+                }
+                let seq = stream.next_seq;
+                let wrap = seq == modulus - 1;
+                stream.next_seq = (seq + 1) % modulus;
+                if wrap {
+                    stream.draining = true;
+                }
+                let tid = self.next_tid;
+                self.next_tid += 1;
+                self.pending_atomic = Some((tid, dir, wrap));
+                ctx.send(Msg::sized(
+                    NodeRef::Core(self.id),
+                    NodeRef::Dir(dir),
+                    MsgKind::AtomicReq { tid, addr, add, ord: StoreOrd::Relaxed, meta: WtMeta::Seq { seq } },
+                    self.overhead,
+                ));
+                Issue::Pending
+            }
+            Op::Load { addr, bytes, .. } => {
+                self.reads.issue(self.id, &self.map, addr, bytes, ctx);
+                Issue::Pending
+            }
+            Op::BulkRead { addr, bytes, .. } => {
+                self.reads.issue(self.id, &self.map, addr, bytes, ctx);
+                Issue::Pending
+            }
+            Op::WaitValue { addr, .. } => {
+                self.reads.issue(self.id, &self.map, addr, 8, ctx);
+                Issue::Pending
+            }
+            Op::Fence { kind } => match kind {
+                FenceKind::Acquire => Issue::Done,
+                FenceKind::Release | FenceKind::Full => {
+                    if self.pending_acks.is_empty() {
+                        Issue::Done
+                    } else {
+                        Issue::Stall(StallCause::AckWait)
+                    }
+                }
+            },
+            Op::Compute { .. } => Issue::Done,
+            Op::StoreWb { .. } => unreachable!("write-back stores are coerced above"),
+        }
+    }
+
+    fn on_msg(&mut self, _from: NodeRef, kind: MsgKind, ctx: &mut CoreCtx<'_>) {
+        match kind {
+            MsgKind::WtAck { tid, .. } => {
+                let (dir, wrap) = self
+                    .pending_acks
+                    .remove(&tid)
+                    .expect("SeqCore: ack for unknown tid");
+                if wrap {
+                    // Every sequence number of the old space is now ordered.
+                    self.streams.get_mut(&dir).expect("stream exists").draining = false;
+                }
+                ctx.wake();
+            }
+            MsgKind::AtomicResp { tid, old, .. } => {
+                let (t, dir, wrap) = self.pending_atomic.take().expect("atomic response");
+                assert_eq!(t, tid);
+                if wrap {
+                    self.streams.get_mut(&dir).expect("stream exists").draining = false;
+                }
+                ctx.load_done(old);
+                ctx.wake();
+            }
+            MsgKind::ReadResp { tid, value, .. } => self.reads.on_resp(tid, value, ctx),
+            other => panic!("SeqCore: unexpected message {other:?}"),
+        }
+    }
+
+    fn quiesced(&self) -> bool {
+        self.pending_acks.is_empty() && self.pending_atomic.is_none() && !self.reads.is_pending()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct HeldStore {
+    src: NodeRef,
+    tid: u64,
+    addr: Addr,
+    value: u64,
+    needs_ack: bool,
+    bytes: u64,
+    /// `Some(addend)` for atomics (commit responds with the old value).
+    atomic: Option<u64>,
+}
+
+#[derive(Debug, Default)]
+struct SeqDirStream {
+    expected: u64,
+    held: BTreeMap<u64, HeldStore>,
+}
+
+/// Directory-side SEQ-N engine: commits each processor's stores in sequence
+/// order, holding out-of-order arrivals in a network buffer.
+#[derive(Debug)]
+pub struct SeqDir {
+    id: DirId,
+    bits: u8,
+    llc_access: Time,
+    streams: HashMap<CoreId, SeqDirStream>,
+    peak_buf_bytes: u64,
+    cur_buf_bytes: u64,
+}
+
+impl SeqDir {
+    /// Creates the engine for directory `id` under `cfg`.
+    pub fn new(id: DirId, cfg: &SystemConfig) -> Self {
+        SeqDir {
+            id,
+            bits: seq_bits(cfg),
+            llc_access: cfg.costs.llc_access,
+            streams: HashMap::new(),
+            peak_buf_bytes: 0,
+            cur_buf_bytes: 0,
+        }
+    }
+
+    fn modulus(&self) -> u64 {
+        1u64.checked_shl(self.bits as u32).unwrap_or(u64::MAX)
+    }
+
+    fn commit(&mut self, store: HeldStore, ctx: &mut DirCtx<'_>) {
+        if let Some(add) = store.atomic {
+            let old = ctx.mem.fetch_add(store.addr, add);
+            ctx.send_after(
+                self.llc_access,
+                Msg::new(
+                    NodeRef::Dir(self.id),
+                    store.src,
+                    MsgKind::AtomicResp { tid: store.tid, old, epoch: None },
+                ),
+            );
+            return;
+        }
+        ctx.mem.store(store.addr, store.value);
+        if store.needs_ack {
+            ctx.send_after(
+                self.llc_access,
+                Msg::new(
+                    NodeRef::Dir(self.id),
+                    store.src,
+                    MsgKind::WtAck { tid: store.tid, epoch: None },
+                ),
+            );
+        }
+    }
+}
+
+impl DirProtocol for SeqDir {
+    fn on_msg(&mut self, msg: Msg, ctx: &mut DirCtx<'_>) {
+        match msg.kind {
+            MsgKind::WtStore { tid, addr, value, needs_ack, meta, .. } => {
+                let seq = match meta {
+                    WtMeta::Seq { seq } => seq,
+                    other => panic!("SeqDir: store without sequence number: {other:?}"),
+                };
+                let core = match msg.src {
+                    NodeRef::Core(c) => c,
+                    other => panic!("SeqDir: store from non-core {other:?}"),
+                };
+                let modulus = self.modulus();
+                let held =
+                    HeldStore { src: msg.src, tid, addr, value, needs_ack, bytes: msg.bytes, atomic: None };
+                let stream = self.streams.entry(core).or_default();
+                if seq != stream.expected {
+                    // Out-of-order arrival: hold until the gap fills.
+                    self.cur_buf_bytes += held.bytes;
+                    self.peak_buf_bytes = self.peak_buf_bytes.max(self.cur_buf_bytes);
+                    stream.held.insert(seq, held);
+                    return;
+                }
+                stream.expected = (seq + 1) % modulus;
+                self.commit(held, ctx);
+                // Drain any consecutively-held stores.
+                loop {
+                    let stream = self.streams.get_mut(&core).expect("stream exists");
+                    let next = stream.expected;
+                    match stream.held.remove(&next) {
+                        Some(h) => {
+                            stream.expected = (next + 1) % modulus;
+                            self.cur_buf_bytes -= h.bytes;
+                            self.commit(h, ctx);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            MsgKind::AtomicReq { tid, addr, add, meta, .. } => {
+                let seq = match meta {
+                    WtMeta::Seq { seq } => seq,
+                    other => panic!("SeqDir: atomic without sequence number: {other:?}"),
+                };
+                let core = match msg.src {
+                    NodeRef::Core(c) => c,
+                    other => panic!("SeqDir: atomic from non-core {other:?}"),
+                };
+                let modulus = self.modulus();
+                let held = HeldStore {
+                    src: msg.src,
+                    tid,
+                    addr,
+                    value: 0,
+                    needs_ack: false,
+                    bytes: msg.bytes,
+                    atomic: Some(add),
+                };
+                let stream = self.streams.entry(core).or_default();
+                if seq != stream.expected {
+                    self.cur_buf_bytes += held.bytes;
+                    self.peak_buf_bytes = self.peak_buf_bytes.max(self.cur_buf_bytes);
+                    stream.held.insert(seq, held);
+                    return;
+                }
+                stream.expected = (seq + 1) % modulus;
+                self.commit(held, ctx);
+                loop {
+                    let stream = self.streams.get_mut(&core).expect("stream exists");
+                    let next = stream.expected;
+                    match stream.held.remove(&next) {
+                        Some(h) => {
+                            stream.expected = (next + 1) % modulus;
+                            self.cur_buf_bytes -= h.bytes;
+                            self.commit(h, ctx);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            MsgKind::ReadReq { tid, addr, bytes } => {
+                let value = ctx.mem.load(addr);
+                ctx.send_after(
+                    self.llc_access,
+                    Msg::new(
+                        NodeRef::Dir(self.id),
+                        msg.src,
+                        MsgKind::ReadResp { tid, value, bytes },
+                    ),
+                );
+            }
+            other => panic!("SeqDir: unexpected message {other:?}"),
+        }
+    }
+
+    fn storage(&self) -> DirStorage {
+        DirStorage {
+            peak_lut_bytes: self.streams.len() as u64 * 8, // expected-seq per core
+            peak_buf_bytes: self.peak_buf_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CoreEffect;
+    use cord_mem::Memory;
+
+    fn cfg(bits: u8) -> SystemConfig {
+        SystemConfig::cxl(ProtocolKind::Seq { bits }, 2)
+    }
+
+    fn store_op(addr: u64) -> Op {
+        Op::Store { addr: Addr::new(addr), bytes: 8, value: 1, ord: StoreOrd::Relaxed }
+    }
+
+    #[test]
+    fn wraps_stall_until_drain_ack() {
+        let c = cfg(2); // modulus 4
+        let mut core = SeqCore::new(CoreId(0), &c);
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
+        // line numbers ≡ 0 (mod 8) all home on slice 0 of host 0
+        for i in 0..4 {
+            assert_eq!(core.issue(&store_op(i * 512), &mut ctx), Issue::Done, "store {i}");
+        }
+        assert_eq!(
+            core.issue(&store_op(4 * 512), &mut ctx),
+            Issue::Stall(StallCause::Overflow)
+        );
+        // the 4th store (seq 3) requested an ack; deliver it
+        let wrap_tid = 3;
+        let mut fx2 = Vec::new();
+        let mut ctx2 = CoreCtx::new(Time::from_ns(500), &mut fx2);
+        core.on_msg(NodeRef::Dir(DirId(0)), MsgKind::WtAck { tid: wrap_tid, epoch: None }, &mut ctx2);
+        assert!(fx2.iter().any(|e| matches!(e, CoreEffect::Wake(_))));
+        let mut fx3 = Vec::new();
+        let mut ctx3 = CoreCtx::new(Time::from_ns(501), &mut fx3);
+        assert_eq!(core.issue(&store_op(4 * 512), &mut ctx3), Issue::Done);
+        assert!(core.quiesced());
+    }
+
+    #[test]
+    fn overhead_matches_bit_width() {
+        let c40 = cfg(40);
+        let mut core = SeqCore::new(CoreId(0), &c40);
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
+        core.issue(&store_op(0), &mut ctx);
+        match &fx[0] {
+            CoreEffect::Send { msg, .. } => assert_eq!(msg.bytes, 16 + 8 + 4),
+            other => panic!("{other:?}"),
+        }
+        let c8 = cfg(8);
+        let mut core8 = SeqCore::new(CoreId(1), &c8);
+        let mut fx8 = Vec::new();
+        let mut ctx8 = CoreCtx::new(Time::ZERO, &mut fx8);
+        core8.issue(&store_op(0), &mut ctx8);
+        match &fx8[0] {
+            CoreEffect::Send { msg, .. } => assert_eq!(msg.bytes, 16 + 8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn dir_commits_in_sequence_order() {
+        let c = cfg(8);
+        let mut dir = SeqDir::new(DirId(0), &c);
+        let mut mem = Memory::new();
+        let mut fx = Vec::new();
+        let mk = |seq: u64, value: u64| {
+            Msg::new(
+                NodeRef::Core(CoreId(1)),
+                NodeRef::Dir(DirId(0)),
+                MsgKind::WtStore {
+                    tid: seq,
+                    addr: Addr::new(0x40),
+                    bytes: 8,
+                    value,
+                    ord: StoreOrd::Relaxed,
+                    meta: WtMeta::Seq { seq },
+                    needs_ack: false,
+                },
+            )
+        };
+        // seq 1 arrives before seq 0: must be held
+        dir.on_msg(mk(1, 11), &mut DirCtx::new(Time::ZERO, &mut mem, &mut fx));
+        assert_eq!(mem.peek(Addr::new(0x40)), 0, "held store must not commit");
+        assert!(dir.storage().peak_buf_bytes > 0);
+        dir.on_msg(mk(0, 10), &mut DirCtx::new(Time::ZERO, &mut mem, &mut fx));
+        // both commit, in order: final value is seq 1's
+        assert_eq!(mem.peek(Addr::new(0x40)), 11);
+    }
+
+    #[test]
+    fn dir_acks_release_after_commit() {
+        let c = cfg(8);
+        let mut dir = SeqDir::new(DirId(0), &c);
+        let mut mem = Memory::new();
+        let mut fx = Vec::new();
+        let msg = Msg::new(
+            NodeRef::Core(CoreId(1)),
+            NodeRef::Dir(DirId(0)),
+            MsgKind::WtStore {
+                tid: 9,
+                addr: Addr::new(0),
+                bytes: 8,
+                value: 1,
+                ord: StoreOrd::Release,
+                meta: WtMeta::Seq { seq: 0 },
+                needs_ack: true,
+            },
+        );
+        dir.on_msg(msg, &mut DirCtx::new(Time::ZERO, &mut mem, &mut fx));
+        assert_eq!(fx.len(), 1);
+        match &fx[0] {
+            crate::engine::DirEffect::Send { msg, .. } => {
+                assert!(matches!(msg.kind, MsgKind::WtAck { tid: 9, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Source ordering (SO): the de facto write-through baseline.
+//!
+//! Every write-through store is acknowledged by its home directory, and the
+//! issuing processor enforces release consistency *at the source* (paper
+//! §3.1): a Release store may not issue until all prior write-through
+//! accesses have been acknowledged. This mirrors AMBA CHI's Ordered Write
+//! Observation and CXL.io's UIO write completions.
+//!
+//! Under TSO (paper §6) the engine totally orders all stores through a FIFO
+//! store buffer: each store drains only after the previous store's
+//! acknowledgment, serializing one interconnect round-trip per store.
+
+use std::collections::VecDeque;
+
+use cord_mem::{Addr, AddressMap};
+use cord_sim::Time;
+
+use crate::common::{home_dir, ReadPath};
+use crate::config::{ConsistencyModel, SystemConfig};
+use crate::engine::{CoreCtx, CoreProtocol, DirCtx, DirProtocol, Issue, StallCause};
+use crate::msg::{CoreId, DirId, Msg, MsgKind, NodeRef, WtMeta};
+use crate::ops::{FenceKind, Op, StoreOrd};
+
+/// A store waiting in the TSO FIFO store buffer.
+#[derive(Debug, Clone)]
+struct BufferedStore {
+    addr: Addr,
+    bytes: u32,
+    value: u64,
+    ord: StoreOrd,
+}
+
+/// Processor-side source-ordering engine.
+#[derive(Debug)]
+pub struct SoCore {
+    id: CoreId,
+    map: AddressMap,
+    model: ConsistencyModel,
+    store_window: usize,
+    tso_buffer_cap: usize,
+    next_tid: u64,
+    /// Outstanding (unacknowledged) write-through stores.
+    outstanding: usize,
+    /// An atomic awaiting its response.
+    pending_atomic: Option<u64>,
+    /// TSO FIFO store buffer (head is in flight when `tso_inflight`).
+    buffer: VecDeque<BufferedStore>,
+    tso_inflight: bool,
+    reads: ReadPath,
+}
+
+impl SoCore {
+    /// Creates the engine for core `id` under `cfg`.
+    pub fn new(id: CoreId, cfg: &SystemConfig) -> Self {
+        SoCore {
+            id,
+            map: cfg.map,
+            model: cfg.model,
+            store_window: cfg.costs.store_window,
+            tso_buffer_cap: 64,
+            next_tid: 0,
+            outstanding: 0,
+            pending_atomic: None,
+            buffer: VecDeque::new(),
+            tso_inflight: false,
+            reads: ReadPath::default(),
+        }
+    }
+
+    /// Outstanding unacknowledged stores (test/diagnostic hook).
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    fn send_store(
+        &mut self,
+        addr: Addr,
+        bytes: u32,
+        value: u64,
+        ord: StoreOrd,
+        ctx: &mut CoreCtx<'_>,
+    ) {
+        let tid = self.next_tid;
+        self.next_tid += 1;
+        self.outstanding += 1;
+        let dir = home_dir(&self.map, addr);
+        ctx.send(Msg::new(
+            NodeRef::Core(self.id),
+            NodeRef::Dir(dir),
+            MsgKind::WtStore {
+                tid,
+                addr,
+                bytes,
+                value,
+                ord,
+                meta: WtMeta::None,
+                needs_ack: true,
+            },
+        ));
+    }
+
+    fn issue_rc(&mut self, op: &Op, ctx: &mut CoreCtx<'_>) -> Issue {
+        match *op {
+            Op::Store { addr, bytes, value, ord } => {
+                if ord == StoreOrd::Release && self.outstanding > 0 {
+                    // The source may not issue a Release until every prior
+                    // write-through access is acknowledged (paper Fig. 1).
+                    return Issue::Stall(StallCause::AckWait);
+                }
+                if self.outstanding >= self.store_window {
+                    return Issue::Stall(StallCause::StoreWindow);
+                }
+                self.send_store(addr, bytes, value, ord, ctx);
+                Issue::Done
+            }
+            Op::AtomicRmw { addr, add, ord, .. } => {
+                // Far atomic: ordered exactly like a write-through store of
+                // the same annotation, and blocking (the result is needed).
+                if ord == StoreOrd::Release && self.outstanding > 0 {
+                    return Issue::Stall(StallCause::AckWait);
+                }
+                let tid = self.next_tid;
+                self.next_tid += 1;
+                self.outstanding += 1;
+                self.pending_atomic = Some(tid);
+                let dir = home_dir(&self.map, addr);
+                ctx.send(Msg::new(
+                    NodeRef::Core(self.id),
+                    NodeRef::Dir(dir),
+                    MsgKind::AtomicReq { tid, addr, add, ord, meta: WtMeta::None },
+                ));
+                Issue::Pending
+            }
+            Op::Load { addr, bytes, .. } => {
+                self.reads.issue(self.id, &self.map, addr, bytes, ctx);
+                Issue::Pending
+            }
+            Op::BulkRead { addr, bytes, .. } => {
+                self.reads.issue(self.id, &self.map, addr, bytes, ctx);
+                Issue::Pending
+            }
+            Op::WaitValue { addr, .. } => {
+                self.reads.issue(self.id, &self.map, addr, 8, ctx);
+                Issue::Pending
+            }
+            Op::Fence { kind } => match kind {
+                FenceKind::Acquire => Issue::Done,
+                FenceKind::Release | FenceKind::Full => {
+                    if self.outstanding > 0 {
+                        Issue::Stall(StallCause::AckWait)
+                    } else {
+                        Issue::Done
+                    }
+                }
+            },
+            Op::Compute { .. } => Issue::Done,
+            Op::StoreWb { .. } => unreachable!("write-back stores are coerced above"),
+        }
+    }
+
+    fn issue_tso(&mut self, op: &Op, ctx: &mut CoreCtx<'_>) -> Issue {
+        match *op {
+            Op::Store { addr, bytes, value, ord } => {
+                if self.buffer.len() >= self.tso_buffer_cap {
+                    return Issue::Stall(StallCause::StoreBuffer);
+                }
+                self.buffer.push_back(BufferedStore { addr, bytes, value, ord });
+                self.drain_tso(ctx);
+                Issue::Done
+            }
+            Op::AtomicRmw { addr, add, ord, .. } => {
+                // TSO atomics are serializing: drain the store buffer first.
+                if !self.buffer.is_empty() || self.tso_inflight || self.outstanding > 0 {
+                    return Issue::Stall(StallCause::StoreBuffer);
+                }
+                let tid = self.next_tid;
+                self.next_tid += 1;
+                self.outstanding += 1;
+                self.pending_atomic = Some(tid);
+                let dir = home_dir(&self.map, addr);
+                let _ = ord;
+                ctx.send(Msg::new(
+                    NodeRef::Core(self.id),
+                    NodeRef::Dir(dir),
+                    MsgKind::AtomicReq { tid, addr, add, ord, meta: WtMeta::None },
+                ));
+                Issue::Pending
+            }
+            Op::Load { addr, bytes, .. } => {
+                // TSO permits store→load reordering through the store
+                // buffer: loads proceed while stores drain.
+                self.reads.issue(self.id, &self.map, addr, bytes, ctx);
+                Issue::Pending
+            }
+            Op::BulkRead { addr, bytes, .. } => {
+                self.reads.issue(self.id, &self.map, addr, bytes, ctx);
+                Issue::Pending
+            }
+            Op::WaitValue { addr, .. } => {
+                self.reads.issue(self.id, &self.map, addr, 8, ctx);
+                Issue::Pending
+            }
+            Op::Fence { kind } => match kind {
+                FenceKind::Acquire => Issue::Done,
+                FenceKind::Release | FenceKind::Full => {
+                    if self.buffer.is_empty() && !self.tso_inflight && self.outstanding == 0 {
+                        Issue::Done
+                    } else {
+                        Issue::Stall(StallCause::StoreBuffer)
+                    }
+                }
+            },
+            Op::Compute { .. } => Issue::Done,
+            Op::StoreWb { .. } => unreachable!("write-back stores are coerced above"),
+        }
+    }
+
+    /// Sends the head of the TSO store buffer if nothing is in flight.
+    fn drain_tso(&mut self, ctx: &mut CoreCtx<'_>) {
+        if self.tso_inflight {
+            return;
+        }
+        if let Some(s) = self.buffer.pop_front() {
+            self.tso_inflight = true;
+            self.send_store(s.addr, s.bytes, s.value, s.ord, ctx);
+        }
+    }
+}
+
+impl CoreProtocol for SoCore {
+    fn issue(&mut self, op: &Op, ctx: &mut CoreCtx<'_>) -> Issue {
+        // Pure write-through baseline: coerce write-back stores (§4.4) to
+        // write-through.
+        let coerced;
+        let op = match *op {
+            Op::StoreWb { addr, bytes, value, ord } => {
+                coerced = Op::Store { addr, bytes, value, ord };
+                &coerced
+            }
+            _ => op,
+        };
+        match self.model {
+            ConsistencyModel::Rc => self.issue_rc(op, ctx),
+            ConsistencyModel::Tso => self.issue_tso(op, ctx),
+        }
+    }
+
+    fn on_msg(&mut self, _from: NodeRef, kind: MsgKind, ctx: &mut CoreCtx<'_>) {
+        match kind {
+            MsgKind::WtAck { .. } => {
+                debug_assert!(self.outstanding > 0, "spurious ack");
+                self.outstanding -= 1;
+                if self.model == ConsistencyModel::Tso {
+                    self.tso_inflight = false;
+                    self.drain_tso(ctx);
+                }
+                // A Release (or fence) may be waiting for the drain.
+                if self.outstanding == 0 && self.buffer.is_empty() {
+                    ctx.wake();
+                }
+            }
+            MsgKind::AtomicResp { tid, old, .. } => {
+                assert_eq!(self.pending_atomic.take(), Some(tid), "unexpected atomic response");
+                debug_assert!(self.outstanding > 0);
+                self.outstanding -= 1;
+                ctx.load_done(old);
+                if self.outstanding == 0 && self.buffer.is_empty() {
+                    ctx.wake();
+                }
+            }
+            MsgKind::ReadResp { tid, value, .. } => self.reads.on_resp(tid, value, ctx),
+            other => panic!("SoCore: unexpected message {other:?}"),
+        }
+    }
+
+    fn quiesced(&self) -> bool {
+        self.outstanding == 0
+            && self.buffer.is_empty()
+            && self.pending_atomic.is_none()
+            && !self.reads.is_pending()
+    }
+}
+
+/// Directory-side source-ordering engine: commits write-through stores on
+/// arrival and acknowledges each one.
+#[derive(Debug)]
+pub struct SoDir {
+    id: DirId,
+    llc_access: Time,
+}
+
+impl SoDir {
+    /// Creates the engine for directory `id` under `cfg`.
+    pub fn new(id: DirId, cfg: &SystemConfig) -> Self {
+        SoDir { id, llc_access: cfg.costs.llc_access }
+    }
+}
+
+impl DirProtocol for SoDir {
+    fn on_msg(&mut self, msg: Msg, ctx: &mut DirCtx<'_>) {
+        match msg.kind {
+            MsgKind::WtStore { tid, addr, value, needs_ack, .. } => {
+                ctx.mem.store(addr, value);
+                if needs_ack {
+                    ctx.send_after(
+                        self.llc_access,
+                        Msg::new(
+                            NodeRef::Dir(self.id),
+                            msg.src,
+                            MsgKind::WtAck { tid, epoch: None },
+                        ),
+                    );
+                }
+            }
+            MsgKind::AtomicReq { tid, addr, add, .. } => {
+                let old = ctx.mem.fetch_add(addr, add);
+                ctx.send_after(
+                    self.llc_access,
+                    Msg::new(
+                        NodeRef::Dir(self.id),
+                        msg.src,
+                        MsgKind::AtomicResp { tid, old, epoch: None },
+                    ),
+                );
+            }
+            MsgKind::ReadReq { tid, addr, bytes } => {
+                let value = ctx.mem.load(addr);
+                ctx.send_after(
+                    self.llc_access,
+                    Msg::new(
+                        NodeRef::Dir(self.id),
+                        msg.src,
+                        MsgKind::ReadResp { tid, value, bytes },
+                    ),
+                );
+            }
+            other => panic!("SoDir: unexpected message {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProtocolKind;
+    use crate::engine::CoreEffect;
+    use crate::ops::LoadOrd;
+    use cord_mem::Memory;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::cxl(ProtocolKind::So, 2)
+    }
+
+    fn store_op(addr: u64, ord: StoreOrd) -> Op {
+        Op::Store { addr: Addr::new(addr), bytes: 64, value: 1, ord }
+    }
+
+    fn run_issue(core: &mut SoCore, op: &Op) -> (Issue, Vec<CoreEffect>) {
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
+        let r = core.issue(op, &mut ctx);
+        (r, fx)
+    }
+
+    fn deliver_ack(core: &mut SoCore, tid: u64) -> Vec<CoreEffect> {
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(Time::from_ns(100), &mut fx);
+        core.on_msg(
+            NodeRef::Dir(DirId(0)),
+            MsgKind::WtAck { tid, epoch: None },
+            &mut ctx,
+        );
+        fx
+    }
+
+    #[test]
+    fn relaxed_stores_pipeline_release_stalls() {
+        let c = cfg();
+        let mut core = SoCore::new(CoreId(0), &c);
+        let (r1, fx1) = run_issue(&mut core, &store_op(0, StoreOrd::Relaxed));
+        let (r2, fx2) = run_issue(&mut core, &store_op(64, StoreOrd::Relaxed));
+        assert_eq!(r1, Issue::Done);
+        assert_eq!(r2, Issue::Done);
+        assert_eq!(fx1.len() + fx2.len(), 2);
+        assert_eq!(core.outstanding(), 2);
+
+        let (r3, fx3) = run_issue(&mut core, &store_op(128, StoreOrd::Release));
+        assert_eq!(r3, Issue::Stall(StallCause::AckWait));
+        assert!(fx3.is_empty());
+
+        deliver_ack(&mut core, 0);
+        let wake = deliver_ack(&mut core, 1);
+        assert!(wake.iter().any(|e| matches!(e, CoreEffect::Wake(_))));
+        let (r4, _) = run_issue(&mut core, &store_op(128, StoreOrd::Release));
+        assert_eq!(r4, Issue::Done);
+        assert!(!core.quiesced()); // release itself awaits its ack
+        deliver_ack(&mut core, 2);
+        assert!(core.quiesced());
+    }
+
+    #[test]
+    fn tso_serializes_stores() {
+        let c = cfg().with_model(ConsistencyModel::Tso);
+        let mut core = SoCore::new(CoreId(0), &c);
+        let (_, fx1) = run_issue(&mut core, &store_op(0, StoreOrd::Relaxed));
+        assert_eq!(count_sends(&fx1), 1); // head departs immediately
+        let (_, fx2) = run_issue(&mut core, &store_op(64, StoreOrd::Relaxed));
+        assert_eq!(count_sends(&fx2), 0); // second waits for the ack
+        let fx3 = deliver_ack(&mut core, 0);
+        assert_eq!(count_sends(&fx3), 1); // ack releases the next store
+        assert!(!core.quiesced());
+        deliver_ack(&mut core, 1);
+        assert!(core.quiesced());
+    }
+
+    #[test]
+    fn fence_release_waits_for_acks() {
+        let c = cfg();
+        let mut core = SoCore::new(CoreId(0), &c);
+        run_issue(&mut core, &store_op(0, StoreOrd::Relaxed));
+        let (r, _) = run_issue(&mut core, &Op::Fence { kind: FenceKind::Release });
+        assert_eq!(r, Issue::Stall(StallCause::AckWait));
+        let (r, _) = run_issue(&mut core, &Op::Fence { kind: FenceKind::Acquire });
+        assert_eq!(r, Issue::Done);
+        deliver_ack(&mut core, 0);
+        let (r, _) = run_issue(&mut core, &Op::Fence { kind: FenceKind::Full });
+        assert_eq!(r, Issue::Done);
+    }
+
+    #[test]
+    fn load_roundtrip_through_dir() {
+        let c = cfg();
+        let mut core = SoCore::new(CoreId(0), &c);
+        let mut dir = SoDir::new(DirId(0), &c);
+        let mut mem = Memory::new();
+
+        // Store a value via the directory first.
+        let mut dfx = Vec::new();
+        let store = Msg::new(
+            NodeRef::Core(CoreId(0)),
+            NodeRef::Dir(DirId(0)),
+            MsgKind::WtStore {
+                tid: 0,
+                addr: Addr::new(0x40),
+                bytes: 8,
+                value: 77,
+                ord: StoreOrd::Relaxed,
+                meta: WtMeta::None,
+                needs_ack: true,
+            },
+        );
+        dir.on_msg(store, &mut DirCtx::new(Time::ZERO, &mut mem, &mut dfx));
+        assert_eq!(mem.peek(Addr::new(0x40)), 77);
+        assert_eq!(dfx.len(), 1); // the ack
+
+        // Now load it back.
+        let op = Op::Load { addr: Addr::new(0x40), bytes: 8, ord: LoadOrd::Acquire, reg: 0 };
+        let (r, fx) = run_issue(&mut core, &op);
+        assert_eq!(r, Issue::Pending);
+        let req = match &fx[0] {
+            CoreEffect::Send { msg, .. } => msg.clone(),
+            other => panic!("expected send, got {other:?}"),
+        };
+        dfx.clear();
+        dir.on_msg(req, &mut DirCtx::new(Time::from_ns(200), &mut mem, &mut dfx));
+        let resp = match &dfx[0] {
+            crate::engine::DirEffect::Send { msg, .. } => msg.clone(),
+            other => panic!("expected send, got {other:?}"),
+        };
+        let mut fx2 = Vec::new();
+        let mut ctx = CoreCtx::new(Time::from_ns(400), &mut fx2);
+        core.on_msg(resp.src, resp.kind, &mut ctx);
+        assert!(fx2.iter().any(|e| matches!(e, CoreEffect::LoadDone { value: 77 })));
+    }
+
+    #[test]
+    fn store_window_limits_outstanding() {
+        let mut c = cfg();
+        c.costs.store_window = 2;
+        let mut core = SoCore::new(CoreId(0), &c);
+        run_issue(&mut core, &store_op(0, StoreOrd::Relaxed));
+        run_issue(&mut core, &store_op(64, StoreOrd::Relaxed));
+        let (r, _) = run_issue(&mut core, &store_op(128, StoreOrd::Relaxed));
+        assert_eq!(r, Issue::Stall(StallCause::StoreWindow));
+    }
+
+    fn count_sends(fx: &[CoreEffect]) -> usize {
+        fx.iter().filter(|e| matches!(e, CoreEffect::Send { .. })).count()
+    }
+
+    #[test]
+    fn atomic_blocks_and_counts_as_outstanding() {
+        let c = cfg();
+        let mut core = SoCore::new(CoreId(0), &c);
+        let mut fx = Vec::new();
+        let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
+        let op = Op::AtomicRmw { addr: Addr::new(0x40), add: 3, ord: StoreOrd::Relaxed, reg: 1 };
+        assert_eq!(core.issue(&op, &mut ctx), Issue::Pending);
+        assert_eq!(core.outstanding(), 1);
+        assert!(!core.quiesced());
+        // A Release store must wait for the atomic's completion.
+        let rel = Op::Store { addr: Addr::new(0x80), bytes: 8, value: 1, ord: StoreOrd::Release };
+        assert_eq!(core.issue(&rel, &mut ctx), Issue::Stall(StallCause::AckWait));
+        // The response completes the frontend load and drains outstanding.
+        let mut fx2 = Vec::new();
+        let mut ctx2 = CoreCtx::new(Time::from_ns(500), &mut fx2);
+        core.on_msg(
+            NodeRef::Dir(DirId(0)),
+            MsgKind::AtomicResp { tid: 0, old: 9, epoch: None },
+            &mut ctx2,
+        );
+        assert!(fx2.iter().any(|e| matches!(e, CoreEffect::LoadDone { value: 9 })));
+        assert!(core.quiesced());
+        let mut fx3 = Vec::new();
+        let mut ctx3 = CoreCtx::new(Time::from_ns(501), &mut fx3);
+        assert_eq!(core.issue(&rel, &mut ctx3), Issue::Done);
+    }
+
+    #[test]
+    fn dir_applies_atomics_and_responds() {
+        let c = cfg();
+        let mut dir = SoDir::new(DirId(0), &c);
+        let mut mem = Memory::new();
+        mem.store(Addr::new(0x40), 10);
+        let mut fx = Vec::new();
+        let req = Msg::new(
+            NodeRef::Core(CoreId(2)),
+            NodeRef::Dir(DirId(0)),
+            MsgKind::AtomicReq {
+                tid: 7,
+                addr: Addr::new(0x40),
+                add: 5,
+                ord: StoreOrd::Relaxed,
+                meta: WtMeta::None,
+            },
+        );
+        dir.on_msg(req, &mut DirCtx::new(Time::ZERO, &mut mem, &mut fx));
+        assert_eq!(mem.peek(Addr::new(0x40)), 15);
+        match &fx[0] {
+            crate::engine::DirEffect::Send { msg, .. } => {
+                assert!(matches!(msg.kind, MsgKind::AtomicResp { tid: 7, old: 10, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

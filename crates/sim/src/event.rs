@@ -1,0 +1,175 @@
+//! Deterministic event queue.
+//!
+//! Events are ordered by timestamp; ties are broken by insertion order so a
+//! simulation run is bit-for-bit reproducible regardless of payload type.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Time;
+
+/// A priority queue of `(Time, E)` events with deterministic FIFO tie-breaking.
+///
+/// # Example
+///
+/// ```
+/// use cord_sim::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_ns(3), 'x');
+/// q.push(Time::from_ns(3), 'y'); // same time: FIFO order preserved
+/// q.push(Time::from_ns(1), 'z');
+/// assert_eq!(q.pop(), Some((Time::from_ns(1), 'z')));
+/// assert_eq!(q.pop(), Some((Time::from_ns(3), 'x')));
+/// assert_eq!(q.pop(), Some((Time::from_ns(3), 'y')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    now: Time,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time — an event
+    /// in the past indicates a component bug, and silently reordering it
+    /// would make runs nondeterministic.
+    pub fn push(&mut self, at: Time, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            payload,
+        }));
+    }
+
+    /// Removes and returns the earliest event, advancing the queue's notion
+    /// of "now" to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        self.now = e.time;
+        Some((e.time, e.payload))
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// The timestamp of the most recently popped event.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue has no pending events.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(5), 1);
+        q.push(Time::from_ns(2), 2);
+        q.push(Time::from_ns(5), 3);
+        q.push(Time::from_ns(2), 4);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![2, 4, 1, 3]);
+    }
+
+    #[test]
+    fn now_advances_with_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Time::ZERO);
+        q.push(Time::from_ns(9), ());
+        q.pop();
+        assert_eq!(q.now(), Time::from_ns(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn past_event_panics() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(10), ());
+        q.pop();
+        q.push(Time::from_ns(5), ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Time::from_ns(1), ());
+        q.push(Time::from_ns(1), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(Time::from_ns(1)));
+    }
+}

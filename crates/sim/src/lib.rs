@@ -1,0 +1,32 @@
+//! Discrete-event simulation kernel for the CORD multi-PU coherence simulator.
+//!
+//! This crate provides the timing substrate that every other crate in the
+//! workspace builds on:
+//!
+//! * [`Time`] — picosecond-resolution simulated time with cycle/ns conversions,
+//! * [`EventQueue`] — a deterministic priority queue of timestamped events,
+//! * [`DetRng`] — a seedable, stream-splittable random number generator so
+//!   that every simulation run is exactly reproducible,
+//! * [`StallTracker`] / [`Counter`] / [`Histogram`] — lightweight statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use cord_sim::{EventQueue, Time};
+//!
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.push(Time::from_ns(10), "b");
+//! q.push(Time::from_ns(5), "a");
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!((t, e), (Time::from_ns(5), "a"));
+//! ```
+
+mod event;
+mod rng;
+mod stats;
+mod time;
+
+pub use event::EventQueue;
+pub use rng::DetRng;
+pub use stats::{Counter, Histogram, StallTracker};
+pub use time::{Freq, Time};

@@ -1,0 +1,247 @@
+//! Lightweight statistics primitives shared by simulator components.
+
+use std::fmt;
+
+use crate::time::Time;
+
+/// A monotonically increasing event/byte counter.
+///
+/// # Example
+///
+/// ```
+/// use cord_sim::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Accumulates total stalled time plus the number of distinct stall episodes.
+///
+/// Used by processor models to attribute execution time to causes such as
+/// "waiting for write-through acknowledgments" (paper Fig. 2).
+///
+/// # Example
+///
+/// ```
+/// use cord_sim::{StallTracker, Time};
+///
+/// let mut s = StallTracker::default();
+/// s.begin(Time::from_ns(10));
+/// s.end(Time::from_ns(25));
+/// assert_eq!(s.total(), Time::from_ns(15));
+/// assert_eq!(s.episodes(), 1);
+/// ```
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StallTracker {
+    total: Time,
+    episodes: u64,
+    open_since: Option<Time>,
+}
+
+impl StallTracker {
+    /// Creates an idle tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks the beginning of a stall episode at time `now`.
+    ///
+    /// Beginning a stall while one is already open is a no-op (the earlier
+    /// start time is kept), which lets callers conservatively re-assert a
+    /// stall condition.
+    pub fn begin(&mut self, now: Time) {
+        if self.open_since.is_none() {
+            self.open_since = Some(now);
+        }
+    }
+
+    /// Ends the current stall episode at time `now`, accumulating its length.
+    ///
+    /// Ending with no open episode is a no-op.
+    pub fn end(&mut self, now: Time) {
+        if let Some(start) = self.open_since.take() {
+            self.total += now.saturating_sub(start);
+            self.episodes += 1;
+        }
+    }
+
+    /// Whether a stall episode is currently open.
+    pub fn is_open(&self) -> bool {
+        self.open_since.is_some()
+    }
+
+    /// Total stalled time across all completed episodes.
+    pub fn total(&self) -> Time {
+        self.total
+    }
+
+    /// Number of completed stall episodes.
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// Directly accumulates a stall of known duration (no open episode).
+    pub fn add(&mut self, dur: Time) {
+        self.total += dur;
+        self.episodes += 1;
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples (power-of-two buckets).
+///
+/// # Example
+///
+/// ```
+/// use cord_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(1);
+/// h.record(100);
+/// h.record(100);
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.max(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = 64 - v.leading_zeros() as usize; // 0 for v==0, else floor(log2)+1
+        self.buckets[b.min(63)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count of samples in the bucket containing `v`.
+    pub fn bucket_count(&self, v: u64) -> u64 {
+        let b = 64 - v.leading_zeros() as usize;
+        self.buckets[b.min(63)]
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.add(10);
+        c.add(5);
+        c.incr();
+        assert_eq!(c.get(), 16);
+        assert_eq!(c.to_string(), "16");
+    }
+
+    #[test]
+    fn stall_tracker_episodes() {
+        let mut s = StallTracker::new();
+        s.begin(Time::from_ns(1));
+        s.begin(Time::from_ns(2)); // ignored, already open
+        assert!(s.is_open());
+        s.end(Time::from_ns(4));
+        s.end(Time::from_ns(9)); // ignored, not open
+        assert_eq!(s.total(), Time::from_ns(3));
+        assert_eq!(s.episodes(), 1);
+        s.add(Time::from_ns(7));
+        assert_eq!(s.total(), Time::from_ns(10));
+        assert_eq!(s.episodes(), 2);
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.mean() > 0.0);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(2), 2); // 2 and 3 share a bucket
+    }
+
+    #[test]
+    fn histogram_empty_mean() {
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+}

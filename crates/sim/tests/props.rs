@@ -1,0 +1,92 @@
+//! Property tests for the simulation kernel.
+
+use proptest::prelude::*;
+
+use cord_sim::{DetRng, EventQueue, Histogram, StallTracker, Time};
+
+proptest! {
+    /// The queue dequeues in nondecreasing time order, and same-time events
+    /// preserve insertion order (determinism).
+    #[test]
+    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_ns(t), i);
+        }
+        let mut out: Vec<(Time, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e);
+        }
+        prop_assert_eq!(out.len(), times.len());
+        for w in out.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Pushing at the current time from within the drain loop is legal and
+    /// preserves ordering.
+    #[test]
+    fn event_queue_allows_now_pushes(seed in 0u64..1000) {
+        let mut rng = DetRng::new(seed);
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(1), 0u32);
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            popped += 1;
+            if popped < 50 && rng.chance(0.7) {
+                q.push(t + Time::from_ns(rng.range_u64(0..5)), popped);
+            }
+        }
+        prop_assert!(popped >= 1);
+        prop_assert!(q.is_empty());
+    }
+
+    /// Stall episodes never lose time: total equals the sum of
+    /// (end - begin) for well-formed begin/end pairs.
+    #[test]
+    fn stall_tracker_accumulates_exactly(pairs in prop::collection::vec((0u64..100, 0u64..100), 1..40)) {
+        let mut s = StallTracker::new();
+        let mut now = 0u64;
+        let mut expect = 0u64;
+        for (gap, dur) in pairs {
+            now += gap;
+            s.begin(Time::from_ns(now));
+            now += dur;
+            s.end(Time::from_ns(now));
+            expect += dur;
+        }
+        prop_assert_eq!(s.total(), Time::from_ns(expect));
+    }
+
+    /// Histogram totals are conserved.
+    #[test]
+    fn histogram_conserves_counts(vals in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), vals.len() as u64);
+        prop_assert_eq!(h.sum(), vals.iter().sum::<u64>());
+        prop_assert_eq!(h.max(), *vals.iter().max().unwrap());
+        let mean = h.mean();
+        let lo = *vals.iter().min().unwrap() as f64;
+        let hi = h.max() as f64;
+        prop_assert!(mean >= lo && mean <= hi);
+    }
+
+    /// DetRng streams are reproducible and range-respecting.
+    #[test]
+    fn rng_ranges_hold(seed in 0u64..10_000, lo in 0u64..100, width in 1u64..1000) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        for _ in 0..20 {
+            let x = a.range_u64(lo..lo + width);
+            let y = b.range_u64(lo..lo + width);
+            prop_assert_eq!(x, y);
+            prop_assert!((lo..lo + width).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The §5.3 sensitivity microbenchmark.
+//!
+//! One thread (host 0, tile 0) repeatedly writes through to other CPU hosts'
+//! memory. Per synchronization period it spreads `sync_gran` bytes of
+//! Relaxed stores (each `store_gran` bytes) evenly over `fanout` target
+//! hosts, then issues one Release store homed with the *last* target host's
+//! data — the Fig. 5 pattern: at fanout 1 the epoch is single-directory (no
+//! inter-directory notifications), at fanout *n* the Release triggers
+//! *n − 1* request-for-notification/notification pairs.
+
+use cord_mem::AddressMap;
+use cord_proto::{Op, Program, StoreOrd, SystemConfig};
+
+use crate::region::Region;
+
+/// Configurable single-thread write-through microbenchmark.
+///
+/// # Example
+///
+/// ```
+/// use cord_proto::{ProtocolKind, SystemConfig};
+/// use cord_workloads::MicroBench;
+///
+/// let cfg = SystemConfig::cxl(ProtocolKind::Cord, 8);
+/// let programs = MicroBench::new(64, 4096, 1).programs(&cfg);
+/// assert_eq!(programs.len(), 64);
+/// assert!(programs[0].len() > 0, "host 0 runs the benchmark thread");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroBench {
+    /// Relaxed store granularity in bytes (paper sweeps 8 B – 4 KB).
+    pub store_gran: u32,
+    /// Bytes communicated per Release store (paper sweeps 64 B – 2 MB).
+    pub sync_gran: u64,
+    /// Number of target hosts (paper sweeps 1 – 7).
+    pub fanout: u32,
+    /// Synchronization periods to run.
+    pub iters: u32,
+}
+
+impl MicroBench {
+    /// Creates a microbenchmark; iteration count defaults to 8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    pub fn new(store_gran: u32, sync_gran: u64, fanout: u32) -> Self {
+        assert!(store_gran > 0 && sync_gran > 0 && fanout > 0, "parameters must be positive");
+        MicroBench { store_gran, sync_gran, fanout, iters: 8 }
+    }
+
+    /// Overrides the iteration count (builder style).
+    pub fn with_iters(mut self, iters: u32) -> Self {
+        assert!(iters > 0, "need at least one iteration");
+        self.iters = iters;
+        self
+    }
+
+    /// Total Relaxed payload bytes the benchmark will move.
+    pub fn payload_bytes(&self) -> u64 {
+        self.sync_gran * self.iters as u64
+    }
+
+    /// Builds the per-core programs for `cfg` (only host 0 tile 0 is
+    /// active).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has fewer than `fanout + 1` hosts.
+    pub fn programs(&self, cfg: &SystemConfig) -> Vec<Program> {
+        let map: &AddressMap = &cfg.map;
+        assert!(
+            cfg.noc.hosts > self.fanout,
+            "need {} hosts for fanout {}",
+            self.fanout + 1,
+            self.fanout
+        );
+        let targets: Vec<Region> = (1..=self.fanout)
+            .map(|h| Region::new(map, h, 0, 0))
+            .collect();
+        let per_target = self.sync_gran / self.fanout as u64;
+        let remainder = self.sync_gran - per_target * self.fanout as u64;
+        let mut ops: Vec<Op> = Vec::new();
+        let mut k = 0u64;
+        for iter in 0..self.iters {
+            for (t, region) in targets.iter().enumerate() {
+                let mut bytes = per_target;
+                if t == targets.len() - 1 {
+                    bytes += remainder;
+                }
+                k = region.emit_stores(map, &mut ops, k, bytes, self.store_gran, iter as u64 + 1);
+            }
+            // Release store homed with the last target's data (Fig. 5).
+            let flag_region = targets.last().expect("fanout ≥ 1");
+            ops.push(Op::Store {
+                addr: flag_region.flag(map),
+                bytes: 8,
+                value: iter as u64 + 1,
+                ord: StoreOrd::Release,
+            });
+        }
+        let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
+        programs[0] = Program::from_ops(ops);
+        programs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_proto::ProtocolKind;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::cxl(ProtocolKind::Cord, 8)
+    }
+
+    #[test]
+    fn volume_matches_parameters() {
+        let mb = MicroBench::new(64, 4096, 4).with_iters(3);
+        let programs = mb.programs(&cfg());
+        let p = &programs[0];
+        assert_eq!(p.store_bytes(), 3 * (4096 + 8));
+        assert_eq!(p.release_count(), 3);
+        assert_eq!(mb.payload_bytes(), 3 * 4096);
+    }
+
+    #[test]
+    fn fanout_one_targets_single_directory() {
+        let mb = MicroBench::new(64, 1024, 1).with_iters(1);
+        let programs = mb.programs(&cfg());
+        let map = cfg().map;
+        let mut dirs: Vec<u32> = programs[0]
+            .iter()
+            .filter_map(|op| match op {
+                Op::Store { addr, .. } => Some(map.home_dir(*addr)),
+                _ => None,
+            })
+            .collect();
+        dirs.dedup();
+        assert_eq!(dirs.len(), 1, "fanout 1 must stay on one directory");
+    }
+
+    #[test]
+    fn fanout_spreads_over_hosts() {
+        let mb = MicroBench::new(64, 7 * 512, 7).with_iters(1);
+        let programs = mb.programs(&cfg());
+        let map = cfg().map;
+        let mut hosts: Vec<u32> = programs[0]
+            .iter()
+            .filter_map(|op| match op {
+                Op::Store { addr, ord: StoreOrd::Relaxed, .. } => Some(map.home_host(*addr)),
+                _ => None,
+            })
+            .collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        assert_eq!(hosts, (1..=7).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn only_core_zero_is_active() {
+        let programs = MicroBench::new(8, 64, 2).programs(&cfg());
+        assert!(programs[1..].iter().all(|p| p.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 8 hosts")]
+    fn too_small_system_panics() {
+        let cfg2 = SystemConfig::cxl(ProtocolKind::Cord, 2);
+        MicroBench::new(8, 64, 7).programs(&cfg2);
+    }
+
+    #[test]
+    fn sub_line_granularity_works() {
+        let mb = MicroBench::new(8, 256, 1).with_iters(2);
+        let programs = mb.programs(&cfg());
+        // 256/8 = 32 relaxed stores + 1 release per iteration
+        assert_eq!(programs[0].len(), 2 * 33);
+    }
+}

@@ -1,0 +1,177 @@
+//! Slice-local memory regions for workload data placement.
+//!
+//! The paper's multi-directory effects are dominated by *host-level*
+//! distribution (Fig. 4 right, Fig. 5): each producer-consumer stream lives
+//! on one LLC slice of the consumer's host, and different streams/flags use
+//! different slices. A [`Region`] hands out store addresses that all home on
+//! one chosen slice, regardless of store granularity, by striding whole
+//! line-interleave periods.
+
+use cord_mem::{Addr, AddressMap, LINE_BYTES};
+
+/// A sequence of store targets, all homed on one (host, slice) directory.
+///
+/// # Example
+///
+/// ```
+/// use cord_mem::AddressMap;
+/// use cord_workloads::Region;
+///
+/// let map = AddressMap::default();
+/// let r = Region::new(&map, 1, 3, 0);
+/// for k in 0..16 {
+///     let a = r.addr(&map, k);
+///     assert_eq!(map.home_host(a), 1);
+///     assert_eq!(map.home_slice(a), 3);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    host: u32,
+    slice: u32,
+    /// First line index (within the slice's line sequence) of this region.
+    base_k: u64,
+}
+
+impl Region {
+    /// Lines reserved per region (stores beyond this wrap back — workloads
+    /// rewrite regions every iteration anyway).
+    pub const LINES: u64 = 1 << 20;
+
+    /// Creates region number `index` on (`host`, `slice`).
+    pub fn new(map: &AddressMap, host: u32, slice: u32, index: u64) -> Self {
+        assert!(host < map.hosts(), "host out of range");
+        assert!(slice < map.slices_per_host(), "slice out of range");
+        Region { host, slice, base_k: index * Self::LINES }
+    }
+
+    /// The `k`-th store target of the region (wraps at [`Region::LINES`]).
+    pub fn addr(&self, map: &AddressMap, k: u64) -> Addr {
+        self.addr_at(map, k, 0)
+    }
+
+    /// The `k`-th line of the region at byte offset `byte` (for packing
+    /// several sub-line stores into one line).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte` is not within a line.
+    pub fn addr_at(&self, map: &AddressMap, k: u64, byte: u64) -> Addr {
+        assert!(byte < LINE_BYTES, "byte offset {byte} exceeds a line");
+        map.addr_on_slice(self.host, self.slice, self.base_k + (k % Self::LINES), byte)
+    }
+
+    /// A dedicated flag address for this region (line after the data window).
+    pub fn flag(&self, map: &AddressMap) -> Addr {
+        map.addr_on_slice(self.host, self.slice, self.base_k + Self::LINES - 1, 0)
+    }
+
+    /// The home host.
+    pub fn host(&self) -> u32 {
+        self.host
+    }
+
+    /// The home slice.
+    pub fn slice(&self) -> u32 {
+        self.slice
+    }
+
+    /// Number of stores of `gran` bytes needed to move `total` bytes.
+    pub fn stores_for(total: u64, gran: u32) -> u64 {
+        assert!(gran > 0, "store granularity must be positive");
+        total.div_ceil(gran as u64)
+    }
+
+    /// Appends `total` bytes of Relaxed stores of `gran` bytes each to
+    /// `ops`, rewriting the region from `k0`; returns the next `k`.
+    pub fn emit_stores(
+        &self,
+        map: &AddressMap,
+        ops: &mut Vec<cord_proto::Op>,
+        k0: u64,
+        total: u64,
+        gran: u32,
+        value: u64,
+    ) -> u64 {
+        let n = Self::stores_for(total, gran);
+        let mut left = total;
+        for j in 0..n {
+            let bytes = left.min(gran as u64) as u32;
+            left -= bytes as u64;
+            ops.push(cord_proto::Op::Store {
+                addr: self.addr(map, k0 + j),
+                bytes,
+                value,
+                ord: cord_proto::StoreOrd::Relaxed,
+            });
+        }
+        k0 + n
+    }
+}
+
+/// Compile-time sanity: regions on distinct slices never alias.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_addresses_home_on_the_slice() {
+        let map = AddressMap::default();
+        for host in [0u32, 3, 7] {
+            for slice in [0u32, 5] {
+                let r = Region::new(&map, host, slice, 2);
+                for k in [0u64, 1, 100, Region::LINES - 1, Region::LINES + 3] {
+                    let a = r.addr(&map, k);
+                    assert_eq!(map.home_host(a), host);
+                    assert_eq!(map.home_slice(a), slice);
+                }
+                let f = r.flag(&map);
+                assert_eq!(map.home_host(f), host);
+                assert_eq!(map.home_slice(f), slice);
+            }
+        }
+    }
+
+    #[test]
+    fn regions_do_not_alias() {
+        let map = AddressMap::default();
+        let a = Region::new(&map, 1, 0, 0);
+        let b = Region::new(&map, 1, 0, 1);
+        assert_ne!(a.addr(&map, 0), b.addr(&map, 0));
+        assert_ne!(a.flag(&map), b.flag(&map));
+        // flag sits outside the data window
+        assert_ne!(a.addr(&map, 0), a.flag(&map));
+    }
+
+    #[test]
+    fn store_counting() {
+        assert_eq!(Region::stores_for(4096, 64), 64);
+        assert_eq!(Region::stores_for(100, 64), 2);
+        assert_eq!(Region::stores_for(8, 8), 1);
+        assert_eq!(Region::stores_for(0, 64), 0);
+    }
+
+    #[test]
+    fn emit_stores_produces_requested_volume() {
+        let map = AddressMap::default();
+        let r = Region::new(&map, 1, 0, 0);
+        let mut ops = Vec::new();
+        let next = r.emit_stores(&map, &mut ops, 0, 200, 64, 5);
+        assert_eq!(next, 4);
+        let total: u64 = ops
+            .iter()
+            .map(|op| match op {
+                cord_proto::Op::Store { bytes, .. } => *bytes as u64,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn bad_slice_panics() {
+        let map = AddressMap::default();
+        let _ = Region::new(&map, 0, 99, 0);
+    }
+}

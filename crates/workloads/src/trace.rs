@@ -1,0 +1,314 @@
+//! Memory-operation trace format.
+//!
+//! The paper evaluates the DOE mini-apps from *traces* ("we evaluate DOE
+//! mini-apps using traces since their source code and binaries are
+//! unavailable", §5.1). This module gives the simulator the same front end:
+//! a plain-text, line-oriented trace that compiles to per-core [`Program`]s,
+//! plus a writer so any generated workload can be exported, inspected, and
+//! replayed.
+//!
+//! # Format
+//!
+//! One operation per line: `<core> <op> <args…>`; `#` starts a comment.
+//!
+//! ```text
+//! # core  op       args
+//! 0       store    0x100000000 64 7 rlx
+//! 0       store    0x100002000 8  1 rel
+//! 8       wait     0x100002000 1
+//! 8       load     0x100000000 8 rlx r0
+//! 8       bulkread 0x100000000 4096 r1
+//! 0       amo      0x100004000 1 rel r2
+//! 0       storewb  0x100008000 8 5 rlx
+//! 0       compute  2500
+//! 0       fence    rel
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use cord_workloads::trace;
+//!
+//! let text = "0 store 0x40 8 7 rlx\n0 fence rel\n1 wait 0x40 7\n";
+//! let programs = trace::parse(text).unwrap();
+//! assert_eq!(programs.len(), 2);
+//! assert_eq!(programs[0].len(), 2);
+//! let out = trace::dump(&programs);
+//! assert_eq!(trace::parse(&out).unwrap(), programs);
+//! ```
+
+use std::fmt;
+
+use cord_mem::Addr;
+use cord_proto::{FenceKind, LoadOrd, Op, Program, StoreOrd};
+use cord_sim::Time;
+
+/// A parse failure, with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseTraceError {
+    ParseTraceError { line, message: message.into() }
+}
+
+fn parse_u64(line: usize, tok: &str, what: &str) -> Result<u64, ParseTraceError> {
+    let r = if let Some(hex) = tok.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        tok.parse()
+    };
+    r.map_err(|_| err(line, format!("bad {what} `{tok}`")))
+}
+
+fn parse_reg(line: usize, tok: &str) -> Result<u8, ParseTraceError> {
+    let n = tok
+        .strip_prefix('r')
+        .ok_or_else(|| err(line, format!("bad register `{tok}` (expected rN)")))?;
+    let v: u8 = n.parse().map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    if v >= 16 {
+        return Err(err(line, format!("register r{v} out of range (0..16)")));
+    }
+    Ok(v)
+}
+
+fn parse_store_ord(line: usize, tok: &str) -> Result<StoreOrd, ParseTraceError> {
+    match tok {
+        "rlx" => Ok(StoreOrd::Relaxed),
+        "rel" => Ok(StoreOrd::Release),
+        other => Err(err(line, format!("bad store ordering `{other}` (rlx|rel)"))),
+    }
+}
+
+/// Parses a trace into per-core programs (indexed by core; cores never
+/// mentioned get empty programs; the vector is as long as the largest core
+/// index + 1).
+///
+/// # Errors
+///
+/// Returns the first malformed line.
+pub fn parse(text: &str) -> Result<Vec<Program>, ParseTraceError> {
+    let mut per_core: Vec<Vec<Op>> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let body = raw.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let mut t = body.split_whitespace();
+        let mut next = |what: &str| {
+            t.next().ok_or_else(|| err(line, format!("missing {what}")))
+        };
+        let core: usize = next("core")?
+            .parse()
+            .map_err(|_| err(line, "bad core index"))?;
+        let opname = next("op")?;
+        let op = match opname {
+            "store" | "storewb" => {
+                let addr = Addr::new(parse_u64(line, next("addr")?, "address")?);
+                let bytes = parse_u64(line, next("bytes")?, "size")? as u32;
+                let value = parse_u64(line, next("value")?, "value")?;
+                let ord = parse_store_ord(line, next("ordering")?)?;
+                if opname == "store" {
+                    Op::Store { addr, bytes, value, ord }
+                } else {
+                    Op::StoreWb { addr, bytes, value, ord }
+                }
+            }
+            "load" => {
+                let addr = Addr::new(parse_u64(line, next("addr")?, "address")?);
+                let bytes = parse_u64(line, next("bytes")?, "size")? as u32;
+                let ord = match next("ordering")? {
+                    "rlx" => LoadOrd::Relaxed,
+                    "acq" => LoadOrd::Acquire,
+                    other => return Err(err(line, format!("bad load ordering `{other}`"))),
+                };
+                let reg = parse_reg(line, next("register")?)?;
+                Op::Load { addr, bytes, ord, reg }
+            }
+            "bulkread" => {
+                let addr = Addr::new(parse_u64(line, next("addr")?, "address")?);
+                let bytes = parse_u64(line, next("bytes")?, "size")? as u32;
+                let reg = parse_reg(line, next("register")?)?;
+                Op::BulkRead { addr, bytes, reg }
+            }
+            "wait" => {
+                let addr = Addr::new(parse_u64(line, next("addr")?, "address")?);
+                let expect = parse_u64(line, next("value")?, "value")?;
+                Op::WaitValue { addr, expect, ord: LoadOrd::Acquire }
+            }
+            "amo" => {
+                let addr = Addr::new(parse_u64(line, next("addr")?, "address")?);
+                let add = parse_u64(line, next("addend")?, "addend")?;
+                let ord = parse_store_ord(line, next("ordering")?)?;
+                let reg = parse_reg(line, next("register")?)?;
+                Op::AtomicRmw { addr, add, ord, reg }
+            }
+            "compute" => {
+                let ns = parse_u64(line, next("nanoseconds")?, "duration")?;
+                Op::Compute { dur: Time::from_ns(ns) }
+            }
+            "fence" => {
+                let kind = match next("kind")? {
+                    "acq" => FenceKind::Acquire,
+                    "rel" => FenceKind::Release,
+                    "full" => FenceKind::Full,
+                    other => return Err(err(line, format!("bad fence kind `{other}`"))),
+                };
+                Op::Fence { kind }
+            }
+            other => return Err(err(line, format!("unknown op `{other}`"))),
+        };
+        if let Some(extra) = t.next() {
+            return Err(err(line, format!("trailing token `{extra}`")));
+        }
+        if per_core.len() <= core {
+            per_core.resize_with(core + 1, Vec::new);
+        }
+        per_core[core].push(op);
+    }
+    Ok(per_core.into_iter().map(Program::from_ops).collect())
+}
+
+/// Serializes per-core programs back to the trace format (inverse of
+/// [`parse`] up to whitespace/comments).
+pub fn dump(programs: &[Program]) -> String {
+    let mut out = String::new();
+    for (core, p) in programs.iter().enumerate() {
+        for op in p.iter() {
+            let line = match *op {
+                Op::Store { addr, bytes, value, ord } => format!(
+                    "{core} store {:#x} {bytes} {value} {}",
+                    addr.raw(),
+                    ord_str(ord)
+                ),
+                Op::StoreWb { addr, bytes, value, ord } => format!(
+                    "{core} storewb {:#x} {bytes} {value} {}",
+                    addr.raw(),
+                    ord_str(ord)
+                ),
+                Op::Load { addr, bytes, ord, reg } => format!(
+                    "{core} load {:#x} {bytes} {} r{reg}",
+                    addr.raw(),
+                    match ord {
+                        LoadOrd::Relaxed => "rlx",
+                        LoadOrd::Acquire => "acq",
+                    }
+                ),
+                Op::BulkRead { addr, bytes, reg } => {
+                    format!("{core} bulkread {:#x} {bytes} r{reg}", addr.raw())
+                }
+                Op::WaitValue { addr, expect, .. } => {
+                    format!("{core} wait {:#x} {expect}", addr.raw())
+                }
+                Op::AtomicRmw { addr, add, ord, reg } => {
+                    format!("{core} amo {:#x} {add} {} r{reg}", addr.raw(), ord_str(ord))
+                }
+                Op::Compute { dur } => format!("{core} compute {}", dur.as_ns()),
+                Op::Fence { kind } => format!(
+                    "{core} fence {}",
+                    match kind {
+                        FenceKind::Acquire => "acq",
+                        FenceKind::Release => "rel",
+                        FenceKind::Full => "full",
+                    }
+                ),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn ord_str(ord: StoreOrd) -> &'static str {
+    match ord {
+        StoreOrd::Relaxed => "rlx",
+        StoreOrd::Release => "rel",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op_kind() {
+        let text = "\
+# demo
+0 store 0x100 64 7 rlx
+0 storewb 0x200 8 1 rel
+0 amo 0x300 5 rlx r2
+0 compute 1500
+0 fence full
+1 wait 0x200 1
+1 load 0x100 8 acq r0
+1 bulkread 0x100 4096 r1
+";
+        let ps = parse(text).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].len(), 5);
+        assert_eq!(ps[1].len(), 3);
+        assert_eq!(ps[0].op(0).unwrap().mnemonic(), "st.rlx");
+        assert_eq!(ps[0].op(1).unwrap().mnemonic(), "stwb.rel");
+        assert_eq!(ps[1].op(2).unwrap().mnemonic(), "ld.bulk");
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let text = "\
+0 store 0x100000000 64 7 rlx
+0 amo 0x100000040 1 rel r3
+2 wait 0x100000040 1
+2 compute 42
+2 fence acq
+";
+        let ps = parse(text).unwrap();
+        assert_eq!(parse(&dump(&ps)).unwrap(), ps);
+    }
+
+    #[test]
+    fn app_models_roundtrip_through_the_trace_format() {
+        let cfg = cord_proto::SystemConfig::cxl(cord_proto::ProtocolKind::Cord, 4);
+        let mut app = crate::AppSpec::by_name("MOCFE").unwrap();
+        app.iters = 2;
+        let programs = app.programs(&cfg);
+        let text = dump(&programs);
+        let reparsed = parse(&text).unwrap();
+        // Trailing empty programs are not representable; compare prefix.
+        for (a, b) in reparsed.iter().zip(&programs) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let e = parse("0 store 0x100 64 7 rlx\n0 frobnicate 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("unknown op"));
+        assert_eq!(parse("0 store zzz 64 7 rlx").unwrap_err().line, 1);
+        assert!(parse("0 load 0x0 8 rlx r99").unwrap_err().message.contains("out of range"));
+        assert!(parse("0 store 0x0 8 7 rlx extra").unwrap_err().message.contains("trailing"));
+        assert!(parse("0 fence sideways").unwrap_err().message.contains("bad fence"));
+        assert!(parse("0 store 0x0 8").unwrap_err().message.contains("missing"));
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let ps = parse("\n# nothing\n   \n0 compute 1 # trailing comment\n").unwrap();
+        assert_eq!(ps.len(), 1);
+        assert_eq!(ps[0].len(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Umbrella crate for the CORD reproduction.
+//!
+//! Re-exports every workspace crate under one roof so the runnable examples
+//! (`examples/`) and the cross-crate integration tests (`tests/`) have a
+//! single dependency. See the [`cord`] crate for the protocol itself and
+//! `DESIGN.md` / `EXPERIMENTS.md` at the repository root for the system
+//! inventory and the paper-vs-measured record.
+//!
+//! # Example
+//!
+//! ```
+//! use cord_repro::cord::System;
+//! use cord_repro::cord_proto::{Program, ProtocolKind, SystemConfig};
+//!
+//! let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+//! let flag = cfg.map.addr_on_host(1, 0);
+//! let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
+//! programs[0] = Program::build().store_release(flag, 1).finish();
+//! programs[8] = Program::build().wait_value(flag, 1).finish();
+//! let r = System::new(cfg, programs).run();
+//! assert!(r.makespan > cord_repro::cord_sim::Time::ZERO);
+//! ```
+
+pub use cord;
+pub use cord_check;
+pub use cord_mem;
+pub use cord_noc;
+pub use cord_power;
+pub use cord_proto;
+pub use cord_sim;
+pub use cord_workloads;

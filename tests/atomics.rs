@@ -1,0 +1,139 @@
+//! Atomic read-modify-write operations (the "atomics" of the paper's
+//! write-through access class) across every protocol: atomicity under
+//! contention, value return, and ordering interactions with Releases.
+
+use cord_repro::cord::System;
+use cord_repro::cord_proto::{
+    ConsistencyModel, LoadOrd, Program, ProtocolKind, StoreOrd, SystemConfig,
+};
+
+const ALL: [ProtocolKind; 5] = [
+    ProtocolKind::Cord,
+    ProtocolKind::So,
+    ProtocolKind::Mp,
+    ProtocolKind::Wb,
+    ProtocolKind::Seq { bits: 8 },
+];
+
+/// Every host's core increments one shared counter `n` times; the final
+/// value must be exactly `hosts × n` — lost updates are protocol bugs.
+#[test]
+fn concurrent_fetch_add_is_atomic() {
+    for kind in ALL {
+        let cfg = SystemConfig::cxl(kind, 4);
+        let tiles = cfg.total_tiles() as usize;
+        let tph = cfg.noc.tiles_per_host as usize;
+        let counter = cfg.map.addr_on_host(0, 0);
+        let n = 10u64;
+        let mut programs = vec![Program::new(); tiles];
+        for h in 0..4usize {
+            let mut b = Program::build();
+            for _ in 0..n {
+                b = b.fetch_add(counter, 1, StoreOrd::Relaxed, 0);
+            }
+            programs[h * tph] = b.finish();
+        }
+        // An observer polls until the counter reaches hosts × n; a lost
+        // update would leave it short forever (event-cap panic).
+        programs[1] = Program::build().wait_value(counter, 4 * n).finish();
+        let r = System::new(cfg, programs).run();
+        // Every atomic returned an old value strictly below the total.
+        for h in 0..4usize {
+            assert!(r.regs[h * tph][0] < 4 * n, "{kind:?}");
+        }
+    }
+}
+
+/// A Release atomic publishes all prior Relaxed stores (lock-style handoff).
+#[test]
+fn release_atomic_publishes_prior_stores() {
+    for kind in [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Wb] {
+        let cfg = SystemConfig::cxl(kind, 4);
+        let tiles = cfg.total_tiles() as usize;
+        let tph = cfg.noc.tiles_per_host as usize;
+        let d1 = cfg.map.addr_on_host(1, 0);
+        let d2 = cfg.map.addr_on_host(2, 0);
+        let ticket = cfg.map.addr_on_host(3, 0);
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = Program::build()
+            .store_relaxed(d1, 7)
+            .store_relaxed(d2, 9)
+            .fetch_add(ticket, 1, StoreOrd::Release, 0) // publish via atomic
+            .finish();
+        programs[3 * tph] = Program::build()
+            .wait_value(ticket, 1)
+            .load(d1, 8, LoadOrd::Relaxed, 0)
+            .load(d2, 8, LoadOrd::Relaxed, 1)
+            .finish();
+        let r = System::new(cfg, programs).run();
+        assert_eq!(
+            (r.regs[3 * tph][0], r.regs[3 * tph][1]),
+            (7, 9),
+            "{kind:?}: release atomic failed to publish"
+        );
+        // The producer saw the pre-increment value.
+        assert_eq!(r.regs[0][0], 0, "{kind:?}");
+    }
+}
+
+/// Relaxed atomics count toward CORD's epoch: a later Release must cover
+/// them exactly like Relaxed stores.
+#[test]
+fn cord_counts_relaxed_atomics_in_the_epoch() {
+    let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+    let tiles = cfg.total_tiles() as usize;
+    let a = cfg.map.addr_on_host(1, 0);
+    let flag = cfg.map.addr_on_host(1, 1 << 16);
+    let mut programs = vec![Program::new(); tiles];
+    programs[0] = Program::build()
+        .fetch_add(a, 5, StoreOrd::Relaxed, 0)
+        .store_release(flag, 1)
+        .finish();
+    programs[8] = Program::build()
+        .wait_value(flag, 1)
+        .load(a, 8, LoadOrd::Relaxed, 1)
+        .finish();
+    let r = System::new(cfg, programs).run();
+    assert_eq!(r.regs[8][1], 5, "atomic's effect must be covered by the Release");
+}
+
+/// Fetch-add returns the running old values in program order per core.
+#[test]
+fn fetch_add_old_values_accumulate() {
+    for kind in ALL {
+        let cfg = SystemConfig::cxl(kind, 2);
+        let tiles = cfg.total_tiles() as usize;
+        let a = cfg.map.addr_on_host(1, 0);
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = Program::build()
+            .fetch_add(a, 10, StoreOrd::Relaxed, 0)
+            .fetch_add(a, 10, StoreOrd::Relaxed, 1)
+            .fetch_add(a, 10, StoreOrd::Relaxed, 2)
+            .finish();
+        let r = System::new(cfg, programs).run();
+        assert_eq!(&r.regs[0][..3], &[0, 10, 20], "{kind:?}");
+    }
+}
+
+/// Atomics work under TSO for every protocol (serializing semantics).
+#[test]
+fn atomics_under_tso() {
+    for kind in [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Wb] {
+        let cfg = SystemConfig::cxl(kind, 2).with_model(ConsistencyModel::Tso);
+        let tiles = cfg.total_tiles() as usize;
+        let a = cfg.map.addr_on_host(1, 0);
+        let b = cfg.map.addr_on_host(1, 4096);
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = Program::build()
+            .store_relaxed(a, 3)
+            .fetch_add(b, 1, StoreOrd::Relaxed, 0)
+            .finish();
+        // Observer: the atomic is ordered after the store under TSO.
+        programs[8] = Program::build()
+            .wait_value(b, 1)
+            .load(a, 8, LoadOrd::Relaxed, 0)
+            .finish();
+        let r = System::new(cfg, programs).run();
+        assert_eq!(r.regs[8][0], 3, "{kind:?}: TSO store→atomic ordering violated");
+    }
+}

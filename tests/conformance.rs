@@ -1,0 +1,135 @@
+//! Conformance bridge: the *concrete* timing simulator's behaviour must be a
+//! refinement of the *abstract* model checker's.
+//!
+//! Every litmus shape is compiled to simulator programs and executed on the
+//! full system (deterministic ⇒ one outcome per placement); that outcome
+//! must be contained in the checker's exhaustively-enumerated outcome set
+//! for the same shape, placement, and protocol. This ties the two
+//! implementations of the protocol logic together: a divergence in either
+//! direction (a simulator outcome the model says is unreachable) fails.
+
+use cord_repro::cord::System;
+use cord_repro::cord_check::{classic_suite, explore, CheckConfig, LOp, Litmus};
+use cord_repro::cord_mem::Addr;
+use cord_repro::cord_proto::{Op, Program, ProtocolKind, SystemConfig};
+use cord_repro::cord_sim::Time;
+
+/// Maps litmus variable `v` with home directory `d` to a simulator address:
+/// host `d`, slice 0, line `v`.
+fn var_addr(cfg: &SystemConfig, placement: &[u8], v: u8) -> Addr {
+    cfg.map.addr_on_slice(placement[v as usize] as u32, 0, v as u64, 0)
+}
+
+/// Compiles one litmus thread to a simulator program.
+fn compile(cfg: &SystemConfig, placement: &[u8], ops: &[LOp]) -> Program {
+    let mut out = Vec::new();
+    for &op in ops {
+        out.push(match op {
+            LOp::Store { var, val, ord } => Op::Store {
+                addr: var_addr(cfg, placement, var),
+                bytes: 8,
+                value: val,
+                ord,
+            },
+            LOp::Load { var, reg, ord } => Op::Load {
+                addr: var_addr(cfg, placement, var),
+                bytes: 8,
+                ord,
+                reg,
+            },
+            LOp::WaitAcq { var, val } => Op::WaitValue {
+                addr: var_addr(cfg, placement, var),
+                expect: val,
+                ord: cord_repro::cord_proto::LoadOrd::Acquire,
+            },
+            LOp::FetchAdd { var, add, reg, ord } => Op::AtomicRmw {
+                addr: var_addr(cfg, placement, var),
+                add,
+                ord,
+                reg,
+            },
+            LOp::Fence(kind) => Op::Fence { kind },
+        });
+    }
+    Program::from_ops(out)
+}
+
+/// Runs `lit` on the concrete simulator and returns the checker-format
+/// outcome (4 registers per thread, then final memory per variable).
+fn simulate(kind: ProtocolKind, lit: &Litmus, placement: &[u8]) -> Vec<u64> {
+    let cfg = SystemConfig::cxl(kind, 4);
+    let tph = cfg.noc.tiles_per_host as usize;
+    let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
+    for (t, ops) in lit.threads.iter().enumerate() {
+        programs[t * tph] = compile(&cfg, placement, ops);
+    }
+    let mut sys = System::new(cfg.clone(), programs);
+    let r = sys.run();
+    assert!(r.makespan > Time::ZERO || lit.threads.iter().all(|t| t.is_empty()));
+    let mut flat: Vec<u64> = Vec::new();
+    for t in 0..lit.thread_count() {
+        flat.extend_from_slice(&r.regs[t * tph][..4]);
+    }
+    for v in 0..lit.vars {
+        flat.push(sys.mem_peek(var_addr(&cfg, placement, v)));
+    }
+    flat
+}
+
+fn checker_cfg(kind: ProtocolKind, threads: usize) -> CheckConfig {
+    match kind {
+        ProtocolKind::Cord => CheckConfig::cord(threads, 3),
+        ProtocolKind::So => CheckConfig::so(threads, 3),
+        ProtocolKind::Mp => CheckConfig::mp(threads, 3),
+        other => panic!("no abstract model for {other:?}"),
+    }
+}
+
+#[test]
+fn simulator_outcomes_are_reachable_in_the_model() {
+    for kind in [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Mp] {
+        for lit in classic_suite() {
+            for placement in lit.placements() {
+                // Clamp to the 3 checked directories (hosts 0..3 in the sim).
+                let placement: Vec<u8> = placement.iter().map(|d| d % 3).collect();
+                let report =
+                    explore(checker_cfg(kind, lit.thread_count()), &lit, &placement, 2_000_000);
+                assert!(!report.truncated, "{}: enumeration truncated", lit.name);
+                let observed = simulate(kind, &lit, &placement);
+                assert!(
+                    report.outcomes.contains(&observed),
+                    "{kind:?}/{} at {placement:?}: simulator produced {observed:?}, \
+                     not among {} model outcomes {:?}",
+                    lit.name,
+                    report.outcomes.len(),
+                    report.outcomes
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulator_never_produces_forbidden_outcomes_for_conforming_protocols() {
+    // Redundant with the containment check above (the model has no
+    // forbidden outcomes for CORD/SO), but states the paper's guarantee
+    // directly against the timing simulator.
+    for kind in [ProtocolKind::Cord, ProtocolKind::So] {
+        for lit in classic_suite() {
+            for placement in lit.placements() {
+                let placement: Vec<u8> = placement.iter().map(|d| d % 3).collect();
+                let observed = simulate(kind, &lit, &placement);
+                let split = observed.len() - lit.vars as usize;
+                let (reg_flat, mem) = observed.split_at(split);
+                let regs: Vec<Vec<u64>> = reg_flat.chunks(4).map(|c| c.to_vec()).collect();
+                for cond in &lit.forbidden {
+                    assert!(
+                        !cond.matches(&regs, mem),
+                        "{kind:?}/{} at {placement:?} hit a forbidden outcome",
+                        lit.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Consistency tests on the *performance* simulator (complementing the
+//! exhaustive `cord-check` model checker): litmus-style programs executed on
+//! the full timing model must observe release-consistent values for the
+//! conforming protocols.
+
+use cord_repro::cord::{RunResult, System};
+use cord_repro::cord_mem::Addr;
+use cord_repro::cord_proto::{
+    ConsistencyModel, FenceKind, LoadOrd, Program, ProtocolKind, SystemConfig,
+};
+
+fn run(kind: ProtocolKind, programs: Vec<Program>, hosts: u32) -> RunResult {
+    let cfg = SystemConfig::cxl(kind, hosts);
+    System::new(cfg, programs).run()
+}
+
+fn cfg_for(hosts: u32) -> SystemConfig {
+    SystemConfig::cxl(ProtocolKind::Cord, hosts)
+}
+
+const CONFORMING: [ProtocolKind; 3] = [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Wb];
+
+/// MP shape: data + release flag, one consumer.
+#[test]
+fn message_passing_shape_observes_data() {
+    let cfg = cfg_for(2);
+    let tiles = cfg.total_tiles() as usize;
+    let data = cfg.map.addr_on_host(1, 0);
+    let flag = cfg.map.addr_on_host(1, 512);
+    for kind in CONFORMING {
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = Program::build().store_relaxed(data, 99).store_release(flag, 1).finish();
+        programs[8] = Program::build()
+            .wait_value(flag, 1)
+            .load(data, 8, LoadOrd::Relaxed, 0)
+            .finish();
+        let r = run(kind, programs, 2);
+        assert_eq!(r.regs[8][0], 99, "{kind:?}");
+    }
+}
+
+/// ISA2 chain across three hosts: transitive synchronization must hold for
+/// the shared-memory protocols (MP's failure is proven by `cord-check`; on
+/// the FIFO performance fabric the violation is not timing-reachable).
+#[test]
+fn isa2_chain_holds_transitively() {
+    let cfg = cfg_for(4);
+    let tiles = cfg.total_tiles() as usize;
+    let tph = cfg.noc.tiles_per_host as usize;
+    let x = cfg.map.addr_on_host(3, 0); // X in T2's memory
+    let y = cfg.map.addr_on_host(2, 0); // Y in T1's memory
+    let z = cfg.map.addr_on_host(3, 512); // Z in T2's memory
+    for kind in CONFORMING {
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = Program::build().store_relaxed(x, 1).store_release(y, 1).finish();
+        programs[2 * tph] = Program::build().wait_value(y, 1).store_release(z, 1).finish();
+        programs[3 * tph] = Program::build()
+            .wait_value(z, 1)
+            .load(x, 8, LoadOrd::Relaxed, 3)
+            .finish();
+        let r = run(kind, programs, 4);
+        assert_eq!(r.regs[3 * tph][3], 1, "{kind:?}: ISA2 forbidden outcome observed");
+    }
+}
+
+/// Release-release program order across different directories.
+#[test]
+fn chained_releases_stay_ordered_across_directories() {
+    let cfg = cfg_for(4);
+    let tiles = cfg.total_tiles() as usize;
+    let tph = cfg.noc.tiles_per_host as usize;
+    let a = cfg.map.addr_on_host(1, 0);
+    let b = cfg.map.addr_on_host(2, 0);
+    for kind in CONFORMING {
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = Program::build().store_release(a, 5).store_release(b, 6).finish();
+        // Observer of B must then see A.
+        programs[tph] = Program::build()
+            .wait_value(b, 6)
+            .load(a, 8, LoadOrd::Relaxed, 0)
+            .finish();
+        let r = run(kind, programs, 4);
+        assert_eq!(r.regs[tph][0], 5, "{kind:?}");
+    }
+}
+
+/// Release fence orders prior Relaxed stores before a later Relaxed flag.
+#[test]
+fn release_fence_publishes_prior_stores() {
+    let cfg = cfg_for(4);
+    let tiles = cfg.total_tiles() as usize;
+    let tph = cfg.noc.tiles_per_host as usize;
+    let d1 = cfg.map.addr_on_host(1, 0);
+    let d2 = cfg.map.addr_on_host(2, 0);
+    let flag = cfg.map.addr_on_host(3, 0);
+    for kind in CONFORMING {
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = Program::build()
+            .store_relaxed(d1, 7)
+            .store_relaxed(d2, 8)
+            .fence(FenceKind::Release)
+            .store_relaxed(flag, 1)
+            .finish();
+        programs[3 * tph] = Program::build()
+            .wait_value(flag, 1)
+            .load(d1, 8, LoadOrd::Relaxed, 0)
+            .load(d2, 8, LoadOrd::Relaxed, 1)
+            .finish();
+        let r = run(kind, programs, 4);
+        assert_eq!((r.regs[3 * tph][0], r.regs[3 * tph][1]), (7, 8), "{kind:?}");
+    }
+}
+
+/// WRC: acquiring a Relaxed write and re-publishing with Release is
+/// cumulative.
+#[test]
+fn write_to_read_causality() {
+    let cfg = cfg_for(4);
+    let tiles = cfg.total_tiles() as usize;
+    let tph = cfg.noc.tiles_per_host as usize;
+    let x = cfg.map.addr_on_host(1, 0);
+    let y = cfg.map.addr_on_host(2, 0);
+    for kind in CONFORMING {
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = Program::build().store_relaxed(x, 1).finish();
+        programs[tph] = Program::build().wait_value(x, 1).store_release(y, 1).finish();
+        programs[2 * tph] = Program::build()
+            .wait_value(y, 1)
+            .load(x, 8, LoadOrd::Relaxed, 0)
+            .finish();
+        let r = run(kind, programs, 4);
+        assert_eq!(r.regs[2 * tph][0], 1, "{kind:?}");
+    }
+}
+
+/// Under-provisioned CORD tables still produce correct results (§4.3:
+/// correctness at any table size, at worst with stalls).
+#[test]
+fn tiny_tables_are_slow_but_correct() {
+    let mut cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+    cfg.tables.proc_unacked = 1;
+    cfg.tables.dir_cnt_per_proc = 2;
+    cfg.tables.dir_noti_per_proc = 2;
+    cfg.widths.epoch_bits = 2;
+    cfg.widths.cnt_bits = 3;
+    let tiles = cfg.total_tiles() as usize;
+    let flagbase = cfg.map.addr_on_host(1, 1 << 20);
+    let mut producer = Program::build();
+    for i in 0..20u64 {
+        producer = producer
+            .store_relaxed(cfg.map.addr_on_host(1, i * 512), i + 1)
+            .store_release(flagbase.offset(i * 512), i + 1);
+    }
+    let mut programs = vec![Program::new(); tiles];
+    programs[0] = producer.finish();
+    programs[8] = Program::build()
+        .wait_value(flagbase.offset(19 * 512), 20)
+        .load(Addr::new(cfg.map.addr_on_host(1, 19 * 512).raw()), 8, LoadOrd::Relaxed, 0)
+        .finish();
+    let r = System::new(cfg, programs).run();
+    assert_eq!(r.regs[8][0], 20);
+}
+
+/// TSO store-store ordering: a later store never becomes visible before an
+/// earlier one, for every TSO protocol.
+#[test]
+fn tso_store_store_ordering() {
+    for kind in CONFORMING {
+        let cfg = SystemConfig::cxl(kind, 2).with_model(ConsistencyModel::Tso);
+        let tiles = cfg.total_tiles() as usize;
+        let a = cfg.map.addr_on_host(1, 0);
+        let b = cfg.map.addr_on_host(1, 4096);
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = Program::build().store_relaxed(a, 1).store_relaxed(b, 1).finish();
+        // Observer: once B is visible, A must be too (TSO orders all stores).
+        programs[8] = Program::build()
+            .wait_value(b, 1)
+            .load(a, 8, LoadOrd::Relaxed, 0)
+            .finish();
+        let r = System::new(cfg, programs).run();
+        assert_eq!(r.regs[8][0], 1, "{kind:?}: TSO store-store violated");
+    }
+}

@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: full application models on the full
+//! simulated system, checking the paper's headline relationships.
+
+use cord_repro::cord::System;
+use cord_repro::cord_noc::MsgClass;
+use cord_repro::cord_proto::{ConsistencyModel, ProtocolKind, StallCause, SystemConfig};
+use cord_repro::cord_workloads::{table2_apps, AppSpec, MicroBench};
+
+fn run(app: &AppSpec, kind: ProtocolKind, model: ConsistencyModel) -> cord_repro::cord::RunResult {
+    let cfg = SystemConfig::cxl(kind, 4).with_model(model);
+    let programs = app.programs(&cfg);
+    System::new(cfg, programs).run()
+}
+
+fn small(name: &str) -> AppSpec {
+    let mut app = AppSpec::by_name(name).expect("known app");
+    app.iters = 3;
+    app
+}
+
+#[test]
+fn every_app_completes_under_every_protocol() {
+    for app in table2_apps() {
+        let mut app = app;
+        app.iters = 2;
+        for kind in [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Wb] {
+            let r = run(&app, kind, ConsistencyModel::Rc);
+            assert!(r.makespan > cord_repro::cord_sim::Time::ZERO, "{} {kind:?}", app.name);
+        }
+        if app.mp_compatible {
+            run(&app, ProtocolKind::Mp, ConsistencyModel::Rc);
+        }
+    }
+}
+
+#[test]
+fn cord_beats_source_ordering_on_every_app() {
+    for name in ["PAD", "MOCFE", "CR"] {
+        let app = small(name);
+        let cord = run(&app, ProtocolKind::Cord, ConsistencyModel::Rc);
+        let so = run(&app, ProtocolKind::So, ConsistencyModel::Rc);
+        assert!(
+            cord.makespan < so.makespan,
+            "{name}: CORD {} !< SO {}",
+            cord.makespan,
+            so.makespan
+        );
+        // Traffic: CORD wins except for the fine-grained high-fanout apps
+        // (paper §5.2: TRNS and MOCFE are the only workloads where CORD
+        // generates more traffic than SO).
+        if name != "MOCFE" {
+            assert!(
+                cord.inter_bytes() < so.inter_bytes(),
+                "{name}: CORD traffic {} !< SO {}",
+                cord.inter_bytes(),
+                so.inter_bytes()
+            );
+        } else {
+            assert!(
+                cord.inter_bytes() > so.inter_bytes(),
+                "MOCFE's fine syncs + high fanout should make notifications \
+                 outweigh the acknowledgment savings (paper §5.2)"
+            );
+        }
+    }
+}
+
+#[test]
+fn cord_never_stalls_on_relaxed_acknowledgments() {
+    let app = small("PAD");
+    let cord = run(&app, ProtocolKind::Cord, ConsistencyModel::Rc);
+    assert_eq!(cord.stall(StallCause::AckWait), cord_repro::cord_sim::Time::ZERO);
+    let so = run(&app, ProtocolKind::So, ConsistencyModel::Rc);
+    assert!(so.stall(StallCause::AckWait) > cord_repro::cord_sim::Time::ZERO);
+}
+
+#[test]
+fn cord_eliminates_relaxed_store_acknowledgments() {
+    let app = small("HSTI");
+    let cord = run(&app, ProtocolKind::Cord, ConsistencyModel::Rc);
+    let so = run(&app, ProtocolKind::So, ConsistencyModel::Rc);
+    // CORD acks Release stores only; SO acks every write-through store.
+    let releases: u64 = (app.iters * app.fanout.peers(4)) as u64 * 4; // 4 hosts
+    assert_eq!(cord.traffic[MsgClass::Ack].inter_msgs, releases);
+    assert!(so.traffic[MsgClass::Ack].inter_msgs > 4 * releases);
+    // And only CORD uses the notification machinery.
+    assert_eq!(so.traffic[MsgClass::ReqNotify].inter_msgs, 0);
+    assert_eq!(so.traffic[MsgClass::Notify].inter_msgs, 0);
+}
+
+#[test]
+fn high_fanout_apps_trigger_inter_directory_notifications() {
+    let app = small("MOCFE"); // High fanout
+    let r = run(&app, ProtocolKind::Cord, ConsistencyModel::Rc);
+    assert!(r.traffic[MsgClass::ReqNotify].inter_msgs > 0);
+    assert!(r.traffic[MsgClass::Notify].inter_msgs > 0);
+
+    let low = small("TQH"); // Low fanout: one peer, but release-release
+                            // chains across iterations still ping peers.
+    let r2 = run(&low, ProtocolKind::Cord, ConsistencyModel::Rc);
+    assert!(
+        r2.traffic[MsgClass::ReqNotify].inter_msgs <= r.traffic[MsgClass::ReqNotify].inter_msgs
+    );
+}
+
+#[test]
+fn tso_mode_orders_all_stores_and_cord_wins_big() {
+    let app = small("CR");
+    let cord = run(&app, ProtocolKind::Cord, ConsistencyModel::Tso);
+    let so = run(&app, ProtocolKind::So, ConsistencyModel::Tso);
+    assert!(
+        so.makespan.as_ns_f64() > 1.5 * cord.makespan.as_ns_f64(),
+        "TSO source ordering serializes stores: SO {} vs CORD {}",
+        so.makespan,
+        cord.makespan
+    );
+    // Under TSO every CORD write-through store is acknowledged.
+    assert!(cord.traffic[MsgClass::Ack].inter_msgs > app.iters as u64);
+}
+
+#[test]
+fn microbench_fanout_one_sends_no_notifications() {
+    let cfg = SystemConfig::cxl(ProtocolKind::Cord, 8);
+    let mb = MicroBench::new(64, 4096, 1).with_iters(4);
+    let programs = mb.programs(&cfg);
+    let r = System::new(cfg, programs).run();
+    assert_eq!(r.traffic[MsgClass::ReqNotify].inter_msgs, 0, "single directory: no pending dirs");
+    assert_eq!(r.traffic[MsgClass::Notify].inter_msgs, 0);
+}
+
+#[test]
+fn microbench_fanout_n_notifies_n_minus_1_directories() {
+    let cfg = SystemConfig::cxl(ProtocolKind::Cord, 8);
+    let iters = 4u64;
+    let fanout = 4u32;
+    let mb = MicroBench::new(64, 4096, fanout).with_iters(iters as u32);
+    let programs = mb.programs(&cfg);
+    let r = System::new(cfg, programs).run();
+    // Fig. 5: each Release triggers fanout-1 request-for-notification /
+    // notification pairs (plus release-release chains across iterations,
+    // which target the same directory and add none here).
+    assert_eq!(r.traffic[MsgClass::ReqNotify].inter_msgs, iters * (fanout as u64 - 1));
+    assert_eq!(r.traffic[MsgClass::Notify].inter_msgs, iters * (fanout as u64 - 1));
+}
+
+#[test]
+fn storage_peaks_respect_provisioned_capacity() {
+    let mut ata = AppSpec::ata();
+    ata.iters = 16;
+    let cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+    let tables = cfg.tables;
+    let programs = ata.programs(&cfg);
+    let r = System::new(cfg, programs).run();
+    for p in &r.proc_storages {
+        assert!(
+            p.peak_other_bytes <= (tables.proc_unacked as u64) * cord_repro::cord::PROC_UNACKED_ENTRY_BYTES,
+            "unacked table exceeded provisioning"
+        );
+        assert!(
+            p.peak_cnt_bytes <= (tables.proc_cnt as u64) * cord_repro::cord::PROC_CNT_ENTRY_BYTES
+        );
+    }
+}
+
+#[test]
+fn runs_are_deterministic_across_protocols() {
+    for kind in [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Wb] {
+        let app = small("TRNS");
+        let a = run(&app, kind, ConsistencyModel::Rc);
+        let b = run(&app, kind, ConsistencyModel::Rc);
+        assert_eq!(a.makespan, b.makespan, "{kind:?}");
+        assert_eq!(a.inter_bytes(), b.inter_bytes(), "{kind:?}");
+        assert_eq!(a.events, b.events, "{kind:?}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests (proptest) over randomly generated programs and
+//! configurations: the invariants that must hold for *any* workload.
+
+use proptest::prelude::*;
+
+use cord_repro::cord::{RunResult, System};
+use cord_repro::cord_check::{explore, CheckConfig, Cond, Litmus};
+use cord_repro::cord_mem::AddressMap;
+use cord_repro::cord_noc::{MsgClass, Noc, NocConfig, TileId};
+use cord_repro::cord_proto::{LoadOrd, Program, ProtocolKind, SystemConfig};
+use cord_repro::cord_sim::Time;
+
+/// A random producer plan: (target host 1..=3, line index, payload size).
+fn producer_plan() -> impl Strategy<Value = Vec<(u32, u64, u32)>> {
+    prop::collection::vec((1u32..4, 0u64..64, prop::sample::select(vec![8u32, 64, 256])), 1..40)
+}
+
+fn build_programs(cfg: &SystemConfig, plan: &[(u32, u64, u32)]) -> Vec<Program> {
+    let tiles = cfg.total_tiles() as usize;
+    let tph = cfg.noc.tiles_per_host as usize;
+    let mut b = Program::build();
+    for &(host, k, bytes) in plan {
+        b = b.store(cfg.map.addr_on_slice(host, 0, k, 0), bytes, k + 1, cord_repro::cord_proto::StoreOrd::Relaxed);
+    }
+    let mut programs = vec![Program::new(); tiles];
+    // Publish one flag per touched host; consumers verify the last write.
+    let mut hosts: Vec<u32> = plan.iter().map(|&(h, _, _)| h).collect();
+    hosts.sort_unstable();
+    hosts.dedup();
+    for &h in &hosts {
+        let flag = cfg.map.addr_on_slice(h, 1, 0, 0);
+        b = b.store_release(flag, 1);
+        let last = plan.iter().rev().find(|&&(ph, _, _)| ph == h).expect("host touched");
+        programs[h as usize * tph] = Program::build()
+            .wait_value(flag, 1)
+            .load(cfg.map.addr_on_slice(h, 0, last.1, 0), 8, LoadOrd::Relaxed, 0)
+            .finish();
+    }
+    programs[0] = b.finish();
+    programs
+}
+
+fn run(kind: ProtocolKind, plan: &[(u32, u64, u32)]) -> (SystemConfig, RunResult) {
+    let cfg = SystemConfig::cxl(kind, 4);
+    let programs = build_programs(&cfg, plan);
+    let r = System::new(cfg.clone(), programs).run();
+    (cfg, r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every protocol runs any random plan to completion, consumers observe
+    /// the last value written to their polled line, and runs are
+    /// deterministic.
+    #[test]
+    fn random_plans_complete_and_synchronize(plan in producer_plan()) {
+        for kind in [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Mp, ProtocolKind::Wb] {
+            let (cfg, r) = run(kind, &plan);
+            let tph = cfg.noc.tiles_per_host as usize;
+            let mut hosts: Vec<u32> = plan.iter().map(|&(h, _, _)| h).collect();
+            hosts.sort_unstable();
+            hosts.dedup();
+            for &h in &hosts {
+                let last = plan.iter().rev().find(|&&(ph, _, _)| ph == h).unwrap();
+                // The consumer polled the flag (released AFTER the data),
+                // so it must see the final value of that line.
+                prop_assert_eq!(r.regs[h as usize * tph][0], last.1 + 1, "{:?} host {}", kind, h);
+            }
+            let (_, r2) = run(kind, &plan);
+            prop_assert_eq!(r.makespan, r2.makespan);
+            prop_assert_eq!(r.events, r2.events);
+        }
+    }
+
+    /// CORD's inter-PU byte count is the analytic sum of its messages:
+    /// data + release metadata + one ack per release (+ nothing else at
+    /// fanout 1 per host with slice-0 data and slice-1 flags… which is
+    /// multi-directory, so notifications may appear — they must be counted
+    /// exactly by class).
+    #[test]
+    fn traffic_classes_are_consistent(plan in producer_plan()) {
+        let (_, r) = run(ProtocolKind::Cord, &plan);
+        let t = &r.traffic;
+        let sum: u64 = MsgClass::ALL.iter().map(|&c| t[c].inter_bytes).sum();
+        prop_assert_eq!(sum, t.inter_bytes());
+        // Acks: exactly one per Release store (per touched host).
+        let mut hosts: Vec<u32> = plan.iter().map(|&(h, _, _)| h).collect();
+        hosts.sort_unstable();
+        hosts.dedup();
+        prop_assert_eq!(t[MsgClass::Ack].inter_msgs, hosts.len() as u64);
+        // Notifications are paired with requests.
+        prop_assert_eq!(t[MsgClass::ReqNotify].inter_msgs + t[MsgClass::ReqNotify].intra_msgs,
+                        t[MsgClass::Notify].inter_msgs + t[MsgClass::Notify].intra_msgs);
+    }
+
+    /// The NoC never delivers before its uncontended latency, and per-pair
+    /// delivery order matches send order.
+    #[test]
+    fn noc_latency_and_fifo(sends in prop::collection::vec((0u32..4, 0u32..8, 0u32..4, 0u32..8, 1u64..4096), 1..64)) {
+        let mut noc = Noc::new(NocConfig::cxl(4, 8));
+        let mut last: std::collections::HashMap<(u32, u32, u32, u32), Time> = std::collections::HashMap::new();
+        let mut now = Time::ZERO;
+        for (sh, st, dh, dt, bytes) in sends {
+            now = now + Time::from_ns(1);
+            let src = TileId::new(sh, st);
+            let dst = TileId::new(dh, dt);
+            let t = noc.send(now, src, dst, bytes, MsgClass::Data);
+            let base = noc.uncontended_latency(src, dst, bytes);
+            prop_assert!(t >= now + base.min(base), "delivered before physics");
+            prop_assert!(t >= now);
+            if let Some(prev) = last.insert((sh, st, dh, dt), t) {
+                prop_assert!(t >= prev, "per-pair FIFO violated");
+            }
+        }
+    }
+
+    /// Address mapping is a partition: every address has exactly one home,
+    /// and addr_on_slice round-trips.
+    #[test]
+    fn address_map_partitions(host in 0u32..8, slice in 0u32..8, k in 0u64..100_000, byte in 0u64..64) {
+        let map = AddressMap::default();
+        let a = map.addr_on_slice(host, slice, k, byte);
+        prop_assert_eq!(map.home_host(a), host);
+        prop_assert_eq!(map.home_slice(a), slice);
+        prop_assert_eq!(map.home_dir(a), host * 8 + slice);
+    }
+
+    /// The model checker is deterministic and never deadlocks CORD on
+    /// random two-thread publish patterns.
+    #[test]
+    fn checker_never_deadlocks_cord(n_data in 1u8..4, dirs in 1u8..4) {
+        use cord_repro::cord_check::dsl::*;
+        let mut t0 = Vec::new();
+        for v in 0..n_data {
+            t0.push(w(v, 1));
+        }
+        t0.push(wrel(n_data, 1));
+        let t1 = vec![wacq(n_data, 1), r(0, 0)];
+        let lit = Litmus::new("random-mp", vec![t0, t1], n_data + 1, vec![Cond::regs(vec![(1, 0, 0)])]);
+        let placement: Vec<u8> = (0..=n_data).map(|v| v % dirs).collect();
+        let rep1 = explore(CheckConfig::cord(2, dirs), &lit, &placement, 1_000_000);
+        let rep2 = explore(CheckConfig::cord(2, dirs), &lit, &placement, 1_000_000);
+        prop_assert!(rep1.passes(&lit), "violations: {:?}", rep1.violations(&lit));
+        prop_assert_eq!(rep1.states, rep2.states);
+        prop_assert_eq!(rep1.outcomes, rep2.outcomes);
+    }
+}
