@@ -1,12 +1,14 @@
-//! Criterion benchmarks: one group per paper table/figure, with reduced
-//! parameters so `cargo bench` completes quickly.
+//! Wall-clock benchmarks (`cargo bench --bench figures`): one group per
+//! paper table/figure, with reduced parameters so the run completes
+//! quickly. Self-contained `Instant`-based harness — no external
+//! benchmarking crate, so the workspace builds fully offline.
 //!
 //! These measure the *simulator's* wall-clock cost of regenerating each
 //! experiment; the experiments themselves (full parameters, paper-style
 //! output) live in the `fig2` … `table3` binaries.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use cord_bench::{run_app, run_micro, Fabric};
 use cord_check::{classic_suite, explore, CheckConfig};
@@ -14,103 +16,110 @@ use cord_power::{sram_cost, table3_rows, TableGeometry};
 use cord_proto::{ConsistencyModel, ProtocolKind};
 use cord_workloads::{AppSpec, MicroBench};
 
+/// Runs `f` once to warm up, then `iters` timed iterations; prints min and
+/// mean wall-clock per iteration.
+fn bench<O>(name: &str, iters: u32, mut f: impl FnMut() -> O) {
+    f();
+    let mut times = Vec::with_capacity(iters as usize);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let min = times.iter().copied().fold(f64::MAX, f64::min);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!("{name:<24} min {min:9.3} ms   mean {mean:9.3} ms   ({iters} iters)");
+}
+
 fn small_app(name: &str) -> AppSpec {
     let mut app = AppSpec::by_name(name).expect("known app");
     app.iters = 2;
     app
 }
 
-fn fig2_source_ordering_overheads(c: &mut Criterion) {
-    let app = small_app("PAD");
-    c.bench_function("fig2/so_pad_cxl", |b| {
-        b.iter(|| black_box(run_app(&app, ProtocolKind::So, Fabric::Cxl, 4, ConsistencyModel::Rc)))
+const ITERS: u32 = 10;
+
+fn main() {
+    // cargo passes the bench-target name (and possibly a filter) through;
+    // this harness always runs everything.
+    let _ = std::env::args();
+
+    // Fig. 2: source-ordering overheads.
+    let pad = small_app("PAD");
+    bench("fig2/so_pad_cxl", ITERS, || {
+        run_app(&pad, ProtocolKind::So, Fabric::Cxl, 4, ConsistencyModel::Rc)
     });
-}
 
-fn fig7_end_to_end(c: &mut Criterion) {
-    let app = small_app("MOCFE");
-    let mut g = c.benchmark_group("fig7");
-    for kind in [ProtocolKind::Mp, ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Wb] {
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_app(&app, kind, Fabric::Cxl, 4, ConsistencyModel::Rc)))
+    // Fig. 7: end-to-end app comparison across schemes.
+    let mocfe = small_app("MOCFE");
+    for kind in [
+        ProtocolKind::Mp,
+        ProtocolKind::Cord,
+        ProtocolKind::So,
+        ProtocolKind::Wb,
+    ] {
+        bench(&format!("fig7/{}", kind.label()), ITERS, || {
+            run_app(&mocfe, kind, Fabric::Cxl, 4, ConsistencyModel::Rc)
         });
     }
-    g.finish();
-}
 
-fn fig8_microbench(c: &mut Criterion) {
-    let mb = MicroBench::new(64, 4096, 3).with_iters(4);
-    let mut g = c.benchmark_group("fig8");
+    // Fig. 8: microbenchmark sweep point.
+    let mb8 = MicroBench::new(64, 4096, 3).with_iters(4);
     for kind in [ProtocolKind::Mp, ProtocolKind::Cord, ProtocolKind::So] {
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_micro(&mb, kind, Fabric::Cxl)))
+        bench(&format!("fig8/{}", kind.label()), ITERS, || {
+            run_micro(&mb8, kind, Fabric::Cxl)
         });
     }
-    g.finish();
-}
 
-fn fig10_sequence_numbers(c: &mut Criterion) {
-    let mb = MicroBench::new(64, 8192, 1).with_iters(4);
-    let mut g = c.benchmark_group("fig10");
-    for kind in [ProtocolKind::Seq { bits: 8 }, ProtocolKind::Seq { bits: 40 }, ProtocolKind::Cord]
-    {
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_micro(&mb, kind, Fabric::Cxl)))
+    // Fig. 10: sequence numbers vs CORD's modular epochs.
+    let mb10 = MicroBench::new(64, 8192, 1).with_iters(4);
+    for kind in [
+        ProtocolKind::Seq { bits: 8 },
+        ProtocolKind::Seq { bits: 40 },
+        ProtocolKind::Cord,
+    ] {
+        bench(&format!("fig10/{}", kind.label()), ITERS, || {
+            run_micro(&mb10, kind, Fabric::Cxl)
         });
     }
-    g.finish();
-}
 
-fn fig11_storage(c: &mut Criterion) {
+    // Fig. 11: storage-peak accounting.
     let mut ata = AppSpec::ata();
     ata.iters = 8;
-    c.bench_function("fig11/ata_storage_4pu", |b| {
-        b.iter(|| {
-            let r = run_app(&ata, ProtocolKind::Cord, Fabric::Cxl, 4, ConsistencyModel::Rc);
-            black_box((r.proc_storage_peak(), r.dir_storage_peak()))
-        })
+    bench("fig11/ata_storage_4pu", ITERS, || {
+        let r = run_app(
+            &ata,
+            ProtocolKind::Cord,
+            Fabric::Cxl,
+            4,
+            ConsistencyModel::Rc,
+        );
+        (r.proc_storage_peak(), r.dir_storage_peak())
     });
-}
 
-fn fig13_tso(c: &mut Criterion) {
-    let app = small_app("CR");
-    let mut g = c.benchmark_group("fig13");
+    // Fig. 13: TSO consistency model.
+    let cr = small_app("CR");
     for kind in [ProtocolKind::Cord, ProtocolKind::So] {
-        g.bench_function(kind.label(), |b| {
-            b.iter(|| black_box(run_app(&app, kind, Fabric::Upi, 4, ConsistencyModel::Tso)))
+        bench(&format!("fig13/{}", kind.label()), ITERS, || {
+            run_app(&cr, kind, Fabric::Upi, 4, ConsistencyModel::Tso)
         });
     }
-    g.finish();
-}
 
-fn table3_power_model(c: &mut Criterion) {
-    c.bench_function("table3/rows", |b| b.iter(|| black_box(table3_rows())));
-    c.bench_function("table3/sram_cost", |b| {
-        b.iter(|| black_box(sram_cost(TableGeometry::new(256, 16, 16))))
+    // Table 3: analytic SRAM model.
+    bench("table3/rows", ITERS, table3_rows);
+    bench("table3/sram_cost", ITERS, || {
+        sram_cost(TableGeometry::new(256, 16, 16))
+    });
+
+    // Litmus checker hot path.
+    let isa2 = classic_suite()
+        .into_iter()
+        .find(|l| l.name == "ISA2")
+        .unwrap();
+    bench("litmus/isa2_cord", ITERS, || {
+        explore(&CheckConfig::cord(3, 3), &isa2, &[0, 1, 2], 1_000_000)
+    });
+    bench("litmus/isa2_mp", ITERS, || {
+        explore(&CheckConfig::mp(3, 3), &isa2, &[0, 1, 2], 1_000_000)
     });
 }
-
-fn litmus_checker(c: &mut Criterion) {
-    let isa2 = classic_suite().into_iter().find(|l| l.name == "ISA2").unwrap();
-    c.bench_function("litmus/isa2_cord", |b| {
-        b.iter(|| black_box(explore(CheckConfig::cord(3, 3), &isa2, &[0, 1, 2], 1_000_000)))
-    });
-    c.bench_function("litmus/isa2_mp", |b| {
-        b.iter(|| black_box(explore(CheckConfig::mp(3, 3), &isa2, &[0, 1, 2], 1_000_000)))
-    });
-}
-
-criterion_group!(
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets =
-        fig2_source_ordering_overheads,
-        fig7_end_to_end,
-        fig8_microbench,
-        fig10_sequence_numbers,
-        fig11_storage,
-        fig13_tso,
-        table3_power_model,
-        litmus_checker
-);
-criterion_main!(figures);

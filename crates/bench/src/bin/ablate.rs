@@ -10,6 +10,7 @@
 //!    CXL's reserved bits were unavailable for the epoch number.
 
 use cord::System;
+use cord_bench::sweep::{run_recorded, Job};
 use cord_bench::{config, print_table, Fabric};
 use cord_proto::{ConsistencyModel, Op, Program, ProtocolKind, StoreOrd, SystemConfig};
 use cord_workloads::{MicroBench, Region};
@@ -31,8 +32,7 @@ fn notifications_vs_source_join() {
     let build = |source_join: bool| -> Vec<Program> {
         let map = &cfg0.map;
         let mut ops: Vec<Op> = Vec::new();
-        let regions: Vec<Region> =
-            (1..=fanout).map(|h| Region::new(map, h, 0, 0)).collect();
+        let regions: Vec<Region> = (1..=fanout).map(|h| Region::new(map, h, 0, 0)).collect();
         for iter in 0..iters {
             let mut k = iter as u64 * 64;
             for r in &regions {
@@ -41,7 +41,9 @@ fn notifications_vs_source_join() {
             let flag = regions.last().unwrap().flag(map);
             if source_join {
                 // Naive multi-directory publication: join at the source.
-                ops.push(Op::Fence { kind: cord_proto::FenceKind::Release });
+                ops.push(Op::Fence {
+                    kind: cord_proto::FenceKind::Release,
+                });
                 ops.push(Op::Store {
                     addr: flag,
                     bytes: 8,
@@ -63,13 +65,31 @@ fn notifications_vs_source_join() {
         programs
     };
 
+    let variants = [
+        ("inter-directory notification", false),
+        ("source join (fence)", true),
+    ];
+    let jobs: Vec<Job<_>> = variants
+        .iter()
+        .map(|&(label, source_join)| -> Job<_> {
+            let cfg0 = &cfg0;
+            let build = &build;
+            (
+                format!("ablate1/{label}"),
+                Box::new(move || {
+                    let mut cfg = cfg0.clone();
+                    cfg.tables.proc_unacked = 64;
+                    cfg.tables.dir_cnt_per_proc = 64;
+                    cfg.tables.dir_noti_per_proc = 64;
+                    System::new(cfg, build(source_join)).run()
+                }),
+            )
+        })
+        .collect();
+    let results = run_recorded("ablate1", jobs, |r| r.completion().as_ns_f64());
+
     let mut rows = Vec::new();
-    for (label, source_join) in [("inter-directory notification", false), ("source join (fence)", true)] {
-        let mut cfg = cfg0.clone();
-        cfg.tables.proc_unacked = 64;
-        cfg.tables.dir_cnt_per_proc = 64;
-        cfg.tables.dir_noti_per_proc = 64;
-        let r = System::new(cfg, build(source_join)).run();
+    for ((label, _), r) in variants.iter().zip(results) {
         rows.push(vec![
             label.to_string(),
             format!("{:.2}", r.completion().as_us_f64()),
@@ -87,18 +107,28 @@ fn notifications_vs_source_join() {
 /// §5.4 methodology: the smallest unacked-epoch table with no degradation.
 fn table_provisioning() {
     let mb = MicroBench::new(64, 512, 1).with_iters(64); // fine-grained syncs
+    let mb = &mb;
     let sizes = [1usize, 2, 4, 8, 16, 32, 64];
-    let times: Vec<f64> = sizes
+    let jobs: Vec<Job<_>> = sizes
         .iter()
-        .map(|&entries| {
-            let mut cfg: SystemConfig =
-                config(ProtocolKind::Cord, Fabric::Cxl, 8, ConsistencyModel::Rc);
-            cfg.tables.proc_unacked = entries;
-            cfg.tables.dir_cnt_per_proc = entries.max(8);
-            cfg.tables.dir_noti_per_proc = entries.max(8);
-            let programs = mb.programs(&cfg);
-            System::new(cfg, programs).run().completion().as_us_f64()
+        .map(|&entries| -> Job<_> {
+            (
+                format!("ablate2/unacked{entries}"),
+                Box::new(move || {
+                    let mut cfg: SystemConfig =
+                        config(ProtocolKind::Cord, Fabric::Cxl, 8, ConsistencyModel::Rc);
+                    cfg.tables.proc_unacked = entries;
+                    cfg.tables.dir_cnt_per_proc = entries.max(8);
+                    cfg.tables.dir_noti_per_proc = entries.max(8);
+                    let programs = mb.programs(&cfg);
+                    System::new(cfg, programs).run()
+                }),
+            )
         })
+        .collect();
+    let times: Vec<f64> = run_recorded("ablate2", jobs, |r| r.completion().as_ns_f64())
+        .into_iter()
+        .map(|r| r.completion().as_us_f64())
         .collect();
     let best = times.iter().copied().fold(f64::MAX, f64::min);
     let rows: Vec<Vec<String>> = sizes
@@ -123,13 +153,27 @@ fn table_provisioning() {
 /// What the 8-bit epoch would cost without CXL's free reserved header bits.
 fn reserved_bits() {
     let mb = MicroBench::new(8, 4096, 1).with_iters(16); // word-granularity stores
+    let mb = &mb;
+    let variants = [8u8, 0];
+    let jobs: Vec<Job<_>> = variants
+        .iter()
+        .map(|&reserved| -> Job<_> {
+            (
+                format!("ablate3/reserved{reserved}"),
+                Box::new(move || {
+                    let mut cfg = config(ProtocolKind::Cord, Fabric::Cxl, 8, ConsistencyModel::Rc);
+                    cfg.widths.reserved_bits = reserved;
+                    cfg.tables.proc_unacked = 64;
+                    let programs = mb.programs(&cfg);
+                    System::new(cfg, programs).run()
+                }),
+            )
+        })
+        .collect();
+    let results = run_recorded("ablate3", jobs, |r| r.completion().as_ns_f64());
+
     let mut rows = Vec::new();
-    for reserved in [8u8, 0] {
-        let mut cfg = config(ProtocolKind::Cord, Fabric::Cxl, 8, ConsistencyModel::Rc);
-        cfg.widths.reserved_bits = reserved;
-        cfg.tables.proc_unacked = 64;
-        let programs = mb.programs(&cfg);
-        let r = System::new(cfg, programs).run();
+    for (&reserved, r) in variants.iter().zip(results) {
         rows.push(vec![
             reserved.to_string(),
             r.inter_bytes().to_string(),

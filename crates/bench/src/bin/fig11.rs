@@ -5,22 +5,45 @@
 //! most storage-hungry Table 2 applications (SSSP, PAD, PR) and the ATA
 //! `alltoall` stressor, at 2/4/8 hosts over CXL and UPI.
 
+use cord_bench::sweep::{run_recorded, Job};
 use cord_bench::{print_table, run_app, Fabric};
 use cord_proto::{ConsistencyModel, ProtocolKind};
 use cord_workloads::AppSpec;
 
+const APPS: [&str; 4] = ["SSSP", "PAD", "PR", "ATA"];
+const HOSTS: [u32; 3] = [2, 4, 8];
+
 fn main() {
-    let apps = ["SSSP", "PAD", "PR", "ATA"];
+    let apps: Vec<AppSpec> = APPS
+        .iter()
+        .map(|n| AppSpec::by_name(n).expect("known app"))
+        .collect();
+    let jobs: Vec<Job<_>> = Fabric::BOTH
+        .iter()
+        .flat_map(|&fabric| {
+            apps.iter().flat_map(move |app| {
+                HOSTS.iter().map(move |&hosts| -> Job<_> {
+                    (
+                        format!("{}/{}/{hosts}PU", fabric.label(), app.name),
+                        Box::new(move || {
+                            run_app(app, ProtocolKind::Cord, fabric, hosts, ConsistencyModel::Rc)
+                        }),
+                    )
+                })
+            })
+        })
+        .collect();
+    let mut results = run_recorded("fig11", jobs, |r| r.completion().as_ns_f64()).into_iter();
+
     for fabric in Fabric::BOTH {
         let mut rows = Vec::new();
-        for name in apps {
-            let app = AppSpec::by_name(name).expect("known app");
-            for hosts in [2u32, 4, 8] {
-                let r = run_app(&app, ProtocolKind::Cord, fabric, hosts, ConsistencyModel::Rc);
+        for app in &apps {
+            for hosts in HOSTS {
+                let r = results.next().expect("one run per point");
                 let proc = r.proc_storage_peak();
                 let dir = r.dir_storage_peak();
                 rows.push(vec![
-                    name.to_string(),
+                    app.name.to_string(),
                     hosts.to_string(),
                     proc.peak_total().to_string(),
                     dir.peak_total().to_string(),

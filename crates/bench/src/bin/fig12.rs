@@ -5,16 +5,35 @@
 //! directory, lookup tables vs the network buffer holding recycled Release
 //! stores.
 
+use cord_bench::sweep::{run_recorded, Job};
 use cord_bench::{print_table, run_app, Fabric};
 use cord_proto::{ConsistencyModel, ProtocolKind};
 use cord_workloads::AppSpec;
 
+const HOSTS: [u32; 3] = [2, 4, 8];
+
 fn main() {
     let app = AppSpec::ata();
+    let app = &app;
+    let jobs: Vec<Job<_>> = Fabric::BOTH
+        .iter()
+        .flat_map(|&fabric| {
+            HOSTS.iter().map(move |&hosts| -> Job<_> {
+                (
+                    format!("{}/ATA/{hosts}PU", fabric.label()),
+                    Box::new(move || {
+                        run_app(app, ProtocolKind::Cord, fabric, hosts, ConsistencyModel::Rc)
+                    }),
+                )
+            })
+        })
+        .collect();
+    let mut results = run_recorded("fig12", jobs, |r| r.completion().as_ns_f64()).into_iter();
+
     for fabric in Fabric::BOTH {
         let mut rows = Vec::new();
-        for hosts in [2u32, 4, 8] {
-            let r = run_app(&app, ProtocolKind::Cord, fabric, hosts, ConsistencyModel::Rc);
+        for hosts in HOSTS {
+            let r = results.next().expect("one run per point");
             let proc = r.proc_storage_peak();
             let dir = r.dir_storage_peak();
             rows.push(vec![

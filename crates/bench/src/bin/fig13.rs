@@ -7,34 +7,62 @@
 //! orders its point-to-point channels (an efficiency upper bound — it still
 //! does not provide global TSO).
 
+use cord::RunResult;
+use cord_bench::sweep::{run_recorded, Job};
 use cord_bench::{geomean, print_table, ratio, run_app, Fabric};
 use cord_proto::{ConsistencyModel, ProtocolKind};
-use cord_workloads::table2_apps;
+use cord_workloads::{table2_apps, AppSpec};
+
+/// Schemes per app in output order; MP is skipped for MP-incompatible apps.
+fn schemes(app: &AppSpec) -> Vec<ProtocolKind> {
+    let mut v = vec![ProtocolKind::Cord];
+    if app.mp_compatible {
+        v.push(ProtocolKind::Mp);
+    }
+    v.extend([ProtocolKind::So, ProtocolKind::Wb]);
+    v
+}
 
 fn main() {
+    let apps: Vec<_> = table2_apps()
+        .into_iter()
+        .filter(|a| a.name != "ATA")
+        .collect();
+    let jobs: Vec<Job<RunResult>> = Fabric::BOTH
+        .iter()
+        .flat_map(|&fabric| {
+            apps.iter().flat_map(move |app| {
+                schemes(app).into_iter().map(move |kind| -> Job<RunResult> {
+                    (
+                        format!("{}/{}/{:?}", fabric.label(), app.name, kind),
+                        Box::new(move || run_app(app, kind, fabric, 8, ConsistencyModel::Tso)),
+                    )
+                })
+            })
+        })
+        .collect();
+    let mut results = run_recorded("fig13", jobs, |r| r.completion().as_ns_f64()).into_iter();
+
     for fabric in Fabric::BOTH {
         let mut rows = Vec::new();
         let mut agg: Vec<Vec<Option<f64>>> = vec![Vec::new(); 6];
-        for app in table2_apps() {
-            if app.name == "ATA" {
-                continue;
-            }
-            let cord = run_app(&app, ProtocolKind::Cord, fabric, 8, ConsistencyModel::Tso);
+        for app in &apps {
+            let cord = results.next().expect("CORD run");
             let t0 = cord.makespan.as_ns_f64();
             let b0 = cord.inter_bytes() as f64;
-            let rel = |kind: ProtocolKind| -> (Option<f64>, Option<f64>) {
-                if kind == ProtocolKind::Mp && !app.mp_compatible {
+            let mut rel = |run: bool| -> (Option<f64>, Option<f64>) {
+                if !run {
                     return (None, None);
                 }
-                let r = run_app(&app, kind, fabric, 8, ConsistencyModel::Tso);
+                let r = results.next().expect("scheme run");
                 (
                     Some(r.makespan.as_ns_f64() / t0),
                     Some(r.inter_bytes() as f64 / b0),
                 )
             };
-            let (mpt, mpb) = rel(ProtocolKind::Mp);
-            let (sot, sob) = rel(ProtocolKind::So);
-            let (wbt, wbb) = rel(ProtocolKind::Wb);
+            let (mpt, mpb) = rel(app.mp_compatible);
+            let (sot, sob) = rel(true);
+            let (wbt, wbb) = rel(true);
             for (slot, v) in agg.iter_mut().zip([mpt, sot, wbt, mpb, sob, wbb]) {
                 slot.push(v);
             }
@@ -66,7 +94,9 @@ fn main() {
                 "Fig 13 ({}): TSO time & traffic normalized to CORD (CORD columns absolute)",
                 fabric.label()
             ),
-            &["app", "CORD us", "MP t", "SO t", "WB t", "CORD KB", "MP b", "SO b", "WB b"],
+            &[
+                "app", "CORD us", "MP t", "SO t", "WB t", "CORD KB", "MP b", "SO b", "WB b",
+            ],
             &rows,
         );
     }

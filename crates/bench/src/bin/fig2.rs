@@ -5,19 +5,36 @@
 //! write-through acknowledgments, and the percentage of inter-PU traffic the
 //! acknowledgments themselves consume.
 
+use cord_bench::sweep::{run_recorded, Job};
 use cord_bench::{print_table, run_app, Fabric};
 use cord_noc::MsgClass;
 use cord_proto::{ConsistencyModel, ProtocolKind, StallCause};
 use cord_workloads::table2_apps;
 
 fn main() {
+    let apps: Vec<_> = table2_apps()
+        .into_iter()
+        .filter(|a| a.name != "ATA")
+        .collect();
+    let jobs: Vec<Job<_>> = Fabric::BOTH
+        .iter()
+        .flat_map(|&fabric| {
+            apps.iter().map(move |app| -> Job<_> {
+                (
+                    format!("{}/{}", fabric.label(), app.name),
+                    Box::new(move || {
+                        run_app(app, ProtocolKind::So, fabric, 8, ConsistencyModel::Rc)
+                    }),
+                )
+            })
+        })
+        .collect();
+    let mut results = run_recorded("fig2", jobs, |r| r.completion().as_ns_f64()).into_iter();
+
     for fabric in Fabric::BOTH {
         let mut rows = Vec::new();
-        for app in table2_apps() {
-            if app.name == "ATA" {
-                continue; // synthetic §5.4 stressor, not part of Fig. 2
-            }
-            let r = run_app(&app, ProtocolKind::So, fabric, 8, ConsistencyModel::Rc);
+        for app in &apps {
+            let r = results.next().expect("one result per job");
             let wait = r.stall(StallCause::AckWait).as_ns_f64();
             let busy = r.core_time_total.as_ns_f64();
             let ack = r.traffic[MsgClass::Ack].inter_bytes as f64;

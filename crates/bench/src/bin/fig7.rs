@@ -5,11 +5,42 @@
 //! y-axes), plus geometric means. TQH cannot run under naive message
 //! passing (paper §3.2), so its MP cells are n/a.
 
+use cord::RunResult;
+use cord_bench::sweep::{run_recorded, Job};
 use cord_bench::{geomean, print_table, ratio, run_app, Fabric};
 use cord_proto::{ConsistencyModel, ProtocolKind};
-use cord_workloads::table2_apps;
+use cord_workloads::{table2_apps, AppSpec};
+
+/// Schemes per app in output order; MP is skipped for MP-incompatible apps.
+fn schemes(app: &AppSpec) -> Vec<ProtocolKind> {
+    let mut v = vec![ProtocolKind::Cord];
+    if app.mp_compatible {
+        v.push(ProtocolKind::Mp);
+    }
+    v.extend([ProtocolKind::So, ProtocolKind::Wb]);
+    v
+}
 
 fn main() {
+    let apps: Vec<_> = table2_apps()
+        .into_iter()
+        .filter(|a| a.name != "ATA")
+        .collect();
+    let jobs: Vec<Job<RunResult>> = Fabric::BOTH
+        .iter()
+        .flat_map(|&fabric| {
+            apps.iter().flat_map(move |app| {
+                schemes(app).into_iter().map(move |kind| -> Job<RunResult> {
+                    (
+                        format!("{}/{}/{:?}", fabric.label(), app.name, kind),
+                        Box::new(move || run_app(app, kind, fabric, 8, ConsistencyModel::Rc)),
+                    )
+                })
+            })
+        })
+        .collect();
+    let mut results = run_recorded("fig7", jobs, |r| r.completion().as_ns_f64()).into_iter();
+
     for fabric in Fabric::BOTH {
         let mut rows = Vec::new();
         let mut mp_t = Vec::new();
@@ -18,26 +49,23 @@ fn main() {
         let mut mp_b = Vec::new();
         let mut so_b = Vec::new();
         let mut wb_b = Vec::new();
-        for app in table2_apps() {
-            if app.name == "ATA" {
-                continue;
-            }
-            let cord = run_app(&app, ProtocolKind::Cord, fabric, 8, ConsistencyModel::Rc);
+        for app in &apps {
+            let cord = results.next().expect("CORD run");
             let t0 = cord.makespan.as_ns_f64();
             let b0 = cord.inter_bytes() as f64;
-            let rel = |kind: ProtocolKind| -> (Option<f64>, Option<f64>) {
-                if kind == ProtocolKind::Mp && !app.mp_compatible {
+            let mut rel = |run: bool| -> (Option<f64>, Option<f64>) {
+                if !run {
                     return (None, None);
                 }
-                let r = run_app(&app, kind, fabric, 8, ConsistencyModel::Rc);
+                let r = results.next().expect("scheme run");
                 (
                     Some(r.makespan.as_ns_f64() / t0),
                     Some(r.inter_bytes() as f64 / b0),
                 )
             };
-            let (mpt, mpb) = rel(ProtocolKind::Mp);
-            let (sot, sob) = rel(ProtocolKind::So);
-            let (wbt, wbb) = rel(ProtocolKind::Wb);
+            let (mpt, mpb) = rel(app.mp_compatible);
+            let (sot, sob) = rel(true);
+            let (wbt, wbb) = rel(true);
             mp_t.push(mpt);
             so_t.push(sot);
             wb_t.push(wbt);
@@ -72,7 +100,9 @@ fn main() {
                 "Fig 7 ({}): time & traffic normalized to CORD (CORD columns absolute)",
                 fabric.label()
             ),
-            &["app", "CORD us", "MP t", "SO t", "WB t", "CORD KB", "MP b", "SO b", "WB b"],
+            &[
+                "app", "CORD us", "MP t", "SO t", "WB t", "CORD KB", "MP b", "SO b", "WB b",
+            ],
             &rows,
         );
     }

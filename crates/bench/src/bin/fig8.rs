@@ -5,19 +5,37 @@
 //! normalized to CORD, over CXL and UPI. Fixed parameters follow the
 //! figure's caption: 64 B stores, 4 KB synchronization, fan-out 1.
 
+use cord_bench::sweep::{run_recorded, Job};
 use cord_bench::{print_table, run_micro, Fabric};
 use cord_proto::ProtocolKind;
 use cord_workloads::MicroBench;
 
-fn sweep(title: &str, points: &[(String, MicroBench)]) {
+const SCHEMES: [ProtocolKind; 3] = [ProtocolKind::Cord, ProtocolKind::Mp, ProtocolKind::So];
+
+fn sweep(name: &str, title: &str, points: &[(String, MicroBench)]) {
+    let jobs: Vec<Job<_>> = Fabric::BOTH
+        .iter()
+        .flat_map(|&fabric| {
+            points.iter().flat_map(move |(label, mb)| {
+                SCHEMES.iter().map(move |&kind| -> Job<_> {
+                    (
+                        format!("{}/{label}/{kind:?}", fabric.label()),
+                        Box::new(move || run_micro(mb, kind, fabric)),
+                    )
+                })
+            })
+        })
+        .collect();
+    let mut results = run_recorded(name, jobs, |r| r.completion().as_ns_f64()).into_iter();
+
     for fabric in Fabric::BOTH {
         let mut rows = Vec::new();
-        for (label, mb) in points {
-            let cord = run_micro(mb, ProtocolKind::Cord, fabric);
+        for (label, _) in points {
+            let cord = results.next().expect("CORD run");
+            let mp = results.next().expect("MP run");
+            let so = results.next().expect("SO run");
             let t0 = cord.completion().as_ns_f64();
             let b0 = cord.inter_bytes() as f64;
-            let mp = run_micro(mb, ProtocolKind::Mp, fabric);
-            let so = run_micro(mb, ProtocolKind::So, fabric);
             rows.push(vec![
                 label.clone(),
                 format!("{:.1}", t0 / 1000.0),
@@ -42,7 +60,7 @@ fn main() {
         .into_iter()
         .map(|g| (format!("{g}B"), MicroBench::new(g, 4096, 1).with_iters(32)))
         .collect();
-    sweep("store granularity", &store_points);
+    sweep("fig8-store", "store granularity", &store_points);
 
     // Synchronization granularity sweep: 64 B – 2 MB (store 64 B, fanout 1).
     let sync_points: Vec<(String, MicroBench)> = [
@@ -65,12 +83,17 @@ fn main() {
         (label, MicroBench::new(64, s, 1).with_iters(iters))
     })
     .collect();
-    sweep("synchronization granularity", &sync_points);
+    sweep("fig8-sync", "synchronization granularity", &sync_points);
 
     // Communication fan-out sweep: 1 – 7 PUs (store 64 B, sync 4 KB).
     let fanout_points: Vec<(String, MicroBench)> = [1u32, 3, 7]
         .into_iter()
-        .map(|f| (format!("{f} PUs"), MicroBench::new(64, 4096, f).with_iters(32)))
+        .map(|f| {
+            (
+                format!("{f} PUs"),
+                MicroBench::new(64, 4096, f).with_iters(32),
+            )
+        })
         .collect();
-    sweep("communication fanout", &fanout_points);
+    sweep("fig8-fanout", "communication fanout", &fanout_points);
 }

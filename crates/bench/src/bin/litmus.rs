@@ -3,17 +3,35 @@
 //! Runs every litmus shape under every placement for CORD (six provisioning
 //! stress configurations), source ordering, mixed CORD/SO, and message
 //! passing, then prints the campaign totals — including the MP violations
-//! the paper's §3.2 predicts.
+//! the paper's §3.2 predicts. Placements within each shape are explored in
+//! parallel (`CORD_THREADS`); each (system, shape) campaign is recorded into
+//! `BENCH_sweeps.json`.
+
+use std::time::Instant;
 
 use cord_bench::print_table;
+use cord_bench::sweep::Recorder;
 use cord_check::{
     classic_suite, explore, explore_all_placements, stress_configs, weak_suite, CheckConfig,
-    ThreadProto,
+    Litmus, Report, ThreadProto,
 };
 
 const CAP: usize = 2_000_000;
 
+fn explore_recorded(
+    rec: &mut Recorder,
+    label: &str,
+    cfg: &CheckConfig,
+    lit: &Litmus,
+) -> Vec<(Vec<u8>, Report)> {
+    let t0 = Instant::now();
+    let out = explore_all_placements(cfg, lit, CAP);
+    rec.record(label, t0.elapsed().as_secs_f64() * 1e3, 0.0);
+    out
+}
+
 fn main() {
+    let mut rec = Recorder::new("litmus");
     let mut rows = Vec::new();
     let mut total_checks = 0usize;
     let mut total_states = 0usize;
@@ -24,7 +42,9 @@ fn main() {
         let mut states = 0;
         let mut failures = 0;
         for lit in classic_suite() {
-            for (_, report) in explore_all_placements(&mk(lit.thread_count(), 3), &lit, CAP) {
+            let cfg = mk(lit.thread_count(), 3);
+            let label = format!("CORD[{cfg_name}]/{}", lit.name);
+            for (_, report) in explore_recorded(&mut rec, &label, &cfg, &lit) {
                 checks += 1;
                 states += report.states;
                 if !report.passes(&lit) {
@@ -54,12 +74,19 @@ fn main() {
             } else {
                 CheckConfig {
                     protos: (0..n)
-                        .map(|i| if i % 2 == 0 { ThreadProto::Cord } else { ThreadProto::So })
+                        .map(|i| {
+                            if i % 2 == 0 {
+                                ThreadProto::Cord
+                            } else {
+                                ThreadProto::So
+                            }
+                        })
                         .collect(),
                     ..CheckConfig::cord(n, 3)
                 }
             };
-            for (_, report) in explore_all_placements(&cfg, &lit, CAP) {
+            let label = format!("{name}/{}", lit.name);
+            for (_, report) in explore_recorded(&mut rec, &label, &cfg, &lit) {
                 checks += 1;
                 states += report.states;
                 if !report.passes(&lit) {
@@ -67,7 +94,12 @@ fn main() {
                 }
             }
         }
-        rows.push(vec![name.into(), checks.to_string(), states.to_string(), failures.to_string()]);
+        rows.push(vec![
+            name.into(),
+            checks.to_string(),
+            states.to_string(),
+            failures.to_string(),
+        ]);
         total_checks += checks;
         total_states += states;
     }
@@ -77,8 +109,9 @@ fn main() {
     let mut mp_violating_shapes = Vec::new();
     for lit in classic_suite() {
         let mut bad = false;
-        for (_, report) in explore_all_placements(&CheckConfig::mp(lit.thread_count(), 3), &lit, CAP)
-        {
+        let cfg = CheckConfig::mp(lit.thread_count(), 3);
+        let label = format!("MP/{}", lit.name);
+        for (_, report) in explore_recorded(&mut rec, &label, &cfg, &lit) {
             mp_checks += 1;
             bad |= !report.violations(&lit).is_empty();
         }
@@ -106,8 +139,9 @@ fn main() {
     let mut weak_ok = 0;
     for (lit, must_see) in weak_suite() {
         let mut seen = false;
-        for (_, report) in explore_all_placements(&CheckConfig::cord(lit.thread_count(), 3), &lit, CAP)
-        {
+        let cfg = CheckConfig::cord(lit.thread_count(), 3);
+        let label = format!("weak/{}", lit.name);
+        for (_, report) in explore_recorded(&mut rec, &label, &cfg, &lit) {
             seen |= report.outcomes.iter().any(|flat| {
                 let split = flat.len() - lit.vars as usize;
                 let (reg_flat, mem) = flat.split_at(split);
@@ -119,17 +153,24 @@ fn main() {
             weak_ok += 1;
         }
     }
-    println!("Weak (RC-allowed) outcomes reachable: {weak_ok}/{}", weak_suite().len());
+    println!(
+        "Weak (RC-allowed) outcomes reachable: {weak_ok}/{}",
+        weak_suite().len()
+    );
     println!("Total checks: {total_checks}; total states: {total_states}");
     println!("Murphi-substitute campaign complete");
 
     // A final ISA2 spot check mirroring paper Fig. 3.
-    let isa2 = classic_suite().into_iter().find(|l| l.name == "ISA2").unwrap();
-    let mp = explore(CheckConfig::mp(3, 3), &isa2, &[2, 1, 2], CAP);
-    let cord = explore(CheckConfig::cord(3, 3), &isa2, &[2, 1, 2], CAP);
+    let isa2 = classic_suite()
+        .into_iter()
+        .find(|l| l.name == "ISA2")
+        .unwrap();
+    let mp = explore(&CheckConfig::mp(3, 3), &isa2, &[2, 1, 2], CAP);
+    let cord = explore(&CheckConfig::cord(3, 3), &isa2, &[2, 1, 2], CAP);
     println!(
         "ISA2 (X,Z on T2's memory; Y on T1's): MP forbidden outcome reachable = {}, CORD = {}",
         !mp.violations(&isa2).is_empty(),
         !cord.violations(&isa2).is_empty()
     );
+    rec.finish();
 }

@@ -1,19 +1,30 @@
 //! Table 3: lookup-table sizes, area, power, and access energy (paper §5.4).
 //!
 //! Uses the calibrated 22 nm analytic SRAM model (`cord-power`, the CACTI
-//! 7.0 substitute) over the paper's provisioning.
+//! 7.0 substitute) over the paper's provisioning. The analytic model is one
+//! (cheap) sweep job, so even this table lands in `BENCH_sweeps.json`.
 
 use cord_bench::print_table;
-use cord_power::{reference, table3_rows};
+use cord_bench::sweep::{run_recorded, Job};
+use cord_power::{reference, table3_rows, Table3Row};
 
 fn main() {
-    let rows = table3_rows();
+    let jobs: Vec<Job<Vec<Table3Row>>> = vec![("table3/analytic".into(), Box::new(table3_rows))];
+    let rows = run_recorded("table3", jobs, |_| 0.0)
+        .pop()
+        .expect("one job");
     let mut out = Vec::new();
     for unit in ["Processor", "Directory"] {
-        let total_area: f64 =
-            rows.iter().filter(|r| r.unit == unit).map(|r| r.cost.area_mm2).sum();
-        let total_power: f64 =
-            rows.iter().filter(|r| r.unit == unit).map(|r| r.cost.static_power_mw).sum();
+        let total_area: f64 = rows
+            .iter()
+            .filter(|r| r.unit == unit)
+            .map(|r| r.cost.area_mm2)
+            .sum();
+        let total_power: f64 = rows
+            .iter()
+            .filter(|r| r.unit == unit)
+            .map(|r| r.cost.static_power_mw)
+            .sum();
         out.push(vec![
             format!("{unit} (total)"),
             String::new(),
@@ -33,14 +44,26 @@ fn main() {
     }
     print_table(
         "Table 3: look-up table sizes; area and power overheads (22nm)",
-        &["component", "size (entries)", "area mm^2", "power mW", "acc. energy r/w nJ"],
+        &[
+            "component",
+            "size (entries)",
+            "area mm^2",
+            "power mW",
+            "acc. energy r/w nJ",
+        ],
         &out,
     );
 
-    let dir_area: f64 =
-        rows.iter().filter(|r| r.unit == "Directory").map(|r| r.cost.area_mm2).sum();
-    let dir_power: f64 =
-        rows.iter().filter(|r| r.unit == "Directory").map(|r| r.cost.static_power_mw).sum();
+    let dir_area: f64 = rows
+        .iter()
+        .filter(|r| r.unit == "Directory")
+        .map(|r| r.cost.area_mm2)
+        .sum();
+    let dir_power: f64 = rows
+        .iter()
+        .filter(|r| r.unit == "Directory")
+        .map(|r| r.cost.static_power_mw)
+        .sum();
     println!(
         "\nDirectory overhead vs one host's LLC+directories ({:.3} mm^2, {:.3} mW):",
         reference::HOST_LLC_AREA_MM2,
@@ -51,7 +74,10 @@ fn main() {
         100.0 * dir_area / reference::HOST_LLC_AREA_MM2,
         100.0 * dir_power / reference::HOST_LLC_POWER_MW
     );
-    let worst = rows.iter().map(|r| r.cost.write_energy_nj).fold(0.0f64, f64::max);
+    let worst = rows
+        .iter()
+        .map(|r| r.cost.write_energy_nj)
+        .fold(0.0f64, f64::max);
     let transfer = reference::link_energy_nj(64) + reference::LLC_WRITE_64B_NJ;
     println!(
         "Dynamic energy: worst lookup {:.3} nJ vs 64B transfer+LLC write {:.3} nJ ({:.2}%)",

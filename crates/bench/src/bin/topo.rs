@@ -9,6 +9,7 @@
 
 use cord::System;
 use cord_bench::print_table;
+use cord_bench::sweep::{run_recorded, Job};
 use cord_noc::{NocConfig, PodConfig};
 use cord_proto::{ProtocolKind, SystemConfig};
 use cord_sim::Time;
@@ -29,16 +30,37 @@ fn run(kind: ProtocolKind, pods: bool, app: &cord_workloads::AppSpec) -> (f64, u
     (r.makespan.as_us_f64(), r.inter_bytes())
 }
 
+const POINTS: [(ProtocolKind, bool, &str); 4] = [
+    (ProtocolKind::Cord, false, "flat/CORD"),
+    (ProtocolKind::So, false, "flat/SO"),
+    (ProtocolKind::Cord, true, "pods/CORD"),
+    (ProtocolKind::So, true, "pods/SO"),
+];
+
 fn main() {
+    let apps: Vec<_> = table2_apps()
+        .into_iter()
+        .filter(|a| a.name != "ATA")
+        .collect();
+    let jobs: Vec<Job<_>> = apps
+        .iter()
+        .flat_map(|app| {
+            POINTS.iter().map(move |&(kind, pods, tag)| -> Job<_> {
+                (
+                    format!("{}/{tag}", app.name),
+                    Box::new(move || run(kind, pods, app)),
+                )
+            })
+        })
+        .collect();
+    let mut results = run_recorded("topo", jobs, |&(us, _)| us * 1e3).into_iter();
+
     let mut rows = Vec::new();
-    for app in table2_apps() {
-        if app.name == "ATA" {
-            continue;
-        }
-        let (flat_cord, _) = run(ProtocolKind::Cord, false, &app);
-        let (flat_so, _) = run(ProtocolKind::So, false, &app);
-        let (pod_cord, _) = run(ProtocolKind::Cord, true, &app);
-        let (pod_so, _) = run(ProtocolKind::So, true, &app);
+    for app in &apps {
+        let (flat_cord, _) = results.next().expect("flat CORD");
+        let (flat_so, _) = results.next().expect("flat SO");
+        let (pod_cord, _) = results.next().expect("pod CORD");
+        let (pod_so, _) = results.next().expect("pod SO");
         rows.push(vec![
             app.name.to_string(),
             format!("{:.2}", flat_so / flat_cord),

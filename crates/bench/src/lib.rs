@@ -3,12 +3,16 @@
 //! Each figure/table has a dedicated binary (`fig2`, `fig7`, …, `table3`,
 //! `litmus`) that runs the corresponding experiment on the simulator and
 //! prints the same rows/series the paper reports. This library holds the
-//! pieces they share: protocol/fabric selection, run helpers, and plain-text
-//! table formatting.
+//! pieces they share: protocol/fabric selection, run helpers, the parallel
+//! [`sweep`] engine (worker-pool fan-out with deterministic input-order
+//! collection and `BENCH_sweeps.json` timing records), and plain-text table
+//! formatting.
 //!
 //! Absolute numbers will differ from the paper's gem5 testbed; the
 //! *comparisons* (who wins, by roughly what factor, where crossovers fall)
 //! are the reproduction target — see EXPERIMENTS.md.
+
+pub mod sweep;
 
 use cord::{RunResult, System};
 use cord_proto::{ConsistencyModel, ProtocolKind, SystemConfig};
@@ -83,8 +87,8 @@ pub fn run_micro(mb: &MicroBench, kind: ProtocolKind, fabric: Fabric) -> RunResu
 
 /// Runs the §5.3 microbenchmark on a custom inter-host latency (Fig. 9).
 pub fn run_micro_latency(mb: &MicroBench, kind: ProtocolKind, latency_ns: u64) -> RunResult {
-    let noc = cord_noc::NocConfig::cxl(8, 8)
-        .with_inter_host_latency(cord_sim::Time::from_ns(latency_ns));
+    let noc =
+        cord_noc::NocConfig::cxl(8, 8).with_inter_host_latency(cord_sim::Time::from_ns(latency_ns));
     let mut cfg = SystemConfig::with_noc(kind, noc);
     provision_for_micro(&mut cfg);
     let programs = mb.programs(&cfg);
@@ -120,7 +124,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     };
     let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&headers));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

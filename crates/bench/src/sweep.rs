@@ -1,0 +1,225 @@
+//! Parallel sweep engine for the figure/table binaries.
+//!
+//! Every benchmark binary is a *sweep*: a deterministic list of independent
+//! (protocol, fabric, workload, parameter) simulation runs whose results are
+//! then formatted serially. [`run_recorded`] fans the runs out across a
+//! worker pool (`CORD_THREADS`, default = available parallelism; see
+//! [`cord_sim::par`]) and returns them **in input order**, so the printed
+//! tables are bit-for-bit identical to a serial run — the simulator itself
+//! is deterministic and the runs share no state.
+//!
+//! Each sweep also appends a machine-readable record — per-run wall-clock
+//! and simulated time plus the sweep's total wall-clock — to
+//! `results/BENCH_sweeps.json` (override the path with `CORD_BENCH_JSON`,
+//! disable with `CORD_BENCH_JSON=/dev/null`). The file is a JSON array with
+//! one entry per line, keyed `"<sweep>#t<threads>"`; re-running a sweep at
+//! the same thread count replaces its entry, so serial/parallel pairs
+//! accumulate side by side for speedup reporting.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use cord_sim::par;
+
+/// One labeled unit of work in a sweep.
+pub type Job<'a, O> = (String, Box<dyn Fn() -> O + Send + Sync + 'a>);
+
+/// A run's output plus its wall-clock cost.
+pub struct Timed<O> {
+    pub out: O,
+    pub wall_ms: f64,
+}
+
+/// Runs `items` through `f` on the worker pool, timing each run.
+/// Results come back in input order regardless of thread count.
+pub fn run_timed<I: Sync, O: Send>(items: &[I], f: impl Fn(&I) -> O + Sync) -> Vec<Timed<O>> {
+    par::run_parallel(items, |it| {
+        let t0 = Instant::now();
+        let out = f(it);
+        Timed {
+            out,
+            wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+        }
+    })
+}
+
+/// Runs a labeled job list in parallel, records the sweep into
+/// `BENCH_sweeps.json`, and returns the outputs in input order.
+///
+/// `sim_ns` extracts each run's simulated duration for the record (return
+/// `0.0` for jobs without a meaningful simulated clock, e.g. checker or
+/// analytic-model jobs).
+pub fn run_recorded<O: Send>(
+    sweep: &str,
+    jobs: Vec<Job<'_, O>>,
+    sim_ns: impl Fn(&O) -> f64,
+) -> Vec<O> {
+    let mut rec = Recorder::new(sweep);
+    let timed = run_timed(&jobs, |(_, f)| f());
+    let mut out = Vec::with_capacity(timed.len());
+    for ((label, _), t) in jobs.iter().zip(timed) {
+        rec.record(label, t.wall_ms, sim_ns(&t.out));
+        out.push(t.out);
+    }
+    rec.finish();
+    out
+}
+
+/// Accumulates one sweep's per-run measurements and writes the JSON record.
+/// Use directly when the sweep's parallelism lives below the job level
+/// (e.g. the litmus campaign, where each job is itself a parallel
+/// placement exploration).
+pub struct Recorder {
+    sweep: String,
+    threads: usize,
+    start: Instant,
+    runs: Vec<(String, f64, f64)>,
+}
+
+impl Recorder {
+    /// Starts recording a sweep; the total wall-clock runs from here.
+    pub fn new(sweep: &str) -> Self {
+        Recorder {
+            sweep: sweep.to_string(),
+            threads: par::thread_count(),
+            start: Instant::now(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Records one run.
+    pub fn record(&mut self, label: &str, wall_ms: f64, sim_ns: f64) {
+        self.runs.push((label.to_string(), wall_ms, sim_ns));
+    }
+
+    /// Writes this sweep's entry into the JSON file (read-modify-write,
+    /// replacing any previous entry with the same sweep name and thread
+    /// count). Failures to write are reported on stderr but never fail the
+    /// benchmark itself.
+    pub fn finish(self) {
+        let total_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        let key = format!("{}#t{}", self.sweep, self.threads);
+        let runs = self
+            .runs
+            .iter()
+            .map(|(label, wall, sim)| {
+                format!(
+                    "{{\"label\":{},\"wall_ms\":{wall:.3},\"sim_ns\":{sim:.1}}}",
+                    json_str(label)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let entry = format!(
+            "{{\"key\":{},\"sweep\":{},\"threads\":{},\"total_wall_ms\":{total_ms:.3},\"runs\":[{runs}]}}",
+            json_str(&key),
+            json_str(&self.sweep),
+            self.threads
+        );
+        if let Err(e) = merge_entry(&key, &entry) {
+            eprintln!("warning: could not record sweep {key}: {e}");
+        }
+    }
+}
+
+/// The sweep-record path: `CORD_BENCH_JSON` or `results/BENCH_sweeps.json`.
+pub fn json_path() -> PathBuf {
+    std::env::var_os("CORD_BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/BENCH_sweeps.json"))
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Replaces-or-appends `entry` (a one-line JSON object with the given
+/// `key`) in the sweep file, keeping it a valid JSON array with one entry
+/// per line.
+fn merge_entry(key: &str, entry: &str) -> std::io::Result<()> {
+    let path = json_path();
+    if path.as_os_str() == "/dev/null" {
+        return Ok(());
+    }
+    let mut entries: Vec<String> = match std::fs::read_to_string(&path) {
+        Ok(text) => text
+            .lines()
+            .map(str::trim)
+            .filter(|l| l.starts_with('{'))
+            .map(|l| l.strip_suffix(',').unwrap_or(l).to_string())
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    let needle = format!("\"key\":{}", json_str(key));
+    entries.retain(|e| !e.contains(&needle));
+    entries.push(entry.to_string());
+    entries.sort(); // keyed entries, deterministic file order
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "[")?;
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 < entries.len() { "," } else { "" };
+        writeln!(f, "{e}{sep}")?;
+    }
+    writeln!(f, "]")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_results_arrive_in_input_order() {
+        let items: Vec<u64> = (0..17).collect();
+        let out = run_timed(&items, |&x| x * x);
+        let vals: Vec<u64> = out.iter().map(|t| t.out).collect();
+        assert_eq!(vals, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        assert!(out.iter().all(|t| t.wall_ms >= 0.0));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn merge_keeps_one_entry_per_key() {
+        let dir = std::env::temp_dir().join("cord_sweep_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sweeps.json");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CORD_BENCH_JSON", &path);
+        let mut r = Recorder::new("unit");
+        r.record("a", 1.0, 2.0);
+        r.finish();
+        let mut r = Recorder::new("unit");
+        r.record("b", 3.0, 4.0);
+        r.finish();
+        std::env::remove_var("CORD_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"sweep\":\"unit\"").count(), 1, "{text}");
+        assert!(text.contains("\"label\":\"b\""), "{text}");
+        assert!(text.trim().starts_with('['), "{text}");
+        assert!(text.trim().ends_with(']'), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+}

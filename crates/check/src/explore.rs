@@ -1,12 +1,20 @@
 //! Explicit-state exploration (the Murphi-style search).
+//!
+//! The visited set stores 64-bit state fingerprints rather than full
+//! states: inserting a successor costs one hash instead of a deep clone,
+//! and the frontier queue holds the only owned copy of each state. With a
+//! 64-bit fingerprint the collision probability for the \<10M-state spaces
+//! explored here is negligible (~n²/2⁶⁵), but set `CORD_CHECK_AUDIT=1` to
+//! run with a full state map that panics on any fingerprint collision.
 
-use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::hash::{Hash, Hasher};
 
 use crate::litmus::Litmus;
 use crate::model::{CheckConfig, Model, State};
 
 /// Result of exhaustively exploring one model.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
     /// Distinct states visited.
     pub states: usize,
@@ -21,8 +29,9 @@ pub struct Report {
 }
 
 impl Report {
-    /// Outcomes matching any of the test's forbidden conditions.
-    pub fn violations(&self, lit: &Litmus) -> Vec<Vec<u64>> {
+    /// Outcomes matching any of the test's forbidden conditions (borrowed
+    /// from the outcome set — no cloning).
+    pub fn violations<'a>(&'a self, lit: &Litmus) -> Vec<&'a Vec<u64>> {
         self.outcomes
             .iter()
             .filter(|flat| {
@@ -31,7 +40,6 @@ impl Report {
                 let regs: Vec<Vec<u64>> = reg_flat.chunks(4).map(|c| c.to_vec()).collect();
                 lit.forbidden.iter().any(|c| c.matches(&regs, mem))
             })
-            .cloned()
             .collect()
     }
 
@@ -42,6 +50,13 @@ impl Report {
     }
 }
 
+/// Deterministic 64-bit state fingerprint (SipHash with fixed keys).
+fn fingerprint(s: &State) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
 /// Exhaustively explores `lit` under `cfg` with variables homed per
 /// `placement`.
 ///
@@ -49,19 +64,27 @@ impl Report {
 ///
 /// Panics if a directory lookup table overflows (the processor-side
 /// provisioning checks are supposed to make that unreachable — an overflow
-/// is a protocol bug).
-pub fn explore(cfg: CheckConfig, lit: &Litmus, placement: &[u8], cap: usize) -> Report {
+/// is a protocol bug), or, with `CORD_CHECK_AUDIT=1`, on a fingerprint
+/// collision.
+pub fn explore(cfg: &CheckConfig, lit: &Litmus, placement: &[u8], cap: usize) -> Report {
     let model = Model::new(cfg, lit, placement);
+    let audit = std::env::var_os("CORD_CHECK_AUDIT").is_some_and(|v| v != "0");
     let init = model.init();
-    let mut seen: HashSet<State> = HashSet::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut audit_map: HashMap<u64, State> = HashMap::new();
     let mut queue: VecDeque<State> = VecDeque::new();
-    seen.insert(init.clone());
+    let fp0 = fingerprint(&init);
+    seen.insert(fp0);
+    if audit {
+        audit_map.insert(fp0, init.clone());
+    }
     queue.push_back(init);
     let mut outcomes = BTreeSet::new();
     let mut deadlocks = Vec::new();
     let mut truncated = false;
+    let mut succ: Vec<State> = Vec::new();
     while let Some(s) = queue.pop_front() {
-        let succ = model.successors(&s);
+        model.successors_into(&s, &mut succ);
         if succ.is_empty() {
             if model.is_final(&s) {
                 outcomes.insert(s.outcome());
@@ -72,39 +95,54 @@ pub fn explore(cfg: CheckConfig, lit: &Litmus, placement: &[u8], cap: usize) -> 
             }
             continue;
         }
-        for n in succ {
+        for n in succ.drain(..) {
             if seen.len() >= cap {
                 truncated = true;
                 break;
             }
-            if seen.insert(n.clone()) {
+            let fp = fingerprint(&n);
+            if seen.insert(fp) {
+                if audit {
+                    audit_map.insert(fp, n.clone());
+                }
                 queue.push_back(n);
+            } else if audit {
+                let prior = audit_map.get(&fp).expect("audited fingerprint has a state");
+                assert!(
+                    *prior == n,
+                    "64-bit fingerprint collision: {fp:#x} covers two distinct \
+                     states\n  a: {prior:?}\n  b: {n:?}"
+                );
             }
         }
         if truncated {
             break;
         }
     }
-    Report { states: seen.len(), outcomes, deadlocks, truncated }
+    Report {
+        states: seen.len(),
+        outcomes,
+        deadlocks,
+        truncated,
+    }
 }
 
-/// Explores every placement variant of `lit`; returns `(placement, report)`
-/// pairs.
+/// Explores every placement variant of `lit` in parallel (worker count from
+/// `CORD_THREADS`); returns `(placement, report)` pairs in the deterministic
+/// placement-enumeration order regardless of thread count.
 pub fn explore_all_placements(
     cfg: &CheckConfig,
     lit: &Litmus,
     cap: usize,
 ) -> Vec<(Vec<u8>, Report)> {
-    lit.placements()
+    // Placements may name more directories than cfg.dirs; clamp.
+    let placements: Vec<Vec<u8>> = lit
+        .placements()
         .into_iter()
-        .map(|p| {
-            // Placements may name more directories than cfg.dirs; clamp.
-            let dirs = cfg.dirs;
-            let p: Vec<u8> = p.into_iter().map(|d| d % dirs).collect();
-            let r = explore(cfg.clone(), lit, &p, cap);
-            (p, r)
-        })
-        .collect()
+        .map(|p| p.into_iter().map(|d| d % cfg.dirs).collect())
+        .collect();
+    let reports = cord_sim::par::run_parallel(&placements, |p| explore(cfg, lit, p, cap));
+    placements.into_iter().zip(reports).collect()
 }
 
 #[cfg(test)]
@@ -126,7 +164,11 @@ mod tests {
     fn cord_passes_mp_shape_everywhere() {
         let lit = mp_shape();
         for (p, report) in explore_all_placements(&CheckConfig::cord(2, 2), &lit, 1_000_000) {
-            assert!(report.passes(&lit), "placement {p:?}: {:?}", report.violations(&lit));
+            assert!(
+                report.passes(&lit),
+                "placement {p:?}: {:?}",
+                report.violations(&lit)
+            );
             assert!(report.states > 10);
             assert!(!report.outcomes.is_empty());
         }
@@ -146,7 +188,7 @@ mod tests {
         // stores use the same channel when vars share a home, and the
         // consumer polls its local memory.
         let lit = mp_shape();
-        let report = explore(CheckConfig::mp(2, 1), &lit, &[0, 0], 1_000_000);
+        let report = explore(&CheckConfig::mp(2, 1), &lit, &[0, 0], 1_000_000);
         assert!(report.passes(&lit), "{:?}", report.violations(&lit));
     }
 
@@ -157,7 +199,7 @@ mod tests {
         // (r1=1, r0=0) outcome becomes reachable. This is the §3.2 argument
         // in its simplest form.
         let lit = mp_shape();
-        let report = explore(CheckConfig::mp(2, 2), &lit, &[0, 1], 1_000_000);
+        let report = explore(&CheckConfig::mp(2, 2), &lit, &[0, 1], 1_000_000);
         assert!(
             !report.violations(&lit).is_empty(),
             "expected the destination-ordering violation to be reachable"
@@ -167,7 +209,20 @@ mod tests {
     #[test]
     fn truncation_is_reported() {
         let lit = mp_shape();
-        let report = explore(CheckConfig::cord(2, 2), &lit, &[0, 1], 4);
+        let report = explore(&CheckConfig::cord(2, 2), &lit, &[0, 1], 4);
         assert!(report.truncated);
+    }
+
+    #[test]
+    fn audited_exploration_matches_plain() {
+        // The audit map catches fingerprint collisions; on these small
+        // spaces it must agree exactly with the fingerprint-only search.
+        let lit = mp_shape();
+        let cfg = CheckConfig::cord(2, 2);
+        std::env::set_var("CORD_CHECK_AUDIT", "1");
+        let audited = explore(&cfg, &lit, &[0, 1], 1_000_000);
+        std::env::remove_var("CORD_CHECK_AUDIT");
+        let plain = explore(&cfg, &lit, &[0, 1], 1_000_000);
+        assert_eq!(audited, plain);
     }
 }

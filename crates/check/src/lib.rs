@@ -30,10 +30,10 @@
 //!
 //! let isa2 = classic_suite().into_iter().find(|l| l.name == "ISA2").unwrap();
 //! // CORD with every variable on its own directory:
-//! let report = explore(CheckConfig::cord(3, 3), &isa2, &[0, 1, 2], 2_000_000);
+//! let report = explore(&CheckConfig::cord(3, 3), &isa2, &[0, 1, 2], 2_000_000);
 //! assert!(report.passes(&isa2));
 //! // Message passing reaches the forbidden outcome:
-//! let report = explore(CheckConfig::mp(3, 3), &isa2, &[0, 1, 2], 2_000_000);
+//! let report = explore(&CheckConfig::mp(3, 3), &isa2, &[0, 1, 2], 2_000_000);
 //! assert!(!report.violations(&isa2).is_empty());
 //! ```
 

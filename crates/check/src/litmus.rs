@@ -82,7 +82,12 @@ impl Cond {
 
     /// A register-only condition.
     pub fn regs(atoms: Vec<(u8, u8, u64)>) -> Cond {
-        Cond(atoms.into_iter().map(|(t, r, v)| CondAtom::Reg(t, r, v)).collect())
+        Cond(
+            atoms
+                .into_iter()
+                .map(|(t, r, v)| CondAtom::Reg(t, r, v))
+                .collect(),
+        )
     }
 }
 
@@ -108,12 +113,7 @@ impl Litmus {
     /// issues two Relaxed stores to the same variable with no intervening
     /// Release (same-address write ordering is outside the checked models'
     /// scope, as in classic litmus suites).
-    pub fn new(
-        name: &'static str,
-        threads: Vec<Vec<LOp>>,
-        vars: u8,
-        forbidden: Vec<Cond>,
-    ) -> Self {
+    pub fn new(name: &'static str, threads: Vec<Vec<LOp>>, vars: u8, forbidden: Vec<Cond>) -> Self {
         for (t, ops) in threads.iter().enumerate() {
             let mut last_relaxed_store: Option<u8> = None;
             for op in ops {
@@ -158,7 +158,12 @@ impl Litmus {
                 }
             }
         }
-        Litmus { name, threads, vars, forbidden }
+        Litmus {
+            name,
+            threads,
+            vars,
+            forbidden,
+        }
     }
 
     /// Number of threads.
@@ -188,22 +193,38 @@ pub mod dsl {
 
     /// Relaxed store.
     pub fn w(var: u8, val: u64) -> LOp {
-        LOp::Store { var, val, ord: StoreOrd::Relaxed }
+        LOp::Store {
+            var,
+            val,
+            ord: StoreOrd::Relaxed,
+        }
     }
 
     /// Release store.
     pub fn wrel(var: u8, val: u64) -> LOp {
-        LOp::Store { var, val, ord: StoreOrd::Release }
+        LOp::Store {
+            var,
+            val,
+            ord: StoreOrd::Release,
+        }
     }
 
     /// Relaxed load.
     pub fn r(var: u8, reg: u8) -> LOp {
-        LOp::Load { var, reg, ord: LoadOrd::Relaxed }
+        LOp::Load {
+            var,
+            reg,
+            ord: LoadOrd::Relaxed,
+        }
     }
 
     /// Acquire load.
     pub fn racq(var: u8, reg: u8) -> LOp {
-        LOp::Load { var, reg, ord: LoadOrd::Acquire }
+        LOp::Load {
+            var,
+            reg,
+            ord: LoadOrd::Acquire,
+        }
     }
 
     /// Acquire spin-until-equal.
@@ -213,12 +234,22 @@ pub mod dsl {
 
     /// Relaxed atomic fetch-add.
     pub fn amo(var: u8, add: u64, reg: u8) -> LOp {
-        LOp::FetchAdd { var, add, reg, ord: StoreOrd::Relaxed }
+        LOp::FetchAdd {
+            var,
+            add,
+            reg,
+            ord: StoreOrd::Relaxed,
+        }
     }
 
     /// Release atomic fetch-add.
     pub fn amorel(var: u8, add: u64, reg: u8) -> LOp {
-        LOp::FetchAdd { var, add, reg, ord: StoreOrd::Release }
+        LOp::FetchAdd {
+            var,
+            add,
+            reg,
+            ord: StoreOrd::Release,
+        }
     }
 
     /// Release fence.

@@ -72,12 +72,18 @@ impl CheckConfig {
 
     /// All-threads source ordering.
     pub fn so(threads: usize, dirs: u8) -> Self {
-        CheckConfig { protos: vec![ThreadProto::So; threads], ..Self::cord(threads, dirs) }
+        CheckConfig {
+            protos: vec![ThreadProto::So; threads],
+            ..Self::cord(threads, dirs)
+        }
     }
 
     /// All-threads message passing.
     pub fn mp(threads: usize, dirs: u8) -> Self {
-        CheckConfig { protos: vec![ThreadProto::Mp; threads], ..Self::cord(threads, dirs) }
+        CheckConfig {
+            protos: vec![ThreadProto::Mp; threads],
+            ..Self::cord(threads, dirs)
+        }
     }
 
     fn validate(&self) {
@@ -97,7 +103,13 @@ impl CheckConfig {
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NetMsg {
     /// CORD Relaxed write-through store.
-    CordRelaxed { t: u8, dir: u8, var: u8, val: u64, ep: u64 },
+    CordRelaxed {
+        t: u8,
+        dir: u8,
+        var: u8,
+        val: u64,
+        ep: u64,
+    },
     /// CORD Release store (`var: None` = empty barrier release).
     CordRelease {
         t: u8,
@@ -140,13 +152,24 @@ pub enum NetMsg {
         so: bool,
     },
     /// Atomic response: old value (and, for CORD Release atomics, the ack).
-    AtomicResp { t: u8, old: u64, reg: u8, ack: Option<(u64, u8)> },
+    AtomicResp {
+        t: u8,
+        old: u64,
+        reg: u8,
+        ack: Option<(u64, u8)>,
+    },
     /// Source-ordered write-through store (always acknowledged).
     SoStore { t: u8, dir: u8, var: u8, val: u64 },
     /// Source-ordering acknowledgment.
     SoAck { t: u8 },
     /// Posted message-passing write (FIFO per (thread, dir) channel).
-    MpWrite { t: u8, dir: u8, var: u8, val: u64, seq: u64 },
+    MpWrite {
+        t: u8,
+        dir: u8,
+        var: u8,
+        val: u64,
+        seq: u64,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -217,7 +240,9 @@ impl State {
 }
 
 fn assoc_get(list: &[(u8, u64, u64)], t: u8, ep: u64) -> u64 {
-    list.iter().find(|&&(a, b, _)| a == t && b == ep).map_or(0, |&(_, _, v)| v)
+    list.iter()
+        .find(|&&(a, b, _)| a == t && b == ep)
+        .map_or(0, |&(_, _, v)| v)
 }
 
 fn assoc_bump(list: &mut Vec<(u8, u64, u64)>, t: u8, ep: u64, cap_per_thread: usize, what: &str) {
@@ -252,27 +277,40 @@ fn largest_set(list: &mut Vec<(u8, u64)>, t: u8, ep: u64) {
     }
 }
 
-/// The model: a litmus test + placement + configuration.
+/// The model: a litmus test + placement + configuration. Borrows the
+/// configuration so building one per placement costs no `CheckConfig`
+/// clone.
 #[derive(Debug, Clone)]
-pub struct Model {
-    cfg: CheckConfig,
+pub struct Model<'a> {
+    cfg: &'a CheckConfig,
     ops: Vec<Vec<LOp>>,
     /// Home directory per variable.
     placement: Vec<u8>,
 }
 
-impl Model {
+impl<'a> Model<'a> {
     /// Builds a model for `lit` with variables placed per `placement`.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent with the test.
-    pub fn new(cfg: CheckConfig, lit: &Litmus, placement: &[u8]) -> Self {
+    pub fn new(cfg: &'a CheckConfig, lit: &Litmus, placement: &[u8]) -> Self {
         cfg.validate();
-        assert_eq!(cfg.protos.len(), lit.thread_count(), "one protocol per thread");
+        assert_eq!(
+            cfg.protos.len(),
+            lit.thread_count(),
+            "one protocol per thread"
+        );
         assert_eq!(placement.len(), lit.vars as usize, "one home per variable");
-        assert!(placement.iter().all(|&d| d < cfg.dirs), "placement within dirs");
-        Model { cfg, ops: lit.threads.clone(), placement: placement.to_vec() }
+        assert!(
+            placement.iter().all(|&d| d < cfg.dirs),
+            "placement within dirs"
+        );
+        Model {
+            cfg,
+            ops: lit.threads.clone(),
+            placement: placement.to_vec(),
+        }
     }
 
     /// The initial state (all variables zero, nothing in flight).
@@ -322,6 +360,15 @@ impl Model {
     /// All states reachable in one transition.
     pub fn successors(&self, s: &State) -> Vec<State> {
         let mut out = Vec::new();
+        self.successors_into(s, &mut out);
+        out
+    }
+
+    /// Like [`successors`](Self::successors) but reuses `out` as scratch
+    /// (cleared first), so a search loop allocates one buffer, not one per
+    /// expanded state.
+    pub fn successors_into(&self, s: &State, out: &mut Vec<State>) {
+        out.clear();
         for t in 0..s.threads.len() {
             if let Some(n) = self.thread_step(s, t) {
                 out.push(n);
@@ -332,7 +379,6 @@ impl Model {
                 out.push(n);
             }
         }
-        out
     }
 
     fn home(&self, var: u8) -> u8 {
@@ -377,7 +423,14 @@ impl Model {
 
     /// CORD Release-store emission (paper Algorithm 1 lines 5-13); returns
     /// `None` when a §4.1/§4.3 overflow/provisioning guard stalls it.
-    fn cord_release(&self, s: &State, t: usize, dst: u8, var: Option<u8>, val: u64) -> Option<State> {
+    fn cord_release(
+        &self,
+        s: &State,
+        t: usize,
+        dst: u8,
+        var: Option<u8>,
+        val: u64,
+    ) -> Option<State> {
         let th = &s.threads[t];
         // Epoch-span wrap guard (§4.1).
         if let Some(&(oldest, _)) = th.unacked.first() {
@@ -397,9 +450,7 @@ impl Model {
         let ep = th.ep;
         let pending: Vec<u8> = (0..self.cfg.dirs)
             .filter(|&d| d != dst)
-            .filter(|&d| {
-                th.cnt[d as usize] > 0 || th.unacked.iter().any(|&(_, ud)| ud == d)
-            })
+            .filter(|&d| th.cnt[d as usize] > 0 || th.unacked.iter().any(|&(_, ud)| ud == d))
             .collect();
         for &p in &pending {
             n.net.push(NetMsg::ReqNotify {
@@ -432,7 +483,11 @@ impl Model {
 
     fn cord_step(&self, s: &State, t: usize, op: LOp) -> Option<State> {
         match op {
-            LOp::Store { var, val, ord: StoreOrd::Relaxed } if !self.cfg.tso => {
+            LOp::Store {
+                var,
+                val,
+                ord: StoreOrd::Relaxed,
+            } if !self.cfg.tso => {
                 let dst = self.home(var);
                 // Store-counter wrap: close the epoch with an empty Release
                 // first (mirrors the engine's injection).
@@ -444,7 +499,13 @@ impl Model {
                 let mut n = base;
                 let ep = n.threads[t].ep;
                 n.threads[t].cnt[dst as usize] += 1;
-                n.net.push(NetMsg::CordRelaxed { t: t as u8, dir: dst, var, val, ep });
+                n.net.push(NetMsg::CordRelaxed {
+                    t: t as u8,
+                    dir: dst,
+                    var,
+                    val,
+                    ep,
+                });
                 n.net.sort_unstable();
                 n.threads[t].pc += 1;
                 Some(n)
@@ -545,9 +606,7 @@ impl Model {
                         if th.unacked.len() + 1 > self.cfg.proc_unacked_cap {
                             return None;
                         }
-                        if th.unacked.len() + 1
-                            > self.cfg.dir_cnt_cap.min(self.cfg.dir_noti_cap)
-                        {
+                        if th.unacked.len() + 1 > self.cfg.dir_cnt_cap.min(self.cfg.dir_noti_cap) {
                             return None;
                         }
                         let mut n = s.clone();
@@ -555,8 +614,7 @@ impl Model {
                         let pending: Vec<u8> = (0..self.cfg.dirs)
                             .filter(|&d| d != dst)
                             .filter(|&d| {
-                                th.cnt[d as usize] > 0
-                                    || th.unacked.iter().any(|&(_, ud)| ud == d)
+                                th.cnt[d as usize] > 0 || th.unacked.iter().any(|&(_, ud)| ud == d)
                             })
                             .collect();
                         for &p in &pending {
@@ -608,7 +666,12 @@ impl Model {
                 }
                 let mut n = s.clone();
                 n.threads[t].outstanding += 1;
-                n.net.push(NetMsg::SoStore { t: t as u8, dir: self.home(var), var, val });
+                n.net.push(NetMsg::SoStore {
+                    t: t as u8,
+                    dir: self.home(var),
+                    var,
+                    val,
+                });
                 n.net.sort_unstable();
                 n.threads[t].pc += 1;
                 Some(n)
@@ -658,7 +721,13 @@ impl Model {
                 let mut n = s.clone();
                 let seq = n.threads[t].chan_next[dst as usize];
                 n.threads[t].chan_next[dst as usize] += 1;
-                n.net.push(NetMsg::MpWrite { t: t as u8, dir: dst, var, val, seq });
+                n.net.push(NetMsg::MpWrite {
+                    t: t as u8,
+                    dir: dst,
+                    var,
+                    val,
+                    seq,
+                });
                 n.net.sort_unstable();
                 n.threads[t].pc += 1;
                 Some(n)
@@ -698,16 +767,38 @@ impl Model {
 
     fn deliver(&self, s: &State, idx: usize, msg: &NetMsg) -> Option<State> {
         match *msg {
-            NetMsg::CordRelaxed { t, dir, var, val, ep } => {
+            NetMsg::CordRelaxed {
+                t,
+                dir,
+                var,
+                val,
+                ep,
+            } => {
                 let mut n = self.take(s, idx);
                 n.mem[var as usize] = val;
-                assoc_bump(&mut n.dirs[dir as usize].cnt, t, ep, self.cfg.dir_cnt_cap, "store-counter");
+                assoc_bump(
+                    &mut n.dirs[dir as usize].cnt,
+                    t,
+                    ep,
+                    self.cfg.dir_cnt_cap,
+                    "store-counter",
+                );
                 Some(n)
             }
-            NetMsg::CordRelease { t, dir, var, val, ep, cnt, last_prev, noti_cnt } => {
+            NetMsg::CordRelease {
+                t,
+                dir,
+                var,
+                val,
+                ep,
+                cnt,
+                last_prev,
+                noti_cnt,
+            } => {
                 let d = &s.dirs[dir as usize];
                 let cnt_ok = assoc_get(&d.cnt, t, ep) == cnt;
-                let prev_ok = last_prev.is_none_or(|e| largest_get(&d.largest, t).is_some_and(|l| l >= e));
+                let prev_ok =
+                    last_prev.is_none_or(|e| largest_get(&d.largest, t).is_some_and(|l| l >= e));
                 let noti_ok = assoc_get(&d.noti, t, ep) == noti_cnt as u64;
                 if !(cnt_ok && prev_ok && noti_ok) {
                     return None; // recycled until conditions hold (Alg. 2 line 24)
@@ -724,11 +815,18 @@ impl Model {
                 n.net.sort_unstable();
                 Some(n)
             }
-            NetMsg::ReqNotify { t, pend, ep, relaxed_cnt, last_unacked, dst } => {
+            NetMsg::ReqNotify {
+                t,
+                pend,
+                ep,
+                relaxed_cnt,
+                last_unacked,
+                dst,
+            } => {
                 let d = &s.dirs[pend as usize];
                 let cnt_ok = assoc_get(&d.cnt, t, ep) == relaxed_cnt;
-                let prev_ok = last_unacked
-                    .is_none_or(|e| largest_get(&d.largest, t).is_some_and(|l| l >= e));
+                let prev_ok =
+                    last_unacked.is_none_or(|e| largest_get(&d.largest, t).is_some_and(|l| l >= e));
                 if !(cnt_ok && prev_ok) {
                     return None; // recycled (Alg. 2 line 28)
                 }
@@ -749,11 +847,18 @@ impl Model {
                 );
                 Some(n)
             }
-            NetMsg::AtomicReq { t, dir, var, add, ep, release, seq, so } => {
+            NetMsg::AtomicReq {
+                t,
+                dir,
+                var,
+                add,
+                ep,
+                release,
+                seq,
+                so,
+            } => {
                 let proto = self.cfg.protos[t as usize];
-                if proto == ThreadProto::Mp
-                    && s.dirs[dir as usize].chan_expect[t as usize] != seq
-                {
+                if proto == ThreadProto::Mp && s.dirs[dir as usize].chan_expect[t as usize] != seq {
                     return None; // channel FIFO
                 }
                 if proto == ThreadProto::Cord {
@@ -817,7 +922,9 @@ impl Model {
             }
             NetMsg::CordAck { t, ep, dir } => {
                 let mut n = self.take(s, idx);
-                n.threads[t as usize].unacked.retain(|&(e, d)| !(e == ep && d == dir));
+                n.threads[t as usize]
+                    .unacked
+                    .retain(|&(e, d)| !(e == ep && d == dir));
                 Some(n)
             }
             NetMsg::SoStore { t, var, val, .. } => {
@@ -832,7 +939,13 @@ impl Model {
                 n.threads[t as usize].outstanding -= 1;
                 Some(n)
             }
-            NetMsg::MpWrite { t, dir, var, val, seq } => {
+            NetMsg::MpWrite {
+                t,
+                dir,
+                var,
+                val,
+                seq,
+            } => {
                 if s.dirs[dir as usize].chan_expect[t as usize] != seq {
                     return None; // channel FIFO: earlier writes first
                 }
@@ -853,7 +966,11 @@ impl Model {
 }
 
 fn last_unacked_for(th: &ThreadSt, dir: u8) -> Option<u64> {
-    th.unacked.iter().filter(|&&(_, d)| d == dir).map(|&(e, _)| e).max()
+    th.unacked
+        .iter()
+        .filter(|&&(_, d)| d == dir)
+        .map(|&(e, _)| e)
+        .max()
 }
 
 #[cfg(test)]
@@ -874,7 +991,8 @@ mod tests {
     #[test]
     fn init_state_is_clean() {
         let lit = mp_shape();
-        let m = Model::new(CheckConfig::cord(2, 2), &lit, &[0, 1]);
+        let cfg = CheckConfig::cord(2, 2);
+        let m = Model::new(&cfg, &lit, &[0, 1]);
         let s = m.init();
         assert!(!m.is_final(&s), "threads have work to do");
         assert_eq!(s.mem(), &[0, 0]);
@@ -885,29 +1003,33 @@ mod tests {
     #[test]
     fn relaxed_store_then_release_produces_reqnotify() {
         let lit = mp_shape();
-        let m = Model::new(CheckConfig::cord(2, 2), &lit, &[0, 1]);
+        let cfg = CheckConfig::cord(2, 2);
+        let m = Model::new(&cfg, &lit, &[0, 1]);
         let s0 = m.init();
         // thread 0 issues the relaxed store
-        let s1 = m.successors(&s0).into_iter().find(|s| !s.net.is_empty()).unwrap();
+        let s1 = m
+            .successors(&s0)
+            .into_iter()
+            .find(|s| !s.net.is_empty())
+            .unwrap();
         // thread 0 issues the release (to dir 1, with dir 0 pending)
         let s2 = m
             .successors(&s1)
             .into_iter()
             .find(|s| s.net.iter().any(|x| matches!(x, NetMsg::ReqNotify { .. })))
             .expect("release across directories must request a notification");
-        assert!(s2.net.iter().any(|x| matches!(x, NetMsg::CordRelease { noti_cnt: 1, .. })));
+        assert!(s2
+            .net
+            .iter()
+            .any(|x| matches!(x, NetMsg::CordRelease { noti_cnt: 1, .. })));
     }
 
     #[test]
     fn guarded_release_waits_for_relaxed_count() {
-        let lit = Litmus::new(
-            "rel-after-rlx",
-            vec![vec![w(0, 1), wrel(1, 2)]],
-            2,
-            vec![],
-        );
+        let lit = Litmus::new("rel-after-rlx", vec![vec![w(0, 1), wrel(1, 2)]], 2, vec![]);
         // both vars on one directory: release must wait for the relaxed store
-        let m = Model::new(CheckConfig::cord(1, 1), &lit, &[0, 0]);
+        let cfg = CheckConfig::cord(1, 1);
+        let m = Model::new(&cfg, &lit, &[0, 0]);
         let mut s = m.init();
         // issue both stores
         s = m.successors(&s).pop().unwrap();
@@ -924,17 +1046,21 @@ mod tests {
 
     #[test]
     fn mp_requires_channel_fifo() {
-        let lit = Litmus::new(
-            "two-writes",
-            vec![vec![w(0, 1), w(1, 2)]],
-            2,
-            vec![],
-        );
-        let m = Model::new(CheckConfig::mp(1, 1), &lit, &[0, 0]);
+        let lit = Litmus::new("two-writes", vec![vec![w(0, 1), w(1, 2)]], 2, vec![]);
+        let cfg = CheckConfig::mp(1, 1);
+        let m = Model::new(&cfg, &lit, &[0, 0]);
         let mut s = m.init();
         // take the thread-step successor (largest network) twice
-        s = m.successors(&s).into_iter().max_by_key(|n| n.net.len()).unwrap();
-        s = m.successors(&s).into_iter().max_by_key(|n| n.net.len()).unwrap();
+        s = m
+            .successors(&s)
+            .into_iter()
+            .max_by_key(|n| n.net.len())
+            .unwrap();
+        s = m
+            .successors(&s)
+            .into_iter()
+            .max_by_key(|n| n.net.len())
+            .unwrap();
         assert_eq!(s.net.len(), 2);
         // only the seq-0 write is deliverable
         let succ = m.successors(&s);
@@ -950,6 +1076,6 @@ mod tests {
             protos: vec![ThreadProto::Mp, ThreadProto::Cord],
             ..CheckConfig::cord(2, 2)
         };
-        let _ = Model::new(cfg, &lit, &[0, 1]);
+        let _ = Model::new(&cfg, &lit, &[0, 1]);
     }
 }

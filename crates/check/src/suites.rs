@@ -230,16 +230,29 @@ pub fn stress_configs() -> Vec<(&'static str, ConfigFactory)> {
         CheckConfig::cord(t, d)
     }
     fn tiny_epoch(t: usize, d: u8) -> CheckConfig {
-        CheckConfig { epoch_modulus: 2, ..CheckConfig::cord(t, d) }
+        CheckConfig {
+            epoch_modulus: 2,
+            ..CheckConfig::cord(t, d)
+        }
     }
     fn tiny_cnt(t: usize, d: u8) -> CheckConfig {
-        CheckConfig { cnt_modulus: 2, ..CheckConfig::cord(t, d) }
+        CheckConfig {
+            cnt_modulus: 2,
+            ..CheckConfig::cord(t, d)
+        }
     }
     fn one_unacked(t: usize, d: u8) -> CheckConfig {
-        CheckConfig { proc_unacked_cap: 1, ..CheckConfig::cord(t, d) }
+        CheckConfig {
+            proc_unacked_cap: 1,
+            ..CheckConfig::cord(t, d)
+        }
     }
     fn tight_dir_tables(t: usize, d: u8) -> CheckConfig {
-        CheckConfig { dir_cnt_cap: 2, dir_noti_cap: 2, ..CheckConfig::cord(t, d) }
+        CheckConfig {
+            dir_cnt_cap: 2,
+            dir_noti_cap: 2,
+            ..CheckConfig::cord(t, d)
+        }
     }
     fn everything_tiny(t: usize, d: u8) -> CheckConfig {
         CheckConfig {
@@ -270,11 +283,19 @@ mod tests {
         let suite = classic_suite();
         assert!(suite.len() >= 12);
         for lit in &suite {
-            assert!(!lit.forbidden.is_empty(), "{} needs forbidden outcomes", lit.name);
+            assert!(
+                !lit.forbidden.is_empty(),
+                "{} needs forbidden outcomes",
+                lit.name
+            );
             assert!(!lit.placements().is_empty());
         }
         for (lit, _) in weak_suite() {
-            assert!(lit.forbidden.is_empty(), "{} is an allowed-outcome test", lit.name);
+            assert!(
+                lit.forbidden.is_empty(),
+                "{} is an allowed-outcome test",
+                lit.name
+            );
         }
         assert_eq!(stress_configs().len(), 6);
     }

@@ -43,8 +43,7 @@ fn source_ordering_passes_every_shape() {
     let mut checks = 0;
     for lit in classic_suite() {
         let threads = lit.thread_count();
-        for (placement, report) in explore_all_placements(&CheckConfig::so(threads, 3), &lit, CAP)
-        {
+        for (placement, report) in explore_all_placements(&CheckConfig::so(threads, 3), &lit, CAP) {
             assert!(
                 report.passes(&lit),
                 "SO fails {} at {placement:?}: {:?}",
@@ -65,9 +64,18 @@ fn mixed_cord_and_so_cores_preserve_release_consistency() {
         let threads = lit.thread_count();
         for flip in [0usize, 1] {
             let protos: Vec<ThreadProto> = (0..threads)
-                .map(|i| if i % 2 == flip { ThreadProto::Cord } else { ThreadProto::So })
+                .map(|i| {
+                    if i % 2 == flip {
+                        ThreadProto::Cord
+                    } else {
+                        ThreadProto::So
+                    }
+                })
                 .collect();
-            let cfg = CheckConfig { protos, ..CheckConfig::cord(threads, 3) };
+            let cfg = CheckConfig {
+                protos,
+                ..CheckConfig::cord(threads, 3)
+            };
             for (placement, report) in explore_all_placements(&cfg, &lit, CAP) {
                 assert!(
                     report.passes(&lit),
@@ -130,8 +138,11 @@ fn message_passing_violates_release_consistency() {
 fn message_passing_is_safe_point_to_point() {
     // With all variables homed on one destination, the channel FIFO makes
     // the two-thread MP shape safe — matching PCIe's per-endpoint ordering.
-    let lit = classic_suite().into_iter().find(|l| l.name == "MP").unwrap();
-    let report = explore(CheckConfig::mp(2, 1), &lit, &[0, 0], CAP);
+    let lit = classic_suite()
+        .into_iter()
+        .find(|l| l.name == "MP")
+        .unwrap();
+    let report = explore(&CheckConfig::mp(2, 1), &lit, &[0, 0], CAP);
     assert!(report.passes(&lit));
 }
 
@@ -139,15 +150,18 @@ fn message_passing_is_safe_point_to_point() {
 fn isa2_diagnosis_matches_paper_figure_3() {
     // The exact Fig. 3 scenario: X and Z in T2's memory (dir 2), Y in T1's
     // memory (dir 1). MP lets T2 read X = 0; CORD does not.
-    let isa2 = classic_suite().into_iter().find(|l| l.name == "ISA2").unwrap();
+    let isa2 = classic_suite()
+        .into_iter()
+        .find(|l| l.name == "ISA2")
+        .unwrap();
     // litmus vars: 0 = X, 1 = Y, 2 = Z
     let placement = [2u8, 1, 2];
-    let mp = explore(CheckConfig::mp(3, 3), &isa2, &placement, CAP);
+    let mp = explore(&CheckConfig::mp(3, 3), &isa2, &placement, CAP);
     assert!(
         !mp.violations(&isa2).is_empty(),
         "MP must allow the forbidden ISA2 outcome in the paper's placement"
     );
-    let cord = explore(CheckConfig::cord(3, 3), &isa2, &placement, CAP);
+    let cord = explore(&CheckConfig::cord(3, 3), &isa2, &placement, CAP);
     assert!(cord.passes(&isa2));
 }
 
@@ -159,8 +173,14 @@ fn tso_mode_forbids_store_store_reordering() {
         // Under TSO, CORD (Release-Release mechanism on every store) and SO
         // (one acknowledged store at a time) both exclude the outcome.
         for mk in [
-            CheckConfig { tso: true, ..CheckConfig::cord(threads, 3) },
-            CheckConfig { tso: true, ..CheckConfig::so(threads, 3) },
+            CheckConfig {
+                tso: true,
+                ..CheckConfig::cord(threads, 3)
+            },
+            CheckConfig {
+                tso: true,
+                ..CheckConfig::so(threads, 3)
+            },
         ] {
             for (placement, report) in explore_all_placements(&mk, &lit, CAP) {
                 assert!(

@@ -5,9 +5,9 @@
 //! through the shared [`CoreProtocol`] / [`DirProtocol`] traits.
 
 use cord_proto::{
-    CoreCtx, CoreId, CoreProtoStats, CoreProtocol, DirCtx, DirId, DirProtocol, DirStorage,
-    Issue, Msg, MsgKind, MpCore, MpDir, NodeRef, Op, ProtocolKind, SeqCore, SeqDir, SoCore,
-    SoDir, SystemConfig, WbCore, WbDir,
+    CoreCtx, CoreId, CoreProtoStats, CoreProtocol, DirCtx, DirId, DirProtocol, DirStorage, Issue,
+    MpCore, MpDir, Msg, MsgKind, NodeRef, Op, ProtocolKind, SeqCore, SeqDir, SoCore, SoDir,
+    SystemConfig, WbCore, WbDir,
 };
 
 use crate::cord_core::CordCore;
@@ -45,9 +45,14 @@ impl AnyCore {
             ProtocolKind::Mp => AnyCore::Mp(MpCore::new(id, cfg)),
             ProtocolKind::Wb => AnyCore::Wb(WbCore::new(id, cfg)),
             ProtocolKind::Seq { .. } => AnyCore::Seq(SeqCore::new(id, cfg)),
-            ProtocolKind::Hybrid { wb_lo, wb_hi } => {
-                AnyCore::Hybrid(HybridCore::new(id, cfg, WbWindow { lo: wb_lo, hi: wb_hi }))
-            }
+            ProtocolKind::Hybrid { wb_lo, wb_hi } => AnyCore::Hybrid(HybridCore::new(
+                id,
+                cfg,
+                WbWindow {
+                    lo: wb_lo,
+                    hi: wb_hi,
+                },
+            )),
         }
     }
 }
@@ -154,7 +159,10 @@ mod tests {
             ProtocolKind::Mp,
             ProtocolKind::Wb,
             ProtocolKind::Seq { bits: 8 },
-            ProtocolKind::Hybrid { wb_lo: 0, wb_hi: 4096 },
+            ProtocolKind::Hybrid {
+                wb_lo: 0,
+                wb_hi: 4096,
+            },
         ];
         for kind in kinds {
             let cfg = SystemConfig::cxl(kind, 2);

@@ -31,8 +31,8 @@ use cord_mem::{Addr, AddressMap};
 use std::collections::HashMap;
 
 use cord_proto::{
-    home_dir, ConsistencyModel, CoreCtx, CoreId, CoreProtoStats, CoreProtocol, CordWidths,
-    DirId, FenceKind, Issue, LoadOrd, Msg, MsgKind, NodeRef, Op, ReadPath, StallCause, StoreOrd,
+    home_dir, ConsistencyModel, CordWidths, CoreCtx, CoreId, CoreProtoStats, CoreProtocol, DirId,
+    FenceKind, Issue, LoadOrd, Msg, MsgKind, NodeRef, Op, ReadPath, StallCause, StoreOrd,
     SystemConfig, TableSizes, WtMeta,
 };
 
@@ -177,7 +177,15 @@ impl CordCore {
         self.ack_wait.insert(tid, (ep, dst));
         let inserted = self.unacked.try_insert((ep, dst), ());
         debug_assert!(inserted, "caller must check unacked-table room");
-        (tid, WtMeta::Release { ep, cnt: cnt_d, last_prev_ep, noti_cnt })
+        (
+            tid,
+            WtMeta::Release {
+                ep,
+                cnt: cnt_d,
+                last_prev_ep,
+                noti_cnt,
+            },
+        )
     }
 
     /// Issues a full Release store (with notifications); returns a stall
@@ -198,7 +206,10 @@ impl CordCore {
         // Conservative destination-directory provisioning check (§4.3): the
         // directory's per-processor store-counter and notification-counter
         // tables must hold one entry per in-flight Release store.
-        let dir_budget = self.tables.dir_cnt_per_proc.min(self.tables.dir_noti_per_proc);
+        let dir_budget = self
+            .tables
+            .dir_cnt_per_proc
+            .min(self.tables.dir_noti_per_proc);
         if self.unacked.len() + 1 > dir_budget {
             return Some(StallCause::TableFull);
         }
@@ -323,14 +334,29 @@ impl CoreProtocol for CordCore {
         // CORD system treats them as write-through.
         let coerced;
         let op = match *op {
-            Op::StoreWb { addr, bytes, value, ord } => {
-                coerced = Op::Store { addr, bytes, value, ord };
+            Op::StoreWb {
+                addr,
+                bytes,
+                value,
+                ord,
+            } => {
+                coerced = Op::Store {
+                    addr,
+                    bytes,
+                    value,
+                    ord,
+                };
                 &coerced
             }
             _ => op,
         };
         match *op {
-            Op::Store { addr, bytes, value, ord } => {
+            Op::Store {
+                addr,
+                bytes,
+                value,
+                ord,
+            } => {
                 if self.ack_wait.len() >= self.store_window {
                     return Issue::Stall(StallCause::StoreWindow);
                 }
@@ -365,8 +391,10 @@ impl CoreProtocol for CordCore {
                     if !self.unacked.has_room() {
                         return Issue::Stall(StallCause::TableFull);
                     }
-                    let dir_budget =
-                        self.tables.dir_cnt_per_proc.min(self.tables.dir_noti_per_proc);
+                    let dir_budget = self
+                        .tables
+                        .dir_cnt_per_proc
+                        .min(self.tables.dir_noti_per_proc);
                     if self.unacked.len() + 1 > dir_budget {
                         return Issue::Stall(StallCause::TableFull);
                     }
@@ -391,7 +419,13 @@ impl CoreProtocol for CordCore {
                     ctx.send(Msg::sized(
                         NodeRef::Core(self.id),
                         NodeRef::Dir(dst),
-                        MsgKind::AtomicReq { tid, addr, add, ord: StoreOrd::Release, meta },
+                        MsgKind::AtomicReq {
+                            tid,
+                            addr,
+                            add,
+                            ord: StoreOrd::Release,
+                            meta,
+                        },
                         self.widths.release_overhead_bytes(),
                     ));
                     self.epoch += 1;
@@ -421,7 +455,9 @@ impl CoreProtocol for CordCore {
                 }
                 Issue::Pending
             }
-            Op::Load { addr, bytes, ord, .. } => {
+            Op::Load {
+                addr, bytes, ord, ..
+            } => {
                 let _ = matches!(ord, LoadOrd::Acquire); // loads block either way
                 self.reads.issue(self.id, &self.map, addr, bytes, ctx);
                 Issue::Pending
@@ -452,7 +488,11 @@ impl CoreProtocol for CordCore {
                 ctx.wake();
             }
             MsgKind::AtomicResp { tid, old, epoch } => {
-                assert_eq!(self.pending_atomic.take(), Some(tid), "unexpected atomic response");
+                assert_eq!(
+                    self.pending_atomic.take(),
+                    Some(tid),
+                    "unexpected atomic response"
+                );
                 if epoch.is_some() {
                     // Release atomic: the response is also the ack.
                     let (ep, dir) = self
@@ -498,7 +538,12 @@ mod tests {
     }
 
     fn st(addr: u64, ord: StoreOrd) -> Op {
-        Op::Store { addr: Addr::new(addr), bytes: 64, value: 1, ord }
+        Op::Store {
+            addr: Addr::new(addr),
+            bytes: 64,
+            value: 1,
+            ord,
+        }
     }
 
     fn sends(fx: &[CoreEffect]) -> Vec<&Msg> {
@@ -513,7 +558,11 @@ mod tests {
     fn ack(core: &mut CordCore, tid: u64) -> Vec<CoreEffect> {
         let mut fx = Vec::new();
         let mut ctx = CoreCtx::new(Time::from_ns(999), &mut fx);
-        core.on_msg(NodeRef::Dir(DirId(0)), MsgKind::WtAck { tid, epoch: None }, &mut ctx);
+        core.on_msg(
+            NodeRef::Dir(DirId(0)),
+            MsgKind::WtAck { tid, epoch: None },
+            &mut ctx,
+        );
         fx
     }
 
@@ -531,7 +580,11 @@ mod tests {
             let msgs = sends(&fx);
             assert_eq!(msgs.len(), 1);
             match &msgs[0].kind {
-                MsgKind::WtStore { meta: WtMeta::Epoch { ep }, needs_ack, .. } => {
+                MsgKind::WtStore {
+                    meta: WtMeta::Epoch { ep },
+                    needs_ack,
+                    ..
+                } => {
                     assert_eq!(*ep, 0);
                     assert!(!needs_ack, "Relaxed stores carry no acknowledgment");
                 }
@@ -558,7 +611,13 @@ mod tests {
         match &msgs[0].kind {
             MsgKind::WtStore {
                 ord: StoreOrd::Release,
-                meta: WtMeta::Release { ep, cnt, last_prev_ep, noti_cnt },
+                meta:
+                    WtMeta::Release {
+                        ep,
+                        cnt,
+                        last_prev_ep,
+                        noti_cnt,
+                    },
                 needs_ack,
                 ..
             } => {
@@ -588,12 +647,20 @@ mod tests {
         let mut noti_cnt_seen = None;
         for m in msgs {
             match &m.kind {
-                MsgKind::ReqNotify { relaxed_cnt, noti_dst, ep, .. } => {
+                MsgKind::ReqNotify {
+                    relaxed_cnt,
+                    noti_dst,
+                    ep,
+                    ..
+                } => {
                     assert_eq!(*ep, 0);
                     assert_eq!(*noti_dst, DirId(3));
                     rfn.push((m.dst.tile_flat(), *relaxed_cnt));
                 }
-                MsgKind::WtStore { meta: WtMeta::Release { noti_cnt, cnt, .. }, .. } => {
+                MsgKind::WtStore {
+                    meta: WtMeta::Release { noti_cnt, cnt, .. },
+                    ..
+                } => {
                     noti_cnt_seen = Some(*noti_cnt);
                     assert_eq!(*cnt, 0, "no relaxed stores went to the flag's directory");
                 }
@@ -611,9 +678,18 @@ mod tests {
         issue(&mut core, &st(addr_on_slice(0, 0), StoreOrd::Release)); // epoch 0
         let (_, fx) = issue(&mut core, &st(addr_on_slice(0, 1), StoreOrd::Release)); // epoch 1
         match &sends(&fx)[0].kind {
-            MsgKind::WtStore { meta: WtMeta::Release { ep, last_prev_ep, .. }, .. } => {
+            MsgKind::WtStore {
+                meta: WtMeta::Release {
+                    ep, last_prev_ep, ..
+                },
+                ..
+            } => {
                 assert_eq!(*ep, 1);
-                assert_eq!(*last_prev_ep, Some(0), "prior unacked epoch must be chained");
+                assert_eq!(
+                    *last_prev_ep,
+                    Some(0),
+                    "prior unacked epoch must be chained"
+                );
             }
             other => panic!("{other:?}"),
         }
@@ -631,13 +707,22 @@ mod tests {
         c.tables.dir_cnt_per_proc = 64;
         c.tables.dir_noti_per_proc = 64;
         let mut core = CordCore::new(CoreId(0), &c);
-        assert_eq!(issue(&mut core, &st(addr_on_slice(0, 0), StoreOrd::Release)).0, Issue::Done);
-        assert_eq!(issue(&mut core, &st(addr_on_slice(0, 1), StoreOrd::Release)).0, Issue::Done);
+        assert_eq!(
+            issue(&mut core, &st(addr_on_slice(0, 0), StoreOrd::Release)).0,
+            Issue::Done
+        );
+        assert_eq!(
+            issue(&mut core, &st(addr_on_slice(0, 1), StoreOrd::Release)).0,
+            Issue::Done
+        );
         let (r, _) = issue(&mut core, &st(addr_on_slice(0, 2), StoreOrd::Release));
         assert_eq!(r, Issue::Stall(StallCause::TableFull));
         let fx = ack(&mut core, 0);
         assert!(fx.iter().any(|e| matches!(e, CoreEffect::Wake(_))));
-        assert_eq!(issue(&mut core, &st(addr_on_slice(0, 2), StoreOrd::Release)).0, Issue::Done);
+        assert_eq!(
+            issue(&mut core, &st(addr_on_slice(0, 2), StoreOrd::Release)).0,
+            Issue::Done
+        );
     }
 
     #[test]
@@ -646,7 +731,10 @@ mod tests {
         c.tables.proc_unacked = 64;
         c.tables.dir_cnt_per_proc = 1;
         let mut core = CordCore::new(CoreId(0), &c);
-        assert_eq!(issue(&mut core, &st(addr_on_slice(0, 0), StoreOrd::Release)).0, Issue::Done);
+        assert_eq!(
+            issue(&mut core, &st(addr_on_slice(0, 0), StoreOrd::Release)).0,
+            Issue::Done
+        );
         let (r, _) = issue(&mut core, &st(addr_on_slice(0, 1), StoreOrd::Release));
         assert_eq!(r, Issue::Stall(StallCause::TableFull));
     }
@@ -670,7 +758,10 @@ mod tests {
         let (r, _) = issue(&mut core, &st(addr_on_slice(0, 9), StoreOrd::Release));
         assert_eq!(r, Issue::Stall(StallCause::Overflow));
         ack(&mut core, 0);
-        assert_eq!(issue(&mut core, &st(addr_on_slice(0, 9), StoreOrd::Release)).0, Issue::Done);
+        assert_eq!(
+            issue(&mut core, &st(addr_on_slice(0, 9), StoreOrd::Release)).0,
+            Issue::Done
+        );
     }
 
     #[test]
@@ -690,7 +781,11 @@ mod tests {
         assert_eq!(msgs.len(), 2, "empty Release + the relaxed store");
         assert!(matches!(
             msgs[0].kind,
-            MsgKind::WtStore { ord: StoreOrd::Release, bytes: 0, .. }
+            MsgKind::WtStore {
+                ord: StoreOrd::Release,
+                bytes: 0,
+                ..
+            }
         ));
         assert_eq!(core.epoch(), 1);
     }
@@ -701,14 +796,20 @@ mod tests {
         let mut core = CordCore::new(CoreId(0), &c);
         let (r1, fx1) = issue(&mut core, &st(addr_on_slice(0, 0), StoreOrd::Relaxed));
         let (r2, fx2) = issue(&mut core, &st(addr_on_slice(1, 0), StoreOrd::Relaxed));
-        assert_eq!((r1, r2), (Issue::Done, Issue::Done), "no source stalls under TSO");
+        assert_eq!(
+            (r1, r2),
+            (Issue::Done, Issue::Done),
+            "no source stalls under TSO"
+        );
         // First store: plain release-path store, no pending dirs.
         assert_eq!(sends(&fx1).len(), 1);
         // Second store to a different directory must request a notification
         // from the first store's directory.
         let msgs2 = sends(&fx2);
         assert_eq!(msgs2.len(), 2);
-        assert!(msgs2.iter().any(|m| matches!(m.kind, MsgKind::ReqNotify { .. })));
+        assert!(msgs2
+            .iter()
+            .any(|m| matches!(m.kind, MsgKind::ReqNotify { .. })));
         assert_eq!(core.epoch(), 2, "every TSO store consumes an epoch");
     }
 
@@ -717,25 +818,50 @@ mod tests {
         let mut core = CordCore::new(CoreId(0), &cfg());
         issue(&mut core, &st(addr_on_slice(1, 0), StoreOrd::Relaxed));
         issue(&mut core, &st(addr_on_slice(2, 0), StoreOrd::Relaxed));
-        let (r, fx) = issue(&mut core, &Op::Fence { kind: FenceKind::Release });
+        let (r, fx) = issue(
+            &mut core,
+            &Op::Fence {
+                kind: FenceKind::Release,
+            },
+        );
         assert_eq!(r, Issue::Stall(StallCause::AckWait));
         let msgs = sends(&fx);
         assert_eq!(msgs.len(), 2, "one empty Release per pending directory");
         for m in &msgs {
             assert!(matches!(
                 m.kind,
-                MsgKind::WtStore { ord: StoreOrd::Release, bytes: 0, needs_ack: true, .. }
+                MsgKind::WtStore {
+                    ord: StoreOrd::Release,
+                    bytes: 0,
+                    needs_ack: true,
+                    ..
+                }
             ));
         }
         // Both acks release the fence (tids 0/1 went to the relaxed stores).
         ack(&mut core, 2);
-        let (r2, _) = issue(&mut core, &Op::Fence { kind: FenceKind::Release });
+        let (r2, _) = issue(
+            &mut core,
+            &Op::Fence {
+                kind: FenceKind::Release,
+            },
+        );
         assert_eq!(r2, Issue::Stall(StallCause::AckWait));
         ack(&mut core, 3);
-        let (r3, _) = issue(&mut core, &Op::Fence { kind: FenceKind::Release });
+        let (r3, _) = issue(
+            &mut core,
+            &Op::Fence {
+                kind: FenceKind::Release,
+            },
+        );
         assert_eq!(r3, Issue::Done);
         // An idle fence is free.
-        let (r4, fx4) = issue(&mut core, &Op::Fence { kind: FenceKind::Full });
+        let (r4, fx4) = issue(
+            &mut core,
+            &Op::Fence {
+                kind: FenceKind::Full,
+            },
+        );
         assert_eq!(r4, Issue::Done);
         assert!(fx4.is_empty());
     }

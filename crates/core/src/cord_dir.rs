@@ -23,8 +23,8 @@ use cord_sim::Time;
 
 use cord_mem::Addr;
 use cord_proto::{
-    CoreId, DirCtx, DirId, DirProtocol, DirStorage, Msg, MsgKind, NodeRef, StoreOrd,
-    SystemConfig, WtMeta,
+    CoreId, DirCtx, DirId, DirProtocol, DirStorage, Msg, MsgKind, NodeRef, StoreOrd, SystemConfig,
+    WtMeta,
 };
 
 use crate::tables::LookupTable;
@@ -144,8 +144,15 @@ impl CordDir {
         self.noti.remove(&(pid, r.ep));
         self.releases_committed += 1;
         let reply = match atomic_old {
-            Some(old) => MsgKind::AtomicResp { tid: r.tid, old, epoch: Some(r.ep) },
-            None => MsgKind::WtAck { tid: r.tid, epoch: Some(r.ep) },
+            Some(old) => MsgKind::AtomicResp {
+                tid: r.tid,
+                old,
+                epoch: Some(r.ep),
+            },
+            None => MsgKind::WtAck {
+                tid: r.tid,
+                epoch: Some(r.ep),
+            },
         };
         ctx.send_after(
             self.llc_access,
@@ -170,7 +177,10 @@ impl CordDir {
             Msg::new(
                 NodeRef::Dir(self.id),
                 NodeRef::Dir(r.noti_dst),
-                MsgKind::Notify { core: r.core, ep: r.ep },
+                MsgKind::Notify {
+                    core: r.core,
+                    ep: r.ep,
+                },
             ),
         );
         true
@@ -225,7 +235,15 @@ impl CordDir {
 impl DirProtocol for CordDir {
     fn on_msg(&mut self, msg: Msg, ctx: &mut DirCtx<'_>) {
         match msg.kind {
-            MsgKind::WtStore { tid, addr, bytes, value, ord, meta, needs_ack } => match meta {
+            MsgKind::WtStore {
+                tid,
+                addr,
+                bytes,
+                value,
+                ord,
+                meta,
+                needs_ack,
+            } => match meta {
                 WtMeta::Epoch { ep } => {
                     debug_assert_eq!(ord, StoreOrd::Relaxed);
                     debug_assert!(!needs_ack);
@@ -245,7 +263,12 @@ impl DirProtocol for CordDir {
                     }
                     self.progress(ctx);
                 }
-                WtMeta::Release { ep, cnt, last_prev_ep, noti_cnt } => {
+                WtMeta::Release {
+                    ep,
+                    cnt,
+                    last_prev_ep,
+                    noti_cnt,
+                } => {
                     debug_assert_eq!(ord, StoreOrd::Release);
                     let src = match msg.src {
                         NodeRef::Core(c) => c,
@@ -272,7 +295,13 @@ impl DirProtocol for CordDir {
                 }
                 other => panic!("CordDir: store with foreign metadata {other:?}"),
             },
-            MsgKind::AtomicReq { tid, addr, add, ord, meta } => {
+            MsgKind::AtomicReq {
+                tid,
+                addr,
+                add,
+                ord,
+                meta,
+            } => {
                 let src = match msg.src {
                     NodeRef::Core(c) => c,
                     other => panic!("CordDir: atomic from {other:?}"),
@@ -285,22 +314,28 @@ impl DirProtocol for CordDir {
                         let old = ctx.mem.fetch_add(addr, add);
                         match self.cnt.get_or_insert_with((src.0, ep), || 0) {
                             Some(c) => *c += 1,
-                            None => panic!(
-                                "CordDir {}: store-counter table overflow",
-                                self.id.0
-                            ),
+                            None => panic!("CordDir {}: store-counter table overflow", self.id.0),
                         }
                         ctx.send_after(
                             self.llc_access,
                             Msg::new(
                                 NodeRef::Dir(self.id),
                                 NodeRef::Core(src),
-                                MsgKind::AtomicResp { tid, old, epoch: None },
+                                MsgKind::AtomicResp {
+                                    tid,
+                                    old,
+                                    epoch: None,
+                                },
                             ),
                         );
                         self.progress(ctx);
                     }
-                    WtMeta::Release { ep, cnt, last_prev_ep, noti_cnt } => {
+                    WtMeta::Release {
+                        ep,
+                        cnt,
+                        last_prev_ep,
+                        noti_cnt,
+                    } => {
                         let r = HeldRelease {
                             src,
                             tid,
@@ -322,8 +357,14 @@ impl DirProtocol for CordDir {
                     }
                     other => panic!("CordDir: atomic with foreign metadata {other:?}"),
                 }
-            },
-            MsgKind::ReqNotify { core, ep, relaxed_cnt, last_unacked_ep, noti_dst } => {
+            }
+            MsgKind::ReqNotify {
+                core,
+                ep,
+                relaxed_cnt,
+                last_unacked_ep,
+                noti_dst,
+            } => {
                 let r = HeldReqNotify {
                     core,
                     ep,
@@ -402,7 +443,14 @@ mod tests {
         )
     }
 
-    fn release(ep: u64, cnt: u64, last_prev: Option<u64>, noti_cnt: u32, addr: u64, value: u64) -> Msg {
+    fn release(
+        ep: u64,
+        cnt: u64,
+        last_prev: Option<u64>,
+        noti_cnt: u32,
+        addr: u64,
+        value: u64,
+    ) -> Msg {
         Msg::new(
             NodeRef::Core(CoreId(0)),
             NodeRef::Dir(DirId(0)),
@@ -412,7 +460,12 @@ mod tests {
                 bytes: 8,
                 value,
                 ord: StoreOrd::Release,
-                meta: WtMeta::Release { ep, cnt, last_prev_ep: last_prev, noti_cnt },
+                meta: WtMeta::Release {
+                    ep,
+                    cnt,
+                    last_prev_ep: last_prev,
+                    noti_cnt,
+                },
                 needs_ack: true,
             },
         )
@@ -426,12 +479,17 @@ mod tests {
 
     impl Rig {
         fn new() -> Self {
-            Rig { dir: CordDir::new(DirId(0), &cfg()), mem: Memory::new(), out: Vec::new() }
+            Rig {
+                dir: CordDir::new(DirId(0), &cfg()),
+                mem: Memory::new(),
+                out: Vec::new(),
+            }
         }
 
         fn deliver(&mut self, msg: Msg) {
             let mut fx = Vec::new();
-            self.dir.on_msg(msg, &mut DirCtx::new(Time::ZERO, &mut self.mem, &mut fx));
+            self.dir
+                .on_msg(msg, &mut DirCtx::new(Time::ZERO, &mut self.mem, &mut fx));
             for e in fx {
                 if let DirEffect::Send { msg, .. } = e {
                     self.out.push(msg);
@@ -440,7 +498,10 @@ mod tests {
         }
 
         fn acks(&self) -> usize {
-            self.out.iter().filter(|m| matches!(m.kind, MsgKind::WtAck { .. })).count()
+            self.out
+                .iter()
+                .filter(|m| matches!(m.kind, MsgKind::WtAck { .. }))
+                .count()
         }
     }
 
@@ -478,12 +539,19 @@ mod tests {
     fn release_waits_for_notifications() {
         let mut rig = Rig::new();
         rig.deliver(release(0, 0, None, 2, 0x100, 5));
-        assert_eq!(rig.mem.peek(Addr::new(0x100)), 0, "two notifications required");
+        assert_eq!(
+            rig.mem.peek(Addr::new(0x100)),
+            0,
+            "two notifications required"
+        );
         let notify = |rig: &mut Rig| {
             rig.deliver(Msg::new(
                 NodeRef::Dir(DirId(1)),
                 NodeRef::Dir(DirId(0)),
-                MsgKind::Notify { core: CoreId(0), ep: 0 },
+                MsgKind::Notify {
+                    core: CoreId(0),
+                    ep: 0,
+                },
             ))
         };
         notify(&mut rig);
@@ -534,9 +602,15 @@ mod tests {
             },
         );
         rig.deliver(rfn);
-        assert!(rig.out.is_empty(), "epoch 0's release has not committed here");
+        assert!(
+            rig.out.is_empty(),
+            "epoch 0's release has not committed here"
+        );
         rig.deliver(release(0, 0, None, 0, 0x80, 1));
-        assert!(rig.out.iter().any(|m| matches!(m.kind, MsgKind::Notify { .. })));
+        assert!(rig
+            .out
+            .iter()
+            .any(|m| matches!(m.kind, MsgKind::Notify { .. })));
     }
 
     #[test]
@@ -569,10 +643,19 @@ mod tests {
                 addr: Addr::new(0x40),
                 add: 5,
                 ord: StoreOrd::Release,
-                meta: WtMeta::Release { ep: 0, cnt: 1, last_prev_ep: None, noti_cnt: 0 },
+                meta: WtMeta::Release {
+                    ep: 0,
+                    cnt: 1,
+                    last_prev_ep: None,
+                    noti_cnt: 0,
+                },
             },
         ));
-        assert_eq!(rig.mem.peek(Addr::new(0x40)), 0, "atomic must wait for the counter");
+        assert_eq!(
+            rig.mem.peek(Addr::new(0x40)),
+            0,
+            "atomic must wait for the counter"
+        );
         rig.deliver(relaxed(0, 0x80, 1));
         assert_eq!(rig.mem.peek(Addr::new(0x40)), 5, "atomic applied on commit");
         let resp = rig
@@ -596,7 +679,11 @@ mod tests {
         rig.deliver(Msg::new(
             NodeRef::Core(CoreId(1)),
             NodeRef::Dir(DirId(0)),
-            MsgKind::ReadReq { tid: 5, addr: Addr::new(0x100), bytes: 8 },
+            MsgKind::ReadReq {
+                tid: 5,
+                addr: Addr::new(0x100),
+                bytes: 8,
+            },
         ));
         let resp = rig
             .out

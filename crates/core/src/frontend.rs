@@ -33,10 +33,7 @@ enum FeState {
     /// The engine reported a stall; waiting for an engine wake.
     Blocked(StallCause),
     /// Waiting for a load value.
-    WaitLoad {
-        reg: Option<u8>,
-        poll: Option<u64>,
-    },
+    WaitLoad { reg: Option<u8>, poll: Option<u64> },
     /// Waiting for a non-load completion.
     WaitOp,
     /// Program finished.
@@ -86,7 +83,10 @@ impl Frontend {
 
     /// The initial scheduling request (step at time zero, generation 0).
     pub fn initial_action(&self) -> FeAction {
-        FeAction::StepAt { at: Time::ZERO, gen: 0 }
+        FeAction::StepAt {
+            at: Time::ZERO,
+            gen: 0,
+        }
     }
 
     /// Whether the program has fully executed.
@@ -204,11 +204,17 @@ impl Frontend {
                 self.end_stall(now);
                 self.state = match op {
                     Op::Load { reg, .. } | Op::BulkRead { reg, .. } | Op::AtomicRmw { reg, .. } => {
-                        FeState::WaitLoad { reg: Some(reg), poll: None }
+                        FeState::WaitLoad {
+                            reg: Some(reg),
+                            poll: None,
+                        }
                     }
                     Op::WaitValue { expect, .. } => {
                         self.polls += 1;
-                        FeState::WaitLoad { reg: None, poll: Some(expect) }
+                        FeState::WaitLoad {
+                            reg: None,
+                            poll: Some(expect),
+                        }
                     }
                     _ => FeState::WaitOp,
                 };
@@ -324,7 +330,10 @@ mod tests {
             .store_release(Addr::new(64), 2)
             .finish();
         let mut fe = Frontend::new(p, &costs());
-        let mut eng = ScriptEngine { responses: vec![Issue::Done, Issue::Done], issued: vec![] };
+        let mut eng = ScriptEngine {
+            responses: vec![Issue::Done, Issue::Done],
+            issued: vec![],
+        };
         let mut fx = Vec::new();
         let mut acts = Vec::new();
         // step chain: each on_step issues one op and schedules the next
@@ -333,7 +342,7 @@ mod tests {
         while let Some(FeAction::StepAt { at, gen }) = pending.pop() {
             now = at;
             fe.on_step(gen, now, &mut eng, &mut fx, &mut acts);
-            pending.extend(acts.drain(..));
+            pending.append(&mut acts);
         }
         assert!(fe.is_done());
         assert!(fe.finish_time().unwrap() >= Time::from_ns(10));
@@ -388,7 +397,10 @@ mod tests {
     fn stale_steps_and_spurious_wakes_are_ignored() {
         let p = Program::build().store_relaxed(Addr::new(0), 1).finish();
         let mut fe = Frontend::new(p, &costs());
-        let mut eng = ScriptEngine { responses: vec![Issue::Done], issued: vec![] };
+        let mut eng = ScriptEngine {
+            responses: vec![Issue::Done],
+            issued: vec![],
+        };
         let mut fx = Vec::new();
         let mut acts = Vec::new();
         fe.on_wake(Time::ZERO, &mut eng, &mut fx, &mut acts); // not blocked: ignored
@@ -404,9 +416,14 @@ mod tests {
 
     #[test]
     fn load_writes_register() {
-        let p = Program::build().load(Addr::new(0), 8, LoadOrd::Acquire, 3).finish();
+        let p = Program::build()
+            .load(Addr::new(0), 8, LoadOrd::Acquire, 3)
+            .finish();
         let mut fe = Frontend::new(p, &costs());
-        let mut eng = ScriptEngine { responses: vec![Issue::Pending], issued: vec![] };
+        let mut eng = ScriptEngine {
+            responses: vec![Issue::Pending],
+            issued: vec![],
+        };
         let mut fx = Vec::new();
         let mut acts = Vec::new();
         fe.on_step(0, Time::ZERO, &mut eng, &mut fx, &mut acts);
@@ -417,7 +434,10 @@ mod tests {
     #[test]
     fn empty_program_finishes_immediately() {
         let mut fe = Frontend::new(Program::new(), &costs());
-        let mut eng = ScriptEngine { responses: vec![], issued: vec![] };
+        let mut eng = ScriptEngine {
+            responses: vec![],
+            issued: vec![],
+        };
         let mut fx = Vec::new();
         let mut acts = Vec::new();
         fe.on_step(0, Time::ZERO, &mut eng, &mut fx, &mut acts);

@@ -96,8 +96,14 @@ impl CoreProtocol for HybridCore {
             // Write-through side; a Release additionally source-orders any
             // outstanding write-back stores (they are acknowledged by their
             // ownership fills, so plain source ordering applies — §4.4).
-            if let Op::Store { ord: StoreOrd::Release, .. }
-            | Op::AtomicRmw { ord: StoreOrd::Release, .. } = *op
+            if let Op::Store {
+                ord: StoreOrd::Release,
+                ..
+            }
+            | Op::AtomicRmw {
+                ord: StoreOrd::Release,
+                ..
+            } = *op
             {
                 if !self.wb.quiesced() {
                     return Issue::Stall(StallCause::AckWait);
@@ -113,16 +119,28 @@ impl CoreProtocol for HybridCore {
         // Write-back side.
         let is_release = matches!(
             *op,
-            Op::Store { ord: StoreOrd::Release, .. }
-                | Op::StoreWb { ord: StoreOrd::Release, .. }
-                | Op::AtomicRmw { ord: StoreOrd::Release, .. }
+            Op::Store {
+                ord: StoreOrd::Release,
+                ..
+            } | Op::StoreWb {
+                ord: StoreOrd::Release,
+                ..
+            } | Op::AtomicRmw {
+                ord: StoreOrd::Release,
+                ..
+            }
         );
         if (is_release || self.model == ConsistencyModel::Tso) && self.wt_needs_barrier() {
             // §4.4: an earlier directory-ordered Relaxed store has no ack to
             // source-order against — inject a Release barrier and stall
             // until the directories acknowledge it. The CORD fence is
             // idempotent across retries (it tracks its own broadcast state).
-            match self.cord.issue(&Op::Fence { kind: FenceKind::Release }, ctx) {
+            match self.cord.issue(
+                &Op::Fence {
+                    kind: FenceKind::Release,
+                },
+                ctx,
+            ) {
                 Issue::Done => {}
                 Issue::Pending => return Issue::Stall(StallCause::AckWait),
                 Issue::Stall(cause) => return Issue::Stall(cause),
@@ -166,7 +184,11 @@ pub struct HybridDir {
 impl HybridDir {
     /// Creates the engine for directory `id` under `cfg`.
     pub fn new(id: DirId, cfg: &SystemConfig) -> Self {
-        HybridDir { cord: CordDir::new(id, cfg), wb: WbDir::new(id, cfg), so: SoDir::new(id, cfg) }
+        HybridDir {
+            cord: CordDir::new(id, cfg),
+            wb: WbDir::new(id, cfg),
+            so: SoDir::new(id, cfg),
+        }
     }
 }
 
@@ -177,7 +199,10 @@ impl DirProtocol for HybridDir {
             | MsgKind::GetM { .. }
             | MsgKind::InvAck { .. }
             | MsgKind::PutM { .. } => self.wb.on_msg(msg, ctx),
-            MsgKind::WtStore { meta: cord_proto::WtMeta::None, .. } => self.so.on_msg(msg, ctx),
+            MsgKind::WtStore {
+                meta: cord_proto::WtMeta::None,
+                ..
+            } => self.so.on_msg(msg, ctx),
             _ => self.cord.on_msg(msg, ctx),
         }
     }
@@ -220,29 +245,48 @@ mod tests {
             value: 0,
             ord: StoreOrd::Relaxed
         }));
-        assert!(!core.routes_wb(&Op::Fence { kind: FenceKind::Release }));
+        assert!(!core.routes_wb(&Op::Fence {
+            kind: FenceKind::Release
+        }));
     }
 
     #[test]
     fn wb_release_injects_cord_barrier() {
         let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
-        let w = WbWindow { lo: 1 << 30, hi: 2 << 30 };
+        let w = WbWindow {
+            lo: 1 << 30,
+            hi: 2 << 30,
+        };
         let mut core = HybridCore::new(CoreId(0), &cfg, w);
         let mut fx = Vec::new();
         let mut ctx = CoreCtx::new(cord_sim::Time::ZERO, &mut fx);
         // A Relaxed write-through store (outside the window): no ack exists.
-        let wt = Op::Store { addr: Addr::new(0), bytes: 64, value: 1, ord: StoreOrd::Relaxed };
+        let wt = Op::Store {
+            addr: Addr::new(0),
+            bytes: 64,
+            value: 1,
+            ord: StoreOrd::Relaxed,
+        };
         assert_eq!(core.issue(&wt, &mut ctx), Issue::Done);
         // A Release write-back store must stall behind the injected barrier.
-        let wbrel =
-            Op::StoreWb { addr: Addr::new(1 << 30), bytes: 8, value: 2, ord: StoreOrd::Release };
+        let wbrel = Op::StoreWb {
+            addr: Addr::new(1 << 30),
+            bytes: 8,
+            value: 2,
+            ord: StoreOrd::Release,
+        };
         let r = core.issue(&wbrel, &mut ctx);
         assert_eq!(r, Issue::Stall(StallCause::AckWait));
         // The barrier is an empty directory-ordered Release store.
         let has_empty_release = fx.iter().any(|e| match e {
             cord_proto::CoreEffect::Send { msg, .. } => matches!(
                 msg.kind,
-                MsgKind::WtStore { ord: StoreOrd::Release, bytes: 0, needs_ack: true, .. }
+                MsgKind::WtStore {
+                    ord: StoreOrd::Release,
+                    bytes: 0,
+                    needs_ack: true,
+                    ..
+                }
             ),
             _ => false,
         });
@@ -261,9 +305,15 @@ mod tests {
         let getm = Msg::new(
             NodeRef::Core(CoreId(1)),
             NodeRef::Dir(DirId(0)),
-            MsgKind::GetM { tid: 1, line: Addr::new(0x1000) },
+            MsgKind::GetM {
+                tid: 1,
+                line: Addr::new(0x1000),
+            },
         );
-        dir.on_msg(getm, &mut DirCtx::new(cord_sim::Time::ZERO, &mut mem, &mut fx));
+        dir.on_msg(
+            getm,
+            &mut DirCtx::new(cord_sim::Time::ZERO, &mut mem, &mut fx),
+        );
         assert_eq!(fx.len(), 1, "GetM answered by the MESI directory");
         // A CORD Relaxed store goes to the CORD side (commits, no reply).
         fx.clear();
@@ -280,7 +330,10 @@ mod tests {
                 needs_ack: false,
             },
         );
-        dir.on_msg(wt, &mut DirCtx::new(cord_sim::Time::ZERO, &mut mem, &mut fx));
+        dir.on_msg(
+            wt,
+            &mut DirCtx::new(cord_sim::Time::ZERO, &mut mem, &mut fx),
+        );
         assert!(fx.is_empty(), "Relaxed write-through commits silently");
         assert_eq!(mem.peek(Addr::new(0x2000)), 9);
     }

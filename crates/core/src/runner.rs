@@ -141,6 +141,11 @@ pub struct System {
     cores: Vec<CoreNode>,
     dirs: Vec<DirNode>,
     max_events: u64,
+    /// Scratch buffers reused across events (the hot loop would otherwise
+    /// allocate one effect vector and one action vector per event).
+    scratch_fx: Vec<CoreEffect>,
+    scratch_acts: Vec<FeAction>,
+    scratch_dfx: Vec<DirEffect>,
 }
 
 impl System {
@@ -161,15 +166,27 @@ impl System {
             tiles
         );
         programs.resize(tiles, Program::new());
-        let mut queue = EventQueue::new();
+        // Steady state holds roughly one in-flight event per tile plus
+        // messages on the wire; start with a few slots per tile so the heap
+        // never reallocates during warm-up.
+        let mut queue = EventQueue::with_capacity(4 * tiles);
         let cores: Vec<CoreNode> = programs
             .into_iter()
             .enumerate()
             .map(|(i, p)| {
                 let fe = Frontend::new(p, &cfg.costs);
                 let FeAction::StepAt { at, gen } = fe.initial_action();
-                queue.push(at, Event::CoreStep { core: i as u32, gen });
-                CoreNode { engine: AnyCore::new(CoreId(i as u32), &cfg), fe }
+                queue.push(
+                    at,
+                    Event::CoreStep {
+                        core: i as u32,
+                        gen,
+                    },
+                );
+                CoreNode {
+                    engine: AnyCore::new(CoreId(i as u32), &cfg),
+                    fe,
+                }
             })
             .collect();
         let dirs: Vec<DirNode> = (0..tiles)
@@ -185,6 +202,9 @@ impl System {
             cores,
             dirs,
             max_events: 500_000_000,
+            scratch_fx: Vec::new(),
+            scratch_acts: Vec::new(),
+            scratch_dfx: Vec::new(),
         }
     }
 
@@ -245,16 +265,25 @@ impl System {
                 }
                 Event::DirWake { dir } => {
                     let d = dir as usize;
-                    let mut fx = Vec::new();
+                    let mut fx = std::mem::take(&mut self.scratch_dfx);
+                    fx.clear();
                     {
                         let node = &mut self.dirs[d];
                         let mut ctx = DirCtx::new(now, &mut node.mem, &mut fx);
                         node.engine.retry(&mut ctx);
                     }
-                    self.apply_dir_effects(d, now, fx);
+                    self.apply_dir_effects(d, now, &mut fx);
+                    self.scratch_dfx = fx;
                 }
             }
         }
+        // O(1) quiescence check against the queue's cached head time (the
+        // pop loop only exits when it holds, but effect application could in
+        // principle schedule past the drain — make that a checked bug).
+        debug_assert!(
+            self.queue.peek_time().is_none(),
+            "events scheduled after drain"
+        );
         self.check_finished();
         self.collect(drained, events)
     }
@@ -267,8 +296,12 @@ impl System {
         now: Time,
         f: impl FnOnce(&mut Frontend, &mut AnyCore, &mut Vec<CoreEffect>, &mut Vec<FeAction>),
     ) {
-        let mut fx = Vec::new();
-        let mut acts = Vec::new();
+        // Reuse the scratch vectors (taken, not borrowed, so the apply loop
+        // below can still call &mut self methods).
+        let mut fx = std::mem::take(&mut self.scratch_fx);
+        let mut acts = std::mem::take(&mut self.scratch_acts);
+        fx.clear();
+        acts.clear();
         {
             let node = &mut self.cores[i];
             f(&mut node.fe, &mut node.engine, &mut fx, &mut acts);
@@ -292,28 +325,38 @@ impl System {
             }
             k += 1;
         }
-        for FeAction::StepAt { at, gen } in acts {
-            self.queue
-                .push(at.max(now), Event::CoreStep { core: i as u32, gen });
+        for FeAction::StepAt { at, gen } in acts.drain(..) {
+            self.queue.push(
+                at.max(now),
+                Event::CoreStep {
+                    core: i as u32,
+                    gen,
+                },
+            );
         }
+        self.scratch_fx = fx;
+        self.scratch_acts = acts;
     }
 
     fn deliver_dir(&mut self, d: usize, now: Time, msg: Msg) {
-        let mut fx = Vec::new();
+        let mut fx = std::mem::take(&mut self.scratch_dfx);
+        fx.clear();
         {
             let node = &mut self.dirs[d];
             let mut ctx = DirCtx::new(now, &mut node.mem, &mut fx);
             node.engine.on_msg(msg, &mut ctx);
         }
-        self.apply_dir_effects(d, now, fx);
+        self.apply_dir_effects(d, now, &mut fx);
+        self.scratch_dfx = fx;
     }
 
-    fn apply_dir_effects(&mut self, d: usize, now: Time, fx: Vec<DirEffect>) {
-        for e in fx {
+    fn apply_dir_effects(&mut self, d: usize, now: Time, fx: &mut Vec<DirEffect>) {
+        for e in fx.drain(..) {
             match e {
                 DirEffect::Send { msg, at } => self.route(at.max(now), msg),
                 DirEffect::Wake(t) => {
-                    self.queue.push(t.max(now), Event::DirWake { dir: d as u32 });
+                    self.queue
+                        .push(t.max(now), Event::DirWake { dir: d as u32 });
                 }
             }
         }
@@ -337,7 +380,10 @@ impl System {
                 node.fe.current_op().map(|o| o.mnemonic()),
                 node.engine.quiesced()
             );
-            debug_assert!(node.engine.quiesced(), "core {i} engine not quiesced at drain");
+            debug_assert!(
+                node.engine.quiesced(),
+                "core {i} engine not quiesced at drain"
+            );
         }
     }
 
@@ -387,7 +433,12 @@ mod tests {
             // (single-directory communication).
             let mut b = Program::build();
             for i in 0..n {
-                b = b.store(data.offset(i * 512), 64, i + 1, cord_proto::StoreOrd::Relaxed);
+                b = b.store(
+                    data.offset(i * 512),
+                    64,
+                    i + 1,
+                    cord_proto::StoreOrd::Relaxed,
+                );
             }
             b.store_release(flag, 1).finish()
         };

@@ -41,7 +41,12 @@ impl<K: Ord, V> LookupTable<K, V> {
     /// Panics if `capacity` is zero (CORD requires ≥ 1 entry per table).
     pub fn new(capacity: usize, entry_bytes: u64) -> Self {
         assert!(capacity >= 1, "tables need at least one entry");
-        LookupTable { entries: BTreeMap::new(), capacity, entry_bytes, peak_entries: 0 }
+        LookupTable {
+            entries: BTreeMap::new(),
+            capacity,
+            entry_bytes,
+            peak_entries: 0,
+        }
     }
 
     /// Whether a new key could be inserted right now.
@@ -172,7 +177,7 @@ mod tests {
         assert_eq!(t.remove(&1), Some(1));
         assert!(t.has_room_for(1));
         assert!(t.try_insert(2, 2));
-        assert!(t.is_empty() == false);
+        assert!(!t.is_empty());
     }
 
     #[test]

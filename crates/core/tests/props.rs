@@ -1,7 +1,6 @@
-//! Property tests for the CORD engines: protocol invariants over random
-//! store/release interleavings driven directly through the engine API.
-
-use proptest::prelude::*;
+//! Randomized property tests for the CORD engines: protocol invariants over
+//! random store/release interleavings driven directly through the engine
+//! API. Driven by `cord_sim::DetRng` with fixed seeds (no external deps).
 
 use cord::{CordCore, CordDir, LookupTable};
 use cord_mem::{Addr, Memory};
@@ -9,7 +8,7 @@ use cord_proto::{
     CoreCtx, CoreEffect, CoreId, CoreProtocol, DirCtx, DirEffect, DirId, DirProtocol, Issue, Msg,
     MsgKind, Op, ProtocolKind, StoreOrd, SystemConfig,
 };
-use cord_sim::Time;
+use cord_sim::{DetRng, Time};
 
 /// host 0, slice `s`, line k — deterministic single-host addressing.
 fn addr(s: u64, k: u64) -> Addr {
@@ -23,15 +22,21 @@ enum Step {
     DeliverAck, // deliver the oldest in-flight ack
 }
 
-fn steps() -> impl Strategy<Value = Vec<Step>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..4, 0u64..8).prop_map(|(slice, k)| Step::Relaxed { slice, k }),
-            (0u64..4, 0u64..8).prop_map(|(slice, k)| Step::Release { slice, k }),
-            Just(Step::DeliverAck),
-        ],
-        1..120,
-    )
+fn steps(rng: &mut DetRng) -> Vec<Step> {
+    let n = rng.range_usize(1..120);
+    (0..n)
+        .map(|_| match rng.range_u64(0..3) {
+            0 => Step::Relaxed {
+                slice: rng.range_u64(0..4),
+                k: rng.range_u64(0..8),
+            },
+            1 => Step::Release {
+                slice: rng.range_u64(0..4),
+                k: rng.range_u64(0..8),
+            },
+            _ => Step::DeliverAck,
+        })
+        .collect()
 }
 
 /// Drives one CordCore and its directories synchronously, queueing acks.
@@ -59,7 +64,7 @@ impl Rig {
     }
 
     fn issue(&mut self, op: &Op) -> Issue {
-        self.now = self.now + Time::from_ns(1);
+        self.now += Time::from_ns(1);
         let mut fx = Vec::new();
         let r = {
             let mut ctx = CoreCtx::new(self.now, &mut fx);
@@ -106,23 +111,28 @@ impl Rig {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Engine invariants over arbitrary interleavings:
-    /// * the unacked table never exceeds its capacity;
-    /// * stalled Releases always become issuable after acks drain;
-    /// * every issued Release eventually commits and is acked exactly once;
-    /// * directory storage is fully reclaimed at quiescence.
-    #[test]
-    fn cord_engine_invariants(script in steps()) {
+/// Engine invariants over arbitrary interleavings:
+/// * the unacked table never exceeds its capacity;
+/// * stalled Releases always become issuable after acks drain;
+/// * every issued Release eventually commits and is acked exactly once;
+/// * directory storage is fully reclaimed at quiescence.
+#[test]
+fn cord_engine_invariants() {
+    for case in 0..48 {
+        let mut rng = DetRng::new(0xC04D).stream(case);
+        let script = steps(&mut rng);
         let cfg = SystemConfig::cxl(ProtocolKind::Cord, 1);
         let cap = cfg.tables.proc_unacked;
         let mut rig = Rig::new(&cfg);
         for step in script {
             match step {
                 Step::Relaxed { slice, k } => {
-                    let op = Op::Store { addr: addr(slice, k), bytes: 8, value: 1, ord: StoreOrd::Relaxed };
+                    let op = Op::Store {
+                        addr: addr(slice, k),
+                        bytes: 8,
+                        value: 1,
+                        ord: StoreOrd::Relaxed,
+                    };
                     // Relaxed stores may stall only on table bounds; retry
                     // after draining an ack.
                     if rig.issue(&op) == Issue::Done {
@@ -131,42 +141,66 @@ proptest! {
                     rig.deliver_ack();
                 }
                 Step::Release { slice, k } => {
-                    let op = Op::Store { addr: addr(slice, k), bytes: 8, value: 2, ord: StoreOrd::Release };
+                    let op = Op::Store {
+                        addr: addr(slice, k),
+                        bytes: 8,
+                        value: 2,
+                        ord: StoreOrd::Release,
+                    };
                     if rig.issue(&op) == Issue::Done {
                         rig.issued_releases += 1;
                     }
                 }
                 Step::DeliverAck => rig.deliver_ack(),
             }
-            prop_assert!(rig.core.unacked_len() <= cap, "unacked table overflow");
+            assert!(
+                rig.core.unacked_len() <= cap,
+                "case {case}: unacked table overflow"
+            );
         }
         // Drain all remaining acknowledgments.
         while !rig.acks.is_empty() {
             rig.deliver_ack();
         }
-        prop_assert!(rig.core.quiesced(), "core must quiesce after drain");
-        prop_assert_eq!(rig.committed_releases, rig.issued_releases, "every release acked once");
+        assert!(
+            rig.core.quiesced(),
+            "case {case}: core must quiesce after drain"
+        );
+        assert_eq!(
+            rig.committed_releases, rig.issued_releases,
+            "case {case}: every release acked once"
+        );
         // Per-epoch directory entries fully reclaimed: only largestEp stays.
         for d in &rig.dirs {
-            prop_assert_eq!(d.buffered_bytes(), 0, "recycled buffer drained");
+            assert_eq!(
+                d.buffered_bytes(),
+                0,
+                "case {case}: recycled buffer drained"
+            );
         }
     }
+}
 
-    /// LookupTable never exceeds capacity and its peak is monotone.
-    #[test]
-    fn lookup_table_bounds(ops in prop::collection::vec((0u8..16, any::<bool>()), 1..200), cap in 1usize..12) {
+/// LookupTable never exceeds capacity and its peak is monotone.
+#[test]
+fn lookup_table_bounds() {
+    for case in 0..64 {
+        let mut rng = DetRng::new(0x100C).stream(case);
+        let cap = rng.range_usize(1..12);
+        let n = rng.range_usize(1..200);
         let mut t: LookupTable<u8, u8> = LookupTable::new(cap, 4);
         let mut peak = 0;
-        for (k, insert) in ops {
-            if insert {
+        for _ in 0..n {
+            let k = rng.range_u64(0..16) as u8;
+            if rng.chance(0.5) {
                 let _ = t.try_insert(k, 0);
             } else {
                 t.remove(&k);
             }
-            prop_assert!(t.len() <= cap);
-            prop_assert!(t.peak_bytes() >= peak, "peak regressed");
+            assert!(t.len() <= cap, "case {case}");
+            assert!(t.peak_bytes() >= peak, "case {case}: peak regressed");
             peak = t.peak_bytes();
-            prop_assert!(t.bytes() <= t.peak_bytes());
+            assert!(t.bytes() <= t.peak_bytes(), "case {case}");
         }
     }
 }

@@ -81,8 +81,14 @@ impl<S> CacheArray<S> {
     /// Panics if the geometry does not divide evenly.
     pub fn with_capacity_bytes(capacity: u64, line_bytes: u64, ways: usize) -> Self {
         let lines = capacity / line_bytes;
-        assert!(lines > 0 && capacity.is_multiple_of(line_bytes), "bad capacity");
-        assert!((lines as usize).is_multiple_of(ways), "ways must divide line count");
+        assert!(
+            lines > 0 && capacity.is_multiple_of(line_bytes),
+            "bad capacity"
+        );
+        assert!(
+            (lines as usize).is_multiple_of(ways),
+            "ways must divide line count"
+        );
         Self::new(lines as usize / ways, ways)
     }
 
@@ -119,7 +125,10 @@ impl<S> CacheArray<S> {
     /// Looks up `line` without perturbing LRU or statistics.
     pub fn peek(&self, line: LineAddr) -> Option<&S> {
         let set = self.set_of(line);
-        self.sets[set].iter().find(|w| w.line == line).map(|w| &w.state)
+        self.sets[set]
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| &w.state)
     }
 
     /// Whether `line` is present.
@@ -153,9 +162,7 @@ impl<S> CacheArray<S> {
     /// Whether `line` is present and dirty.
     pub fn is_dirty(&self, line: LineAddr) -> bool {
         let set = self.set_of(line);
-        self.sets[set]
-            .iter()
-            .any(|w| w.line == line && w.dirty)
+        self.sets[set].iter().any(|w| w.line == line && w.dirty)
     }
 
     /// Inserts `line` with `state` (clean), evicting the LRU way of its set

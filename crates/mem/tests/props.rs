@@ -1,11 +1,15 @@
-//! Property tests for the memory substrate: the cache array against a
-//! reference model, and the address map as a partition.
+//! Randomized property tests for the memory substrate: the cache array
+//! against a reference model, and the address map as a partition.
+//!
+//! Driven by `cord_sim::DetRng` with fixed seeds (no external test deps);
+//! each case prints its index on failure for replay.
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
 use cord_mem::{Addr, AddressMap, CacheArray, LineAddr, Memory};
+use cord_sim::DetRng;
+
+const CASES: u64 = 48;
 
 #[derive(Debug, Clone)]
 enum CacheOp {
@@ -15,23 +19,30 @@ enum CacheOp {
     MarkDirty(u64),
 }
 
-fn cache_ops() -> impl Strategy<Value = Vec<CacheOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..64, any::<u8>()).prop_map(|(l, s)| CacheOp::Insert(l, s)),
-            (0u64..64).prop_map(CacheOp::Lookup),
-            (0u64..64).prop_map(CacheOp::Invalidate),
-            (0u64..64).prop_map(CacheOp::MarkDirty),
-        ],
-        1..300,
-    )
+fn cache_ops(rng: &mut DetRng) -> Vec<CacheOp> {
+    let n = rng.range_usize(1..300);
+    (0..n)
+        .map(|_| {
+            let line = rng.range_u64(0..64);
+            match rng.range_u64(0..4) {
+                0 => CacheOp::Insert(line, rng.range_u64(0..256) as u8),
+                1 => CacheOp::Lookup(line),
+                2 => CacheOp::Invalidate(line),
+                _ => CacheOp::MarkDirty(line),
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    /// The cache never exceeds its capacity, never reports a value it was
-    /// not given, and evictions only surface lines that were inserted.
-    #[test]
-    fn cache_array_against_reference(ops in cache_ops(), sets in 1usize..8, ways in 1usize..8) {
+/// The cache never exceeds its capacity, never reports a value it was not
+/// given, and evictions only surface lines that were inserted.
+#[test]
+fn cache_array_against_reference() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xCAC4E).stream(case);
+        let sets = rng.range_usize(1..8);
+        let ways = rng.range_usize(1..8);
+        let ops = cache_ops(&mut rng);
         let mut cache: CacheArray<u8> = CacheArray::new(sets, ways);
         // Reference: what has been inserted and not yet evicted/invalidated.
         let mut live: HashMap<u64, u8> = HashMap::new();
@@ -40,82 +51,102 @@ proptest! {
                 CacheOp::Insert(l, s) => {
                     if let Some(ev) = cache.insert(LineAddr::new(l), s) {
                         let was = live.remove(&ev.line.raw());
-                        prop_assert!(was.is_some(), "evicted a line never inserted");
-                        prop_assert_eq!(was.unwrap(), ev.state);
+                        assert!(was.is_some(), "case {case}: evicted a line never inserted");
+                        assert_eq!(was.unwrap(), ev.state, "case {case}");
                     }
                     live.insert(l, s);
                 }
                 CacheOp::Lookup(l) => {
                     let got = cache.lookup(LineAddr::new(l)).copied();
                     match got {
-                        Some(v) => prop_assert_eq!(Some(&v), live.get(&l)),
-                        None => prop_assert!(!cache.contains(LineAddr::new(l))),
+                        Some(v) => assert_eq!(Some(&v), live.get(&l), "case {case}"),
+                        None => assert!(!cache.contains(LineAddr::new(l)), "case {case}"),
                     }
                 }
                 CacheOp::Invalidate(l) => {
                     let got = cache.invalidate(LineAddr::new(l));
                     let expect = live.remove(&l);
-                    prop_assert_eq!(got.map(|(s, _)| s), expect);
+                    assert_eq!(got.map(|(s, _)| s), expect, "case {case}");
                 }
                 CacheOp::MarkDirty(l) => {
                     let ok = cache.mark_dirty(LineAddr::new(l));
-                    prop_assert_eq!(ok, live.contains_key(&l));
+                    assert_eq!(ok, live.contains_key(&l), "case {case}");
                     if ok {
-                        prop_assert!(cache.is_dirty(LineAddr::new(l)));
+                        assert!(cache.is_dirty(LineAddr::new(l)), "case {case}");
                     }
                 }
             }
-            prop_assert!(cache.len() <= sets * ways, "capacity exceeded");
-            prop_assert!(cache.len() <= live.len(), "cache holds ghosts");
+            assert!(cache.len() <= sets * ways, "case {case}: capacity exceeded");
+            assert!(cache.len() <= live.len(), "case {case}: cache holds ghosts");
         }
     }
+}
 
-    /// Every address has exactly one home directory, and slice interleaving
-    /// is line-granular.
-    #[test]
-    fn address_map_is_a_partition(hosts in 1u32..8, slices in 1u32..8, addr in 0u64..(1u64 << 20)) {
+/// Every address has exactly one home directory, and slice interleaving is
+/// line-granular.
+#[test]
+fn address_map_is_a_partition() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xADD4).stream(case);
+        let hosts = rng.range_u64(1..8) as u32;
+        let slices = rng.range_u64(1..8) as u32;
+        let addr = rng.range_u64(0..1 << 20);
         let map = AddressMap::new(hosts, slices, 1 << 20);
         let a = Addr::new(addr % ((hosts as u64) << 20));
         let host = map.home_host(a);
         let slice = map.home_slice(a);
-        prop_assert!(host < hosts);
-        prop_assert!(slice < slices);
+        assert!(host < hosts, "case {case}");
+        assert!(slice < slices, "case {case}");
         // Every byte of the containing line maps identically.
         let base = a.line().base();
         for off in [0u64, 1, 31, 63] {
-            prop_assert_eq!(map.home_host(base.offset(off)), host);
-            prop_assert_eq!(map.home_slice(base.offset(off)), slice);
+            assert_eq!(map.home_host(base.offset(off)), host, "case {case}");
+            assert_eq!(map.home_slice(base.offset(off)), slice, "case {case}");
         }
-        prop_assert_eq!(map.home_dir(a), host * slices + slice);
+        assert_eq!(map.home_dir(a), host * slices + slice, "case {case}");
     }
+}
 
-    /// Memory behaves as a word-granular map with zero default; fetch_add
-    /// is store ∘ load.
-    #[test]
-    fn memory_reference_semantics(ops in prop::collection::vec((0u64..512, 0u64..100, any::<bool>()), 1..100)) {
+/// Memory behaves as a word-granular map with zero default; fetch_add is
+/// store ∘ load.
+#[test]
+fn memory_reference_semantics() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x3E3).stream(case);
+        let n = rng.range_usize(1..100);
         let mut mem = Memory::new();
         let mut reference: HashMap<u64, u64> = HashMap::new();
-        for (word, val, is_add) in ops {
+        for _ in 0..n {
+            let word = rng.range_u64(0..512);
+            let val = rng.range_u64(0..100);
+            let is_add = rng.chance(0.5);
             let a = Addr::new(word * 8);
             if is_add {
                 let old = mem.fetch_add(a, val);
                 let r = reference.entry(word).or_insert(0);
-                prop_assert_eq!(old, *r);
+                assert_eq!(old, *r, "case {case}");
                 *r = r.wrapping_add(val);
             } else {
                 mem.store(a, val);
                 reference.insert(word, val);
             }
-            prop_assert_eq!(mem.peek(a), reference[&word]);
+            assert_eq!(mem.peek(a), reference[&word], "case {case}");
         }
         for (&w, &v) in &reference {
-            prop_assert_eq!(mem.load(Addr::new(w * 8)), v);
+            assert_eq!(mem.load(Addr::new(w * 8)), v, "case {case}");
         }
     }
+}
 
-    /// line_values/apply round-trips any line's contents.
-    #[test]
-    fn line_values_roundtrip(words in prop::collection::vec((0u64..8, 1u64..1000), 1..8)) {
+/// line_values/apply round-trips any line's contents.
+#[test]
+fn line_values_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x714E).stream(case);
+        let n = rng.range_usize(1..8);
+        let words: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.range_u64(0..8), rng.range_u64(1..1000)))
+            .collect();
         let mut mem = Memory::new();
         for &(i, v) in &words {
             mem.store(Addr::new(0x1000 + i * 8), v);
@@ -125,7 +156,11 @@ proptest! {
         let mut copy = Memory::new();
         copy.apply(&vals);
         for &(i, _) in &words {
-            prop_assert_eq!(copy.peek(Addr::new(0x1000 + i * 8)), mem.peek(Addr::new(0x1000 + i * 8)));
+            assert_eq!(
+                copy.peek(Addr::new(0x1000 + i * 8)),
+                mem.peek(Addr::new(0x1000 + i * 8)),
+                "case {case}"
+            );
         }
     }
 }

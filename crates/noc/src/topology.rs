@@ -145,7 +145,7 @@ impl NocConfig {
     /// Panics if `hosts_per_pod` is zero or does not divide the host count.
     pub fn with_pods(mut self, pods: PodConfig) -> Self {
         assert!(
-            pods.hosts_per_pod > 0 && self.hosts % pods.hosts_per_pod == 0,
+            pods.hosts_per_pod > 0 && self.hosts.is_multiple_of(pods.hosts_per_pod),
             "pods must partition the {} hosts",
             self.hosts
         );
@@ -231,7 +231,14 @@ impl Noc {
     ///
     /// Panics if `src` or `dst` references a host or tile outside the
     /// configured topology.
-    pub fn send(&mut self, now: Time, src: TileId, dst: TileId, bytes: u64, class: MsgClass) -> Time {
+    pub fn send(
+        &mut self,
+        now: Time,
+        src: TileId,
+        dst: TileId,
+        bytes: u64,
+        class: MsgClass,
+    ) -> Time {
         self.check(src);
         self.check(dst);
         let inter = src.host != dst.host;
@@ -306,8 +313,20 @@ mod tests {
     #[test]
     fn intra_host_latency_scales_with_hops() {
         let mut noc = Noc::new(NocConfig::default());
-        let t0 = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(0, 1), 64, MsgClass::Data);
-        let t1 = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(0, 7), 64, MsgClass::Data);
+        let t0 = noc.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(0, 1),
+            64,
+            MsgClass::Data,
+        );
+        let t1 = noc.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(0, 7),
+            64,
+            MsgClass::Data,
+        );
         assert_eq!(t0, Time::from_ns(5));
         assert_eq!(t1, Time::from_ns(20));
         assert_eq!(noc.stats().inter_bytes(), 0);
@@ -317,7 +336,13 @@ mod tests {
     #[test]
     fn inter_host_includes_switch_latency() {
         let mut noc = Noc::new(NocConfig::cxl(2, 8));
-        let arrive = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), 64, MsgClass::Data);
+        let arrive = noc.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(1, 0),
+            64,
+            MsgClass::Data,
+        );
         // port is tile 0 on both sides: pure switch latency + serialization
         assert_eq!(arrive, Time::from_ns(150) + Time::from_ps(64 * 1000 / 64));
         assert_eq!(noc.stats().inter_bytes(), 64);
@@ -327,8 +352,20 @@ mod tests {
     fn upi_is_faster_than_cxl() {
         let mut cxl = Noc::new(NocConfig::cxl(2, 8));
         let mut upi = Noc::new(NocConfig::upi(2, 8));
-        let a = cxl.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), 16, MsgClass::Ack);
-        let b = upi.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), 16, MsgClass::Ack);
+        let a = cxl.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(1, 0),
+            16,
+            MsgClass::Ack,
+        );
+        let b = upi.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(1, 0),
+            16,
+            MsgClass::Ack,
+        );
         assert!(b < a);
     }
 
@@ -336,8 +373,20 @@ mod tests {
     fn egress_serialization_backs_up() {
         let mut noc = Noc::new(NocConfig::cxl(2, 8));
         let big = 64 * 1024; // 64 KB: 1 us serialization at 64 B/ns
-        let first = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), big, MsgClass::Data);
-        let second = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), big, MsgClass::Data);
+        let first = noc.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(1, 0),
+            big,
+            MsgClass::Data,
+        );
+        let second = noc.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(1, 0),
+            big,
+            MsgClass::Data,
+        );
         assert!(second >= first + Time::from_us(1));
     }
 
@@ -362,7 +411,13 @@ mod tests {
     fn uncontended_matches_first_send() {
         let mut noc = Noc::new(NocConfig::cxl(2, 8));
         let est = noc.uncontended_latency(TileId::new(0, 2), TileId::new(1, 6), 128);
-        let real = noc.send(Time::ZERO, TileId::new(0, 2), TileId::new(1, 6), 128, MsgClass::Data);
+        let real = noc.send(
+            Time::ZERO,
+            TileId::new(0, 2),
+            TileId::new(1, 6),
+            128,
+            MsgClass::Data,
+        );
         assert_eq!(est, real);
     }
 
@@ -375,9 +430,21 @@ mod tests {
         });
         let mut noc = Noc::new(cfg);
         // Same pod: one pod-switch traversal.
-        let near = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(1, 0), 64, MsgClass::Data);
+        let near = noc.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(1, 0),
+            64,
+            MsgClass::Data,
+        );
         // Cross pod: pod + root.
-        let far = noc.send(Time::ZERO, TileId::new(0, 0), TileId::new(5, 0), 64, MsgClass::Data);
+        let far = noc.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(5, 0),
+            64,
+            MsgClass::Data,
+        );
         assert_eq!(near, Time::from_ns(60) + Time::from_ps(1000));
         assert!(far >= near + Time::from_ns(180));
         assert_eq!(cfg.fabric_latency(0, 3), Time::from_ns(60));
@@ -398,6 +465,12 @@ mod tests {
     #[should_panic(expected = "outside topology")]
     fn bad_tile_panics() {
         let mut noc = Noc::new(NocConfig::cxl(2, 8));
-        noc.send(Time::ZERO, TileId::new(5, 0), TileId::new(0, 0), 1, MsgClass::Ctrl);
+        noc.send(
+            Time::ZERO,
+            TileId::new(5, 0),
+            TileId::new(0, 0),
+            1,
+            MsgClass::Ctrl,
+        );
     }
 }

@@ -72,7 +72,9 @@ impl TrafficStats {
 
     /// Iterates `(class, stats)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (MsgClass, &ClassStats)> {
-        MsgClass::ALL.iter().map(move |&c| (c, &self.classes[c as usize]))
+        MsgClass::ALL
+            .iter()
+            .map(move |&c| (c, &self.classes[c as usize]))
     }
 }
 
@@ -91,7 +93,12 @@ impl IndexMut<MsgClass> for TrafficStats {
 
 impl fmt::Display for TrafficStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "inter {} B in {} msgs", self.inter_bytes(), self.inter_msgs())?;
+        write!(
+            f,
+            "inter {} B in {} msgs",
+            self.inter_bytes(),
+            self.inter_msgs()
+        )?;
         for (c, s) in self.iter() {
             if s.inter_bytes > 0 {
                 write!(f, "; {c:?}={} B", s.inter_bytes)?;

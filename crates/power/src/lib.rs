@@ -42,7 +42,11 @@ impl TableGeometry {
     pub fn new(entries: u64, tag_bits: u32, data_bits: u32) -> Self {
         assert!(entries > 0, "table must have entries");
         assert!(tag_bits + data_bits > 0, "entry must have bits");
-        TableGeometry { entries, tag_bits, data_bits }
+        TableGeometry {
+            entries,
+            tag_bits,
+            data_bits,
+        }
     }
 
     /// Bits per entry.
@@ -121,11 +125,36 @@ pub struct Table3Row {
 /// counters for 16 tracked processors, plus an 8-entry largest-epoch table).
 pub fn table3_rows() -> Vec<Table3Row> {
     let rows = [
-        ("Processor", "store counter", "8", TableGeometry::new(8, 8, 32)),
-        ("Processor", "unAck-ed epoch", "8", TableGeometry::new(8, 8, 8)),
-        ("Directory", "store counter", "8*16", TableGeometry::new(8 * 16, 16, 32)),
-        ("Directory", "notification counter", "16*16", TableGeometry::new(16 * 16, 16, 16)),
-        ("Directory", "largest Comm. epoch", "8", TableGeometry::new(8, 8, 8)),
+        (
+            "Processor",
+            "store counter",
+            "8",
+            TableGeometry::new(8, 8, 32),
+        ),
+        (
+            "Processor",
+            "unAck-ed epoch",
+            "8",
+            TableGeometry::new(8, 8, 8),
+        ),
+        (
+            "Directory",
+            "store counter",
+            "8*16",
+            TableGeometry::new(8 * 16, 16, 32),
+        ),
+        (
+            "Directory",
+            "notification counter",
+            "16*16",
+            TableGeometry::new(16 * 16, 16, 16),
+        ),
+        (
+            "Directory",
+            "largest Comm. epoch",
+            "8",
+            TableGeometry::new(8, 8, 8),
+        ),
     ];
     rows.into_iter()
         .map(|(unit, component, size, geometry)| Table3Row {
@@ -189,29 +218,55 @@ mod tests {
                 row.cost.static_power_mw,
                 paper.1
             );
-            assert!(rel(row.cost.read_energy_nj, paper.2) < 0.07, "{} read", row.component);
-            assert!(rel(row.cost.write_energy_nj, paper.3) < 0.10, "{} write", row.component);
+            assert!(
+                rel(row.cost.read_energy_nj, paper.2) < 0.07,
+                "{} read",
+                row.component
+            );
+            assert!(
+                rel(row.cost.write_energy_nj, paper.3) < 0.10,
+                "{} write",
+                row.component
+            );
         }
     }
 
     #[test]
     fn totals_match_paper_aggregates() {
         let rows = table3_rows();
-        let proc_area: f64 =
-            rows.iter().filter(|r| r.unit == "Processor").map(|r| r.cost.area_mm2).sum();
-        let dir_power: f64 =
-            rows.iter().filter(|r| r.unit == "Directory").map(|r| r.cost.static_power_mw).sum();
-        assert!((proc_area - 0.066).abs() / 0.066 < 0.07, "proc area total {proc_area}");
-        assert!((dir_power - 23.454).abs() / 23.454 < 0.07, "dir power total {dir_power}");
+        let proc_area: f64 = rows
+            .iter()
+            .filter(|r| r.unit == "Processor")
+            .map(|r| r.cost.area_mm2)
+            .sum();
+        let dir_power: f64 = rows
+            .iter()
+            .filter(|r| r.unit == "Directory")
+            .map(|r| r.cost.static_power_mw)
+            .sum();
+        assert!(
+            (proc_area - 0.066).abs() / 0.066 < 0.07,
+            "proc area total {proc_area}"
+        );
+        assert!(
+            (dir_power - 23.454).abs() / 23.454 < 0.07,
+            "dir power total {dir_power}"
+        );
     }
 
     #[test]
     fn overheads_are_negligible_relative_to_llc() {
         let rows = table3_rows();
-        let dir_area: f64 =
-            rows.iter().filter(|r| r.unit == "Directory").map(|r| r.cost.area_mm2).sum();
-        let dir_power: f64 =
-            rows.iter().filter(|r| r.unit == "Directory").map(|r| r.cost.static_power_mw).sum();
+        let dir_area: f64 = rows
+            .iter()
+            .filter(|r| r.unit == "Directory")
+            .map(|r| r.cost.area_mm2)
+            .sum();
+        let dir_power: f64 = rows
+            .iter()
+            .filter(|r| r.unit == "Directory")
+            .map(|r| r.cost.static_power_mw)
+            .sum();
         // Paper: < 1.3% area, < 0.2% power of a host's LLC+directories.
         assert!(dir_area / reference::HOST_LLC_AREA_MM2 < 0.013);
         assert!(dir_power / reference::HOST_LLC_POWER_MW < 0.02);
@@ -225,7 +280,10 @@ mod tests {
             .iter()
             .map(|r| r.cost.write_energy_nj)
             .fold(0.0f64, f64::max);
-        assert!(worst_lookup / transfer < 0.01, "{worst_lookup} / {transfer}");
+        assert!(
+            worst_lookup / transfer < 0.01,
+            "{worst_lookup} / {transfer}"
+        );
     }
 
     #[test]

@@ -80,7 +80,8 @@ impl CordWidths {
 
     /// Exclusive upper bound of the store-counter space.
     pub fn cnt_modulus(&self) -> u64 {
-        1u64.checked_shl(self.cnt_bits.min(63) as u32).unwrap_or(u64::MAX)
+        1u64.checked_shl(self.cnt_bits.min(63) as u32)
+            .unwrap_or(u64::MAX)
     }
 
     /// Wire overhead (bytes) added to every Relaxed store: epoch bits beyond
@@ -106,7 +107,11 @@ impl CordWidths {
 impl Default for CordWidths {
     /// Paper defaults: 8-bit epochs, 32-bit store counters, 8 reserved bits.
     fn default() -> Self {
-        CordWidths { epoch_bits: 8, cnt_bits: 32, reserved_bits: 8 }
+        CordWidths {
+            epoch_bits: 8,
+            cnt_bits: 32,
+            reserved_bits: 8,
+        }
     }
 }
 
@@ -256,8 +261,14 @@ impl SystemConfig {
             "map/noc slice mismatch"
         );
         assert!(self.tables.proc_unacked >= 1, "tables must hold ≥1 entry");
-        assert!(self.tables.dir_cnt_per_proc >= 1, "tables must hold ≥1 entry");
-        assert!(self.tables.dir_noti_per_proc >= 1, "tables must hold ≥1 entry");
+        assert!(
+            self.tables.dir_cnt_per_proc >= 1,
+            "tables must hold ≥1 entry"
+        );
+        assert!(
+            self.tables.dir_noti_per_proc >= 1,
+            "tables must hold ≥1 entry"
+        );
     }
 }
 
@@ -278,7 +289,11 @@ mod tests {
 
     #[test]
     fn wide_epochs_cost_bytes() {
-        let w = CordWidths { epoch_bits: 16, cnt_bits: 32, reserved_bits: 8 };
+        let w = CordWidths {
+            epoch_bits: 16,
+            cnt_bits: 32,
+            reserved_bits: 8,
+        };
         assert_eq!(w.relaxed_overhead_bytes(), 1);
         assert_eq!(w.release_overhead_bytes(), 7);
     }

@@ -285,17 +285,33 @@ mod tests {
         let msg = Msg::new(
             NodeRef::Core(CoreId(0)),
             NodeRef::Dir(DirId(1)),
-            MsgKind::ReadReq { tid: 7, addr: Addr::new(0), bytes: 8 },
+            MsgKind::ReadReq {
+                tid: 7,
+                addr: Addr::new(0),
+                bytes: 8,
+            },
         );
         ctx.send(msg.clone());
-        assert_eq!(fx, vec![CoreEffect::Send { msg, at: Time::ZERO }]);
+        assert_eq!(
+            fx,
+            vec![CoreEffect::Send {
+                msg,
+                at: Time::ZERO
+            }]
+        );
     }
 
     #[test]
     fn storage_totals() {
-        let c = CoreProtoStats { peak_cnt_bytes: 10, peak_other_bytes: 5 };
+        let c = CoreProtoStats {
+            peak_cnt_bytes: 10,
+            peak_other_bytes: 5,
+        };
         assert_eq!(c.peak_total(), 15);
-        let d = DirStorage { peak_lut_bytes: 7, peak_buf_bytes: 3 };
+        let d = DirStorage {
+            peak_lut_bytes: 7,
+            peak_buf_bytes: 3,
+        };
         assert_eq!(d.peak_total(), 10);
     }
 }

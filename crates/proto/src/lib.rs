@@ -34,8 +34,8 @@ mod wb;
 pub use common::{home_dir, ReadPath};
 pub use config::{ConsistencyModel, CordWidths, CostModel, ProtocolKind, SystemConfig, TableSizes};
 pub use engine::{
-    CoreCtx, CoreEffect, CoreProtocol, CoreProtoStats, DirCtx, DirEffect, DirProtocol,
-    DirStorage, Issue, StallCause,
+    CoreCtx, CoreEffect, CoreProtoStats, CoreProtocol, DirCtx, DirEffect, DirProtocol, DirStorage,
+    Issue, StallCause,
 };
 pub use mp::{MpCore, MpDir};
 pub use msg::{CoreId, DirId, Msg, MsgKind, NodeRef, WtMeta, CTRL_BYTES};

@@ -35,7 +35,13 @@ pub struct MpCore {
 impl MpCore {
     /// Creates the engine for core `id` under `cfg`.
     pub fn new(id: CoreId, cfg: &SystemConfig) -> Self {
-        MpCore { id, map: cfg.map, reads: ReadPath::default(), next_tid: 0, pending_atomic: None }
+        MpCore {
+            id,
+            map: cfg.map,
+            reads: ReadPath::default(),
+            next_tid: 0,
+            pending_atomic: None,
+        }
     }
 }
 
@@ -45,19 +51,39 @@ impl CoreProtocol for MpCore {
         // write-through.
         let coerced;
         let op = match *op {
-            Op::StoreWb { addr, bytes, value, ord } => {
-                coerced = Op::Store { addr, bytes, value, ord };
+            Op::StoreWb {
+                addr,
+                bytes,
+                value,
+                ord,
+            } => {
+                coerced = Op::Store {
+                    addr,
+                    bytes,
+                    value,
+                    ord,
+                };
                 &coerced
             }
             _ => op,
         };
         match *op {
-            Op::Store { addr, bytes, value, ord } => {
+            Op::Store {
+                addr,
+                bytes,
+                value,
+                ord,
+            } => {
                 let dir = DirId(self.map.home_dir(addr));
                 ctx.send(Msg::new(
                     NodeRef::Core(self.id),
                     NodeRef::Dir(dir),
-                    MsgKind::MpWrite { addr, bytes, value, strong: ord == StoreOrd::Release },
+                    MsgKind::MpWrite {
+                        addr,
+                        bytes,
+                        value,
+                        strong: ord == StoreOrd::Release,
+                    },
                 ));
                 Issue::Done
             }
@@ -71,7 +97,13 @@ impl CoreProtocol for MpCore {
                 ctx.send(Msg::new(
                     NodeRef::Core(self.id),
                     NodeRef::Dir(dir),
-                    MsgKind::AtomicReq { tid, addr, add, ord, meta: crate::msg::WtMeta::None },
+                    MsgKind::AtomicReq {
+                        tid,
+                        addr,
+                        add,
+                        ord,
+                        meta: crate::msg::WtMeta::None,
+                    },
                 ));
                 Issue::Pending
             }
@@ -97,7 +129,11 @@ impl CoreProtocol for MpCore {
     fn on_msg(&mut self, _from: NodeRef, kind: MsgKind, ctx: &mut CoreCtx<'_>) {
         match kind {
             MsgKind::AtomicResp { tid, old, .. } => {
-                assert_eq!(self.pending_atomic.take(), Some(tid), "unexpected atomic response");
+                assert_eq!(
+                    self.pending_atomic.take(),
+                    Some(tid),
+                    "unexpected atomic response"
+                );
                 ctx.load_done(old);
             }
             MsgKind::ReadResp { tid, value, .. } => self.reads.on_resp(tid, value, ctx),
@@ -121,7 +157,10 @@ impl MpDir {
     /// Creates the engine for directory (destination memory) `id` under
     /// `cfg`.
     pub fn new(id: DirId, cfg: &SystemConfig) -> Self {
-        MpDir { id, llc_access: cfg.costs.llc_access }
+        MpDir {
+            id,
+            llc_access: cfg.costs.llc_access,
+        }
     }
 }
 
@@ -139,7 +178,11 @@ impl DirProtocol for MpDir {
                     Msg::new(
                         NodeRef::Dir(self.id),
                         msg.src,
-                        MsgKind::AtomicResp { tid, old, epoch: None },
+                        MsgKind::AtomicResp {
+                            tid,
+                            old,
+                            epoch: None,
+                        },
                     ),
                 );
             }
@@ -182,16 +225,32 @@ mod tests {
                 addr: Addr::new(i * 64),
                 bytes: 64,
                 value: i,
-                ord: if i == 3 { StoreOrd::Release } else { StoreOrd::Relaxed },
+                ord: if i == 3 {
+                    StoreOrd::Release
+                } else {
+                    StoreOrd::Relaxed
+                },
             };
             assert_eq!(core.issue(&op, &mut ctx), Issue::Done);
         }
         assert_eq!(fx.len(), 4);
         assert!(core.quiesced(), "posted writes never hold the source");
         // release store is flagged strong
-        let strong = fx.iter().filter(|e| matches!(e,
-            CoreEffect::Send { msg: Msg { kind: MsgKind::MpWrite { strong: true, .. }, .. }, .. }
-        )).count();
+        let strong = fx
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    CoreEffect::Send {
+                        msg: Msg {
+                            kind: MsgKind::MpWrite { strong: true, .. },
+                            ..
+                        },
+                        ..
+                    }
+                )
+            })
+            .count();
         assert_eq!(strong, 1);
     }
 
@@ -217,7 +276,12 @@ mod tests {
             let msg = Msg::new(
                 NodeRef::Core(CoreId(8)),
                 NodeRef::Dir(DirId(0)),
-                MsgKind::MpWrite { addr: Addr::new(0x80), bytes: 8, value: v, strong: false },
+                MsgKind::MpWrite {
+                    addr: Addr::new(0x80),
+                    bytes: 8,
+                    value: v,
+                    strong: false,
+                },
             );
             dir.on_msg(msg, &mut DirCtx::new(Time::ZERO, &mut mem, &mut fx));
         }
@@ -235,7 +299,12 @@ mod tests {
 
         let mut fx = Vec::new();
         let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
-        let op = Op::Load { addr: Addr::new(0x100), bytes: 8, ord: LoadOrd::Acquire, reg: 1 };
+        let op = Op::Load {
+            addr: Addr::new(0x100),
+            bytes: 8,
+            ord: LoadOrd::Acquire,
+            reg: 1,
+        };
         assert_eq!(core.issue(&op, &mut ctx), Issue::Pending);
         assert!(!core.quiesced());
         let req = match &fx[0] {

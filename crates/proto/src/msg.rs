@@ -306,7 +306,12 @@ impl Msg {
     /// `meta_overhead` bytes of ordering metadata.
     pub fn sized(src: NodeRef, dst: NodeRef, kind: MsgKind, meta_overhead: u64) -> Self {
         let bytes = kind.base_bytes() + meta_overhead;
-        Msg { src, dst, kind, bytes }
+        Msg {
+            src,
+            dst,
+            kind,
+            bytes,
+        }
     }
 
     /// Creates a message with no metadata overhead.
@@ -339,17 +344,32 @@ mod tests {
     #[test]
     fn sizes_include_payload() {
         assert_eq!(store(64, true).base_bytes(), 80);
-        assert_eq!(MsgKind::WtAck { tid: 1, epoch: None }.base_bytes(), 16);
-        assert_eq!(MsgKind::ReqNotify {
-            core: CoreId(0),
-            ep: 0,
-            relaxed_cnt: 0,
-            last_unacked_ep: None,
-            noti_dst: DirId(1),
-        }
-        .base_bytes(), 24);
         assert_eq!(
-            MsgKind::ReadResp { tid: 0, value: 0, bytes: 8 }.base_bytes(),
+            MsgKind::WtAck {
+                tid: 1,
+                epoch: None
+            }
+            .base_bytes(),
+            16
+        );
+        assert_eq!(
+            MsgKind::ReqNotify {
+                core: CoreId(0),
+                ep: 0,
+                relaxed_cnt: 0,
+                last_unacked_ep: None,
+                noti_dst: DirId(1),
+            }
+            .base_bytes(),
+            24
+        );
+        assert_eq!(
+            MsgKind::ReadResp {
+                tid: 0,
+                value: 0,
+                bytes: 8
+            }
+            .base_bytes(),
             24
         );
     }
@@ -357,14 +377,41 @@ mod tests {
     #[test]
     fn classes_match_paper_accounting() {
         assert_eq!(store(8, false).class(), MsgClass::Data);
-        assert_eq!(MsgKind::WtAck { tid: 0, epoch: None }.class(), MsgClass::Ack);
-        assert_eq!(MsgKind::Notify { core: CoreId(0), ep: 1 }.class(), MsgClass::Notify);
         assert_eq!(
-            MsgKind::ReadReq { tid: 0, addr: Addr::new(0), bytes: 8 }.class(),
+            MsgKind::WtAck {
+                tid: 0,
+                epoch: None
+            }
+            .class(),
+            MsgClass::Ack
+        );
+        assert_eq!(
+            MsgKind::Notify {
+                core: CoreId(0),
+                ep: 1
+            }
+            .class(),
+            MsgClass::Notify
+        );
+        assert_eq!(
+            MsgKind::ReadReq {
+                tid: 0,
+                addr: Addr::new(0),
+                bytes: 8
+            }
+            .class(),
             MsgClass::Ctrl
         );
-        let clean = MsgKind::InvAck { tid: 0, line: Addr::new(0), values: vec![] };
-        let dirty = MsgKind::InvAck { tid: 0, line: Addr::new(0), values: vec![(Addr::new(0), 1)] };
+        let clean = MsgKind::InvAck {
+            tid: 0,
+            line: Addr::new(0),
+            values: vec![],
+        };
+        let dirty = MsgKind::InvAck {
+            tid: 0,
+            line: Addr::new(0),
+            values: vec![(Addr::new(0), 1)],
+        };
         assert_eq!(clean.class(), MsgClass::Ctrl);
         assert_eq!(dirty.class(), MsgClass::Data);
         assert_eq!(clean.base_bytes(), 16);

@@ -135,14 +135,38 @@ impl Op {
     /// Short human-readable mnemonic, used in traces and error messages.
     pub fn mnemonic(&self) -> &'static str {
         match self {
-            Op::Store { ord: StoreOrd::Relaxed, .. } => "st.rlx",
-            Op::Store { ord: StoreOrd::Release, .. } => "st.rel",
-            Op::StoreWb { ord: StoreOrd::Relaxed, .. } => "stwb.rlx",
-            Op::StoreWb { ord: StoreOrd::Release, .. } => "stwb.rel",
-            Op::Load { ord: LoadOrd::Relaxed, .. } => "ld.rlx",
-            Op::Load { ord: LoadOrd::Acquire, .. } => "ld.acq",
-            Op::AtomicRmw { ord: StoreOrd::Relaxed, .. } => "amo.rlx",
-            Op::AtomicRmw { ord: StoreOrd::Release, .. } => "amo.rel",
+            Op::Store {
+                ord: StoreOrd::Relaxed,
+                ..
+            } => "st.rlx",
+            Op::Store {
+                ord: StoreOrd::Release,
+                ..
+            } => "st.rel",
+            Op::StoreWb {
+                ord: StoreOrd::Relaxed,
+                ..
+            } => "stwb.rlx",
+            Op::StoreWb {
+                ord: StoreOrd::Release,
+                ..
+            } => "stwb.rel",
+            Op::Load {
+                ord: LoadOrd::Relaxed,
+                ..
+            } => "ld.rlx",
+            Op::Load {
+                ord: LoadOrd::Acquire,
+                ..
+            } => "ld.acq",
+            Op::AtomicRmw {
+                ord: StoreOrd::Relaxed,
+                ..
+            } => "amo.rlx",
+            Op::AtomicRmw {
+                ord: StoreOrd::Release,
+                ..
+            } => "amo.rel",
             Op::BulkRead { .. } => "ld.bulk",
             Op::WaitValue { .. } => "wait",
             Op::Compute { .. } => "compute",
@@ -221,14 +245,24 @@ impl Program {
     pub fn release_count(&self) -> u64 {
         self.ops
             .iter()
-            .filter(|op| matches!(op, Op::Store { ord: StoreOrd::Release, .. }))
+            .filter(|op| {
+                matches!(
+                    op,
+                    Op::Store {
+                        ord: StoreOrd::Release,
+                        ..
+                    }
+                )
+            })
             .count() as u64
     }
 }
 
 impl FromIterator<Op> for Program {
     fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
-        Program { ops: iter.into_iter().collect() }
+        Program {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -247,7 +281,12 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Appends a store.
     pub fn store(mut self, addr: Addr, bytes: u32, value: u64, ord: StoreOrd) -> Self {
-        self.ops.push(Op::Store { addr, bytes, value, ord });
+        self.ops.push(Op::Store {
+            addr,
+            bytes,
+            value,
+            ord,
+        });
         self
     }
 
@@ -263,19 +302,34 @@ impl ProgramBuilder {
 
     /// Appends a blocking load into `reg`.
     pub fn load(mut self, addr: Addr, bytes: u32, ord: LoadOrd, reg: u8) -> Self {
-        self.ops.push(Op::Load { addr, bytes, ord, reg });
+        self.ops.push(Op::Load {
+            addr,
+            bytes,
+            ord,
+            reg,
+        });
         self
     }
 
     /// Appends a write-back store (§4.4).
     pub fn store_wb(mut self, addr: Addr, bytes: u32, value: u64, ord: StoreOrd) -> Self {
-        self.ops.push(Op::StoreWb { addr, bytes, value, ord });
+        self.ops.push(Op::StoreWb {
+            addr,
+            bytes,
+            value,
+            ord,
+        });
         self
     }
 
     /// Appends an atomic fetch-add; the old value lands in `reg`.
     pub fn fetch_add(mut self, addr: Addr, add: u64, ord: StoreOrd, reg: u8) -> Self {
-        self.ops.push(Op::AtomicRmw { addr, add, ord, reg });
+        self.ops.push(Op::AtomicRmw {
+            addr,
+            add,
+            ord,
+            reg,
+        });
         self
     }
 
@@ -287,7 +341,11 @@ impl ProgramBuilder {
 
     /// Appends an Acquire poll until `addr == expect`.
     pub fn wait_value(mut self, addr: Addr, expect: u64) -> Self {
-        self.ops.push(Op::WaitValue { addr, expect, ord: LoadOrd::Acquire });
+        self.ops.push(Op::WaitValue {
+            addr,
+            expect,
+            ord: LoadOrd::Acquire,
+        });
         self
     }
 
@@ -356,7 +414,9 @@ mod tests {
 
     #[test]
     fn bulk_store_splits_and_handles_remainder() {
-        let p = Program::build().bulk_store(Addr::new(0x1000), 200, 64, 7).finish();
+        let p = Program::build()
+            .bulk_store(Addr::new(0x1000), 200, 64, 7)
+            .finish();
         assert_eq!(p.len(), 4); // 64+64+64+8
         let sizes: Vec<u32> = p
             .iter()
@@ -375,8 +435,14 @@ mod tests {
 
     #[test]
     fn from_iter_and_extend() {
-        let mut p: Program = vec![Op::Compute { dur: Time::from_ns(1) }].into_iter().collect();
-        p.extend([Op::Fence { kind: FenceKind::Full }]);
+        let mut p: Program = vec![Op::Compute {
+            dur: Time::from_ns(1),
+        }]
+        .into_iter()
+        .collect();
+        p.extend([Op::Fence {
+            kind: FenceKind::Full,
+        }]);
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
         assert!(Program::new().is_empty());
@@ -384,8 +450,18 @@ mod tests {
 
     #[test]
     fn mnemonics_cover_loads() {
-        let acq = Op::Load { addr: Addr::new(0), bytes: 8, ord: LoadOrd::Acquire, reg: 0 };
-        let rlx = Op::Load { addr: Addr::new(0), bytes: 8, ord: LoadOrd::Relaxed, reg: 0 };
+        let acq = Op::Load {
+            addr: Addr::new(0),
+            bytes: 8,
+            ord: LoadOrd::Acquire,
+            reg: 0,
+        };
+        let rlx = Op::Load {
+            addr: Addr::new(0),
+            bytes: 8,
+            ord: LoadOrd::Relaxed,
+            reg: 0,
+        };
         assert_eq!(acq.mnemonic(), "ld.acq");
         assert_eq!(rlx.mnemonic(), "ld.rlx");
     }

@@ -85,14 +85,29 @@ impl CoreProtocol for SeqCore {
         // write-through.
         let coerced;
         let op = match *op {
-            Op::StoreWb { addr, bytes, value, ord } => {
-                coerced = Op::Store { addr, bytes, value, ord };
+            Op::StoreWb {
+                addr,
+                bytes,
+                value,
+                ord,
+            } => {
+                coerced = Op::Store {
+                    addr,
+                    bytes,
+                    value,
+                    ord,
+                };
                 &coerced
             }
             _ => op,
         };
         match *op {
-            Op::Store { addr, bytes, value, ord } => {
+            Op::Store {
+                addr,
+                bytes,
+                value,
+                ord,
+            } => {
                 let dir = home_dir(&self.map, addr);
                 let modulus = self.modulus();
                 let stream = self.streams.entry(dir).or_default();
@@ -148,7 +163,13 @@ impl CoreProtocol for SeqCore {
                 ctx.send(Msg::sized(
                     NodeRef::Core(self.id),
                     NodeRef::Dir(dir),
-                    MsgKind::AtomicReq { tid, addr, add, ord: StoreOrd::Relaxed, meta: WtMeta::Seq { seq } },
+                    MsgKind::AtomicReq {
+                        tid,
+                        addr,
+                        add,
+                        ord: StoreOrd::Relaxed,
+                        meta: WtMeta::Seq { seq },
+                    },
                     self.overhead,
                 ));
                 Issue::Pending
@@ -267,7 +288,11 @@ impl SeqDir {
                 Msg::new(
                     NodeRef::Dir(self.id),
                     store.src,
-                    MsgKind::AtomicResp { tid: store.tid, old, epoch: None },
+                    MsgKind::AtomicResp {
+                        tid: store.tid,
+                        old,
+                        epoch: None,
+                    },
                 ),
             );
             return;
@@ -279,7 +304,10 @@ impl SeqDir {
                 Msg::new(
                     NodeRef::Dir(self.id),
                     store.src,
-                    MsgKind::WtAck { tid: store.tid, epoch: None },
+                    MsgKind::WtAck {
+                        tid: store.tid,
+                        epoch: None,
+                    },
                 ),
             );
         }
@@ -289,7 +317,14 @@ impl SeqDir {
 impl DirProtocol for SeqDir {
     fn on_msg(&mut self, msg: Msg, ctx: &mut DirCtx<'_>) {
         match msg.kind {
-            MsgKind::WtStore { tid, addr, value, needs_ack, meta, .. } => {
+            MsgKind::WtStore {
+                tid,
+                addr,
+                value,
+                needs_ack,
+                meta,
+                ..
+            } => {
                 let seq = match meta {
                     WtMeta::Seq { seq } => seq,
                     other => panic!("SeqDir: store without sequence number: {other:?}"),
@@ -299,8 +334,15 @@ impl DirProtocol for SeqDir {
                     other => panic!("SeqDir: store from non-core {other:?}"),
                 };
                 let modulus = self.modulus();
-                let held =
-                    HeldStore { src: msg.src, tid, addr, value, needs_ack, bytes: msg.bytes, atomic: None };
+                let held = HeldStore {
+                    src: msg.src,
+                    tid,
+                    addr,
+                    value,
+                    needs_ack,
+                    bytes: msg.bytes,
+                    atomic: None,
+                };
                 let stream = self.streams.entry(core).or_default();
                 if seq != stream.expected {
                     // Out-of-order arrival: hold until the gap fills.
@@ -325,7 +367,13 @@ impl DirProtocol for SeqDir {
                     }
                 }
             }
-            MsgKind::AtomicReq { tid, addr, add, meta, .. } => {
+            MsgKind::AtomicReq {
+                tid,
+                addr,
+                add,
+                meta,
+                ..
+            } => {
                 let seq = match meta {
                     WtMeta::Seq { seq } => seq,
                     other => panic!("SeqDir: atomic without sequence number: {other:?}"),
@@ -400,7 +448,12 @@ mod tests {
     }
 
     fn store_op(addr: u64) -> Op {
-        Op::Store { addr: Addr::new(addr), bytes: 8, value: 1, ord: StoreOrd::Relaxed }
+        Op::Store {
+            addr: Addr::new(addr),
+            bytes: 8,
+            value: 1,
+            ord: StoreOrd::Relaxed,
+        }
     }
 
     #[test]
@@ -411,7 +464,11 @@ mod tests {
         let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
         // line numbers ≡ 0 (mod 8) all home on slice 0 of host 0
         for i in 0..4 {
-            assert_eq!(core.issue(&store_op(i * 512), &mut ctx), Issue::Done, "store {i}");
+            assert_eq!(
+                core.issue(&store_op(i * 512), &mut ctx),
+                Issue::Done,
+                "store {i}"
+            );
         }
         assert_eq!(
             core.issue(&store_op(4 * 512), &mut ctx),
@@ -421,7 +478,14 @@ mod tests {
         let wrap_tid = 3;
         let mut fx2 = Vec::new();
         let mut ctx2 = CoreCtx::new(Time::from_ns(500), &mut fx2);
-        core.on_msg(NodeRef::Dir(DirId(0)), MsgKind::WtAck { tid: wrap_tid, epoch: None }, &mut ctx2);
+        core.on_msg(
+            NodeRef::Dir(DirId(0)),
+            MsgKind::WtAck {
+                tid: wrap_tid,
+                epoch: None,
+            },
+            &mut ctx2,
+        );
         assert!(fx2.iter().any(|e| matches!(e, CoreEffect::Wake(_))));
         let mut fx3 = Vec::new();
         let mut ctx3 = CoreCtx::new(Time::from_ns(501), &mut fx3);

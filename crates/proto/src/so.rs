@@ -101,7 +101,12 @@ impl SoCore {
 
     fn issue_rc(&mut self, op: &Op, ctx: &mut CoreCtx<'_>) -> Issue {
         match *op {
-            Op::Store { addr, bytes, value, ord } => {
+            Op::Store {
+                addr,
+                bytes,
+                value,
+                ord,
+            } => {
                 if ord == StoreOrd::Release && self.outstanding > 0 {
                     // The source may not issue a Release until every prior
                     // write-through access is acknowledged (paper Fig. 1).
@@ -127,7 +132,13 @@ impl SoCore {
                 ctx.send(Msg::new(
                     NodeRef::Core(self.id),
                     NodeRef::Dir(dir),
-                    MsgKind::AtomicReq { tid, addr, add, ord, meta: WtMeta::None },
+                    MsgKind::AtomicReq {
+                        tid,
+                        addr,
+                        add,
+                        ord,
+                        meta: WtMeta::None,
+                    },
                 ));
                 Issue::Pending
             }
@@ -160,11 +171,21 @@ impl SoCore {
 
     fn issue_tso(&mut self, op: &Op, ctx: &mut CoreCtx<'_>) -> Issue {
         match *op {
-            Op::Store { addr, bytes, value, ord } => {
+            Op::Store {
+                addr,
+                bytes,
+                value,
+                ord,
+            } => {
                 if self.buffer.len() >= self.tso_buffer_cap {
                     return Issue::Stall(StallCause::StoreBuffer);
                 }
-                self.buffer.push_back(BufferedStore { addr, bytes, value, ord });
+                self.buffer.push_back(BufferedStore {
+                    addr,
+                    bytes,
+                    value,
+                    ord,
+                });
                 self.drain_tso(ctx);
                 Issue::Done
             }
@@ -182,7 +203,13 @@ impl SoCore {
                 ctx.send(Msg::new(
                     NodeRef::Core(self.id),
                     NodeRef::Dir(dir),
-                    MsgKind::AtomicReq { tid, addr, add, ord, meta: WtMeta::None },
+                    MsgKind::AtomicReq {
+                        tid,
+                        addr,
+                        add,
+                        ord,
+                        meta: WtMeta::None,
+                    },
                 ));
                 Issue::Pending
             }
@@ -233,8 +260,18 @@ impl CoreProtocol for SoCore {
         // write-through.
         let coerced;
         let op = match *op {
-            Op::StoreWb { addr, bytes, value, ord } => {
-                coerced = Op::Store { addr, bytes, value, ord };
+            Op::StoreWb {
+                addr,
+                bytes,
+                value,
+                ord,
+            } => {
+                coerced = Op::Store {
+                    addr,
+                    bytes,
+                    value,
+                    ord,
+                };
                 &coerced
             }
             _ => op,
@@ -260,7 +297,11 @@ impl CoreProtocol for SoCore {
                 }
             }
             MsgKind::AtomicResp { tid, old, .. } => {
-                assert_eq!(self.pending_atomic.take(), Some(tid), "unexpected atomic response");
+                assert_eq!(
+                    self.pending_atomic.take(),
+                    Some(tid),
+                    "unexpected atomic response"
+                );
                 debug_assert!(self.outstanding > 0);
                 self.outstanding -= 1;
                 ctx.load_done(old);
@@ -292,14 +333,23 @@ pub struct SoDir {
 impl SoDir {
     /// Creates the engine for directory `id` under `cfg`.
     pub fn new(id: DirId, cfg: &SystemConfig) -> Self {
-        SoDir { id, llc_access: cfg.costs.llc_access }
+        SoDir {
+            id,
+            llc_access: cfg.costs.llc_access,
+        }
     }
 }
 
 impl DirProtocol for SoDir {
     fn on_msg(&mut self, msg: Msg, ctx: &mut DirCtx<'_>) {
         match msg.kind {
-            MsgKind::WtStore { tid, addr, value, needs_ack, .. } => {
+            MsgKind::WtStore {
+                tid,
+                addr,
+                value,
+                needs_ack,
+                ..
+            } => {
                 ctx.mem.store(addr, value);
                 if needs_ack {
                     ctx.send_after(
@@ -319,7 +369,11 @@ impl DirProtocol for SoDir {
                     Msg::new(
                         NodeRef::Dir(self.id),
                         msg.src,
-                        MsgKind::AtomicResp { tid, old, epoch: None },
+                        MsgKind::AtomicResp {
+                            tid,
+                            old,
+                            epoch: None,
+                        },
                     ),
                 );
             }
@@ -352,7 +406,12 @@ mod tests {
     }
 
     fn store_op(addr: u64, ord: StoreOrd) -> Op {
-        Op::Store { addr: Addr::new(addr), bytes: 64, value: 1, ord }
+        Op::Store {
+            addr: Addr::new(addr),
+            bytes: 64,
+            value: 1,
+            ord,
+        }
     }
 
     fn run_issue(core: &mut SoCore, op: &Op) -> (Issue, Vec<CoreEffect>) {
@@ -418,12 +477,27 @@ mod tests {
         let c = cfg();
         let mut core = SoCore::new(CoreId(0), &c);
         run_issue(&mut core, &store_op(0, StoreOrd::Relaxed));
-        let (r, _) = run_issue(&mut core, &Op::Fence { kind: FenceKind::Release });
+        let (r, _) = run_issue(
+            &mut core,
+            &Op::Fence {
+                kind: FenceKind::Release,
+            },
+        );
         assert_eq!(r, Issue::Stall(StallCause::AckWait));
-        let (r, _) = run_issue(&mut core, &Op::Fence { kind: FenceKind::Acquire });
+        let (r, _) = run_issue(
+            &mut core,
+            &Op::Fence {
+                kind: FenceKind::Acquire,
+            },
+        );
         assert_eq!(r, Issue::Done);
         deliver_ack(&mut core, 0);
-        let (r, _) = run_issue(&mut core, &Op::Fence { kind: FenceKind::Full });
+        let (r, _) = run_issue(
+            &mut core,
+            &Op::Fence {
+                kind: FenceKind::Full,
+            },
+        );
         assert_eq!(r, Issue::Done);
     }
 
@@ -454,7 +528,12 @@ mod tests {
         assert_eq!(dfx.len(), 1); // the ack
 
         // Now load it back.
-        let op = Op::Load { addr: Addr::new(0x40), bytes: 8, ord: LoadOrd::Acquire, reg: 0 };
+        let op = Op::Load {
+            addr: Addr::new(0x40),
+            bytes: 8,
+            ord: LoadOrd::Acquire,
+            reg: 0,
+        };
         let (r, fx) = run_issue(&mut core, &op);
         assert_eq!(r, Issue::Pending);
         let req = match &fx[0] {
@@ -462,7 +541,10 @@ mod tests {
             other => panic!("expected send, got {other:?}"),
         };
         dfx.clear();
-        dir.on_msg(req, &mut DirCtx::new(Time::from_ns(200), &mut mem, &mut dfx));
+        dir.on_msg(
+            req,
+            &mut DirCtx::new(Time::from_ns(200), &mut mem, &mut dfx),
+        );
         let resp = match &dfx[0] {
             crate::engine::DirEffect::Send { msg, .. } => msg.clone(),
             other => panic!("expected send, got {other:?}"),
@@ -470,7 +552,9 @@ mod tests {
         let mut fx2 = Vec::new();
         let mut ctx = CoreCtx::new(Time::from_ns(400), &mut fx2);
         core.on_msg(resp.src, resp.kind, &mut ctx);
-        assert!(fx2.iter().any(|e| matches!(e, CoreEffect::LoadDone { value: 77 })));
+        assert!(fx2
+            .iter()
+            .any(|e| matches!(e, CoreEffect::LoadDone { value: 77 })));
     }
 
     #[test]
@@ -485,7 +569,9 @@ mod tests {
     }
 
     fn count_sends(fx: &[CoreEffect]) -> usize {
-        fx.iter().filter(|e| matches!(e, CoreEffect::Send { .. })).count()
+        fx.iter()
+            .filter(|e| matches!(e, CoreEffect::Send { .. }))
+            .count()
     }
 
     #[test]
@@ -494,22 +580,41 @@ mod tests {
         let mut core = SoCore::new(CoreId(0), &c);
         let mut fx = Vec::new();
         let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
-        let op = Op::AtomicRmw { addr: Addr::new(0x40), add: 3, ord: StoreOrd::Relaxed, reg: 1 };
+        let op = Op::AtomicRmw {
+            addr: Addr::new(0x40),
+            add: 3,
+            ord: StoreOrd::Relaxed,
+            reg: 1,
+        };
         assert_eq!(core.issue(&op, &mut ctx), Issue::Pending);
         assert_eq!(core.outstanding(), 1);
         assert!(!core.quiesced());
         // A Release store must wait for the atomic's completion.
-        let rel = Op::Store { addr: Addr::new(0x80), bytes: 8, value: 1, ord: StoreOrd::Release };
-        assert_eq!(core.issue(&rel, &mut ctx), Issue::Stall(StallCause::AckWait));
+        let rel = Op::Store {
+            addr: Addr::new(0x80),
+            bytes: 8,
+            value: 1,
+            ord: StoreOrd::Release,
+        };
+        assert_eq!(
+            core.issue(&rel, &mut ctx),
+            Issue::Stall(StallCause::AckWait)
+        );
         // The response completes the frontend load and drains outstanding.
         let mut fx2 = Vec::new();
         let mut ctx2 = CoreCtx::new(Time::from_ns(500), &mut fx2);
         core.on_msg(
             NodeRef::Dir(DirId(0)),
-            MsgKind::AtomicResp { tid: 0, old: 9, epoch: None },
+            MsgKind::AtomicResp {
+                tid: 0,
+                old: 9,
+                epoch: None,
+            },
             &mut ctx2,
         );
-        assert!(fx2.iter().any(|e| matches!(e, CoreEffect::LoadDone { value: 9 })));
+        assert!(fx2
+            .iter()
+            .any(|e| matches!(e, CoreEffect::LoadDone { value: 9 })));
         assert!(core.quiesced());
         let mut fx3 = Vec::new();
         let mut ctx3 = CoreCtx::new(Time::from_ns(501), &mut fx3);
@@ -538,7 +643,14 @@ mod tests {
         assert_eq!(mem.peek(Addr::new(0x40)), 15);
         match &fx[0] {
             crate::engine::DirEffect::Send { msg, .. } => {
-                assert!(matches!(msg.kind, MsgKind::AtomicResp { tid: 7, old: 10, .. }));
+                assert!(matches!(
+                    msg.kind,
+                    MsgKind::AtomicResp {
+                        tid: 7,
+                        old: 10,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }

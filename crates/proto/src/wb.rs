@@ -114,15 +114,27 @@ impl WbCore {
         self.next_tid += 1;
         let dir = self.home(line);
         let kind = if exclusive {
-            MsgKind::GetM { tid, line: line.base() }
+            MsgKind::GetM {
+                tid,
+                line: line.base(),
+            }
         } else {
-            MsgKind::GetS { tid, line: line.base() }
+            MsgKind::GetS {
+                tid,
+                line: line.base(),
+            }
         };
         ctx.send(Msg::new(NodeRef::Core(self.id), NodeRef::Dir(dir), kind));
     }
 
     /// Performs one store; returns `None` on success or a stall cause.
-    fn do_store(&mut self, addr: Addr, bytes: u32, value: u64, ctx: &mut CoreCtx<'_>) -> Option<StallCause> {
+    fn do_store(
+        &mut self,
+        addr: Addr,
+        bytes: u32,
+        value: u64,
+        ctx: &mut CoreCtx<'_>,
+    ) -> Option<StallCause> {
         // A bulk store may span lines; ownership is modeled per first line
         // (spanning lines would just multiply GetMs proportionally, which the
         // workloads avoid by line-aligning stores).
@@ -254,14 +266,19 @@ impl WbCore {
             ctx.load_done(v);
             return Issue::Pending;
         }
-        self.bulk = Some(BulkSt { remaining, first_word: addr.word() });
+        self.bulk = Some(BulkSt {
+            remaining,
+            first_word: addr.word(),
+        });
         self.pending_load = true;
         Issue::Pending
     }
 
     fn drain_tso(&mut self, ctx: &mut CoreCtx<'_>) {
         while !self.tso_inflight {
-            let Some(s) = self.buffer.front().copied() else { break };
+            let Some(s) = self.buffer.front().copied() else {
+                break;
+            };
             match self.do_store(s.addr, s.bytes, s.value, ctx) {
                 None => {
                     self.buffer.pop_front();
@@ -275,9 +292,18 @@ impl WbCore {
         }
     }
 
-    fn fill(&mut self, line: LineAddr, values: Vec<(Addr, u64)>, exclusive: bool, ctx: &mut CoreCtx<'_>) {
+    fn fill(
+        &mut self,
+        line: LineAddr,
+        values: Vec<(Addr, u64)>,
+        exclusive: bool,
+        ctx: &mut CoreCtx<'_>,
+    ) {
         let m = self.mshrs.remove(&line).expect("fill without MSHR");
-        let mut wl = WbLine { excl: exclusive, vals: values.into_iter().collect() };
+        let mut wl = WbLine {
+            excl: exclusive,
+            vals: values.into_iter().collect(),
+        };
         let mut dirty = !m.pending_writes.is_empty();
         for (a, v) in &m.pending_writes {
             wl.vals.insert(*a, *v);
@@ -289,7 +315,9 @@ impl WbCore {
             atomic_old = Some(old);
             dirty = true;
         }
-        let load_value = m.waiting_load.map(|a| wl.vals.get(&a).copied().unwrap_or(0));
+        let load_value = m
+            .waiting_load
+            .map(|a| wl.vals.get(&a).copied().unwrap_or(0));
         if let Some(ev) = self.cache.insert(line, wl) {
             if ev.dirty {
                 let dir = self.home(ev.line);
@@ -356,14 +384,29 @@ impl CoreProtocol for WbCore {
         // Everything is write-back here: StoreWb and Store are the same.
         let coerced;
         let op = match *op {
-            Op::StoreWb { addr, bytes, value, ord } => {
-                coerced = Op::Store { addr, bytes, value, ord };
+            Op::StoreWb {
+                addr,
+                bytes,
+                value,
+                ord,
+            } => {
+                coerced = Op::Store {
+                    addr,
+                    bytes,
+                    value,
+                    ord,
+                };
                 &coerced
             }
             _ => op,
         };
         match *op {
-            Op::Store { addr, bytes, value, ord } => match self.model {
+            Op::Store {
+                addr,
+                bytes,
+                value,
+                ord,
+            } => match self.model {
                 ConsistencyModel::Rc => {
                     if ord == StoreOrd::Release && self.outstanding_stores > 0 {
                         // WB remains source-ordered: a Release waits for all
@@ -441,7 +484,12 @@ impl CoreProtocol for WbCore {
 
     fn on_msg(&mut self, _from: NodeRef, kind: MsgKind, ctx: &mut CoreCtx<'_>) {
         match kind {
-            MsgKind::DataResp { line, values, exclusive, .. } => {
+            MsgKind::DataResp {
+                line,
+                values,
+                exclusive,
+                ..
+            } => {
                 self.fill(line.line(), values, exclusive, ctx);
             }
             MsgKind::FwdGetS { tid, line } => {
@@ -450,7 +498,8 @@ impl CoreProtocol for WbCore {
                 let values = match self.cache.lookup(l) {
                     Some(wl) => {
                         wl.excl = false;
-                        let vals: Vec<(Addr, u64)> = wl.vals.iter().map(|(&a, &v)| (a, v)).collect();
+                        let vals: Vec<(Addr, u64)> =
+                            wl.vals.iter().map(|(&a, &v)| (a, v)).collect();
                         let dirty = self.cache.is_dirty(l);
                         self.cache.clear_dirty(l);
                         if dirty {
@@ -534,11 +583,23 @@ impl WbDir {
         );
     }
 
-    fn data_resp(&self, dst: CoreId, tid: u64, line: LineAddr, exclusive: bool, ctx: &mut DirCtx<'_>) {
+    fn data_resp(
+        &self,
+        dst: CoreId,
+        tid: u64,
+        line: LineAddr,
+        exclusive: bool,
+        ctx: &mut DirCtx<'_>,
+    ) {
         let values = ctx.mem.line_values(line);
         self.reply(
             dst,
-            MsgKind::DataResp { tid, line: line.base(), values, exclusive },
+            MsgKind::DataResp {
+                tid,
+                line: line.base(),
+                values,
+                exclusive,
+            },
             ctx,
         );
     }
@@ -565,7 +626,12 @@ impl WbDir {
                     Some(o) if o != requester => {
                         self.busy.insert(
                             l,
-                            Txn { requester, tid, expect_acks: 1, downgrading: Some(o) },
+                            Txn {
+                                requester,
+                                tid,
+                                expect_acks: 1,
+                                downgrading: Some(o),
+                            },
                         );
                         self.reply(o, MsgKind::FwdGetS { tid, line }, ctx);
                     }
@@ -611,7 +677,12 @@ impl WbDir {
                 } else {
                     self.busy.insert(
                         l,
-                        Txn { requester, tid, expect_acks: copies.len(), downgrading: None },
+                        Txn {
+                            requester,
+                            tid,
+                            expect_acks: copies.len(),
+                            downgrading: None,
+                        },
                     );
                     for c in copies {
                         self.reply(c, MsgKind::Inv { tid, line }, ctx);
@@ -742,7 +813,8 @@ mod tests {
                 match m.dst {
                     NodeRef::Dir(_) => {
                         let mut dfx = Vec::new();
-                        self.dir.on_msg(m, &mut DirCtx::new(self.now, &mut self.mem, &mut dfx));
+                        self.dir
+                            .on_msg(m, &mut DirCtx::new(self.now, &mut self.mem, &mut dfx));
                         for e in dfx {
                             if let DirEffect::Send { msg, .. } = e {
                                 core_queue.push(msg);
@@ -752,7 +824,11 @@ mod tests {
                     NodeRef::Core(CoreId(c)) => {
                         let mut cfx = Vec::new();
                         let (src, kind) = (m.src, m.kind);
-                        self.cores[c as usize].on_msg(src, kind, &mut CoreCtx::new(self.now, &mut cfx));
+                        self.cores[c as usize].on_msg(
+                            src,
+                            kind,
+                            &mut CoreCtx::new(self.now, &mut cfx),
+                        );
                         for e in cfx {
                             match e {
                                 CoreEffect::Send { msg, .. } => core_queue.push(msg),
@@ -767,11 +843,21 @@ mod tests {
     }
 
     fn st(addr: u64, v: u64, ord: StoreOrd) -> Op {
-        Op::Store { addr: Addr::new(addr), bytes: 8, value: v, ord }
+        Op::Store {
+            addr: Addr::new(addr),
+            bytes: 8,
+            value: v,
+            ord,
+        }
     }
 
     fn ld(addr: u64) -> Op {
-        Op::Load { addr: Addr::new(addr), bytes: 8, ord: LoadOrd::Acquire, reg: 0 }
+        Op::Load {
+            addr: Addr::new(addr),
+            bytes: 8,
+            ord: LoadOrd::Acquire,
+            reg: 0,
+        }
     }
 
     #[test]
@@ -783,7 +869,10 @@ mod tests {
         // Second store to the same line hits in M.
         let (r2, fx2) = rig.issue(0, &st(0x48, 8, StoreOrd::Relaxed));
         assert_eq!(r2, Issue::Done);
-        assert!(fx2.iter().all(|e| !matches!(e, CoreEffect::Send { .. })), "hit sends nothing");
+        assert!(
+            fx2.iter().all(|e| !matches!(e, CoreEffect::Send { .. })),
+            "hit sends nothing"
+        );
     }
 
     #[test]
@@ -793,15 +882,21 @@ mod tests {
         // Consumer load forwards from the owner through the directory.
         let (_, fx) = rig.issue(1, &ld(0x40));
         assert!(
-            fx.iter().any(|e| matches!(e, CoreEffect::LoadDone { value: 42 })),
+            fx.iter()
+                .any(|e| matches!(e, CoreEffect::LoadDone { value: 42 })),
             "consumer must observe the produced value, got {fx:?}"
         );
         // Producer was downgraded: a later producer store re-acquires M.
         let (_, fx2) = rig.issue(0, &st(0x40, 43, StoreOrd::Relaxed));
-        let sends = fx2.iter().filter(|e| matches!(e, CoreEffect::Send { .. })).count();
+        let sends = fx2
+            .iter()
+            .filter(|e| matches!(e, CoreEffect::Send { .. }))
+            .count();
         assert!(sends >= 1, "upgrade requires a GetM");
         let (_, fx3) = rig.issue(1, &ld(0x40));
-        assert!(fx3.iter().any(|e| matches!(e, CoreEffect::LoadDone { value: 43 })));
+        assert!(fx3
+            .iter()
+            .any(|e| matches!(e, CoreEffect::LoadDone { value: 43 })));
     }
 
     #[test]
@@ -811,7 +906,10 @@ mod tests {
         let mut fx = Vec::new();
         let mut ctx = CoreCtx::new(Time::ZERO, &mut fx);
         // Store misses; fill not delivered yet.
-        assert_eq!(core.issue(&st(0x40, 1, StoreOrd::Relaxed), &mut ctx), Issue::Done);
+        assert_eq!(
+            core.issue(&st(0x40, 1, StoreOrd::Relaxed), &mut ctx),
+            Issue::Done
+        );
         assert_eq!(
             core.issue(&st(0x1000, 2, StoreOrd::Release), &mut ctx),
             Issue::Stall(StallCause::AckWait)
@@ -832,7 +930,10 @@ mod tests {
         }
         assert!(rig.cores[0].quiesced());
         let (hits, misses) = rig.cores[0].cache_stats();
-        assert!(misses >= n, "every line is cold: {hits} hits / {misses} misses");
+        assert!(
+            misses >= n,
+            "every line is cold: {hits} hits / {misses} misses"
+        );
         // Spot-check early lines (long evicted): values must be in memory.
         for i in [0u64, 1, 100, 1000] {
             let in_mem = rig.mem.peek(Addr::new(i * 512));
@@ -843,8 +944,13 @@ mod tests {
             }
         }
         // At least three quarters of all values must have been written back.
-        let written = (0..n).filter(|&i| rig.mem.peek(Addr::new(i * 512)) == i + 1).count();
-        assert!(written as u64 >= n - 2048, "only {written} of {n} written back");
+        let written = (0..n)
+            .filter(|&i| rig.mem.peek(Addr::new(i * 512)) == i + 1)
+            .count();
+        assert!(
+            written as u64 >= n - 2048,
+            "only {written} of {n} written back"
+        );
     }
 
     #[test]
@@ -856,7 +962,10 @@ mod tests {
         // Two stores to different lines: first sends GetM, second buffers.
         core.issue(&st(0x0, 1, StoreOrd::Relaxed), &mut ctx);
         core.issue(&st(0x2000, 2, StoreOrd::Relaxed), &mut ctx);
-        let sends = fx.iter().filter(|e| matches!(e, CoreEffect::Send { .. })).count();
+        let sends = fx
+            .iter()
+            .filter(|e| matches!(e, CoreEffect::Send { .. }))
+            .count();
         assert_eq!(sends, 1, "TSO drains one miss at a time");
         assert!(!core.quiesced());
     }
@@ -873,7 +982,9 @@ mod tests {
         let mut ctx2 = CoreCtx::new(Time::ZERO, &mut fx2);
         let r = core.issue(&ld(0x2000), &mut ctx2);
         assert_eq!(r, Issue::Pending);
-        assert!(fx2.iter().any(|e| matches!(e, CoreEffect::LoadDone { value: 6 })));
+        assert!(fx2
+            .iter()
+            .any(|e| matches!(e, CoreEffect::LoadDone { value: 6 })));
     }
 
     #[test]
@@ -889,6 +1000,8 @@ mod tests {
         assert!(rig.cores[0].quiesced());
         // Consumers re-read the new value.
         let (_, fx) = rig.issue(1, &ld(0x40));
-        assert!(fx.iter().any(|e| matches!(e, CoreEffect::LoadDone { value: 2 })));
+        assert!(fx
+            .iter()
+            .any(|e| matches!(e, CoreEffect::LoadDone { value: 2 })));
     }
 }

@@ -29,6 +29,9 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<Entry<E>>>,
     next_seq: u64,
     now: Time,
+    /// Cached earliest pending timestamp, so the runner's quiescence /
+    /// next-event checks don't touch the heap.
+    head: Option<Time>,
 }
 
 #[derive(Debug)]
@@ -58,11 +61,23 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue with room for `cap` events before the backing
+    /// heap reallocates (hot-path optimization for sized systems).
+    pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(cap),
             next_seq: 0,
             now: Time::ZERO,
+            head: None,
         }
+    }
+
+    /// Reserves space for at least `additional` more events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// Schedules `payload` to fire at absolute time `at`.
@@ -72,6 +87,7 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than the current simulation time — an event
     /// in the past indicates a component bug, and silently reordering it
     /// would make runs nondeterministic.
+    #[inline]
     pub fn push(&mut self, at: Time, payload: E) {
         assert!(
             at >= self.now,
@@ -80,6 +96,9 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
+        if self.head.is_none_or(|h| at < h) {
+            self.head = Some(at);
+        }
         self.heap.push(Reverse(Entry {
             time: at,
             seq,
@@ -89,15 +108,20 @@ impl<E> EventQueue<E> {
 
     /// Removes and returns the earliest event, advancing the queue's notion
     /// of "now" to its timestamp.
+    #[inline]
     pub fn pop(&mut self) -> Option<(Time, E)> {
         let Reverse(e) = self.heap.pop()?;
         self.now = e.time;
+        self.head = self.heap.peek().map(|Reverse(n)| n.time);
         Some((e.time, e.payload))
     }
 
-    /// Timestamp of the earliest pending event, if any.
+    /// Timestamp of the earliest pending event, if any — a cached O(1)
+    /// field read (no heap access), cheap enough for per-event quiescence
+    /// checks in the runner.
+    #[inline]
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        self.head
     }
 
     /// The timestamp of the most recently popped event.
@@ -171,5 +195,24 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(Time::from_ns(1)));
+    }
+
+    #[test]
+    fn peek_time_tracks_head_through_pushes_and_pops() {
+        let mut q = EventQueue::with_capacity(16);
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_ns(9), 'a');
+        assert_eq!(q.peek_time(), Some(Time::from_ns(9)));
+        q.push(Time::from_ns(4), 'b'); // new minimum
+        assert_eq!(q.peek_time(), Some(Time::from_ns(4)));
+        q.push(Time::from_ns(7), 'c'); // not a new minimum
+        assert_eq!(q.peek_time(), Some(Time::from_ns(4)));
+        assert_eq!(q.pop(), Some((Time::from_ns(4), 'b')));
+        assert_eq!(q.peek_time(), Some(Time::from_ns(7)));
+        q.pop();
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+        q.reserve(8);
+        assert!(q.is_empty());
     }
 }

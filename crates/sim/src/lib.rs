@@ -7,7 +7,9 @@
 //! * [`EventQueue`] — a deterministic priority queue of timestamped events,
 //! * [`DetRng`] — a seedable, stream-splittable random number generator so
 //!   that every simulation run is exactly reproducible,
-//! * [`StallTracker`] / [`Counter`] / [`Histogram`] — lightweight statistics.
+//! * [`StallTracker`] / [`Counter`] / [`Histogram`] — lightweight statistics,
+//! * [`par`] — deterministic fork-join parallelism for independent runs
+//!   (input-order result collection; worker count from `CORD_THREADS`).
 //!
 //! # Example
 //!
@@ -22,6 +24,7 @@
 //! ```
 
 mod event;
+pub mod par;
 mod rng;
 mod stats;
 mod time;

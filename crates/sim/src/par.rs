@@ -1,0 +1,148 @@
+//! Deterministic fork-join parallelism for independent simulation runs.
+//!
+//! Every experiment in this workspace — figure sweeps over
+//! (protocol, fabric, workload, parameter) grids and the checker's
+//! placement campaigns — is a set of *independent* deterministic jobs.
+//! [`run_parallel`] fans such a set out across a scoped worker pool and
+//! collects results **in input order**, so the output of a parallel run is
+//! bit-for-bit identical to a serial one: parallelism changes wall-clock
+//! time and nothing else.
+//!
+//! The worker count comes from the `CORD_THREADS` environment variable when
+//! set (a value of `1` forces fully inline serial execution), otherwise
+//! from [`std::thread::available_parallelism`]. Jobs are handed out through
+//! an atomic cursor, so imbalanced job costs still load-balance.
+//!
+//! # Example
+//!
+//! ```
+//! use cord_sim::par;
+//!
+//! let squares = par::run_parallel(&[1u64, 2, 3, 4], |&x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]); // always input order
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count: `CORD_THREADS` when set and valid, else the machine's
+/// available parallelism (falling back to 1 if that is unavailable).
+pub fn thread_count() -> usize {
+    if let Ok(v) = std::env::var("CORD_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on [`thread_count`] workers; results in input order.
+pub fn run_parallel<I, O, F>(items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    run_parallel_on(thread_count(), items, f)
+}
+
+/// Maps `f` over `items` on exactly `threads` workers; results in input
+/// order. `threads <= 1` (or a single item) runs inline with no spawns.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all workers have joined.
+pub fn run_parallel_on<I, O, F>(threads: usize, items: &[I], f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let workers = threads.min(items.len());
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Mutex<Option<O>>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || Mutex::new(None));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("job completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_at_any_width() {
+        let items: Vec<u64> = (0..97).collect();
+        let serial = run_parallel_on(1, &items, |&x| x * 3 + 1);
+        for threads in [2, 4, 8, 16] {
+            let par = run_parallel_on(threads, &items, |&x| x * 3 + 1);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_jobs_still_map_to_their_slots() {
+        // Early items are much slower: late items finish first, yet land in
+        // their own slots.
+        let items: Vec<usize> = (0..32).collect();
+        let out = run_parallel_on(8, &items, |&i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * i
+        });
+        assert_eq!(out, items.iter().map(|&i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let none: Vec<u8> = Vec::new();
+        assert!(run_parallel_on(8, &none, |&x| x).is_empty());
+        assert_eq!(run_parallel_on(8, &[7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let out = run_parallel_on(64, &[1u32, 2, 3], |&x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn thread_count_is_at_least_one() {
+        assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            run_parallel_on(4, &[0u32, 1, 2, 3], |&x| {
+                assert!(x != 2, "boom");
+                x
+            })
+        });
+        assert!(result.is_err(), "panic inside a worker must propagate");
+    }
+}

@@ -4,11 +4,14 @@
 //! synchronization granularities, …) draws from a [`DetRng`] derived from a
 //! single run seed, so results are exactly reproducible and independent
 //! components consume independent streams.
+//!
+//! The generator is a self-contained xoshiro256** seeded through SplitMix64
+//! (no external crates), so the workspace builds in fully offline
+//! environments and the byte streams are stable across toolchain updates —
+//! a prerequisite for the bit-identical determinism the sweep engine and
+//! its tests enforce.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-
-/// A deterministic, stream-splittable RNG.
+/// A deterministic, stream-splittable RNG (xoshiro256**).
 ///
 /// # Example
 ///
@@ -24,19 +27,24 @@ use rand::{RngExt, SeedableRng};
 /// let mut s1 = DetRng::new(42).stream(1);
 /// let _ = (s0.range_u64(0..100), s1.range_u64(0..100));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DetRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl DetRng {
     /// Creates an RNG from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            seed,
-            inner: StdRng::seed_from_u64(seed),
+        // Expand the seed through SplitMix64, the initialization the
+        // xoshiro authors recommend (never yields the all-zero state).
+        let mut s = seed;
+        let mut state = [0u64; 4];
+        for w in &mut state {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *w = splitmix64(s);
         }
+        DetRng { seed, state }
     }
 
     /// Derives an independent stream `i` from this RNG's seed.
@@ -44,7 +52,9 @@ impl DetRng {
     /// Uses a SplitMix64-style mix so that nearby `(seed, i)` pairs produce
     /// decorrelated streams.
     pub fn stream(&self, i: u64) -> DetRng {
-        DetRng::new(splitmix64(self.seed ^ splitmix64(i.wrapping_add(0x9E37_79B9_7F4A_7C15))))
+        DetRng::new(splitmix64(
+            self.seed ^ splitmix64(i.wrapping_add(0x9E37_79B9_7F4A_7C15)),
+        ))
     }
 
     /// The seed this RNG was created with.
@@ -52,13 +62,39 @@ impl DetRng {
         self.seed
     }
 
-    /// Uniform `u64` in `range` (half-open).
+    /// The next raw 64-bit output (xoshiro256** step).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u64` in `range` (half-open), bias-free (Lemire rejection).
     ///
     /// # Panics
     ///
     /// Panics if the range is empty.
     pub fn range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
-        self.inner.random_range(range)
+        assert!(range.start < range.end, "empty range {range:?}");
+        let width = range.end - range.start;
+        let mut m = (self.next_u64() as u128) * (width as u128);
+        let mut lo = m as u64;
+        if lo < width {
+            let threshold = width.wrapping_neg() % width;
+            while lo < threshold {
+                m = (self.next_u64() as u128) * (width as u128);
+                lo = m as u64;
+            }
+        }
+        range.start + (m >> 64) as u64
     }
 
     /// Uniform `usize` in `range` (half-open).
@@ -67,7 +103,7 @@ impl DetRng {
     ///
     /// Panics if the range is empty.
     pub fn range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
-        self.inner.random_range(range)
+        self.range_u64(range.start as u64..range.end as u64) as usize
     }
 
     /// Bernoulli draw with probability `p` of `true`.
@@ -76,18 +112,19 @@ impl DetRng {
     ///
     /// Panics if `p` is not in `[0, 1]`.
     pub fn chance(&mut self, p: f64) -> bool {
-        self.inner.random_bool(p)
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of [0, 1]");
+        self.unit_f64() < p
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.random_range(0.0..1.0)
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.random_range(0..=i);
+            let j = self.range_u64(0..i as u64 + 1) as usize;
             slice.swap(i, j);
         }
     }
@@ -151,6 +188,29 @@ mod tests {
         for _ in 0..100 {
             let x = rng.unit_f64();
             assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_are_tight() {
+        let mut rng = DetRng::new(11);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..200 {
+            let x = rng.range_u64(10..13);
+            assert!((10..13).contains(&x));
+            seen_lo |= x == 10;
+            seen_hi |= x == 12;
+        }
+        assert!(seen_lo && seen_hi, "all range values reachable");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(13);
+        for _ in 0..50 {
+            assert!(!rng.chance(0.0));
+            assert!(rng.chance(1.0));
         }
     }
 }

@@ -1,14 +1,23 @@
-//! Property tests for the simulation kernel.
-
-use proptest::prelude::*;
+//! Randomized property tests for the simulation kernel.
+//!
+//! Formerly written with `proptest`; rewritten over [`DetRng`] with fixed
+//! seeds so the workspace carries no external dependencies (the build must
+//! succeed in fully offline environments) while keeping the same
+//! properties and case counts. Every case is deterministic: a failure
+//! reprints its seed for replay.
 
 use cord_sim::{DetRng, EventQueue, Histogram, StallTracker, Time};
 
-proptest! {
-    /// The queue dequeues in nondecreasing time order, and same-time events
-    /// preserve insertion order (determinism).
-    #[test]
-    fn event_queue_is_a_stable_priority_queue(times in prop::collection::vec(0u64..50, 1..200)) {
+const CASES: u64 = 64;
+
+/// The queue dequeues in nondecreasing time order, and same-time events
+/// preserve insertion order (determinism).
+#[test]
+fn event_queue_is_a_stable_priority_queue() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xE7E47).stream(case);
+        let n = rng.range_usize(1..200);
+        let times: Vec<u64> = (0..n).map(|_| rng.range_u64(0..50)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(Time::from_ns(t), i);
@@ -17,19 +26,21 @@ proptest! {
         while let Some(e) = q.pop() {
             out.push(e);
         }
-        prop_assert_eq!(out.len(), times.len());
+        assert_eq!(out.len(), times.len(), "case {case}");
         for w in out.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            assert!(w[0].0 <= w[1].0, "case {case}: time order violated");
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+                assert!(w[0].1 < w[1].1, "case {case}: FIFO tie-break violated");
             }
         }
     }
+}
 
-    /// Pushing at the current time from within the drain loop is legal and
-    /// preserves ordering.
-    #[test]
-    fn event_queue_allows_now_pushes(seed in 0u64..1000) {
+/// Pushing at the current time from within the drain loop is legal and
+/// preserves ordering.
+#[test]
+fn event_queue_allows_now_pushes() {
+    for seed in 0..CASES {
         let mut rng = DetRng::new(seed);
         let mut q = EventQueue::new();
         q.push(Time::from_ns(1), 0u32);
@@ -40,53 +51,69 @@ proptest! {
                 q.push(t + Time::from_ns(rng.range_u64(0..5)), popped);
             }
         }
-        prop_assert!(popped >= 1);
-        prop_assert!(q.is_empty());
+        assert!(popped >= 1, "seed {seed}");
+        assert!(q.is_empty(), "seed {seed}");
     }
+}
 
-    /// Stall episodes never lose time: total equals the sum of
-    /// (end - begin) for well-formed begin/end pairs.
-    #[test]
-    fn stall_tracker_accumulates_exactly(pairs in prop::collection::vec((0u64..100, 0u64..100), 1..40)) {
+/// Stall episodes never lose time: total equals the sum of (end - begin)
+/// for well-formed begin/end pairs.
+#[test]
+fn stall_tracker_accumulates_exactly() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x57A11).stream(case);
+        let pairs = rng.range_usize(1..40);
         let mut s = StallTracker::new();
         let mut now = 0u64;
         let mut expect = 0u64;
-        for (gap, dur) in pairs {
-            now += gap;
+        for _ in 0..pairs {
+            now += rng.range_u64(0..100);
             s.begin(Time::from_ns(now));
+            let dur = rng.range_u64(0..100);
             now += dur;
             s.end(Time::from_ns(now));
             expect += dur;
         }
-        prop_assert_eq!(s.total(), Time::from_ns(expect));
+        assert_eq!(s.total(), Time::from_ns(expect), "case {case}");
     }
+}
 
-    /// Histogram totals are conserved.
-    #[test]
-    fn histogram_conserves_counts(vals in prop::collection::vec(0u64..1_000_000, 1..200)) {
+/// Histogram totals are conserved.
+#[test]
+fn histogram_conserves_counts() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x415708).stream(case);
+        let n = rng.range_usize(1..200);
+        let vals: Vec<u64> = (0..n).map(|_| rng.range_u64(0..1_000_000)).collect();
         let mut h = Histogram::new();
         for &v in &vals {
             h.record(v);
         }
-        prop_assert_eq!(h.count(), vals.len() as u64);
-        prop_assert_eq!(h.sum(), vals.iter().sum::<u64>());
-        prop_assert_eq!(h.max(), *vals.iter().max().unwrap());
+        assert_eq!(h.count(), vals.len() as u64, "case {case}");
+        assert_eq!(h.sum(), vals.iter().sum::<u64>(), "case {case}");
+        assert_eq!(h.max(), *vals.iter().max().unwrap(), "case {case}");
         let mean = h.mean();
         let lo = *vals.iter().min().unwrap() as f64;
         let hi = h.max() as f64;
-        prop_assert!(mean >= lo && mean <= hi);
+        assert!(mean >= lo && mean <= hi, "case {case}");
     }
+}
 
-    /// DetRng streams are reproducible and range-respecting.
-    #[test]
-    fn rng_ranges_hold(seed in 0u64..10_000, lo in 0u64..100, width in 1u64..1000) {
+/// DetRng streams are reproducible and range-respecting.
+#[test]
+fn rng_ranges_hold() {
+    for case in 0..CASES {
+        let mut meta = DetRng::new(0x4A4DE5).stream(case);
+        let seed = meta.range_u64(0..10_000);
+        let lo = meta.range_u64(0..100);
+        let width = meta.range_u64(1..1000);
         let mut a = DetRng::new(seed);
         let mut b = DetRng::new(seed);
         for _ in 0..20 {
             let x = a.range_u64(lo..lo + width);
             let y = b.range_u64(lo..lo + width);
-            prop_assert_eq!(x, y);
-            prop_assert!((lo..lo + width).contains(&x));
+            assert_eq!(x, y, "case {case}");
+            assert!((lo..lo + width).contains(&x), "case {case}");
         }
     }
 }

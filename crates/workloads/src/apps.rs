@@ -418,7 +418,12 @@ impl StreamPlan {
             window.push((base, lines));
             bytes.push(b);
         }
-        StreamPlan { dst, region, window, bytes }
+        StreamPlan {
+            dst,
+            region,
+            window,
+            bytes,
+        }
     }
 
     fn emit_data(&self, app: &AppSpec, map: &AddressMap, ops: &mut Vec<Op>, iter: u32) {
@@ -462,9 +467,9 @@ mod tests {
     #[test]
     fn catalog_contains_all_table2_apps() {
         let names: Vec<&str> = table2_apps().iter().map(|a| a.name).collect();
-        for expected in
-            ["PR", "SSSP", "PAD", "TQH", "HSTI", "TRNS", "MOCFE", "CMC-2D", "BigFFT", "CR", "ATA"]
-        {
+        for expected in [
+            "PR", "SSSP", "PAD", "TQH", "HSTI", "TRNS", "MOCFE", "CMC-2D", "BigFFT", "CR", "ATA",
+        ] {
             assert!(names.contains(&expected), "{expected} missing");
         }
         assert!(AppSpec::by_name("PR").is_some());
@@ -535,7 +540,12 @@ mod tests {
         let mut lines = std::collections::HashSet::new();
         let mut stores = 0u64;
         for op in programs[0].iter() {
-            if let Op::Store { addr, ord: StoreOrd::Relaxed, .. } = op {
+            if let Op::Store {
+                addr,
+                ord: StoreOrd::Relaxed,
+                ..
+            } = op
+            {
                 if map.home_host(*addr) == 1 {
                     lines.insert(addr.line());
                     stores += 1;
@@ -559,14 +569,23 @@ mod tests {
         let mut lines = std::collections::HashSet::new();
         let mut stores = 0u64;
         for op in programs[0].iter() {
-            if let Op::Store { addr, ord: StoreOrd::Relaxed, .. } = op {
+            if let Op::Store {
+                addr,
+                ord: StoreOrd::Relaxed,
+                ..
+            } = op
+            {
                 if map.home_host(*addr) == 1 {
                     lines.insert(addr.line());
                     stores += 1;
                 }
             }
         }
-        assert_eq!(lines.len() as u64, stores, "streaming never rewrites a line");
+        assert_eq!(
+            lines.len() as u64,
+            stores,
+            "streaming never rewrites a line"
+        );
     }
 
     #[test]
@@ -586,7 +605,12 @@ mod tests {
     fn end_to_end_smoke_all_protocols() {
         let mut app = AppSpec::by_name("PAD").unwrap();
         app.iters = 2;
-        for kind in [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Mp, ProtocolKind::Wb] {
+        for kind in [
+            ProtocolKind::Cord,
+            ProtocolKind::So,
+            ProtocolKind::Mp,
+            ProtocolKind::Wb,
+        ] {
             let cfg = SystemConfig::cxl(kind, 4);
             let programs = app.programs(&cfg);
             let r = cord::System::new(cfg, programs).run();

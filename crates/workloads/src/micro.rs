@@ -45,8 +45,16 @@ impl MicroBench {
     ///
     /// Panics if any parameter is zero.
     pub fn new(store_gran: u32, sync_gran: u64, fanout: u32) -> Self {
-        assert!(store_gran > 0 && sync_gran > 0 && fanout > 0, "parameters must be positive");
-        MicroBench { store_gran, sync_gran, fanout, iters: 8 }
+        assert!(
+            store_gran > 0 && sync_gran > 0 && fanout > 0,
+            "parameters must be positive"
+        );
+        MicroBench {
+            store_gran,
+            sync_gran,
+            fanout,
+            iters: 8,
+        }
     }
 
     /// Overrides the iteration count (builder style).
@@ -148,7 +156,11 @@ mod tests {
         let mut hosts: Vec<u32> = programs[0]
             .iter()
             .filter_map(|op| match op {
-                Op::Store { addr, ord: StoreOrd::Relaxed, .. } => Some(map.home_host(*addr)),
+                Op::Store {
+                    addr,
+                    ord: StoreOrd::Relaxed,
+                    ..
+                } => Some(map.home_host(*addr)),
                 _ => None,
             })
             .collect();

@@ -42,7 +42,11 @@ impl Region {
     pub fn new(map: &AddressMap, host: u32, slice: u32, index: u64) -> Self {
         assert!(host < map.hosts(), "host out of range");
         assert!(slice < map.slices_per_host(), "slice out of range");
-        Region { host, slice, base_k: index * Self::LINES }
+        Region {
+            host,
+            slice,
+            base_k: index * Self::LINES,
+        }
     }
 
     /// The `k`-th store target of the region (wraps at [`Region::LINES`]).

@@ -61,7 +61,10 @@ impl fmt::Display for ParseTraceError {
 impl std::error::Error for ParseTraceError {}
 
 fn err(line: usize, message: impl Into<String>) -> ParseTraceError {
-    ParseTraceError { line, message: message.into() }
+    ParseTraceError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_u64(line: usize, tok: &str, what: &str) -> Result<u64, ParseTraceError> {
@@ -77,7 +80,9 @@ fn parse_reg(line: usize, tok: &str) -> Result<u8, ParseTraceError> {
     let n = tok
         .strip_prefix('r')
         .ok_or_else(|| err(line, format!("bad register `{tok}` (expected rN)")))?;
-    let v: u8 = n.parse().map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    let v: u8 = n
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
     if v >= 16 {
         return Err(err(line, format!("register r{v} out of range (0..16)")));
     }
@@ -108,9 +113,7 @@ pub fn parse(text: &str) -> Result<Vec<Program>, ParseTraceError> {
             continue;
         }
         let mut t = body.split_whitespace();
-        let mut next = |what: &str| {
-            t.next().ok_or_else(|| err(line, format!("missing {what}")))
-        };
+        let mut next = |what: &str| t.next().ok_or_else(|| err(line, format!("missing {what}")));
         let core: usize = next("core")?
             .parse()
             .map_err(|_| err(line, "bad core index"))?;
@@ -122,9 +125,19 @@ pub fn parse(text: &str) -> Result<Vec<Program>, ParseTraceError> {
                 let value = parse_u64(line, next("value")?, "value")?;
                 let ord = parse_store_ord(line, next("ordering")?)?;
                 if opname == "store" {
-                    Op::Store { addr, bytes, value, ord }
+                    Op::Store {
+                        addr,
+                        bytes,
+                        value,
+                        ord,
+                    }
                 } else {
-                    Op::StoreWb { addr, bytes, value, ord }
+                    Op::StoreWb {
+                        addr,
+                        bytes,
+                        value,
+                        ord,
+                    }
                 }
             }
             "load" => {
@@ -136,7 +149,12 @@ pub fn parse(text: &str) -> Result<Vec<Program>, ParseTraceError> {
                     other => return Err(err(line, format!("bad load ordering `{other}`"))),
                 };
                 let reg = parse_reg(line, next("register")?)?;
-                Op::Load { addr, bytes, ord, reg }
+                Op::Load {
+                    addr,
+                    bytes,
+                    ord,
+                    reg,
+                }
             }
             "bulkread" => {
                 let addr = Addr::new(parse_u64(line, next("addr")?, "address")?);
@@ -147,18 +165,29 @@ pub fn parse(text: &str) -> Result<Vec<Program>, ParseTraceError> {
             "wait" => {
                 let addr = Addr::new(parse_u64(line, next("addr")?, "address")?);
                 let expect = parse_u64(line, next("value")?, "value")?;
-                Op::WaitValue { addr, expect, ord: LoadOrd::Acquire }
+                Op::WaitValue {
+                    addr,
+                    expect,
+                    ord: LoadOrd::Acquire,
+                }
             }
             "amo" => {
                 let addr = Addr::new(parse_u64(line, next("addr")?, "address")?);
                 let add = parse_u64(line, next("addend")?, "addend")?;
                 let ord = parse_store_ord(line, next("ordering")?)?;
                 let reg = parse_reg(line, next("register")?)?;
-                Op::AtomicRmw { addr, add, ord, reg }
+                Op::AtomicRmw {
+                    addr,
+                    add,
+                    ord,
+                    reg,
+                }
             }
             "compute" => {
                 let ns = parse_u64(line, next("nanoseconds")?, "duration")?;
-                Op::Compute { dur: Time::from_ns(ns) }
+                Op::Compute {
+                    dur: Time::from_ns(ns),
+                }
             }
             "fence" => {
                 let kind = match next("kind")? {
@@ -189,17 +218,32 @@ pub fn dump(programs: &[Program]) -> String {
     for (core, p) in programs.iter().enumerate() {
         for op in p.iter() {
             let line = match *op {
-                Op::Store { addr, bytes, value, ord } => format!(
+                Op::Store {
+                    addr,
+                    bytes,
+                    value,
+                    ord,
+                } => format!(
                     "{core} store {:#x} {bytes} {value} {}",
                     addr.raw(),
                     ord_str(ord)
                 ),
-                Op::StoreWb { addr, bytes, value, ord } => format!(
+                Op::StoreWb {
+                    addr,
+                    bytes,
+                    value,
+                    ord,
+                } => format!(
                     "{core} storewb {:#x} {bytes} {value} {}",
                     addr.raw(),
                     ord_str(ord)
                 ),
-                Op::Load { addr, bytes, ord, reg } => format!(
+                Op::Load {
+                    addr,
+                    bytes,
+                    ord,
+                    reg,
+                } => format!(
                     "{core} load {:#x} {bytes} {} r{reg}",
                     addr.raw(),
                     match ord {
@@ -213,7 +257,12 @@ pub fn dump(programs: &[Program]) -> String {
                 Op::WaitValue { addr, expect, .. } => {
                     format!("{core} wait {:#x} {expect}", addr.raw())
                 }
-                Op::AtomicRmw { addr, add, ord, reg } => {
+                Op::AtomicRmw {
+                    addr,
+                    add,
+                    ord,
+                    reg,
+                } => {
                     format!("{core} amo {:#x} {add} {} r{reg}", addr.raw(), ord_str(ord))
                 }
                 Op::Compute { dur } => format!("{core} compute {}", dur.as_ns()),
@@ -299,10 +348,22 @@ mod tests {
         assert_eq!(e.line, 2);
         assert!(e.to_string().contains("unknown op"));
         assert_eq!(parse("0 store zzz 64 7 rlx").unwrap_err().line, 1);
-        assert!(parse("0 load 0x0 8 rlx r99").unwrap_err().message.contains("out of range"));
-        assert!(parse("0 store 0x0 8 7 rlx extra").unwrap_err().message.contains("trailing"));
-        assert!(parse("0 fence sideways").unwrap_err().message.contains("bad fence"));
-        assert!(parse("0 store 0x0 8").unwrap_err().message.contains("missing"));
+        assert!(parse("0 load 0x0 8 rlx r99")
+            .unwrap_err()
+            .message
+            .contains("out of range"));
+        assert!(parse("0 store 0x0 8 7 rlx extra")
+            .unwrap_err()
+            .message
+            .contains("trailing"));
+        assert!(parse("0 fence sideways")
+            .unwrap_err()
+            .message
+            .contains("bad fence"));
+        assert!(parse("0 store 0x0 8")
+            .unwrap_err()
+            .message
+            .contains("missing"));
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn main() {
 
     let placement = [2u8, 1, 2]; // X, Y, Z
 
-    let cord = explore(CheckConfig::cord(3, 3), &isa2, &placement, 2_000_000);
+    let cord = explore(&CheckConfig::cord(3, 3), &isa2, &placement, 2_000_000);
     println!(
         "CORD : {:>6} states, forbidden outcome reachable: {}, deadlocks: {}",
         cord.states,
@@ -34,7 +34,7 @@ fn main() {
     );
     assert!(cord.passes(&isa2));
 
-    let mp = explore(CheckConfig::mp(3, 3), &isa2, &placement, 2_000_000);
+    let mp = explore(&CheckConfig::mp(3, 3), &isa2, &placement, 2_000_000);
     let violations = mp.violations(&isa2);
     println!(
         "MP   : {:>6} states, forbidden outcome reachable: {} (e.g. {:?})",

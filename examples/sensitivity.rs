@@ -22,7 +22,10 @@ fn run(kind: ProtocolKind, sync: u64) -> (f64, u64) {
 }
 
 fn main() {
-    println!("{:>10}  {:>10}  {:>10}  {:>8}  {:>8}", "sync", "CORD us", "SO us", "SO/CORD t", "SO/CORD b");
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>8}  {:>8}",
+        "sync", "CORD us", "SO us", "SO/CORD t", "SO/CORD b"
+    );
     for sync in [256u64, 1024, 4096, 16384, 65536] {
         let (ct, cb) = run(ProtocolKind::Cord, sync);
         let (st, sb) = run(ProtocolKind::So, sync);

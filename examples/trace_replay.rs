@@ -27,8 +27,16 @@ fn main() {
 8       amo       0x100002000   1    rel   r2
 ";
     let programs = trace::parse(text).expect("trace parses");
-    println!("replaying a {}-op trace:", programs.iter().map(|p| p.len()).sum::<usize>());
-    for kind in [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Mp, ProtocolKind::Wb] {
+    println!(
+        "replaying a {}-op trace:",
+        programs.iter().map(|p| p.len()).sum::<usize>()
+    );
+    for kind in [
+        ProtocolKind::Cord,
+        ProtocolKind::So,
+        ProtocolKind::Mp,
+        ProtocolKind::Wb,
+    ] {
         let cfg = SystemConfig::cxl(kind, 2);
         let mut ps = programs.clone();
         ps.resize(cfg.total_tiles() as usize, Default::default());

@@ -94,7 +94,10 @@ fn cord_counts_relaxed_atomics_in_the_epoch() {
         .load(a, 8, LoadOrd::Relaxed, 1)
         .finish();
     let r = System::new(cfg, programs).run();
-    assert_eq!(r.regs[8][1], 5, "atomic's effect must be covered by the Release");
+    assert_eq!(
+        r.regs[8][1], 5,
+        "atomic's effect must be covered by the Release"
+    );
 }
 
 /// Fetch-add returns the running old values in program order per core.
@@ -134,6 +137,9 @@ fn atomics_under_tso() {
             .load(a, 8, LoadOrd::Relaxed, 0)
             .finish();
         let r = System::new(cfg, programs).run();
-        assert_eq!(r.regs[8][0], 3, "{kind:?}: TSO store→atomic ordering violated");
+        assert_eq!(
+            r.regs[8][0], 3,
+            "{kind:?}: TSO store→atomic ordering violated"
+        );
     }
 }

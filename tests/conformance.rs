@@ -17,7 +17,8 @@ use cord_repro::cord_sim::Time;
 /// Maps litmus variable `v` with home directory `d` to a simulator address:
 /// host `d`, slice 0, line `v`.
 fn var_addr(cfg: &SystemConfig, placement: &[u8], v: u8) -> Addr {
-    cfg.map.addr_on_slice(placement[v as usize] as u32, 0, v as u64, 0)
+    cfg.map
+        .addr_on_slice(placement[v as usize] as u32, 0, v as u64, 0)
 }
 
 /// Compiles one litmus thread to a simulator program.
@@ -92,8 +93,12 @@ fn simulator_outcomes_are_reachable_in_the_model() {
             for placement in lit.placements() {
                 // Clamp to the 3 checked directories (hosts 0..3 in the sim).
                 let placement: Vec<u8> = placement.iter().map(|d| d % 3).collect();
-                let report =
-                    explore(checker_cfg(kind, lit.thread_count()), &lit, &placement, 2_000_000);
+                let report = explore(
+                    &checker_cfg(kind, lit.thread_count()),
+                    &lit,
+                    &placement,
+                    2_000_000,
+                );
                 assert!(!report.truncated, "{}: enumeration truncated", lit.name);
                 let observed = simulate(kind, &lit, &placement);
                 assert!(

@@ -29,7 +29,10 @@ fn message_passing_shape_observes_data() {
     let flag = cfg.map.addr_on_host(1, 512);
     for kind in CONFORMING {
         let mut programs = vec![Program::new(); tiles];
-        programs[0] = Program::build().store_relaxed(data, 99).store_release(flag, 1).finish();
+        programs[0] = Program::build()
+            .store_relaxed(data, 99)
+            .store_release(flag, 1)
+            .finish();
         programs[8] = Program::build()
             .wait_value(flag, 1)
             .load(data, 8, LoadOrd::Relaxed, 0)
@@ -52,14 +55,24 @@ fn isa2_chain_holds_transitively() {
     let z = cfg.map.addr_on_host(3, 512); // Z in T2's memory
     for kind in CONFORMING {
         let mut programs = vec![Program::new(); tiles];
-        programs[0] = Program::build().store_relaxed(x, 1).store_release(y, 1).finish();
-        programs[2 * tph] = Program::build().wait_value(y, 1).store_release(z, 1).finish();
+        programs[0] = Program::build()
+            .store_relaxed(x, 1)
+            .store_release(y, 1)
+            .finish();
+        programs[2 * tph] = Program::build()
+            .wait_value(y, 1)
+            .store_release(z, 1)
+            .finish();
         programs[3 * tph] = Program::build()
             .wait_value(z, 1)
             .load(x, 8, LoadOrd::Relaxed, 3)
             .finish();
         let r = run(kind, programs, 4);
-        assert_eq!(r.regs[3 * tph][3], 1, "{kind:?}: ISA2 forbidden outcome observed");
+        assert_eq!(
+            r.regs[3 * tph][3],
+            1,
+            "{kind:?}: ISA2 forbidden outcome observed"
+        );
     }
 }
 
@@ -73,7 +86,10 @@ fn chained_releases_stay_ordered_across_directories() {
     let b = cfg.map.addr_on_host(2, 0);
     for kind in CONFORMING {
         let mut programs = vec![Program::new(); tiles];
-        programs[0] = Program::build().store_release(a, 5).store_release(b, 6).finish();
+        programs[0] = Program::build()
+            .store_release(a, 5)
+            .store_release(b, 6)
+            .finish();
         // Observer of B must then see A.
         programs[tph] = Program::build()
             .wait_value(b, 6)
@@ -123,7 +139,10 @@ fn write_to_read_causality() {
     for kind in CONFORMING {
         let mut programs = vec![Program::new(); tiles];
         programs[0] = Program::build().store_relaxed(x, 1).finish();
-        programs[tph] = Program::build().wait_value(x, 1).store_release(y, 1).finish();
+        programs[tph] = Program::build()
+            .wait_value(x, 1)
+            .store_release(y, 1)
+            .finish();
         programs[2 * tph] = Program::build()
             .wait_value(y, 1)
             .load(x, 8, LoadOrd::Relaxed, 0)
@@ -155,7 +174,12 @@ fn tiny_tables_are_slow_but_correct() {
     programs[0] = producer.finish();
     programs[8] = Program::build()
         .wait_value(flagbase.offset(19 * 512), 20)
-        .load(Addr::new(cfg.map.addr_on_host(1, 19 * 512).raw()), 8, LoadOrd::Relaxed, 0)
+        .load(
+            Addr::new(cfg.map.addr_on_host(1, 19 * 512).raw()),
+            8,
+            LoadOrd::Relaxed,
+            0,
+        )
         .finish();
     let r = System::new(cfg, programs).run();
     assert_eq!(r.regs[8][0], 20);
@@ -171,7 +195,10 @@ fn tso_store_store_ordering() {
         let a = cfg.map.addr_on_host(1, 0);
         let b = cfg.map.addr_on_host(1, 4096);
         let mut programs = vec![Program::new(); tiles];
-        programs[0] = Program::build().store_relaxed(a, 1).store_relaxed(b, 1).finish();
+        programs[0] = Program::build()
+            .store_relaxed(a, 1)
+            .store_relaxed(b, 1)
+            .finish();
         // Observer: once B is visible, A must be too (TSO orders all stores).
         programs[8] = Program::build()
             .wait_value(b, 1)

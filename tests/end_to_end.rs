@@ -25,7 +25,11 @@ fn every_app_completes_under_every_protocol() {
         app.iters = 2;
         for kind in [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Wb] {
             let r = run(&app, kind, ConsistencyModel::Rc);
-            assert!(r.makespan > cord_repro::cord_sim::Time::ZERO, "{} {kind:?}", app.name);
+            assert!(
+                r.makespan > cord_repro::cord_sim::Time::ZERO,
+                "{} {kind:?}",
+                app.name
+            );
         }
         if app.mp_compatible {
             run(&app, ProtocolKind::Mp, ConsistencyModel::Rc);
@@ -69,7 +73,10 @@ fn cord_beats_source_ordering_on_every_app() {
 fn cord_never_stalls_on_relaxed_acknowledgments() {
     let app = small("PAD");
     let cord = run(&app, ProtocolKind::Cord, ConsistencyModel::Rc);
-    assert_eq!(cord.stall(StallCause::AckWait), cord_repro::cord_sim::Time::ZERO);
+    assert_eq!(
+        cord.stall(StallCause::AckWait),
+        cord_repro::cord_sim::Time::ZERO
+    );
     let so = run(&app, ProtocolKind::So, ConsistencyModel::Rc);
     assert!(so.stall(StallCause::AckWait) > cord_repro::cord_sim::Time::ZERO);
 }
@@ -124,7 +131,11 @@ fn microbench_fanout_one_sends_no_notifications() {
     let mb = MicroBench::new(64, 4096, 1).with_iters(4);
     let programs = mb.programs(&cfg);
     let r = System::new(cfg, programs).run();
-    assert_eq!(r.traffic[MsgClass::ReqNotify].inter_msgs, 0, "single directory: no pending dirs");
+    assert_eq!(
+        r.traffic[MsgClass::ReqNotify].inter_msgs,
+        0,
+        "single directory: no pending dirs"
+    );
     assert_eq!(r.traffic[MsgClass::Notify].inter_msgs, 0);
 }
 
@@ -139,8 +150,14 @@ fn microbench_fanout_n_notifies_n_minus_1_directories() {
     // Fig. 5: each Release triggers fanout-1 request-for-notification /
     // notification pairs (plus release-release chains across iterations,
     // which target the same directory and add none here).
-    assert_eq!(r.traffic[MsgClass::ReqNotify].inter_msgs, iters * (fanout as u64 - 1));
-    assert_eq!(r.traffic[MsgClass::Notify].inter_msgs, iters * (fanout as u64 - 1));
+    assert_eq!(
+        r.traffic[MsgClass::ReqNotify].inter_msgs,
+        iters * (fanout as u64 - 1)
+    );
+    assert_eq!(
+        r.traffic[MsgClass::Notify].inter_msgs,
+        iters * (fanout as u64 - 1)
+    );
 }
 
 #[test]
@@ -153,7 +170,8 @@ fn storage_peaks_respect_provisioned_capacity() {
     let r = System::new(cfg, programs).run();
     for p in &r.proc_storages {
         assert!(
-            p.peak_other_bytes <= (tables.proc_unacked as u64) * cord_repro::cord::PROC_UNACKED_ENTRY_BYTES,
+            p.peak_other_bytes
+                <= (tables.proc_unacked as u64) * cord_repro::cord::PROC_UNACKED_ENTRY_BYTES,
             "unacked table exceeded provisioning"
         );
         assert!(

@@ -3,7 +3,6 @@
 //! the injected Release barrier between them.
 
 use cord_repro::cord::System;
-use cord_repro::cord_mem::Addr;
 use cord_repro::cord_noc::MsgClass;
 use cord_repro::cord_proto::{LoadOrd, Program, ProtocolKind, StoreOrd, SystemConfig};
 
@@ -11,7 +10,10 @@ use cord_repro::cord_proto::{LoadOrd, Program, ProtocolKind, StoreOrd, SystemCon
 fn hybrid_cfg(hosts: u32) -> SystemConfig {
     let wb_lo = 4u64 << 30; // host 1 base
     SystemConfig::cxl(
-        ProtocolKind::Hybrid { wb_lo, wb_hi: wb_lo + (1 << 20) },
+        ProtocolKind::Hybrid {
+            wb_lo,
+            wb_hi: wb_lo + (1 << 20),
+        },
         hosts,
     )
 }
@@ -35,7 +37,10 @@ fn wb_release_flag_covers_prior_wt_data() {
         .load(data, 8, LoadOrd::Relaxed, 0) // reads through the CORD path
         .finish();
     let r = System::new(cfg, programs).run();
-    assert_eq!(r.regs[8][0], 77, "WB Release overtook WT data (§4.4 barrier missing)");
+    assert_eq!(
+        r.regs[8][0], 77,
+        "WB Release overtook WT data (§4.4 barrier missing)"
+    );
     // The injected barrier is an empty Release store + its acknowledgment.
     assert!(r.traffic[MsgClass::Ack].inter_msgs >= 1);
 }
@@ -77,7 +82,8 @@ fn wt_fast_path_is_preserved() {
     programs[8] = Program::build().wait_value(flag, 1).finish();
     let r = System::new(cfg, programs).run();
     assert_eq!(
-        r.traffic[MsgClass::Ack].inter_msgs, 1,
+        r.traffic[MsgClass::Ack].inter_msgs,
+        1,
         "only the Release store is acknowledged"
     );
 }

@@ -1,18 +1,25 @@
-//! Property-based tests (proptest) over randomly generated programs and
-//! configurations: the invariants that must hold for *any* workload.
-
-use proptest::prelude::*;
+//! Randomized tests over randomly generated programs and configurations:
+//! the invariants that must hold for *any* workload. Driven by
+//! `cord_sim::DetRng` with fixed seeds (no external test deps).
 
 use cord_repro::cord::{RunResult, System};
 use cord_repro::cord_check::{explore, CheckConfig, Cond, Litmus};
 use cord_repro::cord_mem::AddressMap;
 use cord_repro::cord_noc::{MsgClass, Noc, NocConfig, TileId};
 use cord_repro::cord_proto::{LoadOrd, Program, ProtocolKind, SystemConfig};
-use cord_repro::cord_sim::Time;
+use cord_repro::cord_sim::{DetRng, Time};
 
 /// A random producer plan: (target host 1..=3, line index, payload size).
-fn producer_plan() -> impl Strategy<Value = Vec<(u32, u64, u32)>> {
-    prop::collection::vec((1u32..4, 0u64..64, prop::sample::select(vec![8u32, 64, 256])), 1..40)
+fn producer_plan(rng: &mut DetRng) -> Vec<(u32, u64, u32)> {
+    let n = rng.range_usize(1..40);
+    (0..n)
+        .map(|_| {
+            let host = rng.range_u64(1..4) as u32;
+            let k = rng.range_u64(0..64);
+            let bytes = [8u32, 64, 256][rng.range_usize(0..3)];
+            (host, k, bytes)
+        })
+        .collect()
 }
 
 fn build_programs(cfg: &SystemConfig, plan: &[(u32, u64, u32)]) -> Vec<Program> {
@@ -20,7 +27,12 @@ fn build_programs(cfg: &SystemConfig, plan: &[(u32, u64, u32)]) -> Vec<Program> 
     let tph = cfg.noc.tiles_per_host as usize;
     let mut b = Program::build();
     for &(host, k, bytes) in plan {
-        b = b.store(cfg.map.addr_on_slice(host, 0, k, 0), bytes, k + 1, cord_repro::cord_proto::StoreOrd::Relaxed);
+        b = b.store(
+            cfg.map.addr_on_slice(host, 0, k, 0),
+            bytes,
+            k + 1,
+            cord_repro::cord_proto::StoreOrd::Relaxed,
+        );
     }
     let mut programs = vec![Program::new(); tiles];
     // Publish one flag per touched host; consumers verify the last write.
@@ -30,10 +42,19 @@ fn build_programs(cfg: &SystemConfig, plan: &[(u32, u64, u32)]) -> Vec<Program> 
     for &h in &hosts {
         let flag = cfg.map.addr_on_slice(h, 1, 0, 0);
         b = b.store_release(flag, 1);
-        let last = plan.iter().rev().find(|&&(ph, _, _)| ph == h).expect("host touched");
+        let last = plan
+            .iter()
+            .rev()
+            .find(|&&(ph, _, _)| ph == h)
+            .expect("host touched");
         programs[h as usize * tph] = Program::build()
             .wait_value(flag, 1)
-            .load(cfg.map.addr_on_slice(h, 0, last.1, 0), 8, LoadOrd::Relaxed, 0)
+            .load(
+                cfg.map.addr_on_slice(h, 0, last.1, 0),
+                8,
+                LoadOrd::Relaxed,
+                0,
+            )
             .finish();
     }
     programs[0] = b.finish();
@@ -47,15 +68,19 @@ fn run(kind: ProtocolKind, plan: &[(u32, u64, u32)]) -> (SystemConfig, RunResult
     (cfg, r)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every protocol runs any random plan to completion, consumers observe
-    /// the last value written to their polled line, and runs are
-    /// deterministic.
-    #[test]
-    fn random_plans_complete_and_synchronize(plan in producer_plan()) {
-        for kind in [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Mp, ProtocolKind::Wb] {
+/// Every protocol runs any random plan to completion, consumers observe the
+/// last value written to their polled line, and runs are deterministic.
+#[test]
+fn random_plans_complete_and_synchronize() {
+    for case in 0..24 {
+        let mut rng = DetRng::new(0x914A).stream(case);
+        let plan = producer_plan(&mut rng);
+        for kind in [
+            ProtocolKind::Cord,
+            ProtocolKind::So,
+            ProtocolKind::Mp,
+            ProtocolKind::Wb,
+        ] {
             let (cfg, r) = run(kind, &plan);
             let tph = cfg.noc.tiles_per_host as usize;
             let mut hosts: Vec<u32> = plan.iter().map(|&(h, _, _)| h).collect();
@@ -65,71 +90,105 @@ proptest! {
                 let last = plan.iter().rev().find(|&&(ph, _, _)| ph == h).unwrap();
                 // The consumer polled the flag (released AFTER the data),
                 // so it must see the final value of that line.
-                prop_assert_eq!(r.regs[h as usize * tph][0], last.1 + 1, "{:?} host {}", kind, h);
+                assert_eq!(
+                    r.regs[h as usize * tph][0],
+                    last.1 + 1,
+                    "case {case} {kind:?} host {h}"
+                );
             }
             let (_, r2) = run(kind, &plan);
-            prop_assert_eq!(r.makespan, r2.makespan);
-            prop_assert_eq!(r.events, r2.events);
+            assert_eq!(r.makespan, r2.makespan, "case {case} {kind:?}");
+            assert_eq!(r.events, r2.events, "case {case} {kind:?}");
         }
     }
+}
 
-    /// CORD's inter-PU byte count is the analytic sum of its messages:
-    /// data + release metadata + one ack per release (+ nothing else at
-    /// fanout 1 per host with slice-0 data and slice-1 flags… which is
-    /// multi-directory, so notifications may appear — they must be counted
-    /// exactly by class).
-    #[test]
-    fn traffic_classes_are_consistent(plan in producer_plan()) {
+/// CORD's inter-PU byte count is the analytic sum of its messages: data +
+/// release metadata + one ack per release (+ nothing else at fanout 1 per
+/// host with slice-0 data and slice-1 flags… which is multi-directory, so
+/// notifications may appear — they must be counted exactly by class).
+#[test]
+fn traffic_classes_are_consistent() {
+    for case in 0..24 {
+        let mut rng = DetRng::new(0x7AFF1C).stream(case);
+        let plan = producer_plan(&mut rng);
         let (_, r) = run(ProtocolKind::Cord, &plan);
         let t = &r.traffic;
         let sum: u64 = MsgClass::ALL.iter().map(|&c| t[c].inter_bytes).sum();
-        prop_assert_eq!(sum, t.inter_bytes());
+        assert_eq!(sum, t.inter_bytes(), "case {case}");
         // Acks: exactly one per Release store (per touched host).
         let mut hosts: Vec<u32> = plan.iter().map(|&(h, _, _)| h).collect();
         hosts.sort_unstable();
         hosts.dedup();
-        prop_assert_eq!(t[MsgClass::Ack].inter_msgs, hosts.len() as u64);
+        assert_eq!(
+            t[MsgClass::Ack].inter_msgs,
+            hosts.len() as u64,
+            "case {case}"
+        );
         // Notifications are paired with requests.
-        prop_assert_eq!(t[MsgClass::ReqNotify].inter_msgs + t[MsgClass::ReqNotify].intra_msgs,
-                        t[MsgClass::Notify].inter_msgs + t[MsgClass::Notify].intra_msgs);
+        assert_eq!(
+            t[MsgClass::ReqNotify].inter_msgs + t[MsgClass::ReqNotify].intra_msgs,
+            t[MsgClass::Notify].inter_msgs + t[MsgClass::Notify].intra_msgs,
+            "case {case}"
+        );
     }
+}
 
-    /// The NoC never delivers before its uncontended latency, and per-pair
-    /// delivery order matches send order.
-    #[test]
-    fn noc_latency_and_fifo(sends in prop::collection::vec((0u32..4, 0u32..8, 0u32..4, 0u32..8, 1u64..4096), 1..64)) {
+/// The NoC never delivers before its uncontended latency, and per-pair
+/// delivery order matches send order.
+#[test]
+fn noc_latency_and_fifo() {
+    for case in 0..32 {
+        let mut rng = DetRng::new(0x40C).stream(case);
+        let n = rng.range_usize(1..64);
         let mut noc = Noc::new(NocConfig::cxl(4, 8));
-        let mut last: std::collections::HashMap<(u32, u32, u32, u32), Time> = std::collections::HashMap::new();
+        let mut last: std::collections::HashMap<(u32, u32, u32, u32), Time> =
+            std::collections::HashMap::new();
         let mut now = Time::ZERO;
-        for (sh, st, dh, dt, bytes) in sends {
-            now = now + Time::from_ns(1);
+        for _ in 0..n {
+            let (sh, st) = (rng.range_u64(0..4) as u32, rng.range_u64(0..8) as u32);
+            let (dh, dt) = (rng.range_u64(0..4) as u32, rng.range_u64(0..8) as u32);
+            let bytes = rng.range_u64(1..4096);
+            now += Time::from_ns(1);
             let src = TileId::new(sh, st);
             let dst = TileId::new(dh, dt);
             let t = noc.send(now, src, dst, bytes, MsgClass::Data);
             let base = noc.uncontended_latency(src, dst, bytes);
-            prop_assert!(t >= now + base.min(base), "delivered before physics");
-            prop_assert!(t >= now);
+            assert!(t >= now + base, "case {case}: delivered before physics");
+            assert!(t >= now, "case {case}");
             if let Some(prev) = last.insert((sh, st, dh, dt), t) {
-                prop_assert!(t >= prev, "per-pair FIFO violated");
+                assert!(t >= prev, "case {case}: per-pair FIFO violated");
             }
         }
     }
+}
 
-    /// Address mapping is a partition: every address has exactly one home,
-    /// and addr_on_slice round-trips.
-    #[test]
-    fn address_map_partitions(host in 0u32..8, slice in 0u32..8, k in 0u64..100_000, byte in 0u64..64) {
+/// Address mapping is a partition: every address has exactly one home, and
+/// addr_on_slice round-trips.
+#[test]
+fn address_map_partitions() {
+    for case in 0..64 {
+        let mut rng = DetRng::new(0xAD0).stream(case);
+        let host = rng.range_u64(0..8) as u32;
+        let slice = rng.range_u64(0..8) as u32;
+        let k = rng.range_u64(0..100_000);
+        let byte = rng.range_u64(0..64);
         let map = AddressMap::default();
         let a = map.addr_on_slice(host, slice, k, byte);
-        prop_assert_eq!(map.home_host(a), host);
-        prop_assert_eq!(map.home_slice(a), slice);
-        prop_assert_eq!(map.home_dir(a), host * 8 + slice);
+        assert_eq!(map.home_host(a), host, "case {case}");
+        assert_eq!(map.home_slice(a), slice, "case {case}");
+        assert_eq!(map.home_dir(a), host * 8 + slice, "case {case}");
     }
+}
 
-    /// The model checker is deterministic and never deadlocks CORD on
-    /// random two-thread publish patterns.
-    #[test]
-    fn checker_never_deadlocks_cord(n_data in 1u8..4, dirs in 1u8..4) {
+/// The model checker is deterministic and never deadlocks CORD on random
+/// two-thread publish patterns.
+#[test]
+fn checker_never_deadlocks_cord() {
+    for case in 0..16 {
+        let mut rng = DetRng::new(0xC4EC4).stream(case);
+        let n_data = rng.range_u64(1..4) as u8;
+        let dirs = rng.range_u64(1..4) as u8;
         use cord_repro::cord_check::dsl::*;
         let mut t0 = Vec::new();
         for v in 0..n_data {
@@ -137,12 +196,21 @@ proptest! {
         }
         t0.push(wrel(n_data, 1));
         let t1 = vec![wacq(n_data, 1), r(0, 0)];
-        let lit = Litmus::new("random-mp", vec![t0, t1], n_data + 1, vec![Cond::regs(vec![(1, 0, 0)])]);
+        let lit = Litmus::new(
+            "random-mp",
+            vec![t0, t1],
+            n_data + 1,
+            vec![Cond::regs(vec![(1, 0, 0)])],
+        );
         let placement: Vec<u8> = (0..=n_data).map(|v| v % dirs).collect();
-        let rep1 = explore(CheckConfig::cord(2, dirs), &lit, &placement, 1_000_000);
-        let rep2 = explore(CheckConfig::cord(2, dirs), &lit, &placement, 1_000_000);
-        prop_assert!(rep1.passes(&lit), "violations: {:?}", rep1.violations(&lit));
-        prop_assert_eq!(rep1.states, rep2.states);
-        prop_assert_eq!(rep1.outcomes, rep2.outcomes);
+        let rep1 = explore(&CheckConfig::cord(2, dirs), &lit, &placement, 1_000_000);
+        let rep2 = explore(&CheckConfig::cord(2, dirs), &lit, &placement, 1_000_000);
+        assert!(
+            rep1.passes(&lit),
+            "case {case}: violations: {:?}",
+            rep1.violations(&lit)
+        );
+        assert_eq!(rep1.states, rep2.states, "case {case}");
+        assert_eq!(rep1.outcomes, rep2.outcomes, "case {case}");
     }
 }
