@@ -5,7 +5,7 @@
 //! write-through acknowledgments, and the percentage of inter-PU traffic the
 //! acknowledgments themselves consume.
 
-use cord_bench::sweep::{run_recorded, Job};
+use cord_bench::sweep::{run_recorded_with, Job};
 use cord_bench::{print_table, run_app, Fabric};
 use cord_noc::MsgClass;
 use cord_proto::{ConsistencyModel, ProtocolKind, StallCause};
@@ -29,7 +29,15 @@ fn main() {
             })
         })
         .collect();
-    let mut results = run_recorded("fig2", jobs, |r| r.completion().as_ns_f64()).into_iter();
+    // With CORD_TRACE set, each run's metrics snapshot rides into the
+    // sweep record alongside its timing.
+    let mut results = run_recorded_with(
+        "fig2",
+        jobs,
+        |r| r.completion().as_ns_f64(),
+        |r| r.metrics.as_ref().map(|m| m.to_json()),
+    )
+    .into_iter();
 
     for fabric in Fabric::BOTH {
         let mut rows = Vec::new();

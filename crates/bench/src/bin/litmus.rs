@@ -12,8 +12,8 @@ use std::time::Instant;
 use cord_bench::print_table;
 use cord_bench::sweep::Recorder;
 use cord_check::{
-    classic_suite, explore, explore_all_placements, stress_configs, weak_suite, CheckConfig,
-    Litmus, Report, ThreadProto,
+    classic_suite, explore, explore_all_placements, narrate_violation, stress_configs, weak_suite,
+    CheckConfig, Litmus, Report, ThreadProto,
 };
 
 const CAP: usize = 2_000_000;
@@ -172,5 +172,19 @@ fn main() {
         !mp.violations(&isa2).is_empty(),
         !cord.violations(&isa2).is_empty()
     );
+
+    // Narrate one shortest MP counterexample so the §3.2 failure is not
+    // just a boolean: an ordered, tracer-style event listing.
+    if let Some(n) = narrate_violation(&CheckConfig::mp(3, 3), &isa2, &[2, 1, 2], CAP) {
+        println!(
+            "\nShortest MP/ISA2 counterexample ({} steps):",
+            n.steps.len()
+        );
+        println!("{}", n.render());
+        println!(
+            "forbidden outcome (regs thread-major, then memory): {:?}",
+            n.outcome
+        );
+    }
     rec.finish();
 }

@@ -1,6 +1,6 @@
 //! Topology extension study (beyond the paper's single-switch system).
 //!
-//! The paper's conclusion points at increasingly complex CXL fabrics ([25]).
+//! The paper's conclusion points at increasingly complex CXL fabrics (\[25\]).
 //! This experiment runs the end-to-end app models over a two-level pod/root
 //! switch hierarchy (two pods of four hosts; cross-pod traffic pays a root
 //! traversal) and reports CORD's advantage over source ordering on both

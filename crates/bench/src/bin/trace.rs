@@ -1,0 +1,188 @@
+//! One traced, configurable simulation run: Perfetto trace + metrics report.
+//!
+//! Runs a single workload under one protocol/fabric configuration with the
+//! tracer always on, writes a Chrome-trace-event JSON file (loadable in
+//! Perfetto or `chrome://tracing`), prints the metrics summary, and echoes
+//! the tail of the event stream as human-readable text.
+//!
+//! ```text
+//! trace [--app NAME | --micro STORE_GRAN,SYNC_GRAN,FANOUT]
+//!       [--proto cord|so|mp|wb|seq8|seq40] [--fabric cxl|upi]
+//!       [--hosts N] [--iters N] [--out PATH] [--tail N]
+//! ```
+//!
+//! Defaults: `--app MOCFE --proto cord --fabric cxl --hosts 4 --iters 2
+//! --out results/cord_trace.json --tail 16`.
+
+use cord::System;
+use cord_bench::{config, Fabric};
+use cord_proto::{ConsistencyModel, ProtocolKind};
+use cord_sim::trace::{
+    render_event, ChromeTraceWriter, MetricsRecorder, RingSink, Shared, TraceEvent, TraceSink,
+};
+use cord_workloads::{AppSpec, MicroBench};
+
+/// Fans one event stream out to the trace file and an in-memory tail.
+struct Tee {
+    file: Box<dyn TraceSink>,
+    tail: Shared<RingSink>,
+}
+
+impl TraceSink for Tee {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.file.emit(ev);
+        self.tail.emit(ev);
+    }
+
+    fn flush(&mut self) {
+        self.file.flush();
+    }
+}
+
+struct Args {
+    app: Option<String>,
+    micro: Option<(u32, u64, u32)>,
+    proto: ProtocolKind,
+    fabric: Fabric,
+    hosts: u32,
+    iters: u32,
+    out: String,
+    tail: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace [--app NAME | --micro STORE_GRAN,SYNC_GRAN,FANOUT] \
+         [--proto cord|so|mp|wb|seq8|seq40] [--fabric cxl|upi] \
+         [--hosts N] [--iters N] [--out PATH] [--tail N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        app: None,
+        micro: None,
+        proto: ProtocolKind::Cord,
+        fabric: Fabric::Cxl,
+        hosts: 4,
+        iters: 2,
+        out: "results/cord_trace.json".into(),
+        tail: 16,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        let mut val = || {
+            i += 1;
+            argv.get(i).cloned().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--app" => args.app = Some(val()),
+            "--micro" => {
+                let v = val();
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 3 {
+                    usage();
+                }
+                let g = parts[0].parse().unwrap_or_else(|_| usage());
+                let s = parts[1].parse().unwrap_or_else(|_| usage());
+                let f = parts[2].parse().unwrap_or_else(|_| usage());
+                args.micro = Some((g, s, f));
+            }
+            "--proto" => {
+                args.proto = match val().as_str() {
+                    "cord" => ProtocolKind::Cord,
+                    "so" => ProtocolKind::So,
+                    "mp" => ProtocolKind::Mp,
+                    "wb" => ProtocolKind::Wb,
+                    "seq8" => ProtocolKind::Seq { bits: 8 },
+                    "seq40" => ProtocolKind::Seq { bits: 40 },
+                    _ => usage(),
+                }
+            }
+            "--fabric" => {
+                args.fabric = match val().as_str() {
+                    "cxl" => Fabric::Cxl,
+                    "upi" => Fabric::Upi,
+                    _ => usage(),
+                }
+            }
+            "--hosts" => args.hosts = val().parse().unwrap_or_else(|_| usage()),
+            "--iters" => args.iters = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = val(),
+            "--tail" => args.tail = val().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if args.app.is_some() && args.micro.is_some() {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = config(args.proto, args.fabric, args.hosts, ConsistencyModel::Rc);
+    let (label, programs) = match args.micro {
+        Some((g, s, f)) => {
+            let mb = MicroBench::new(g, s, f).with_iters(args.iters);
+            (format!("micro {g},{s},{f}"), mb.programs(&cfg))
+        }
+        None => {
+            let name = args.app.as_deref().unwrap_or("MOCFE");
+            let mut app = AppSpec::by_name(name).unwrap_or_else(|| {
+                eprintln!("unknown application {name:?}");
+                std::process::exit(2)
+            });
+            app.iters = args.iters;
+            (name.to_string(), app.programs(&cfg))
+        }
+    };
+
+    if let Some(dir) = std::path::Path::new(&args.out).parent() {
+        if !dir.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+    }
+    let writer = ChromeTraceWriter::create(&args.out).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", args.out);
+        std::process::exit(1)
+    });
+    let tail = Shared::new(RingSink::new(args.tail.max(1)));
+
+    let mut sys = System::new(cfg, programs);
+    sys.tracer_mut().install(Box::new(Tee {
+        file: Box::new(writer),
+        tail: tail.clone(),
+    }));
+    sys.tracer_mut().attach_metrics(MetricsRecorder::default());
+    let r = sys.run();
+
+    println!(
+        "{label} under {:?}/{} x{} hosts: makespan {:.3} us, {} DES events",
+        args.proto,
+        args.fabric.label(),
+        args.hosts,
+        r.makespan.as_us_f64(),
+        r.events
+    );
+    match &r.metrics {
+        Some(m) => println!("\n{}", m.render_text()),
+        None => println!("(no metrics recorded)"),
+    }
+    if args.tail > 0 {
+        println!("last {} trace events:", tail.with(|s| s.len()));
+        tail.with(|s| {
+            for ev in s.events() {
+                println!("  {}", render_event(ev));
+            }
+        });
+    }
+    println!(
+        "\ntrace written to {} (open in https://ui.perfetto.dev)",
+        args.out
+    );
+}

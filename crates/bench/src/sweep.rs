@@ -55,11 +55,24 @@ pub fn run_recorded<O: Send>(
     jobs: Vec<Job<'_, O>>,
     sim_ns: impl Fn(&O) -> f64,
 ) -> Vec<O> {
+    run_recorded_with(sweep, jobs, sim_ns, |_| None)
+}
+
+/// Like [`run_recorded`], but also attaches a per-run metrics object to the
+/// JSON record. `metrics` extracts a pre-serialized JSON object (e.g.
+/// [`cord_sim::trace::MetricsSnapshot::to_json`]) from each output; runs
+/// returning `None` are recorded without a `"metrics"` field.
+pub fn run_recorded_with<O: Send>(
+    sweep: &str,
+    jobs: Vec<Job<'_, O>>,
+    sim_ns: impl Fn(&O) -> f64,
+    metrics: impl Fn(&O) -> Option<String>,
+) -> Vec<O> {
     let mut rec = Recorder::new(sweep);
     let timed = run_timed(&jobs, |(_, f)| f());
     let mut out = Vec::with_capacity(timed.len());
     for ((label, _), t) in jobs.iter().zip(timed) {
-        rec.record(label, t.wall_ms, sim_ns(&t.out));
+        rec.record_with_metrics(label, t.wall_ms, sim_ns(&t.out), metrics(&t.out));
         out.push(t.out);
     }
     rec.finish();
@@ -74,7 +87,7 @@ pub struct Recorder {
     sweep: String,
     threads: usize,
     start: Instant,
-    runs: Vec<(String, f64, f64)>,
+    runs: Vec<(String, f64, f64, Option<String>)>,
 }
 
 impl Recorder {
@@ -90,7 +103,20 @@ impl Recorder {
 
     /// Records one run.
     pub fn record(&mut self, label: &str, wall_ms: f64, sim_ns: f64) {
-        self.runs.push((label.to_string(), wall_ms, sim_ns));
+        self.record_with_metrics(label, wall_ms, sim_ns, None);
+    }
+
+    /// Records one run together with an optional pre-serialized metrics
+    /// JSON object (appended verbatim as the run's `"metrics"` field).
+    pub fn record_with_metrics(
+        &mut self,
+        label: &str,
+        wall_ms: f64,
+        sim_ns: f64,
+        metrics: Option<String>,
+    ) {
+        self.runs
+            .push((label.to_string(), wall_ms, sim_ns, metrics));
     }
 
     /// Writes this sweep's entry into the JSON file (read-modify-write,
@@ -103,9 +129,13 @@ impl Recorder {
         let runs = self
             .runs
             .iter()
-            .map(|(label, wall, sim)| {
+            .map(|(label, wall, sim, metrics)| {
+                let m = match metrics {
+                    Some(json) => format!(",\"metrics\":{json}"),
+                    None => String::new(),
+                };
                 format!(
-                    "{{\"label\":{},\"wall_ms\":{wall:.3},\"sim_ns\":{sim:.1}}}",
+                    "{{\"label\":{},\"wall_ms\":{wall:.3},\"sim_ns\":{sim:.1}{m}}}",
                     json_str(label)
                 )
             })
@@ -199,6 +229,28 @@ mod tests {
     fn json_escaping() {
         assert_eq!(json_str("plain"), "\"plain\"");
         assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn metrics_field_is_embedded_verbatim() {
+        let dir = std::env::temp_dir().join("cord_sweep_metrics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sweeps.json");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CORD_BENCH_JSON", &path);
+        let mut r = Recorder::new("unit-metrics");
+        r.record_with_metrics("a", 1.0, 2.0, Some("{\"events\":7}".into()));
+        r.record("b", 3.0, 4.0);
+        r.finish();
+        std::env::remove_var("CORD_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"metrics\":{\"events\":7}"), "{text}");
+        // The run without metrics must not gain an empty field.
+        assert!(
+            !text.contains("\"label\":\"b\",\"wall_ms\":3.000,\"sim_ns\":4.0,"),
+            "{text}"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -40,9 +40,11 @@
 mod explore;
 mod litmus;
 mod model;
+mod narrate;
 mod suites;
 
 pub use explore::{explore, explore_all_placements, Report};
 pub use litmus::{dsl, Cond, CondAtom, LOp, Litmus};
-pub use model::{CheckConfig, Model, NetMsg, State, ThreadProto};
+pub use model::{CheckConfig, Model, NetMsg, State, Step, ThreadProto};
+pub use narrate::{narrate_violation, Narrative};
 pub use suites::{classic_suite, stress_configs, tso_suite, weak_suite, ConfigFactory};

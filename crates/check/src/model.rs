@@ -172,6 +172,24 @@ pub enum NetMsg {
     },
 }
 
+/// One labeled transition of the abstract model: either a thread executed
+/// its next program operation, or an in-flight message committed at its
+/// destination. A sequence of steps from [`Model::init`] is a complete
+/// interleaving — the raw material for counterexample narration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Thread `t` executed operation `op` (and emitted any protocol
+    /// messages that operation entails).
+    Thread {
+        /// Thread index.
+        t: u8,
+        /// The program operation executed.
+        op: LOp,
+    },
+    /// The message was delivered and its guarded effects applied.
+    Deliver(NetMsg),
+}
+
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct ThreadSt {
     pc: u8,
@@ -361,6 +379,25 @@ impl<'a> Model<'a> {
     pub fn successors(&self, s: &State) -> Vec<State> {
         let mut out = Vec::new();
         self.successors_into(s, &mut out);
+        out
+    }
+
+    /// Like [`successors`](Self::successors) but labels every transition
+    /// with the [`Step`] that produced it, in the same enumeration order.
+    /// Used to reconstruct and narrate counterexample interleavings.
+    pub fn successors_labeled(&self, s: &State) -> Vec<(Step, State)> {
+        let mut out = Vec::new();
+        for t in 0..s.threads.len() {
+            if let Some(n) = self.thread_step(s, t) {
+                let op = self.ops[t][s.threads[t].pc as usize];
+                out.push((Step::Thread { t: t as u8, op }, n));
+            }
+        }
+        for (i, msg) in s.net.iter().enumerate() {
+            if let Some(n) = self.deliver(s, i, msg) {
+                out.push((Step::Deliver(msg.clone()), n));
+            }
+        }
         out
     }
 

@@ -35,6 +35,7 @@ use cord_proto::{
     FenceKind, Issue, LoadOrd, Msg, MsgKind, NodeRef, Op, ReadPath, StallCause, StoreOrd,
     SystemConfig, TableSizes, WtMeta,
 };
+use cord_sim::trace::TraceData;
 
 use crate::tables::LookupTable;
 
@@ -149,7 +150,16 @@ impl CordCore {
         noti_cnt: u32,
         ctx: &mut CoreCtx<'_>,
     ) {
-        let (tid, meta) = self.alloc_release(dst, noti_cnt);
+        let (tid, meta) = self.alloc_release(dst, noti_cnt, ctx);
+        let ep = self.epoch;
+        ctx.trace(|| TraceData::StoreIssue {
+            core: self.id.0,
+            tid,
+            addr: addr.raw(),
+            bytes,
+            release: true,
+            epoch: Some(ep),
+        });
         ctx.send(Msg::sized(
             NodeRef::Core(self.id),
             NodeRef::Dir(dst),
@@ -168,7 +178,7 @@ impl CordCore {
 
     /// Allocates a Release transaction: registers the epoch in the
     /// unacknowledged table and builds the wire metadata.
-    fn alloc_release(&mut self, dst: DirId, noti_cnt: u32) -> (u64, WtMeta) {
+    fn alloc_release(&mut self, dst: DirId, noti_cnt: u32, ctx: &mut CoreCtx<'_>) -> (u64, WtMeta) {
         let ep = self.epoch;
         let cnt_d = self.cnt.get(&dst).copied().unwrap_or(0);
         let last_prev_ep = self.last_unacked_for(dst);
@@ -177,6 +187,13 @@ impl CordCore {
         self.ack_wait.insert(tid, (ep, dst));
         let inserted = self.unacked.try_insert((ep, dst), ());
         debug_assert!(inserted, "caller must check unacked-table room");
+        ctx.trace(|| TraceData::TableInsert {
+            node: "core",
+            id: self.id.0,
+            table: "unacked",
+            occ: self.unacked.len() as u64,
+            cap: self.unacked.capacity() as u64,
+        });
         (
             tid,
             WtMeta::Release {
@@ -201,6 +218,12 @@ impl CordCore {
             return Some(StallCause::Overflow);
         }
         if !self.unacked.has_room() {
+            ctx.trace(|| TraceData::TableStallFull {
+                node: "core",
+                id: self.id.0,
+                table: "unacked",
+                cap: self.unacked.capacity() as u64,
+            });
             return Some(StallCause::TableFull);
         }
         // Conservative destination-directory provisioning check (§4.3): the
@@ -211,6 +234,12 @@ impl CordCore {
             .dir_cnt_per_proc
             .min(self.tables.dir_noti_per_proc);
         if self.unacked.len() + 1 > dir_budget {
+            ctx.trace(|| TraceData::TableStallFull {
+                node: "core",
+                id: self.id.0,
+                table: "dir_budget",
+                cap: dir_budget as u64,
+            });
             return Some(StallCause::TableFull);
         }
         let dst = home_dir(&self.map, addr);
@@ -218,6 +247,12 @@ impl CordCore {
         for &p in &pending {
             let relaxed_cnt = self.cnt.get(&p).copied().unwrap_or(0);
             let last_unacked_ep = self.last_unacked_for(p);
+            ctx.trace(|| TraceData::NotifyRequest {
+                core: self.id.0,
+                pending_dir: p.0,
+                dst_dir: dst.0,
+                epoch: self.epoch,
+            });
             ctx.send(Msg::new(
                 NodeRef::Core(self.id),
                 NodeRef::Dir(p),
@@ -231,9 +266,32 @@ impl CordCore {
             ));
         }
         self.send_release(dst, addr, bytes, value, pending.len() as u32, ctx);
+        self.close_epoch(pending.len() as u32, ctx);
+        None
+    }
+
+    /// Advances to the next epoch after a Release (resetting per-directory
+    /// store counters) and traces the transition.
+    fn close_epoch(&mut self, fanout: u32, ctx: &mut CoreCtx<'_>) {
+        let closed = self.epoch;
         self.epoch += 1;
         self.cnt.clear();
-        None
+        ctx.trace(|| TraceData::EpochClose {
+            core: self.id.0,
+            epoch: closed,
+            fanout,
+        });
+        ctx.trace(|| TraceData::TableEvict {
+            node: "core",
+            id: self.id.0,
+            table: "cnt",
+            occ: 0,
+            cap: self.cnt.capacity() as u64,
+        });
+        ctx.trace(|| TraceData::EpochOpen {
+            core: self.id.0,
+            epoch: self.epoch,
+        });
     }
 
     fn issue_relaxed(
@@ -256,12 +314,38 @@ impl CordCore {
             _ => {}
         }
         let ep = self.epoch;
+        let occ_before = self.cnt.len();
         match self.cnt.get_or_insert_with(dst, || 0) {
-            None => return Some(StallCause::TableFull),
+            None => {
+                ctx.trace(|| TraceData::TableStallFull {
+                    node: "core",
+                    id: self.id.0,
+                    table: "cnt",
+                    cap: self.cnt.capacity() as u64,
+                });
+                return Some(StallCause::TableFull);
+            }
             Some(c) => *c += 1,
+        }
+        if self.cnt.len() > occ_before {
+            ctx.trace(|| TraceData::TableInsert {
+                node: "core",
+                id: self.id.0,
+                table: "cnt",
+                occ: self.cnt.len() as u64,
+                cap: self.cnt.capacity() as u64,
+            });
         }
         let tid = self.next_tid;
         self.next_tid += 1;
+        ctx.trace(|| TraceData::StoreIssue {
+            core: self.id.0,
+            tid,
+            addr: addr.raw(),
+            bytes,
+            release: false,
+            epoch: Some(ep),
+        });
         ctx.send(Msg::sized(
             NodeRef::Core(self.id),
             NodeRef::Dir(dst),
@@ -313,8 +397,7 @@ impl CordCore {
                     let addr = self.addr_for_dir(p);
                     self.send_release(p, addr, 0, 0, 0, ctx);
                 }
-                self.epoch += 1;
-                self.cnt.clear();
+                self.close_epoch(pending.len() as u32, ctx);
                 self.fence_active = true;
                 Issue::Stall(StallCause::AckWait)
             }
@@ -402,6 +485,12 @@ impl CoreProtocol for CordCore {
                     for &p in &pending {
                         let relaxed_cnt = self.cnt.get(&p).copied().unwrap_or(0);
                         let last_unacked_ep = self.last_unacked_for(p);
+                        ctx.trace(|| TraceData::NotifyRequest {
+                            core: self.id.0,
+                            pending_dir: p.0,
+                            dst_dir: dst.0,
+                            epoch: self.epoch,
+                        });
                         ctx.send(Msg::new(
                             NodeRef::Core(self.id),
                             NodeRef::Dir(p),
@@ -414,8 +503,17 @@ impl CoreProtocol for CordCore {
                             },
                         ));
                     }
-                    let (tid, meta) = self.alloc_release(dst, pending.len() as u32);
+                    let (tid, meta) = self.alloc_release(dst, pending.len() as u32, ctx);
                     self.pending_atomic = Some(tid);
+                    let ep = self.epoch;
+                    ctx.trace(|| TraceData::StoreIssue {
+                        core: self.id.0,
+                        tid,
+                        addr: addr.raw(),
+                        bytes: 8,
+                        release: true,
+                        epoch: Some(ep),
+                    });
                     ctx.send(Msg::sized(
                         NodeRef::Core(self.id),
                         NodeRef::Dir(dst),
@@ -428,18 +526,34 @@ impl CoreProtocol for CordCore {
                         },
                         self.widths.release_overhead_bytes(),
                     ));
-                    self.epoch += 1;
-                    self.cnt.clear();
+                    self.close_epoch(pending.len() as u32, ctx);
                 } else {
                     // Relaxed atomic: counted in the epoch like a Relaxed
                     // store; blocking only for its value.
                     match self.cnt.get_or_insert_with(dst, || 0) {
-                        None => return Issue::Stall(StallCause::TableFull),
+                        None => {
+                            ctx.trace(|| TraceData::TableStallFull {
+                                node: "core",
+                                id: self.id.0,
+                                table: "cnt",
+                                cap: self.cnt.capacity() as u64,
+                            });
+                            return Issue::Stall(StallCause::TableFull);
+                        }
                         Some(c) => *c += 1,
                     }
                     let tid = self.next_tid;
                     self.next_tid += 1;
                     self.pending_atomic = Some(tid);
+                    let ep = self.epoch;
+                    ctx.trace(|| TraceData::StoreIssue {
+                        core: self.id.0,
+                        tid,
+                        addr: addr.raw(),
+                        bytes: 8,
+                        release: false,
+                        epoch: Some(ep),
+                    });
                     ctx.send(Msg::sized(
                         NodeRef::Core(self.id),
                         NodeRef::Dir(dst),
@@ -484,6 +598,13 @@ impl CoreProtocol for CordCore {
                     .remove(&tid)
                     .expect("CordCore: ack for unknown Release store");
                 self.unacked.remove(&(ep, dir));
+                ctx.trace(|| TraceData::TableEvict {
+                    node: "core",
+                    id: self.id.0,
+                    table: "unacked",
+                    occ: self.unacked.len() as u64,
+                    cap: self.unacked.capacity() as u64,
+                });
                 // Stalled Releases, fences or table-bound stores may proceed.
                 ctx.wake();
             }
@@ -500,6 +621,13 @@ impl CoreProtocol for CordCore {
                         .remove(&tid)
                         .expect("release atomic registered in ack_wait");
                     self.unacked.remove(&(ep, dir));
+                    ctx.trace(|| TraceData::TableEvict {
+                        node: "core",
+                        id: self.id.0,
+                        table: "unacked",
+                        occ: self.unacked.len() as u64,
+                        cap: self.unacked.capacity() as u64,
+                    });
                     ctx.wake();
                 }
                 ctx.load_done(old);

@@ -19,6 +19,7 @@
 //! whose occupancy is tracked (paper Fig. 12); committed state reclaims its
 //! lookup-table entries exactly as §4.3 prescribes.
 
+use cord_sim::trace::TraceData;
 use cord_sim::Time;
 
 use cord_mem::Addr;
@@ -143,6 +144,28 @@ impl CordDir {
         self.cnt.remove(&(pid, r.ep));
         self.noti.remove(&(pid, r.ep));
         self.releases_committed += 1;
+        ctx.trace(|| TraceData::StoreCommit {
+            dir: self.id.0,
+            core: pid,
+            tid: r.tid,
+            addr: r.addr.raw(),
+            release: true,
+            epoch: Some(r.ep),
+        });
+        ctx.trace(|| TraceData::TableEvict {
+            node: "dir",
+            id: self.id.0,
+            table: "cnt",
+            occ: self.cnt.len() as u64,
+            cap: self.cnt.capacity() as u64,
+        });
+        ctx.trace(|| TraceData::TableEvict {
+            node: "dir",
+            id: self.id.0,
+            table: "noti",
+            occ: self.noti.len() as u64,
+            cap: self.noti.capacity() as u64,
+        });
         let reply = match atomic_old {
             Some(old) => MsgKind::AtomicResp {
                 tid: r.tid,
@@ -172,6 +195,13 @@ impl CordDir {
         }
         // Reclaim the store-counter entry once the notification is sent.
         self.cnt.remove(&(pid, r.ep));
+        ctx.trace(|| TraceData::TableEvict {
+            node: "dir",
+            id: self.id.0,
+            table: "cnt",
+            occ: self.cnt.len() as u64,
+            cap: self.cnt.capacity() as u64,
+        });
         ctx.send_after(
             self.llc_access,
             Msg::new(
@@ -197,6 +227,7 @@ impl CordDir {
                 if self.try_release(&r, ctx) {
                     self.buf_bytes -= r.wire_bytes;
                     self.held_rel.swap_remove(i);
+                    self.trace_netbuf_evict(ctx);
                     advanced = true;
                 } else {
                     i += 1;
@@ -208,6 +239,7 @@ impl CordDir {
                 if self.try_reqnotify(&r, ctx) {
                     self.buf_bytes -= r.wire_bytes;
                     self.held_rfn.swap_remove(j);
+                    self.trace_netbuf_evict(ctx);
                     advanced = true;
                 } else {
                     j += 1;
@@ -219,16 +251,40 @@ impl CordDir {
         }
     }
 
-    fn hold_release(&mut self, r: HeldRelease) {
+    fn hold_release(&mut self, r: HeldRelease, ctx: &mut DirCtx<'_>) {
         self.buf_bytes += r.wire_bytes;
         self.peak_buf_bytes = self.peak_buf_bytes.max(self.buf_bytes);
         self.held_rel.push(r);
+        self.trace_netbuf_insert(ctx);
     }
 
-    fn hold_reqnotify(&mut self, r: HeldReqNotify) {
+    fn hold_reqnotify(&mut self, r: HeldReqNotify, ctx: &mut DirCtx<'_>) {
         self.buf_bytes += r.wire_bytes;
         self.peak_buf_bytes = self.peak_buf_bytes.max(self.buf_bytes);
         self.held_rfn.push(r);
+        self.trace_netbuf_insert(ctx);
+    }
+
+    /// Traces network-buffer occupancy (in bytes; the buffer is unbounded, so
+    /// capacity is reported as 0).
+    fn trace_netbuf_insert(&self, ctx: &mut DirCtx<'_>) {
+        ctx.trace(|| TraceData::TableInsert {
+            node: "dir",
+            id: self.id.0,
+            table: "netbuf",
+            occ: self.buf_bytes,
+            cap: 0,
+        });
+    }
+
+    fn trace_netbuf_evict(&self, ctx: &mut DirCtx<'_>) {
+        ctx.trace(|| TraceData::TableEvict {
+            node: "dir",
+            id: self.id.0,
+            table: "netbuf",
+            occ: self.buf_bytes,
+            cap: 0,
+        });
     }
 }
 
@@ -261,6 +317,21 @@ impl DirProtocol for CordDir {
                             self.id.0
                         ),
                     }
+                    ctx.trace(|| TraceData::StoreCommit {
+                        dir: self.id.0,
+                        core: pid,
+                        tid,
+                        addr: addr.raw(),
+                        release: false,
+                        epoch: Some(ep),
+                    });
+                    ctx.trace(|| TraceData::TableInsert {
+                        node: "dir",
+                        id: self.id.0,
+                        table: "cnt",
+                        occ: self.cnt.len() as u64,
+                        cap: self.cnt.capacity() as u64,
+                    });
                     self.progress(ctx);
                 }
                 WtMeta::Release {
@@ -290,7 +361,7 @@ impl DirProtocol for CordDir {
                     if self.try_release(&r, ctx) {
                         self.progress(ctx);
                     } else {
-                        self.hold_release(r);
+                        self.hold_release(r, ctx);
                     }
                 }
                 other => panic!("CordDir: store with foreign metadata {other:?}"),
@@ -316,6 +387,21 @@ impl DirProtocol for CordDir {
                             Some(c) => *c += 1,
                             None => panic!("CordDir {}: store-counter table overflow", self.id.0),
                         }
+                        ctx.trace(|| TraceData::StoreCommit {
+                            dir: self.id.0,
+                            core: src.0,
+                            tid,
+                            addr: addr.raw(),
+                            release: false,
+                            epoch: Some(ep),
+                        });
+                        ctx.trace(|| TraceData::TableInsert {
+                            node: "dir",
+                            id: self.id.0,
+                            table: "cnt",
+                            occ: self.cnt.len() as u64,
+                            cap: self.cnt.capacity() as u64,
+                        });
                         ctx.send_after(
                             self.llc_access,
                             Msg::new(
@@ -352,7 +438,7 @@ impl DirProtocol for CordDir {
                         if self.try_release(&r, ctx) {
                             self.progress(ctx);
                         } else {
-                            self.hold_release(r);
+                            self.hold_release(r, ctx);
                         }
                     }
                     other => panic!("CordDir: atomic with foreign metadata {other:?}"),
@@ -374,7 +460,7 @@ impl DirProtocol for CordDir {
                     wire_bytes: msg.bytes,
                 };
                 if !self.try_reqnotify(&r, ctx) {
-                    self.hold_reqnotify(r);
+                    self.hold_reqnotify(r, ctx);
                 }
             }
             MsgKind::Notify { core, ep } => {
@@ -386,6 +472,18 @@ impl DirProtocol for CordDir {
                         self.id.0
                     ),
                 }
+                ctx.trace(|| TraceData::NotifyArrive {
+                    dir: self.id.0,
+                    core: core.0,
+                    epoch: ep,
+                });
+                ctx.trace(|| TraceData::TableInsert {
+                    node: "dir",
+                    id: self.id.0,
+                    table: "noti",
+                    occ: self.noti.len() as u64,
+                    cap: self.noti.capacity() as u64,
+                });
                 self.progress(ctx);
             }
             MsgKind::ReadReq { tid, addr, bytes } => {

@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use cord_proto::{CoreCtx, CoreEffect, CoreProtocol, CostModel, Issue, Op, Program, StallCause};
+use cord_sim::trace::Tracer;
 use cord_sim::{StallTracker, Time};
 
 /// Scheduling requests the frontend hands to the runner.
@@ -150,15 +151,29 @@ impl Frontend {
     fn begin_stall(&mut self, cause: StallCause, now: Time) {
         if self.open_stall.is_none() {
             self.open_stall = Some((cause, now));
+            self.stalls.entry(cause).or_default().begin(now);
         }
     }
 
     fn end_stall(&mut self, now: Time) {
-        if let Some((cause, start)) = self.open_stall.take() {
-            self.stalls
-                .entry(cause)
-                .or_default()
-                .add(now.saturating_sub(start));
+        if let Some((cause, _start)) = self.open_stall.take() {
+            self.stalls.entry(cause).or_default().end(now);
+        }
+    }
+
+    /// The stall episode currently open, if any: `(cause, since)`. The
+    /// runner diffs this around frontend callbacks to emit stall trace
+    /// events.
+    pub fn open_stall(&self) -> Option<(StallCause, Time)> {
+        self.open_stall
+    }
+
+    /// Closes any still-open stall episode at drain time `now`, so a core
+    /// that ends the run blocked (e.g. under a truncated event budget or a
+    /// buggy config) still attributes its trailing stall.
+    pub fn flush_stalls(&mut self, now: Time) {
+        if let Some((cause, _start)) = self.open_stall.take() {
+            self.stalls.entry(cause).or_default().flush(now);
         }
     }
 
@@ -180,6 +195,7 @@ impl Frontend {
         engine: &mut E,
         fx: &mut Vec<CoreEffect>,
         acts: &mut Vec<FeAction>,
+        trace: Option<&mut Tracer>,
     ) {
         let Some(op) = self.program.op(self.pc).cloned() else {
             self.end_stall(now);
@@ -193,7 +209,7 @@ impl Frontend {
             self.reschedule(now + dur, acts);
             return;
         }
-        let mut ctx = CoreCtx::new(now, fx);
+        let mut ctx = CoreCtx::traced(now, fx, trace);
         match engine.issue(&op, &mut ctx) {
             Issue::Done => {
                 self.end_stall(now);
@@ -234,11 +250,12 @@ impl Frontend {
         engine: &mut E,
         fx: &mut Vec<CoreEffect>,
         acts: &mut Vec<FeAction>,
+        trace: Option<&mut Tracer>,
     ) {
         if gen != self.gen || !matches!(self.state, FeState::Scheduled) {
             return; // stale event
         }
-        self.try_issue(now, engine, fx, acts);
+        self.try_issue(now, engine, fx, acts, trace);
     }
 
     /// Handles an engine wake (retry a stalled issue; ignored otherwise).
@@ -248,9 +265,10 @@ impl Frontend {
         engine: &mut E,
         fx: &mut Vec<CoreEffect>,
         acts: &mut Vec<FeAction>,
+        trace: Option<&mut Tracer>,
     ) {
         if matches!(self.state, FeState::Blocked(_)) {
-            self.try_issue(now, engine, fx, acts);
+            self.try_issue(now, engine, fx, acts, trace);
         }
     }
 
@@ -341,7 +359,7 @@ mod tests {
         let mut now;
         while let Some(FeAction::StepAt { at, gen }) = pending.pop() {
             now = at;
-            fe.on_step(gen, now, &mut eng, &mut fx, &mut acts);
+            fe.on_step(gen, now, &mut eng, &mut fx, &mut acts, None);
             pending.append(&mut acts);
         }
         assert!(fe.is_done());
@@ -359,10 +377,10 @@ mod tests {
         };
         let mut fx = Vec::new();
         let mut acts = Vec::new();
-        fe.on_step(0, Time::from_ns(100), &mut eng, &mut fx, &mut acts);
+        fe.on_step(0, Time::from_ns(100), &mut eng, &mut fx, &mut acts, None);
         assert!(acts.is_empty(), "blocked: nothing scheduled");
         // engine wake 50 ns later
-        fe.on_wake(Time::from_ns(150), &mut eng, &mut fx, &mut acts);
+        fe.on_wake(Time::from_ns(150), &mut eng, &mut fx, &mut acts, None);
         assert_eq!(fe.stall_time(StallCause::AckWait), Time::from_ns(50));
         assert_eq!(acts.len(), 1);
     }
@@ -377,19 +395,19 @@ mod tests {
         };
         let mut fx = Vec::new();
         let mut acts = Vec::new();
-        fe.on_step(0, Time::ZERO, &mut eng, &mut fx, &mut acts);
+        fe.on_step(0, Time::ZERO, &mut eng, &mut fx, &mut acts, None);
         // first poll comes back wrong
         fe.on_load_done(0, Time::from_ns(40), &mut acts);
         let FeAction::StepAt { at, gen } = acts[0];
         assert_eq!(at, Time::from_ns(40) + costs().poll_interval);
         // retry issues the wait again
-        fe.on_step(gen, at, &mut eng, &mut fx, &mut acts);
+        fe.on_step(gen, at, &mut eng, &mut fx, &mut acts, None);
         // now the value matches
         fe.on_load_done(7, at + Time::from_ns(30), &mut acts);
         assert_eq!(fe.polls(), 2);
         // final step ends the program
         let FeAction::StepAt { at: at2, gen: gen2 } = *acts.last().unwrap();
-        fe.on_step(gen2, at2, &mut eng, &mut fx, &mut acts);
+        fe.on_step(gen2, at2, &mut eng, &mut fx, &mut acts, None);
         assert!(fe.is_done());
     }
 
@@ -403,14 +421,14 @@ mod tests {
         };
         let mut fx = Vec::new();
         let mut acts = Vec::new();
-        fe.on_wake(Time::ZERO, &mut eng, &mut fx, &mut acts); // not blocked: ignored
+        fe.on_wake(Time::ZERO, &mut eng, &mut fx, &mut acts, None); // not blocked: ignored
         assert!(eng.issued.is_empty());
-        fe.on_step(99, Time::ZERO, &mut eng, &mut fx, &mut acts); // wrong gen
+        fe.on_step(99, Time::ZERO, &mut eng, &mut fx, &mut acts, None); // wrong gen
         assert!(eng.issued.is_empty());
-        fe.on_step(0, Time::ZERO, &mut eng, &mut fx, &mut acts);
+        fe.on_step(0, Time::ZERO, &mut eng, &mut fx, &mut acts, None);
         assert_eq!(eng.issued.len(), 1);
         // the old gen-0 step arriving again is stale now
-        fe.on_step(0, Time::from_ns(1), &mut eng, &mut fx, &mut acts);
+        fe.on_step(0, Time::from_ns(1), &mut eng, &mut fx, &mut acts, None);
         assert_eq!(eng.issued.len(), 1);
     }
 
@@ -426,7 +444,7 @@ mod tests {
         };
         let mut fx = Vec::new();
         let mut acts = Vec::new();
-        fe.on_step(0, Time::ZERO, &mut eng, &mut fx, &mut acts);
+        fe.on_step(0, Time::ZERO, &mut eng, &mut fx, &mut acts, None);
         fe.on_load_done(55, Time::from_ns(10), &mut acts);
         assert_eq!(fe.regs()[3], 55);
     }
@@ -440,7 +458,7 @@ mod tests {
         };
         let mut fx = Vec::new();
         let mut acts = Vec::new();
-        fe.on_step(0, Time::ZERO, &mut eng, &mut fx, &mut acts);
+        fe.on_step(0, Time::ZERO, &mut eng, &mut fx, &mut acts, None);
         assert!(fe.is_done());
         assert_eq!(fe.finish_time(), Some(Time::ZERO));
     }

@@ -16,6 +16,7 @@ use cord_proto::{
     CoreCtx, CoreEffect, CoreId, CoreProtoStats, CoreProtocol, DirCtx, DirEffect, DirId,
     DirProtocol, DirStorage, Msg, NodeRef, Program, StallCause, SystemConfig,
 };
+use cord_sim::trace::{MetricsSnapshot, TraceData, Tracer};
 use cord_sim::{EventQueue, Time};
 
 use crate::any::{AnyCore, AnyDir};
@@ -67,6 +68,9 @@ pub struct RunResult {
     pub polls: u64,
     /// Events processed.
     pub events: u64,
+    /// Trace-derived metrics, when a `MetricsRecorder` was attached (via
+    /// `CORD_TRACE=1` or [`System::tracer_mut`]).
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunResult {
@@ -146,6 +150,9 @@ pub struct System {
     scratch_fx: Vec<CoreEffect>,
     scratch_acts: Vec<FeAction>,
     scratch_dfx: Vec<DirEffect>,
+    /// Protocol tracing; disabled (a pair of `None`s) unless `CORD_TRACE`
+    /// is set or a sink is installed through [`System::tracer_mut`].
+    tracer: Tracer,
 }
 
 impl System {
@@ -205,7 +212,14 @@ impl System {
             scratch_fx: Vec::new(),
             scratch_acts: Vec::new(),
             scratch_dfx: Vec::new(),
+            tracer: Tracer::from_env(),
         }
+    }
+
+    /// The system's tracer, for installing sinks or a metrics recorder
+    /// programmatically (tests, the `trace` binary).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
     }
 
     /// Caps the number of processed events (guards against livelock in
@@ -242,25 +256,34 @@ impl System {
             );
             drained = now;
             match ev {
-                Event::Deliver(msg) => match msg.dst {
-                    NodeRef::Core(CoreId(c)) => {
-                        self.with_core(c as usize, now, |fe, eng, fx, acts| {
-                            let _ = fe;
-                            let _ = acts;
-                            let mut ctx = CoreCtx::new(now, fx);
-                            eng.on_msg(msg.src, msg.kind, &mut ctx);
-                        });
+                Event::Deliver(msg) => {
+                    self.tracer.emit_with(now, || TraceData::MsgDeliver {
+                        src: msg.src.tile_flat(),
+                        dst: msg.dst.tile_flat(),
+                        kind: msg.kind.name(),
+                        class: msg.class().label(),
+                        bytes: msg.bytes,
+                    });
+                    match msg.dst {
+                        NodeRef::Core(CoreId(c)) => {
+                            self.with_core(c as usize, now, |fe, eng, fx, acts, tr| {
+                                let _ = fe;
+                                let _ = acts;
+                                let mut ctx = CoreCtx::traced(now, fx, tr);
+                                eng.on_msg(msg.src, msg.kind, &mut ctx);
+                            });
+                        }
+                        NodeRef::Dir(DirId(d)) => self.deliver_dir(d as usize, now, msg),
                     }
-                    NodeRef::Dir(DirId(d)) => self.deliver_dir(d as usize, now, msg),
-                },
+                }
                 Event::CoreStep { core, gen } => {
-                    self.with_core(core as usize, now, |fe, eng, fx, acts| {
-                        fe.on_step(gen, now, eng, fx, acts);
+                    self.with_core(core as usize, now, |fe, eng, fx, acts, tr| {
+                        fe.on_step(gen, now, eng, fx, acts, tr);
                     });
                 }
                 Event::CoreWake { core } => {
-                    self.with_core(core as usize, now, |fe, eng, fx, acts| {
-                        fe.on_wake(now, eng, fx, acts);
+                    self.with_core(core as usize, now, |fe, eng, fx, acts, tr| {
+                        fe.on_wake(now, eng, fx, acts, tr);
                     });
                 }
                 Event::DirWake { dir } => {
@@ -269,7 +292,8 @@ impl System {
                     fx.clear();
                     {
                         let node = &mut self.dirs[d];
-                        let mut ctx = DirCtx::new(now, &mut node.mem, &mut fx);
+                        let mut ctx =
+                            DirCtx::traced(now, &mut node.mem, &mut fx, self.tracer.active());
                         node.engine.retry(&mut ctx);
                     }
                     self.apply_dir_effects(d, now, &mut fx);
@@ -284,8 +308,24 @@ impl System {
             self.queue.peek_time().is_none(),
             "events scheduled after drain"
         );
+        // Close stall episodes still open at drain so they are neither lost
+        // from `RunResult::stalls` nor left dangling in the trace.
+        for (i, node) in self.cores.iter_mut().enumerate() {
+            if let Some((cause, since)) = node.fe.open_stall() {
+                self.tracer.emit_with(drained, || TraceData::StallEnd {
+                    core: i as u32,
+                    cause: cause.label(),
+                    since,
+                });
+            }
+            node.fe.flush_stalls(drained);
+        }
+        self.tracer.finish();
+        let metrics = self.tracer.take_metrics().map(|m| m.snapshot());
         self.check_finished();
-        self.collect(drained, events)
+        let mut result = self.collect(drained, events);
+        result.metrics = metrics;
+        result
     }
 
     /// Runs a closure against core `i`'s frontend+engine, then applies all
@@ -294,7 +334,13 @@ impl System {
         &mut self,
         i: usize,
         now: Time,
-        f: impl FnOnce(&mut Frontend, &mut AnyCore, &mut Vec<CoreEffect>, &mut Vec<FeAction>),
+        f: impl FnOnce(
+            &mut Frontend,
+            &mut AnyCore,
+            &mut Vec<CoreEffect>,
+            &mut Vec<FeAction>,
+            Option<&mut Tracer>,
+        ),
     ) {
         // Reuse the scratch vectors (taken, not borrowed, so the apply loop
         // below can still call &mut self methods).
@@ -304,7 +350,42 @@ impl System {
         acts.clear();
         {
             let node = &mut self.cores[i];
-            f(&mut node.fe, &mut node.engine, &mut fx, &mut acts);
+            let traced = self.tracer.enabled();
+            let before = if traced { node.fe.open_stall() } else { None };
+            f(
+                &mut node.fe,
+                &mut node.engine,
+                &mut fx,
+                &mut acts,
+                self.tracer.active(),
+            );
+            if traced {
+                // Frontend stall transitions are observable as open-stall
+                // diffs around the callback; emitting here keeps the hot
+                // untraced path free of any bookkeeping.
+                let after = node.fe.open_stall();
+                if before != after {
+                    if let Some((cause, since)) = before {
+                        self.tracer.emit(
+                            now,
+                            TraceData::StallEnd {
+                                core: i as u32,
+                                cause: cause.label(),
+                                since,
+                            },
+                        );
+                    }
+                    if let Some((cause, since)) = after {
+                        self.tracer.emit(
+                            since,
+                            TraceData::StallBegin {
+                                core: i as u32,
+                                cause: cause.label(),
+                            },
+                        );
+                    }
+                }
+            }
         }
         // Effects may re-enter the frontend (load/op completions), which can
         // append more effects; index-iterate so appends are seen.
@@ -343,7 +424,7 @@ impl System {
         fx.clear();
         {
             let node = &mut self.dirs[d];
-            let mut ctx = DirCtx::new(now, &mut node.mem, &mut fx);
+            let mut ctx = DirCtx::traced(now, &mut node.mem, &mut fx, self.tracer.active());
             node.engine.on_msg(msg, &mut ctx);
         }
         self.apply_dir_effects(d, now, &mut fx);
@@ -368,6 +449,14 @@ impl System {
         let src = TileId::from_flat(msg.src.tile_flat(), tph);
         let dst = TileId::from_flat(msg.dst.tile_flat(), tph);
         let arrive = self.noc.send(depart, src, dst, msg.bytes, msg.class());
+        self.tracer.emit_with(depart, || TraceData::MsgSend {
+            src: msg.src.tile_flat(),
+            dst: msg.dst.tile_flat(),
+            kind: msg.kind.name(),
+            class: msg.class().label(),
+            bytes: msg.bytes,
+            arrive,
+        });
         self.queue.push(arrive, Event::Deliver(msg));
     }
 
@@ -413,6 +502,7 @@ impl System {
             regs: self.cores.iter().map(|c| *c.fe.regs()).collect(),
             polls,
             events,
+            metrics: None,
         }
     }
 }

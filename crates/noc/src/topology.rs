@@ -71,6 +71,17 @@ impl MsgClass {
         MsgClass::Notify,
         MsgClass::Ctrl,
     ];
+
+    /// Static class label, used for tracing and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Data => "Data",
+            MsgClass::Ack => "Ack",
+            MsgClass::ReqNotify => "ReqNotify",
+            MsgClass::Notify => "Notify",
+            MsgClass::Ctrl => "Ctrl",
+        }
+    }
 }
 
 /// Two-level inter-host hierarchy: hosts grouped into pods with local
@@ -110,7 +121,7 @@ pub struct NocConfig {
 }
 
 impl NocConfig {
-    /// CXL fabric: 150 ns one-way inter-host latency (paper Table 1, [39]).
+    /// CXL fabric: 150 ns one-way inter-host latency (paper Table 1, \[39\]).
     pub fn cxl(hosts: u32, tiles_per_host: u32) -> Self {
         NocConfig {
             hosts,

@@ -14,6 +14,7 @@
 //! in isolation.
 
 use cord_mem::Memory;
+use cord_sim::trace::{TraceData, Tracer};
 use cord_sim::Time;
 
 use crate::msg::{Msg, MsgKind, NodeRef};
@@ -54,6 +55,20 @@ pub enum StallCause {
     Other,
 }
 
+impl StallCause {
+    /// Static label used for stall attribution in traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallCause::AckWait => "AckWait",
+            StallCause::StoreWindow => "StoreWindow",
+            StallCause::TableFull => "TableFull",
+            StallCause::Overflow => "Overflow",
+            StallCause::StoreBuffer => "StoreBuffer",
+            StallCause::Other => "Other",
+        }
+    }
+}
+
 /// Effects a core engine requests from the runner.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreEffect {
@@ -81,12 +96,39 @@ pub struct CoreCtx<'a> {
     /// Current simulation time.
     pub now: Time,
     effects: &'a mut Vec<CoreEffect>,
+    trace: Option<&'a mut Tracer>,
 }
 
 impl<'a> CoreCtx<'a> {
-    /// Creates a context writing effects into `effects`.
+    /// Creates an untraced context writing effects into `effects`.
     pub fn new(now: Time, effects: &'a mut Vec<CoreEffect>) -> Self {
-        CoreCtx { now, effects }
+        CoreCtx {
+            now,
+            effects,
+            trace: None,
+        }
+    }
+
+    /// Creates a context that also forwards trace events to `trace`.
+    pub fn traced(
+        now: Time,
+        effects: &'a mut Vec<CoreEffect>,
+        trace: Option<&'a mut Tracer>,
+    ) -> Self {
+        CoreCtx {
+            now,
+            effects,
+            trace,
+        }
+    }
+
+    /// Emits a trace event at the current time; with no tracer attached this
+    /// is a branch on `None` and `f` never runs.
+    #[inline]
+    pub fn trace(&mut self, f: impl FnOnce() -> TraceData) {
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(self.now, f());
+        }
     }
 
     /// Requests immediate transmission of `msg`.
@@ -182,13 +224,43 @@ pub struct DirCtx<'a> {
     /// This slice's authoritative word storage.
     pub mem: &'a mut Memory,
     effects: &'a mut Vec<DirEffect>,
+    trace: Option<&'a mut Tracer>,
 }
 
 impl<'a> DirCtx<'a> {
-    /// Creates a context over the slice memory, writing effects into
-    /// `effects`.
+    /// Creates an untraced context over the slice memory, writing effects
+    /// into `effects`.
     pub fn new(now: Time, mem: &'a mut Memory, effects: &'a mut Vec<DirEffect>) -> Self {
-        DirCtx { now, mem, effects }
+        DirCtx {
+            now,
+            mem,
+            effects,
+            trace: None,
+        }
+    }
+
+    /// Creates a context that also forwards trace events to `trace`.
+    pub fn traced(
+        now: Time,
+        mem: &'a mut Memory,
+        effects: &'a mut Vec<DirEffect>,
+        trace: Option<&'a mut Tracer>,
+    ) -> Self {
+        DirCtx {
+            now,
+            mem,
+            effects,
+            trace,
+        }
+    }
+
+    /// Emits a trace event at the current time; with no tracer attached this
+    /// is a branch on `None` and `f` never runs.
+    #[inline]
+    pub fn trace(&mut self, f: impl FnOnce() -> TraceData) {
+        if let Some(t) = self.trace.as_mut() {
+            t.emit(self.now, f());
+        }
     }
 
     /// Requests immediate transmission of `msg`.

@@ -12,6 +12,7 @@
 //! under TSO it remains an upper bound on efficiency rather than a correct
 //! implementation (paper §6).
 
+use cord_sim::trace::TraceData;
 use cord_sim::Time;
 
 use cord_mem::AddressMap;
@@ -75,6 +76,16 @@ impl CoreProtocol for MpCore {
                 ord,
             } => {
                 let dir = DirId(self.map.home_dir(addr));
+                let core = self.id.0;
+                // Posted writes carry no transaction id; trace them as tid 0.
+                ctx.trace(|| TraceData::StoreIssue {
+                    core,
+                    tid: 0,
+                    addr: addr.raw(),
+                    bytes,
+                    release: ord == StoreOrd::Release,
+                    epoch: None,
+                });
                 ctx.send(Msg::new(
                     NodeRef::Core(self.id),
                     NodeRef::Dir(dir),
@@ -94,6 +105,15 @@ impl CoreProtocol for MpCore {
                 self.next_tid += 1;
                 self.pending_atomic = Some(tid);
                 let dir = DirId(self.map.home_dir(addr));
+                let core = self.id.0;
+                ctx.trace(|| TraceData::StoreIssue {
+                    core,
+                    tid,
+                    addr: addr.raw(),
+                    bytes: 8,
+                    release: ord == StoreOrd::Release,
+                    epoch: None,
+                });
                 ctx.send(Msg::new(
                     NodeRef::Core(self.id),
                     NodeRef::Dir(dir),
@@ -167,12 +187,39 @@ impl MpDir {
 impl DirProtocol for MpDir {
     fn on_msg(&mut self, msg: Msg, ctx: &mut DirCtx<'_>) {
         match msg.kind {
-            MsgKind::MpWrite { addr, value, .. } => {
+            MsgKind::MpWrite {
+                addr,
+                value,
+                strong,
+                ..
+            } => {
                 // Posted write: committed in arrival (= channel) order.
                 ctx.mem.store(addr, value);
+                ctx.trace(|| TraceData::StoreCommit {
+                    dir: self.id.0,
+                    core: msg.src.tile_flat(),
+                    tid: 0,
+                    addr: addr.raw(),
+                    release: strong,
+                    epoch: None,
+                });
             }
-            MsgKind::AtomicReq { tid, addr, add, .. } => {
+            MsgKind::AtomicReq {
+                tid,
+                addr,
+                add,
+                ord,
+                ..
+            } => {
                 let old = ctx.mem.fetch_add(addr, add);
+                ctx.trace(|| TraceData::StoreCommit {
+                    dir: self.id.0,
+                    core: msg.src.tile_flat(),
+                    tid,
+                    addr: addr.raw(),
+                    release: ord == StoreOrd::Release,
+                    epoch: None,
+                });
                 ctx.send_after(
                     self.llc_access,
                     Msg::new(

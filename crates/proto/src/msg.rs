@@ -271,6 +271,28 @@ impl MsgKind {
         }
     }
 
+    /// Static kind label, used for tracing.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MsgKind::WtStore { .. } => "WtStore",
+            MsgKind::WtAck { .. } => "WtAck",
+            MsgKind::AtomicReq { .. } => "AtomicReq",
+            MsgKind::AtomicResp { .. } => "AtomicResp",
+            MsgKind::ReadReq { .. } => "ReadReq",
+            MsgKind::ReadResp { .. } => "ReadResp",
+            MsgKind::ReqNotify { .. } => "ReqNotify",
+            MsgKind::Notify { .. } => "Notify",
+            MsgKind::MpWrite { .. } => "MpWrite",
+            MsgKind::GetS { .. } => "GetS",
+            MsgKind::GetM { .. } => "GetM",
+            MsgKind::DataResp { .. } => "DataResp",
+            MsgKind::FwdGetS { .. } => "FwdGetS",
+            MsgKind::Inv { .. } => "Inv",
+            MsgKind::InvAck { .. } => "InvAck",
+            MsgKind::PutM { .. } => "PutM",
+        }
+    }
+
     /// Traffic class for accounting.
     pub fn class(&self) -> MsgClass {
         match self {

@@ -20,6 +20,7 @@
 use std::collections::{BTreeMap, HashMap};
 
 use cord_mem::{Addr, AddressMap};
+use cord_sim::trace::TraceData;
 use cord_sim::Time;
 
 use crate::common::{home_dir, ReadPath};
@@ -128,6 +129,15 @@ impl CoreProtocol for SeqCore {
                 if needs_ack {
                     self.pending_acks.insert(tid, (dir, wrap));
                 }
+                let core = self.id.0;
+                ctx.trace(|| TraceData::StoreIssue {
+                    core,
+                    tid,
+                    addr: addr.raw(),
+                    bytes,
+                    release: ord == StoreOrd::Release,
+                    epoch: Some(seq),
+                });
                 ctx.send(Msg::sized(
                     NodeRef::Core(self.id),
                     NodeRef::Dir(dir),
@@ -240,6 +250,7 @@ struct HeldStore {
     addr: Addr,
     value: u64,
     needs_ack: bool,
+    release: bool,
     bytes: u64,
     /// `Some(addend)` for atomics (commit responds with the old value).
     atomic: Option<u64>,
@@ -281,6 +292,14 @@ impl SeqDir {
     }
 
     fn commit(&mut self, store: HeldStore, ctx: &mut DirCtx<'_>) {
+        ctx.trace(|| TraceData::StoreCommit {
+            dir: self.id.0,
+            core: store.src.tile_flat(),
+            tid: store.tid,
+            addr: store.addr.raw(),
+            release: store.release,
+            epoch: None,
+        });
         if let Some(add) = store.atomic {
             let old = ctx.mem.fetch_add(store.addr, add);
             ctx.send_after(
@@ -321,6 +340,7 @@ impl DirProtocol for SeqDir {
                 tid,
                 addr,
                 value,
+                ord,
                 needs_ack,
                 meta,
                 ..
@@ -340,6 +360,7 @@ impl DirProtocol for SeqDir {
                     addr,
                     value,
                     needs_ack,
+                    release: ord == StoreOrd::Release,
                     bytes: msg.bytes,
                     atomic: None,
                 };
@@ -371,8 +392,8 @@ impl DirProtocol for SeqDir {
                 tid,
                 addr,
                 add,
+                ord,
                 meta,
-                ..
             } => {
                 let seq = match meta {
                     WtMeta::Seq { seq } => seq,
@@ -389,6 +410,7 @@ impl DirProtocol for SeqDir {
                     addr,
                     value: 0,
                     needs_ack: false,
+                    release: ord == StoreOrd::Release,
                     bytes: msg.bytes,
                     atomic: Some(add),
                 };

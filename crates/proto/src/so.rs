@@ -13,6 +13,7 @@
 use std::collections::VecDeque;
 
 use cord_mem::{Addr, AddressMap};
+use cord_sim::trace::TraceData;
 use cord_sim::Time;
 
 use crate::common::{home_dir, ReadPath};
@@ -84,6 +85,15 @@ impl SoCore {
         self.next_tid += 1;
         self.outstanding += 1;
         let dir = home_dir(&self.map, addr);
+        let core = self.id.0;
+        ctx.trace(|| TraceData::StoreIssue {
+            core,
+            tid,
+            addr: addr.raw(),
+            bytes,
+            release: ord == StoreOrd::Release,
+            epoch: None,
+        });
         ctx.send(Msg::new(
             NodeRef::Core(self.id),
             NodeRef::Dir(dir),
@@ -129,6 +139,15 @@ impl SoCore {
                 self.outstanding += 1;
                 self.pending_atomic = Some(tid);
                 let dir = home_dir(&self.map, addr);
+                let core = self.id.0;
+                ctx.trace(|| TraceData::StoreIssue {
+                    core,
+                    tid,
+                    addr: addr.raw(),
+                    bytes: 8,
+                    release: ord == StoreOrd::Release,
+                    epoch: None,
+                });
                 ctx.send(Msg::new(
                     NodeRef::Core(self.id),
                     NodeRef::Dir(dir),
@@ -199,7 +218,15 @@ impl SoCore {
                 self.outstanding += 1;
                 self.pending_atomic = Some(tid);
                 let dir = home_dir(&self.map, addr);
-                let _ = ord;
+                let core = self.id.0;
+                ctx.trace(|| TraceData::StoreIssue {
+                    core,
+                    tid,
+                    addr: addr.raw(),
+                    bytes: 8,
+                    release: ord == StoreOrd::Release,
+                    epoch: None,
+                });
                 ctx.send(Msg::new(
                     NodeRef::Core(self.id),
                     NodeRef::Dir(dir),
@@ -347,10 +374,19 @@ impl DirProtocol for SoDir {
                 tid,
                 addr,
                 value,
+                ord,
                 needs_ack,
                 ..
             } => {
                 ctx.mem.store(addr, value);
+                ctx.trace(|| TraceData::StoreCommit {
+                    dir: self.id.0,
+                    core: msg.src.tile_flat(),
+                    tid,
+                    addr: addr.raw(),
+                    release: ord == StoreOrd::Release,
+                    epoch: None,
+                });
                 if needs_ack {
                     ctx.send_after(
                         self.llc_access,
@@ -362,8 +398,22 @@ impl DirProtocol for SoDir {
                     );
                 }
             }
-            MsgKind::AtomicReq { tid, addr, add, .. } => {
+            MsgKind::AtomicReq {
+                tid,
+                addr,
+                add,
+                ord,
+                ..
+            } => {
                 let old = ctx.mem.fetch_add(addr, add);
+                ctx.trace(|| TraceData::StoreCommit {
+                    dir: self.id.0,
+                    core: msg.src.tile_flat(),
+                    tid,
+                    addr: addr.raw(),
+                    release: ord == StoreOrd::Release,
+                    epoch: None,
+                });
                 ctx.send_after(
                     self.llc_access,
                     Msg::new(

@@ -17,6 +17,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use cord_mem::{Addr, AddressMap, CacheArray, LineAddr, WORD_BYTES};
+use cord_sim::trace::TraceData;
 use cord_sim::Time;
 
 use crate::config::{ConsistencyModel, SystemConfig};
@@ -414,7 +415,20 @@ impl CoreProtocol for WbCore {
                         return Issue::Stall(StallCause::AckWait);
                     }
                     match self.do_store(addr, bytes, value, ctx) {
-                        None => Issue::Done,
+                        None => {
+                            let core = self.id.0;
+                            // Write-back stores have no transaction id;
+                            // trace them as tid 0.
+                            ctx.trace(|| TraceData::StoreIssue {
+                                core,
+                                tid: 0,
+                                addr: addr.raw(),
+                                bytes,
+                                release: ord == StoreOrd::Release,
+                                epoch: None,
+                            });
+                            Issue::Done
+                        }
                         Some(cause) => Issue::Stall(cause),
                     }
                 }
@@ -422,6 +436,15 @@ impl CoreProtocol for WbCore {
                     if self.buffer.len() >= 64 {
                         return Issue::Stall(StallCause::StoreBuffer);
                     }
+                    let core = self.id.0;
+                    ctx.trace(|| TraceData::StoreIssue {
+                        core,
+                        tid: 0,
+                        addr: addr.raw(),
+                        bytes,
+                        release: ord == StoreOrd::Release,
+                        epoch: None,
+                    });
                     self.buffer.push_back(BufferedStore { addr, bytes, value });
                     self.drain_tso(ctx);
                     Issue::Done

@@ -9,7 +9,10 @@
 //!   that every simulation run is exactly reproducible,
 //! * [`StallTracker`] / [`Counter`] / [`Histogram`] — lightweight statistics,
 //! * [`par`] — deterministic fork-join parallelism for independent runs
-//!   (input-order result collection; worker count from `CORD_THREADS`).
+//!   (input-order result collection; worker count from `CORD_THREADS`),
+//! * [`trace`] — zero-cost-when-disabled protocol tracing: typed events,
+//!   pluggable sinks (ring buffer, Perfetto-compatible Chrome-trace JSON,
+//!   metrics timelines), keyed by `CORD_TRACE`/`CORD_TRACE_OUT`.
 //!
 //! # Example
 //!
@@ -28,6 +31,7 @@ pub mod par;
 mod rng;
 mod stats;
 mod time;
+pub mod trace;
 
 pub use event::EventQueue;
 pub use rng::DetRng;

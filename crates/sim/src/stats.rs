@@ -117,6 +117,15 @@ impl StallTracker {
         self.total += dur;
         self.episodes += 1;
     }
+
+    /// Closes a still-open episode at drain time `now` (no-op when idle).
+    ///
+    /// A program that ends while stalled — e.g. a consumer spinning on a
+    /// flag the producer never sets under a buggy config — would otherwise
+    /// silently lose the trailing episode from `total`/`episodes`.
+    pub fn flush(&mut self, now: Time) {
+        self.end(now);
+    }
 }
 
 /// A fixed-bucket histogram over `u64` samples (power-of-two buckets).
@@ -152,10 +161,16 @@ impl Histogram {
         }
     }
 
+    /// Bucket index for a sample: 0 for `v == 0`, else `floor(log2(v)) + 1`
+    /// (saturating at the last bucket), so bucket `b ≥ 1` spans
+    /// `[2^(b-1), 2^b - 1]`.
+    fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(63)
+    }
+
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
-        let b = 64 - v.leading_zeros() as usize; // 0 for v==0, else floor(log2)+1
-        self.buckets[b.min(63)] += 1;
+        self.buckets[Self::bucket_index(v)] += 1;
         self.count += 1;
         self.sum = self.sum.saturating_add(v);
         self.max = self.max.max(v);
@@ -187,8 +202,35 @@ impl Histogram {
 
     /// Count of samples in the bucket containing `v`.
     pub fn bucket_count(&self, v: u64) -> u64 {
-        let b = 64 - v.leading_zeros() as usize;
-        self.buckets[b.min(63)]
+        self.buckets[Self::bucket_index(v)]
+    }
+
+    /// Estimated `p`-th percentile (`0.0 < p <= 1.0`), as the upper bound of
+    /// the bucket containing that rank — an overestimate by at most 2×,
+    /// clamped to the exact recorded maximum. Returns 0 for an empty
+    /// histogram.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 1.0);
+        // Rank of the percentile sample, 1-based: ceil(p * count), >= 1.
+        let rank = ((p * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket b: 0 for b==0, 2^b - 1 for the
+                // middle buckets, and u64::MAX for the saturated last one.
+                let upper = match b {
+                    0 => 0,
+                    63 => u64::MAX,
+                    _ => (1u64 << b) - 1,
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -243,5 +285,46 @@ mod tests {
     #[test]
     fn histogram_empty_mean() {
         assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn stall_tracker_flush_closes_open_episode() {
+        let mut s = StallTracker::new();
+        s.begin(Time::from_ns(10));
+        s.flush(Time::from_ns(25));
+        assert!(!s.is_open());
+        assert_eq!(s.total(), Time::from_ns(15));
+        assert_eq!(s.episodes(), 1);
+        // Idempotent: flushing with nothing open changes nothing.
+        s.flush(Time::from_ns(99));
+        assert_eq!(s.total(), Time::from_ns(15));
+        assert_eq!(s.episodes(), 1);
+    }
+
+    #[test]
+    fn histogram_percentile_upper_bucket_bound() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 rank lands among samples 33..=64 (bucket [32,63]) → bound 63.
+        assert_eq!(h.percentile(0.50), 63);
+        // Top ranks land in [64,127], clamped to the exact max.
+        assert_eq!(h.percentile(0.99), 100);
+        assert_eq!(h.percentile(1.0), 100);
+        // Lowest rank is sample 1 → bucket [1,1].
+        assert_eq!(h.percentile(0.001), 1);
+    }
+
+    #[test]
+    fn histogram_percentile_edge_cases() {
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+        let mut zeros = Histogram::new();
+        zeros.record(0);
+        zeros.record(0);
+        assert_eq!(zeros.percentile(0.9), 0);
+        let mut one = Histogram::new();
+        one.record(u64::MAX);
+        assert_eq!(one.percentile(0.5), u64::MAX);
     }
 }

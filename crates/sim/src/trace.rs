@@ -1,0 +1,1326 @@
+//! Zero-cost-when-disabled protocol tracing and metrics.
+//!
+//! The paper's argument is about *where time and bandwidth go* — per-store
+//! acknowledgment round-trips under source ordering vs. inter-directory
+//! notifications under CORD (paper §4.2), and stalls when bounded tables
+//! fill (§4.3). This module gives every layer of the simulator a shared,
+//! typed event vocabulary ([`TraceData`]) and a pluggable output path
+//! ([`TraceSink`]) so a run can be attributed event by event:
+//!
+//! * [`RingSink`] — a bounded in-memory ring buffer (tests, counterexample
+//!   narration),
+//! * [`ChromeTraceWriter`] — a streaming Chrome-trace-event JSON writer whose
+//!   output loads directly into Perfetto (`ui.perfetto.dev`),
+//! * [`MetricsRecorder`] — turns the event stream into per-interval
+//!   timelines (table occupancy, in-flight stores) and histograms
+//!   (store-commit latency, notification fan-out), summarized by
+//!   [`MetricsSnapshot`].
+//!
+//! Instrumentation points hold a [`Tracer`], which is a pair of `Option`s:
+//! when nothing is installed, every emission compiles to a branch on `None`
+//! and the event value is never even constructed (callers pass closures via
+//! [`Tracer::emit_with`] or receive `Option<&mut Tracer>` and skip work when
+//! it is `None`). Event payloads use plain integers and `&'static str`
+//! labels so this bottom-layer crate needs no protocol types.
+//!
+//! Determinism: emission order follows the (deterministic) event loop, all
+//! payloads are integers, and timestamps are formatted with exact integer
+//! arithmetic — the same run produces byte-identical trace files regardless
+//! of `CORD_THREADS`.
+//!
+//! # Example
+//!
+//! ```
+//! use cord_sim::trace::{RingSink, TraceData, Tracer};
+//! use cord_sim::Time;
+//!
+//! let mut tr = Tracer::with_sink(Box::new(RingSink::new(16)));
+//! tr.emit(Time::from_ns(5), TraceData::EpochOpen { core: 0, epoch: 1 });
+//! assert!(tr.enabled());
+//! ```
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::stats::Histogram;
+use crate::time::Time;
+
+/// One traced protocol occurrence (the payload of a [`TraceEvent`]).
+///
+/// Node identities are flat tile indices; `kind`/`class`/`cause`/`table`
+/// labels are `&'static str` supplied by the emitting layer, keeping this
+/// crate free of protocol types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceData {
+    /// A message departed its source toward the interconnect.
+    MsgSend {
+        /// Source tile.
+        src: u32,
+        /// Destination tile.
+        dst: u32,
+        /// Message kind label (e.g. `"WtStore"`).
+        kind: &'static str,
+        /// Traffic-class label (e.g. `"Data"`).
+        class: &'static str,
+        /// Wire bytes.
+        bytes: u64,
+        /// Scheduled arrival time.
+        arrive: Time,
+    },
+    /// A message arrived at its destination.
+    MsgDeliver {
+        /// Source tile.
+        src: u32,
+        /// Destination tile.
+        dst: u32,
+        /// Message kind label.
+        kind: &'static str,
+        /// Traffic-class label.
+        class: &'static str,
+        /// Wire bytes.
+        bytes: u64,
+    },
+    /// A core issued a store (write-through, posted, or Release).
+    StoreIssue {
+        /// Issuing core.
+        core: u32,
+        /// Sender-local transaction id.
+        tid: u64,
+        /// First byte written.
+        addr: u64,
+        /// Payload bytes.
+        bytes: u32,
+        /// Whether this is a Release (ordered) store.
+        release: bool,
+        /// Issuing epoch, when the protocol has one.
+        epoch: Option<u64>,
+    },
+    /// A directory committed a store to memory.
+    StoreCommit {
+        /// Committing directory.
+        dir: u32,
+        /// Originating core.
+        core: u32,
+        /// Transaction id from the issue (0 when the protocol has none).
+        tid: u64,
+        /// First byte written.
+        addr: u64,
+        /// Whether this was a Release (ordered) store.
+        release: bool,
+        /// Epoch the store belonged to, when the protocol has one.
+        epoch: Option<u64>,
+    },
+    /// A core opened a new epoch (after a Release store).
+    EpochOpen {
+        /// The core.
+        core: u32,
+        /// The new epoch number.
+        epoch: u64,
+    },
+    /// A core closed an epoch with a Release store.
+    EpochClose {
+        /// The core.
+        core: u32,
+        /// The epoch being closed.
+        epoch: u64,
+        /// Number of pending directories notified (paper §4.2 fan-out).
+        fanout: u32,
+    },
+    /// A request-for-notification was issued to a pending directory.
+    NotifyRequest {
+        /// Requesting core.
+        core: u32,
+        /// Pending directory that must collect the epoch.
+        pending_dir: u32,
+        /// Destination directory of the triggering Release store.
+        dst_dir: u32,
+        /// Epoch being closed.
+        epoch: u64,
+    },
+    /// An inter-directory notification arrived at the Release's destination.
+    NotifyArrive {
+        /// Receiving (destination) directory.
+        dir: u32,
+        /// Core whose epoch the notification covers.
+        core: u32,
+        /// The epoch.
+        epoch: u64,
+    },
+    /// A bounded lookup table gained an entry.
+    TableInsert {
+        /// Owning node kind: `"core"` or `"dir"`.
+        node: &'static str,
+        /// Owning node's flat index.
+        id: u32,
+        /// Table label (e.g. `"cnt"`, `"unacked"`, `"noti"`, `"netbuf"`).
+        table: &'static str,
+        /// Occupancy after the insert (entries, or bytes for `"netbuf"`).
+        occ: u64,
+        /// Configured capacity (0 when unbounded).
+        cap: u64,
+    },
+    /// A bounded lookup table reclaimed an entry (paper §4.3).
+    TableEvict {
+        /// Owning node kind: `"core"` or `"dir"`.
+        node: &'static str,
+        /// Owning node's flat index.
+        id: u32,
+        /// Table label.
+        table: &'static str,
+        /// Occupancy after the evict.
+        occ: u64,
+        /// Configured capacity (0 when unbounded).
+        cap: u64,
+    },
+    /// An operation stalled because a lookup table was full (paper §4.3).
+    TableStallFull {
+        /// Owning node kind: `"core"` or `"dir"`.
+        node: &'static str,
+        /// Owning node's flat index.
+        id: u32,
+        /// Table label.
+        table: &'static str,
+        /// Configured capacity.
+        cap: u64,
+    },
+    /// A core frontend entered a stall episode.
+    StallBegin {
+        /// The stalled core.
+        core: u32,
+        /// Stall-cause label (e.g. `"AckWait"`, `"TableFull"`).
+        cause: &'static str,
+    },
+    /// A core frontend left a stall episode.
+    StallEnd {
+        /// The core.
+        core: u32,
+        /// Stall-cause label.
+        cause: &'static str,
+        /// When the episode began.
+        since: Time,
+    },
+}
+
+impl TraceData {
+    /// Short kind label, used for event counting and text rendering.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceData::MsgSend { .. } => "msg_send",
+            TraceData::MsgDeliver { .. } => "msg_deliver",
+            TraceData::StoreIssue { .. } => "store_issue",
+            TraceData::StoreCommit { .. } => "store_commit",
+            TraceData::EpochOpen { .. } => "epoch_open",
+            TraceData::EpochClose { .. } => "epoch_close",
+            TraceData::NotifyRequest { .. } => "notify_request",
+            TraceData::NotifyArrive { .. } => "notify_arrive",
+            TraceData::TableInsert { .. } => "table_insert",
+            TraceData::TableEvict { .. } => "table_evict",
+            TraceData::TableStallFull { .. } => "table_stall_full",
+            TraceData::StallBegin { .. } => "stall_begin",
+            TraceData::StallEnd { .. } => "stall_end",
+        }
+    }
+}
+
+/// A timestamped, sequence-numbered trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulation time of the occurrence.
+    pub at: Time,
+    /// Emission sequence number (total order within one run).
+    pub seq: u64,
+    /// The occurrence.
+    pub data: TraceData,
+}
+
+/// Renders one event as a human-readable line (used by the `trace` binary's
+/// verbose mode and `cord-check` counterexample narration).
+pub fn render_event(ev: &TraceEvent) -> String {
+    let t = ev.at.as_ps();
+    let head = format!("[{:>7}.{:03} ns] ", t / 1000, t % 1000);
+    let body = match ev.data {
+        TraceData::MsgSend {
+            src,
+            dst,
+            kind,
+            bytes,
+            ..
+        } => format!("tile{src} -> tile{dst}: send {kind} ({bytes} B)"),
+        TraceData::MsgDeliver {
+            src,
+            dst,
+            kind,
+            bytes,
+            ..
+        } => format!("tile{dst}: deliver {kind} from tile{src} ({bytes} B)"),
+        TraceData::StoreIssue {
+            core,
+            tid,
+            addr,
+            bytes,
+            release,
+            epoch,
+        } => format!(
+            "core{core}: issue {} addr=0x{addr:x} bytes={bytes} tid={tid}{}",
+            if release { "st.rel" } else { "st.rlx" },
+            fmt_epoch(epoch)
+        ),
+        TraceData::StoreCommit {
+            dir,
+            core,
+            addr,
+            release,
+            epoch,
+            ..
+        } => format!(
+            "dir{dir}: commit {} addr=0x{addr:x} from core{core}{}",
+            if release { "st.rel" } else { "st.rlx" },
+            fmt_epoch(epoch)
+        ),
+        TraceData::EpochOpen { core, epoch } => format!("core{core}: open epoch {epoch}"),
+        TraceData::EpochClose {
+            core,
+            epoch,
+            fanout,
+        } => format!("core{core}: close epoch {epoch} (fan-out {fanout})"),
+        TraceData::NotifyRequest {
+            core,
+            pending_dir,
+            dst_dir,
+            epoch,
+        } => format!(
+            "core{core}: request notification dir{pending_dir} -> dir{dst_dir} for epoch {epoch}"
+        ),
+        TraceData::NotifyArrive { dir, core, epoch } => {
+            format!("dir{dir}: notification collected for core{core} epoch {epoch}")
+        }
+        TraceData::TableInsert {
+            node,
+            id,
+            table,
+            occ,
+            cap,
+        } => format!("{node}{id}: {table} insert -> {occ}/{cap}"),
+        TraceData::TableEvict {
+            node,
+            id,
+            table,
+            occ,
+            cap,
+        } => format!("{node}{id}: {table} evict -> {occ}/{cap}"),
+        TraceData::TableStallFull {
+            node,
+            id,
+            table,
+            cap,
+        } => format!("{node}{id}: {table} FULL at {cap} — stall"),
+        TraceData::StallBegin { core, cause } => format!("core{core}: stall begin ({cause})"),
+        TraceData::StallEnd { core, cause, since } => format!(
+            "core{core}: stall end ({cause}, {} ns)",
+            ev.at.saturating_sub(since).as_ns()
+        ),
+    };
+    head + &body
+}
+
+fn fmt_epoch(e: Option<u64>) -> String {
+    match e {
+        Some(ep) => format!(" ep={ep}"),
+        None => String::new(),
+    }
+}
+
+/// Consumer of trace events.
+///
+/// Implementations must be cheap per event; the runner calls [`emit`]
+/// synchronously inside the DES hot loop.
+///
+/// [`emit`]: TraceSink::emit
+pub trait TraceSink {
+    /// Consumes one event.
+    fn emit(&mut self, ev: &TraceEvent);
+
+    /// Finalizes output (e.g. closes a JSON array). Called once at drain.
+    fn flush(&mut self) {}
+}
+
+/// The instrumentation handle held by the system runner.
+///
+/// Holds at most one [`TraceSink`] plus an optional [`MetricsRecorder`];
+/// both are `None` by default, so disabled tracing costs one branch per
+/// emission site.
+#[derive(Default)]
+pub struct Tracer {
+    sink: Option<Box<dyn TraceSink>>,
+    metrics: Option<MetricsRecorder>,
+    seq: u64,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("sink", &self.sink.is_some())
+            .field("metrics", &self.metrics.is_some())
+            .field("seq", &self.seq)
+            .finish()
+    }
+}
+
+/// Process-wide count of tracers built from the environment, used to suffix
+/// trace files when one process runs many simulations (e.g. a sweep).
+static ENV_TRACERS: AtomicU64 = AtomicU64::new(0);
+
+impl Tracer {
+    /// A tracer with nothing installed (all emissions are no-ops).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// A tracer writing to `sink`.
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
+        Tracer {
+            sink: Some(sink),
+            metrics: None,
+            seq: 0,
+        }
+    }
+
+    /// Builds a tracer from `CORD_TRACE` / `CORD_TRACE_OUT`.
+    ///
+    /// When `CORD_TRACE` is set (and not `0`), installs a
+    /// [`ChromeTraceWriter`] streaming to `CORD_TRACE_OUT` (default
+    /// `results/cord_trace.json`) and attaches a [`MetricsRecorder`]. When a
+    /// process builds several env tracers (a sweep), later trace files get a
+    /// `.N` suffix so each run keeps its own file. Returns a disabled tracer
+    /// otherwise.
+    pub fn from_env() -> Self {
+        match std::env::var("CORD_TRACE") {
+            Ok(v) if !v.is_empty() && v != "0" => {}
+            _ => return Tracer::disabled(),
+        }
+        let base = std::env::var("CORD_TRACE_OUT")
+            .unwrap_or_else(|_| "results/cord_trace.json".to_string());
+        let n = ENV_TRACERS.fetch_add(1, Ordering::Relaxed);
+        let path = if n == 0 { base } else { format!("{base}.{n}") };
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let mut tr = Tracer::disabled();
+        match ChromeTraceWriter::create(&path) {
+            Ok(w) => tr.install(Box::new(w)),
+            Err(e) => eprintln!("CORD_TRACE: cannot open {path}: {e}"),
+        }
+        tr.attach_metrics(MetricsRecorder::default());
+        tr
+    }
+
+    /// Installs (or replaces) the sink.
+    pub fn install(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Attaches (or replaces) the metrics recorder.
+    pub fn attach_metrics(&mut self, m: MetricsRecorder) {
+        self.metrics = Some(m);
+    }
+
+    /// Whether any consumer is installed.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some() || self.metrics.is_some()
+    }
+
+    /// `Some(self)` when enabled — the shape instrumented code threads
+    /// through contexts so the disabled path stays a branch on `None`.
+    #[inline]
+    pub fn active(&mut self) -> Option<&mut Tracer> {
+        if self.enabled() {
+            Some(self)
+        } else {
+            None
+        }
+    }
+
+    /// Emits one event at time `at`.
+    pub fn emit(&mut self, at: Time, data: TraceData) {
+        let ev = TraceEvent {
+            at,
+            seq: self.seq,
+            data,
+        };
+        self.seq += 1;
+        if let Some(m) = self.metrics.as_mut() {
+            m.observe(&ev);
+        }
+        if let Some(s) = self.sink.as_mut() {
+            s.emit(&ev);
+        }
+    }
+
+    /// Emits lazily: `f` runs only when a consumer is installed, so the
+    /// disabled hot path never constructs the event.
+    #[inline]
+    pub fn emit_with(&mut self, at: Time, f: impl FnOnce() -> TraceData) {
+        if self.enabled() {
+            self.emit(at, f());
+        }
+    }
+
+    /// Flushes the sink (closing streaming output).
+    pub fn finish(&mut self) {
+        if let Some(s) = self.sink.as_mut() {
+            s.flush();
+        }
+    }
+
+    /// Removes and returns the metrics recorder, if attached.
+    pub fn take_metrics(&mut self) -> Option<MetricsRecorder> {
+        self.metrics.take()
+    }
+
+    /// The attached metrics recorder, if any.
+    pub fn metrics(&self) -> Option<&MetricsRecorder> {
+        self.metrics.as_ref()
+    }
+}
+
+/// A bounded in-memory ring of the most recent events.
+#[derive(Debug, Default)]
+pub struct RingSink {
+    cap: usize,
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring keeping at most `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: VecDeque::with_capacity(cap.clamp(1, 4096)),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*ev);
+    }
+}
+
+/// Shares a sink between the tracer and the caller.
+///
+/// The runner owns its [`Tracer`] (and thus the boxed sink), so tests and
+/// tools that want to inspect a [`RingSink`] or [`MetricsRecorder`] after
+/// the run wrap it in `Shared` and keep a clone. Runs are single-threaded,
+/// so an `Rc<RefCell<_>>` suffices.
+///
+/// # Example
+///
+/// ```
+/// use cord_sim::trace::{RingSink, Shared, TraceData, Tracer};
+/// use cord_sim::Time;
+///
+/// let ring = Shared::new(RingSink::new(8));
+/// let mut tr = Tracer::with_sink(Box::new(ring.clone()));
+/// tr.emit(Time::ZERO, TraceData::EpochOpen { core: 0, epoch: 0 });
+/// assert_eq!(ring.with(|r| r.len()), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Shared<S>(std::rc::Rc<std::cell::RefCell<S>>);
+
+impl<S> Clone for Shared<S> {
+    fn clone(&self) -> Self {
+        Shared(self.0.clone())
+    }
+}
+
+impl<S> Shared<S> {
+    /// Wraps `sink` for sharing.
+    pub fn new(sink: S) -> Self {
+        Shared(std::rc::Rc::new(std::cell::RefCell::new(sink)))
+    }
+
+    /// Runs `f` against the inner sink.
+    pub fn with<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Runs `f` against the inner sink mutably.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+}
+
+impl<S: TraceSink> TraceSink for Shared<S> {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.0.borrow_mut().emit(ev);
+    }
+    fn flush(&mut self) {
+        self.0.borrow_mut().flush();
+    }
+}
+
+/// Formats picoseconds as microseconds with six exact decimal digits
+/// (1 µs = 10⁶ ps), keeping trace files byte-deterministic: no float
+/// formatting is involved.
+fn ts_us(t: Time) -> String {
+    let ps = t.as_ps();
+    format!("{}.{:06}", ps / 1_000_000, ps % 1_000_000)
+}
+
+/// A streaming Chrome-trace-event (JSON array) writer.
+///
+/// The produced file loads directly into Perfetto or `chrome://tracing`:
+/// instants for protocol occurrences, `B`/`E` duration pairs for core stall
+/// episodes, and counter tracks for lookup-table occupancy. Timestamps are
+/// microseconds with exact six-digit fractions, so output is
+/// byte-deterministic.
+pub struct ChromeTraceWriter<W: Write> {
+    /// `None` only after `into_inner` has taken the stream.
+    w: Option<W>,
+    first: bool,
+    closed: bool,
+    failed: bool,
+}
+
+impl ChromeTraceWriter<io::BufWriter<std::fs::File>> {
+    /// Creates a writer streaming to a new file at `path`.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(Self::new(io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+}
+
+impl<W: Write> ChromeTraceWriter<W> {
+    /// Creates a writer streaming to `w`.
+    pub fn new(w: W) -> Self {
+        ChromeTraceWriter {
+            w: Some(w),
+            first: true,
+            closed: false,
+            failed: false,
+        }
+    }
+
+    /// Consumes the writer, returning the underlying stream (after closing
+    /// the JSON array).
+    pub fn into_inner(mut self) -> W {
+        self.close();
+        self.w.take().expect("stream present until into_inner")
+    }
+
+    fn close(&mut self) {
+        if self.closed || self.failed {
+            return;
+        }
+        self.closed = true;
+        if let Some(w) = self.w.as_mut() {
+            let _ = w.write_all(if self.first { b"[]\n" } else { b"\n]\n" });
+            let _ = w.flush();
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        if self.closed || self.failed {
+            return;
+        }
+        let sep: &[u8] = if self.first { b"[\n" } else { b",\n" };
+        self.first = false;
+        let Some(w) = self.w.as_mut() else { return };
+        if w.write_all(sep).is_err() || w.write_all(s.as_bytes()).is_err() {
+            self.failed = true;
+        }
+    }
+}
+
+impl<W: Write> TraceSink for ChromeTraceWriter<W> {
+    fn emit(&mut self, ev: &TraceEvent) {
+        let ts = ts_us(ev.at);
+        let line = match ev.data {
+            TraceData::MsgSend {
+                src,
+                dst,
+                kind,
+                class,
+                bytes,
+                arrive,
+            } => format!(
+                "{{\"name\":\"send:{kind}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{src},\"args\":{{\"dst\":{dst},\"class\":\"{class}\",\"bytes\":{bytes},\
+                 \"arrive_us\":{}}}}}",
+                ts_us(arrive)
+            ),
+            TraceData::MsgDeliver {
+                src,
+                dst,
+                kind,
+                class,
+                bytes,
+            } => format!(
+                "{{\"name\":\"recv:{kind}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{dst},\"args\":{{\"src\":{src},\"class\":\"{class}\",\"bytes\":{bytes}}}}}"
+            ),
+            TraceData::StoreIssue {
+                core,
+                tid,
+                addr,
+                bytes,
+                release,
+                epoch,
+            } => format!(
+                "{{\"name\":\"issue:{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{core},\"args\":{{\"tid\":{tid},\"addr\":\"0x{addr:x}\",\
+                 \"bytes\":{bytes}{}}}}}",
+                if release { "st.rel" } else { "st.rlx" },
+                json_epoch(epoch)
+            ),
+            TraceData::StoreCommit {
+                dir,
+                core,
+                tid,
+                addr,
+                release,
+                epoch,
+            } => format!(
+                "{{\"name\":\"commit:{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{dir},\"args\":{{\"core\":{core},\"tid\":{tid},\"addr\":\"0x{addr:x}\"{}}}}}",
+                if release { "st.rel" } else { "st.rlx" },
+                json_epoch(epoch)
+            ),
+            TraceData::EpochOpen { core, epoch } => format!(
+                "{{\"name\":\"epoch_open\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{core},\"args\":{{\"epoch\":{epoch}}}}}"
+            ),
+            TraceData::EpochClose {
+                core,
+                epoch,
+                fanout,
+            } => format!(
+                "{{\"name\":\"epoch_close\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{core},\"args\":{{\"epoch\":{epoch},\"fanout\":{fanout}}}}}"
+            ),
+            TraceData::NotifyRequest {
+                core,
+                pending_dir,
+                dst_dir,
+                epoch,
+            } => format!(
+                "{{\"name\":\"req_notify\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{core},\"args\":{{\"pending_dir\":{pending_dir},\"dst_dir\":{dst_dir},\
+                 \"epoch\":{epoch}}}}}"
+            ),
+            TraceData::NotifyArrive { dir, core, epoch } => format!(
+                "{{\"name\":\"notify\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{dir},\"args\":{{\"core\":{core},\"epoch\":{epoch}}}}}"
+            ),
+            TraceData::TableInsert {
+                node,
+                id,
+                table,
+                occ,
+                ..
+            }
+            | TraceData::TableEvict {
+                node,
+                id,
+                table,
+                occ,
+                ..
+            } => format!(
+                "{{\"name\":\"{node}{id}.{table}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{id},\"args\":{{\"occ\":{occ}}}}}"
+            ),
+            TraceData::TableStallFull {
+                node,
+                id,
+                table,
+                cap,
+            } => format!(
+                "{{\"name\":\"table_full:{table}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
+                 \"pid\":0,\"tid\":{id},\"args\":{{\"node\":\"{node}\",\"cap\":{cap}}}}}"
+            ),
+            TraceData::StallBegin { core, cause } => format!(
+                "{{\"name\":\"stall:{cause}\",\"ph\":\"B\",\"ts\":{ts},\"pid\":0,\"tid\":{core}}}"
+            ),
+            TraceData::StallEnd { core, cause, .. } => format!(
+                "{{\"name\":\"stall:{cause}\",\"ph\":\"E\",\"ts\":{ts},\"pid\":0,\"tid\":{core}}}"
+            ),
+        };
+        self.line(&line);
+    }
+
+    fn flush(&mut self) {
+        self.close();
+    }
+}
+
+impl<W: Write> Drop for ChromeTraceWriter<W> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+fn json_epoch(e: Option<u64>) -> String {
+    match e {
+        Some(ep) => format!(",\"epoch\":{ep}"),
+        None => String::new(),
+    }
+}
+
+/// A per-interval max timeline with adaptive bin widening.
+///
+/// Samples land in `floor(t / interval)` bins; each bin keeps the maximum
+/// sample. When more than [`Timeline::MAX_BINS`] bins would be needed, the
+/// interval doubles and neighbor bins merge, so memory stays bounded for
+/// arbitrarily long runs while remaining deterministic.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    interval: Time,
+    bins: Vec<u64>,
+}
+
+impl Timeline {
+    /// Bin-count bound before the interval doubles.
+    pub const MAX_BINS: usize = 1024;
+
+    /// Creates an empty timeline with the given initial bin width.
+    pub fn new(interval: Time) -> Self {
+        Timeline {
+            interval: Time::from_ps(interval.as_ps().max(1)),
+            bins: Vec::new(),
+        }
+    }
+
+    /// Records `value` at time `at` (keeping per-bin maxima).
+    pub fn record(&mut self, at: Time, value: u64) {
+        let mut idx = (at.as_ps() / self.interval.as_ps()) as usize;
+        while idx >= Self::MAX_BINS {
+            self.rescale();
+            idx = (at.as_ps() / self.interval.as_ps()) as usize;
+        }
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        self.bins[idx] = self.bins[idx].max(value);
+    }
+
+    fn rescale(&mut self) {
+        self.interval = Time::from_ps(self.interval.as_ps() * 2);
+        let merged: Vec<u64> = self
+            .bins
+            .chunks(2)
+            .map(|c| c.iter().copied().max().unwrap_or(0))
+            .collect();
+        self.bins = merged;
+    }
+
+    /// Current bin width.
+    pub fn interval(&self) -> Time {
+        self.interval
+    }
+
+    /// Per-bin maxima, oldest first.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn peak(&self) -> u64 {
+        self.bins.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Turns the event stream into timelines and histograms (paper-facing
+/// metrics: table occupancy, in-flight stores, commit latency percentiles,
+/// notification fan-out).
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    interval: Time,
+    /// Per-table occupancy timelines, keyed `"<node><id>.<table>"`.
+    occupancy: BTreeMap<String, Timeline>,
+    /// In-flight (issued, not yet committed) stores.
+    inflight: u64,
+    inflight_timeline: Timeline,
+    inflight_peak: u64,
+    /// Pending store issues: (core, tid) → issue time.
+    pending: HashMap<(u32, u64), Time>,
+    /// Store-commit latency in nanoseconds.
+    latency_ns: Histogram,
+    /// Release notification fan-out (pending directories per Release).
+    fanout: Histogram,
+    /// Event totals by kind label.
+    counts: BTreeMap<&'static str, u64>,
+    stall_episodes: u64,
+    table_full_stalls: u64,
+}
+
+impl Default for MetricsRecorder {
+    fn default() -> Self {
+        Self::new(Time::from_us(1))
+    }
+}
+
+impl MetricsRecorder {
+    /// Creates a recorder with the given timeline bin width.
+    pub fn new(interval: Time) -> Self {
+        MetricsRecorder {
+            interval,
+            occupancy: BTreeMap::new(),
+            inflight: 0,
+            inflight_timeline: Timeline::new(interval),
+            inflight_peak: 0,
+            pending: HashMap::new(),
+            latency_ns: Histogram::new(),
+            fanout: Histogram::new(),
+            counts: BTreeMap::new(),
+            stall_episodes: 0,
+            table_full_stalls: 0,
+        }
+    }
+
+    /// Consumes one event (also reachable through the [`TraceSink`] impl).
+    pub fn observe(&mut self, ev: &TraceEvent) {
+        *self.counts.entry(ev.data.kind_name()).or_insert(0) += 1;
+        match ev.data {
+            TraceData::StoreIssue { core, tid, .. } => {
+                self.pending.insert((core, tid), ev.at);
+                self.inflight += 1;
+                self.inflight_peak = self.inflight_peak.max(self.inflight);
+                self.inflight_timeline.record(ev.at, self.inflight);
+            }
+            TraceData::StoreCommit { core, tid, .. } => {
+                if let Some(t0) = self.pending.remove(&(core, tid)) {
+                    self.latency_ns.record(ev.at.saturating_sub(t0).as_ns());
+                    self.inflight = self.inflight.saturating_sub(1);
+                    self.inflight_timeline.record(ev.at, self.inflight);
+                }
+            }
+            TraceData::EpochClose { fanout, .. } => self.fanout.record(fanout as u64),
+            TraceData::TableInsert {
+                node,
+                id,
+                table,
+                occ,
+                ..
+            }
+            | TraceData::TableEvict {
+                node,
+                id,
+                table,
+                occ,
+                ..
+            } => {
+                let key = format!("{node}{id}.{table}");
+                self.occupancy
+                    .entry(key)
+                    .or_insert_with(|| Timeline::new(self.interval))
+                    .record(ev.at, occ);
+            }
+            TraceData::TableStallFull { .. } => self.table_full_stalls += 1,
+            TraceData::StallBegin { .. } => self.stall_episodes += 1,
+            _ => {}
+        }
+    }
+
+    /// The per-table occupancy timelines, keyed `"<node><id>.<table>"`.
+    pub fn occupancy(&self) -> &BTreeMap<String, Timeline> {
+        &self.occupancy
+    }
+
+    /// The in-flight-store timeline.
+    pub fn inflight_timeline(&self) -> &Timeline {
+        &self.inflight_timeline
+    }
+
+    /// Summarizes everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            events: self.counts.values().sum(),
+            counts: self.counts.iter().map(|(&k, &v)| (k, v)).collect(),
+            latency_ns: LatencySummary::of(&self.latency_ns),
+            fanout_mean: self.fanout.mean(),
+            fanout_max: self.fanout.max(),
+            inflight_peak: self.inflight_peak,
+            table_peaks: self
+                .occupancy
+                .iter()
+                .map(|(k, t)| (k.clone(), t.peak()))
+                .collect(),
+            table_full_stalls: self.table_full_stalls,
+            stall_episodes: self.stall_episodes,
+        }
+    }
+}
+
+impl TraceSink for MetricsRecorder {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.observe(ev);
+    }
+}
+
+/// Percentile summary of a latency histogram (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean.
+    pub mean: f64,
+    /// Estimated 50th percentile (bucket upper bound).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes `h`.
+    pub fn of(h: &Histogram) -> Self {
+        LatencySummary {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.percentile(0.50),
+            p90: h.percentile(0.90),
+            p99: h.percentile(0.99),
+            max: h.max(),
+        }
+    }
+}
+
+/// A cloneable summary of one run's metrics, carried on `RunResult` and
+/// appended to `results/BENCH_sweeps.json` by the sweep engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Total events observed.
+    pub events: u64,
+    /// Event totals by kind label, sorted by label.
+    pub counts: Vec<(&'static str, u64)>,
+    /// Store-commit latency summary (issue → directory commit).
+    pub latency_ns: LatencySummary,
+    /// Mean Release notification fan-out.
+    pub fanout_mean: f64,
+    /// Largest Release notification fan-out.
+    pub fanout_max: u64,
+    /// Peak simultaneous in-flight stores.
+    pub inflight_peak: u64,
+    /// Peak occupancy per table, keyed `"<node><id>.<table>"`.
+    pub table_peaks: Vec<(String, u64)>,
+    /// Stalls caused by a full lookup table.
+    pub table_full_stalls: u64,
+    /// Core stall episodes.
+    pub stall_episodes: u64,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a compact JSON object (no external deps; keys
+    /// are fixed, values are numbers/strings needing no escaping).
+    pub fn to_json(&self) -> String {
+        let counts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        let peaks: Vec<String> = self
+            .table_peaks
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        format!(
+            "{{\"events\":{},\"latency_ns\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\
+             \"p90\":{},\"p99\":{},\"max\":{}}},\"fanout\":{{\"mean\":{:.3},\"max\":{}}},\
+             \"inflight_peak\":{},\"table_full_stalls\":{},\"stall_episodes\":{},\
+             \"counts\":{{{}}},\"table_peaks\":{{{}}}}}",
+            self.events,
+            self.latency_ns.count,
+            self.latency_ns.mean,
+            self.latency_ns.p50,
+            self.latency_ns.p90,
+            self.latency_ns.p99,
+            self.latency_ns.max,
+            self.fanout_mean,
+            self.fanout_max,
+            self.inflight_peak,
+            self.table_full_stalls,
+            self.stall_episodes,
+            counts.join(","),
+            peaks.join(",")
+        )
+    }
+
+    /// Renders a human-readable multi-line summary (the `trace` binary's
+    /// text timeline).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("events          : {}\n", self.events));
+        for (k, v) in &self.counts {
+            out.push_str(&format!("  {k:<16}: {v}\n"));
+        }
+        let l = &self.latency_ns;
+        out.push_str(&format!(
+            "commit latency  : n={} mean={:.1} ns p50≤{} p90≤{} p99≤{} max={} ns\n",
+            l.count, l.mean, l.p50, l.p90, l.p99, l.max
+        ));
+        out.push_str(&format!(
+            "release fan-out : mean={:.3} max={}\n",
+            self.fanout_mean, self.fanout_max
+        ));
+        out.push_str(&format!(
+            "in-flight peak  : {} stores\n",
+            self.inflight_peak
+        ));
+        out.push_str(&format!(
+            "stalls          : {} episodes ({} table-full)\n",
+            self.stall_episodes, self.table_full_stalls
+        ));
+        if !self.table_peaks.is_empty() {
+            out.push_str("table peaks     :\n");
+            for (k, v) in &self.table_peaks {
+                out.push_str(&format!("  {k:<20}: {v}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at_ns: u64, data: TraceData) -> TraceEvent {
+        TraceEvent {
+            at: Time::from_ns(at_ns),
+            seq: 0,
+            data,
+        }
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let mut tr = Tracer::disabled();
+        assert!(!tr.enabled());
+        assert!(tr.active().is_none());
+        let mut ran = false;
+        tr.emit_with(Time::ZERO, || {
+            ran = true;
+            TraceData::EpochOpen { core: 0, epoch: 0 }
+        });
+        assert!(!ran, "disabled tracer must not construct events");
+    }
+
+    #[test]
+    fn ring_sink_bounds_and_drops() {
+        let mut ring = RingSink::new(2);
+        for i in 0..5u64 {
+            ring.emit(&ev(i, TraceData::EpochOpen { core: 0, epoch: i }));
+        }
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        let epochs: Vec<u64> = ring
+            .events()
+            .map(|e| match e.data {
+                TraceData::EpochOpen { epoch, .. } => epoch,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(epochs, vec![3, 4], "oldest events evicted first");
+    }
+
+    #[test]
+    fn shared_sink_allows_post_run_inspection() {
+        let ring = Shared::new(RingSink::new(8));
+        let mut tr = Tracer::with_sink(Box::new(ring.clone()));
+        tr.emit(Time::from_ns(1), TraceData::EpochOpen { core: 2, epoch: 7 });
+        tr.finish();
+        assert_eq!(ring.with(|r| r.len()), 1);
+        assert_eq!(ring.with(|r| r.events().next().unwrap().seq), 0);
+    }
+
+    #[test]
+    fn chrome_writer_produces_wellformed_array() {
+        let mut w = ChromeTraceWriter::new(Vec::new());
+        w.emit(&ev(
+            1,
+            TraceData::MsgSend {
+                src: 0,
+                dst: 8,
+                kind: "WtStore",
+                class: "Data",
+                bytes: 80,
+                arrive: Time::from_ns(30),
+            },
+        ));
+        w.emit(&ev(
+            2,
+            TraceData::StallBegin {
+                core: 0,
+                cause: "AckWait",
+            },
+        ));
+        w.emit(&ev(
+            5,
+            TraceData::StallEnd {
+                core: 0,
+                cause: "AckWait",
+                since: Time::from_ns(2),
+            },
+        ));
+        let out = String::from_utf8(w.into_inner()).unwrap();
+        assert!(out.starts_with("[\n"), "array opened: {out}");
+        assert!(out.trim_end().ends_with(']'), "array closed: {out}");
+        assert!(out.contains("\"ph\":\"B\"") && out.contains("\"ph\":\"E\""));
+        assert!(out.contains("\"ts\":0.001000"), "exact 6-digit µs: {out}");
+        // Cheap structural sanity: balanced braces, one object per line.
+        let opens = out.matches('{').count();
+        let closes = out.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn chrome_writer_empty_is_valid_json() {
+        let w = ChromeTraceWriter::new(Vec::new());
+        let out = String::from_utf8(w.into_inner()).unwrap();
+        assert_eq!(out, "[]\n");
+    }
+
+    #[test]
+    fn timeline_rescales_deterministically() {
+        let mut t = Timeline::new(Time::from_ns(1));
+        t.record(Time::from_ns(0), 5);
+        t.record(Time::from_ns(1), 7);
+        // Force a rescale far past MAX_BINS (bin 100_000 at 1 ns width).
+        t.record(Time::from_us(100), 3);
+        assert!(t.bins().len() <= Timeline::MAX_BINS);
+        assert!(t.interval() > Time::from_ns(1));
+        assert_eq!(t.peak(), 7, "maxima survive merging");
+    }
+
+    #[test]
+    fn metrics_latency_and_fanout() {
+        let mut m = MetricsRecorder::new(Time::from_ns(100));
+        m.observe(&ev(
+            10,
+            TraceData::StoreIssue {
+                core: 0,
+                tid: 1,
+                addr: 0x40,
+                bytes: 64,
+                release: false,
+                epoch: Some(0),
+            },
+        ));
+        m.observe(&ev(
+            40,
+            TraceData::StoreCommit {
+                dir: 8,
+                core: 0,
+                tid: 1,
+                addr: 0x40,
+                release: false,
+                epoch: Some(0),
+            },
+        ));
+        m.observe(&ev(
+            50,
+            TraceData::EpochClose {
+                core: 0,
+                epoch: 0,
+                fanout: 3,
+            },
+        ));
+        let s = m.snapshot();
+        assert_eq!(s.latency_ns.count, 1);
+        assert!(s.latency_ns.p50 >= 30, "30 ns latency in p50 bucket bound");
+        assert_eq!(s.fanout_max, 3);
+        assert_eq!(s.inflight_peak, 1);
+        assert_eq!(s.events, 3);
+        let json = s.to_json();
+        assert!(json.contains("\"fanout\""));
+        assert!(json.contains("\"store_issue\":1"));
+        assert!(!s.render_text().is_empty());
+    }
+
+    #[test]
+    fn metrics_tracks_table_occupancy() {
+        let mut m = MetricsRecorder::default();
+        m.observe(&ev(
+            5,
+            TraceData::TableInsert {
+                node: "dir",
+                id: 3,
+                table: "cnt",
+                occ: 2,
+                cap: 64,
+            },
+        ));
+        m.observe(&ev(
+            9,
+            TraceData::TableEvict {
+                node: "dir",
+                id: 3,
+                table: "cnt",
+                occ: 1,
+                cap: 64,
+            },
+        ));
+        let s = m.snapshot();
+        assert_eq!(s.table_peaks, vec![("dir3.cnt".to_string(), 2)]);
+    }
+
+    #[test]
+    fn render_event_is_human_readable() {
+        let line = render_event(&ev(
+            1500,
+            TraceData::StoreCommit {
+                dir: 8,
+                core: 0,
+                tid: 7,
+                addr: 0x1000,
+                release: true,
+                epoch: Some(4),
+            },
+        ));
+        assert!(line.contains("dir8"), "{line}");
+        assert!(line.contains("st.rel"), "{line}");
+        assert!(line.contains("ep=4"), "{line}");
+        assert!(line.contains("1500.000 ns"), "{line}");
+    }
+
+    #[test]
+    fn tracer_sequences_events() {
+        let ring = Shared::new(RingSink::new(8));
+        let mut tr = Tracer::with_sink(Box::new(ring.clone()));
+        for i in 0..3 {
+            tr.emit(Time::from_ns(i), TraceData::EpochOpen { core: 0, epoch: i });
+        }
+        let seqs: Vec<u64> = ring.with(|r| r.events().map(|e| e.seq).collect());
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+}
