@@ -1,0 +1,243 @@
+//! Chaos campaign: seeded fault-injection runs across every engine.
+//!
+//! Each cell of the campaign matrix runs a producer/consumer handshake
+//! workload on a fabric that drops, duplicates, and delays messages
+//! according to a deterministic [`cord_sim::fault::FaultPlan`], with the
+//! reliable transport and liveness watchdog armed. For every run the
+//! campaign asserts the release-consistency invariant (every value read
+//! after a flag wait equals the fault-free value) and termination (no
+//! watchdog trip, no event-cap blowout), then records timings into
+//! `results/BENCH_chaos.json` (override with `CORD_BENCH_JSON`).
+//!
+//! The final stanza is a *negative* check: it re-runs a multi-directory
+//! CORD release with every notification dropped on an unreliable transport
+//! and demands the liveness watchdog catch the hang with a readable
+//! narrative.
+//!
+//! Usage: `chaos [--quick]` — `--quick` runs one seed per plan.
+
+use std::time::Instant;
+
+use cord::{RunError, RunResult, System};
+use cord_bench::print_table;
+use cord_bench::sweep::Recorder;
+use cord_proto::{LoadOrd, Program, ProtocolKind, StoreOrd, SystemConfig};
+use cord_sim::Time;
+
+/// Engines under test; engines without global release consistency
+/// ([`ProtocolKind::global_rc`]) are excluded from the multi-directory
+/// workload — MP's posted writes (paper §3.2) and SEQ's per-directory
+/// sequence streams (§4.1) make no cross-destination ordering promise, so
+/// a reordering fabric can legitimately commit the flag before the data.
+const ENGINES: [ProtocolKind; 5] = [
+    ProtocolKind::Cord,
+    ProtocolKind::So,
+    ProtocolKind::Mp,
+    ProtocolKind::Wb,
+    ProtocolKind::Seq { bits: 8 },
+];
+
+/// Fault plans exercised by the campaign (name, spec). Every spec gets the
+/// per-run seed prepended. Addresses in the workloads are fresh per round,
+/// so reordering plans are safe for every protocol: the transport restores
+/// FIFO order for the protocols that need it.
+const PLANS: [(&str, &str); 5] = [
+    ("light", "drop=0.02; dup=0.02; jitter=50"),
+    ("heavy", "drop=0.15; dup=0.10; jitter=200; rto=800"),
+    ("reorder", "jitter=400"),
+    ("burst", "drop=0.03; jitter=100; window=2000..6000x5"),
+    ("notify", "drop.Notify=0.4; drop.ReqNotify=0.4; drop=0.02"),
+];
+
+/// Single-destination handshake: producer on host 0 streams `words` fresh
+/// relaxed words to host 1 then a Release flag per round; the consumer
+/// waits each round's flag and reads that round's first word.
+fn single_dst(cfg: &SystemConfig, rounds: u64, words: u64) -> Vec<Program> {
+    let tph = cfg.noc.tiles_per_host as usize;
+    let mut p = Program::build();
+    let mut c = Program::build();
+    for r in 0..rounds {
+        for w in 0..words {
+            let a = cfg.map.addr_on_host(1, (r * words + w) * 512);
+            p = p.store(a, 8, r * words + w + 1, StoreOrd::Relaxed);
+        }
+        let flag = cfg.map.addr_on_host(1, (1 << 20) + r * 512);
+        p = p.store(flag, 8, r + 1, StoreOrd::Release);
+        c = c.wait_value(flag, r + 1).load(
+            cfg.map.addr_on_host(1, r * words * 512),
+            8,
+            LoadOrd::Relaxed,
+            (r % 16) as u8,
+        );
+    }
+    let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
+    programs[0] = p.finish();
+    programs[tph] = c.finish();
+    programs
+}
+
+/// Multi-directory handshake: each round's data goes to hosts 1 and 2, the
+/// flag to host 3 — the release must fan notifications across directories.
+fn multi_dir(cfg: &SystemConfig, rounds: u64) -> Vec<Program> {
+    let tph = cfg.noc.tiles_per_host as usize;
+    let mut p = Program::build();
+    let mut c = Program::build();
+    for r in 0..rounds {
+        let d1 = cfg.map.addr_on_host(1, r * 512);
+        let d2 = cfg.map.addr_on_host(2, r * 512);
+        let flag = cfg.map.addr_on_host(3, r * 512);
+        p = p
+            .store(d1, 8, 100 + r, StoreOrd::Relaxed)
+            .store(d2, 8, 200 + r, StoreOrd::Relaxed)
+            .store(flag, 8, r + 1, StoreOrd::Release);
+        c = c
+            .wait_value(flag, r + 1)
+            .load(d1, 8, LoadOrd::Relaxed, (2 * r % 16) as u8)
+            .load(d2, 8, LoadOrd::Relaxed, ((2 * r + 1) % 16) as u8);
+    }
+    let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
+    programs[0] = p.finish();
+    programs[3 * tph] = c.finish();
+    programs
+}
+
+/// A boxed workload generator, so the single- and multi-directory shapes
+/// share one campaign loop.
+type ProgramsFor = Box<dyn Fn(&SystemConfig) -> Vec<Program>>;
+
+struct Cell {
+    label: String,
+    outcome: Result<RunResult, RunError>,
+    wall_ms: f64,
+    /// Consumer register file from the fault-free reference run.
+    baseline: [u64; 16],
+    consumer: usize,
+}
+
+fn run_cell(
+    kind: ProtocolKind,
+    hosts: u32,
+    programs_for: &dyn Fn(&SystemConfig) -> Vec<Program>,
+    spec: Option<&str>,
+) -> (Result<RunResult, RunError>, f64, usize) {
+    let cfg = SystemConfig::cxl(kind, hosts);
+    let tph = cfg.noc.tiles_per_host as usize;
+    let consumer = if hosts > 2 { 3 * tph } else { tph };
+    let programs = programs_for(&cfg);
+    let mut sys = System::new(cfg, programs);
+    if let Some(s) = spec {
+        sys.set_fault_spec(s)
+            .unwrap_or_else(|e| panic!("bad spec {s:?}: {e}"));
+    }
+    let start = Instant::now();
+    let out = sys.try_run();
+    (out, start.elapsed().as_secs_f64() * 1e3, consumer)
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    if std::env::var_os("CORD_BENCH_JSON").is_none() {
+        std::env::set_var("CORD_BENCH_JSON", "results/BENCH_chaos.json");
+    }
+    let seeds: &[u64] = if quick { &[7] } else { &[7, 41, 1234] };
+    let (rounds, words) = if quick { (4, 8) } else { (8, 16) };
+
+    let mut rec = Recorder::new("chaos");
+    let mut cells: Vec<Cell> = Vec::new();
+    for &kind in &ENGINES {
+        for workload in ["single", "multi"] {
+            if workload == "multi" && !kind.global_rc() {
+                continue; // no cross-destination RC promise (MP, SEQ)
+            }
+            let hosts = if workload == "multi" { 4 } else { 2 };
+            let programs_for: ProgramsFor = if workload == "multi" {
+                Box::new(move |cfg| multi_dir(cfg, rounds))
+            } else {
+                Box::new(move |cfg| single_dst(cfg, rounds, words))
+            };
+            // Fault-free reference for the RC invariant.
+            let (base, _, consumer) = run_cell(kind, hosts, programs_for.as_ref(), None);
+            let baseline = base.expect("fault-free reference must complete").regs[consumer];
+            for (plan, spec) in PLANS {
+                for &seed in seeds {
+                    let full = format!("seed={seed}; {spec}");
+                    let label = format!("{}/{workload}/{plan}/s{seed}", kind.label());
+                    let (outcome, wall_ms, consumer) =
+                        run_cell(kind, hosts, programs_for.as_ref(), Some(&full));
+                    if let Ok(r) = &outcome {
+                        rec.record(&label, wall_ms, r.completion().as_ns_f64());
+                    }
+                    cells.push(Cell {
+                        label,
+                        outcome,
+                        wall_ms,
+                        baseline,
+                        consumer,
+                    });
+                }
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut failures = 0u32;
+    for cell in &cells {
+        let verdict = match &cell.outcome {
+            Ok(r) if r.regs[cell.consumer] != cell.baseline => {
+                failures += 1;
+                "RC VIOLATION".to_string()
+            }
+            Ok(r) => {
+                let f = r.traffic.faults;
+                format!(
+                    "ok ({} drop, {} dup, {} rexmt)",
+                    f.dropped, f.duplicated, f.retransmits
+                )
+            }
+            Err(e) => {
+                failures += 1;
+                let first = e.to_string();
+                format!("FAILED: {}", first.lines().next().unwrap_or("?"))
+            }
+        };
+        rows.push(vec![
+            cell.label.clone(),
+            format!("{:.1}", cell.wall_ms),
+            verdict,
+        ]);
+    }
+    print_table(
+        "Chaos campaign: RC invariants under a faulty fabric",
+        &["run", "wall (ms)", "verdict"],
+        &rows,
+    );
+    rec.finish();
+
+    // Negative check: a lost Notify with retransmission disabled must be
+    // caught by the liveness watchdog, with a narrative naming the hang.
+    let cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+    let programs = multi_dir(&cfg, 2);
+    let mut sys = System::new(cfg, programs);
+    sys.set_fault_spec("seed=1; drop.Notify=1.0; unreliable")
+        .expect("demo spec parses");
+    sys.set_watchdog(Some(Time::from_us(200)));
+    match sys.try_run() {
+        Err(RunError::NoProgress { narrative, .. }) => {
+            println!("\n== Watchdog demo: lost Notify without retransmission ==");
+            print!("{narrative}");
+        }
+        other => {
+            failures += 1;
+            eprintln!(
+                "watchdog demo FAILED: expected NoProgress, got {:?}",
+                other.map(|r| r.makespan)
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("\n{failures} chaos run(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nall {} chaos runs passed", cells.len());
+}

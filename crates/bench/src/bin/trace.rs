@@ -9,10 +9,16 @@
 //! trace [--app NAME | --micro STORE_GRAN,SYNC_GRAN,FANOUT]
 //!       [--proto cord|so|mp|wb|seq8|seq40] [--fabric cxl|upi]
 //!       [--hosts N] [--iters N] [--out PATH] [--tail N]
+//!       [--faults SPEC]
 //! ```
 //!
 //! Defaults: `--app MOCFE --proto cord --fabric cxl --hosts 4 --iters 2
 //! --out results/cord_trace.json --tail 16`.
+//!
+//! `--faults` arms deterministic fault injection plus the reliable
+//! transport, e.g. `--faults "seed=7; drop=0.05; dup=0.02; jitter=100"`
+//! (the `CORD_FAULTS` environment variable takes the same grammar; see
+//! EXPERIMENTS.md). Fault and retransmission events land in the trace.
 
 use cord::System;
 use cord_bench::{config, Fabric};
@@ -48,13 +54,15 @@ struct Args {
     iters: u32,
     out: String,
     tail: usize,
+    faults: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: trace [--app NAME | --micro STORE_GRAN,SYNC_GRAN,FANOUT] \
          [--proto cord|so|mp|wb|seq8|seq40] [--fabric cxl|upi] \
-         [--hosts N] [--iters N] [--out PATH] [--tail N]"
+         [--hosts N] [--iters N] [--out PATH] [--tail N] \
+         [--faults \"seed=N; drop=P; dup=P; jitter=NS; ...\"]"
     );
     std::process::exit(2)
 }
@@ -69,6 +77,7 @@ fn parse_args() -> Args {
         iters: 2,
         out: "results/cord_trace.json".into(),
         tail: 16,
+        faults: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -113,6 +122,7 @@ fn parse_args() -> Args {
             "--iters" => args.iters = val().parse().unwrap_or_else(|_| usage()),
             "--out" => args.out = val(),
             "--tail" => args.tail = val().parse().unwrap_or_else(|_| usage()),
+            "--faults" => args.faults = Some(val()),
             _ => usage(),
         }
         i += 1;
@@ -154,6 +164,13 @@ fn main() {
     let tail = Shared::new(RingSink::new(args.tail.max(1)));
 
     let mut sys = System::new(cfg, programs);
+    if let Some(spec) = &args.faults {
+        // The flag wins over any CORD_FAULTS in the environment.
+        sys.set_fault_spec(spec).unwrap_or_else(|e| {
+            eprintln!("--faults {spec:?}: {e}");
+            std::process::exit(2)
+        });
+    }
     sys.tracer_mut().install(Box::new(Tee {
         file: Box::new(writer),
         tail: tail.clone(),
@@ -169,6 +186,9 @@ fn main() {
         r.makespan.as_us_f64(),
         r.events
     );
+    if args.faults.is_some() {
+        println!("traffic: {}", r.traffic);
+    }
     match &r.metrics {
         Some(m) => println!("\n{}", m.render_text()),
         None => println!("(no metrics recorded)"),

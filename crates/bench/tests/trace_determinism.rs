@@ -16,11 +16,24 @@ use cord_workloads::{AppSpec, MicroBench};
 
 /// Runs one traced system and returns the complete Chrome-trace JSON.
 fn traced_run(cfg: SystemConfig, programs: Vec<cord_proto::Program>, tag: &str) -> String {
+    traced_run_with(cfg, programs, tag, None)
+}
+
+/// Like [`traced_run`], with an optional fault-injection spec armed.
+fn traced_run_with(
+    cfg: SystemConfig,
+    programs: Vec<cord_proto::Program>,
+    tag: &str,
+    faults: Option<&str>,
+) -> String {
     let dir = std::env::temp_dir().join("cord_trace_determinism");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join(format!("{tag}.json"));
     let path_str = path.to_str().expect("utf-8 temp path");
     let mut sys = System::new(cfg, programs);
+    if let Some(spec) = faults {
+        sys.set_fault_spec(spec).expect("fault spec parses");
+    }
     sys.tracer_mut()
         .install(Box::new(ChromeTraceWriter::create(path_str).unwrap()));
     let _ = sys.run();
@@ -55,6 +68,40 @@ fn trace_bytes_identical_across_worker_counts() {
     assert_eq!(
         serial, parallel,
         "trace bytes diverged across worker counts"
+    );
+}
+
+/// Fault injection must not break determinism: with the same seeded
+/// `FaultPlan` (drops, duplicates, jitter) and the reliable transport armed,
+/// the traced run — including `FaultInject` and `XportRetrans` events —
+/// is byte-identical at 1 and 8 sweep workers. Fault decisions hash the
+/// per-fabric message counter, never wall clock or scheduling.
+#[test]
+fn faulted_trace_bytes_identical_across_worker_counts() {
+    let mut app = AppSpec::by_name("MOCFE").expect("known app");
+    app.iters = 1;
+    // CORD tolerates reordering; WB exercises the FIFO hold-back path.
+    let grid: Vec<(usize, ProtocolKind)> = [ProtocolKind::Cord, ProtocolKind::Wb]
+        .into_iter()
+        .enumerate()
+        .collect();
+    let spec = "seed=97; drop=0.03; dup=0.03; jitter=80";
+    let run_at = |threads: usize| {
+        par::run_parallel_on(threads, &grid, |&(i, kind)| {
+            let cfg = config(kind, Fabric::Cxl, 2, ConsistencyModel::Rc);
+            let programs = app.programs(&cfg);
+            traced_run_with(cfg, programs, &format!("f{threads}_{i}"), Some(spec))
+        })
+    };
+    let serial = run_at(1);
+    let parallel = run_at(8);
+    assert!(
+        serial.iter().any(|t| t.contains("\"fault:")),
+        "faults fired and were traced"
+    );
+    assert_eq!(
+        serial, parallel,
+        "faulted trace bytes diverged across worker counts"
     );
 }
 

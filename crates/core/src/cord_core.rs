@@ -313,6 +313,23 @@ impl CordCore {
             }
             _ => {}
         }
+        if self.cnt.get(&dst).is_none() && !self.cnt.has_room() {
+            // Store-counter table full of *this* epoch's directories: no
+            // acknowledgment can ever free an entry (the table is cleared
+            // per epoch), so stalling here would deadlock. Close the epoch
+            // early with an empty Release to the new directory — the same
+            // recovery as a counter wrap — and count the store in the fresh
+            // epoch (paper §4.3 stall-and-recover at any table size).
+            ctx.trace(|| TraceData::TableStallFull {
+                node: "core",
+                id: self.id.0,
+                table: "cnt",
+                cap: self.cnt.capacity() as u64,
+            });
+            if let Some(stall) = self.issue_release(addr, 0, 0, ctx) {
+                return Some(stall);
+            }
+        }
         let ep = self.epoch;
         let occ_before = self.cnt.len();
         match self.cnt.get_or_insert_with(dst, || 0) {
@@ -530,6 +547,13 @@ impl CoreProtocol for CordCore {
                 } else {
                     // Relaxed atomic: counted in the epoch like a Relaxed
                     // store; blocking only for its value.
+                    if self.cnt.get(&dst).is_none() && !self.cnt.has_room() {
+                        // Same early epoch close as issue_relaxed: a full
+                        // current-epoch counter table can never drain.
+                        if let Some(stall) = self.issue_release(addr, 0, 0, ctx) {
+                            return Issue::Stall(stall);
+                        }
+                    }
                     match self.cnt.get_or_insert_with(dst, || 0) {
                         None => {
                             ctx.trace(|| TraceData::TableStallFull {

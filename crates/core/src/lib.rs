@@ -54,5 +54,5 @@ pub use cord_core::{CordCore, PROC_CNT_ENTRY_BYTES, PROC_UNACKED_ENTRY_BYTES};
 pub use cord_dir::{CordDir, DIR_CNT_ENTRY_BYTES, DIR_LARGEST_ENTRY_BYTES, DIR_NOTI_ENTRY_BYTES};
 pub use frontend::{FeAction, Frontend};
 pub use hybrid::{HybridCore, HybridDir, WbWindow};
-pub use runner::{RunResult, System};
+pub use runner::{RunError, RunResult, System};
 pub use tables::LookupTable;

@@ -9,13 +9,16 @@
 //! peak lookup-table/buffer storage.
 
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 use cord_mem::{Addr, Memory};
-use cord_noc::{Noc, TileId, TrafficStats};
+use cord_noc::{Delivery, MsgClass, Noc, TileId, TrafficStats};
 use cord_proto::{
     CoreCtx, CoreEffect, CoreId, CoreProtoStats, CoreProtocol, DirCtx, DirEffect, DirId,
-    DirProtocol, DirStorage, Msg, NodeRef, Program, StallCause, SystemConfig,
+    DirProtocol, DirStorage, FaultSpec, Msg, NodeRef, Program, RecvOutcome, StallCause,
+    SystemConfig, Transport, TransportConfig, ACK_BYTES,
 };
+use cord_sim::fault::FaultPlan;
 use cord_sim::trace::{MetricsSnapshot, TraceData, Tracer};
 use cord_sim::{EventQueue, Time};
 
@@ -25,8 +28,25 @@ use crate::frontend::{FeAction, Frontend};
 /// Events driving the simulation.
 #[derive(Debug)]
 enum Event {
-    /// A message arrives at its destination.
+    /// A message arrives at its destination (clean fabric, no transport).
     Deliver(Msg),
+    /// A transport-tagged message arrives (fault-injection mode).
+    DeliverSeq {
+        /// The protocol message.
+        msg: Msg,
+        /// Its channel sequence number.
+        seq: u64,
+    },
+    /// A transport acknowledgment arrives back at the sender of `(src,
+    /// dst)` channel sequence `seq`; `dup` reports a duplicate delivery.
+    XportAck {
+        src: u32,
+        dst: u32,
+        seq: u64,
+        dup: bool,
+    },
+    /// A retransmission timer fires at the sender.
+    XportTimeout { src: u32, dst: u32, seq: u64 },
     /// A core's scheduled issue step (with its generation stamp).
     CoreStep { core: u32, gen: u64 },
     /// A protocol wake for a stalled core.
@@ -34,6 +54,58 @@ enum Event {
     /// A directory retry callback.
     DirWake { dir: u32 },
 }
+
+/// Why a run could not complete (see [`System::try_run`]).
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The event cap was exceeded (livelock or runaway program).
+    EventCap {
+        /// Events processed when the cap tripped.
+        events: u64,
+    },
+    /// The event queue drained with unfinished programs.
+    Deadlock {
+        /// First stuck core.
+        core: u32,
+        /// Human-readable description of the stuck state.
+        detail: String,
+    },
+    /// The liveness watchdog saw no forward progress for a full window.
+    NoProgress {
+        /// When progress was last observed.
+        since: Time,
+        /// Simulation time at detection.
+        now: Time,
+        /// The configured no-progress window.
+        window: Time,
+        /// Narrative dump of stuck cores, in-flight events and transport
+        /// state (tracer-style, one line per item).
+        narrative: String,
+    },
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::EventCap { events } => write!(
+                f,
+                "event cap exceeded ({events}): livelock or runaway program?"
+            ),
+            RunError::Deadlock { detail, .. } => write!(f, "{detail}"),
+            RunError::NoProgress {
+                since,
+                now,
+                window,
+                narrative,
+            } => write!(
+                f,
+                "liveness watchdog: no forward progress since {since} (now {now}, window {window})\n{narrative}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
 
 struct CoreNode {
     engine: AnyCore,
@@ -153,6 +225,12 @@ pub struct System {
     /// Protocol tracing; disabled (a pair of `None`s) unless `CORD_TRACE`
     /// is set or a sink is installed through [`System::tracer_mut`].
     tracer: Tracer,
+    /// Reliable-transport shim, present only in fault-injection mode (the
+    /// clean-fabric fast path stays byte-identical when this is `None`).
+    xport: Option<Transport>,
+    /// Liveness watchdog window: trip when no core makes forward progress
+    /// for this much simulated time. Defaults on (1 ms) in fault mode.
+    watchdog: Option<Time>,
 }
 
 impl System {
@@ -202,7 +280,7 @@ impl System {
                 mem: Memory::new(),
             })
             .collect();
-        System {
+        let mut sys = System {
             noc: Noc::new(cfg.noc),
             cfg,
             queue,
@@ -213,7 +291,46 @@ impl System {
             scratch_acts: Vec::new(),
             scratch_dfx: Vec::new(),
             tracer: Tracer::from_env(),
+            xport: None,
+            watchdog: None,
+        };
+        if let Ok(spec) = std::env::var("CORD_FAULTS") {
+            if !spec.is_empty() {
+                let fs = FaultSpec::parse(&spec).unwrap_or_else(|e| panic!("CORD_FAULTS: {e}"));
+                sys.set_faults(fs.plan, fs.xport);
+            }
         }
+        sys
+    }
+
+    /// Enables fault injection: installs `plan` on the interconnect and the
+    /// reliable-transport shim configured by `xcfg` (its `fifo` field is
+    /// overridden from the protocol under test — see
+    /// [`cord_proto::ProtocolKind::needs_fifo`]). Also arms the liveness
+    /// watchdog (1 ms window) unless one was already set.
+    pub fn set_faults(&mut self, plan: FaultPlan, mut xcfg: TransportConfig) {
+        xcfg.fifo = self.cfg.protocol.needs_fifo();
+        self.noc.set_faults(Some(plan));
+        self.xport = Some(Transport::new(xcfg));
+        if self.watchdog.is_none() {
+            self.watchdog = Some(Time::from_us(1000));
+        }
+    }
+
+    /// Parses a `CORD_FAULTS`-grammar spec and enables fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed directive.
+    pub fn set_fault_spec(&mut self, spec: &str) -> Result<(), String> {
+        let fs = FaultSpec::parse(spec)?;
+        self.set_faults(fs.plan, fs.xport);
+        Ok(())
+    }
+
+    /// Sets (or disables) the liveness watchdog window.
+    pub fn set_watchdog(&mut self, window: Option<Time>) {
+        self.watchdog = window;
     }
 
     /// The system's tracer, for installing sinks or a metrics recorder
@@ -243,39 +360,61 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics on deadlock (event queue drained with unfinished programs) or
-    /// when the event cap is exceeded.
+    /// Panics on any [`RunError`]: deadlock (event queue drained with
+    /// unfinished programs), event-cap exhaustion, or a liveness-watchdog
+    /// trip. Use [`System::try_run`] to handle these structurally.
     pub fn run(&mut self) -> RunResult {
+        match self.try_run() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Runs to completion, reporting livelock/deadlock/no-progress as a
+    /// structured [`RunError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RunError`] describing why the run could not complete.
+    pub fn try_run(&mut self) -> Result<RunResult, RunError> {
         let mut events = 0u64;
         let mut drained = Time::ZERO;
+        // Watchdog state: last fingerprint and when it last changed.
+        let mut wd_fp = self.progress_fingerprint();
+        let mut wd_since = Time::ZERO;
         while let Some((now, ev)) = self.queue.pop() {
             events += 1;
-            assert!(
-                events <= self.max_events,
-                "event cap exceeded ({events}): livelock or runaway program?"
-            );
-            drained = now;
-            match ev {
-                Event::Deliver(msg) => {
-                    self.tracer.emit_with(now, || TraceData::MsgDeliver {
-                        src: msg.src.tile_flat(),
-                        dst: msg.dst.tile_flat(),
-                        kind: msg.kind.name(),
-                        class: msg.class().label(),
-                        bytes: msg.bytes,
-                    });
-                    match msg.dst {
-                        NodeRef::Core(CoreId(c)) => {
-                            self.with_core(c as usize, now, |fe, eng, fx, acts, tr| {
-                                let _ = fe;
-                                let _ = acts;
-                                let mut ctx = CoreCtx::traced(now, fx, tr);
-                                eng.on_msg(msg.src, msg.kind, &mut ctx);
-                            });
-                        }
-                        NodeRef::Dir(DirId(d)) => self.deliver_dir(d as usize, now, msg),
+            if events > self.max_events {
+                return Err(RunError::EventCap { events });
+            }
+            // Amortized liveness check: the fingerprint walk is O(cores),
+            // so only look every 4096 events (bounded relative overhead).
+            if events & 0xFFF == 0 {
+                if let Some(window) = self.watchdog {
+                    let fp = self.progress_fingerprint();
+                    if fp != wd_fp {
+                        wd_fp = fp;
+                        wd_since = now;
+                    } else if now > wd_since + window {
+                        return Err(RunError::NoProgress {
+                            since: wd_since,
+                            now,
+                            window,
+                            narrative: self.narrate_hang(),
+                        });
                     }
                 }
+            }
+            drained = now;
+            match ev {
+                Event::Deliver(msg) => self.dispatch(now, msg),
+                Event::DeliverSeq { msg, seq } => self.deliver_tagged(now, msg, seq),
+                Event::XportAck { src, dst, seq, dup } => {
+                    if let Some(x) = self.xport.as_mut() {
+                        x.on_ack(src, dst, seq, dup);
+                    }
+                }
+                Event::XportTimeout { src, dst, seq } => self.on_xport_timeout(now, src, dst, seq),
                 Event::CoreStep { core, gen } => {
                     self.with_core(core as usize, now, |fe, eng, fx, acts, tr| {
                         fe.on_step(gen, now, eng, fx, acts, tr);
@@ -322,10 +461,259 @@ impl System {
         }
         self.tracer.finish();
         let metrics = self.tracer.take_metrics().map(|m| m.snapshot());
-        self.check_finished();
+        self.check_finished()?;
+        // Mirror the transport shim's counters into the interconnect's
+        // fault statistics so they ride `RunResult::traffic`.
+        if let Some(x) = &self.xport {
+            let s = *x.stats();
+            let f = self.noc.fault_stats_mut();
+            f.retransmits = s.retransmits;
+            f.spurious_retransmits = s.spurious_retransmits;
+            f.dup_dropped = s.dup_dropped;
+        }
         let mut result = self.collect(drained, events);
         result.metrics = metrics;
-        result
+        Ok(result)
+    }
+
+    /// Forward-progress fingerprint for the liveness watchdog: advances
+    /// whenever any core's program counter moves or finishes, or the
+    /// transport retransmits (active loss recovery is progress, not a
+    /// hang). Deliberately excludes poll counts, raw event counts, and
+    /// first transmissions — a consumer spinning on a flag that will never
+    /// be set keeps polling (and sending read requests) forever without
+    /// advancing this fingerprint.
+    fn progress_fingerprint(&self) -> (u64, u64, u64) {
+        let mut pcs = 0u64;
+        let mut done = 0u64;
+        for node in &self.cores {
+            pcs += node.fe.pc() as u64;
+            done += node.fe.is_done() as u64;
+        }
+        let xp = self.xport.as_ref().map_or(0, |x| x.stats().retransmits);
+        (pcs, done, xp)
+    }
+
+    /// Tracer-style narrative of the stuck state: unfinished cores, the
+    /// earliest in-flight events, and outstanding transport state.
+    fn narrate_hang(&self) -> String {
+        let mut s = String::new();
+        for (i, node) in self.cores.iter().enumerate() {
+            if node.fe.is_done() {
+                continue;
+            }
+            let _ = writeln!(
+                s,
+                "  core {i}: stuck at pc {} on {:?} (stall: {}, polls: {}, engine quiesced: {})",
+                node.fe.pc(),
+                node.fe.current_op().map(|o| o.mnemonic()),
+                node.fe
+                    .open_stall()
+                    .map_or("none".to_string(), |(c, since)| format!(
+                        "{} since {since}",
+                        c.label()
+                    )),
+                node.fe.polls(),
+                node.engine.quiesced(),
+            );
+        }
+        let mut pending: Vec<(Time, String)> = self
+            .queue
+            .iter()
+            .map(|(t, ev)| (t, Self::describe_event(ev)))
+            .collect();
+        pending.sort();
+        let _ = writeln!(s, "  in-flight events: {}", pending.len());
+        for (t, d) in pending.iter().take(12) {
+            let _ = writeln!(s, "    at {t}: {d}");
+        }
+        if pending.len() > 12 {
+            let _ = writeln!(s, "    … {} more", pending.len() - 12);
+        }
+        if let Some(x) = &self.xport {
+            let _ = writeln!(
+                s,
+                "  transport: {} unacked ({} retransmits so far, reliable: {})",
+                x.unacked_total(),
+                x.stats().retransmits,
+                x.config().reliable,
+            );
+        }
+        s
+    }
+
+    fn describe_event(ev: &Event) -> String {
+        match ev {
+            Event::Deliver(m) => format!(
+                "deliver {} tile{} -> tile{}",
+                m.kind.name(),
+                m.src.tile_flat(),
+                m.dst.tile_flat()
+            ),
+            Event::DeliverSeq { msg, seq } => format!(
+                "deliver {} seq {seq} tile{} -> tile{}",
+                msg.kind.name(),
+                msg.src.tile_flat(),
+                msg.dst.tile_flat()
+            ),
+            Event::XportAck { src, dst, seq, .. } => {
+                format!("xport ack seq {seq} for tile{src} -> tile{dst}")
+            }
+            Event::XportTimeout { src, dst, seq } => {
+                format!("xport timer seq {seq} tile{src} -> tile{dst}")
+            }
+            Event::CoreStep { core, .. } => format!("core {core} step"),
+            Event::CoreWake { core } => format!("core {core} wake"),
+            Event::DirWake { dir } => format!("dir {dir} retry"),
+        }
+    }
+
+    /// Delivers a protocol message to its destination engine.
+    fn dispatch(&mut self, now: Time, msg: Msg) {
+        self.tracer.emit_with(now, || TraceData::MsgDeliver {
+            src: msg.src.tile_flat(),
+            dst: msg.dst.tile_flat(),
+            kind: msg.kind.name(),
+            class: msg.class().label(),
+            bytes: msg.bytes,
+        });
+        match msg.dst {
+            NodeRef::Core(CoreId(c)) => {
+                self.with_core(c as usize, now, |fe, eng, fx, acts, tr| {
+                    let _ = fe;
+                    let _ = acts;
+                    let mut ctx = CoreCtx::traced(now, fx, tr);
+                    eng.on_msg(msg.src, msg.kind, &mut ctx);
+                });
+            }
+            NodeRef::Dir(DirId(d)) => self.deliver_dir(d as usize, now, msg),
+        }
+    }
+
+    /// Handles the arrival of a transport-tagged message: acknowledge,
+    /// suppress duplicates, and deliver whatever the receiver releases
+    /// (possibly several messages when a FIFO gap fills, or none when the
+    /// arrival is held back).
+    fn deliver_tagged(&mut self, now: Time, msg: Msg, seq: u64) {
+        let (sflat, dflat) = (msg.src.tile_flat(), msg.dst.tile_flat());
+        let Some(x) = self.xport.as_mut() else {
+            return self.dispatch(now, msg);
+        };
+        let outcome = x.on_deliver(sflat, dflat, seq, msg);
+        if outcome == RecvOutcome::Duplicate {
+            self.tracer.emit_with(now, || TraceData::XportDupDrop {
+                src: sflat,
+                dst: dflat,
+                seq,
+            });
+        }
+        // Always acknowledge — the sender may have missed an earlier ack.
+        self.send_ack(now, sflat, dflat, seq, outcome == RecvOutcome::Duplicate);
+        if let RecvOutcome::Deliver(msgs) = outcome {
+            for m in msgs {
+                self.dispatch(now, m);
+            }
+        }
+    }
+
+    /// Sends a transport acknowledgment for `(src, dst)` sequence `seq`
+    /// back across the (faulty) fabric. Acks are unsequenced: losing one is
+    /// recovered by sender retransmission and receiver re-ack.
+    fn send_ack(&mut self, now: Time, sflat: u32, dflat: u32, seq: u64, dup: bool) {
+        let tph = self.cfg.noc.tiles_per_host;
+        let from = TileId::from_flat(dflat, tph);
+        let to = TileId::from_flat(sflat, tph);
+        let ev = |src: u32, dst: u32| Event::XportAck { src, dst, seq, dup };
+        match self.transmit_traced(now, from, to, ACK_BYTES, MsgClass::Ack) {
+            Delivery::Deliver { at, .. } => self.queue.push(at, ev(sflat, dflat)),
+            Delivery::Drop => {}
+            Delivery::Duplicate { first, second } => {
+                self.queue.push(first, ev(sflat, dflat));
+                self.queue.push(second, ev(sflat, dflat));
+            }
+        }
+    }
+
+    /// Retransmission timer: if the message is still unacknowledged,
+    /// retransmit it and re-arm the (backed-off) timer.
+    fn on_xport_timeout(&mut self, now: Time, src: u32, dst: u32, seq: u64) {
+        let Some(x) = self.xport.as_mut() else {
+            return;
+        };
+        if let Some((msg, attempt, delay)) = x.on_timeout(src, dst, seq) {
+            self.tracer.emit_with(now, || TraceData::XportRetrans {
+                src,
+                dst,
+                seq,
+                attempt,
+            });
+            self.transmit_tagged(now, msg, seq);
+            self.queue
+                .push(now + delay, Event::XportTimeout { src, dst, seq });
+        }
+    }
+
+    /// Pushes one tagged transmission through the faulty fabric, scheduling
+    /// zero, one, or two [`Event::DeliverSeq`] arrivals.
+    fn transmit_tagged(&mut self, depart: Time, msg: Msg, seq: u64) {
+        let tph = self.cfg.noc.tiles_per_host;
+        let src = TileId::from_flat(msg.src.tile_flat(), tph);
+        let dst = TileId::from_flat(msg.dst.tile_flat(), tph);
+        match self.transmit_traced(depart, src, dst, msg.bytes, msg.class()) {
+            Delivery::Deliver { at, .. } => {
+                self.tracer.emit_with(depart, || TraceData::MsgSend {
+                    src: msg.src.tile_flat(),
+                    dst: msg.dst.tile_flat(),
+                    kind: msg.kind.name(),
+                    class: msg.class().label(),
+                    bytes: msg.bytes,
+                    arrive: at,
+                });
+                self.queue.push(at, Event::DeliverSeq { msg, seq });
+            }
+            Delivery::Drop => {}
+            Delivery::Duplicate { first, second } => {
+                self.queue.push(
+                    first,
+                    Event::DeliverSeq {
+                        msg: msg.clone(),
+                        seq,
+                    },
+                );
+                self.queue.push(second, Event::DeliverSeq { msg, seq });
+            }
+        }
+    }
+
+    /// [`Noc::transmit`] plus fault-event tracing.
+    fn transmit_traced(
+        &mut self,
+        depart: Time,
+        src: TileId,
+        dst: TileId,
+        bytes: u64,
+        class: MsgClass,
+    ) -> Delivery {
+        let d = self.noc.transmit(depart, src, dst, bytes, class);
+        if self.tracer.enabled() {
+            let (fault, extra) = match d {
+                Delivery::Deliver { faulted, .. } if faulted > Time::ZERO => ("delay", faulted),
+                Delivery::Drop => ("drop", Time::ZERO),
+                Delivery::Duplicate { first, second } => ("dup", second - first),
+                Delivery::Deliver { .. } => return d,
+            };
+            self.tracer.emit(
+                depart,
+                TraceData::FaultInject {
+                    src: src.flat(self.cfg.noc.tiles_per_host),
+                    dst: dst.flat(self.cfg.noc.tiles_per_host),
+                    class: class.label(),
+                    fault,
+                    extra,
+                },
+            );
+        }
+        d
     }
 
     /// Runs a closure against core `i`'s frontend+engine, then applies all
@@ -444,7 +832,26 @@ impl System {
     }
 
     /// Routes a message through the interconnect and schedules its delivery.
-    fn route(&mut self, depart: Time, msg: Msg) {
+    fn route(&mut self, depart: Time, mut msg: Msg) {
+        if let Some(x) = self.xport.as_mut() {
+            // Fault-injection mode: tag with a sequence number, retain a
+            // retransmission copy, and arm the first timer.
+            let (sflat, dflat) = (msg.src.tile_flat(), msg.dst.tile_flat());
+            let seq = x.wrap(sflat, dflat, &mut msg);
+            let cfg = *x.config();
+            self.transmit_tagged(depart, msg, seq);
+            if cfg.reliable {
+                self.queue.push(
+                    depart + cfg.rto,
+                    Event::XportTimeout {
+                        src: sflat,
+                        dst: dflat,
+                        seq,
+                    },
+                );
+            }
+            return;
+        }
         let tph = self.cfg.noc.tiles_per_host;
         let src = TileId::from_flat(msg.src.tile_flat(), tph);
         let dst = TileId::from_flat(msg.dst.tile_flat(), tph);
@@ -460,20 +867,25 @@ impl System {
         self.queue.push(arrive, Event::Deliver(msg));
     }
 
-    fn check_finished(&self) {
+    fn check_finished(&self) -> Result<(), RunError> {
         for (i, node) in self.cores.iter().enumerate() {
-            assert!(
-                node.fe.is_done(),
-                "deadlock: core {i} stuck at pc {} on {:?} (engine quiesced: {})",
-                node.fe.pc(),
-                node.fe.current_op().map(|o| o.mnemonic()),
-                node.engine.quiesced()
-            );
+            if !node.fe.is_done() {
+                return Err(RunError::Deadlock {
+                    core: i as u32,
+                    detail: format!(
+                        "deadlock: core {i} stuck at pc {} on {:?} (engine quiesced: {})",
+                        node.fe.pc(),
+                        node.fe.current_op().map(|o| o.mnemonic()),
+                        node.engine.quiesced()
+                    ),
+                });
+            }
             debug_assert!(
                 node.engine.quiesced(),
                 "core {i} engine not quiesced at drain"
             );
         }
+        Ok(())
     }
 
     fn collect(&self, drained: Time, events: u64) -> RunResult {
@@ -676,5 +1088,121 @@ mod tests {
         let mut sys = System::new(cfg, programs);
         sys.set_max_events(50_000);
         sys.run(); // poll spins until the event cap...
+    }
+
+    fn faulted_run(kind: ProtocolKind, spec: &str) -> RunResult {
+        let cfg = SystemConfig::cxl(kind, 2);
+        let programs = producer_consumer(&cfg, 16);
+        let mut sys = System::new(cfg, programs);
+        sys.set_fault_spec(spec).unwrap();
+        sys.run()
+    }
+
+    #[test]
+    fn lossy_fabric_recovered_by_retransmission() {
+        for kind in [
+            ProtocolKind::Cord,
+            ProtocolKind::So,
+            ProtocolKind::Mp,
+            ProtocolKind::Wb,
+            ProtocolKind::Seq { bits: 8 },
+        ] {
+            let r = faulted_run(kind, "seed=3; drop=0.1; dup=0.05; jitter=100");
+            assert_eq!(
+                r.regs[8][0], 1,
+                "{kind:?}: data must survive a lossy fabric"
+            );
+            let f = r.traffic.faults;
+            assert!(f.dropped > 0, "{kind:?}: plan must have dropped something");
+            // Not every drop forces a retransmission (a redundant duplicate
+            // ack can be lost for free), but recovering the lost protocol
+            // messages must have taken at least some.
+            assert!(
+                f.retransmits > 0,
+                "{kind:?}: lost messages need retransmissions"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        let a = faulted_run(
+            ProtocolKind::Cord,
+            "seed=11; drop=0.08; dup=0.05; jitter=150",
+        );
+        let b = faulted_run(
+            ProtocolKind::Cord,
+            "seed=11; drop=0.08; dup=0.05; jitter=150",
+        );
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.traffic, b.traffic);
+        let c = faulted_run(
+            ProtocolKind::Cord,
+            "seed=12; drop=0.08; dup=0.05; jitter=150",
+        );
+        assert_ne!(
+            a.events, c.events,
+            "a different seed should perturb the run"
+        );
+    }
+
+    #[test]
+    fn faults_cost_nothing_when_disabled() {
+        // A system without a fault plan must behave byte-identically to the
+        // pre-transport fast path (same events, same traffic, no fault or
+        // transport overhead anywhere).
+        let r = run(ProtocolKind::Cord);
+        assert!(!r.traffic.faults.any());
+    }
+
+    #[test]
+    fn watchdog_reports_lost_notify_without_retransmission() {
+        // Multi-directory CORD release: data on hosts 1 and 2, flag on host
+        // 3, so the release fans out notifications. Drop every notification
+        // on an *unreliable* transport: the destination directory waits for
+        // notifications that will never arrive and the consumer polls
+        // forever — exactly the hang the liveness watchdog exists to catch.
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+        let d1 = cfg.map.addr_on_host(1, 0);
+        let d2 = cfg.map.addr_on_host(2, 0);
+        let flag = cfg.map.addr_on_host(3, 0);
+        let tiles = cfg.total_tiles() as usize;
+        let tph = cfg.noc.tiles_per_host as usize;
+        let mut programs = vec![Program::new(); tiles];
+        programs[0] = Program::build()
+            .store_relaxed(d1, 11)
+            .store_relaxed(d2, 22)
+            .store_release(flag, 1)
+            .finish();
+        programs[3 * tph] = Program::build().wait_value(flag, 1).finish();
+        let mut sys = System::new(cfg, programs);
+        sys.set_fault_spec("seed=1; drop.Notify=1.0; unreliable")
+            .unwrap();
+        sys.set_watchdog(Some(Time::from_us(100)));
+        let err = sys.try_run().expect_err("the hang must be detected");
+        match &err {
+            RunError::NoProgress { narrative, .. } => {
+                assert!(
+                    narrative.contains("stuck at pc"),
+                    "narrative names the stuck core: {narrative}"
+                );
+                assert!(
+                    narrative.contains("unacked"),
+                    "narrative reports outstanding transport state: {narrative}"
+                );
+            }
+            other => panic!("expected NoProgress, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("liveness watchdog"), "{msg}");
+    }
+
+    #[test]
+    fn reordering_fabric_needs_no_fifo_for_cord_but_mp_holds_back() {
+        let cord = faulted_run(ProtocolKind::Cord, "seed=5; jitter=300");
+        assert_eq!(cord.regs[8][0], 1);
+        let mp = faulted_run(ProtocolKind::Mp, "seed=5; jitter=300");
+        assert_eq!(mp.regs[8][0], 1);
     }
 }

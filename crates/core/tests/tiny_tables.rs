@@ -1,0 +1,125 @@
+//! Bounded-storage stress tests (paper §4.3): provision every CORD lookup
+//! table at capacity 1–2 and drive workloads that overflow them. The
+//! protocol must *stall and recover*, never drop ordering or deadlock —
+//! correctness at any (≥ 1) table size is the paper's central storage
+//! claim.
+
+use cord::System;
+use cord_proto::{LoadOrd, Program, ProtocolKind, StallCause, StoreOrd, SystemConfig, TableSizes};
+use cord_sim::Time;
+
+/// A release-heavy producer: `epochs` epochs, each touching `dirs_per_ep`
+/// distinct directories on distinct remote hosts before a Release to a
+/// rotating flag directory. Consumer waits for the last flag, then reads
+/// back one word per epoch.
+fn fan_out_workload(cfg: &SystemConfig, epochs: u64, dirs_per_ep: u64) -> Vec<Program> {
+    let hosts = cfg.noc.hosts as u64;
+    let tiles = cfg.total_tiles() as usize;
+    let tph = cfg.noc.tiles_per_host as usize;
+    let mut p = Program::build();
+    for e in 0..epochs {
+        for d in 0..dirs_per_ep {
+            // Fresh address every iteration; hosts 1.. and rotating slices
+            // spread the epoch across many (dir, processor) table entries.
+            let host = 1 + (d % (hosts - 1));
+            let a = cfg
+                .map
+                .addr_on_host(host as u32, (e * dirs_per_ep + d) * 512);
+            p = p.store(a, 8, 100 + e, StoreOrd::Relaxed);
+        }
+        let flag_host = 1 + (e % (hosts - 1));
+        let flag = cfg.map.addr_on_host(flag_host as u32, (1 << 20) + e * 512);
+        p = p.store(flag, 8, e + 1, StoreOrd::Release);
+    }
+    let last_flag_host = 1 + ((epochs - 1) % (hosts - 1));
+    let last_flag = cfg
+        .map
+        .addr_on_host(last_flag_host as u32, (1 << 20) + (epochs - 1) * 512);
+    let consumer = Program::build()
+        .wait_value(last_flag, epochs)
+        .load(cfg.map.addr_on_host(1, 0), 8, LoadOrd::Relaxed, 0)
+        .finish();
+    let mut programs = vec![Program::new(); tiles];
+    programs[0] = p.finish();
+    programs[(hosts as usize - 1) * tph + 1] = consumer;
+    programs
+}
+
+fn tiny_tables(n: usize) -> TableSizes {
+    TableSizes {
+        proc_cnt: n,
+        proc_unacked: n,
+        dir_cnt_per_proc: n,
+        dir_noti_per_proc: n,
+        dir_pending_buf: n,
+    }
+}
+
+#[test]
+fn capacity_one_stalls_then_completes() {
+    let mut cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+    cfg.tables = tiny_tables(1);
+    let programs = fan_out_workload(&cfg, 12, 3);
+    let r = System::new(cfg, programs).run();
+    assert_eq!(r.regs[25][0], 100, "consumer must observe epoch-0 data");
+    assert!(
+        r.stall(StallCause::TableFull) > Time::ZERO,
+        "capacity-1 tables must visibly stall the release stream"
+    );
+}
+
+#[test]
+fn capacity_two_stalls_less_than_capacity_one() {
+    let run_with = |n: usize| {
+        let mut cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+        cfg.tables = tiny_tables(n);
+        let programs = fan_out_workload(&cfg, 12, 3);
+        System::new(cfg, programs).run()
+    };
+    let one = run_with(1);
+    let two = run_with(2);
+    assert_eq!(one.regs[25][0], 100);
+    assert_eq!(two.regs[25][0], 100);
+    assert!(
+        two.stall(StallCause::TableFull) <= one.stall(StallCause::TableFull),
+        "doubling table capacity must not stall more: {} vs {}",
+        two.stall(StallCause::TableFull),
+        one.stall(StallCause::TableFull)
+    );
+    assert!(
+        two.makespan <= one.makespan,
+        "more storage must not slow the run: {} vs {}",
+        two.makespan,
+        one.makespan
+    );
+}
+
+#[test]
+fn tiny_tables_survive_a_lossy_reordering_fabric() {
+    // The stall-and-recover path must compose with fault injection: drops
+    // force Release/ReqNotify retransmissions into already-full tables.
+    let mut cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+    cfg.tables = tiny_tables(2);
+    let programs = fan_out_workload(&cfg, 8, 3);
+    let mut sys = System::new(cfg, programs);
+    sys.set_fault_spec("seed=21; drop=0.05; dup=0.05; jitter=120")
+        .unwrap();
+    let r = sys.run();
+    assert_eq!(r.regs[25][0], 100);
+    assert!(r.traffic.faults.dropped > 0);
+}
+
+#[test]
+fn all_write_through_protocols_complete_with_tiny_tables() {
+    for kind in [
+        ProtocolKind::Cord,
+        ProtocolKind::So,
+        ProtocolKind::Seq { bits: 8 },
+    ] {
+        let mut cfg = SystemConfig::cxl(kind, 4);
+        cfg.tables = tiny_tables(1);
+        let programs = fan_out_workload(&cfg, 6, 2);
+        let r = System::new(cfg, programs).run();
+        assert_eq!(r.regs[25][0], 100, "{kind:?} must complete at capacity 1");
+    }
+}

@@ -11,12 +11,37 @@
 //!   experiments can report acknowledgment/notification overheads exactly as
 //!   the paper's figures do.
 //!
-//! Delivery on a given (source, destination) pair is FIFO: departures are
-//! serialized on shared egress/ingress channels and path latency is constant,
-//! so arrival order matches send order. Protocols that tolerate reordering
-//! (CORD, SO) are verified against *arbitrary* reordering separately by the
-//! `cord-check` model checker; the performance model's FIFO property is a
-//! common, conservative network assumption.
+//! # Fault model
+//!
+//! The *clean* fabric ([`Noc::send`]) delivers every message exactly once,
+//! and FIFO per (source, destination) pair: departures are serialized on
+//! shared egress/ingress channels and path latency is constant, so arrival
+//! order matches send order.
+//!
+//! Those guarantees are **conditional**, not promises. With a
+//! [`cord_sim::fault::FaultPlan`] installed ([`Noc::set_faults`]), the
+//! [`Noc::transmit`] entry point may *drop*, *duplicate*, or *delay* any
+//! message — injected jitter breaks the FIFO property too. Fault and
+//! transport activity is counted in [`FaultStats`] (a field of
+//! [`TrafficStats`]).
+//!
+//! What each protocol layer tolerates, and who restores what:
+//!
+//! | fault class       | restored by              | relied on by                   |
+//! |-------------------|--------------------------|--------------------------------|
+//! | duplication       | transport dedup (always) | every protocol                 |
+//! | loss              | transport retransmission | every protocol                 |
+//! | reordering/jitter | transport FIFO hold-back | MP, WB/MESI, Hybrid only       |
+//!
+//! CORD, SO and SEQ run correctly over a reordering network — CORD's
+//! directory ordering (epoch counters + notifications) carries the ordering
+//! information in-band, which is exactly the paper's argument for why it
+//! needs no ordered interconnect. The invalidation-based protocols (MP,
+//! WB/MESI, Hybrid) assume point-to-point ordering, so the transport shim in
+//! `cord-core` reassembles FIFO order for them before delivery. Loss and
+//! duplication are below *every* protocol's abstraction and are always
+//! handled by the transport (sequence numbers, acknowledgment, timeout
+//! retransmission).
 //!
 //! # Example
 //!
@@ -35,5 +60,5 @@
 mod topology;
 mod traffic;
 
-pub use topology::{MsgClass, Noc, NocConfig, PodConfig, TileId};
-pub use traffic::{ClassStats, TrafficStats};
+pub use topology::{Delivery, MsgClass, Noc, NocConfig, PodConfig, TileId};
+pub use traffic::{ClassStats, FaultStats, TrafficStats};

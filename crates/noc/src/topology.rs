@@ -1,5 +1,6 @@
 //! Topology, routing and link timing.
 
+use cord_sim::fault::{FaultAction, FaultPlan};
 use cord_sim::Time;
 
 use crate::traffic::TrafficStats;
@@ -209,6 +210,32 @@ pub struct Noc {
     egress_free: Vec<Time>,
     ingress_free: Vec<Time>,
     stats: TrafficStats,
+    /// Installed fault plan, if any; `fault_seq` numbers every transmission
+    /// so the (stateless) plan's per-message decisions are reproducible.
+    faults: Option<FaultPlan>,
+    fault_seq: u64,
+}
+
+/// The fabric's verdict on one transmission (see [`Noc::transmit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Delivered once; `faulted` is the extra delay the fault plan injected
+    /// ([`Time::ZERO`] on the clean path).
+    Deliver {
+        /// Arrival time at the destination tile.
+        at: Time,
+        /// Injected extra delay beyond the clean arrival time.
+        faulted: Time,
+    },
+    /// The fabric lost the message.
+    Drop,
+    /// Delivered twice (network duplication).
+    Duplicate {
+        /// Arrival time of the first copy.
+        first: Time,
+        /// Arrival time of the duplicate.
+        second: Time,
+    },
 }
 
 impl Noc {
@@ -218,6 +245,8 @@ impl Noc {
             egress_free: vec![Time::ZERO; cfg.hosts as usize],
             ingress_free: vec![Time::ZERO; cfg.hosts as usize],
             stats: TrafficStats::default(),
+            faults: None,
+            fault_seq: 0,
             cfg,
         }
     }
@@ -230,6 +259,78 @@ impl Noc {
     /// Traffic accounted so far.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// Installs (or clears) a fault plan; subsequent [`Noc::transmit`] calls
+    /// consult it. [`Noc::send`] always models the clean fabric.
+    pub fn set_faults(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// The installed fault plan, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Mutable fault/transport counters (the runner's transport shim reports
+    /// retransmissions and duplicate suppressions here so they ride
+    /// [`TrafficStats`] into run results).
+    pub fn fault_stats_mut(&mut self) -> &mut crate::traffic::FaultStats {
+        &mut self.stats.faults
+    }
+
+    /// Like [`Noc::send`], but subject to the installed fault plan: the
+    /// message may be dropped, duplicated, or delayed. Without a plan this
+    /// is exactly `send` (one `None` branch — the zero-cost-when-disabled
+    /// path). Dropped messages still consume link bandwidth (the frame
+    /// occupies the wire until it is lost); duplicates consume it twice.
+    pub fn transmit(
+        &mut self,
+        now: Time,
+        src: TileId,
+        dst: TileId,
+        bytes: u64,
+        class: MsgClass,
+    ) -> Delivery {
+        let clean = self.send(now, src, dst, bytes, class);
+        let Some(plan) = &self.faults else {
+            return Delivery::Deliver {
+                at: clean,
+                faulted: Time::ZERO,
+            };
+        };
+        let seq = self.fault_seq;
+        self.fault_seq += 1;
+        match plan.decide(seq, now, src.host, dst.host, class as usize) {
+            FaultAction::Deliver { extra } => {
+                if extra > Time::ZERO {
+                    self.stats.faults.delayed += 1;
+                }
+                Delivery::Deliver {
+                    at: clean + extra,
+                    faulted: extra,
+                }
+            }
+            FaultAction::Drop => {
+                self.stats.faults.dropped += 1;
+                Delivery::Drop
+            }
+            FaultAction::Duplicate {
+                extra,
+                second_extra,
+            } => {
+                self.stats.faults.duplicated += 1;
+                if extra > Time::ZERO {
+                    self.stats.faults.delayed += 1;
+                }
+                // The duplicate is a real frame: account its bandwidth.
+                let second = self.send(now + second_extra, src, dst, bytes, class);
+                Delivery::Duplicate {
+                    first: clean + extra,
+                    second: second.max(clean + extra),
+                }
+            }
+        }
     }
 
     /// Sends `bytes` from `src` to `dst` at time `now`; returns the delivery
@@ -483,5 +584,94 @@ mod tests {
             1,
             MsgClass::Ctrl,
         );
+    }
+
+    #[test]
+    fn transmit_without_plan_matches_send() {
+        let mut faulted = Noc::new(NocConfig::cxl(2, 8));
+        let mut clean = Noc::new(NocConfig::cxl(2, 8));
+        for i in 0..8u64 {
+            let t = Time::from_ns(i * 10);
+            let d = faulted.transmit(t, TileId::new(0, 0), TileId::new(1, 3), 64, MsgClass::Data);
+            let at = clean.send(t, TileId::new(0, 0), TileId::new(1, 3), 64, MsgClass::Data);
+            assert_eq!(
+                d,
+                Delivery::Deliver {
+                    at,
+                    faulted: Time::ZERO
+                }
+            );
+        }
+        assert_eq!(faulted.stats(), clean.stats());
+        assert!(!faulted.stats().faults.any());
+    }
+
+    #[test]
+    fn transmit_accounts_drops_dups_and_delays() {
+        use cord_sim::fault::{FaultPlan, FaultRule};
+        let plan = FaultPlan::new(7).with_rule(FaultRule {
+            drop: 0.3,
+            dup: 0.3,
+            jitter: Time::from_ns(50),
+            ..FaultRule::default()
+        });
+        let mut noc = Noc::new(NocConfig::cxl(2, 8));
+        noc.set_faults(Some(plan));
+        let (mut drops, mut dups) = (0u64, 0u64);
+        for i in 0..200u64 {
+            let now = Time::from_ns(i * 100);
+            match noc.transmit(
+                now,
+                TileId::new(0, 0),
+                TileId::new(1, 0),
+                64,
+                MsgClass::Data,
+            ) {
+                Delivery::Drop => drops += 1,
+                Delivery::Duplicate { first, second } => {
+                    dups += 1;
+                    assert!(second >= first);
+                }
+                Delivery::Deliver { at, faulted } => {
+                    assert!(at >= now + faulted);
+                }
+            }
+        }
+        assert!(drops > 0 && dups > 0, "drops={drops} dups={dups}");
+        let f = noc.stats().faults;
+        assert_eq!(f.dropped, drops);
+        assert_eq!(f.duplicated, dups);
+        assert!(f.delayed > 0);
+        // Duplicates consume bandwidth twice; drops still consume it once.
+        assert_eq!(noc.stats().inter_msgs(), 200 + dups);
+    }
+
+    #[test]
+    fn transmit_stream_is_deterministic() {
+        use cord_sim::fault::{FaultPlan, FaultRule};
+        let plan = || {
+            FaultPlan::new(99).with_rule(FaultRule {
+                drop: 0.2,
+                dup: 0.2,
+                jitter: Time::from_ns(30),
+                ..FaultRule::default()
+            })
+        };
+        let run = |plan: FaultPlan| {
+            let mut noc = Noc::new(NocConfig::cxl(2, 8));
+            noc.set_faults(Some(plan));
+            (0..100u64)
+                .map(|i| {
+                    noc.transmit(
+                        Time::from_ns(i * 100),
+                        TileId::new(0, 0),
+                        TileId::new(1, 0),
+                        64,
+                        MsgClass::Notify,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(plan()), run(plan()));
     }
 }

@@ -30,6 +30,32 @@ impl ClassStats {
     }
 }
 
+/// Fault-injection and reliable-transport counters (zero when no
+/// [`cord_sim::fault::FaultPlan`] is installed on the [`crate::Noc`]).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped by the fault plan.
+    pub dropped: u64,
+    /// Messages duplicated by the fault plan.
+    pub duplicated: u64,
+    /// Messages delivered with injected extra delay.
+    pub delayed: u64,
+    /// Transport retransmissions (reported by the runner's transport shim).
+    pub retransmits: u64,
+    /// Retransmissions that were unnecessary (the original arrived; the
+    /// receiver saw a duplicate and said so in its acknowledgment).
+    pub spurious_retransmits: u64,
+    /// Duplicate deliveries suppressed by the transport receiver.
+    pub dup_dropped: u64,
+}
+
+impl FaultStats {
+    /// Whether any fault or transport activity was recorded.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+}
+
 /// Aggregate traffic statistics, indexable by [`MsgClass`].
 ///
 /// # Example
@@ -46,6 +72,8 @@ impl ClassStats {
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TrafficStats {
     classes: [ClassStats; MsgClass::COUNT],
+    /// Fault-injection and transport counters.
+    pub faults: FaultStats,
 }
 
 impl TrafficStats {
@@ -103,6 +131,17 @@ impl fmt::Display for TrafficStats {
             if s.inter_bytes > 0 {
                 write!(f, "; {c:?}={} B", s.inter_bytes)?;
             }
+        }
+        if self.faults.any() {
+            write!(
+                f,
+                "; faults: {} dropped, {} duplicated, {} delayed, {} retransmits ({} spurious)",
+                self.faults.dropped,
+                self.faults.duplicated,
+                self.faults.delayed,
+                self.faults.retransmits,
+                self.faults.spurious_retransmits
+            )?;
         }
         Ok(())
     }

@@ -47,6 +47,29 @@ impl ProtocolKind {
             ProtocolKind::Hybrid { .. } => "HYBRID".into(),
         }
     }
+
+    /// Whether this protocol assumes point-to-point FIFO delivery, so the
+    /// transport shim must reassemble arrival order under a reordering
+    /// fault plan. CORD, SO and SEQ carry their ordering in-band (epochs,
+    /// acknowledgments, sequence numbers) and tolerate arbitrary
+    /// reordering; the invalidation-based protocols do not.
+    pub fn needs_fifo(self) -> bool {
+        match self {
+            ProtocolKind::Cord | ProtocolKind::So | ProtocolKind::Seq { .. } => false,
+            ProtocolKind::Mp | ProtocolKind::Wb | ProtocolKind::Hybrid { .. } => true,
+        }
+    }
+
+    /// Whether a Release orders *all* earlier relaxed stores before it,
+    /// including stores homed at other directories (global release
+    /// consistency). Posted-write MP makes no cross-destination promise
+    /// (paper §3.2), and SEQ's per-(processor, directory) sequence streams
+    /// order stores within each directory only (§4.1) — a release to one
+    /// directory says nothing about data still in flight to another, so
+    /// neither survives a reordering fabric on multi-directory workloads.
+    pub fn global_rc(self) -> bool {
+        !matches!(self, ProtocolKind::Mp | ProtocolKind::Seq { .. })
+    }
 }
 
 /// Which memory consistency model the protocol enforces (paper §2.2, §6).
@@ -320,6 +343,21 @@ mod tests {
     fn labels() {
         assert_eq!(ProtocolKind::Cord.label(), "CORD");
         assert_eq!(ProtocolKind::Seq { bits: 40 }.label(), "SEQ-40");
+    }
+
+    #[test]
+    fn fault_tolerance_classification() {
+        // In-band ordering tolerates reordering; invalidation needs FIFO.
+        assert!(!ProtocolKind::Cord.needs_fifo());
+        assert!(!ProtocolKind::Seq { bits: 8 }.needs_fifo());
+        assert!(ProtocolKind::Wb.needs_fifo());
+        // Only CORD, SO and the coherent protocols order releases across
+        // directories.
+        assert!(ProtocolKind::Cord.global_rc());
+        assert!(ProtocolKind::So.global_rc());
+        assert!(ProtocolKind::Wb.global_rc());
+        assert!(!ProtocolKind::Mp.global_rc());
+        assert!(!ProtocolKind::Seq { bits: 8 }.global_rc());
     }
 
     #[test]

@@ -29,6 +29,7 @@ mod msg;
 mod ops;
 mod seq;
 mod so;
+pub mod transport;
 mod wb;
 
 pub use common::{home_dir, ReadPath};
@@ -42,4 +43,7 @@ pub use msg::{CoreId, DirId, Msg, MsgKind, NodeRef, WtMeta, CTRL_BYTES};
 pub use ops::{FenceKind, LoadOrd, Op, Program, ProgramBuilder, StoreOrd};
 pub use seq::{SeqCore, SeqDir};
 pub use so::{SoCore, SoDir};
+pub use transport::{
+    FaultSpec, RecvOutcome, Transport, TransportConfig, XportStats, ACK_BYTES, SEQ_BYTES,
+};
 pub use wb::{WbCore, WbDir};

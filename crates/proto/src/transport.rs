@@ -1,0 +1,458 @@
+//! Reliable-delivery transport shim (sequence numbers, duplicate
+//! suppression, timeout retransmission).
+//!
+//! The clean interconnect delivers every message exactly once and in order,
+//! so the protocol engines never see loss, duplication, or reordering. When
+//! a [`cord_sim::fault::FaultPlan`] is installed the fabric breaks all three
+//! guarantees, and this shim — sitting between the system runner and the
+//! engines, like a link-layer retry buffer in CXL/UPI — restores exactly
+//! the ones each protocol needs:
+//!
+//! * **duplicate suppression** and **loss recovery** (acknowledgment plus
+//!   timeout retransmission with capped exponential backoff) for every
+//!   protocol, and
+//! * **FIFO hold-back reassembly** only for the protocols that assume
+//!   point-to-point ordering ([`crate::ProtocolKind::needs_fifo`]); CORD,
+//!   SO and SEQ run directly over the reordering network.
+//!
+//! Each message is tagged with a per-(source, destination) sequence number
+//! costing [`SEQ_BYTES`] on the wire; every delivery is acknowledged with an
+//! [`ACK_BYTES`]-sized ack. Retransmission is unbounded, so as long as the
+//! fault plan's drop probability is below 1 every message is eventually
+//! delivered — termination then rests on the runner's liveness watchdog
+//! only for genuine protocol bugs (or `reliable = false`, which disables
+//! retransmission and exists to demonstrate exactly that watchdog).
+//!
+//! The shim is runner-agnostic: it never schedules events itself. The
+//! runner calls [`Transport::wrap`] when sending (and schedules the first
+//! timeout), [`Transport::on_deliver`] on arrival (sending an ack and
+//! delivering whatever the outcome releases), [`Transport::on_ack`] on ack
+//! arrival, and [`Transport::on_timeout`] when a retransmission timer fires.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cord_sim::Time;
+
+use crate::msg::{Msg, CTRL_BYTES};
+
+/// Wire overhead of the transport sequence number on every tagged message.
+pub const SEQ_BYTES: u64 = 8;
+
+/// Wire size of a transport acknowledgment (control header + sequence).
+pub const ACK_BYTES: u64 = CTRL_BYTES + 8;
+
+/// Transport tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Initial retransmission timeout.
+    pub rto: Time,
+    /// Backoff cap: the timeout doubles per attempt up to `rto << max_backoff_exp`.
+    pub max_backoff_exp: u32,
+    /// When `false`, messages are tagged and deduplicated but never
+    /// retransmitted — lost messages stay lost (watchdog demonstrations).
+    pub reliable: bool,
+    /// Hold back out-of-order arrivals and deliver in sequence order
+    /// (required by invalidation-based protocols; see
+    /// [`crate::ProtocolKind::needs_fifo`]).
+    pub fifo: bool,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            // Comfortably above one switch round trip (~2 × 150 ns + queuing).
+            rto: Time::from_ns(1_500),
+            max_backoff_exp: 6,
+            reliable: true,
+            fifo: false,
+        }
+    }
+}
+
+/// Counters kept by the shim (mirrored into `TrafficStats::faults` by the
+/// runner so they ride run results).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct XportStats {
+    /// Messages tagged and sent (first transmissions).
+    pub sent: u64,
+    /// Retransmissions issued.
+    pub retransmits: u64,
+    /// Retransmissions the receiver reported as duplicates (the original
+    /// had already arrived).
+    pub spurious_retransmits: u64,
+    /// Duplicate deliveries suppressed at the receiver.
+    pub dup_dropped: u64,
+    /// Arrivals held back for FIFO reassembly.
+    pub held_back: u64,
+    /// Highest attempt count observed for any single message.
+    pub max_attempts: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Unacked {
+    msg: Msg,
+    attempts: u32,
+}
+
+#[derive(Debug, Default, Clone)]
+struct SendChan {
+    next_seq: u64,
+    unacked: BTreeMap<u64, Unacked>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct RecvChan {
+    /// Every sequence below this has been delivered (FIFO: in order).
+    low: u64,
+    /// Delivered sequences at or above `low` (non-FIFO mode).
+    above: BTreeSet<u64>,
+    /// Out-of-order arrivals awaiting the gap to fill (FIFO mode).
+    held: BTreeMap<u64, Msg>,
+}
+
+/// Receiver verdict for one arrival.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecvOutcome {
+    /// Already seen — suppress, but still acknowledge (the first ack may
+    /// have been lost).
+    Duplicate,
+    /// Fresh arrival: deliver these messages now (empty when the arrival
+    /// was held back for FIFO reassembly; several when it filled a gap).
+    Deliver(Vec<Msg>),
+}
+
+/// Per-system transport state: one sender and one receiver channel per
+/// ordered (source tile, destination tile) pair. Deterministic by
+/// construction — all state lives in ordered maps and every decision is a
+/// pure function of the call sequence.
+#[derive(Debug, Clone)]
+pub struct Transport {
+    cfg: TransportConfig,
+    send: BTreeMap<(u32, u32), SendChan>,
+    recv: BTreeMap<(u32, u32), RecvChan>,
+    stats: XportStats,
+}
+
+impl Transport {
+    /// Creates an idle transport.
+    pub fn new(cfg: TransportConfig) -> Self {
+        Transport {
+            cfg,
+            send: BTreeMap::new(),
+            recv: BTreeMap::new(),
+            stats: XportStats::default(),
+        }
+    }
+
+    /// The configuration this transport was built with.
+    pub fn config(&self) -> &TransportConfig {
+        &self.cfg
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> &XportStats {
+        &self.stats
+    }
+
+    /// Messages currently awaiting acknowledgment (diagnostics).
+    pub fn unacked_total(&self) -> usize {
+        self.send.values().map(|c| c.unacked.len()).sum()
+    }
+
+    /// Tags `msg` with the next sequence number on the `(src, dst)` channel,
+    /// adds [`SEQ_BYTES`] to its wire size, and retains a retransmission
+    /// copy. Returns the assigned sequence number; the runner schedules the
+    /// first [`Transport::on_timeout`] at `now + config().rto` (when
+    /// `reliable`).
+    pub fn wrap(&mut self, src: u32, dst: u32, msg: &mut Msg) -> u64 {
+        let chan = self.send.entry((src, dst)).or_default();
+        let seq = chan.next_seq;
+        chan.next_seq += 1;
+        msg.bytes += SEQ_BYTES;
+        chan.unacked.insert(
+            seq,
+            Unacked {
+                msg: msg.clone(),
+                attempts: 1,
+            },
+        );
+        self.stats.sent += 1;
+        seq
+    }
+
+    /// Handles the arrival of sequence `seq` on the `(src, dst)` channel.
+    pub fn on_deliver(&mut self, src: u32, dst: u32, seq: u64, msg: Msg) -> RecvOutcome {
+        let chan = self.recv.entry((src, dst)).or_default();
+        if seq < chan.low {
+            self.stats.dup_dropped += 1;
+            return RecvOutcome::Duplicate;
+        }
+        if self.cfg.fifo {
+            if chan.held.contains_key(&seq) {
+                self.stats.dup_dropped += 1;
+                return RecvOutcome::Duplicate;
+            }
+            chan.held.insert(seq, msg);
+            let mut out = Vec::new();
+            while let Some(m) = chan.held.remove(&chan.low) {
+                out.push(m);
+                chan.low += 1;
+            }
+            if out.is_empty() {
+                self.stats.held_back += 1;
+            }
+            RecvOutcome::Deliver(out)
+        } else {
+            if !chan.above.insert(seq) {
+                self.stats.dup_dropped += 1;
+                return RecvOutcome::Duplicate;
+            }
+            while chan.above.remove(&chan.low) {
+                chan.low += 1;
+            }
+            RecvOutcome::Deliver(vec![msg])
+        }
+    }
+
+    /// Handles an acknowledgment of sequence `seq`; `dup` is the receiver's
+    /// report that the acknowledged delivery was a duplicate. Returns `true`
+    /// if this retired an outstanding message.
+    pub fn on_ack(&mut self, src: u32, dst: u32, seq: u64, dup: bool) -> bool {
+        let Some(chan) = self.send.get_mut(&(src, dst)) else {
+            return false;
+        };
+        match chan.unacked.remove(&seq) {
+            Some(u) => {
+                if dup && u.attempts > 1 {
+                    self.stats.spurious_retransmits += 1;
+                }
+                true
+            }
+            None => false, // already retired by an earlier ack
+        }
+    }
+
+    /// Handles a retransmission timer for sequence `seq`. Returns the
+    /// message to retransmit together with its new attempt count and the
+    /// backed-off delay until the next timer, or `None` if the message was
+    /// acknowledged in the meantime (timer is stale) or retransmission is
+    /// disabled.
+    pub fn on_timeout(&mut self, src: u32, dst: u32, seq: u64) -> Option<(Msg, u32, Time)> {
+        if !self.cfg.reliable {
+            return None;
+        }
+        let u = self.send.get_mut(&(src, dst))?.unacked.get_mut(&seq)?;
+        u.attempts += 1;
+        self.stats.retransmits += 1;
+        self.stats.max_attempts = self.stats.max_attempts.max(u.attempts);
+        let exp = (u.attempts - 1).min(self.cfg.max_backoff_exp);
+        let delay = Time::from_ps(self.cfg.rto.as_ps() << exp);
+        Some((u.msg.clone(), u.attempts, delay))
+    }
+}
+
+/// A parsed fault-campaign specification: the fabric-level fault plan plus
+/// the transport configuration, from one spec string (the `CORD_FAULTS`
+/// environment variable / `--faults` flag grammar).
+///
+/// Transport directives extend the [`cord_sim::fault::FaultPlan::parse`]
+/// grammar: `rto=NANOS` sets the retransmission timeout and the bare word
+/// `unreliable` (no `=`) disables retransmission. Everything else is
+/// delegated to the plan parser with [`cord_noc::MsgClass`] labels
+/// (case-insensitive) as the class vocabulary. FIFO hold-back is *not* part
+/// of the spec — it is derived from the protocol under test.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// Fabric fault plan.
+    pub plan: cord_sim::fault::FaultPlan,
+    /// Transport configuration (with `fifo` left at its default; the runner
+    /// overrides it per protocol).
+    pub xport: TransportConfig,
+}
+
+impl FaultSpec {
+    /// Parses `spec`, e.g.
+    /// `seed=7; drop=0.01; drop.Notify=0.1; jitter=200; rto=2000`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed directive.
+    pub fn parse(spec: &str) -> Result<FaultSpec, String> {
+        let mut xport = TransportConfig::default();
+        let mut plan_directives = Vec::new();
+        for raw in spec
+            .split([';', ','])
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+        {
+            match raw.split_once('=') {
+                Some(("rto", v)) => {
+                    let ns: u64 = v.parse().map_err(|_| format!("bad rto {v:?}"))?;
+                    xport.rto = Time::from_ns(ns);
+                }
+                None if raw == "unreliable" => xport.reliable = false,
+                None => return Err(format!("fault spec directive {raw:?} is not key=value")),
+                _ => plan_directives.push(raw),
+            }
+        }
+        let plan = cord_sim::fault::FaultPlan::parse(&plan_directives.join(";"), |name| {
+            cord_noc::MsgClass::ALL
+                .iter()
+                .find(|c| c.label().eq_ignore_ascii_case(name))
+                .map(|&c| c as usize)
+        })?;
+        Ok(FaultSpec { plan, xport })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::{CoreId, DirId, MsgKind, NodeRef};
+    use crate::StoreOrd;
+    use cord_mem::Addr;
+
+    fn msg(tid: u64) -> Msg {
+        Msg::new(
+            NodeRef::Core(CoreId(0)),
+            NodeRef::Dir(DirId(8)),
+            MsgKind::WtStore {
+                tid,
+                addr: Addr::new(0x40),
+                bytes: 8,
+                value: tid,
+                ord: StoreOrd::Relaxed,
+                meta: crate::msg::WtMeta::None,
+                needs_ack: false,
+            },
+        )
+    }
+
+    #[test]
+    fn wrap_tags_and_costs_seq_bytes() {
+        let mut x = Transport::new(TransportConfig::default());
+        let mut m = msg(1);
+        let base = m.bytes;
+        assert_eq!(x.wrap(0, 8, &mut m), 0);
+        assert_eq!(m.bytes, base + SEQ_BYTES);
+        let mut m2 = msg(2);
+        assert_eq!(x.wrap(0, 8, &mut m2), 1);
+        assert_eq!(x.wrap(8, 0, &mut msg(3).clone()), 0); // independent channel
+        assert_eq!(x.unacked_total(), 3);
+        assert_eq!(x.stats().sent, 3);
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_suppressed() {
+        let mut x = Transport::new(TransportConfig::default());
+        let mut m = msg(1);
+        let seq = x.wrap(0, 8, &mut m);
+        assert_eq!(
+            x.on_deliver(0, 8, seq, m.clone()),
+            RecvOutcome::Deliver(vec![m.clone()])
+        );
+        assert_eq!(x.on_deliver(0, 8, seq, m.clone()), RecvOutcome::Duplicate);
+        assert_eq!(x.on_deliver(0, 8, seq, m), RecvOutcome::Duplicate);
+        assert_eq!(x.stats().dup_dropped, 2);
+    }
+
+    #[test]
+    fn unordered_mode_delivers_immediately_out_of_order() {
+        let mut x = Transport::new(TransportConfig::default());
+        let (mut a, mut b) = (msg(1), msg(2));
+        let s0 = x.wrap(0, 8, &mut a);
+        let s1 = x.wrap(0, 8, &mut b);
+        // Arrivals reversed: both deliver at once, no hold-back.
+        assert_eq!(
+            x.on_deliver(0, 8, s1, b.clone()),
+            RecvOutcome::Deliver(vec![b])
+        );
+        assert_eq!(
+            x.on_deliver(0, 8, s0, a.clone()),
+            RecvOutcome::Deliver(vec![a])
+        );
+        assert_eq!(x.stats().held_back, 0);
+    }
+
+    #[test]
+    fn fifo_mode_holds_back_and_releases_in_order() {
+        let mut x = Transport::new(TransportConfig {
+            fifo: true,
+            ..TransportConfig::default()
+        });
+        let (mut a, mut b, mut c) = (msg(1), msg(2), msg(3));
+        let s0 = x.wrap(0, 8, &mut a);
+        let s1 = x.wrap(0, 8, &mut b);
+        let s2 = x.wrap(0, 8, &mut c);
+        assert_eq!(
+            x.on_deliver(0, 8, s2, c.clone()),
+            RecvOutcome::Deliver(vec![])
+        );
+        assert_eq!(
+            x.on_deliver(0, 8, s1, b.clone()),
+            RecvOutcome::Deliver(vec![])
+        );
+        assert_eq!(x.stats().held_back, 2);
+        // The gap fills: everything releases in sequence order.
+        assert_eq!(
+            x.on_deliver(0, 8, s0, a.clone()),
+            RecvOutcome::Deliver(vec![a, b, c])
+        );
+        // Late duplicate of a held-then-delivered seq is still a duplicate.
+        assert_eq!(x.on_deliver(0, 8, s1, msg(2)), RecvOutcome::Duplicate);
+    }
+
+    #[test]
+    fn ack_retires_and_timeout_backs_off() {
+        let cfg = TransportConfig {
+            rto: Time::from_ns(100),
+            max_backoff_exp: 2,
+            ..TransportConfig::default()
+        };
+        let mut x = Transport::new(cfg);
+        let mut m = msg(1);
+        let seq = x.wrap(0, 8, &mut m);
+        let (r1, a1, d1) = x.on_timeout(0, 8, seq).unwrap();
+        assert_eq!((r1.bytes, a1, d1), (m.bytes, 2, Time::from_ns(200)));
+        let (_, a2, d2) = x.on_timeout(0, 8, seq).unwrap();
+        assert_eq!((a2, d2), (3, Time::from_ns(400)));
+        // Backoff caps at rto << 2.
+        let (_, _, d3) = x.on_timeout(0, 8, seq).unwrap();
+        assert_eq!(d3, Time::from_ns(400));
+        assert!(x.on_ack(0, 8, seq, true));
+        assert!(!x.on_ack(0, 8, seq, false)); // stale ack
+        assert!(x.on_timeout(0, 8, seq).is_none()); // stale timer
+        assert_eq!(x.stats().retransmits, 3);
+        assert_eq!(x.stats().spurious_retransmits, 1);
+        assert_eq!(x.stats().max_attempts, 4);
+        assert_eq!(x.unacked_total(), 0);
+    }
+
+    #[test]
+    fn unreliable_mode_never_retransmits() {
+        let mut x = Transport::new(TransportConfig {
+            reliable: false,
+            ..TransportConfig::default()
+        });
+        let mut m = msg(1);
+        let seq = x.wrap(0, 8, &mut m);
+        assert!(x.on_timeout(0, 8, seq).is_none());
+        assert_eq!(x.stats().retransmits, 0);
+    }
+
+    #[test]
+    fn fault_spec_parses_transport_and_plan_directives() {
+        let spec = FaultSpec::parse(
+            "seed=9; drop=0.01; drop.Notify.0-1=0.2; jitter=150; rto=2500; unreliable",
+        )
+        .unwrap();
+        assert_eq!(spec.xport.rto, Time::from_ns(2500));
+        assert!(!spec.xport.reliable);
+        assert_eq!(spec.plan.seed(), 9);
+        assert!(!spec.plan.is_noop());
+        // Class names are case-insensitive MsgClass labels.
+        assert!(FaultSpec::parse("drop.notify=0.5").is_ok());
+        assert!(FaultSpec::parse("drop.NoSuchClass=0.5").is_err());
+        assert!(FaultSpec::parse("bogus").is_err());
+    }
+}

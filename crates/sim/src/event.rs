@@ -143,6 +143,13 @@ impl<E> EventQueue<E> {
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
     }
+
+    /// Iterates the pending events in **arbitrary** (heap) order —
+    /// diagnostics only (e.g. the liveness watchdog's in-flight dump);
+    /// callers needing a stable order must sort what they collect.
+    pub fn iter(&self) -> impl Iterator<Item = (Time, &E)> {
+        self.heap.iter().map(|Reverse(e)| (e.time, &e.payload))
+    }
 }
 
 impl<E> Default for EventQueue<E> {

@@ -10,6 +10,9 @@
 //! * [`StallTracker`] / [`Counter`] / [`Histogram`] — lightweight statistics,
 //! * [`par`] — deterministic fork-join parallelism for independent runs
 //!   (input-order result collection; worker count from `CORD_THREADS`),
+//! * [`fault`] — deterministic, seeded fault injection plans (drop,
+//!   duplicate, delay/jitter, degradation windows) applied at the
+//!   interconnect boundary,
 //! * [`trace`] — zero-cost-when-disabled protocol tracing: typed events,
 //!   pluggable sinks (ring buffer, Perfetto-compatible Chrome-trace JSON,
 //!   metrics timelines), keyed by `CORD_TRACE`/`CORD_TRACE_OUT`.
@@ -27,6 +30,7 @@
 //! ```
 
 mod event;
+pub mod fault;
 pub mod par;
 mod rng;
 mod stats;

@@ -200,6 +200,39 @@ pub enum TraceData {
         /// When the episode began.
         since: Time,
     },
+    /// The fault plan touched a message at the interconnect boundary.
+    FaultInject {
+        /// Source tile.
+        src: u32,
+        /// Destination tile.
+        dst: u32,
+        /// Traffic-class label.
+        class: &'static str,
+        /// Fault label: `"drop"`, `"dup"`, or `"delay"`.
+        fault: &'static str,
+        /// Injected extra latency (the duplicate's lag for `"dup"`).
+        extra: Time,
+    },
+    /// The reliable transport retransmitted an unacknowledged message.
+    XportRetrans {
+        /// Source tile of the channel.
+        src: u32,
+        /// Destination tile of the channel.
+        dst: u32,
+        /// Channel sequence number being retransmitted.
+        seq: u64,
+        /// Retransmission attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// The transport receiver suppressed a duplicate delivery.
+    XportDupDrop {
+        /// Source tile of the channel.
+        src: u32,
+        /// Destination tile of the channel.
+        dst: u32,
+        /// Duplicated sequence number.
+        seq: u64,
+    },
 }
 
 impl TraceData {
@@ -219,6 +252,9 @@ impl TraceData {
             TraceData::TableStallFull { .. } => "table_stall_full",
             TraceData::StallBegin { .. } => "stall_begin",
             TraceData::StallEnd { .. } => "stall_end",
+            TraceData::FaultInject { .. } => "fault_inject",
+            TraceData::XportRetrans { .. } => "xport_retrans",
+            TraceData::XportDupDrop { .. } => "xport_dup_drop",
         }
     }
 }
@@ -320,6 +356,25 @@ pub fn render_event(ev: &TraceEvent) -> String {
             "core{core}: stall end ({cause}, {} ns)",
             ev.at.saturating_sub(since).as_ns()
         ),
+        TraceData::FaultInject {
+            src,
+            dst,
+            class,
+            fault,
+            extra,
+        } => format!(
+            "fabric: {fault} {class} tile{src} -> tile{dst} (+{} ns)",
+            extra.as_ns()
+        ),
+        TraceData::XportRetrans {
+            src,
+            dst,
+            seq,
+            attempt,
+        } => format!("tile{src}: retransmit seq {seq} -> tile{dst} (attempt {attempt})"),
+        TraceData::XportDupDrop { src, dst, seq } => {
+            format!("tile{dst}: duplicate seq {seq} from tile{src} suppressed")
+        }
     };
     head + &body
 }
@@ -771,6 +826,31 @@ impl<W: Write> TraceSink for ChromeTraceWriter<W> {
             TraceData::StallEnd { core, cause, .. } => format!(
                 "{{\"name\":\"stall:{cause}\",\"ph\":\"E\",\"ts\":{ts},\"pid\":0,\"tid\":{core}}}"
             ),
+            TraceData::FaultInject {
+                src,
+                dst,
+                class,
+                fault,
+                extra,
+            } => format!(
+                "{{\"name\":\"fault:{fault}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{src},\"args\":{{\"dst\":{dst},\"class\":\"{class}\",\
+                 \"extra_ns\":{}}}}}",
+                extra.as_ns()
+            ),
+            TraceData::XportRetrans {
+                src,
+                dst,
+                seq,
+                attempt,
+            } => format!(
+                "{{\"name\":\"xport:retrans\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{src},\"args\":{{\"dst\":{dst},\"seq\":{seq},\"attempt\":{attempt}}}}}"
+            ),
+            TraceData::XportDupDrop { src, dst, seq } => format!(
+                "{{\"name\":\"xport:dup_drop\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{dst},\"args\":{{\"src\":{src},\"seq\":{seq}}}}}"
+            ),
         };
         self.line(&line);
     }
@@ -874,10 +954,16 @@ pub struct MetricsRecorder {
     latency_ns: Histogram,
     /// Release notification fan-out (pending directories per Release).
     fanout: Histogram,
+    /// Transport retransmission attempt numbers.
+    retrans: Histogram,
     /// Event totals by kind label.
     counts: BTreeMap<&'static str, u64>,
     stall_episodes: u64,
     table_full_stalls: u64,
+    /// Watchdog near-miss tracking: time of the previous store commit and
+    /// the longest observed gap between consecutive commits.
+    last_commit: Option<Time>,
+    commit_gap_max: Time,
 }
 
 impl Default for MetricsRecorder {
@@ -898,9 +984,12 @@ impl MetricsRecorder {
             pending: HashMap::new(),
             latency_ns: Histogram::new(),
             fanout: Histogram::new(),
+            retrans: Histogram::new(),
             counts: BTreeMap::new(),
             stall_episodes: 0,
             table_full_stalls: 0,
+            last_commit: None,
+            commit_gap_max: Time::ZERO,
         }
     }
 
@@ -915,6 +1004,10 @@ impl MetricsRecorder {
                 self.inflight_timeline.record(ev.at, self.inflight);
             }
             TraceData::StoreCommit { core, tid, .. } => {
+                if let Some(prev) = self.last_commit {
+                    self.commit_gap_max = self.commit_gap_max.max(ev.at.saturating_sub(prev));
+                }
+                self.last_commit = Some(ev.at);
                 if let Some(t0) = self.pending.remove(&(core, tid)) {
                     self.latency_ns.record(ev.at.saturating_sub(t0).as_ns());
                     self.inflight = self.inflight.saturating_sub(1);
@@ -944,6 +1037,7 @@ impl MetricsRecorder {
             }
             TraceData::TableStallFull { .. } => self.table_full_stalls += 1,
             TraceData::StallBegin { .. } => self.stall_episodes += 1,
+            TraceData::XportRetrans { attempt, .. } => self.retrans.record(attempt as u64),
             _ => {}
         }
     }
@@ -974,6 +1068,9 @@ impl MetricsRecorder {
                 .collect(),
             table_full_stalls: self.table_full_stalls,
             stall_episodes: self.stall_episodes,
+            retrans_count: self.retrans.count(),
+            retrans_max_attempt: self.retrans.max(),
+            commit_gap_max_ns: self.commit_gap_max.as_ns(),
         }
     }
 }
@@ -1037,6 +1134,14 @@ pub struct MetricsSnapshot {
     pub table_full_stalls: u64,
     /// Core stall episodes.
     pub stall_episodes: u64,
+    /// Transport retransmissions observed.
+    pub retrans_count: u64,
+    /// Highest retransmission attempt number for any one message.
+    pub retrans_max_attempt: u64,
+    /// Watchdog near-miss: longest gap between consecutive store commits
+    /// (nanoseconds) — how close the run came to tripping a liveness
+    /// watchdog keyed on commit progress.
+    pub commit_gap_max_ns: u64,
 }
 
 impl MetricsSnapshot {
@@ -1057,6 +1162,7 @@ impl MetricsSnapshot {
             "{{\"events\":{},\"latency_ns\":{{\"count\":{},\"mean\":{:.1},\"p50\":{},\
              \"p90\":{},\"p99\":{},\"max\":{}}},\"fanout\":{{\"mean\":{:.3},\"max\":{}}},\
              \"inflight_peak\":{},\"table_full_stalls\":{},\"stall_episodes\":{},\
+             \"retrans\":{{\"count\":{},\"max_attempt\":{}}},\"commit_gap_max_ns\":{},\
              \"counts\":{{{}}},\"table_peaks\":{{{}}}}}",
             self.events,
             self.latency_ns.count,
@@ -1070,6 +1176,9 @@ impl MetricsSnapshot {
             self.inflight_peak,
             self.table_full_stalls,
             self.stall_episodes,
+            self.retrans_count,
+            self.retrans_max_attempt,
+            self.commit_gap_max_ns,
             counts.join(","),
             peaks.join(",")
         )
@@ -1099,6 +1208,14 @@ impl MetricsSnapshot {
         out.push_str(&format!(
             "stalls          : {} episodes ({} table-full)\n",
             self.stall_episodes, self.table_full_stalls
+        ));
+        out.push_str(&format!(
+            "retransmissions : {} (max attempt {})\n",
+            self.retrans_count, self.retrans_max_attempt
+        ));
+        out.push_str(&format!(
+            "commit gap max  : {} ns (watchdog near-miss)\n",
+            self.commit_gap_max_ns
         ));
         if !self.table_peaks.is_empty() {
             out.push_str("table peaks     :\n");
@@ -1292,6 +1409,109 @@ mod tests {
         ));
         let s = m.snapshot();
         assert_eq!(s.table_peaks, vec![("dir3.cnt".to_string(), 2)]);
+    }
+
+    #[test]
+    fn metrics_track_retransmissions_and_commit_gaps() {
+        let mut m = MetricsRecorder::default();
+        let commit = |at, tid| {
+            ev(
+                at,
+                TraceData::StoreCommit {
+                    dir: 8,
+                    core: 0,
+                    tid,
+                    addr: 0x40,
+                    release: false,
+                    epoch: None,
+                },
+            )
+        };
+        m.observe(&commit(10, 1));
+        m.observe(&commit(500, 2)); // 490 ns gap — the near-miss
+        m.observe(&commit(520, 3));
+        m.observe(&ev(
+            30,
+            TraceData::XportRetrans {
+                src: 0,
+                dst: 8,
+                seq: 4,
+                attempt: 1,
+            },
+        ));
+        m.observe(&ev(
+            90,
+            TraceData::XportRetrans {
+                src: 0,
+                dst: 8,
+                seq: 4,
+                attempt: 2,
+            },
+        ));
+        m.observe(&ev(
+            95,
+            TraceData::XportDupDrop {
+                src: 0,
+                dst: 8,
+                seq: 4,
+            },
+        ));
+        let s = m.snapshot();
+        assert_eq!(s.retrans_count, 2);
+        assert_eq!(s.retrans_max_attempt, 2);
+        assert_eq!(s.commit_gap_max_ns, 490);
+        let json = s.to_json();
+        assert!(
+            json.contains("\"retrans\":{\"count\":2,\"max_attempt\":2}"),
+            "{json}"
+        );
+        assert!(json.contains("\"commit_gap_max_ns\":490"), "{json}");
+        assert!(json.contains("\"xport_retrans\":2"), "{json}");
+        let text = s.render_text();
+        assert!(text.contains("retransmissions : 2"), "{text}");
+        assert!(text.contains("490 ns"), "{text}");
+    }
+
+    #[test]
+    fn render_and_chrome_cover_fault_events() {
+        let fault = ev(
+            7,
+            TraceData::FaultInject {
+                src: 0,
+                dst: 8,
+                class: "Notify",
+                fault: "drop",
+                extra: Time::ZERO,
+            },
+        );
+        let line = render_event(&fault);
+        assert!(line.contains("drop Notify"), "{line}");
+        let retrans = ev(
+            9,
+            TraceData::XportRetrans {
+                src: 0,
+                dst: 8,
+                seq: 3,
+                attempt: 2,
+            },
+        );
+        assert!(render_event(&retrans).contains("attempt 2"));
+        let mut w = ChromeTraceWriter::new(Vec::new());
+        w.emit(&fault);
+        w.emit(&retrans);
+        w.emit(&ev(
+            11,
+            TraceData::XportDupDrop {
+                src: 0,
+                dst: 8,
+                seq: 3,
+            },
+        ));
+        let out = String::from_utf8(w.into_inner()).unwrap();
+        assert!(out.contains("fault:drop"), "{out}");
+        assert!(out.contains("xport:retrans"), "{out}");
+        assert!(out.contains("xport:dup_drop"), "{out}");
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
     }
 
     #[test]
