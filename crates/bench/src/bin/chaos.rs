@@ -21,8 +21,9 @@ use std::time::Instant;
 use cord::{RunError, RunResult, System};
 use cord_bench::print_table;
 use cord_bench::sweep::Recorder;
-use cord_proto::{LoadOrd, Program, ProtocolKind, StoreOrd, SystemConfig};
+use cord_proto::{Program, ProtocolKind, SystemConfig};
 use cord_sim::Time;
+use cord_workloads::handshake::{multi_dir, single_dst};
 
 /// Engines under test; engines without global release consistency
 /// ([`ProtocolKind::global_rc`]) are excluded from the multi-directory
@@ -48,58 +49,6 @@ const PLANS: [(&str, &str); 5] = [
     ("burst", "drop=0.03; jitter=100; window=2000..6000x5"),
     ("notify", "drop.Notify=0.4; drop.ReqNotify=0.4; drop=0.02"),
 ];
-
-/// Single-destination handshake: producer on host 0 streams `words` fresh
-/// relaxed words to host 1 then a Release flag per round; the consumer
-/// waits each round's flag and reads that round's first word.
-fn single_dst(cfg: &SystemConfig, rounds: u64, words: u64) -> Vec<Program> {
-    let tph = cfg.noc.tiles_per_host as usize;
-    let mut p = Program::build();
-    let mut c = Program::build();
-    for r in 0..rounds {
-        for w in 0..words {
-            let a = cfg.map.addr_on_host(1, (r * words + w) * 512);
-            p = p.store(a, 8, r * words + w + 1, StoreOrd::Relaxed);
-        }
-        let flag = cfg.map.addr_on_host(1, (1 << 20) + r * 512);
-        p = p.store(flag, 8, r + 1, StoreOrd::Release);
-        c = c.wait_value(flag, r + 1).load(
-            cfg.map.addr_on_host(1, r * words * 512),
-            8,
-            LoadOrd::Relaxed,
-            (r % 16) as u8,
-        );
-    }
-    let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
-    programs[0] = p.finish();
-    programs[tph] = c.finish();
-    programs
-}
-
-/// Multi-directory handshake: each round's data goes to hosts 1 and 2, the
-/// flag to host 3 — the release must fan notifications across directories.
-fn multi_dir(cfg: &SystemConfig, rounds: u64) -> Vec<Program> {
-    let tph = cfg.noc.tiles_per_host as usize;
-    let mut p = Program::build();
-    let mut c = Program::build();
-    for r in 0..rounds {
-        let d1 = cfg.map.addr_on_host(1, r * 512);
-        let d2 = cfg.map.addr_on_host(2, r * 512);
-        let flag = cfg.map.addr_on_host(3, r * 512);
-        p = p
-            .store(d1, 8, 100 + r, StoreOrd::Relaxed)
-            .store(d2, 8, 200 + r, StoreOrd::Relaxed)
-            .store(flag, 8, r + 1, StoreOrd::Release);
-        c = c
-            .wait_value(flag, r + 1)
-            .load(d1, 8, LoadOrd::Relaxed, (2 * r % 16) as u8)
-            .load(d2, 8, LoadOrd::Relaxed, ((2 * r + 1) % 16) as u8);
-    }
-    let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
-    programs[0] = p.finish();
-    programs[3 * tph] = c.finish();
-    programs
-}
 
 /// A boxed workload generator, so the single- and multi-directory shapes
 /// share one campaign loop.

@@ -1,0 +1,216 @@
+//! Scenario fuzz campaign: randomized whole-simulator robustness testing.
+//!
+//! Generates seeded random scenarios (engine, fabric, topology, table
+//! provisioning down to capacity 1, fault plans, producer/consumer
+//! workloads), runs each through the DES under four oracles (termination,
+//! RC-vs-baseline, differential model check, panic-freedom), shrinks any
+//! failure to a 1-minimal counterexample, and writes portable repro files.
+//! See `cord_fuzz` for the machinery and EXPERIMENTS.md for the repro
+//! grammar.
+//!
+//! ```text
+//! fuzz [--quick] [--seed N] [--count N] [--max-events N] [--no-model]
+//!      [--out DIR] [--replay FILE]
+//! ```
+//!
+//! Defaults: seed 1, 400 scenarios (64 with `--quick`), event cap 2M,
+//! repro output under `results/fuzz-repros/`. Campaign statistics land in
+//! `results/BENCH_fuzz.json` (override with `CORD_BENCH_JSON`); the file
+//! is byte-identical for a given seed and budget at any worker count.
+//!
+//! `--replay FILE` re-executes one repro file instead of fuzzing: it
+//! prints the verdict, narrates RC violations through the abstract
+//! checker when the scenario is small enough, and — if the file carries
+//! an `expect` line — exits non-zero on any verdict mismatch.
+
+use cord_bench::print_table;
+use cord_bench::sweep::Recorder;
+use cord_fuzz::{narrate_rc_violation, run_campaign, run_scenario, CampaignConfig, Verdict};
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    count: Option<u64>,
+    max_events: u64,
+    model: bool,
+    out: String,
+    replay: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fuzz [--quick] [--seed N] [--count N] [--max-events N] \
+         [--no-model] [--out DIR] [--replay FILE]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        seed: 1,
+        count: None,
+        max_events: 2_000_000,
+        model: true,
+        out: "results/fuzz-repros".into(),
+        replay: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].clone();
+        let mut val = || {
+            i += 1;
+            argv.get(i).cloned().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--quick" => args.quick = true,
+            "--no-model" => args.model = false,
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--count" => args.count = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--max-events" => args.max_events = val().parse().unwrap_or_else(|_| usage()),
+            "--out" => args.out = val(),
+            "--replay" => args.replay = Some(val()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Re-executes one repro file; returns the process exit code.
+fn replay(path: &str) -> i32 {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    let repro = cord_fuzz::parse(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2)
+    });
+    let sc = &repro.scenario;
+    println!(
+        "replaying {path}: {} on {} {} host(s) × {} tiles, {} op(s), faults: {}",
+        sc.engine.label(),
+        if sc.upi { "UPI" } else { "CXL" },
+        sc.hosts,
+        sc.tph,
+        sc.op_count(),
+        sc.faults.as_deref().unwrap_or("none"),
+    );
+    let report = run_scenario(sc);
+    println!("verdict: {}", report.verdict);
+    if report.sim_ns > 0.0 {
+        println!("simulated time: {:.1} ns", report.sim_ns);
+    }
+    if let Some(n) = narrate_rc_violation(sc, &report.verdict) {
+        println!("\n{n}");
+    } else if matches!(report.verdict, Verdict::RcViolation { .. }) {
+        println!("(the abstract model does not reach this outcome — a DES-only divergence)");
+    }
+    match &repro.expect {
+        Some(expect) if expect != report.verdict.class() => {
+            eprintln!(
+                "MISMATCH: file expects {expect:?}, run produced {:?}",
+                report.verdict.class()
+            );
+            1
+        }
+        Some(expect) => {
+            println!("verdict matches the file's expectation ({expect})");
+            0
+        }
+        None => 0,
+    }
+}
+
+fn main() {
+    // A scenario's fault spec is its only fault source; an inherited
+    // environment spec would corrupt the fault-free baselines.
+    std::env::remove_var("CORD_FAULTS");
+    let args = parse_args();
+    if let Some(path) = &args.replay {
+        std::process::exit(replay(path));
+    }
+    if std::env::var_os("CORD_BENCH_JSON").is_none() {
+        std::env::set_var("CORD_BENCH_JSON", "results/BENCH_fuzz.json");
+    }
+    // Panics are a verdict here, not noise: silence the default hook's
+    // backtrace spew while the campaign runs.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let cfg = CampaignConfig {
+        seed: args.seed,
+        count: args.count.unwrap_or(if args.quick { 64 } else { 400 }),
+        max_events: args.max_events,
+        model_check: args.model,
+        ..CampaignConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let campaign = run_campaign(&cfg);
+    let wall = t0.elapsed().as_secs_f64();
+    let _ = std::panic::take_hook();
+
+    // Benchmark record: simulated quantities only, so the file is
+    // byte-identical for a given (seed, count) at any worker count.
+    let mut rec = Recorder::new_deterministic("fuzz");
+    for o in &campaign.outcomes {
+        rec.record(&o.label, 0.0, o.report.sim_ns);
+    }
+    rec.record_with_metrics("campaign", 0.0, 0.0, Some(campaign.stats_json(&cfg)));
+    rec.finish();
+
+    let mut classes = std::collections::BTreeMap::<&str, u64>::new();
+    for o in &campaign.outcomes {
+        *classes.entry(o.report.verdict.class()).or_default() += 1;
+    }
+    let rows: Vec<Vec<String>> = classes
+        .iter()
+        .map(|(c, n)| vec![c.to_string(), n.to_string()])
+        .collect();
+    print_table(
+        &format!(
+            "Fuzz campaign: seed {}, {} scenarios, event cap {}",
+            cfg.seed, cfg.count, cfg.max_events
+        ),
+        &["verdict", "scenarios"],
+        &rows,
+    );
+
+    if campaign.failures.is_empty() {
+        println!(
+            "\nall {} scenarios passed every oracle ({wall:.1}s wall)",
+            campaign.outcomes.len()
+        );
+        return;
+    }
+
+    std::fs::create_dir_all(&args.out).unwrap_or_else(|e| {
+        eprintln!("cannot create {}: {e}", args.out);
+        std::process::exit(2)
+    });
+    println!();
+    for f in &campaign.failures {
+        let path = format!("{}/s{:04}.repro", args.out, f.index);
+        if let Err(e) = std::fs::write(&path, f.repro_text(cfg.seed)) {
+            eprintln!("cannot write {path}: {e}");
+        }
+        println!(
+            "FAILURE s{:04}: {} — shrunk {} → {} ops in {} runs, repro: {path}",
+            f.index,
+            f.verdict.class(),
+            f.scenario.op_count(),
+            f.shrunk.op_count(),
+            f.stats.attempts,
+        );
+        println!("  original: {}", f.verdict);
+        println!("  shrunk:   {}", f.shrunk_verdict);
+    }
+    eprintln!(
+        "\n{} of {} scenario(s) failed ({wall:.1}s wall); replay with \
+         `fuzz --replay <file>`",
+        campaign.failures.len(),
+        campaign.outcomes.len()
+    );
+    std::process::exit(1);
+}

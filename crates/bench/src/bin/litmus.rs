@@ -13,7 +13,7 @@ use cord_bench::print_table;
 use cord_bench::sweep::Recorder;
 use cord_check::{
     classic_suite, explore, explore_all_placements, narrate_violation, stress_configs, weak_suite,
-    CheckConfig, Litmus, Report, ThreadProto,
+    CheckConfig, Litmus, Report, ThreadProto, Verdict,
 };
 
 const CAP: usize = 2_000_000;
@@ -36,19 +36,24 @@ fn main() {
     let mut total_checks = 0usize;
     let mut total_states = 0usize;
 
+    let mut total_inconclusive = 0usize;
+
     // CORD under all stress configurations.
     for (cfg_name, mk) in stress_configs() {
         let mut checks = 0;
         let mut states = 0;
         let mut failures = 0;
+        let mut inconclusive = 0;
         for lit in classic_suite() {
             let cfg = mk(lit.thread_count(), 3);
             let label = format!("CORD[{cfg_name}]/{}", lit.name);
             for (_, report) in explore_recorded(&mut rec, &label, &cfg, &lit) {
                 checks += 1;
                 states += report.states;
-                if !report.passes(&lit) {
-                    failures += 1;
+                match report.verdict(&lit) {
+                    Verdict::Pass => {}
+                    Verdict::Inconclusive => inconclusive += 1,
+                    Verdict::Fail => failures += 1,
                 }
             }
         }
@@ -57,9 +62,11 @@ fn main() {
             checks.to_string(),
             states.to_string(),
             failures.to_string(),
+            inconclusive.to_string(),
         ]);
         total_checks += checks;
         total_states += states;
+        total_inconclusive += inconclusive;
     }
 
     // Source ordering and mixed systems.
@@ -67,6 +74,7 @@ fn main() {
         let mut checks = 0;
         let mut states = 0;
         let mut failures = 0;
+        let mut inconclusive = 0;
         for lit in classic_suite() {
             let n = lit.thread_count();
             let cfg = if protos == 0 {
@@ -89,8 +97,10 @@ fn main() {
             for (_, report) in explore_recorded(&mut rec, &label, &cfg, &lit) {
                 checks += 1;
                 states += report.states;
-                if !report.passes(&lit) {
-                    failures += 1;
+                match report.verdict(&lit) {
+                    Verdict::Pass => {}
+                    Verdict::Inconclusive => inconclusive += 1,
+                    Verdict::Fail => failures += 1,
                 }
             }
         }
@@ -99,9 +109,11 @@ fn main() {
             checks.to_string(),
             states.to_string(),
             failures.to_string(),
+            inconclusive.to_string(),
         ]);
         total_checks += checks;
         total_states += states;
+        total_inconclusive += inconclusive;
     }
 
     // Message passing: violations are the expected (paper §3.2) outcome.
@@ -124,16 +136,29 @@ fn main() {
         mp_checks.to_string(),
         String::new(),
         mp_violating_shapes.len().to_string(),
+        String::new(),
     ]);
     total_checks += mp_checks;
 
     print_table(
         "Litmus campaign (§4.5): forbidden-outcome + deadlock-freedom checks",
-        &["system", "checks", "states explored", "failures/violations"],
+        &[
+            "system",
+            "checks",
+            "states explored",
+            "failures/violations",
+            "inconclusive",
+        ],
         &rows,
     );
 
     println!("\nMP violates release consistency on: {mp_violating_shapes:?}");
+    if total_inconclusive > 0 {
+        println!(
+            "WARNING: {total_inconclusive} check(s) inconclusive — the state cap \
+             truncated the search before completion; raise CAP to settle them"
+        );
+    }
 
     // Weak-outcome reachability (not accidentally SC).
     let mut weak_ok = 0;

@@ -6,7 +6,7 @@
 //! the tail of the event stream as human-readable text.
 //!
 //! ```text
-//! trace [--app NAME | --micro STORE_GRAN,SYNC_GRAN,FANOUT]
+//! trace [--app NAME | --micro STORE_GRAN,SYNC_GRAN,FANOUT | --repro FILE]
 //!       [--proto cord|so|mp|wb|seq8|seq40] [--fabric cxl|upi]
 //!       [--hosts N] [--iters N] [--out PATH] [--tail N]
 //!       [--faults SPEC]
@@ -19,6 +19,11 @@
 //! transport, e.g. `--faults "seed=7; drop=0.05; dup=0.02; jitter=100"`
 //! (the `CORD_FAULTS` environment variable takes the same grammar; see
 //! EXPERIMENTS.md). Fault and retransmission events land in the trace.
+//!
+//! `--repro` replays a `cord-fuzz repro v1` file (see `fuzz --replay` and
+//! EXPERIMENTS.md): the scenario supplies the configuration, workload, and
+//! fault spec, so a fuzzer counterexample can be inspected event by event
+//! in Perfetto. `--faults` still overrides the file's spec.
 
 use cord::System;
 use cord_bench::{config, Fabric};
@@ -48,6 +53,7 @@ impl TraceSink for Tee {
 struct Args {
     app: Option<String>,
     micro: Option<(u32, u64, u32)>,
+    repro: Option<String>,
     proto: ProtocolKind,
     fabric: Fabric,
     hosts: u32,
@@ -59,7 +65,7 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trace [--app NAME | --micro STORE_GRAN,SYNC_GRAN,FANOUT] \
+        "usage: trace [--app NAME | --micro STORE_GRAN,SYNC_GRAN,FANOUT | --repro FILE] \
          [--proto cord|so|mp|wb|seq8|seq40] [--fabric cxl|upi] \
          [--hosts N] [--iters N] [--out PATH] [--tail N] \
          [--faults \"seed=N; drop=P; dup=P; jitter=NS; ...\"]"
@@ -71,6 +77,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         app: None,
         micro: None,
+        repro: None,
         proto: ProtocolKind::Cord,
         fabric: Fabric::Cxl,
         hosts: 4,
@@ -123,33 +130,60 @@ fn parse_args() -> Args {
             "--out" => args.out = val(),
             "--tail" => args.tail = val().parse().unwrap_or_else(|_| usage()),
             "--faults" => args.faults = Some(val()),
+            "--repro" => args.repro = Some(val()),
             _ => usage(),
         }
         i += 1;
     }
-    if args.app.is_some() && args.micro.is_some() {
+    let sources = usize::from(args.app.is_some())
+        + usize::from(args.micro.is_some())
+        + usize::from(args.repro.is_some());
+    if sources > 1 {
         usage();
     }
     args
 }
 
 fn main() {
-    let args = parse_args();
-    let cfg = config(args.proto, args.fabric, args.hosts, ConsistencyModel::Rc);
-    let (label, programs) = match args.micro {
-        Some((g, s, f)) => {
-            let mb = MicroBench::new(g, s, f).with_iters(args.iters);
-            (format!("micro {g},{s},{f}"), mb.programs(&cfg))
+    let mut args = parse_args();
+    let (cfg, label, programs, fabric) = if let Some(path) = &args.repro {
+        // `CORD_FAULTS` must not leak into a repro replay; the file's own
+        // spec (or an explicit `--faults`) is the only fault source.
+        std::env::remove_var("CORD_FAULTS");
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2)
+        });
+        let repro = cord_fuzz::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2)
+        });
+        let sc = repro.scenario;
+        let cfg = sc.config();
+        let programs = sc.programs(&cfg);
+        if args.faults.is_none() {
+            args.faults = sc.faults.clone();
         }
-        None => {
-            let name = args.app.as_deref().unwrap_or("MOCFE");
-            let mut app = AppSpec::by_name(name).unwrap_or_else(|| {
-                eprintln!("unknown application {name:?}");
-                std::process::exit(2)
-            });
-            app.iters = args.iters;
-            (name.to_string(), app.programs(&cfg))
-        }
+        let fabric = if sc.upi { "upi" } else { "cxl" };
+        (cfg, format!("repro {path}"), programs, fabric)
+    } else {
+        let cfg = config(args.proto, args.fabric, args.hosts, ConsistencyModel::Rc);
+        let (label, programs) = match args.micro {
+            Some((g, s, f)) => {
+                let mb = MicroBench::new(g, s, f).with_iters(args.iters);
+                (format!("micro {g},{s},{f}"), mb.programs(&cfg))
+            }
+            None => {
+                let name = args.app.as_deref().unwrap_or("MOCFE");
+                let mut app = AppSpec::by_name(name).unwrap_or_else(|| {
+                    eprintln!("unknown application {name:?}");
+                    std::process::exit(2)
+                });
+                app.iters = args.iters;
+                (name.to_string(), app.programs(&cfg))
+            }
+        };
+        (cfg, label, programs, args.fabric.label())
     };
 
     if let Some(dir) = std::path::Path::new(&args.out).parent() {
@@ -176,13 +210,21 @@ fn main() {
         tail: tail.clone(),
     }));
     sys.tracer_mut().attach_metrics(MetricsRecorder::default());
-    let r = sys.run();
+    let proto = sys.config().protocol;
+    let hosts = sys.config().noc.hosts;
+    let r = match sys.try_run() {
+        Ok(r) => r,
+        Err(e) => {
+            // A failing repro is a legitimate thing to trace: report the
+            // structured error instead of panicking.
+            eprintln!("{label}: run failed\n{e}");
+            std::process::exit(1)
+        }
+    };
 
     println!(
-        "{label} under {:?}/{} x{} hosts: makespan {:.3} us, {} DES events",
-        args.proto,
-        args.fabric.label(),
-        args.hosts,
+        "{label} under {}/{fabric} x{hosts} hosts: makespan {:.3} us, {} DES events",
+        proto.label(),
         r.makespan.as_us_f64(),
         r.events
     );

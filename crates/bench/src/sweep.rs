@@ -88,6 +88,7 @@ pub struct Recorder {
     threads: usize,
     start: Instant,
     runs: Vec<(String, f64, f64, Option<String>)>,
+    deterministic: bool,
 }
 
 impl Recorder {
@@ -98,6 +99,21 @@ impl Recorder {
             threads: par::thread_count(),
             start: Instant::now(),
             runs: Vec::new(),
+            deterministic: false,
+        }
+    }
+
+    /// Like [`Recorder::new`], but the written entry is byte-reproducible:
+    /// the key is the bare sweep name (no `#t<N>` thread suffix), the
+    /// recorded thread count and total wall-clock are both written as 0,
+    /// and callers are expected to record simulated quantities only. Used
+    /// by campaigns whose JSON record must be identical across machines
+    /// and worker counts (e.g. the fuzz campaign).
+    pub fn new_deterministic(sweep: &str) -> Self {
+        Recorder {
+            threads: 0,
+            deterministic: true,
+            ..Self::new(sweep)
         }
     }
 
@@ -124,8 +140,16 @@ impl Recorder {
     /// count). Failures to write are reported on stderr but never fail the
     /// benchmark itself.
     pub fn finish(self) {
-        let total_ms = self.start.elapsed().as_secs_f64() * 1e3;
-        let key = format!("{}#t{}", self.sweep, self.threads);
+        let total_ms = if self.deterministic {
+            0.0
+        } else {
+            self.start.elapsed().as_secs_f64() * 1e3
+        };
+        let key = if self.deterministic {
+            self.sweep.clone()
+        } else {
+            format!("{}#t{}", self.sweep, self.threads)
+        };
         let runs = self
             .runs
             .iter()
@@ -216,6 +240,9 @@ fn merge_entry(key: &str, entry: &str) -> std::io::Result<()> {
 mod tests {
     use super::*;
 
+    /// Serializes tests that point `CORD_BENCH_JSON` at private temp files.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn timed_results_arrive_in_input_order() {
         let items: Vec<u64> = (0..17).collect();
@@ -233,6 +260,7 @@ mod tests {
 
     #[test]
     fn metrics_field_is_embedded_verbatim() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("cord_sweep_metrics_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_sweeps.json");
@@ -254,7 +282,32 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_recorder_writes_stable_bytes() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("cord_sweep_det_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_fuzz.json");
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("CORD_BENCH_JSON", &path);
+        let write_once = || {
+            let mut r = Recorder::new_deterministic("fuzz");
+            r.record("s0000/CORD/pass", 0.0, 123.4);
+            r.finish();
+            std::fs::read_to_string(&path).unwrap()
+        };
+        let first = write_once();
+        let second = write_once();
+        std::env::remove_var("CORD_BENCH_JSON");
+        assert_eq!(first, second, "re-running must not change a single byte");
+        assert!(first.contains("\"key\":\"fuzz\""), "{first}");
+        assert!(first.contains("\"threads\":0"), "{first}");
+        assert!(first.contains("\"total_wall_ms\":0.000"), "{first}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn merge_keeps_one_entry_per_key() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let dir = std::env::temp_dir().join("cord_sweep_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_sweeps.json");

@@ -43,10 +43,53 @@ impl Report {
             .collect()
     }
 
-    /// Whether the protocol satisfied the test: no forbidden outcome and no
-    /// deadlock.
+    /// Three-way verdict of the exploration against `lit`.
+    ///
+    /// A violation or deadlock found among the explored states is a
+    /// [`Verdict::Fail`] whether or not the search was truncated — evidence
+    /// of a bug does not expire because the search stopped early. A
+    /// truncated search that found nothing is [`Verdict::Inconclusive`]:
+    /// the unexplored remainder could still hide a violation, so it is
+    /// neither a pass nor a failure.
+    pub fn verdict(&self, lit: &Litmus) -> Verdict {
+        if !self.deadlocks.is_empty() || !self.violations(lit).is_empty() {
+            Verdict::Fail
+        } else if self.truncated {
+            Verdict::Inconclusive
+        } else {
+            Verdict::Pass
+        }
+    }
+
+    /// Whether the protocol satisfied the test: exploration complete, no
+    /// forbidden outcome, no deadlock. Shorthand for
+    /// `self.verdict(lit) == Verdict::Pass`; callers that must distinguish
+    /// a truncated (inconclusive) search from an actual failure should use
+    /// [`Report::verdict`].
     pub fn passes(&self, lit: &Litmus) -> bool {
-        !self.truncated && self.deadlocks.is_empty() && self.violations(lit).is_empty()
+        self.verdict(lit) == Verdict::Pass
+    }
+}
+
+/// Outcome of one exploration against one litmus test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Complete exploration, no forbidden outcome, no deadlock.
+    Pass,
+    /// The state cap truncated the search before any violation was found:
+    /// the explored prefix is clean but the result proves nothing.
+    Inconclusive,
+    /// A forbidden outcome or deadlock is reachable.
+    Fail,
+}
+
+impl std::fmt::Display for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Verdict::Pass => "pass",
+            Verdict::Inconclusive => "inconclusive",
+            Verdict::Fail => "fail",
+        })
     }
 }
 
@@ -211,6 +254,22 @@ mod tests {
         let lit = mp_shape();
         let report = explore(&CheckConfig::cord(2, 2), &lit, &[0, 1], 4);
         assert!(report.truncated);
+    }
+
+    #[test]
+    fn truncated_clean_search_is_inconclusive_not_failed() {
+        let lit = mp_shape();
+        // Tiny cap: nothing violating is reachable in 4 states, so the
+        // search is clean but truncated — inconclusive, not a failure.
+        let report = explore(&CheckConfig::cord(2, 2), &lit, &[0, 1], 4);
+        assert_eq!(report.verdict(&lit), Verdict::Inconclusive);
+        assert!(!report.passes(&lit), "inconclusive still isn't a pass");
+        // A violation found before truncation is a Fail even when truncated.
+        let full = explore(&CheckConfig::mp(2, 2), &lit, &[0, 1], 1_000_000);
+        assert_eq!(full.verdict(&lit), Verdict::Fail);
+        let complete = explore(&CheckConfig::cord(2, 2), &lit, &[0, 1], 1_000_000);
+        assert_eq!(complete.verdict(&lit), Verdict::Pass);
+        assert_eq!(format!("{}", Verdict::Inconclusive), "inconclusive");
     }
 
     #[test]

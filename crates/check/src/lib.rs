@@ -43,7 +43,7 @@ mod model;
 mod narrate;
 mod suites;
 
-pub use explore::{explore, explore_all_placements, Report};
+pub use explore::{explore, explore_all_placements, Report, Verdict};
 pub use litmus::{dsl, Cond, CondAtom, LOp, Litmus};
 pub use model::{CheckConfig, Model, NetMsg, State, Step, ThreadProto};
 pub use narrate::{narrate_violation, Narrative};

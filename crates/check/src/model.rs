@@ -533,6 +533,14 @@ impl<'a> Model<'a> {
                 } else {
                     s.clone()
                 };
+                // Conservative destination-directory provisioning guard
+                // (§4.3): the store opens a CNT entry for the current epoch
+                // while every unacked epoch may still hold one, so stall
+                // until the table is provably wide enough (mirrors the
+                // engine's backpressure; checked on the post-wrap state).
+                if base.threads[t].unacked.len() + 1 > self.cfg.dir_cnt_cap {
+                    return None;
+                }
                 let mut n = base;
                 let ep = n.threads[t].ep;
                 n.threads[t].cnt[dst as usize] += 1;
@@ -613,6 +621,12 @@ impl<'a> Model<'a> {
                 let ord = if self.cfg.tso { StoreOrd::Release } else { ord };
                 match ord {
                     StoreOrd::Relaxed => {
+                        // Same provisioning guard as a relaxed store: the
+                        // atomic's CNT entry must fit beside every unacked
+                        // epoch's.
+                        if s.threads[t].unacked.len() + 1 > self.cfg.dir_cnt_cap {
+                            return None;
+                        }
                         let mut n = s.clone();
                         let ep = n.threads[t].ep;
                         n.threads[t].cnt[dst as usize] += 1;
@@ -1023,6 +1037,27 @@ mod tests {
             2,
             vec![Cond::regs(vec![(1, 0, 0)])],
         )
+    }
+
+    #[test]
+    fn capacity_one_tables_backpressure_instead_of_overflowing() {
+        // Relaxed stores in two consecutive epochs target the same
+        // directory; with a single-entry CNT table the second store must
+        // stall until the first epoch is acknowledged (the engine's
+        // backpressure), not overflow the directory table mid-delivery.
+        let lit = Litmus::new(
+            "rlx-rel-rlx",
+            vec![vec![w(0, 1), wrel(1, 1), w(2, 2)]],
+            3,
+            vec![],
+        );
+        let mut cfg = CheckConfig::cord(1, 2);
+        cfg.proc_unacked_cap = 1;
+        cfg.dir_cnt_cap = 1;
+        cfg.dir_noti_cap = 1;
+        let report = crate::explore(&cfg, &lit, &[0, 1, 0], 100_000);
+        assert!(!report.truncated && report.deadlocks.is_empty());
+        assert!(report.outcomes.contains(&vec![0, 0, 0, 0, 1, 1, 2]));
     }
 
     #[test]

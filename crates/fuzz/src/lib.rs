@@ -1,0 +1,42 @@
+//! Scenario fuzzing for the CORD simulator (robustness tooling).
+//!
+//! The paper verifies CORD with a litmus-test model-checking campaign
+//! (§4.5); this crate complements that with *randomized whole-simulator*
+//! testing: seeded generation of complete scenarios — engine, fabric,
+//! topology, table provisioning down to capacity 1, fault plans, and
+//! producer/consumer workloads — run through the discrete-event simulator
+//! and judged by four oracles (termination, release consistency against
+//! the fault-free baseline, differential comparison with the abstract
+//! `cord-check` model, and panic-freedom). Failures are shrunk by delta
+//! debugging to 1-minimal counterexamples and emitted as portable text
+//! repro files that `fuzz --replay` re-executes.
+//!
+//! Everything is deterministic: a campaign is fully described by `(seed,
+//! count, max_events)`, results are independent of the worker count, and
+//! a repro file pins every input of the failing run.
+//!
+//! # Example
+//!
+//! ```
+//! use cord_fuzz::{generate, run_scenario, parse};
+//!
+//! // Scenario 3 of the seed-1 campaign, as a replayable repro file:
+//! let sc = generate(1, 3, 2_000_000);
+//! let text = sc.serialize(None);
+//! assert_eq!(parse(&text).unwrap().scenario, sc);
+//! assert_eq!(run_scenario(&sc).verdict.class(), "pass");
+//! ```
+
+mod campaign;
+mod gen;
+mod oracle;
+pub mod scenario;
+mod shrink;
+
+pub use campaign::{run_campaign, Campaign, CampaignConfig, Failure, ScenarioOutcome};
+pub use gen::generate;
+pub use oracle::{
+    narrate_rc_violation, run_scenario, run_scenario_opts, Phase, RunReport, Verdict,
+};
+pub use scenario::{parse, Repro, Scenario};
+pub use shrink::{shrink, shrink_with, ShrinkStats};

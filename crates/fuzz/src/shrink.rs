@@ -1,0 +1,272 @@
+//! Delta-debugging counterexample shrinking.
+//!
+//! Given a failing scenario and its verdict class, [`shrink`] greedily
+//! applies single-step reductions — drop a pair, drop a round, drop a data
+//! store, drop a fault directive, halve a fault time constant, restore
+//! default table provisioning, trim unused hosts/tiles — keeping a
+//! reduction only if the reduced scenario still fails with the *same
+//! class*. It restarts the candidate scan after every accepted reduction
+//! and stops at a fixpoint, so the result is 1-minimal with respect to the
+//! candidate set: removing any single remaining element changes or hides
+//! the failure.
+//!
+//! Shrinking runs the oracles serially and is deterministic: the same
+//! input scenario and class always reduce to the byte-identical repro.
+
+use crate::oracle::run_scenario_opts;
+use crate::scenario::Scenario;
+
+/// Counters describing one shrink run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidate reductions tried (= oracle re-runs).
+    pub attempts: u64,
+    /// Candidates accepted (each strictly reduces the scenario).
+    pub accepted: u64,
+}
+
+/// Fault-spec directive reductions: dropping one directive, or halving the
+/// numeric argument of the time-valued ones.
+fn fault_candidates(spec: &str, out: &mut Vec<Option<String>>) {
+    let parts: Vec<&str> = spec
+        .split(';')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect();
+    // Drop the spec entirely, then each directive individually.
+    out.push(None);
+    for i in 0..parts.len() {
+        let rest: Vec<&str> = parts
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, p)| *p)
+            .collect();
+        if rest.is_empty() {
+            continue; // already covered by dropping the whole spec
+        }
+        out.push(Some(rest.join("; ")));
+    }
+    // Halve time constants (jitter/delay/rto) toward zero.
+    for i in 0..parts.len() {
+        let Some((key, val)) = parts[i].split_once('=') else {
+            continue;
+        };
+        if !matches!(key.trim(), "jitter" | "delay" | "rto") {
+            continue;
+        }
+        let Ok(v) = val.trim().parse::<u64>() else {
+            continue;
+        };
+        if v == 0 {
+            continue;
+        }
+        let mut halved: Vec<String> = parts.iter().map(|p| p.to_string()).collect();
+        halved[i] = format!("{}={}", key.trim(), v / 2);
+        out.push(Some(halved.join("; ")));
+    }
+}
+
+/// All single-step reductions of `s`, in priority order (structure first,
+/// then faults, then provisioning/topology). Candidates may be invalid;
+/// the driver filters through [`Scenario::validate`].
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // Drop one pair (only while >1 remains: an empty scenario fails no
+    // oracle, so it can never preserve the failure anyway).
+    if s.pairs.len() > 1 {
+        for i in 0..s.pairs.len() {
+            let mut c = s.clone();
+            c.pairs.remove(i);
+            out.push(c);
+        }
+    }
+    // Drop one round.
+    for (pi, pair) in s.pairs.iter().enumerate() {
+        if pair.rounds.len() > 1 {
+            for ri in 0..pair.rounds.len() {
+                let mut c = s.clone();
+                c.pairs[pi].rounds.remove(ri);
+                out.push(c);
+            }
+        }
+    }
+    // Drop one data store.
+    for (pi, pair) in s.pairs.iter().enumerate() {
+        for (ri, round) in pair.rounds.iter().enumerate() {
+            for di in 0..round.data.len() {
+                let mut c = s.clone();
+                c.pairs[pi].rounds[ri].data.remove(di);
+                out.push(c);
+            }
+        }
+    }
+    // Demote a Release data store to Relaxed.
+    for (pi, pair) in s.pairs.iter().enumerate() {
+        for (ri, round) in pair.rounds.iter().enumerate() {
+            for (di, d) in round.data.iter().enumerate() {
+                if d.release {
+                    let mut c = s.clone();
+                    c.pairs[pi].rounds[ri].data[di].release = false;
+                    out.push(c);
+                }
+            }
+        }
+    }
+    // Simplify the fault spec.
+    if let Some(spec) = &s.faults {
+        let mut specs = Vec::new();
+        fault_candidates(spec, &mut specs);
+        for f in specs {
+            let mut c = s.clone();
+            c.faults = f;
+            out.push(c);
+        }
+    }
+    // Restore default table provisioning.
+    if s.tables != Default::default() {
+        let mut c = s.clone();
+        c.tables = Default::default();
+        out.push(c);
+    }
+    // Trim hosts down to the highest one actually used.
+    let used_hosts = s
+        .pairs
+        .iter()
+        .flat_map(|p| {
+            p.rounds
+                .iter()
+                .flat_map(|r| r.data.iter().map(|d| d.slot.host).chain([r.flag.host]))
+                .chain([p.producer / s.tph, p.consumer / s.tph])
+        })
+        .max()
+        .map_or(2, |h| (h + 1).max(2));
+    if used_hosts < s.hosts {
+        let mut c = s.clone();
+        c.hosts = used_hosts;
+        out.push(c);
+    }
+    // Halve tiles per host, remapping tiles to keep their host and lane.
+    if s.tph > 2 {
+        let tph = s.tph / 2;
+        let remap = |tile: u32| (tile / s.tph) * tph + (tile % s.tph);
+        if s.pairs
+            .iter()
+            .all(|p| p.producer % s.tph < tph && p.consumer % s.tph < tph)
+        {
+            let mut c = s.clone();
+            c.tph = tph;
+            for p in &mut c.pairs {
+                p.producer = remap(p.producer);
+                p.consumer = remap(p.consumer);
+            }
+            out.push(c);
+        }
+    }
+    // Prefer the plain CXL fabric.
+    if s.upi {
+        let mut c = s.clone();
+        c.upi = false;
+        out.push(c);
+    }
+    out
+}
+
+/// Shrinks `s` while `keep` still accepts the candidate (i.e. the failure
+/// reproduces). Returns the 1-minimal scenario and the shrink counters.
+pub fn shrink_with(
+    s: &Scenario,
+    mut keep: impl FnMut(&Scenario) -> bool,
+) -> (Scenario, ShrinkStats) {
+    let mut cur = s.clone();
+    let mut stats = ShrinkStats::default();
+    'outer: loop {
+        for cand in candidates(&cur) {
+            if cand.validate().is_err() {
+                continue;
+            }
+            stats.attempts += 1;
+            if keep(&cand) {
+                stats.accepted += 1;
+                cur = cand;
+                continue 'outer; // restart the scan from the reduced scenario
+            }
+        }
+        return (cur, stats);
+    }
+}
+
+/// Shrinks a failing scenario, preserving its verdict class. The
+/// differential model check only runs while shrinking model-divergence
+/// failures (it cannot influence any other class and is expensive).
+pub fn shrink(s: &Scenario, class: &str) -> (Scenario, ShrinkStats) {
+    let model = class == "model-divergence";
+    shrink_with(s, |c| run_scenario_opts(c, model).verdict.class() == class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::parse;
+
+    /// A known failure: dropping every Notify on an unreliable transport
+    /// hangs a multi-directory CORD release (no retransmission to recover).
+    fn notify_hang() -> Scenario {
+        let text = "cord-fuzz repro v1\nengine CORD\ntopo upi\nhosts 4\ntph 4\n\
+                    tables 8 8 8 16 64\nmax_events 2000000\n\
+                    faults seed=5; drop.Notify=1.0; jitter=100; unreliable\n\
+                    pair 0 13\nround 3:0 1:0 2:1r\nround 3:1 1:2\n\
+                    pair 1 6\nround 1:2 1:3\n";
+        parse(text).unwrap().scenario
+    }
+
+    #[test]
+    fn shrinks_known_hang_to_one_minimal_repro() {
+        let sc = notify_hang();
+        let class = run_scenario_opts(&sc, false).verdict.class();
+        assert_eq!(class, "hang");
+        let (min, stats) = shrink(&sc, class);
+        assert!(stats.accepted > 0 && stats.attempts >= stats.accepted);
+        // Still the same failure…
+        assert_eq!(run_scenario_opts(&min, false).verdict.class(), "hang");
+        // …and 1-minimal: one pair, one round, one cross-host data store.
+        assert_eq!(min.pairs.len(), 1);
+        assert_eq!(min.pairs[0].rounds.len(), 1);
+        assert_eq!(min.pairs[0].rounds[0].data.len(), 1);
+        assert_ne!(
+            min.pairs[0].rounds[0].data[0].slot.host, min.pairs[0].rounds[0].flag.host,
+            "the hang needs a cross-directory notification"
+        );
+        // The spec kept only what the hang needs.
+        let spec = min.faults.as_deref().unwrap();
+        assert!(spec.contains("drop.Notify=1.0"), "{spec}");
+        assert!(spec.contains("unreliable"), "{spec}");
+        assert!(
+            !spec.contains("seed="),
+            "seed directive is droppable: {spec}"
+        );
+        assert!(!spec.contains("jitter"), "jitter is droppable: {spec}");
+        // UPI shrank to CXL, the 4-lane hosts to 2 lanes.
+        assert!(!min.upi);
+        assert_eq!(min.tph, 2);
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let sc = notify_hang();
+        let (a, sa) = shrink(&sc, "hang");
+        let (b, sb) = shrink(&sc, "hang");
+        assert_eq!(a.serialize(Some("hang")), b.serialize(Some("hang")));
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn fault_candidates_cover_drops_and_halvings() {
+        let mut out = Vec::new();
+        fault_candidates("seed=5; jitter=100", &mut out);
+        assert!(out.contains(&None));
+        assert!(out.contains(&Some("jitter=100".into())));
+        assert!(out.contains(&Some("seed=5".into())));
+        assert!(out.contains(&Some("seed=5; jitter=50".into())));
+    }
+}

@@ -168,6 +168,16 @@ impl FaultPlan {
         self.seed
     }
 
+    /// The plan's rules, in match order (later rules override earlier ones).
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// The plan's degradation windows.
+    pub fn windows(&self) -> &[DegradeWindow] {
+        &self.windows
+    }
+
     /// Whether the plan can never touch a message.
     pub fn is_noop(&self) -> bool {
         self.rules.iter().all(FaultRule::is_noop)

@@ -121,6 +121,16 @@ impl DetRng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Uniformly picks one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from an empty slice");
+        &items[self.range_usize(0..items.len())]
+    }
+
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
@@ -205,6 +215,18 @@ mod tests {
             seen_hi |= x == 12;
         }
         assert!(seen_lo && seen_hi, "all range values reachable");
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut rng = DetRng::new(17);
+        let items = ["a", "b", "c"];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let p = rng.pick(&items);
+            seen[items.iter().position(|x| x == p).unwrap()] = true;
+        }
+        assert_eq!(seen, [true; 3]);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Producer/consumer handshake workloads for robustness campaigns.
+//!
+//! These are the deadlock-free-by-construction communication skeletons the
+//! chaos and fuzz campaigns stress under fault injection: a producer streams
+//! data stores to remote memory and publishes each round with a Release
+//! flag; a consumer Acquire-polls the flag and reads that round's data. The
+//! release-consistency invariant is that every consumer read observes the
+//! fault-free value — any divergence under a (reliable-transport) fault
+//! plan is a protocol bug.
+
+use cord_proto::{LoadOrd, Program, StoreOrd, SystemConfig};
+
+/// Single-destination handshake: producer on host 0 streams `words` fresh
+/// relaxed words per round into host 1's memory, then a Release flag; the
+/// consumer (first tile of host 1) waits each round's flag and reads that
+/// round's first word. Every store in a round targets the consumer's host,
+/// so the shape is safe even for protocols without cross-destination
+/// release ordering (MP, SEQ — see `cord_proto::ProtocolKind::global_rc`).
+///
+/// Returns one program per tile of `cfg`.
+pub fn single_dst(cfg: &SystemConfig, rounds: u64, words: u64) -> Vec<Program> {
+    let tph = cfg.noc.tiles_per_host as usize;
+    let mut p = Program::build();
+    let mut c = Program::build();
+    for r in 0..rounds {
+        for w in 0..words {
+            let a = cfg.map.addr_on_host(1, (r * words + w) * 512);
+            p = p.store(a, 8, r * words + w + 1, StoreOrd::Relaxed);
+        }
+        let flag = cfg.map.addr_on_host(1, (1 << 20) + r * 512);
+        p = p.store(flag, 8, r + 1, StoreOrd::Release);
+        c = c.wait_value(flag, r + 1).load(
+            cfg.map.addr_on_host(1, r * words * 512),
+            8,
+            LoadOrd::Relaxed,
+            (r % 16) as u8,
+        );
+    }
+    let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
+    programs[0] = p.finish();
+    programs[tph] = c.finish();
+    programs
+}
+
+/// Multi-directory handshake: each round's data goes to hosts 1 and 2, the
+/// flag to host 3 — the release must fan notifications across directories,
+/// so this shape requires global release consistency (CORD, SO, WB) and at
+/// least 4 hosts.
+///
+/// Returns one program per tile of `cfg`.
+///
+/// # Panics
+///
+/// Panics if `cfg` has fewer than 4 hosts.
+pub fn multi_dir(cfg: &SystemConfig, rounds: u64) -> Vec<Program> {
+    assert!(cfg.noc.hosts >= 4, "multi_dir needs ≥4 hosts");
+    let tph = cfg.noc.tiles_per_host as usize;
+    let mut p = Program::build();
+    let mut c = Program::build();
+    for r in 0..rounds {
+        let d1 = cfg.map.addr_on_host(1, r * 512);
+        let d2 = cfg.map.addr_on_host(2, r * 512);
+        let flag = cfg.map.addr_on_host(3, r * 512);
+        p = p
+            .store(d1, 8, 100 + r, StoreOrd::Relaxed)
+            .store(d2, 8, 200 + r, StoreOrd::Relaxed)
+            .store(flag, 8, r + 1, StoreOrd::Release);
+        c = c
+            .wait_value(flag, r + 1)
+            .load(d1, 8, LoadOrd::Relaxed, (2 * r % 16) as u8)
+            .load(d2, 8, LoadOrd::Relaxed, ((2 * r + 1) % 16) as u8);
+    }
+    let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
+    programs[0] = p.finish();
+    programs[3 * tph] = c.finish();
+    programs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_proto::ProtocolKind;
+
+    #[test]
+    fn single_dst_shapes() {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+        let ps = single_dst(&cfg, 3, 4);
+        assert_eq!(ps.len(), cfg.total_tiles() as usize);
+        // 3 rounds × (4 data + 1 flag) producer ops; 2 consumer ops/round.
+        assert_eq!(ps[0].len(), 15);
+        assert_eq!(ps[cfg.noc.tiles_per_host as usize].len(), 6);
+        assert_eq!(ps[0].release_count(), 3);
+        assert!(ps[1].is_empty());
+    }
+
+    #[test]
+    fn multi_dir_spans_three_remote_hosts() {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+        let ps = multi_dir(&cfg, 2);
+        assert_eq!(ps[0].len(), 6);
+        assert_eq!(ps[0].release_count(), 2);
+        let consumer = 3 * cfg.noc.tiles_per_host as usize;
+        assert_eq!(ps[consumer].len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "≥4 hosts")]
+    fn multi_dir_rejects_small_topologies() {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+        multi_dir(&cfg, 1);
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`trace`] — a plain-text memory-operation trace format (the paper
 //!   drives the DOE mini-apps from traces): parse traces into programs or
 //!   export any generated workload for inspection and replay.
+//! * [`handshake`] — producer/consumer handshake skeletons with known
+//!   fault-free outcomes, the workloads the chaos and fuzz campaigns stress
+//!   under fault injection.
 //! * [`AppSpec`] — synthetic models of the paper's Table 2 applications
 //!   (Pannotia PR/SSSP, Chai PAD/TQH/HSTI/TRNS, DOE MOCFE/CMC-2D/BigFFT/CR)
 //!   plus the ATA storage stressor of §5.4. Each model reproduces the app's
@@ -23,6 +26,7 @@
 //! communication parameters.
 
 mod apps;
+pub mod handshake;
 mod micro;
 mod region;
 pub mod trace;

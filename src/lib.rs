@@ -23,6 +23,7 @@
 
 pub use cord;
 pub use cord_check;
+pub use cord_fuzz;
 pub use cord_mem;
 pub use cord_noc;
 pub use cord_power;

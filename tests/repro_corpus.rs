@@ -1,0 +1,68 @@
+//! Replays the committed fuzzer repro corpus (`tests/repros/*.repro`).
+//!
+//! Every file must carry an `expect` line; the test re-runs the scenario
+//! through the full oracle stack and asserts the verdict class still
+//! matches, then pins the repro format itself: parsing is stable under
+//! re-serialization, and serialization is canonical (a second
+//! serialize/parse round trip is byte-identical).
+//!
+//! The corpus is the fuzzer's seed set and its regression net at once:
+//! when a campaign finds a failure, the shrunk repro lands here so the
+//! bug stays fixed. `cord_capacity1.repro`, for example, pinned an
+//! abstract-model crash on capacity-1 directory tables the day it was
+//! written.
+
+use cord_repro::cord_fuzz::{parse, run_scenario};
+
+/// One test for the whole corpus: the oracles read `CORD_FAULTS`-adjacent
+/// process state, so replays must not race sibling tests.
+#[test]
+fn every_committed_repro_still_reproduces() {
+    std::env::remove_var("CORD_FAULTS");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/repros");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/repros must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "repro"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 6,
+        "corpus unexpectedly small: {} files",
+        files.len()
+    );
+
+    for path in files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let repro = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let expect = repro
+            .expect
+            .as_deref()
+            .unwrap_or_else(|| panic!("{name}: corpus files must carry an expect line"));
+
+        // Verdict regression: the oracle stack must still classify the
+        // scenario the way the file records.
+        let report = run_scenario(&repro.scenario);
+        assert_eq!(
+            report.verdict.class(),
+            expect,
+            "{name}: verdict drifted — got {}",
+            report.verdict
+        );
+
+        // Format round trip: serialize(parse(file)) is canonical.
+        let canon = repro.scenario.serialize(Some(expect));
+        let reparsed = parse(&canon).unwrap_or_else(|e| panic!("{name}: re-parse failed: {e}"));
+        assert_eq!(
+            reparsed.scenario, repro.scenario,
+            "{name}: round trip drifted"
+        );
+        assert_eq!(reparsed.expect.as_deref(), Some(expect));
+        assert_eq!(
+            reparsed.scenario.serialize(Some(expect)),
+            canon,
+            "{name}: serialization is not canonical"
+        );
+    }
+}
