@@ -1,7 +1,8 @@
 //! DES-kernel microbenchmarks (`cargo bench --bench kernel`): event-queue
 //! push/pop throughput plus a full fig7-scale simulation, exercising the
 //! hot paths the runner leans on (`with_capacity` pre-sizing, the cached
-//! O(1) `peek_time` head, scratch-buffer reuse in the event loop).
+//! O(1) `peek_time` head, the `pop_if_at` same-timestamp burst drain,
+//! scratch-buffer reuse in the event loop).
 //! Self-contained `Instant`-based harness — no external benchmarking crate.
 
 use std::hint::black_box;
@@ -64,6 +65,47 @@ fn main() {
             }
         }
         while q.pop().is_some() {}
+        acc
+    });
+
+    // Same-timestamp bursts (a cycle-accurate fabric landing many
+    // deliveries on one tick), drained two ways: every event through a
+    // full `pop`, versus the runner's `pop_if_at` fast path that drains
+    // each burst on a cached-head compare. The workload is identical; the
+    // delta is the fast path's value.
+    let burst_fill = |q: &mut EventQueue<usize>, rng: &mut DetRng| {
+        let mut t = 0u64;
+        let mut i = 0usize;
+        while i < N {
+            t += rng.range_u64(1..50);
+            let burst = rng.range_u64(1..16) as usize;
+            for _ in 0..burst.min(N - i) {
+                q.push(Time::from_ns(t), i);
+                i += 1;
+            }
+        }
+    };
+    bench("queue/burst_pop_100k", 10, || {
+        let mut rng = DetRng::new(0xB0B);
+        let mut q = EventQueue::with_capacity(N);
+        burst_fill(&mut q, &mut rng);
+        let mut acc = 0usize;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
+    });
+    bench("queue/burst_pop_if_at_100k", 10, || {
+        let mut rng = DetRng::new(0xB0B);
+        let mut q = EventQueue::with_capacity(N);
+        burst_fill(&mut q, &mut rng);
+        let mut acc = 0usize;
+        while let Some((t, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+            while let Some(v) = q.pop_if_at(t) {
+                acc = acc.wrapping_add(v);
+            }
+        }
         acc
     });
 

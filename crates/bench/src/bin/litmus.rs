@@ -6,14 +6,22 @@
 //! the paper's §3.2 predicts. Placements within each shape are explored in
 //! parallel (`CORD_THREADS`); each (system, shape) campaign is recorded into
 //! `BENCH_sweeps.json`.
+//!
+//! A final scaling phase re-runs the CORD suite through [`explore_with`]
+//! serially and at `min(8, host width)` shards, with symmetry reduction on
+//! and off, and records states/sec, peak frontier, level count, and group
+//! order per entry into `results/BENCH_check.json` (keys `check#t1` /
+//! `check#t<N>`), then prints the parallel speedup and symmetry reduction
+//! factor.
 
 use std::time::Instant;
 
 use cord_bench::print_table;
 use cord_bench::sweep::Recorder;
 use cord_check::{
-    classic_suite, explore, explore_all_placements, narrate_violation, stress_configs, weak_suite,
-    CheckConfig, Litmus, Report, ThreadProto, Verdict,
+    campaign_entries, classic_suite, explore, explore_all_placements, explore_with,
+    narrate_violation, scaling_suite, stress_configs, weak_suite, CheckConfig, ExploreOpts, Litmus,
+    Report, ThreadProto, Verdict,
 };
 
 const CAP: usize = 2_000_000;
@@ -28,6 +36,32 @@ fn explore_recorded(
     let out = explore_all_placements(cfg, lit, CAP);
     rec.record(label, t0.elapsed().as_secs_f64() * 1e3, 0.0);
     out
+}
+
+/// Runs every campaign entry through [`explore_with`] at fixed `opts`,
+/// recording per-entry wall-clock plus the deterministic search-shape
+/// counters (and derived states/sec) under `"<tag>/<entry>"`. Returns the
+/// pass's total wall-clock in ms.
+fn check_scaling_pass(
+    rec: &mut Recorder,
+    entries: &[(String, CheckConfig, Litmus, Vec<u8>)],
+    opts: ExploreOpts,
+    tag: &str,
+) -> f64 {
+    let mut total_ms = 0.0;
+    for (label, cfg, lit, placement) in entries {
+        let t0 = Instant::now();
+        let (report, stats) = explore_with(cfg, lit, placement, CAP, opts);
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        total_ms += wall_ms;
+        let states_per_sec = report.states as f64 / (wall_ms / 1e3).max(1e-9);
+        let metrics = format!(
+            "{{\"states\":{},\"peak_frontier\":{},\"levels\":{},\"sym_order\":{},\"states_per_sec\":{:.0}}}",
+            report.states, stats.peak_frontier, stats.levels, stats.symmetry_order, states_per_sec
+        );
+        rec.record_with_metrics(&format!("{tag}/{label}"), wall_ms, 0.0, Some(metrics));
+    }
+    total_ms
 }
 
 fn main() {
@@ -170,8 +204,7 @@ fn main() {
             seen |= report.outcomes.iter().any(|flat| {
                 let split = flat.len() - lit.vars as usize;
                 let (reg_flat, mem) = flat.split_at(split);
-                let regs: Vec<Vec<u64>> = reg_flat.chunks(4).map(|c| c.to_vec()).collect();
-                must_see.matches(&regs, mem)
+                must_see.matches_flat(reg_flat, mem)
             });
         }
         if seen {
@@ -212,4 +245,74 @@ fn main() {
         );
     }
     rec.finish();
+
+    // Checker scaling phase: the CORD suite plus the heavyweight
+    // scaling fixtures through the sharded explorer, serial vs.
+    // min(8, host width), symmetry on vs. off. Entries and all
+    // search-shape counters are deterministic; only the wall-clocks (and
+    // the states/sec derived from them) vary by host.
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let par_t = host.min(8);
+    let mut entries = campaign_entries();
+    entries.extend(scaling_suite());
+    let sym = ExploreOpts {
+        threads: 1,
+        symmetry: true,
+        audit: false,
+    };
+    let raw = ExploreOpts {
+        symmetry: false,
+        ..sym
+    };
+
+    let mut rec1 = Recorder::new("check")
+        .with_threads(1)
+        .at_path("results/BENCH_check.json");
+    let serial_sym_ms = check_scaling_pass(&mut rec1, &entries, sym, "sym");
+    let serial_raw_ms = check_scaling_pass(&mut rec1, &entries, raw, "raw");
+    rec1.finish();
+
+    eprintln!(
+        "\nChecker scaling ({} entries, results/BENCH_check.json): \
+         t1 sym {serial_sym_ms:.0} ms, raw {serial_raw_ms:.0} ms; \
+         symmetry reduction: {:.2}x",
+        entries.len(),
+        serial_raw_ms / serial_sym_ms.max(1e-9)
+    );
+
+    // The parallel pass only means something on a multicore host — and at
+    // par_t == 1 its record key would collide with (and overwrite) the
+    // serial entry above.
+    if par_t > 1 {
+        let mut recn = Recorder::new("check")
+            .with_threads(par_t)
+            .at_path("results/BENCH_check.json");
+        let par_sym_ms = check_scaling_pass(
+            &mut recn,
+            &entries,
+            ExploreOpts {
+                threads: par_t,
+                ..sym
+            },
+            "sym",
+        );
+        let par_raw_ms = check_scaling_pass(
+            &mut recn,
+            &entries,
+            ExploreOpts {
+                threads: par_t,
+                ..raw
+            },
+            "raw",
+        );
+        recn.finish();
+        eprintln!(
+            "t{par_t}: sym {par_sym_ms:.0} ms, raw {par_raw_ms:.0} ms; \
+             parallel speedup sym {:.2}x, raw {:.2}x",
+            serial_sym_ms / par_sym_ms.max(1e-9),
+            serial_raw_ms / par_raw_ms.max(1e-9)
+        );
+    } else {
+        eprintln!("single-CPU host: skipping the t>1 scaling pass");
+    }
 }

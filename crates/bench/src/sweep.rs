@@ -89,6 +89,7 @@ pub struct Recorder {
     start: Instant,
     runs: Vec<(String, f64, f64, Option<String>)>,
     deterministic: bool,
+    path: Option<PathBuf>,
 }
 
 impl Recorder {
@@ -100,7 +101,26 @@ impl Recorder {
             start: Instant::now(),
             runs: Vec::new(),
             deterministic: false,
+            path: None,
         }
+    }
+
+    /// Redirects this recorder's entry to `path` instead of the shared
+    /// [`json_path`] file (which `CORD_BENCH_JSON` governs). Used by sweeps
+    /// that own a dedicated record file, e.g. the checker campaign's
+    /// `results/BENCH_check.json`.
+    pub fn at_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Overrides the recorded thread count. [`Recorder::new`] snapshots the
+    /// campaign pool width ([`par::thread_count`]); sweeps whose parallelism
+    /// lives elsewhere (e.g. `CORD_CHECK_THREADS` inside one exploration)
+    /// set the width they actually ran at so the `#t<N>` key is honest.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Like [`Recorder::new`], but the written entry is byte-reproducible:
@@ -171,7 +191,8 @@ impl Recorder {
             json_str(&self.sweep),
             self.threads
         );
-        if let Err(e) = merge_entry(&key, &entry) {
+        let path = self.path.unwrap_or_else(json_path);
+        if let Err(e) = merge_entry(&path, &key, &entry) {
             eprintln!("warning: could not record sweep {key}: {e}");
         }
     }
@@ -201,14 +222,13 @@ fn json_str(s: &str) -> String {
 }
 
 /// Replaces-or-appends `entry` (a one-line JSON object with the given
-/// `key`) in the sweep file, keeping it a valid JSON array with one entry
-/// per line.
-fn merge_entry(key: &str, entry: &str) -> std::io::Result<()> {
-    let path = json_path();
+/// `key`) in the record file at `path`, keeping it a valid JSON array with
+/// one entry per line.
+fn merge_entry(path: &std::path::Path, key: &str, entry: &str) -> std::io::Result<()> {
     if path.as_os_str() == "/dev/null" {
         return Ok(());
     }
-    let mut entries: Vec<String> = match std::fs::read_to_string(&path) {
+    let mut entries: Vec<String> = match std::fs::read_to_string(path) {
         Ok(text) => text
             .lines()
             .map(str::trim)
@@ -226,7 +246,7 @@ fn merge_entry(key: &str, entry: &str) -> std::io::Result<()> {
             std::fs::create_dir_all(dir)?;
         }
     }
-    let mut f = std::fs::File::create(&path)?;
+    let mut f = std::fs::File::create(path)?;
     writeln!(f, "[")?;
     for (i, e) in entries.iter().enumerate() {
         let sep = if i + 1 < entries.len() { "," } else { "" };
@@ -302,6 +322,25 @@ mod tests {
         assert!(first.contains("\"key\":\"fuzz\""), "{first}");
         assert!(first.contains("\"threads\":0"), "{first}");
         assert!(first.contains("\"total_wall_ms\":0.000"), "{first}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn at_path_and_with_threads_override_destination_and_key() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join("cord_sweep_at_path_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_check.json");
+        let _ = std::fs::remove_file(&path);
+        // Point the shared file somewhere else to prove at_path wins.
+        std::env::set_var("CORD_BENCH_JSON", "/dev/null");
+        let mut r = Recorder::new("check").with_threads(8).at_path(&path);
+        r.record("MP@[0, 1]", 1.0, 0.0);
+        r.finish();
+        std::env::remove_var("CORD_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"key\":\"check#t8\""), "{text}");
+        assert!(text.contains("\"threads\":8"), "{text}");
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,25 +1,54 @@
 //! Explicit-state exploration (the Murphi-style search).
 //!
+//! The search is a **level-synchronized, sharded-frontier BFS**. States are
+//! partitioned across `opts.threads` shards by fingerprint; each shard owns
+//! a slice of the visited set and of the current frontier. One BFS level at
+//! a time, every shard's frontier is expanded (in parallel on the
+//! `cord_sim::par` pool when the level is big enough to pay for fan-out),
+//! successors are canonicalized and routed to their owning shard by
+//! `fingerprint % shards`, and a serial merge step folds the per-worker
+//! batches in worker order. Because sharding is a pure function of the
+//! fingerprint and the merge is ordered, the resulting [`Report`] is
+//! **bit-identical at any thread count** — parallelism changes wall-clock
+//! time and nothing else. The level structure also makes truncation
+//! deterministic: the cap is checked between levels, never mid-level.
+//!
+//! On top of the search sits **symmetry reduction** (Murphi's scalarset
+//! idea): every successor is mapped to the lexicographically-least member
+//! of its orbit under the model's thread-permutation group before
+//! fingerprinting (see [`Symmetry`]), so a litmus test with interchangeable
+//! threads explores each equivalence class once. Final-state outcomes are
+//! re-expanded over the orbit, keeping the reported outcome set *exactly*
+//! equal to an unreduced search — downstream consumers like the fuzz
+//! containment oracle never observe the reduction. `CORD_CHECK_SYM=0`
+//! disables it. Directory-ID symmetry is exploited one level up:
+//! [`explore_all_placements`] explores one representative per class of
+//! directory-relabeled placements and shares the report.
+//!
 //! The visited set stores 64-bit state fingerprints rather than full
 //! states: inserting a successor costs one hash instead of a deep clone,
-//! and the frontier queue holds the only owned copy of each state. With a
-//! 64-bit fingerprint the collision probability for the \<10M-state spaces
+//! and the frontier holds the only owned copy of each state. With a 64-bit
+//! fingerprint the collision probability for the \<10M-state spaces
 //! explored here is negligible (~n²/2⁶⁵), but set `CORD_CHECK_AUDIT=1` to
-//! run with a full state map that panics on any fingerprint collision.
+//! run with a full state map that panics on any fingerprint collision —
+//! and, when symmetry reduction is active, to re-run the search unreduced
+//! and assert both agree on outcomes and deadlock-freedom.
 
-use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 use crate::litmus::Litmus;
-use crate::model::{CheckConfig, Model, State};
+use crate::model::{CheckConfig, Model, State, Symmetry};
 
 /// Result of exhaustively exploring one model.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Report {
-    /// Distinct states visited.
+    /// Distinct states visited (canonical representatives when symmetry
+    /// reduction is active).
     pub states: usize,
     /// Final-state observations: registers (thread-major, 4 per thread)
-    /// followed by final memory values.
+    /// followed by final memory values. Exact — independent of symmetry
+    /// reduction and thread count.
     pub outcomes: BTreeSet<Vec<u64>>,
     /// Reachable stuck states that are not final (deadlocks), rendered for
     /// diagnosis.
@@ -30,15 +59,14 @@ pub struct Report {
 
 impl Report {
     /// Outcomes matching any of the test's forbidden conditions (borrowed
-    /// from the outcome set — no cloning).
+    /// from the outcome set — matching allocates nothing).
     pub fn violations<'a>(&'a self, lit: &Litmus) -> Vec<&'a Vec<u64>> {
         self.outcomes
             .iter()
             .filter(|flat| {
                 let split = flat.len() - lit.vars as usize;
                 let (reg_flat, mem) = flat.split_at(split);
-                let regs: Vec<Vec<u64>> = reg_flat.chunks(4).map(|c| c.to_vec()).collect();
-                lit.forbidden.iter().any(|c| c.matches(&regs, mem))
+                lit.forbidden.iter().any(|c| c.matches_flat(reg_flat, mem))
             })
             .collect()
     }
@@ -93,6 +121,68 @@ impl std::fmt::Display for Verdict {
     }
 }
 
+/// Worker count for a single exploration: `CORD_CHECK_THREADS` when set and
+/// ≥ 1, else 1. The default is deliberately serial — placement campaigns
+/// and suite sweeps already parallelize *across* explorations on
+/// `CORD_THREADS`, and nesting both pools would oversubscribe the machine.
+/// Set `CORD_CHECK_THREADS` when one big exploration dominates (deep litmus
+/// shapes, the fuzz containment oracle on a fat scenario).
+pub fn check_thread_count() -> usize {
+    if let Ok(v) = std::env::var("CORD_CHECK_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    1
+}
+
+/// Exploration knobs; [`ExploreOpts::from_env`] is what [`explore`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreOpts {
+    /// Frontier shards / expansion workers (1 = serial).
+    pub threads: usize,
+    /// Canonicalize states under the model's symmetry group.
+    pub symmetry: bool,
+    /// Keep a full state map, panic on fingerprint collisions, and (with
+    /// symmetry on) re-run unreduced to cross-check the reduction.
+    pub audit: bool,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> Self {
+        ExploreOpts {
+            threads: 1,
+            symmetry: true,
+            audit: false,
+        }
+    }
+}
+
+impl ExploreOpts {
+    /// Reads `CORD_CHECK_THREADS` / `CORD_CHECK_SYM` / `CORD_CHECK_AUDIT`.
+    pub fn from_env() -> Self {
+        ExploreOpts {
+            threads: check_thread_count(),
+            symmetry: std::env::var_os("CORD_CHECK_SYM").is_none_or(|v| v != "0"),
+            audit: std::env::var_os("CORD_CHECK_AUDIT").is_some_and(|v| v != "0"),
+        }
+    }
+}
+
+/// Search-shape counters from one exploration (all deterministic: identical
+/// at any thread count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExploreStats {
+    /// Largest BFS level (states expanded in one synchronized step).
+    pub peak_frontier: usize,
+    /// Number of BFS levels expanded.
+    pub levels: usize,
+    /// Order of the symmetry group used (1 = no reduction).
+    pub symmetry_order: usize,
+}
+
 /// Deterministic 64-bit state fingerprint (SipHash with fixed keys).
 fn fingerprint(s: &State) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -100,79 +190,255 @@ fn fingerprint(s: &State) -> u64 {
     h.finish()
 }
 
+/// Below this frontier size a level is expanded inline: forking the worker
+/// pool costs more than hashing a handful of states.
+const PAR_LEVEL_MIN: usize = 64;
+
+/// One worker's share of the search: a slice of the visited set plus the
+/// frontier states it owns.
+#[derive(Default)]
+struct Shard {
+    seen: HashSet<u64>,
+    frontier: Vec<State>,
+    audit_map: HashMap<u64, State>,
+}
+
+/// Everything one worker produced from expanding its frontier slice for one
+/// level, routed for the merge step.
+struct LevelOut {
+    /// Successors by destination shard (`fingerprint % shards`).
+    outbox: Vec<Vec<(u64, State)>>,
+    /// Outcomes of final states expanded this level (orbit-expanded when
+    /// symmetry reduction is active).
+    outcomes: Vec<Vec<u64>>,
+    /// Stuck non-final states expanded this level.
+    deadlocks: Vec<State>,
+}
+
+fn expand_shard(
+    model: &Model,
+    sym: Option<&Symmetry>,
+    states: &[State],
+    shards: usize,
+) -> LevelOut {
+    let mut out = LevelOut {
+        outbox: (0..shards).map(|_| Vec::new()).collect(),
+        outcomes: Vec::new(),
+        deadlocks: Vec::new(),
+    };
+    let mut succ: Vec<State> = Vec::new();
+    for s in states {
+        model.successors_into(s, &mut succ);
+        if succ.is_empty() {
+            if model.is_final(s) {
+                let outcome = s.outcome();
+                if let Some(sy) = sym {
+                    out.outcomes.append(&mut sy.orbit_outcomes(&outcome));
+                }
+                out.outcomes.push(outcome);
+            } else {
+                out.deadlocks.push(s.clone());
+            }
+            continue;
+        }
+        for n in succ.drain(..) {
+            let n = match sym {
+                Some(sy) => sy.canonicalize(n),
+                None => n,
+            };
+            let fp = fingerprint(&n);
+            out.outbox[(fp % shards as u64) as usize].push((fp, n));
+        }
+    }
+    out
+}
+
 /// Exhaustively explores `lit` under `cfg` with variables homed per
-/// `placement`.
+/// `placement`, using the environment-selected options
+/// ([`ExploreOpts::from_env`]).
+///
+/// With `CORD_CHECK_AUDIT=1` and symmetry reduction active on a model with
+/// a non-trivial group, the search is re-run unreduced and both runs must
+/// agree on the outcome set and on deadlock-freedom (skipped when either
+/// run truncated — their explored prefixes are incomparable).
 ///
 /// # Panics
 ///
 /// Panics if a directory lookup table overflows (the processor-side
 /// provisioning checks are supposed to make that unreachable — an overflow
-/// is a protocol bug), or, with `CORD_CHECK_AUDIT=1`, on a fingerprint
-/// collision.
+/// is a protocol bug), or, under audit, on a fingerprint collision or a
+/// symmetry-reduction disagreement.
 pub fn explore(cfg: &CheckConfig, lit: &Litmus, placement: &[u8], cap: usize) -> Report {
-    let model = Model::new(cfg, lit, placement);
-    let audit = std::env::var_os("CORD_CHECK_AUDIT").is_some_and(|v| v != "0");
-    let init = model.init();
-    let mut seen: HashSet<u64> = HashSet::new();
-    let mut audit_map: HashMap<u64, State> = HashMap::new();
-    let mut queue: VecDeque<State> = VecDeque::new();
-    let fp0 = fingerprint(&init);
-    seen.insert(fp0);
-    if audit {
-        audit_map.insert(fp0, init.clone());
+    let opts = ExploreOpts::from_env();
+    let (report, stats) = explore_with(cfg, lit, placement, cap, opts);
+    if opts.audit && opts.symmetry && stats.symmetry_order > 1 {
+        let raw_opts = ExploreOpts {
+            symmetry: false,
+            ..opts
+        };
+        let (raw, _) = explore_with(cfg, lit, placement, cap, raw_opts);
+        if !report.truncated && !raw.truncated {
+            assert_eq!(
+                report.outcomes, raw.outcomes,
+                "symmetry reduction changed the outcome set of {} on {placement:?}",
+                lit.name
+            );
+            assert_eq!(
+                report.deadlocks.is_empty(),
+                raw.deadlocks.is_empty(),
+                "symmetry reduction changed deadlock-freedom of {} on {placement:?}",
+                lit.name
+            );
+        }
     }
-    queue.push_back(init);
+    report
+}
+
+/// [`explore`] with explicit options, also returning search-shape counters.
+///
+/// The report is bit-identical for any `opts.threads` ≥ 1: sharding is a
+/// pure function of the state fingerprint, workers exchange successors only
+/// at level boundaries, and the merge folds worker batches in input order.
+pub fn explore_with(
+    cfg: &CheckConfig,
+    lit: &Litmus,
+    placement: &[u8],
+    cap: usize,
+    opts: ExploreOpts,
+) -> (Report, ExploreStats) {
+    let model = Model::new(cfg, lit, placement);
+    let shards_n = opts.threads.max(1);
+    let sym = if opts.symmetry {
+        Some(model.symmetry()).filter(|s| !s.is_trivial())
+    } else {
+        None
+    };
+    let mut stats = ExploreStats {
+        peak_frontier: 0,
+        levels: 0,
+        symmetry_order: sym.as_ref().map_or(1, Symmetry::order),
+    };
+    let mut shards: Vec<Shard> = (0..shards_n).map(|_| Shard::default()).collect();
+    let init = {
+        let s = model.init();
+        match &sym {
+            Some(sy) => sy.canonicalize(s),
+            None => s,
+        }
+    };
+    let fp0 = fingerprint(&init);
+    let home = &mut shards[(fp0 % shards_n as u64) as usize];
+    home.seen.insert(fp0);
+    if opts.audit {
+        home.audit_map.insert(fp0, init.clone());
+    }
+    home.frontier.push(init);
+
     let mut outcomes = BTreeSet::new();
-    let mut deadlocks = Vec::new();
+    let mut deadlocks: Vec<String> = Vec::new();
     let mut truncated = false;
-    let mut succ: Vec<State> = Vec::new();
-    while let Some(s) = queue.pop_front() {
-        model.successors_into(&s, &mut succ);
-        if succ.is_empty() {
-            if model.is_final(&s) {
-                outcomes.insert(s.outcome());
-            } else if deadlocks.len() < 4 {
+    loop {
+        let frontier_total: usize = shards.iter().map(|sh| sh.frontier.len()).sum();
+        if frontier_total == 0 {
+            break;
+        }
+        let seen_total: usize = shards.iter().map(|sh| sh.seen.len()).sum();
+        if seen_total >= cap {
+            truncated = true;
+            break;
+        }
+        stats.peak_frontier = stats.peak_frontier.max(frontier_total);
+        stats.levels += 1;
+        let inputs: Vec<Vec<State>> = shards
+            .iter_mut()
+            .map(|sh| std::mem::take(&mut sh.frontier))
+            .collect();
+        let level_threads = if frontier_total >= PAR_LEVEL_MIN {
+            shards_n
+        } else {
+            1
+        };
+        let mut outs = cord_sim::par::run_parallel_on(level_threads, &inputs, |states| {
+            expand_shard(&model, sym.as_ref(), states, shards_n)
+        });
+        // Merge, serially and in deterministic order. Deadlocks found this
+        // level are sorted (the frontier is a set — its partition across
+        // shards must not show through in the report)…
+        let mut level_deadlocks: Vec<State> = outs
+            .iter_mut()
+            .flat_map(|o| o.deadlocks.drain(..))
+            .collect();
+        level_deadlocks.sort_unstable();
+        for s in &level_deadlocks {
+            if deadlocks.len() < 4 {
                 deadlocks.push(format!("{s:?}"));
             } else {
                 deadlocks.push(String::from("…"));
             }
-            continue;
         }
-        for n in succ.drain(..) {
-            if seen.len() >= cap {
-                truncated = true;
-                break;
+        // …and each destination shard folds worker batches in worker order.
+        for o in outs {
+            for outcome in o.outcomes {
+                outcomes.insert(outcome);
             }
-            let fp = fingerprint(&n);
-            if seen.insert(fp) {
-                if audit {
-                    audit_map.insert(fp, n.clone());
+            for (k, batch) in o.outbox.into_iter().enumerate() {
+                let shard = &mut shards[k];
+                for (fp, n) in batch {
+                    if shard.seen.insert(fp) {
+                        if opts.audit {
+                            shard.audit_map.insert(fp, n.clone());
+                        }
+                        shard.frontier.push(n);
+                    } else if opts.audit {
+                        let prior = shard
+                            .audit_map
+                            .get(&fp)
+                            .expect("audited fingerprint has a state");
+                        assert!(
+                            *prior == n,
+                            "64-bit fingerprint collision: {fp:#x} covers two distinct \
+                             states\n  a: {prior:?}\n  b: {n:?}"
+                        );
+                    }
                 }
-                queue.push_back(n);
-            } else if audit {
-                let prior = audit_map.get(&fp).expect("audited fingerprint has a state");
-                assert!(
-                    *prior == n,
-                    "64-bit fingerprint collision: {fp:#x} covers two distinct \
-                     states\n  a: {prior:?}\n  b: {n:?}"
-                );
             }
-        }
-        if truncated {
-            break;
         }
     }
-    Report {
-        states: seen.len(),
+    let report = Report {
+        states: shards.iter().map(|sh| sh.seen.len()).sum(),
         outcomes,
         deadlocks,
         truncated,
-    }
+    };
+    (report, stats)
+}
+
+/// Renames directory IDs by order of first appearance: `[2, 0, 2]` →
+/// `[0, 1, 0]`. Two placements with equal keys differ only by a directory
+/// relabeling.
+fn dir_class_key(placement: &[u8]) -> Vec<u8> {
+    let mut map: HashMap<u8, u8> = HashMap::new();
+    placement
+        .iter()
+        .map(|&d| {
+            let next = map.len() as u8;
+            *map.entry(d).or_insert(next)
+        })
+        .collect()
 }
 
 /// Explores every placement variant of `lit` in parallel (worker count from
 /// `CORD_THREADS`); returns `(placement, report)` pairs in the deterministic
 /// placement-enumeration order regardless of thread count.
+///
+/// Placements that are equal up to a relabeling of directory IDs (e.g.
+/// `[0, 1]` and `[1, 0]`) produce identical reports: a directory
+/// permutation is an automorphism of the transition system, and outcomes
+/// are indexed by thread and variable, never by directory. Only one
+/// representative per class is explored; the rest share its report. The
+/// one directory-sensitive field is the rendered deadlock diagnostics, so
+/// a report containing deadlocks is never shared — those placements are
+/// re-explored directly.
 pub fn explore_all_placements(
     cfg: &CheckConfig,
     lit: &Litmus,
@@ -184,8 +450,31 @@ pub fn explore_all_placements(
         .into_iter()
         .map(|p| p.into_iter().map(|d| d % cfg.dirs).collect())
         .collect();
-    let reports = cord_sim::par::run_parallel(&placements, |p| explore(cfg, lit, p, cap));
-    placements.into_iter().zip(reports).collect()
+    let mut rep_of_class: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut reps: Vec<Vec<u8>> = Vec::new();
+    let class_of: Vec<usize> = placements
+        .iter()
+        .map(|p| {
+            *rep_of_class.entry(dir_class_key(p)).or_insert_with(|| {
+                reps.push(p.clone());
+                reps.len() - 1
+            })
+        })
+        .collect();
+    let rep_reports = cord_sim::par::run_parallel(&reps, |p| explore(cfg, lit, p, cap));
+    placements
+        .into_iter()
+        .zip(class_of)
+        .map(|(p, c)| {
+            let shared = &rep_reports[c];
+            let report = if shared.deadlocks.is_empty() || p == reps[c] {
+                shared.clone()
+            } else {
+                explore(cfg, lit, &p, cap)
+            };
+            (p, report)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -200,6 +489,21 @@ mod tests {
             vec![vec![w(0, 1), wrel(1, 1)], vec![wacq(1, 1), r(0, 0)]],
             2,
             vec![Cond::regs(vec![(1, 0, 0)])],
+        )
+    }
+
+    /// Two interchangeable writer threads racing on one variable: the
+    /// symmetry group is non-trivial, so reduction actually kicks in.
+    fn symmetric_race() -> Litmus {
+        Litmus::new(
+            "2W-sym",
+            vec![
+                vec![wrel(0, 1), racq(1, 0)],
+                vec![wrel(0, 1), racq(1, 0)],
+                vec![wrel(1, 1)],
+            ],
+            2,
+            vec![],
         )
     }
 
@@ -276,12 +580,143 @@ mod tests {
     fn audited_exploration_matches_plain() {
         // The audit map catches fingerprint collisions; on these small
         // spaces it must agree exactly with the fingerprint-only search.
+        let base = ExploreOpts::default();
+        for lit in [mp_shape(), symmetric_race()] {
+            let cfg = CheckConfig::cord(lit.thread_count(), 2);
+            let audited = explore_with(
+                &cfg,
+                &lit,
+                &[0, 1],
+                1_000_000,
+                ExploreOpts {
+                    audit: true,
+                    ..base
+                },
+            );
+            let plain = explore_with(&cfg, &lit, &[0, 1], 1_000_000, base);
+            assert_eq!(audited, plain, "{}", lit.name);
+        }
+    }
+
+    #[test]
+    fn parallel_report_is_bit_identical_to_serial() {
         let lit = mp_shape();
         let cfg = CheckConfig::cord(2, 2);
-        std::env::set_var("CORD_CHECK_AUDIT", "1");
-        let audited = explore(&cfg, &lit, &[0, 1], 1_000_000);
-        std::env::remove_var("CORD_CHECK_AUDIT");
-        let plain = explore(&cfg, &lit, &[0, 1], 1_000_000);
-        assert_eq!(audited, plain);
+        for symmetry in [false, true] {
+            let serial = explore_with(
+                &cfg,
+                &lit,
+                &[0, 1],
+                1_000_000,
+                ExploreOpts {
+                    threads: 1,
+                    symmetry,
+                    audit: false,
+                },
+            );
+            for threads in [2, 3, 8] {
+                let par = explore_with(
+                    &cfg,
+                    &lit,
+                    &[0, 1],
+                    1_000_000,
+                    ExploreOpts {
+                        threads,
+                        symmetry,
+                        audit: false,
+                    },
+                );
+                assert_eq!(par, serial, "threads={threads} symmetry={symmetry}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_truncation_is_deterministic() {
+        // The cap is checked at level boundaries, so even a truncated
+        // search reports identical states/outcomes at any width.
+        let lit = mp_shape();
+        let cfg = CheckConfig::cord(2, 2);
+        let serial = explore_with(&cfg, &lit, &[0, 1], 8, ExploreOpts::default());
+        assert!(serial.0.truncated);
+        for threads in [2, 8] {
+            let par = explore_with(
+                &cfg,
+                &lit,
+                &[0, 1],
+                8,
+                ExploreOpts {
+                    threads,
+                    ..ExploreOpts::default()
+                },
+            );
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn symmetry_reduces_states_but_not_outcomes() {
+        let lit = symmetric_race();
+        let cfg = CheckConfig::cord(3, 2);
+        let base = ExploreOpts::default();
+        let (reduced, rstats) = explore_with(&cfg, &lit, &[0, 1], 1_000_000, base);
+        let (raw, wstats) = explore_with(
+            &cfg,
+            &lit,
+            &[0, 1],
+            1_000_000,
+            ExploreOpts {
+                symmetry: false,
+                ..base
+            },
+        );
+        assert_eq!(rstats.symmetry_order, 2, "two interchangeable threads");
+        assert_eq!(wstats.symmetry_order, 1);
+        assert!(
+            reduced.states < raw.states,
+            "reduction must shrink the space: {} !< {}",
+            reduced.states,
+            raw.states
+        );
+        assert_eq!(reduced.outcomes, raw.outcomes, "outcome set stays exact");
+        assert_eq!(reduced.truncated, raw.truncated);
+        assert!(reduced.deadlocks.is_empty() && raw.deadlocks.is_empty());
+    }
+
+    #[test]
+    fn asymmetric_models_have_trivial_symmetry() {
+        let lit = mp_shape();
+        let cfg = CheckConfig::cord(2, 2);
+        let (_, stats) = explore_with(&cfg, &lit, &[0, 1], 1_000_000, ExploreOpts::default());
+        assert_eq!(stats.symmetry_order, 1, "MP threads run different code");
+    }
+
+    #[test]
+    fn dir_isomorphic_placements_share_identical_reports() {
+        // MP's placement list contains [0, 1] and [1, 0] — the same model
+        // up to a directory relabeling. The shared report must be exactly
+        // what a direct exploration produces.
+        let lit = mp_shape();
+        let cfg = CheckConfig::cord(2, 2);
+        let all = explore_all_placements(&cfg, &lit, 1_000_000);
+        let find = |p: &[u8]| {
+            all.iter()
+                .find(|(q, _)| q == p)
+                .map(|(_, r)| r.clone())
+                .expect("placement enumerated")
+        };
+        let ab = find(&[0, 1]);
+        let ba = find(&[1, 0]);
+        assert_eq!(ab, ba, "isomorphic placements diverged");
+        let direct = explore(&cfg, &lit, &[1, 0], 1_000_000);
+        assert_eq!(ba, direct, "shared report differs from direct exploration");
+    }
+
+    #[test]
+    fn dir_class_key_normalizes_first_appearance() {
+        assert_eq!(dir_class_key(&[2, 0, 2]), vec![0, 1, 0]);
+        assert_eq!(dir_class_key(&[0, 1]), dir_class_key(&[1, 0]));
+        assert_ne!(dir_class_key(&[0, 0]), dir_class_key(&[0, 1]));
+        assert!(dir_class_key(&[]).is_empty());
     }
 }

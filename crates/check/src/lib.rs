@@ -10,7 +10,9 @@
 //! * [`Model`] — abstract operational models of CORD, source ordering, and
 //!   message passing over an arbitrarily-reordering network (guarded
 //!   deliveries model directory recycling),
-//! * [`explore`] — exhaustive BFS with deadlock detection,
+//! * [`explore`] — exhaustive BFS with deadlock detection, sharded across
+//!   `CORD_CHECK_THREADS` workers with symmetry reduction
+//!   (`CORD_CHECK_SYM=0` to disable) — bit-identical reports at any width,
 //! * [`classic_suite`] / [`weak_suite`] / [`stress_configs`] — the shape ×
 //!   placement × provisioning campaign.
 //!
@@ -43,8 +45,14 @@ mod model;
 mod narrate;
 mod suites;
 
-pub use explore::{explore, explore_all_placements, Report, Verdict};
+pub use explore::{
+    check_thread_count, explore, explore_all_placements, explore_with, ExploreOpts, ExploreStats,
+    Report, Verdict,
+};
 pub use litmus::{dsl, Cond, CondAtom, LOp, Litmus};
-pub use model::{CheckConfig, Model, NetMsg, State, Step, ThreadProto};
+pub use model::{CheckConfig, Model, NetMsg, State, Step, Symmetry, ThreadProto};
 pub use narrate::{narrate_violation, Narrative};
-pub use suites::{classic_suite, stress_configs, tso_suite, weak_suite, ConfigFactory};
+pub use suites::{
+    campaign_entries, classic_suite, scaling_suite, stress_configs, tso_suite, weak_suite,
+    ConfigFactory,
+};

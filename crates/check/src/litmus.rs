@@ -80,6 +80,16 @@ impl Cond {
         })
     }
 
+    /// [`Cond::matches`] against the checker's flattened outcome layout:
+    /// `reg_flat` is thread-major with 4 registers per thread. Indexes the
+    /// borrowed slice directly, so matching an outcome allocates nothing.
+    pub fn matches_flat(&self, reg_flat: &[u64], mem: &[u64]) -> bool {
+        self.0.iter().all(|atom| match *atom {
+            CondAtom::Reg(t, r, v) => reg_flat[t as usize * 4 + r as usize] == v,
+            CondAtom::Mem(var, v) => mem[var as usize] == v,
+        })
+    }
+
     /// A register-only condition.
     pub fn regs(atoms: Vec<(u8, u8, u64)>) -> Cond {
         Cond(
@@ -276,6 +286,18 @@ mod tests {
         let m = Cond(vec![CondAtom::Mem(0, 2)]);
         assert!(m.matches(&[], &[2]));
         assert!(!m.matches(&[], &[1]));
+    }
+
+    #[test]
+    fn flat_matching_agrees_with_chunked() {
+        let c = Cond(vec![CondAtom::Reg(1, 2, 7), CondAtom::Mem(0, 3)]);
+        let reg_flat = [0, 0, 0, 0, 0, 0, 7, 0];
+        let regs: Vec<Vec<u64>> = reg_flat.chunks(4).map(|x| x.to_vec()).collect();
+        for mem in [[3u64], [4u64]] {
+            assert_eq!(c.matches_flat(&reg_flat, &mem), c.matches(&regs, &mem));
+        }
+        assert!(c.matches_flat(&reg_flat, &[3]));
+        assert!(!c.matches_flat(&[0; 8], &[3]));
     }
 
     #[test]

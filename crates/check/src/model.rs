@@ -255,6 +255,346 @@ impl State {
         v.extend_from_slice(&self.mem);
         v
     }
+
+    /// The state relabeled under a thread permutation `tp` and a directory
+    /// permutation `dp` (both maps old-ID → new-ID). Every ID-keyed
+    /// structure — per-thread/per-directory vectors, association lists, and
+    /// in-flight messages — is remapped and re-sorted, so the result is a
+    /// well-formed state. Only meaningful for permutations that are actual
+    /// automorphisms of the model (see [`Symmetry`]).
+    fn permuted(&self, tp: &[u8], dp: &[u8]) -> State {
+        let nt = self.threads.len();
+        let nd = self.dirs.len();
+        let mut inv_t = vec![0usize; nt];
+        for (old, &new) in tp.iter().enumerate() {
+            inv_t[new as usize] = old;
+        }
+        let mut inv_d = vec![0usize; nd];
+        for (old, &new) in dp.iter().enumerate() {
+            inv_d[new as usize] = old;
+        }
+        let threads = (0..nt)
+            .map(|j| {
+                let th = &self.threads[inv_t[j]];
+                let mut unacked: Vec<(u64, u8)> = th
+                    .unacked
+                    .iter()
+                    .map(|&(ep, d)| (ep, dp[d as usize]))
+                    .collect();
+                unacked.sort_unstable();
+                ThreadSt {
+                    pc: th.pc,
+                    regs: th.regs,
+                    ep: th.ep,
+                    cnt: (0..nd).map(|d| th.cnt[inv_d[d]]).collect(),
+                    unacked,
+                    fence_sent: th.fence_sent,
+                    outstanding: th.outstanding,
+                    chan_next: (0..nd).map(|d| th.chan_next[inv_d[d]]).collect(),
+                    wait_atomic: th.wait_atomic,
+                }
+            })
+            .collect();
+        let dirs = (0..nd)
+            .map(|j| {
+                let d = &self.dirs[inv_d[j]];
+                let remap3 = |list: &[(u8, u64, u64)]| {
+                    let mut out: Vec<(u8, u64, u64)> = list
+                        .iter()
+                        .map(|&(t, ep, v)| (tp[t as usize], ep, v))
+                        .collect();
+                    out.sort_unstable();
+                    out
+                };
+                let mut largest: Vec<(u8, u64)> = d
+                    .largest
+                    .iter()
+                    .map(|&(t, ep)| (tp[t as usize], ep))
+                    .collect();
+                largest.sort_unstable();
+                DirSt {
+                    cnt: remap3(&d.cnt),
+                    noti: remap3(&d.noti),
+                    largest,
+                    chan_expect: (0..nt).map(|t| d.chan_expect[inv_t[t]]).collect(),
+                }
+            })
+            .collect();
+        let mut net: Vec<NetMsg> = self.net.iter().map(|m| permute_msg(m, tp, dp)).collect();
+        net.sort_unstable();
+        State {
+            threads,
+            dirs,
+            mem: self.mem.clone(),
+            net,
+        }
+    }
+}
+
+fn permute_msg(m: &NetMsg, tp: &[u8], dp: &[u8]) -> NetMsg {
+    let t_ = |t: u8| tp[t as usize];
+    let d_ = |d: u8| dp[d as usize];
+    match *m {
+        NetMsg::CordRelaxed {
+            t,
+            dir,
+            var,
+            val,
+            ep,
+        } => NetMsg::CordRelaxed {
+            t: t_(t),
+            dir: d_(dir),
+            var,
+            val,
+            ep,
+        },
+        NetMsg::CordRelease {
+            t,
+            dir,
+            var,
+            val,
+            ep,
+            cnt,
+            last_prev,
+            noti_cnt,
+        } => NetMsg::CordRelease {
+            t: t_(t),
+            dir: d_(dir),
+            var,
+            val,
+            ep,
+            cnt,
+            last_prev,
+            noti_cnt,
+        },
+        NetMsg::ReqNotify {
+            t,
+            pend,
+            ep,
+            relaxed_cnt,
+            last_unacked,
+            dst,
+        } => NetMsg::ReqNotify {
+            t: t_(t),
+            pend: d_(pend),
+            ep,
+            relaxed_cnt,
+            last_unacked,
+            dst: d_(dst),
+        },
+        NetMsg::Notify { t, dst, ep } => NetMsg::Notify {
+            t: t_(t),
+            dst: d_(dst),
+            ep,
+        },
+        NetMsg::CordAck { t, ep, dir } => NetMsg::CordAck {
+            t: t_(t),
+            ep,
+            dir: d_(dir),
+        },
+        NetMsg::AtomicReq {
+            t,
+            dir,
+            var,
+            add,
+            ep,
+            release,
+            seq,
+            so,
+        } => NetMsg::AtomicReq {
+            t: t_(t),
+            dir: d_(dir),
+            var,
+            add,
+            ep,
+            release,
+            seq,
+            so,
+        },
+        NetMsg::AtomicResp { t, old, reg, ack } => NetMsg::AtomicResp {
+            t: t_(t),
+            old,
+            reg,
+            ack: ack.map(|(ep, dir)| (ep, d_(dir))),
+        },
+        NetMsg::SoStore { t, dir, var, val } => NetMsg::SoStore {
+            t: t_(t),
+            dir: d_(dir),
+            var,
+            val,
+        },
+        NetMsg::SoAck { t } => NetMsg::SoAck { t: t_(t) },
+        NetMsg::MpWrite {
+            t,
+            dir,
+            var,
+            val,
+            seq,
+        } => NetMsg::MpWrite {
+            t: t_(t),
+            dir: d_(dir),
+            var,
+            val,
+            seq,
+        },
+    }
+}
+
+/// The model's structural symmetry group: permutations of thread IDs under
+/// which the transition system is invariant (Murphi's scalarset reduction).
+///
+/// Two threads are interchangeable iff they run the **same program under
+/// the same protocol**; the group is the direct product of the symmetric
+/// groups on those equivalence classes. Groups larger than
+/// [`Symmetry::MAX_ORDER`] degenerate to the trivial group (canonicalizing
+/// would cost more than it saves).
+///
+/// Directory-ID permutations are automorphisms too (`State::permuted`
+/// handles both sorts), but within one model the only interchangeable
+/// directories are those homing no variable — and unused directories are
+/// stateless in every protocol here, so permuting them is the *identity*
+/// on reachable states: including them would multiply canonicalization
+/// cost for zero reduction. Directory symmetry pays off **across**
+/// placements instead — placements equal up to a directory relabeling
+/// yield identical reports and are deduplicated by
+/// [`explore_all_placements`](crate::explore_all_placements).
+///
+/// [`Symmetry::canonicalize`] maps a state to the lexicographic minimum of
+/// its orbit; exploring only canonical representatives divides the state
+/// space by up to the group order while preserving reachability,
+/// deadlock-freedom, and — together with [`Symmetry::orbit_outcomes`] —
+/// the exact raw outcome set.
+#[derive(Debug, Clone)]
+pub struct Symmetry {
+    /// Non-identity group elements as (thread map, dir map), old ID → new.
+    perms: Vec<(Vec<u8>, Vec<u8>)>,
+    threads: usize,
+}
+
+impl Symmetry {
+    /// Largest group order that is still worth canonicalizing against.
+    pub const MAX_ORDER: usize = 64;
+
+    fn new(ops: &[Vec<LOp>], cfg: &CheckConfig) -> Self {
+        let nt = ops.len();
+        let nd = cfg.dirs as usize;
+        // Thread classes: identical (program, protocol).
+        let mut tclasses: Vec<Vec<u8>> = Vec::new();
+        for t in 0..nt {
+            let found = tclasses.iter_mut().find(|c| {
+                let r = c[0] as usize;
+                ops[r] == ops[t] && cfg.protos[r] == cfg.protos[t]
+            });
+            match found {
+                Some(c) => c.push(t as u8),
+                None => tclasses.push(vec![t as u8]),
+            }
+        }
+        let order: usize = tclasses.iter().map(|c| factorial(c.len())).product();
+        if order <= 1 || order > Self::MAX_ORDER {
+            return Symmetry {
+                perms: Vec::new(),
+                threads: nt,
+            };
+        }
+        // Enumerate the full group: the product of per-class permutations.
+        let mut tperms = vec![(0..nt as u8).collect::<Vec<u8>>()];
+        for class in &tclasses {
+            tperms = extend_perms(tperms, class);
+        }
+        let dp_id: Vec<u8> = (0..nd as u8).collect();
+        let perms = tperms
+            .into_iter()
+            .filter(|tpm| tpm.iter().enumerate().any(|(i, &v)| v != i as u8))
+            .map(|tpm| (tpm, dp_id.clone()))
+            .collect();
+        Symmetry { perms, threads: nt }
+    }
+
+    /// Group order (1 = trivial: no reduction possible or worthwhile).
+    pub fn order(&self) -> usize {
+        self.perms.len() + 1
+    }
+
+    /// Whether the group is the identity alone.
+    pub fn is_trivial(&self) -> bool {
+        self.perms.is_empty()
+    }
+
+    /// The canonical representative of `s`'s orbit: the lexicographically
+    /// smallest permuted image (identity included).
+    pub fn canonicalize(&self, s: State) -> State {
+        let mut best: Option<State> = None;
+        for (tpm, dpm) in &self.perms {
+            let c = s.permuted(tpm, dpm);
+            if best.as_ref().is_none_or(|b| c < *b) {
+                best = Some(c);
+            }
+        }
+        match best {
+            Some(b) if b < s => b,
+            _ => s,
+        }
+    }
+
+    /// All non-identity images of a flattened outcome (registers
+    /// thread-major, then memory) under the group. Inserting these
+    /// alongside each canonical final state's own outcome reconstructs the
+    /// exact outcome set of an unreduced exploration: directory
+    /// permutations never touch an outcome, and thread permutations only
+    /// shuffle whole register blocks.
+    pub fn orbit_outcomes(&self, outcome: &[u64]) -> Vec<Vec<u64>> {
+        debug_assert!(outcome.len() >= self.threads * 4);
+        let mut out = Vec::with_capacity(self.perms.len());
+        for (tpm, _) in &self.perms {
+            let mut img = outcome.to_vec();
+            for (old, &new) in tpm.iter().enumerate() {
+                img[new as usize * 4..new as usize * 4 + 4]
+                    .copy_from_slice(&outcome[old * 4..old * 4 + 4]);
+            }
+            out.push(img);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+fn factorial(n: usize) -> usize {
+    (1..=n).product::<usize>().max(1)
+}
+
+/// Extends each base permutation with every permutation of `class` members
+/// among themselves (IDs outside `class` keep their base images).
+fn extend_perms(base: Vec<Vec<u8>>, class: &[u8]) -> Vec<Vec<u8>> {
+    if class.len() <= 1 {
+        return base;
+    }
+    let mut arrangements: Vec<Vec<u8>> = Vec::new();
+    permute_into(&mut class.to_vec(), 0, &mut arrangements);
+    let mut out = Vec::with_capacity(base.len() * arrangements.len());
+    for b in &base {
+        for arr in &arrangements {
+            let mut p = b.clone();
+            for (slot, &member) in class.iter().enumerate() {
+                p[member as usize] = arr[slot];
+            }
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn permute_into(items: &mut Vec<u8>, k: usize, out: &mut Vec<Vec<u8>>) {
+    if k == items.len() {
+        out.push(items.clone());
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute_into(items, k + 1, out);
+        items.swap(k, i);
+    }
 }
 
 fn assoc_get(list: &[(u8, u64, u64)], t: u8, ep: u64) -> u64 {
@@ -416,6 +756,11 @@ impl<'a> Model<'a> {
                 out.push(n);
             }
         }
+    }
+
+    /// The model's symmetry group (see [`Symmetry`]).
+    pub fn symmetry(&self) -> Symmetry {
+        Symmetry::new(&self.ops, self.cfg)
     }
 
     fn home(&self, var: u8) -> u8 {
@@ -1138,6 +1483,96 @@ mod tests {
         let succ = m.successors(&s);
         assert_eq!(succ.len(), 1, "second write must wait for the first");
         assert_eq!(succ[0].mem[0], 1);
+    }
+
+    #[test]
+    fn canonicalization_collapses_interchangeable_thread_orbits() {
+        // Two threads running the identical program: the states "thread 0
+        // moved first" and "thread 1 moved first" are one orbit.
+        let lit = Litmus::new("sym", vec![vec![wrel(0, 1)], vec![wrel(0, 1)]], 1, vec![]);
+        let cfg = CheckConfig::cord(2, 2);
+        let m = Model::new(&cfg, &lit, &[0]);
+        let sym = m.symmetry();
+        assert_eq!(sym.order(), 2, "swap of the two identical threads");
+        let init = m.init();
+        let succ = m.successors(&init);
+        assert_eq!(succ.len(), 2);
+        assert_ne!(succ[0], succ[1]);
+        assert_eq!(
+            sym.canonicalize(succ[0].clone()),
+            sym.canonicalize(succ[1].clone())
+        );
+        // Canonicalization is idempotent.
+        let c = sym.canonicalize(succ[0].clone());
+        assert_eq!(sym.canonicalize(c.clone()), c);
+    }
+
+    #[test]
+    fn asymmetric_programs_get_the_trivial_group() {
+        let lit = mp_shape();
+        let cfg = CheckConfig::cord(2, 2);
+        let m = Model::new(&cfg, &lit, &[0, 1]);
+        let sym = m.symmetry();
+        assert!(sym.is_trivial());
+        assert_eq!(sym.order(), 1);
+        let init = m.init();
+        assert_eq!(sym.canonicalize(init.clone()), init);
+        assert!(sym.orbit_outcomes(&init.outcome()).is_empty());
+    }
+
+    #[test]
+    fn orbit_outcomes_swap_whole_register_blocks() {
+        let lit = Litmus::new(
+            "sym",
+            vec![vec![r(0, 0)], vec![r(0, 0)], vec![wrel(0, 7)]],
+            1,
+            vec![],
+        );
+        let cfg = CheckConfig::cord(3, 1);
+        let m = Model::new(&cfg, &lit, &[0]);
+        let sym = m.symmetry();
+        assert_eq!(sym.order(), 2, "threads 0 and 1 are interchangeable");
+        // Outcome where only thread 0 observed the store.
+        let outcome = vec![7, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7];
+        let orbit = sym.orbit_outcomes(&outcome);
+        assert_eq!(
+            orbit,
+            vec![vec![0, 0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 7]],
+            "the image has thread 1 observing instead; memory untouched"
+        );
+    }
+
+    #[test]
+    fn directory_permutation_round_trips_and_preserves_outcomes() {
+        // Drive MP a few steps so directories and the network carry real
+        // state, then check a directory transposition is an involution that
+        // never touches the (thread, variable)-indexed outcome.
+        let lit = mp_shape();
+        let cfg = CheckConfig::cord(2, 2);
+        let m = Model::new(&cfg, &lit, &[0, 1]);
+        let mut s = m.init();
+        for _ in 0..3 {
+            s = m
+                .successors(&s)
+                .into_iter()
+                .max_by_key(|n| n.net.len())
+                .unwrap();
+        }
+        assert!(!s.net.is_empty(), "need in-flight messages to permute");
+        let (tp, dp) = ([0u8, 1], [1u8, 0]);
+        let p = s.permuted(&tp, &dp);
+        assert_ne!(p, s, "directory state must actually move");
+        assert_eq!(p.permuted(&tp, &dp), s, "transposition is an involution");
+        assert_eq!(p.outcome(), s.outcome());
+    }
+
+    #[test]
+    fn oversized_groups_degenerate_to_trivial() {
+        // Five identical threads: 5! = 120 > MAX_ORDER — not worth it.
+        let lit = Litmus::new("many", vec![vec![wrel(0, 1)]; 5], 1, vec![]);
+        let cfg = CheckConfig::cord(5, 1);
+        let m = Model::new(&cfg, &lit, &[0]);
+        assert!(m.symmetry().is_trivial());
     }
 
     #[test]

@@ -53,8 +53,7 @@ fn is_forbidden(lit: &Litmus, s: &State) -> bool {
     let flat = s.outcome();
     let split = flat.len() - lit.vars as usize;
     let (reg_flat, mem) = flat.split_at(split);
-    let regs: Vec<Vec<u64>> = reg_flat.chunks(4).map(|c| c.to_vec()).collect();
-    lit.forbidden.iter().any(|c| c.matches(&regs, mem))
+    lit.forbidden.iter().any(|c| c.matches_flat(reg_flat, mem))
 }
 
 /// Searches for a forbidden outcome of `lit` under `cfg` with variables

@@ -157,7 +157,91 @@ pub fn classic_suite() -> Vec<Litmus> {
             4,
             vec![Cond::regs(vec![(2, 0, 0)]), Cond::regs(vec![(2, 1, 0)])],
         ),
+        // MP with two identical consumers: both must observe the publish.
+        // The consumers are interchangeable, so the symmetry group is
+        // non-trivial — this shape exercises the checker's reduction on a
+        // forbidden-outcome test.
+        Litmus::new(
+            "MP-2R",
+            vec![
+                vec![w(0, 1), wrel(1, 1)],
+                vec![wacq(1, 1), r(0, 0)],
+                vec![wacq(1, 1), r(0, 0)],
+            ],
+            2,
+            vec![Cond::regs(vec![(1, 0, 0)]), Cond::regs(vec![(2, 0, 0)])],
+        ),
+        // Three-way atomic increment: all updates must land (no lost
+        // updates). All three threads run the same program — a 3!-fold
+        // symmetric state space.
+        Litmus::new(
+            "ATOM-3",
+            vec![vec![amo(0, 1, 0)], vec![amo(0, 1, 0)], vec![amo(0, 1, 0)]],
+            1,
+            vec![
+                Cond(vec![CondAtom::Mem(0, 0)]),
+                Cond(vec![CondAtom::Mem(0, 1)]),
+                Cond(vec![CondAtom::Mem(0, 2)]),
+            ],
+        ),
     ]
+}
+
+/// The classic campaign flattened to its unit of work: every shape under
+/// the default CORD configuration, one entry per placement variant, as
+/// `(label, config, test, placement)`. This is the work-list the parallel
+/// explorer tests and the checker bench iterate.
+pub fn campaign_entries() -> Vec<(String, CheckConfig, Litmus, Vec<u8>)> {
+    let mut out = Vec::new();
+    for lit in classic_suite() {
+        let dirs = lit.vars.max(2);
+        let cfg = CheckConfig::cord(lit.thread_count(), dirs);
+        for p in lit.placements() {
+            let p: Vec<u8> = p.into_iter().map(|d| d % dirs).collect();
+            let label = format!("{}@{p:?}", lit.name);
+            out.push((label, cfg.clone(), lit.clone(), p));
+        }
+    }
+    out
+}
+
+/// Heavyweight fixtures for the checker's parallel-scaling benchmark, as
+/// `(label, config, test, placement)`. The classic suite's state spaces top
+/// out at a few hundred states — far below the parallel explorer's
+/// per-level fork threshold — so the scaling phase needs shapes whose
+/// frontiers actually get wide. Contended fetch-adds are ideal: every
+/// interleaving of increments produces a distinct intermediate memory
+/// value, so `n` identical threads × `k` AMOs explode combinatorially
+/// (tens of thousands of raw states here) while the full symmetric group
+/// (`n!`) gives the reduction its best case. No forbidden outcomes: these
+/// entries measure search shape, not protocol conformance.
+pub fn scaling_suite() -> Vec<(String, CheckConfig, Litmus, Vec<u8>)> {
+    let fixtures = vec![
+        // 4 threads × 2 AMOs on 2 counters: ~52k raw states, 4! = 24 group.
+        (
+            "SCALE-AMO-4x2",
+            vec![vec![amo(0, 1, 0), amo(1, 1, 1)]; 4],
+            2u8,
+            vec![0u8, 1],
+        ),
+        // 3 threads × 3 AMOs revisiting counter 0: ~18k raw states, deeper
+        // levels, 3! = 6 group.
+        (
+            "SCALE-AMO-3x3",
+            vec![vec![amo(0, 1, 0), amo(1, 1, 1), amo(0, 1, 2)]; 3],
+            2,
+            vec![0, 1],
+        ),
+    ];
+    fixtures
+        .into_iter()
+        .map(|(name, threads, vars, placement)| {
+            let lit = Litmus::new(name, threads, vars, vec![]);
+            let cfg = CheckConfig::cord(lit.thread_count(), 3);
+            let label = format!("{name}@{placement:?}");
+            (label, cfg, lit, placement)
+        })
+        .collect()
 }
 
 /// Shapes whose weak outcome is *allowed* by RC; the checker asserts these
@@ -298,5 +382,35 @@ mod tests {
             );
         }
         assert_eq!(stress_configs().len(), 6);
+    }
+
+    #[test]
+    fn scaling_suite_is_symmetric_and_placed_in_range() {
+        let entries = scaling_suite();
+        assert!(!entries.is_empty());
+        for (label, cfg, lit, p) in &entries {
+            assert_eq!(p.len(), lit.vars as usize, "{label}");
+            assert!(p.iter().all(|&d| d < cfg.dirs), "{label}");
+            let sym = crate::model::Model::new(cfg, lit, p).symmetry();
+            assert!(sym.order() > 1, "{label} must exercise the reduction");
+        }
+    }
+
+    #[test]
+    fn campaign_entries_cover_every_shape_and_stay_in_range() {
+        let entries = campaign_entries();
+        let suite = classic_suite();
+        for lit in &suite {
+            assert!(
+                entries.iter().any(|(_, _, l, _)| l.name == lit.name),
+                "{} missing from the campaign work-list",
+                lit.name
+            );
+        }
+        assert!(entries.len() > suite.len(), "placement variants multiply");
+        for (label, cfg, lit, p) in &entries {
+            assert_eq!(p.len(), lit.vars as usize, "{label}");
+            assert!(p.iter().all(|&d| d < cfg.dirs), "{label}");
+        }
     }
 }

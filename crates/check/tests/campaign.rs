@@ -97,8 +97,7 @@ fn weak_outcomes_stay_reachable_under_cord() {
             seen |= report.outcomes.iter().any(|flat| {
                 let split = flat.len() - lit.vars as usize;
                 let (reg_flat, mem) = flat.split_at(split);
-                let regs: Vec<Vec<u64>> = reg_flat.chunks(4).map(|c| c.to_vec()).collect();
-                must_see.matches(&regs, mem)
+                must_see.matches_flat(reg_flat, mem)
             });
         }
         assert!(

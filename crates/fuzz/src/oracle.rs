@@ -13,7 +13,14 @@
 //!    operational model in `cord-check` (CORD, SO, MP), the baseline DES
 //!    outcome must be contained in the model's exhaustively-enumerated
 //!    outcome set (skipped when the scenario is too large to explore or the
-//!    search truncates).
+//!    search truncates). The exploration goes through [`explore`], so it
+//!    honors `CORD_CHECK_THREADS` (sharded parallel search within one
+//!    scenario — useful when a single fat scenario dominates a shrink) and
+//!    `CORD_CHECK_SYM` (symmetry reduction; outcome sets are exact either
+//!    way, so the containment check is unaffected). Campaign runs already
+//!    parallelize across scenarios via `CORD_THREADS` — leave
+//!    `CORD_CHECK_THREADS` at its default of 1 there to avoid
+//!    oversubscription.
 //! 4. **Baseline sanity** — the fault-free run itself must pass oracles 1
 //!    and 3; a baseline failure is a simulator bug regardless of faults.
 

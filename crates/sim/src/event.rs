@@ -116,6 +116,27 @@ impl<E> EventQueue<E> {
         Some((e.time, e.payload))
     }
 
+    /// Removes and returns the earliest event **only if** it fires exactly
+    /// at `at` — the batch-drain fast path for same-timestamp event bursts.
+    ///
+    /// The miss case is a single cached-field compare (no heap access), so
+    /// a dispatch loop can ask "more work at the time I'm already
+    /// processing?" after every event for free; the hit case skips the
+    /// timestamp re-comparison and tuple plumbing of a full [`pop`].
+    ///
+    /// [`pop`]: EventQueue::pop
+    #[inline]
+    pub fn pop_if_at(&mut self, at: Time) -> Option<E> {
+        if self.head != Some(at) {
+            return None;
+        }
+        let Reverse(e) = self.heap.pop().expect("cached head implies nonempty heap");
+        debug_assert_eq!(e.time, at);
+        self.now = e.time;
+        self.head = self.heap.peek().map(|Reverse(n)| n.time);
+        Some(e.payload)
+    }
+
     /// Timestamp of the earliest pending event, if any — a cached O(1)
     /// field read (no heap access), cheap enough for per-event quiescence
     /// checks in the runner.
@@ -202,6 +223,47 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.peek_time(), Some(Time::from_ns(1)));
+    }
+
+    #[test]
+    fn pop_if_at_drains_only_the_asked_timestamp() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ns(3), 'a');
+        q.push(Time::from_ns(3), 'b');
+        q.push(Time::from_ns(5), 'c');
+        assert_eq!(q.pop_if_at(Time::from_ns(5)), None, "head is at 3, not 5");
+        assert_eq!(q.pop(), Some((Time::from_ns(3), 'a')));
+        // Same-time burst drains FIFO via the fast path…
+        assert_eq!(q.pop_if_at(Time::from_ns(3)), Some('b'));
+        // …and stops at the next timestamp without consuming it.
+        assert_eq!(q.pop_if_at(Time::from_ns(3)), None);
+        assert_eq!(q.now(), Time::from_ns(3), "miss must not advance time");
+        assert_eq!(q.pop(), Some((Time::from_ns(5), 'c')));
+        assert_eq!(q.pop_if_at(Time::from_ns(5)), None, "empty queue misses");
+    }
+
+    #[test]
+    fn pop_if_at_agrees_with_pop_on_a_mixed_schedule() {
+        // Drain the same schedule two ways; the event orders must match.
+        let schedule = [4u64, 1, 4, 4, 2, 9, 2, 4];
+        let mut plain = EventQueue::new();
+        let mut fast = EventQueue::new();
+        for (i, &ns) in schedule.iter().enumerate() {
+            plain.push(Time::from_ns(ns), i);
+            fast.push(Time::from_ns(ns), i);
+        }
+        let mut via_plain = Vec::new();
+        while let Some((t, e)) = plain.pop() {
+            via_plain.push((t, e));
+        }
+        let mut via_fast = Vec::new();
+        while let Some((t, e)) = fast.pop() {
+            via_fast.push((t, e));
+            while let Some(e) = fast.pop_if_at(t) {
+                via_fast.push((t, e));
+            }
+        }
+        assert_eq!(via_fast, via_plain);
     }
 
     #[test]
