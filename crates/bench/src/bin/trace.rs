@@ -35,7 +35,7 @@ use cord_workloads::{AppSpec, MicroBench};
 
 /// Fans one event stream out to the trace file and an in-memory tail.
 struct Tee {
-    file: Box<dyn TraceSink>,
+    file: Box<dyn TraceSink + Send>,
     tail: Shared<RingSink>,
 }
 

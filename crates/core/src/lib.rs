@@ -47,6 +47,7 @@ mod cord_dir;
 mod frontend;
 mod hybrid;
 mod runner;
+mod shard;
 mod tables;
 
 pub use any::{AnyCore, AnyDir};

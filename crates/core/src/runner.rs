@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use cord_mem::{Addr, Memory};
-use cord_noc::{Delivery, MsgClass, Noc, TileId, TrafficStats};
+use cord_noc::{Delivery, EgressDelivery, MsgClass, Noc, TileId, TrafficStats};
 use cord_proto::{
     CoreCtx, CoreEffect, CoreId, CoreProtoStats, CoreProtocol, DirCtx, DirEffect, DirId,
     DirProtocol, DirStorage, FaultSpec, Msg, NodeRef, Program, RecvOutcome, StallCause,
@@ -27,7 +27,7 @@ use crate::frontend::{FeAction, Frontend};
 
 /// Events driving the simulation.
 #[derive(Debug)]
-enum Event {
+pub(crate) enum Event {
     /// A message arrives at its destination (clean fabric, no transport).
     Deliver(Msg),
     /// A transport-tagged message arrives (fault-injection mode).
@@ -53,6 +53,70 @@ enum Event {
     CoreWake { core: u32 },
     /// A directory retry callback.
     DirWake { dir: u32 },
+    /// Sharded runs only: a message from another partition reaches this
+    /// host's switch port; ingress contention + port-to-tile mesh hops still
+    /// apply before the payload event fires.
+    PortArrive {
+        /// Wire size, for ingress serialization.
+        bytes: u64,
+        /// The event to schedule once ingress resolves.
+        wire: Wire,
+    },
+}
+
+/// The cross-partition payload of a [`Event::PortArrive`] (sharded runs):
+/// everything the destination partition needs to finish a delivery whose
+/// egress half was computed by the source partition.
+#[derive(Debug)]
+pub(crate) enum Wire {
+    /// Clean-fabric delivery.
+    Deliver(Msg),
+    /// Transport-tagged delivery.
+    DeliverSeq { msg: Msg, seq: u64 },
+    /// Transport acknowledgment travelling back to the sender.
+    XportAck {
+        src: u32,
+        dst: u32,
+        seq: u64,
+        dup: bool,
+    },
+}
+
+impl Wire {
+    /// Flat index of the tile this wire terminates at.
+    fn dst_flat(&self) -> u32 {
+        match self {
+            Wire::Deliver(m) | Wire::DeliverSeq { msg: m, .. } => m.dst.tile_flat(),
+            // Acks travel back to the original sender's tile.
+            Wire::XportAck { src, .. } => *src,
+        }
+    }
+}
+
+/// A message crossing partitions in a sharded run: the source partition ran
+/// the egress half (mesh-to-port, serialization, fabric latency, faults) and
+/// stamped the port-arrival time; the destination partition finishes with
+/// ingress contention.
+#[derive(Debug)]
+pub(crate) struct CrossMsg {
+    /// Port-arrival time at the destination host. Always at least the
+    /// departure round's LBTS plus the fabric's minimum latency — the
+    /// conservative-lookahead guarantee.
+    pub(crate) reach: Time,
+    /// Wire size in bytes.
+    pub(crate) bytes: u64,
+    /// The payload.
+    pub(crate) wire: Wire,
+}
+
+/// Sharded-run state carried by a partition's `System`: which host it owns
+/// and the per-destination outboxes flushed to the coordinator's mailboxes
+/// at each round barrier.
+pub(crate) struct Partition {
+    /// The host this partition simulates.
+    pub(crate) host: u32,
+    /// Outgoing cross-partition messages, indexed by destination host.
+    pub(crate) outbox: Vec<Vec<CrossMsg>>,
 }
 
 /// Why a run could not complete (see [`System::try_run`]).
@@ -106,16 +170,6 @@ impl std::fmt::Display for RunError {
 }
 
 impl std::error::Error for RunError {}
-
-struct CoreNode {
-    engine: AnyCore,
-    fe: Frontend,
-}
-
-struct DirNode {
-    engine: AnyDir,
-    mem: Memory,
-}
 
 /// Measurements from one simulation run.
 #[derive(Debug, Clone)]
@@ -211,12 +265,18 @@ impl RunResult {
 /// assert_eq!(result.regs[8][0], 42, "consumer observed the data");
 /// ```
 pub struct System {
-    cfg: SystemConfig,
-    queue: EventQueue<Event>,
-    noc: Noc,
-    cores: Vec<CoreNode>,
-    dirs: Vec<DirNode>,
-    max_events: u64,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) queue: EventQueue<Event>,
+    pub(crate) noc: Noc,
+    /// Per-core state in struct-of-arrays layout: the event loop's hottest
+    /// accesses (frontend step/wake, fingerprint walks, stall scans) touch
+    /// only `fes`, so splitting the engines out keeps those walks dense.
+    pub(crate) fes: Vec<Frontend>,
+    pub(crate) engines: Vec<AnyCore>,
+    /// Per-directory state, split the same way.
+    pub(crate) dir_engines: Vec<AnyDir>,
+    pub(crate) mems: Vec<Memory>,
+    pub(crate) max_events: u64,
     /// Scratch buffers reused across events (the hot loop would otherwise
     /// allocate one effect vector and one action vector per event).
     scratch_fx: Vec<CoreEffect>,
@@ -224,13 +284,25 @@ pub struct System {
     scratch_dfx: Vec<DirEffect>,
     /// Protocol tracing; disabled (a pair of `None`s) unless `CORD_TRACE`
     /// is set or a sink is installed through [`System::tracer_mut`].
-    tracer: Tracer,
+    pub(crate) tracer: Tracer,
     /// Reliable-transport shim, present only in fault-injection mode (the
     /// clean-fabric fast path stays byte-identical when this is `None`).
-    xport: Option<Transport>,
+    pub(crate) xport: Option<Transport>,
     /// Liveness watchdog window: trip when no core makes forward progress
     /// for this much simulated time. Defaults on (1 ms) in fault mode.
-    watchdog: Option<Time>,
+    pub(crate) watchdog: Option<Time>,
+    /// The programs loaded at construction, kept so the sharded runner can
+    /// rebuild per-partition frontends.
+    pub(crate) programs: Vec<Program>,
+    /// Fault spec as installed (plan + transport config), kept so partitions
+    /// can mirror it.
+    pub(crate) fault_spec: Option<(FaultPlan, TransportConfig)>,
+    /// `Some(w)`: run through the sharded conservative-lookahead engine with
+    /// `w` workers (from `CORD_SIM_THREADS` or [`System::set_sim_threads`]).
+    pub(crate) sim_threads: Option<usize>,
+    /// Set on partition `System`s inside a sharded run; `None` on ordinary
+    /// (monolithic) systems.
+    pub(crate) part: Option<Partition>,
 }
 
 impl System {
@@ -252,40 +324,36 @@ impl System {
         );
         programs.resize(tiles, Program::new());
         // Steady state holds roughly one in-flight event per tile plus
-        // messages on the wire; start with a few slots per tile so the heap
-        // never reallocates during warm-up.
+        // messages on the wire; start with a few slots per tile so the
+        // calendar never regrows during warm-up.
         let mut queue = EventQueue::with_capacity(4 * tiles);
-        let cores: Vec<CoreNode> = programs
-            .into_iter()
-            .enumerate()
-            .map(|(i, p)| {
-                let fe = Frontend::new(p, &cfg.costs);
-                let FeAction::StepAt { at, gen } = fe.initial_action();
-                queue.push(
-                    at,
-                    Event::CoreStep {
-                        core: i as u32,
-                        gen,
-                    },
-                );
-                CoreNode {
-                    engine: AnyCore::new(CoreId(i as u32), &cfg),
-                    fe,
-                }
-            })
+        let mut fes = Vec::with_capacity(tiles);
+        let mut engines = Vec::with_capacity(tiles);
+        for (i, p) in programs.iter().enumerate() {
+            let fe = Frontend::new(p.clone(), &cfg.costs);
+            let FeAction::StepAt { at, gen } = fe.initial_action();
+            queue.push(
+                at,
+                Event::CoreStep {
+                    core: i as u32,
+                    gen,
+                },
+            );
+            fes.push(fe);
+            engines.push(AnyCore::new(CoreId(i as u32), &cfg));
+        }
+        let dir_engines: Vec<AnyDir> = (0..tiles)
+            .map(|i| AnyDir::new(DirId(i as u32), &cfg))
             .collect();
-        let dirs: Vec<DirNode> = (0..tiles)
-            .map(|i| DirNode {
-                engine: AnyDir::new(DirId(i as u32), &cfg),
-                mem: Memory::new(),
-            })
-            .collect();
+        let mems: Vec<Memory> = (0..tiles).map(|_| Memory::new()).collect();
         let mut sys = System {
             noc: Noc::new(cfg.noc),
             cfg,
             queue,
-            cores,
-            dirs,
+            fes,
+            engines,
+            dir_engines,
+            mems,
             max_events: 500_000_000,
             scratch_fx: Vec::new(),
             scratch_acts: Vec::new(),
@@ -293,6 +361,10 @@ impl System {
             tracer: Tracer::from_env(),
             xport: None,
             watchdog: None,
+            programs,
+            fault_spec: None,
+            sim_threads: sim_threads_from_env(),
+            part: None,
         };
         if let Ok(spec) = std::env::var("CORD_FAULTS") {
             if !spec.is_empty() {
@@ -309,6 +381,7 @@ impl System {
     /// [`cord_proto::ProtocolKind::needs_fifo`]). Also arms the liveness
     /// watchdog (1 ms window) unless one was already set.
     pub fn set_faults(&mut self, plan: FaultPlan, mut xcfg: TransportConfig) {
+        self.fault_spec = Some((plan.clone(), xcfg));
         xcfg.fifo = self.cfg.protocol.needs_fifo();
         self.noc.set_faults(Some(plan));
         self.xport = Some(Transport::new(xcfg));
@@ -333,6 +406,15 @@ impl System {
         self.watchdog = window;
     }
 
+    /// Selects the execution engine: `Some(w)` runs through the sharded
+    /// conservative-lookahead engine with `w` worker threads (the partition
+    /// count is always the host count, so results are identical for every
+    /// `w`); `None` runs the classic single-queue loop. Defaults to the
+    /// `CORD_SIM_THREADS` environment variable (unset/0 → monolithic).
+    pub fn set_sim_threads(&mut self, workers: Option<usize>) {
+        self.sim_threads = workers.filter(|&w| w >= 1);
+    }
+
     /// The system's tracer, for installing sinks or a metrics recorder
     /// programmatically (tests, the `trace` binary).
     pub fn tracer_mut(&mut self) -> &mut Tracer {
@@ -353,7 +435,7 @@ impl System {
     /// Reads a committed word from its home directory (test observation).
     pub fn mem_peek(&self, addr: Addr) -> u64 {
         let d = self.cfg.map.home_dir(addr) as usize;
-        self.dirs[d].mem.peek(addr)
+        self.mems[d].peek(addr)
     }
 
     /// Runs to completion.
@@ -377,6 +459,9 @@ impl System {
     ///
     /// Returns the [`RunError`] describing why the run could not complete.
     pub fn try_run(&mut self) -> Result<RunResult, RunError> {
+        if let Some(workers) = self.sim_threads {
+            return crate::shard::run_sharded(self, workers);
+        }
         let mut events = 0u64;
         let mut drained = Time::ZERO;
         // Watchdog state: last fingerprint and when it last changed.
@@ -407,39 +492,7 @@ impl System {
                 }
             }
             drained = now;
-            match ev {
-                Event::Deliver(msg) => self.dispatch(now, msg),
-                Event::DeliverSeq { msg, seq } => self.deliver_tagged(now, msg, seq),
-                Event::XportAck { src, dst, seq, dup } => {
-                    if let Some(x) = self.xport.as_mut() {
-                        x.on_ack(src, dst, seq, dup);
-                    }
-                }
-                Event::XportTimeout { src, dst, seq } => self.on_xport_timeout(now, src, dst, seq),
-                Event::CoreStep { core, gen } => {
-                    self.with_core(core as usize, now, |fe, eng, fx, acts, tr| {
-                        fe.on_step(gen, now, eng, fx, acts, tr);
-                    });
-                }
-                Event::CoreWake { core } => {
-                    self.with_core(core as usize, now, |fe, eng, fx, acts, tr| {
-                        fe.on_wake(now, eng, fx, acts, tr);
-                    });
-                }
-                Event::DirWake { dir } => {
-                    let d = dir as usize;
-                    let mut fx = std::mem::take(&mut self.scratch_dfx);
-                    fx.clear();
-                    {
-                        let node = &mut self.dirs[d];
-                        let mut ctx =
-                            DirCtx::traced(now, &mut node.mem, &mut fx, self.tracer.active());
-                        node.engine.retry(&mut ctx);
-                    }
-                    self.apply_dir_effects(d, now, &mut fx);
-                    self.scratch_dfx = fx;
-                }
-            }
+            self.handle_event(now, ev);
             // Cycle-accurate fabrics land bursts of deliveries on one
             // timestamp; drain the burst through the cached-head fast path
             // before paying a full pop for the next timestamp.
@@ -457,16 +510,7 @@ impl System {
         );
         // Close stall episodes still open at drain so they are neither lost
         // from `RunResult::stalls` nor left dangling in the trace.
-        for (i, node) in self.cores.iter_mut().enumerate() {
-            if let Some((cause, since)) = node.fe.open_stall() {
-                self.tracer.emit_with(drained, || TraceData::StallEnd {
-                    core: i as u32,
-                    cause: cause.label(),
-                    since,
-                });
-            }
-            node.fe.flush_stalls(drained);
-        }
+        self.close_stalls(drained);
         self.tracer.finish();
         let metrics = self.tracer.take_metrics().map(|m| m.snapshot());
         self.check_finished()?;
@@ -484,6 +528,69 @@ impl System {
         Ok(result)
     }
 
+    /// Processes one event. Shared between the monolithic loop above and the
+    /// sharded engine's per-partition round loop.
+    pub(crate) fn handle_event(&mut self, now: Time, ev: Event) {
+        match ev {
+            Event::Deliver(msg) => self.dispatch(now, msg),
+            Event::DeliverSeq { msg, seq } => self.deliver_tagged(now, msg, seq),
+            Event::XportAck { src, dst, seq, dup } => {
+                if let Some(x) = self.xport.as_mut() {
+                    x.on_ack(src, dst, seq, dup);
+                }
+            }
+            Event::XportTimeout { src, dst, seq } => self.on_xport_timeout(now, src, dst, seq),
+            Event::CoreStep { core, gen } => {
+                self.with_core(core as usize, now, |fe, eng, fx, acts, tr| {
+                    fe.on_step(gen, now, eng, fx, acts, tr);
+                });
+            }
+            Event::CoreWake { core } => {
+                self.with_core(core as usize, now, |fe, eng, fx, acts, tr| {
+                    fe.on_wake(now, eng, fx, acts, tr);
+                });
+            }
+            Event::DirWake { dir } => {
+                let d = dir as usize;
+                let mut fx = std::mem::take(&mut self.scratch_dfx);
+                fx.clear();
+                {
+                    let mut ctx =
+                        DirCtx::traced(now, &mut self.mems[d], &mut fx, self.tracer.active());
+                    self.dir_engines[d].retry(&mut ctx);
+                }
+                self.apply_dir_effects(d, now, &mut fx);
+                self.scratch_dfx = fx;
+            }
+            Event::PortArrive { bytes, wire } => {
+                let tph = self.cfg.noc.tiles_per_host;
+                let dst = TileId::from_flat(wire.dst_flat(), tph);
+                let at = self.noc.ingress(now, dst, bytes);
+                let inner = match wire {
+                    Wire::Deliver(msg) => Event::Deliver(msg),
+                    Wire::DeliverSeq { msg, seq } => Event::DeliverSeq { msg, seq },
+                    Wire::XportAck { src, dst, seq, dup } => Event::XportAck { src, dst, seq, dup },
+                };
+                self.queue.push(at, inner);
+            }
+        }
+    }
+
+    /// Closes stall episodes still open at `drained` so they are neither
+    /// lost from `RunResult::stalls` nor left dangling in the trace.
+    pub(crate) fn close_stalls(&mut self, drained: Time) {
+        for (i, fe) in self.fes.iter_mut().enumerate() {
+            if let Some((cause, since)) = fe.open_stall() {
+                self.tracer.emit_with(drained, || TraceData::StallEnd {
+                    core: i as u32,
+                    cause: cause.label(),
+                    since,
+                });
+            }
+            fe.flush_stalls(drained);
+        }
+    }
+
     /// Forward-progress fingerprint for the liveness watchdog: advances
     /// whenever any core's program counter moves or finishes, or the
     /// transport retransmits (active loss recovery is progress, not a
@@ -491,12 +598,12 @@ impl System {
     /// first transmissions — a consumer spinning on a flag that will never
     /// be set keeps polling (and sending read requests) forever without
     /// advancing this fingerprint.
-    fn progress_fingerprint(&self) -> (u64, u64, u64) {
+    pub(crate) fn progress_fingerprint(&self) -> (u64, u64, u64) {
         let mut pcs = 0u64;
         let mut done = 0u64;
-        for node in &self.cores {
-            pcs += node.fe.pc() as u64;
-            done += node.fe.is_done() as u64;
+        for fe in &self.fes {
+            pcs += fe.pc() as u64;
+            done += fe.is_done() as u64;
         }
         let xp = self.xport.as_ref().map_or(0, |x| x.stats().retransmits);
         (pcs, done, xp)
@@ -504,27 +611,9 @@ impl System {
 
     /// Tracer-style narrative of the stuck state: unfinished cores, the
     /// earliest in-flight events, and outstanding transport state.
-    fn narrate_hang(&self) -> String {
+    pub(crate) fn narrate_hang(&self) -> String {
         let mut s = String::new();
-        for (i, node) in self.cores.iter().enumerate() {
-            if node.fe.is_done() {
-                continue;
-            }
-            let _ = writeln!(
-                s,
-                "  core {i}: stuck at pc {} on {:?} (stall: {}, polls: {}, engine quiesced: {})",
-                node.fe.pc(),
-                node.fe.current_op().map(|o| o.mnemonic()),
-                node.fe
-                    .open_stall()
-                    .map_or("none".to_string(), |(c, since)| format!(
-                        "{} since {since}",
-                        c.label()
-                    )),
-                node.fe.polls(),
-                node.engine.quiesced(),
-            );
-        }
+        s.push_str(&self.narrate_stuck_cores(0..self.fes.len()));
         let mut pending: Vec<(Time, String)> = self
             .queue
             .iter()
@@ -550,7 +639,34 @@ impl System {
         s
     }
 
-    fn describe_event(ev: &Event) -> String {
+    /// The stuck-core lines of [`System::narrate_hang`] (the sharded engine
+    /// composes narratives across partitions and appends its own transport
+    /// and queue summaries).
+    pub(crate) fn narrate_stuck_cores(&self, tiles: std::ops::Range<usize>) -> String {
+        let mut s = String::new();
+        for i in tiles {
+            let fe = &self.fes[i];
+            if fe.is_done() {
+                continue;
+            }
+            let _ = writeln!(
+                s,
+                "  core {i}: stuck at pc {} on {:?} (stall: {}, polls: {}, engine quiesced: {})",
+                fe.pc(),
+                fe.current_op().map(|o| o.mnemonic()),
+                fe.open_stall()
+                    .map_or("none".to_string(), |(c, since)| format!(
+                        "{} since {since}",
+                        c.label()
+                    )),
+                fe.polls(),
+                self.engines[i].quiesced(),
+            );
+        }
+        s
+    }
+
+    pub(crate) fn describe_event(ev: &Event) -> String {
         match ev {
             Event::Deliver(m) => format!(
                 "deliver {} tile{} -> tile{}",
@@ -573,6 +689,9 @@ impl System {
             Event::CoreStep { core, .. } => format!("core {core} step"),
             Event::CoreWake { core } => format!("core {core} wake"),
             Event::DirWake { dir } => format!("dir {dir} retry"),
+            Event::PortArrive { bytes, wire } => {
+                format!("port arrival for tile{} ({bytes} B)", wire.dst_flat())
+            }
         }
     }
 
@@ -631,6 +750,25 @@ impl System {
         let tph = self.cfg.noc.tiles_per_host;
         let from = TileId::from_flat(dflat, tph);
         let to = TileId::from_flat(sflat, tph);
+        if self.part.is_some() {
+            let wire = || Wire::XportAck {
+                src: sflat,
+                dst: dflat,
+                seq,
+                dup,
+            };
+            match self.transmit_egress_traced(now, from, to, ACK_BYTES, MsgClass::Ack) {
+                EgressDelivery::Deliver { reach, .. } => {
+                    self.deliver_wire(reach, ACK_BYTES, to.host, wire());
+                }
+                EgressDelivery::Drop => {}
+                EgressDelivery::Duplicate { first, second } => {
+                    self.deliver_wire(first, ACK_BYTES, to.host, wire());
+                    self.deliver_wire(second, ACK_BYTES, to.host, wire());
+                }
+            }
+            return;
+        }
         let ev = |src: u32, dst: u32| Event::XportAck { src, dst, seq, dup };
         match self.transmit_traced(now, from, to, ACK_BYTES, MsgClass::Ack) {
             Delivery::Deliver { at, .. } => self.queue.push(at, ev(sflat, dflat)),
@@ -667,6 +805,36 @@ impl System {
         let tph = self.cfg.noc.tiles_per_host;
         let src = TileId::from_flat(msg.src.tile_flat(), tph);
         let dst = TileId::from_flat(msg.dst.tile_flat(), tph);
+        if self.part.is_some() {
+            let bytes = msg.bytes;
+            match self.transmit_egress_traced(depart, src, dst, bytes, msg.class()) {
+                EgressDelivery::Deliver { reach, .. } => {
+                    self.tracer.emit_with(depart, || TraceData::MsgSend {
+                        src: msg.src.tile_flat(),
+                        dst: msg.dst.tile_flat(),
+                        kind: msg.kind.name(),
+                        class: msg.class().label(),
+                        bytes: msg.bytes,
+                        arrive: reach,
+                    });
+                    self.deliver_wire(reach, bytes, dst.host, Wire::DeliverSeq { msg, seq });
+                }
+                EgressDelivery::Drop => {}
+                EgressDelivery::Duplicate { first, second } => {
+                    self.deliver_wire(
+                        first,
+                        bytes,
+                        dst.host,
+                        Wire::DeliverSeq {
+                            msg: msg.clone(),
+                            seq,
+                        },
+                    );
+                    self.deliver_wire(second, bytes, dst.host, Wire::DeliverSeq { msg, seq });
+                }
+            }
+            return;
+        }
         match self.transmit_traced(depart, src, dst, msg.bytes, msg.class()) {
             Delivery::Deliver { at, .. } => {
                 self.tracer.emit_with(depart, || TraceData::MsgSend {
@@ -724,6 +892,59 @@ impl System {
         d
     }
 
+    /// [`Noc::transmit_egress`] plus fault-event tracing — the sharded
+    /// engine's counterpart of [`System::transmit_traced`].
+    fn transmit_egress_traced(
+        &mut self,
+        depart: Time,
+        src: TileId,
+        dst: TileId,
+        bytes: u64,
+        class: MsgClass,
+    ) -> EgressDelivery {
+        let d = self.noc.transmit_egress(depart, src, dst, bytes, class);
+        if self.tracer.enabled() {
+            let (fault, extra) = match d {
+                EgressDelivery::Deliver { faulted, .. } if faulted > Time::ZERO => {
+                    ("delay", faulted)
+                }
+                EgressDelivery::Drop => ("drop", Time::ZERO),
+                EgressDelivery::Duplicate { first, second } => ("dup", second - first),
+                EgressDelivery::Deliver { .. } => return d,
+            };
+            self.tracer.emit(
+                depart,
+                TraceData::FaultInject {
+                    src: src.flat(self.cfg.noc.tiles_per_host),
+                    dst: dst.flat(self.cfg.noc.tiles_per_host),
+                    class: class.label(),
+                    fault,
+                    extra,
+                },
+            );
+        }
+        d
+    }
+
+    /// Sharded runs: finishes a transmission whose egress half produced a
+    /// port-arrival time `reach`. Same-host wires were fully delivered by
+    /// egress (it models the whole mesh path), so they go straight into the
+    /// local queue; cross-host wires join the outbox for the destination
+    /// partition, which applies ingress contention on arrival.
+    fn deliver_wire(&mut self, reach: Time, bytes: u64, dst_host: u32, wire: Wire) {
+        let part = self.part.as_mut().expect("deliver_wire without partition");
+        if dst_host == part.host {
+            let ev = match wire {
+                Wire::Deliver(msg) => Event::Deliver(msg),
+                Wire::DeliverSeq { msg, seq } => Event::DeliverSeq { msg, seq },
+                Wire::XportAck { src, dst, seq, dup } => Event::XportAck { src, dst, seq, dup },
+            };
+            self.queue.push(reach, ev);
+        } else {
+            part.outbox[dst_host as usize].push(CrossMsg { reach, bytes, wire });
+        }
+    }
+
     /// Runs a closure against core `i`'s frontend+engine, then applies all
     /// produced effects and scheduling actions.
     fn with_core(
@@ -745,12 +966,15 @@ impl System {
         fx.clear();
         acts.clear();
         {
-            let node = &mut self.cores[i];
             let traced = self.tracer.enabled();
-            let before = if traced { node.fe.open_stall() } else { None };
+            let before = if traced {
+                self.fes[i].open_stall()
+            } else {
+                None
+            };
             f(
-                &mut node.fe,
-                &mut node.engine,
+                &mut self.fes[i],
+                &mut self.engines[i],
                 &mut fx,
                 &mut acts,
                 self.tracer.active(),
@@ -759,7 +983,7 @@ impl System {
                 // Frontend stall transitions are observable as open-stall
                 // diffs around the callback; emitting here keeps the hot
                 // untraced path free of any bookkeeping.
-                let after = node.fe.open_stall();
+                let after = self.fes[i].open_stall();
                 if before != after {
                     if let Some((cause, since)) = before {
                         self.tracer.emit(
@@ -794,10 +1018,10 @@ impl System {
                         .push(t.max(now), Event::CoreWake { core: i as u32 });
                 }
                 CoreEffect::LoadDone { value } => {
-                    self.cores[i].fe.on_load_done(value, now, &mut acts);
+                    self.fes[i].on_load_done(value, now, &mut acts);
                 }
                 CoreEffect::OpDone => {
-                    self.cores[i].fe.on_op_done(now, &mut acts);
+                    self.fes[i].on_op_done(now, &mut acts);
                 }
             }
             k += 1;
@@ -819,9 +1043,8 @@ impl System {
         let mut fx = std::mem::take(&mut self.scratch_dfx);
         fx.clear();
         {
-            let node = &mut self.dirs[d];
-            let mut ctx = DirCtx::traced(now, &mut node.mem, &mut fx, self.tracer.active());
-            node.engine.on_msg(msg, &mut ctx);
+            let mut ctx = DirCtx::traced(now, &mut self.mems[d], &mut fx, self.tracer.active());
+            self.dir_engines[d].on_msg(msg, &mut ctx);
         }
         self.apply_dir_effects(d, now, &mut fx);
         self.scratch_dfx = fx;
@@ -863,6 +1086,22 @@ impl System {
         let tph = self.cfg.noc.tiles_per_host;
         let src = TileId::from_flat(msg.src.tile_flat(), tph);
         let dst = TileId::from_flat(msg.dst.tile_flat(), tph);
+        if self.part.is_some() {
+            // Sharded clean path: run the egress half here; the owning
+            // partition finishes ingress at port arrival.
+            let reach = self.noc.egress(depart, src, dst, msg.bytes, msg.class());
+            self.tracer.emit_with(depart, || TraceData::MsgSend {
+                src: msg.src.tile_flat(),
+                dst: msg.dst.tile_flat(),
+                kind: msg.kind.name(),
+                class: msg.class().label(),
+                bytes: msg.bytes,
+                arrive: reach,
+            });
+            let bytes = msg.bytes;
+            self.deliver_wire(reach, bytes, dst.host, Wire::Deliver(msg));
+            return;
+        }
         let arrive = self.noc.send(depart, src, dst, msg.bytes, msg.class());
         self.tracer.emit_with(depart, || TraceData::MsgSend {
             src: msg.src.tile_flat(),
@@ -875,41 +1114,41 @@ impl System {
         self.queue.push(arrive, Event::Deliver(msg));
     }
 
-    fn check_finished(&self) -> Result<(), RunError> {
-        for (i, node) in self.cores.iter().enumerate() {
-            if !node.fe.is_done() {
+    pub(crate) fn check_finished(&self) -> Result<(), RunError> {
+        for (i, fe) in self.fes.iter().enumerate() {
+            if !fe.is_done() {
                 return Err(RunError::Deadlock {
                     core: i as u32,
                     detail: format!(
                         "deadlock: core {i} stuck at pc {} on {:?} (engine quiesced: {})",
-                        node.fe.pc(),
-                        node.fe.current_op().map(|o| o.mnemonic()),
-                        node.engine.quiesced()
+                        fe.pc(),
+                        fe.current_op().map(|o| o.mnemonic()),
+                        self.engines[i].quiesced()
                     ),
                 });
             }
             debug_assert!(
-                node.engine.quiesced(),
+                self.engines[i].quiesced(),
                 "core {i} engine not quiesced at drain"
             );
         }
         Ok(())
     }
 
-    fn collect(&self, drained: Time, events: u64) -> RunResult {
+    pub(crate) fn collect(&self, drained: Time, events: u64) -> RunResult {
         let mut stalls: HashMap<StallCause, Time> = HashMap::new();
         let mut makespan = Time::ZERO;
         let mut core_time_total = Time::ZERO;
         let mut polls = 0;
-        for node in &self.cores {
-            for (cause, t) in node.fe.stall_totals() {
+        for fe in &self.fes {
+            for (cause, t) in fe.stall_totals() {
                 *stalls.entry(cause).or_insert(Time::ZERO) += t;
             }
-            if let Some(f) = node.fe.finish_time() {
+            if let Some(f) = fe.finish_time() {
                 makespan = makespan.max(f);
                 core_time_total += f;
             }
-            polls += node.fe.polls();
+            polls += fe.polls();
         }
         RunResult {
             makespan,
@@ -917,14 +1156,23 @@ impl System {
             traffic: *self.noc.stats(),
             stalls,
             core_time_total,
-            proc_storages: self.cores.iter().map(|c| c.engine.stats()).collect(),
-            dir_storages: self.dirs.iter().map(|d| d.engine.storage()).collect(),
-            regs: self.cores.iter().map(|c| *c.fe.regs()).collect(),
+            proc_storages: self.engines.iter().map(|c| c.stats()).collect(),
+            dir_storages: self.dir_engines.iter().map(|d| d.storage()).collect(),
+            regs: self.fes.iter().map(|fe| *fe.regs()).collect(),
             polls,
             events,
             metrics: None,
         }
     }
+}
+
+/// Parses `CORD_SIM_THREADS`: unset, empty, `0`, or unparsable → `None`
+/// (monolithic engine); `n ≥ 1` → sharded engine with `n` workers.
+fn sim_threads_from_env() -> Option<usize> {
+    std::env::var("CORD_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
 }
 
 #[cfg(test)]

@@ -60,5 +60,5 @@
 mod topology;
 mod traffic;
 
-pub use topology::{Delivery, MsgClass, Noc, NocConfig, PodConfig, TileId};
+pub use topology::{Delivery, EgressDelivery, MsgClass, Noc, NocConfig, PodConfig, TileId};
 pub use traffic::{ClassStats, FaultStats, TrafficStats};

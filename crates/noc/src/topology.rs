@@ -179,6 +179,40 @@ impl NocConfig {
         }
     }
 
+    /// The minimum one-way switch-fabric latency over all distinct host
+    /// pairs — the conservative lookahead bound for parallel simulation: a
+    /// message handed to the fabric at time `t` cannot arrive at any other
+    /// host before `t + min_latency()`. Returns [`Time::MAX`] for
+    /// single-host topologies (no inter-host edge ⇒ unbounded lookahead).
+    pub fn min_latency(&self) -> Time {
+        if self.hosts <= 1 {
+            return Time::MAX;
+        }
+        match self.pods {
+            None => self.inter_host_latency,
+            Some(p) => {
+                if p.hosts_per_pod >= 2 {
+                    // Some pair shares a pod: one pod-switch traversal.
+                    p.pod_latency
+                } else {
+                    // Every pair crosses the root.
+                    p.pod_latency + p.root_latency
+                }
+            }
+        }
+    }
+
+    /// Per-host-pair lookahead: a lower bound on the fabric delay of any
+    /// message from `src_host` to `dst_host` (serialization and contention
+    /// only add to it). Zero for a host to itself.
+    pub fn lookahead(&self, src_host: u32, dst_host: u32) -> Time {
+        if src_host == dst_host {
+            Time::ZERO
+        } else {
+            self.fabric_latency(src_host, dst_host)
+        }
+    }
+
     /// XY-routed hop count between two tiles of the same host's mesh.
     pub fn mesh_hops(&self, a: u32, b: u32) -> u32 {
         let cols = self.mesh_cols.max(1);
@@ -214,6 +248,34 @@ pub struct Noc {
     /// so the (stateless) plan's per-message decisions are reproducible.
     faults: Option<FaultPlan>,
     fault_seq: u64,
+    /// Per-`(src_host, dst_host)` transmission counters for
+    /// [`Noc::transmit_egress`]: unlike the global `fault_seq`, a channel
+    /// counter does not depend on the interleaving of *other* channels'
+    /// traffic, so fault decisions survive repartitioning the simulation.
+    pair_seq: std::collections::HashMap<(u32, u32), u64>,
+}
+
+/// The fabric's verdict on the source-side half of a transmission (see
+/// [`Noc::transmit_egress`]); times are port-arrival times at the
+/// destination host, before ingress contention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EgressDelivery {
+    /// Reaches the destination port once; `faulted` is the injected delay.
+    Deliver {
+        /// Port-arrival time at the destination host.
+        reach: Time,
+        /// Injected extra delay beyond the clean arrival time.
+        faulted: Time,
+    },
+    /// The fabric lost the message.
+    Drop,
+    /// Two copies reach the destination port (network duplication).
+    Duplicate {
+        /// Port-arrival time of the first copy.
+        first: Time,
+        /// Port-arrival time of the duplicate.
+        second: Time,
+    },
 }
 
 /// The fabric's verdict on one transmission (see [`Noc::transmit`]).
@@ -247,6 +309,7 @@ impl Noc {
             stats: TrafficStats::default(),
             faults: None,
             fault_seq: 0,
+            pair_seq: std::collections::HashMap::new(),
             cfg,
         }
     }
@@ -259,6 +322,12 @@ impl Noc {
     /// Traffic accounted so far.
     pub fn stats(&self) -> &TrafficStats {
         &self.stats
+    }
+
+    /// Mutable traffic statistics. The sharded runner merges per-partition
+    /// counters into one aggregate here (see [`TrafficStats::merge`]).
+    pub fn stats_mut(&mut self) -> &mut TrafficStats {
+        &mut self.stats
     }
 
     /// Installs (or clears) a fault plan; subsequent [`Noc::transmit`] calls
@@ -333,6 +402,67 @@ impl Noc {
         }
     }
 
+    /// Like [`Noc::egress`], but subject to the installed fault plan — the
+    /// source-side half of a faulted transmission for the partitioned
+    /// engine. Fault decisions are numbered per `(src_host, dst_host)`
+    /// channel (decorrelated by folding the pair index into the sequence),
+    /// **not** by the global transmission counter, so a message's fate
+    /// depends only on its channel and position — never on how concurrent
+    /// traffic on other channels interleaves. Dropped messages still consume
+    /// egress bandwidth; duplicates consume it twice.
+    pub fn transmit_egress(
+        &mut self,
+        now: Time,
+        src: TileId,
+        dst: TileId,
+        bytes: u64,
+        class: MsgClass,
+    ) -> EgressDelivery {
+        let clean = self.egress(now, src, dst, bytes, class);
+        let Some(plan) = &self.faults else {
+            return EgressDelivery::Deliver {
+                reach: clean,
+                faulted: Time::ZERO,
+            };
+        };
+        let chan = self.pair_seq.entry((src.host, dst.host)).or_insert(0);
+        let chan_seq = *chan;
+        *chan += 1;
+        let pairs = self.cfg.hosts as u64 * self.cfg.hosts as u64;
+        let pair_idx = src.host as u64 * self.cfg.hosts as u64 + dst.host as u64;
+        let seq = chan_seq * pairs + pair_idx;
+        match plan.decide(seq, now, src.host, dst.host, class as usize) {
+            FaultAction::Deliver { extra } => {
+                if extra > Time::ZERO {
+                    self.stats.faults.delayed += 1;
+                }
+                EgressDelivery::Deliver {
+                    reach: clean + extra,
+                    faulted: extra,
+                }
+            }
+            FaultAction::Drop => {
+                self.stats.faults.dropped += 1;
+                EgressDelivery::Drop
+            }
+            FaultAction::Duplicate {
+                extra,
+                second_extra,
+            } => {
+                self.stats.faults.duplicated += 1;
+                if extra > Time::ZERO {
+                    self.stats.faults.delayed += 1;
+                }
+                // The duplicate is a real frame: account its bandwidth.
+                let second = self.egress(now + second_extra, src, dst, bytes, class);
+                EgressDelivery::Duplicate {
+                    first: clean + extra,
+                    second: second.max(clean + extra),
+                }
+            }
+        }
+    }
+
     /// Sends `bytes` from `src` to `dst` at time `now`; returns the delivery
     /// time at `dst` and accounts the traffic under `class`.
     ///
@@ -344,6 +474,33 @@ impl Noc {
     /// Panics if `src` or `dst` references a host or tile outside the
     /// configured topology.
     pub fn send(
+        &mut self,
+        now: Time,
+        src: TileId,
+        dst: TileId,
+        bytes: u64,
+        class: MsgClass,
+    ) -> Time {
+        let reach = self.egress(now, src, dst, bytes, class);
+        if src.host == dst.host {
+            reach
+        } else {
+            self.ingress(reach, dst, bytes)
+        }
+    }
+
+    /// First (source-side) half of a send: mesh to the local CXL/UPI port,
+    /// egress-link serialization behind earlier departures, and the
+    /// switch-fabric traversal. Returns when the frame reaches the
+    /// destination host's ingress port; the traffic is accounted here.
+    ///
+    /// For an intra-host message there is no fabric stage and the return
+    /// value is already the delivery time at the destination tile.
+    ///
+    /// [`Noc::send`] is exactly `egress` + [`Noc::ingress`]; the split lets
+    /// a partitioned simulation run the two halves on the source and
+    /// destination hosts' partitions respectively.
+    pub fn egress(
         &mut self,
         now: Time,
         src: TileId,
@@ -367,11 +524,17 @@ impl Noc {
         let depart = at_port.max(self.egress_free[src.host as usize]);
         self.egress_free[src.host as usize] = depart + ser;
         // Switch-fabric traversal to the destination host's port.
-        let reach = depart + ser + self.cfg.fabric_latency(src.host, dst.host);
-        // Ingress link contention at the destination host.
+        depart + ser + self.cfg.fabric_latency(src.host, dst.host)
+    }
+
+    /// Second (destination-side) half of an inter-host send: ingress-link
+    /// contention at the destination host plus the mesh from the port to the
+    /// destination tile. `reach` is the port-arrival time returned by
+    /// [`Noc::egress`].
+    pub fn ingress(&mut self, reach: Time, dst: TileId, bytes: u64) -> Time {
+        let ser = self.cfg.serialization(bytes);
         let recv = reach.max(self.ingress_free[dst.host as usize]);
         self.ingress_free[dst.host as usize] = recv + ser;
-        // Mesh from the port to the destination tile.
         let from_port = self.cfg.mesh_hops(self.cfg.port_tile, dst.tile) as u64;
         recv + self.cfg.hop_latency * from_port
     }
@@ -584,6 +747,166 @@ mod tests {
             1,
             MsgClass::Ctrl,
         );
+    }
+
+    #[test]
+    fn min_latency_is_the_fabric_floor() {
+        // Flat switch: the inter-host latency itself.
+        assert_eq!(NocConfig::cxl(8, 8).min_latency(), Time::from_ns(150));
+        assert_eq!(NocConfig::upi(4, 8).min_latency(), Time::from_ns(50));
+        assert_eq!(
+            NocConfig::cxl(8, 8)
+                .with_inter_host_latency(Time::from_ns(300))
+                .min_latency(),
+            Time::from_ns(300)
+        );
+        // Single host: no inter-host edge at all.
+        assert_eq!(NocConfig::cxl(1, 8).min_latency(), Time::MAX);
+        // Pods with >=2 hosts each: some pair is pod-local.
+        let pods = NocConfig::cxl(8, 8).with_pods(PodConfig {
+            hosts_per_pod: 4,
+            pod_latency: Time::from_ns(60),
+            root_latency: Time::from_ns(180),
+        });
+        assert_eq!(pods.min_latency(), Time::from_ns(60));
+        // Degenerate single-host pods: every pair crosses the root.
+        let lone = NocConfig::cxl(4, 8).with_pods(PodConfig {
+            hosts_per_pod: 1,
+            pod_latency: Time::from_ns(60),
+            root_latency: Time::from_ns(180),
+        });
+        assert_eq!(lone.min_latency(), Time::from_ns(240));
+    }
+
+    #[test]
+    fn min_latency_lower_bounds_every_pair() {
+        for cfg in [
+            NocConfig::cxl(8, 8),
+            NocConfig::upi(6, 8),
+            NocConfig::cxl(8, 8).with_pods(PodConfig {
+                hosts_per_pod: 2,
+                pod_latency: Time::from_ns(40),
+                root_latency: Time::from_ns(200),
+            }),
+        ] {
+            let floor = cfg.min_latency();
+            for s in 0..cfg.hosts {
+                for d in 0..cfg.hosts {
+                    if s != d {
+                        assert!(
+                            cfg.lookahead(s, d) >= floor,
+                            "pair ({s},{d}) under the floor"
+                        );
+                        assert_eq!(cfg.lookahead(s, d), cfg.fabric_latency(s, d));
+                    }
+                }
+            }
+            assert_eq!(cfg.lookahead(0, 0), Time::ZERO);
+        }
+    }
+
+    #[test]
+    fn lookahead_bounds_real_deliveries() {
+        // No send may arrive at another host earlier than now + lookahead.
+        let mut noc = Noc::new(NocConfig::cxl(4, 8));
+        let floor = noc.config().min_latency();
+        for i in 0..40u64 {
+            let now = Time::from_ns(i * 3);
+            let src = TileId::new((i % 4) as u32, (i % 8) as u32);
+            let dst = TileId::new(((i + 1) % 4) as u32, ((i * 3) % 8) as u32);
+            let at = noc.send(now, src, dst, 16 + (i % 7) * 64, MsgClass::Data);
+            assert!(at >= now + floor, "msg {i} beat the lookahead");
+        }
+    }
+
+    #[test]
+    fn egress_plus_ingress_equals_send() {
+        // The split halves must reproduce `send` exactly, state and all.
+        let mut whole = Noc::new(NocConfig::cxl(4, 8));
+        let mut split = Noc::new(NocConfig::cxl(4, 8));
+        for i in 0..60u64 {
+            let now = Time::from_ns(i * 2);
+            let src = TileId::new((i % 4) as u32, (i % 8) as u32);
+            let dst = TileId::new(((i + 2) % 4) as u32, ((i * 5) % 8) as u32);
+            let bytes = 16 + (i % 9) * 32;
+            let a = whole.send(now, src, dst, bytes, MsgClass::Data);
+            let reach = split.egress(now, src, dst, bytes, MsgClass::Data);
+            let b = if src.host == dst.host {
+                reach
+            } else {
+                split.ingress(reach, dst, bytes)
+            };
+            assert_eq!(a, b, "msg {i}");
+        }
+        assert_eq!(whole.stats(), split.stats());
+    }
+
+    #[test]
+    fn transmit_egress_is_channel_order_independent() {
+        use cord_sim::fault::{FaultPlan, FaultRule};
+        let plan = || {
+            FaultPlan::new(41).with_rule(FaultRule {
+                drop: 0.25,
+                dup: 0.25,
+                jitter: Time::from_ns(20),
+                ..FaultRule::default()
+            })
+        };
+        // Drive two channels interleaved, then the same two back-to-back:
+        // each channel's fault verdict stream must be identical, because
+        // decisions are numbered per channel rather than globally.
+        let fate = |d: EgressDelivery| match d {
+            EgressDelivery::Deliver { faulted, .. } => (0u8, faulted),
+            EgressDelivery::Drop => (1, Time::ZERO),
+            EgressDelivery::Duplicate { .. } => (2, Time::ZERO),
+        };
+        let chan = |i: u64| {
+            if i.is_multiple_of(2) {
+                (TileId::new(0, 1), TileId::new(1, 1))
+            } else {
+                (TileId::new(2, 1), TileId::new(3, 1))
+            }
+        };
+        let mut interleaved = Noc::new(NocConfig::cxl(4, 8));
+        interleaved.set_faults(Some(plan()));
+        let mut inter_fates = [Vec::new(), Vec::new()];
+        for i in 0..200u64 {
+            let (src, dst) = chan(i);
+            let d =
+                interleaved.transmit_egress(Time::from_ns(i * 50), src, dst, 64, MsgClass::Data);
+            inter_fates[(i % 2) as usize].push(fate(d));
+        }
+        for which in 0..2u64 {
+            let mut alone = Noc::new(NocConfig::cxl(4, 8));
+            alone.set_faults(Some(plan()));
+            let (src, dst) = chan(which);
+            let fates: Vec<_> = (0..100u64)
+                .map(|j| {
+                    let now = Time::from_ns((j * 2 + which) * 50);
+                    fate(alone.transmit_egress(now, src, dst, 64, MsgClass::Data))
+                })
+                .collect();
+            assert_eq!(fates, inter_fates[which as usize], "channel {which}");
+        }
+    }
+
+    #[test]
+    fn traffic_stats_merge_sums_partitions() {
+        let mut a = TrafficStats::default();
+        let mut b = TrafficStats::default();
+        a.record(MsgClass::Data, 100, true);
+        a.record(MsgClass::Ack, 16, false);
+        b.record(MsgClass::Data, 50, true);
+        b.faults.dropped = 3;
+        b.faults.retransmits = 2;
+        let mut sum = TrafficStats::default();
+        sum.merge(&a);
+        sum.merge(&b);
+        assert_eq!(sum[MsgClass::Data].inter_bytes, 150);
+        assert_eq!(sum[MsgClass::Ack].intra_msgs, 1);
+        assert_eq!(sum.faults.dropped, 3);
+        assert_eq!(sum.faults.retransmits, 2);
+        assert_eq!(sum.inter_msgs(), 2);
     }
 
     #[test]

@@ -54,6 +54,17 @@ impl FaultStats {
     pub fn any(&self) -> bool {
         *self != FaultStats::default()
     }
+
+    /// Adds `other`'s counters into `self` (all counters are additive, so
+    /// per-partition stats sum to the whole-system stats in any order).
+    pub fn merge(&mut self, other: &FaultStats) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.retransmits += other.retransmits;
+        self.spurious_retransmits += other.spurious_retransmits;
+        self.dup_dropped += other.dup_dropped;
+    }
 }
 
 /// Aggregate traffic statistics, indexable by [`MsgClass`].
@@ -96,6 +107,19 @@ impl TrafficStats {
     /// Total intra-host bytes across all classes.
     pub fn intra_bytes(&self) -> u64 {
         self.classes.iter().map(|c| c.intra_bytes).sum()
+    }
+
+    /// Adds `other`'s counters into `self`. Every field is an additive
+    /// counter, so summing per-partition stats reproduces the single-queue
+    /// totals regardless of partition count or merge order.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for (mine, theirs) in self.classes.iter_mut().zip(other.classes.iter()) {
+            mine.inter_bytes += theirs.inter_bytes;
+            mine.inter_msgs += theirs.inter_msgs;
+            mine.intra_bytes += theirs.intra_bytes;
+            mine.intra_msgs += theirs.intra_msgs;
+        }
+        self.faults.merge(&other.faults);
     }
 
     /// Iterates `(class, stats)` pairs.

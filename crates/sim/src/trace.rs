@@ -398,6 +398,12 @@ pub trait TraceSink {
 
     /// Finalizes output (e.g. closes a JSON array). Called once at drain.
     fn flush(&mut self) {}
+
+    /// Downcast hook so owners of a boxed sink can recover a concrete type
+    /// (see [`BufSink`]). Sinks that never need recovery keep the default.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// The instrumentation handle held by the system runner.
@@ -407,7 +413,7 @@ pub trait TraceSink {
 /// emission site.
 #[derive(Default)]
 pub struct Tracer {
-    sink: Option<Box<dyn TraceSink>>,
+    sink: Option<Box<dyn TraceSink + Send>>,
     metrics: Option<MetricsRecorder>,
     seq: u64,
 }
@@ -433,7 +439,7 @@ impl Tracer {
     }
 
     /// A tracer writing to `sink`.
-    pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
+    pub fn with_sink(sink: Box<dyn TraceSink + Send>) -> Self {
         Tracer {
             sink: Some(sink),
             metrics: None,
@@ -471,8 +477,15 @@ impl Tracer {
     }
 
     /// Installs (or replaces) the sink.
-    pub fn install(&mut self, sink: Box<dyn TraceSink>) {
+    pub fn install(&mut self, sink: Box<dyn TraceSink + Send>) {
         self.sink = Some(sink);
+    }
+
+    /// Removes and returns the sink, if installed. Used by the sharded
+    /// runner to recover a [`BufSink`]'s buffered events after a partition
+    /// finishes.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink + Send>> {
+        self.sink.take()
     }
 
     /// Attaches (or replaces) the metrics recorder.
@@ -593,8 +606,10 @@ impl TraceSink for RingSink {
 ///
 /// The runner owns its [`Tracer`] (and thus the boxed sink), so tests and
 /// tools that want to inspect a [`RingSink`] or [`MetricsRecorder`] after
-/// the run wrap it in `Shared` and keep a clone. Runs are single-threaded,
-/// so an `Rc<RefCell<_>>` suffices.
+/// the run wrap it in `Shared` and keep a clone. An `Arc<Mutex<_>>` keeps
+/// the wrapper `Send`, so tracers can move into the sharded runner's worker
+/// threads; emission sites are single-threaded per tracer, so the lock is
+/// always uncontended.
 ///
 /// # Example
 ///
@@ -608,7 +623,7 @@ impl TraceSink for RingSink {
 /// assert_eq!(ring.with(|r| r.len()), 1);
 /// ```
 #[derive(Debug, Default)]
-pub struct Shared<S>(std::rc::Rc<std::cell::RefCell<S>>);
+pub struct Shared<S>(std::sync::Arc<std::sync::Mutex<S>>);
 
 impl<S> Clone for Shared<S> {
     fn clone(&self) -> Self {
@@ -619,26 +634,65 @@ impl<S> Clone for Shared<S> {
 impl<S> Shared<S> {
     /// Wraps `sink` for sharing.
     pub fn new(sink: S) -> Self {
-        Shared(std::rc::Rc::new(std::cell::RefCell::new(sink)))
+        Shared(std::sync::Arc::new(std::sync::Mutex::new(sink)))
     }
 
     /// Runs `f` against the inner sink.
     pub fn with<R>(&self, f: impl FnOnce(&S) -> R) -> R {
-        f(&self.0.borrow())
+        f(&self.0.lock().expect("trace sink poisoned"))
     }
 
     /// Runs `f` against the inner sink mutably.
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
-        f(&mut self.0.borrow_mut())
+        f(&mut self.0.lock().expect("trace sink poisoned"))
     }
 }
 
 impl<S: TraceSink> TraceSink for Shared<S> {
     fn emit(&mut self, ev: &TraceEvent) {
-        self.0.borrow_mut().emit(ev);
+        self.0.lock().expect("trace sink poisoned").emit(ev);
     }
     fn flush(&mut self) {
-        self.0.borrow_mut().flush();
+        self.0.lock().expect("trace sink poisoned").flush();
+    }
+}
+
+/// An unbounded in-memory sink that simply appends every event.
+///
+/// The sharded runner installs one per partition: each partition records its
+/// events locally (with partition-local sequence numbers), and the merge
+/// step recovers the buffers through [`TraceSink::as_any_mut`] /
+/// [`Tracer::take_sink`] and replays them, in deterministic merged order,
+/// through the run's real tracer.
+#[derive(Debug, Default)]
+pub struct BufSink {
+    events: Vec<TraceEvent>,
+}
+
+impl BufSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BufSink::default()
+    }
+
+    /// The buffered events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Takes the buffered events out, leaving the sink empty.
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl TraceSink for BufSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -56,6 +56,102 @@ fn event_queue_allows_now_pushes() {
     }
 }
 
+/// A reference priority queue with the exact `(time, insertion seq)` order
+/// contract — the `BinaryHeap` implementation the calendar queue replaced.
+struct RefQueue<E> {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(Time, u64, E)>>,
+    next_seq: u64,
+}
+
+impl<E: Ord> RefQueue<E> {
+    fn new() -> Self {
+        RefQueue {
+            heap: std::collections::BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+    fn push(&mut self, at: Time, payload: E) {
+        self.heap
+            .push(std::cmp::Reverse((at, self.next_seq, payload)));
+        self.next_seq += 1;
+    }
+    fn pop(&mut self) -> Option<(Time, E)> {
+        let std::cmp::Reverse((t, _, p)) = self.heap.pop()?;
+        Some((t, p))
+    }
+    fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|std::cmp::Reverse((t, _, _))| *t)
+    }
+}
+
+/// The calendar queue dequeues in exactly the reference heap's tie-break
+/// order on randomized interleaved push/pop workloads, including far-future
+/// timers (overflow rung), same-time bursts (cohort staging), mid-drain
+/// pushes, `pop_if_at` probes, and calendar growth.
+#[test]
+fn calendar_queue_matches_reference_heap_order() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xCA1E17DA).stream(case);
+        let mut q = EventQueue::new();
+        let mut r = RefQueue::new();
+        let ops = rng.range_usize(50..3000);
+        let mut now = 0u64; // ps
+        let mut pushed = 0u64;
+        for _ in 0..ops {
+            let roll = rng.unit_f64();
+            if roll < 0.55 {
+                // Mixed scales: sub-ns cycles, mesh hops, fabric latencies,
+                // and occasional RTO-scale far-future timers.
+                let delta = match rng.range_u64(0..10) {
+                    0..=3 => rng.range_u64(0..2_000),
+                    4..=6 => rng.range_u64(0..150_000),
+                    7..=8 => 0, // same-instant burst
+                    _ => rng.range_u64(1_000_000..100_000_000),
+                };
+                let at = Time::from_ps(now + delta);
+                q.push(at, pushed);
+                r.push(at, pushed);
+                pushed += 1;
+            } else if roll < 0.8 {
+                assert_eq!(q.peek_time(), r.peek_time(), "case {case}");
+                let got = q.pop();
+                let want = r.pop();
+                assert_eq!(got, want, "case {case}");
+                if let Some((t, _)) = got {
+                    now = t.as_ps();
+                }
+            } else {
+                // pop_if_at probe at the head time (hit) or now (maybe miss).
+                let at = if rng.chance(0.5) {
+                    q.peek_time().unwrap_or(Time::from_ps(now))
+                } else {
+                    Time::from_ps(now)
+                };
+                let want = if r.peek_time() == Some(at) {
+                    r.pop().map(|(_, e)| e)
+                } else {
+                    None
+                };
+                let got = q.pop_if_at(at);
+                assert_eq!(got, want, "case {case}");
+                if got.is_some() {
+                    now = at.as_ps();
+                }
+            }
+            assert_eq!(q.len(), r.heap.len(), "case {case}");
+        }
+        // Full drain must agree event-for-event.
+        loop {
+            assert_eq!(q.peek_time(), r.peek_time(), "case {case} drain");
+            let (got, want) = (q.pop(), r.pop());
+            assert_eq!(got, want, "case {case} drain");
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+}
+
 /// Stall episodes never lose time: total equals the sum of (end - begin)
 /// for well-formed begin/end pairs.
 #[test]

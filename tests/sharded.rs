@@ -1,0 +1,269 @@
+//! Sharded-engine determinism: the conservative-lookahead parallel runner
+//! must produce bit-identical results, traces, and metrics for every worker
+//! count (the partition count is fixed at the host count; workers only
+//! decide what executes concurrently).
+
+use cord_repro::cord::{RunResult, System};
+use cord_repro::cord_proto::{ConsistencyModel, ProtocolKind, SystemConfig};
+use cord_repro::cord_sim::trace::{render_event, BufSink, MetricsRecorder};
+use cord_repro::cord_sim::Time;
+use cord_repro::cord_workloads::{AppSpec, MicroBench};
+
+const FAULT_SPEC: &str = "seed=11; drop=0.04; dup=0.02; jitter=200";
+
+fn micro_system(kind: ProtocolKind, hosts: u32, faults: bool) -> System {
+    let cfg = SystemConfig::cxl(kind, hosts).with_model(ConsistencyModel::Rc);
+    let programs = MicroBench::new(256, 4096, hosts - 1)
+        .with_iters(2)
+        .programs(&cfg);
+    let mut sys = System::new(cfg, programs);
+    sys.set_sim_threads(None); // isolate from CORD_SIM_THREADS in the env
+    if faults {
+        sys.set_fault_spec(FAULT_SPEC).expect("fault spec");
+    }
+    sys
+}
+
+fn app_system(name: &str, hosts: u32, faults: bool) -> System {
+    let cfg = SystemConfig::cxl(ProtocolKind::Cord, hosts);
+    let mut app = AppSpec::by_name(name).expect("known app");
+    app.iters = 2;
+    let programs = app.programs(&cfg);
+    let mut sys = System::new(cfg, programs);
+    sys.set_sim_threads(None);
+    if faults {
+        sys.set_fault_spec(FAULT_SPEC).expect("fault spec");
+    }
+    sys
+}
+
+/// Everything observable about a run, rendered to a comparable string.
+fn fingerprint(r: &RunResult) -> String {
+    let mut stalls: Vec<_> = r.stalls.iter().map(|(c, t)| format!("{c:?}={t}")).collect();
+    stalls.sort();
+    format!(
+        "makespan={} drained={} events={} polls={} regs={:?} stalls=[{}] \
+         traffic={:?} proc={:?} dir={:?}",
+        r.makespan,
+        r.drained,
+        r.events,
+        r.polls,
+        r.regs,
+        stalls.join(","),
+        r.traffic,
+        r.proc_storages,
+        r.dir_storages,
+    )
+}
+
+fn run_with_workers(mut sys: System, workers: usize) -> RunResult {
+    sys.set_sim_threads(Some(workers));
+    sys.try_run().expect("sharded run")
+}
+
+#[test]
+fn results_identical_across_worker_counts() {
+    for kind in [ProtocolKind::Cord, ProtocolKind::So] {
+        let base = fingerprint(&run_with_workers(micro_system(kind, 8, false), 1));
+        for workers in [2, 3, 8] {
+            let got = fingerprint(&run_with_workers(micro_system(kind, 8, false), workers));
+            assert_eq!(base, got, "{kind:?} diverged at {workers} workers");
+        }
+    }
+}
+
+#[test]
+fn results_identical_across_worker_counts_under_faults() {
+    let base = fingerprint(&run_with_workers(
+        micro_system(ProtocolKind::Cord, 8, true),
+        1,
+    ));
+    for workers in [2, 8] {
+        let got = fingerprint(&run_with_workers(
+            micro_system(ProtocolKind::Cord, 8, true),
+            workers,
+        ));
+        assert_eq!(base, got, "faulted run diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn app_results_identical_across_worker_counts() {
+    let base = fingerprint(&run_with_workers(app_system("MOCFE", 4, false), 1));
+    for workers in [2, 4] {
+        let got = fingerprint(&run_with_workers(app_system("MOCFE", 4, false), workers));
+        assert_eq!(base, got, "MOCFE diverged at {workers} workers");
+    }
+}
+
+/// Runs with the tracer + metrics attached and returns every trace line plus
+/// the rendered metrics report.
+fn traced_run(mut sys: System, workers: usize) -> (Vec<String>, String) {
+    sys.set_sim_threads(Some(workers));
+    sys.tracer_mut().install(Box::new(BufSink::new()));
+    sys.tracer_mut().attach_metrics(MetricsRecorder::default());
+    let r = sys.try_run().expect("traced sharded run");
+    let metrics = r.metrics.expect("metrics recorded").render_text();
+    let mut sink = sys.tracer_mut().take_sink().expect("sink back");
+    let buf = sink
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<BufSink>())
+        .expect("BufSink");
+    let lines = buf.take().iter().map(render_event).collect();
+    (lines, metrics)
+}
+
+#[test]
+fn traces_and_metrics_identical_across_worker_counts() {
+    let (base_trace, base_metrics) = traced_run(micro_system(ProtocolKind::Cord, 8, false), 1);
+    assert!(!base_trace.is_empty());
+    for workers in [2, 8] {
+        let (trace, metrics) = traced_run(micro_system(ProtocolKind::Cord, 8, false), workers);
+        assert_eq!(base_trace, trace, "trace diverged at {workers} workers");
+        assert_eq!(
+            base_metrics, metrics,
+            "metrics diverged at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn traces_identical_across_worker_counts_under_faults() {
+    let (base_trace, base_metrics) = traced_run(micro_system(ProtocolKind::Cord, 8, true), 1);
+    assert!(
+        base_trace.iter().any(|l| l.contains("fabric:")),
+        "fault injections should appear in the trace"
+    );
+    for workers in [2, 8] {
+        let (trace, metrics) = traced_run(micro_system(ProtocolKind::Cord, 8, true), workers);
+        assert_eq!(
+            base_trace, trace,
+            "faulted trace diverged at {workers} workers"
+        );
+        assert_eq!(base_metrics, metrics);
+    }
+}
+
+/// The sharded engine must agree with the monolithic engine on the
+/// *semantics* of a run: final memory/register observations and program
+/// completion. (Trace interleavings legitimately differ — cross-host sends
+/// are logged at port arrival rather than final delivery.)
+#[test]
+fn sharded_matches_monolithic_observations() {
+    for kind in [ProtocolKind::Cord, ProtocolKind::So, ProtocolKind::Wb] {
+        let mono = micro_system(kind, 8, false).try_run().expect("monolithic");
+        let shard = run_with_workers(micro_system(kind, 8, false), 8);
+        assert_eq!(mono.regs, shard.regs, "{kind:?} observations diverged");
+        assert!(shard.makespan > Time::ZERO);
+    }
+}
+
+/// Single-host systems have no cross-partition edges; the one partition
+/// runs to completion in a single round.
+#[test]
+fn single_host_runs_in_one_partition() {
+    let one_host = || {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 1);
+        let data = cfg.map.addr_on_host(0, 0);
+        let flag = cfg.map.addr_on_host(0, 4096);
+        let mut programs = vec![cord_repro::cord_proto::Program::new(); cfg.total_tiles() as usize];
+        programs[0] = cord_repro::cord_proto::Program::build()
+            .bulk_store(data, 2048, 64, 3)
+            .store_release(flag, 1)
+            .finish();
+        programs[1] = cord_repro::cord_proto::Program::build()
+            .wait_value(flag, 1)
+            .load(data, 8, cord_repro::cord_proto::LoadOrd::Acquire, 1)
+            .finish();
+        let mut sys = System::new(cfg, programs);
+        sys.set_sim_threads(None);
+        sys
+    };
+    let base = fingerprint(&run_with_workers(one_host(), 1));
+    let got = fingerprint(&run_with_workers(one_host(), 4));
+    assert_eq!(base, got);
+}
+
+/// Replays the committed fuzzer repro corpus through the sharded engine:
+/// for every scenario (baseline and faulted phase alike) the outcome —
+/// success fingerprint or error — must be identical at 1 and 2 workers.
+/// The corpus is the diversity net here: protocols, host counts, fault
+/// specs, and event-cap/hang scenarios the fuzzer has actually found.
+#[test]
+fn repro_corpus_outcomes_identical_across_worker_counts() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/repros");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/repros must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "repro"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 6, "corpus unexpectedly small");
+
+    let outcome =
+        |scenario: &cord_repro::cord_fuzz::Scenario, faulted: bool, workers: usize| -> String {
+            let run = std::panic::catch_unwind(|| {
+                let cfg = scenario.config();
+                let programs = scenario.programs(&cfg);
+                let mut sys = System::new(cfg, programs);
+                sys.set_sim_threads(Some(workers));
+                sys.set_max_events(scenario.max_events);
+                if faulted {
+                    let spec = scenario.faults.as_deref().expect("faulted phase");
+                    sys.set_fault_spec(spec).expect("corpus spec parses");
+                }
+                match sys.try_run() {
+                    Ok(r) => format!("ok {}", fingerprint(&r)),
+                    Err(e) => format!("err {e}"),
+                }
+            });
+            run.unwrap_or_else(|p| {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic".into());
+                format!("panic {msg}")
+            })
+        };
+
+    for path in files {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let repro = cord_repro::cord_fuzz::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for faulted in [false, true] {
+            if faulted && repro.scenario.faults.is_none() {
+                continue;
+            }
+            let base = outcome(&repro.scenario, faulted, 1);
+            let got = outcome(&repro.scenario, faulted, 2);
+            assert_eq!(
+                base, got,
+                "{name} (faulted={faulted}): outcome diverged between 1 and 2 workers"
+            );
+        }
+    }
+}
+
+/// The liveness watchdog still fires under the sharded engine, with a
+/// narrative that names the stuck cores, and identically at any worker
+/// count.
+#[test]
+fn sharded_watchdog_reports_stuck_cores() {
+    let hang = |workers: usize| {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+        let flag = cfg.map.addr_on_host(1, 4096);
+        let mut programs = vec![cord_repro::cord_proto::Program::new(); cfg.total_tiles() as usize];
+        // Waits on a flag nobody ever publishes.
+        programs[0] = cord_repro::cord_proto::Program::build()
+            .wait_value(flag, 1)
+            .finish();
+        let mut sys = System::new(cfg, programs);
+        sys.set_sim_threads(Some(workers));
+        sys.set_watchdog(Some(Time::from_us(10)));
+        sys.try_run().expect_err("must hang").to_string()
+    };
+    let base = hang(1);
+    assert!(base.contains("stuck at pc"), "narrative was: {base}");
+    assert_eq!(base, hang(2), "watchdog verdict diverged across workers");
+}
