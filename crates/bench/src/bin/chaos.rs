@@ -22,6 +22,7 @@ use cord::{RunError, RunResult, System};
 use cord_bench::print_table;
 use cord_bench::sweep::Recorder;
 use cord_proto::{Program, ProtocolKind, SystemConfig};
+use cord_sim::obs::Progress;
 use cord_sim::Time;
 use cord_workloads::handshake::{multi_dir, single_dst};
 
@@ -92,6 +93,13 @@ fn main() {
     let (rounds, words) = if quick { (4, 8) } else { (8, 16) };
 
     let mut rec = Recorder::new("chaos");
+    // Campaign size, counted up front for the status line: engines × their
+    // eligible workloads × plans × seeds.
+    let workloads_for = |kind: ProtocolKind| if kind.global_rc() { 2u64 } else { 1 };
+    let units: u64 = ENGINES.iter().map(|&k| workloads_for(k)).sum::<u64>()
+        * PLANS.len() as u64
+        * seeds.len() as u64;
+    let prog = Progress::new("chaos", units);
     let mut cells: Vec<Cell> = Vec::new();
     for &kind in &ENGINES {
         for workload in ["single", "multi"] {
@@ -113,9 +121,11 @@ fn main() {
                     let label = format!("{}/{workload}/{plan}/s{seed}", kind.label());
                     let (outcome, wall_ms, consumer) =
                         run_cell(kind, hosts, programs_for.as_ref(), Some(&full));
-                    if let Ok(r) = &outcome {
-                        rec.record(&label, wall_ms, r.completion().as_ns_f64());
+                    match &outcome {
+                        Ok(r) => rec.record(&label, wall_ms, r.completion().as_ns_f64()),
+                        Err(_) => prog.flag(),
                     }
+                    prog.inc(1);
                     cells.push(Cell {
                         label,
                         outcome,
@@ -128,6 +138,7 @@ fn main() {
         }
     }
 
+    prog.finish(&format!("chaos: {} cell(s) run", cells.len()));
     let mut rows = Vec::new();
     let mut failures = 0u32;
     for cell in &cells {

@@ -32,6 +32,7 @@ use std::time::Instant;
 use cord::System;
 use cord_bench::print_table;
 use cord_proto::{ConsistencyModel, ProtocolKind, SystemConfig};
+use cord_sim::obs::Progress;
 use cord_sim::{DetRng, EventQueue, Time};
 
 /// Binary-heap reference queue: the exact shape `EventQueue` had before
@@ -331,6 +332,25 @@ fn scrape_entries(json: &str, quick: bool) -> Vec<(String, f64)> {
     let tail = &json[entry_at..];
     let end = tail[1..].find("\"bench\"").map_or(tail.len(), |i| i + 1);
     let entry = &tail[..end];
+    scrape_labels(entry)
+}
+
+/// The host core count a baseline record was taken on, from its
+/// `"cores":N` field.
+fn scrape_cores(json: &str, quick: bool) -> Option<usize> {
+    let needle = format!("\"quick\":{quick}");
+    let entry_at = json.find(&needle)?;
+    let tail = &json[entry_at..];
+    let end = tail[1..].find("\"bench\"").map_or(tail.len(), |i| i + 1);
+    let k = tail[..end].find("\"cores\":")?;
+    let num: String = tail[k + 8..end]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    num.parse().ok()
+}
+
+fn scrape_labels(entry: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     let mut rest = entry;
     while let Some(i) = rest.find("\"label\":\"") {
@@ -382,11 +402,15 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let (iters, reps) = if quick { (4, 1) } else { (12, 3) };
 
+    // 6 queue cells, 5 scaling cells, 1 profiled run.
+    let prog = Progress::new("despeed", 12);
+
     // -- Queue microbenchmarks --------------------------------------------
     let mut qrows = Vec::new();
     for workload in ["uniform", "burst", "far"] {
         for imp in ["heap", "calendar"] {
             qrows.push(queue_cell(workload, imp, ops, batches));
+            prog.inc(1);
         }
     }
     let mut table = Vec::new();
@@ -408,9 +432,29 @@ fn main() {
 
     // -- Engine scaling ---------------------------------------------------
     let mut srows = vec![scale_cell(iters, None, reps)];
+    prog.inc(1);
     for workers in [1usize, 2, 4, 8] {
         srows.push(scale_cell(iters, Some(workers), reps));
+        prog.inc(1);
     }
+    // One extra self-profiled sharded run for the record. It is deliberately
+    // not one of the measured cells: the per-event wall-clock timers perturb
+    // events/sec, so the profile rides the JSON as a separate,
+    // non-deterministic annotation that the regression gate never reads
+    // (its rows use "class"/"ns", not "label"/"per_sec").
+    let profile = {
+        let mut sys = scale_system(iters);
+        sys.set_sim_threads(Some(cores.min(4)));
+        sys.set_profiling(true);
+        let r = sys.try_run().expect("profile run");
+        prog.inc(1);
+        r.profile.expect("profiling was enabled")
+    };
+    prog.finish(&format!(
+        "despeed: {} queue cell(s), {} scaling cell(s), 1 profiled run",
+        qrows.len(),
+        srows.len()
+    ));
     let sharded: Vec<&ScaleRow> = srows.iter().filter(|r| r.engine == "sharded").collect();
     for r in &sharded[1..] {
         assert_eq!(
@@ -504,9 +548,10 @@ fn main() {
         .map(|r| r.events_per_sec)
         .fold(0f64, f64::max);
     json.push_str(&format!(
-        "],\"speedup_best_vs_1\":{:.3},\"best_events_per_sec\":{:.0}}}",
+        "],\"speedup_best_vs_1\":{:.3},\"best_events_per_sec\":{:.0},\"profile\":{}}}",
         best / base_eps,
-        best
+        best,
+        profile.to_json()
     ));
     // Preserve the other mode's record, keeping quick-then-full order.
     let other_tag = format!("\"quick\":{}", !quick);
@@ -538,6 +583,17 @@ fn main() {
         if old.is_empty() {
             println!("no matching baseline entry (quick={quick}) in {baseline_path}; gate skipped");
             return;
+        }
+        // Throughput baselines only transfer between same-width hosts; on a
+        // different machine the comparison is advisory, not a gate.
+        if let Some(base_cores) = scrape_cores(&base, quick) {
+            if base_cores != cores {
+                println!(
+                    "WARNING: baseline in {baseline_path} was recorded on {base_cores} core(s) \
+                     but this host has {cores}; throughputs are not comparable — gate skipped"
+                );
+                return;
+            }
         }
         let mut failures = Vec::new();
         let mut gated = 0usize;

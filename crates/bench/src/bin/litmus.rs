@@ -18,6 +18,8 @@ use std::time::Instant;
 
 use cord_bench::print_table;
 use cord_bench::sweep::Recorder;
+use cord_sim::obs::Progress;
+
 use cord_check::{
     campaign_entries, classic_suite, explore, explore_all_placements, explore_with,
     narrate_violation, scaling_suite, stress_configs, weak_suite, CheckConfig, ExploreOpts, Litmus,
@@ -28,6 +30,7 @@ const CAP: usize = 2_000_000;
 
 fn explore_recorded(
     rec: &mut Recorder,
+    prog: &Progress,
     label: &str,
     cfg: &CheckConfig,
     lit: &Litmus,
@@ -35,6 +38,7 @@ fn explore_recorded(
     let t0 = Instant::now();
     let out = explore_all_placements(cfg, lit, CAP);
     rec.record(label, t0.elapsed().as_secs_f64() * 1e3, 0.0);
+    prog.inc(1);
     out
 }
 
@@ -55,9 +59,17 @@ fn check_scaling_pass(
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         total_ms += wall_ms;
         let states_per_sec = report.states as f64 / (wall_ms / 1e3).max(1e-9);
+        // Per-level frontier sizes: the deterministic search-shape series
+        // (same role as the simulator's CORD_OBS time series).
+        let frontier = stats
+            .frontier
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",");
         let metrics = format!(
-            "{{\"states\":{},\"peak_frontier\":{},\"levels\":{},\"sym_order\":{},\"states_per_sec\":{:.0}}}",
-            report.states, stats.peak_frontier, stats.levels, stats.symmetry_order, states_per_sec
+            "{{\"states\":{},\"peak_frontier\":{},\"levels\":{},\"sym_order\":{},\"states_per_sec\":{:.0},\"frontier\":[{}]}}",
+            report.states, stats.peak_frontier, stats.levels, stats.symmetry_order, states_per_sec, frontier
         );
         rec.record_with_metrics(&format!("{tag}/{label}"), wall_ms, 0.0, Some(metrics));
     }
@@ -66,6 +78,10 @@ fn check_scaling_pass(
 
 fn main() {
     let mut rec = Recorder::new("litmus");
+    // One progress unit per (system, shape) exploration: every stress
+    // config, SO, mixed, and MP over the classic suite, plus the weak suite.
+    let units = (stress_configs().len() + 3) * classic_suite().len() + weak_suite().len();
+    let prog = Progress::new("litmus", units as u64);
     let mut rows = Vec::new();
     let mut total_checks = 0usize;
     let mut total_states = 0usize;
@@ -81,7 +97,7 @@ fn main() {
         for lit in classic_suite() {
             let cfg = mk(lit.thread_count(), 3);
             let label = format!("CORD[{cfg_name}]/{}", lit.name);
-            for (_, report) in explore_recorded(&mut rec, &label, &cfg, &lit) {
+            for (_, report) in explore_recorded(&mut rec, &prog, &label, &cfg, &lit) {
                 checks += 1;
                 states += report.states;
                 match report.verdict(&lit) {
@@ -128,7 +144,7 @@ fn main() {
                 }
             };
             let label = format!("{name}/{}", lit.name);
-            for (_, report) in explore_recorded(&mut rec, &label, &cfg, &lit) {
+            for (_, report) in explore_recorded(&mut rec, &prog, &label, &cfg, &lit) {
                 checks += 1;
                 states += report.states;
                 match report.verdict(&lit) {
@@ -157,7 +173,7 @@ fn main() {
         let mut bad = false;
         let cfg = CheckConfig::mp(lit.thread_count(), 3);
         let label = format!("MP/{}", lit.name);
-        for (_, report) in explore_recorded(&mut rec, &label, &cfg, &lit) {
+        for (_, report) in explore_recorded(&mut rec, &prog, &label, &cfg, &lit) {
             mp_checks += 1;
             bad |= !report.violations(&lit).is_empty();
         }
@@ -200,7 +216,7 @@ fn main() {
         let mut seen = false;
         let cfg = CheckConfig::cord(lit.thread_count(), 3);
         let label = format!("weak/{}", lit.name);
-        for (_, report) in explore_recorded(&mut rec, &label, &cfg, &lit) {
+        for (_, report) in explore_recorded(&mut rec, &prog, &label, &cfg, &lit) {
             seen |= report.outcomes.iter().any(|flat| {
                 let split = flat.len() - lit.vars as usize;
                 let (reg_flat, mem) = flat.split_at(split);
@@ -211,6 +227,9 @@ fn main() {
             weak_ok += 1;
         }
     }
+    prog.finish(&format!(
+        "litmus: {total_checks} checks, {total_states} states explored"
+    ));
     println!(
         "Weak (RC-allowed) outcomes reachable: {weak_ok}/{}",
         weak_suite().len()

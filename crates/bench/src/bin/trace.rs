@@ -28,9 +28,12 @@
 use cord::System;
 use cord_bench::{config, Fabric};
 use cord_proto::{ConsistencyModel, ProtocolKind};
+use cord_sim::obs;
 use cord_sim::trace::{
     render_event, ChromeTraceWriter, MetricsRecorder, RingSink, Shared, TraceEvent, TraceSink,
+    Tracer,
 };
+use cord_sim::Time;
 use cord_workloads::{AppSpec, MicroBench};
 
 /// Fans one event stream out to the trace file and an in-memory tail.
@@ -54,20 +57,26 @@ struct Args {
     app: Option<String>,
     micro: Option<(u32, u64, u32)>,
     repro: Option<String>,
+    flight: Option<String>,
     proto: ProtocolKind,
     fabric: Fabric,
     hosts: u32,
     iters: u32,
     out: String,
+    /// `--out` was given explicitly (so a Perfetto trace is wanted even
+    /// when `--metrics-out` would otherwise make it optional).
+    out_explicit: bool,
+    metrics_out: Option<String>,
     tail: usize,
     faults: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trace [--app NAME | --micro STORE_GRAN,SYNC_GRAN,FANOUT | --repro FILE] \
+        "usage: trace [--app NAME | --micro STORE_GRAN,SYNC_GRAN,FANOUT | --repro FILE \
+         | --flight FILE] \
          [--proto cord|so|mp|wb|seq8|seq40] [--fabric cxl|upi] \
-         [--hosts N] [--iters N] [--out PATH] [--tail N] \
+         [--hosts N] [--iters N] [--out PATH] [--metrics-out PATH] [--tail N] \
          [--faults \"seed=N; drop=P; dup=P; jitter=NS; ...\"]"
     );
     std::process::exit(2)
@@ -78,11 +87,14 @@ fn parse_args() -> Args {
         app: None,
         micro: None,
         repro: None,
+        flight: None,
         proto: ProtocolKind::Cord,
         fabric: Fabric::Cxl,
         hosts: 4,
         iters: 2,
         out: "results/cord_trace.json".into(),
+        out_explicit: false,
+        metrics_out: None,
         tail: 16,
         faults: None,
     };
@@ -127,25 +139,73 @@ fn parse_args() -> Args {
             }
             "--hosts" => args.hosts = val().parse().unwrap_or_else(|_| usage()),
             "--iters" => args.iters = val().parse().unwrap_or_else(|_| usage()),
-            "--out" => args.out = val(),
+            "--out" => {
+                args.out = val();
+                args.out_explicit = true;
+            }
+            "--metrics-out" => args.metrics_out = Some(val()),
             "--tail" => args.tail = val().parse().unwrap_or_else(|_| usage()),
             "--faults" => args.faults = Some(val()),
             "--repro" => args.repro = Some(val()),
+            "--flight" => args.flight = Some(val()),
             _ => usage(),
         }
         i += 1;
     }
     let sources = usize::from(args.app.is_some())
         + usize::from(args.micro.is_some())
-        + usize::from(args.repro.is_some());
+        + usize::from(args.repro.is_some())
+        + usize::from(args.flight.is_some());
     if sources > 1 {
         usage();
     }
     args
 }
 
+/// Replays a flight-recorder dump (`# cord-flight v1`): prints the failure
+/// header, re-derives the metrics summary by replaying the retained events
+/// through a fresh recorder, and echoes the tail of the merged stream.
+fn replay_flight(path: &str, tail: usize) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2)
+    });
+    let dump = obs::parse_flight(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2)
+    });
+    let merged = dump.merged();
+    let parts: std::collections::BTreeSet<u32> = merged.iter().map(|&(p, _)| p).collect();
+    println!(
+        "flight dump {path}: {} event(s) retained across {} partition(s)",
+        merged.len(),
+        parts.len().max(1)
+    );
+    println!("error: {}", dump.error);
+    let mut tracer = Tracer::default();
+    tracer.attach_metrics(MetricsRecorder::default());
+    for (_, ev) in &merged {
+        tracer.emit(ev.at, ev.data);
+    }
+    tracer.finish();
+    if let Some(m) = tracer.take_metrics().map(|m| m.snapshot()) {
+        println!("\n{}", m.render_text());
+    }
+    if tail > 0 {
+        let skip = merged.len().saturating_sub(tail);
+        println!("last {} trace events:", merged.len() - skip);
+        for (part, ev) in merged.iter().skip(skip) {
+            println!("  p{part} {}", render_event(ev));
+        }
+    }
+}
+
 fn main() {
     let mut args = parse_args();
+    if let Some(path) = args.flight.clone() {
+        replay_flight(&path, args.tail);
+        return;
+    }
     let (cfg, label, programs, fabric) = if let Some(path) = &args.repro {
         // `CORD_FAULTS` must not leak into a repro replay; the file's own
         // spec (or an explicit `--faults`) is the only fault source.
@@ -186,14 +246,19 @@ fn main() {
         (cfg, label, programs, args.fabric.label())
     };
 
-    if let Some(dir) = std::path::Path::new(&args.out).parent() {
-        if !dir.as_os_str().is_empty() {
-            let _ = std::fs::create_dir_all(dir);
+    // With `--metrics-out` and no explicit `--out`, the Perfetto file is
+    // skipped entirely — a metrics/series dump should not require one.
+    let want_perfetto = args.metrics_out.is_none() || args.out_explicit;
+    let writer = want_perfetto.then(|| {
+        if let Some(dir) = std::path::Path::new(&args.out).parent() {
+            if !dir.as_os_str().is_empty() {
+                let _ = std::fs::create_dir_all(dir);
+            }
         }
-    }
-    let writer = ChromeTraceWriter::create(&args.out).unwrap_or_else(|e| {
-        eprintln!("cannot create {}: {e}", args.out);
-        std::process::exit(1)
+        ChromeTraceWriter::create(&args.out).unwrap_or_else(|e| {
+            eprintln!("cannot create {}: {e}", args.out);
+            std::process::exit(1)
+        })
     });
     let tail = Shared::new(RingSink::new(args.tail.max(1)));
 
@@ -205,11 +270,18 @@ fn main() {
             std::process::exit(2)
         });
     }
-    sys.tracer_mut().install(Box::new(Tee {
-        file: Box::new(writer),
-        tail: tail.clone(),
-    }));
+    match writer {
+        Some(w) => sys.tracer_mut().install(Box::new(Tee {
+            file: Box::new(w),
+            tail: tail.clone(),
+        })),
+        None => sys.tracer_mut().install(Box::new(tail.clone())),
+    }
     sys.tracer_mut().attach_metrics(MetricsRecorder::default());
+    // `--metrics-out` implies sampling; `CORD_OBS` still picks the interval.
+    if args.metrics_out.is_some() && std::env::var_os("CORD_OBS").is_none() {
+        sys.set_sampling(Some(Time::from_us(1)));
+    }
     let proto = sys.config().protocol;
     let hosts = sys.config().noc.hosts;
     let r = match sys.try_run() {
@@ -235,6 +307,17 @@ fn main() {
         Some(m) => println!("\n{}", m.render_text()),
         None => println!("(no metrics recorded)"),
     }
+    if let Some(path) = &args.metrics_out {
+        let set = r.obs.clone().unwrap_or_default();
+        let json = obs::render_json(&set, r.metrics.as_ref());
+        match obs::write_output(path, &json) {
+            Ok(()) => println!("metrics + series written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1)
+            }
+        }
+    }
     if args.tail > 0 {
         println!("last {} trace events:", tail.with(|s| s.len()));
         tail.with(|s| {
@@ -243,8 +326,10 @@ fn main() {
             }
         });
     }
-    println!(
-        "\ntrace written to {} (open in https://ui.perfetto.dev)",
-        args.out
-    );
+    if want_perfetto {
+        println!(
+            "\ntrace written to {} (open in https://ui.perfetto.dev)",
+            args.out
+        );
+    }
 }

@@ -173,7 +173,7 @@ impl ExploreOpts {
 
 /// Search-shape counters from one exploration (all deterministic: identical
 /// at any thread count).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ExploreStats {
     /// Largest BFS level (states expanded in one synchronized step).
     pub peak_frontier: usize,
@@ -181,6 +181,9 @@ pub struct ExploreStats {
     pub levels: usize,
     /// Order of the symmetry group used (1 = no reduction).
     pub symmetry_order: usize,
+    /// Frontier size at each BFS level, in level order — the search-shape
+    /// time series (thread-count independent, like every other field).
+    pub frontier: Vec<u64>,
 }
 
 /// Deterministic 64-bit state fingerprint (SipHash with fixed keys).
@@ -317,6 +320,7 @@ pub fn explore_with(
         peak_frontier: 0,
         levels: 0,
         symmetry_order: sym.as_ref().map_or(1, Symmetry::order),
+        frontier: Vec::new(),
     };
     let mut shards: Vec<Shard> = (0..shards_n).map(|_| Shard::default()).collect();
     let init = {
@@ -349,6 +353,7 @@ pub fn explore_with(
         }
         stats.peak_frontier = stats.peak_frontier.max(frontier_total);
         stats.levels += 1;
+        stats.frontier.push(frontier_total as u64);
         let inputs: Vec<Vec<State>> = shards
             .iter_mut()
             .map(|sh| std::mem::take(&mut sh.frontier))

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use cord_mem::{Addr, Memory};
 use cord_noc::{Delivery, EgressDelivery, MsgClass, Noc, TileId, TrafficStats};
@@ -19,7 +20,8 @@ use cord_proto::{
     SystemConfig, Transport, TransportConfig, ACK_BYTES,
 };
 use cord_sim::fault::FaultPlan;
-use cord_sim::trace::{MetricsSnapshot, TraceData, Tracer};
+use cord_sim::obs::{self, ProfileSummary, Profiler, Sampler, SeriesSet};
+use cord_sim::trace::{MetricsSnapshot, RingSink, TraceData, Tracer};
 use cord_sim::{EventQueue, Time};
 
 use crate::any::{AnyCore, AnyDir};
@@ -63,6 +65,54 @@ pub(crate) enum Event {
         wire: Wire,
     },
 }
+
+impl Event {
+    /// Event-class labels, indexed by [`Event::kind_index`]. Shared by the
+    /// self-profiler's per-class buckets and the sampler's in-flight
+    /// series.
+    pub(crate) const KINDS: [&'static str; 8] = [
+        "deliver",
+        "deliver_seq",
+        "xport_ack",
+        "xport_timeout",
+        "core_step",
+        "core_wake",
+        "dir_wake",
+        "port_arrive",
+    ];
+
+    /// Index of this event's class in [`Event::KINDS`].
+    pub(crate) fn kind_index(&self) -> usize {
+        match self {
+            Event::Deliver(_) => 0,
+            Event::DeliverSeq { .. } => 1,
+            Event::XportAck { .. } => 2,
+            Event::XportTimeout { .. } => 3,
+            Event::CoreStep { .. } => 4,
+            Event::CoreWake { .. } => 5,
+            Event::DirWake { .. } => 6,
+            Event::PortArrive { .. } => 7,
+        }
+    }
+
+    /// This event's class label.
+    pub(crate) fn kind_label(&self) -> &'static str {
+        Self::KINDS[self.kind_index()]
+    }
+}
+
+/// Sampler series names for in-flight events per class, index-aligned with
+/// [`Event::KINDS`] (static so the sampling hot path never formats).
+const INFLIGHT_SERIES: [&str; 8] = [
+    "inflight_deliver",
+    "inflight_deliver_seq",
+    "inflight_xport_ack",
+    "inflight_xport_timeout",
+    "inflight_core_step",
+    "inflight_core_wake",
+    "inflight_dir_wake",
+    "inflight_port_arrive",
+];
 
 /// The cross-partition payload of a [`Event::PortArrive`] (sharded runs):
 /// everything the destination partition needs to finish a delivery whose
@@ -197,6 +247,14 @@ pub struct RunResult {
     /// Trace-derived metrics, when a `MetricsRecorder` was attached (via
     /// `CORD_TRACE=1` or [`System::tracer_mut`]).
     pub metrics: Option<MetricsSnapshot>,
+    /// Sim-time-sampled observability series, when sampling was armed (via
+    /// `CORD_OBS` or [`System::set_sampling`]). Deterministic: bit-identical
+    /// at any worker count.
+    pub obs: Option<SeriesSet>,
+    /// Wall-clock self-profile, when profiling was armed (via
+    /// `CORD_PROFILE` or [`System::set_profiling`]). Non-deterministic by
+    /// construction — never part of run fingerprints.
+    pub profile: Option<ProfileSummary>,
 }
 
 impl RunResult {
@@ -303,6 +361,17 @@ pub struct System {
     /// Set on partition `System`s inside a sharded run; `None` on ordinary
     /// (monolithic) systems.
     pub(crate) part: Option<Partition>,
+    /// Sim-time sampling of queue/transport gauges (`CORD_OBS` or
+    /// [`System::set_sampling`]); boxed to keep the disabled hot path's
+    /// `System` footprint unchanged.
+    pub(crate) sampler: Option<Box<Sampler>>,
+    /// Wall-clock self-profiler (`CORD_PROFILE` or
+    /// [`System::set_profiling`]).
+    pub(crate) profiler: Option<Box<Profiler>>,
+    /// Flight rings recovered from partitions after a failed sharded run,
+    /// held for the post-mortem dump and programmatic access
+    /// ([`System::take_flight_rings`]).
+    pub(crate) flight_rings: Vec<(u32, RingSink)>,
 }
 
 impl System {
@@ -365,7 +434,13 @@ impl System {
             fault_spec: None,
             sim_threads: sim_threads_from_env(),
             part: None,
+            sampler: sampler_from_env(),
+            profiler: profiler_from_env(),
+            flight_rings: Vec::new(),
         };
+        if let Some(cap) = flight_cap_from_env() {
+            sys.tracer.arm_flight(cap);
+        }
         if let Ok(spec) = std::env::var("CORD_FAULTS") {
             if !spec.is_empty() {
                 let fs = FaultSpec::parse(&spec).unwrap_or_else(|e| panic!("CORD_FAULTS: {e}"));
@@ -404,6 +479,31 @@ impl System {
     /// Sets (or disables) the liveness watchdog window.
     pub fn set_watchdog(&mut self, window: Option<Time>) {
         self.watchdog = window;
+    }
+
+    /// Arms (or disarms) sim-time sampling at the given grid interval. The
+    /// resulting series rides [`RunResult::obs`] and is bit-identical at
+    /// any worker count. Equivalent to the `CORD_OBS` environment knob.
+    pub fn set_sampling(&mut self, interval: Option<Time>) {
+        self.sampler = interval.map(|i| Box::new(Sampler::new(i)));
+    }
+
+    /// Arms (or disarms) the wall-clock self-profiler; the summary rides
+    /// [`RunResult::profile`]. Equivalent to the `CORD_PROFILE` knob.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.profiler = if on {
+            Some(Box::new(Profiler::new()))
+        } else {
+            None
+        };
+    }
+
+    /// After a failed [`System::try_run`] with the flight recorder armed
+    /// (`CORD_FLIGHT` or [`Tracer::arm_flight`]): the per-partition rings
+    /// of last-seen trace events, for callers that want to render the dump
+    /// themselves (the `trace` binary).
+    pub fn take_flight_rings(&mut self) -> Vec<(u32, RingSink)> {
+        std::mem::take(&mut self.flight_rings)
     }
 
     /// Selects the execution engine: `Some(w)` runs through the sharded
@@ -459,14 +559,28 @@ impl System {
     ///
     /// Returns the [`RunError`] describing why the run could not complete.
     pub fn try_run(&mut self) -> Result<RunResult, RunError> {
-        if let Some(workers) = self.sim_threads {
-            return crate::shard::run_sharded(self, workers);
+        let res = if let Some(workers) = self.sim_threads {
+            crate::shard::run_sharded(self, workers)
+        } else {
+            self.run_monolithic()
+        };
+        // The one shared exit point for observability outputs: series and
+        // profile exports on success, the flight-recorder dump on failure.
+        match &res {
+            Ok(r) => self.export_obs_outputs(r),
+            Err(e) => self.dump_flight(&e.to_string()),
         }
+        res
+    }
+
+    /// The classic single-queue event loop.
+    fn run_monolithic(&mut self) -> Result<RunResult, RunError> {
         let mut events = 0u64;
         let mut drained = Time::ZERO;
         // Watchdog state: last fingerprint and when it last changed.
         let mut wd_fp = self.progress_fingerprint();
         let mut wd_since = Time::ZERO;
+        let profiling = self.profiler.is_some();
         let mut pending = self.queue.pop();
         while let Some((now, ev)) = pending {
             events += 1;
@@ -491,8 +605,25 @@ impl System {
                     }
                 }
             }
+            // Sim-time sampling: one snapshot per crossed grid boundary,
+            // taken before the event dispatch so the sampled state is the
+            // deterministic pre-dispatch state.
+            if let Some(s) = self.sampler.as_deref() {
+                if s.due(now.as_ps()) {
+                    self.take_sample(now);
+                }
+            }
             drained = now;
+            let prof_label = profiling.then(|| ev.kind_label());
+            let prof_t0 = profiling.then(std::time::Instant::now);
             self.handle_event(now, ev);
+            if let (Some(label), Some(t0)) = (prof_label, prof_t0) {
+                let ns = t0.elapsed().as_nanos() as u64;
+                self.profiler
+                    .as_mut()
+                    .expect("profiling flag implies profiler")
+                    .add_class(label, ns);
+            }
             // Cycle-accurate fabrics land bursts of deliveries on one
             // timestamp; drain the burst through the cached-head fast path
             // before paying a full pop for the next timestamp.
@@ -525,7 +656,97 @@ impl System {
         }
         let mut result = self.collect(drained, events);
         result.metrics = metrics;
+        result.obs = self.sampler.take().map(|s| s.finish());
+        result.profile = self.profiler.take().map(|p| p.summary());
         Ok(result)
+    }
+
+    /// Snapshots the loop's gauges into the sampler (take/restore dodges
+    /// the borrow conflict between the boxed sampler and `&self` reads).
+    pub(crate) fn take_sample(&mut self, now: Time) {
+        let Some(mut s) = self.sampler.take() else {
+            return;
+        };
+        let t = s.begin_sample(now.as_ps());
+        s.record("queue_depth", t, self.queue.len() as u64);
+        let (near, staged, far) = self.queue.rung_depths();
+        s.record("queue_near", t, near as u64);
+        s.record("queue_staged", t, staged as u64);
+        s.record("queue_far", t, far as u64);
+        let mut counts = [0u64; Event::KINDS.len()];
+        for (_, ev) in self.queue.iter() {
+            counts[ev.kind_index()] += 1;
+        }
+        for (name, n) in INFLIGHT_SERIES.iter().zip(counts) {
+            s.record(name, t, n);
+        }
+        if let Some(x) = &self.xport {
+            s.record("xport_unacked", t, x.unacked_total() as u64);
+            s.record("xport_retransmits", t, x.stats().retransmits);
+        }
+        self.sampler = Some(s);
+    }
+
+    /// Writes the flight-recorder dump after a failed run: collects the
+    /// rings (partition rings stashed by the sharded engine, else this
+    /// system's own) and, when `CORD_FLIGHT`/`CORD_FLIGHT_OUT` opted into a
+    /// file, renders them to it. The rings stay available afterwards via
+    /// [`System::take_flight_rings`].
+    pub(crate) fn dump_flight(&mut self, err_text: &str) {
+        let mut rings = std::mem::take(&mut self.flight_rings);
+        if rings.is_empty() {
+            if let Some(r) = self.tracer.take_flight() {
+                rings.push((self.part.as_ref().map_or(0, |p| p.host), r));
+            }
+        }
+        if rings.is_empty() {
+            return;
+        }
+        if let Some(path) = flight_out_path() {
+            let text = obs::render_flight(err_text, &rings);
+            let kept: usize = rings.iter().map(|(_, r)| r.len()).sum();
+            match obs::write_output(&path, &text) {
+                Ok(()) => eprintln!(
+                    "flight recorder: dumped {kept} event(s) to {path} (replay: trace --flight {path})"
+                ),
+                Err(e) => eprintln!("flight recorder: cannot write {path}: {e}"),
+            }
+        }
+        self.flight_rings = rings;
+    }
+
+    /// Writes the env-keyed observability files for a successful run:
+    /// `CORD_OBS_OUT` (series JSON plus a `.prom` Prometheus sibling) and
+    /// `CORD_PROFILE_OUT` (collapsed stacks, default
+    /// `results/PROFILE.folded`).
+    fn export_obs_outputs(&self, r: &RunResult) {
+        if let (Some(set), Ok(base)) = (&r.obs, std::env::var("CORD_OBS_OUT")) {
+            if !base.is_empty() {
+                // As with CORD_TRACE_OUT: later runs in one process get a
+                // `.N` suffix so each keeps its own files.
+                static ENV_OBS: AtomicU64 = AtomicU64::new(0);
+                let n = ENV_OBS.fetch_add(1, Ordering::Relaxed);
+                let path = if n == 0 { base } else { format!("{base}.{n}") };
+                let json = obs::render_json(set, r.metrics.as_ref());
+                if let Err(e) = obs::write_output(&path, &json) {
+                    eprintln!("CORD_OBS_OUT: cannot write {path}: {e}");
+                }
+                let prom = obs::render_prometheus(set, r.metrics.as_ref());
+                let ppath = format!("{path}.prom");
+                if let Err(e) = obs::write_output(&ppath, &prom) {
+                    eprintln!("CORD_OBS_OUT: cannot write {ppath}: {e}");
+                }
+            }
+        }
+        if let Some(profile) = &r.profile {
+            if std::env::var_os("CORD_PROFILE").is_some() {
+                let path = std::env::var("CORD_PROFILE_OUT")
+                    .unwrap_or_else(|_| "results/PROFILE.folded".to_string());
+                if let Err(e) = obs::write_folded(&path, profile) {
+                    eprintln!("CORD_PROFILE_OUT: cannot write {path}: {e}");
+                }
+            }
+        }
     }
 
     /// Processes one event. Shared between the monolithic loop above and the
@@ -1162,6 +1383,8 @@ impl System {
             polls,
             events,
             metrics: None,
+            obs: None,
+            profile: None,
         }
     }
 }
@@ -1173,6 +1396,59 @@ fn sim_threads_from_env() -> Option<usize> {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
+}
+
+/// Parses `CORD_OBS`: unset, empty, or `0` → no sampling; `1` → the 1 µs
+/// default interval; any other value → that many **nanoseconds** of sim
+/// time per sample (unparsable values also fall back to 1 µs).
+fn sampler_from_env() -> Option<Box<Sampler>> {
+    let v = std::env::var("CORD_OBS").ok()?;
+    let v = v.trim();
+    if v.is_empty() || v == "0" {
+        return None;
+    }
+    let interval = if v == "1" {
+        Time::from_us(1)
+    } else {
+        v.parse::<u64>().map_or(Time::from_us(1), Time::from_ns)
+    };
+    Some(Box::new(Sampler::new(interval)))
+}
+
+/// Parses `CORD_PROFILE`: any non-empty, non-`0` value enables the
+/// wall-clock self-profiler.
+fn profiler_from_env() -> Option<Box<Profiler>> {
+    match std::env::var("CORD_PROFILE") {
+        Ok(v) if !v.trim().is_empty() && v.trim() != "0" => Some(Box::new(Profiler::new())),
+        _ => None,
+    }
+}
+
+/// Parses `CORD_FLIGHT`: unset, empty, or `0` → flight recorder off;
+/// `1` or unparsable → the default 256-event ring; `n` → an `n`-event ring.
+fn flight_cap_from_env() -> Option<usize> {
+    let v = std::env::var("CORD_FLIGHT").ok()?;
+    let v = v.trim();
+    if v.is_empty() || v == "0" {
+        return None;
+    }
+    match v.parse::<usize>() {
+        Ok(1) | Err(_) => Some(256),
+        Ok(n) => Some(n),
+    }
+}
+
+/// Where the flight dump file goes, if anywhere: `CORD_FLIGHT_OUT` names
+/// the path; with only `CORD_FLIGHT` set the default is
+/// `results/FLIGHT_last.txt`. Neither set → no file (programmatic users
+/// read the rings through [`System::take_flight_rings`]).
+fn flight_out_path() -> Option<String> {
+    if let Ok(p) = std::env::var("CORD_FLIGHT_OUT") {
+        if !p.trim().is_empty() {
+            return Some(p);
+        }
+    }
+    flight_cap_from_env().map(|_| "results/FLIGHT_last.txt".to_string())
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use cord_noc::Noc;
+use cord_sim::obs::{Profiler, Sampler, ScopeTimer, SeriesSet};
 use cord_sim::trace::{BufSink, TraceEvent, Tracer};
 use cord_sim::{EventQueue, Time};
 
@@ -185,6 +186,7 @@ impl System {
         st: &mut LoopState,
         solo: bool,
     ) -> Result<(), Verdict> {
+        let profiling = self.profiler.is_some();
         let mut pending = match self.queue.peek_time() {
             Some(t) if t.as_ps() < horizon_ps => self.queue.pop(),
             _ => None,
@@ -209,8 +211,24 @@ impl System {
                     }
                 }
             }
+            // Deterministic sim-time sampling: the per-partition pop order is
+            // worker-count independent, so so are the sampled series.
+            if let Some(s) = self.sampler.as_deref() {
+                if s.due(now.as_ps()) {
+                    self.take_sample(now);
+                }
+            }
             st.drained = now;
+            let prof_label = profiling.then(|| ev.kind_label());
+            let prof_t0 = profiling.then(std::time::Instant::now);
             self.handle_event(now, ev);
+            if let (Some(label), Some(t0)) = (prof_label, prof_t0) {
+                let ns = t0.elapsed().as_nanos() as u64;
+                self.profiler
+                    .as_mut()
+                    .expect("profiling flag implies profiler")
+                    .add_class(label, ns);
+            }
             pending = match self.queue.pop_if_at(now) {
                 Some(ev) => Some((now, ev)),
                 None => match self.queue.peek_time() {
@@ -239,11 +257,22 @@ fn make_partition(parent: &System, host: u32, nparts: usize) -> System {
     }
     s.watchdog = parent.watchdog;
     s.max_events = parent.max_events;
-    s.tracer = if parent.tracer.enabled() {
+    // A buffer sink is only needed when the parent will replay the merged
+    // trace into a real sink or metrics recorder — flight-recorder-only
+    // tracing stays in the per-partition rings.
+    s.tracer = if parent.tracer.has_sink_or_metrics() {
         Tracer::with_sink(Box::new(BufSink::new()))
     } else {
         Tracer::disabled()
     };
+    if let Some(cap) = parent.tracer.flight_cap() {
+        s.tracer.arm_flight(cap);
+    }
+    s.sampler = parent
+        .sampler
+        .as_ref()
+        .map(|p| Box::new(Sampler::new(p.interval())));
+    s.profiler = parent.profiler.as_ref().map(|_| Box::new(Profiler::new()));
     s.restrict_queue_to_host(host);
     s.part = Some(Partition {
         host,
@@ -304,6 +333,11 @@ fn worker_loop(
     coord: &Coord,
 ) -> (Vec<System>, Vec<LoopState>) {
     let solo = nparts == 1;
+    let profiling = shards.first().is_some_and(|s| s.profiler.is_some());
+    // Wall-clock spent parked at the two round barriers, folded into the
+    // chunk's first partition at the end (profiles are merged additively and
+    // marked non-deterministic, so the attribution point doesn't matter).
+    let mut barrier_ns = 0u64;
     // Round-level watchdog state: every worker tracks it identically from
     // the shared per-partition fingerprints.
     let mut wd_fp: (u64, u64, u64) = global_fingerprint(coord, nparts);
@@ -319,10 +353,14 @@ fn worker_loop(
         // post-execute check instead of stranding a peer.
         for (k, s) in shards.iter_mut().enumerate() {
             let me = base + k;
+            let timer = ScopeTimer::start(profiling);
             if let Err(payload) =
                 catch_unwind(AssertUnwindSafe(|| drain_inbox(s, me, nparts, coord)))
             {
                 coord.record_panic(me, payload);
+            }
+            if let (Some(ns), Some(p)) = (timer.stop(), s.profiler.as_mut()) {
+                p.add_phase("inbox_merge", ns);
             }
             let min = s.queue.peek_time().map_or(u64::MAX, |t| t.as_ps());
             coord.mins[me].store(min, Ordering::SeqCst);
@@ -332,7 +370,11 @@ fn worker_loop(
             coord.fps[me][1].store(fp.1, Ordering::SeqCst);
             coord.fps[me][2].store(fp.2, Ordering::SeqCst);
         }
+        let timer = ScopeTimer::start(profiling);
         coord.barrier.wait();
+        if let Some(ns) = timer.stop() {
+            barrier_ns += ns;
+        }
         // Phase B: global decisions — identical on every worker. There is
         // deliberately *no* `aborted` check here: another worker may set the
         // flag during this same round's execute phase, so reading it outside
@@ -387,7 +429,11 @@ fn worker_loop(
         for (k, s) in shards.iter_mut().enumerate() {
             let me = base + k;
             let st = &mut states[k];
+            let timer = ScopeTimer::start(profiling);
             let outcome = catch_unwind(AssertUnwindSafe(|| s.run_until(horizon_ps, st, solo)));
+            if let (Some(ns), Some(p)) = (timer.stop(), s.profiler.as_mut()) {
+                p.add_phase("execute", ns);
+            }
             if let Err(payload) =
                 catch_unwind(AssertUnwindSafe(|| flush_outbox(s, me, nparts, coord)))
             {
@@ -399,9 +445,18 @@ fn worker_loop(
                 Err(payload) => coord.record_panic(me, payload),
             }
         }
+        let timer = ScopeTimer::start(profiling);
         coord.barrier.wait();
+        if let Some(ns) = timer.stop() {
+            barrier_ns += ns;
+        }
         if coord.aborted.load(Ordering::SeqCst) {
             break;
+        }
+    }
+    if barrier_ns > 0 {
+        if let Some(p) = shards.first_mut().and_then(|s| s.profiler.as_mut()) {
+            p.add_phase("barrier_wait", barrier_ns);
         }
     }
     (shards, states)
@@ -554,7 +609,17 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
         states.extend(sts);
     }
 
-    if let Some((_, payload)) = coord.panic.into_inner().expect("panic lock") {
+    // Stash the per-partition flight rings on the parent *before* any exit
+    // path so every failure mode (panic, verdict, deadlock) has them: the
+    // monolithic `try_run` wrapper dumps on `Err`, and panics dump here.
+    for (h, sh) in shards.iter_mut().enumerate() {
+        if let Some(ring) = sh.tracer.take_flight() {
+            sys.flight_rings.push((h as u32, ring));
+        }
+    }
+
+    if let Some((part, payload)) = coord.panic.into_inner().expect("panic lock") {
+        sys.dump_flight(&format!("worker panic in partition {part}"));
         resume_unwind(payload);
     }
     let events: u64 = states.iter().map(|st| st.events).sum();
@@ -603,6 +668,20 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
     sys.tracer.finish();
     let metrics = sys.tracer.take_metrics().map(|m| m.snapshot());
 
+    // Merge the per-partition sample series under `p{host}.` prefixes (host
+    // order → deterministic key set) and the per-partition profilers.
+    let sampling = sys.sampler.take().is_some();
+    let mut merged_obs = SeriesSet::default();
+    let mut profile = sys.profiler.take();
+    for (h, sh) in shards.iter_mut().enumerate() {
+        if let Some(s) = sh.sampler.take() {
+            merged_obs.absorb_prefixed(&format!("p{h}."), s.finish());
+        }
+        if let (Some(into), Some(p)) = (profile.as_deref_mut(), sh.profiler.take()) {
+            into.merge(&p);
+        }
+    }
+
     // Gather per-tile state back into the parent (each tile from its owning
     // partition) and merge the additive counters.
     let mut xr = 0u64;
@@ -649,5 +728,7 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
     sys.check_finished()?;
     let mut result = sys.collect(drained, events);
     result.metrics = metrics;
+    result.obs = sampling.then_some(merged_obs);
+    result.profile = profile.map(|p| p.summary());
     Ok(result)
 }

@@ -6,7 +6,7 @@
 //! bytes — are identical at any worker count. All scenario-derived numbers
 //! are simulated quantities; wall-clock never enters the results.
 
-use cord_sim::par;
+use cord_sim::{obs, par};
 
 use crate::gen::generate;
 use crate::oracle::{run_scenario_opts, RunReport, Verdict};
@@ -123,8 +123,17 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Campaign {
         .map(|i| (i, generate(cfg.seed, i, cfg.max_events)))
         .collect();
     let workers = cfg.workers.unwrap_or_else(par::thread_count);
+    // Live status line on stderr (TTY-gated; `CORD_PROGRESS` overrides).
+    // Ticked from worker closures — results are still collected in input
+    // order, so the campaign itself stays worker-count independent.
+    let prog = obs::Progress::new("fuzz", cfg.count);
     let reports = par::run_parallel_on(workers, &scenarios, |(_, s)| {
-        run_scenario_opts(s, cfg.model_check)
+        let r = run_scenario_opts(s, cfg.model_check);
+        if r.verdict.is_failure() {
+            prog.flag();
+        }
+        prog.inc(1);
+        r
     });
 
     let mut outcomes = Vec::with_capacity(scenarios.len());
@@ -154,7 +163,14 @@ pub fn run_campaign(cfg: &CampaignConfig) -> Campaign {
             report,
         });
     }
-    Campaign { outcomes, failures }
+    let campaign = Campaign { outcomes, failures };
+    prog.finish(&format!(
+        "fuzz: {} scenario(s), {} failure(s), {} shrink run(s)",
+        campaign.outcomes.len(),
+        campaign.failures.len(),
+        campaign.shrink_attempts()
+    ));
+    campaign
 }
 
 #[cfg(test)]

@@ -284,7 +284,8 @@ impl<E> EventQueue<E> {
         if self.staging.windows(2).all(|w| w[0].0 < w[1].0) {
             self.staging.reverse();
         } else {
-            self.staging.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+            self.staging
+                .sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
         }
     }
 
@@ -412,6 +413,17 @@ impl<E> EventQueue<E> {
     /// Total number of events ever scheduled (diagnostics).
     pub fn scheduled_total(&self) -> u64 {
         self.next_seq
+    }
+
+    /// Occupancy of the queue's three rungs — `(bucket-resident, staged
+    /// cohort + its overflow, far rung)` — for observability sampling. The
+    /// three always sum to [`len`](EventQueue::len).
+    pub fn rung_depths(&self) -> (usize, usize, usize) {
+        (
+            self.resident,
+            self.staging.len() + self.overflow.len(),
+            self.far.len(),
+        )
     }
 
     /// Iterates the pending events in **arbitrary** order — diagnostics only

@@ -15,7 +15,12 @@
 //!   interconnect boundary,
 //! * [`trace`] — zero-cost-when-disabled protocol tracing: typed events,
 //!   pluggable sinks (ring buffer, Perfetto-compatible Chrome-trace JSON,
-//!   metrics timelines), keyed by `CORD_TRACE`/`CORD_TRACE_OUT`.
+//!   metrics timelines), keyed by `CORD_TRACE`/`CORD_TRACE_OUT`,
+//! * [`obs`] — continuous observability on top of the tracer: deterministic
+//!   sim-time-sampled series (JSON + Prometheus export), a failure flight
+//!   recorder, a wall-clock self-profiler, and the shared campaign
+//!   progress line (`CORD_OBS`, `CORD_FLIGHT`, `CORD_PROFILE`,
+//!   `CORD_PROGRESS`).
 //!
 //! # Example
 //!
@@ -31,6 +36,7 @@
 
 mod event;
 pub mod fault;
+pub mod obs;
 pub mod par;
 mod rng;
 mod stats;

@@ -415,6 +415,9 @@ pub trait TraceSink {
 pub struct Tracer {
     sink: Option<Box<dyn TraceSink + Send>>,
     metrics: Option<MetricsRecorder>,
+    /// Flight recorder: a bounded ring of the most recent events, dumped
+    /// by the runner on `RunError` (see `cord_sim::obs`).
+    flight: Option<RingSink>,
     seq: u64,
 }
 
@@ -423,6 +426,7 @@ impl std::fmt::Debug for Tracer {
         f.debug_struct("Tracer")
             .field("sink", &self.sink.is_some())
             .field("metrics", &self.metrics.is_some())
+            .field("flight", &self.flight.as_ref().map(|r| r.capacity()))
             .field("seq", &self.seq)
             .finish()
     }
@@ -442,8 +446,7 @@ impl Tracer {
     pub fn with_sink(sink: Box<dyn TraceSink + Send>) -> Self {
         Tracer {
             sink: Some(sink),
-            metrics: None,
-            seq: 0,
+            ..Tracer::default()
         }
     }
 
@@ -493,9 +496,40 @@ impl Tracer {
         self.metrics = Some(m);
     }
 
+    /// Arms the flight recorder: keep the most recent `cap` events for a
+    /// post-mortem dump on `RunError`.
+    pub fn arm_flight(&mut self, cap: usize) {
+        self.flight = Some(RingSink::new(cap));
+    }
+
+    /// Whether the flight recorder is armed.
+    pub fn flight_armed(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// The flight ring's capacity, when armed (used by the sharded runner
+    /// to mirror the parent's arming into each partition).
+    pub fn flight_cap(&self) -> Option<usize> {
+        self.flight.as_ref().map(RingSink::capacity)
+    }
+
+    /// Removes and returns the flight ring, if armed.
+    pub fn take_flight(&mut self) -> Option<RingSink> {
+        self.flight.take()
+    }
+
     /// Whether any consumer is installed.
     #[inline]
     pub fn enabled(&self) -> bool {
+        self.sink.is_some() || self.metrics.is_some() || self.flight.is_some()
+    }
+
+    /// Whether a sink or metrics recorder is installed, ignoring the
+    /// flight ring. The sharded runner's trace-merge machinery keys on
+    /// this: a run armed only for flight recording needs no per-partition
+    /// replay buffers (each partition keeps its own ring).
+    #[inline]
+    pub fn has_sink_or_metrics(&self) -> bool {
         self.sink.is_some() || self.metrics.is_some()
     }
 
@@ -520,6 +554,9 @@ impl Tracer {
         self.seq += 1;
         if let Some(m) = self.metrics.as_mut() {
             m.observe(&ev);
+        }
+        if let Some(f) = self.flight.as_mut() {
+            f.emit(&ev);
         }
         if let Some(s) = self.sink.as_mut() {
             s.emit(&ev);
@@ -589,6 +626,11 @@ impl RingSink {
     /// Events evicted because the ring was full.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 }
 
@@ -933,7 +975,7 @@ fn json_epoch(e: Option<u64>) -> String {
 /// sample. When more than [`Timeline::MAX_BINS`] bins would be needed, the
 /// interval doubles and neighbor bins merge, so memory stays bounded for
 /// arbitrarily long runs while remaining deterministic.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Timeline {
     interval: Time,
     bins: Vec<u64>,
@@ -1125,6 +1167,15 @@ impl MetricsRecorder {
             retrans_count: self.retrans.count(),
             retrans_max_attempt: self.retrans.max(),
             commit_gap_max_ns: self.commit_gap_max.as_ns(),
+            timelines: self
+                .occupancy
+                .iter()
+                .map(|(k, t)| (k.clone(), t.clone()))
+                .chain(std::iter::once((
+                    "inflight".to_string(),
+                    self.inflight_timeline.clone(),
+                )))
+                .collect(),
         }
     }
 }
@@ -1196,6 +1247,11 @@ pub struct MetricsSnapshot {
     /// (nanoseconds) — how close the run came to tripping a liveness
     /// watchdog keyed on commit progress.
     pub commit_gap_max_ns: u64,
+    /// Full per-interval timelines: every occupancy key plus
+    /// `"inflight"`. Not part of [`to_json`](MetricsSnapshot::to_json) /
+    /// [`render_text`](MetricsSnapshot::render_text) (whose formats are
+    /// frozen); exported by `cord_sim::obs::render_json`.
+    pub timelines: Vec<(String, Timeline)>,
 }
 
 impl MetricsSnapshot {

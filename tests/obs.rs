@@ -1,0 +1,199 @@
+//! Observability-layer integration: the sampled metrics time-series must be
+//! bit-identical at every sharded worker count and every sweep parallelism,
+//! the Prometheus rendering is pinned by a golden snapshot, the flight
+//! recorder survives a forced `RunError` and round-trips through its text
+//! format, and the checker's frontier series is thread-count independent.
+
+use cord_repro::cord::{RunResult, System};
+use cord_repro::cord_check::{classic_suite, explore_with, CheckConfig, ExploreOpts};
+use cord_repro::cord_proto::{ConsistencyModel, Program, ProtocolKind, SystemConfig};
+use cord_repro::cord_sim::obs::{self, SeriesSet};
+use cord_repro::cord_sim::trace::MetricsRecorder;
+use cord_repro::cord_sim::{par, Time};
+use cord_repro::cord_workloads::MicroBench;
+
+/// Store-heavy multi-host workload with cross-host traffic on every
+/// partition boundary, so the series have content in both partitions.
+fn sampled_system(hosts: u32) -> System {
+    let cfg = SystemConfig::cxl(ProtocolKind::Cord, hosts).with_model(ConsistencyModel::Rc);
+    let programs = MicroBench::new(256, 4096, hosts - 1)
+        .with_iters(2)
+        .programs(&cfg);
+    let mut sys = System::new(cfg, programs);
+    sys.set_sim_threads(None); // isolate from CORD_SIM_THREADS in the env
+    sys.set_sampling(Some(Time::from_ns(500)));
+    sys.set_profiling(false); // isolate from CORD_PROFILE in the env
+    sys
+}
+
+fn run_sampled(workers: Option<usize>) -> RunResult {
+    let mut sys = sampled_system(4);
+    sys.set_sim_threads(workers);
+    sys.tracer_mut().attach_metrics(MetricsRecorder::default());
+    sys.try_run().expect("sampled run")
+}
+
+/// Sim-time sampling is keyed to the deterministic per-partition event
+/// order, so the series — and both renderings — are byte-identical at 1, 2,
+/// and 4 sharded workers.
+#[test]
+fn series_identical_across_sim_workers() {
+    let base = run_sampled(Some(1));
+    let base_obs = base.obs.as_ref().expect("sampling was enabled");
+    assert!(!base_obs.is_empty(), "no samples taken");
+    let base_json = obs::render_json(base_obs, base.metrics.as_ref());
+    let base_prom = obs::render_prometheus(base_obs, base.metrics.as_ref());
+    for workers in [2usize, 4] {
+        let got = run_sampled(Some(workers));
+        let got_obs = got.obs.as_ref().expect("sampling was enabled");
+        assert_eq!(base_obs, got_obs, "series diverged at {workers} workers");
+        assert_eq!(
+            base_json,
+            obs::render_json(got_obs, got.metrics.as_ref()),
+            "JSON rendering diverged at {workers} workers"
+        );
+        assert_eq!(
+            base_prom,
+            obs::render_prometheus(got_obs, got.metrics.as_ref()),
+            "Prometheus rendering diverged at {workers} workers"
+        );
+    }
+}
+
+/// Sampling inside runs that are themselves fanned out over the sweep
+/// worker pool (`CORD_THREADS` territory) stays deterministic: the series
+/// depend only on each run's own event order, never on pool scheduling.
+#[test]
+fn series_identical_across_sweep_parallelism() {
+    let items: Vec<u32> = vec![2, 4];
+    let run_all = |pool: usize| -> Vec<String> {
+        par::run_parallel_on(pool, &items, |&hosts| {
+            let mut sys = sampled_system(hosts);
+            let r = sys.try_run().expect("sampled run");
+            obs::render_json(r.obs.as_ref().expect("sampling on"), r.metrics.as_ref())
+        })
+    };
+    assert_eq!(
+        run_all(1),
+        run_all(2),
+        "series depended on sweep parallelism"
+    );
+}
+
+/// Pins the Prometheus text exposition byte-for-byte. Regenerate with
+/// `CORD_UPDATE_GOLDEN=1 cargo test -q --test obs`.
+#[test]
+fn prometheus_rendering_matches_golden() {
+    let r = run_sampled(None); // monolithic: unprefixed series names
+    let prom = obs::render_prometheus(r.obs.as_ref().expect("sampling on"), r.metrics.as_ref());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/obs.prom");
+    if std::env::var_os("CORD_UPDATE_GOLDEN").is_some() {
+        obs::write_output(path, &prom).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file (CORD_UPDATE_GOLDEN=1 to create)");
+    assert_eq!(
+        want, prom,
+        "Prometheus rendering drifted from tests/golden/obs.prom \
+         (CORD_UPDATE_GOLDEN=1 to re-record)"
+    );
+}
+
+/// A deadlocked sharded run leaves per-partition flight rings on the parent
+/// system; the rendered dump round-trips through `parse_flight` with the
+/// merged event order preserved, and replays cleanly into a fresh recorder
+/// (what `trace --flight` does).
+#[test]
+fn flight_recorder_survives_watchdog_hang() {
+    let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+    let flag = cfg.map.addr_on_host(1, 4096);
+    let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
+    // Waits on a flag nobody ever publishes — the PR-3 deadlock fixture.
+    programs[0] = Program::build().wait_value(flag, 1).finish();
+    let mut sys = System::new(cfg, programs);
+    sys.set_sim_threads(Some(2));
+    sys.set_watchdog(Some(Time::from_us(10)));
+    sys.tracer_mut().arm_flight(64);
+    let err = sys.try_run().expect_err("must hang").to_string();
+
+    let rings = sys.take_flight_rings();
+    assert!(!rings.is_empty(), "no flight rings retained");
+    let total: usize = rings.iter().map(|(_, r)| r.len()).sum();
+    assert!(total > 0, "flight rings were empty");
+
+    let text = obs::render_flight(&err, &rings);
+    assert!(text.starts_with("# cord-flight v1"), "bad header:\n{text}");
+    let dump = obs::parse_flight(&text).expect("dump parses");
+    assert!(dump.error.contains("no progress") || !dump.error.is_empty());
+    let merged = dump.merged();
+    assert_eq!(merged.len(), total, "events lost in the round-trip");
+    assert!(
+        merged.windows(2).all(|w| {
+            let a = (w[0].1.at, w[0].0, w[0].1.seq);
+            let b = (w[1].1.at, w[1].0, w[1].1.seq);
+            a <= b
+        }),
+        "merged dump out of order"
+    );
+
+    // Replay through a fresh recorder, as `trace --flight` does.
+    let mut tracer = cord_repro::cord_sim::trace::Tracer::default();
+    tracer.attach_metrics(MetricsRecorder::default());
+    for (_, ev) in &merged {
+        tracer.emit(ev.at, ev.data);
+    }
+    tracer.finish();
+    let snap = tracer
+        .take_metrics()
+        .map(|m| m.snapshot())
+        .expect("metrics");
+    assert_eq!(snap.events, total as u64, "replay dropped events");
+}
+
+/// The per-level frontier series from the model checker is part of its
+/// deterministic search shape: identical at any shard count, with and
+/// without symmetry consistent with its own peak/level counters.
+#[test]
+fn checker_frontier_series_thread_independent() {
+    let lit = classic_suite()
+        .into_iter()
+        .find(|l| l.name == "MP")
+        .expect("classic suite has MP");
+    let cfg = CheckConfig::cord(lit.thread_count(), 3);
+    let placement = vec![1u8; lit.thread_count()];
+    let run = |threads: usize| {
+        let opts = ExploreOpts {
+            threads,
+            symmetry: true,
+            audit: false,
+        };
+        explore_with(&cfg, &lit, &placement, 1_000_000, opts).1
+    };
+    let base = run(1);
+    assert_eq!(base.levels, base.frontier.len());
+    assert_eq!(
+        base.peak_frontier as u64,
+        base.frontier.iter().copied().max().unwrap_or(0)
+    );
+    for threads in [2usize, 4] {
+        assert_eq!(base, run(threads), "search shape diverged at {threads}");
+    }
+}
+
+/// `absorb_prefixed` (the sharded merge) namespaces without reordering.
+#[test]
+fn absorb_prefixed_namespaces_series() {
+    let mut a = SeriesSet::default();
+    let mut b = SeriesSet {
+        interval_ps: 1000,
+        ..SeriesSet::default()
+    };
+    b.record("queue_depth", 0, 3);
+    b.record("queue_depth", 1000, 5);
+    a.absorb_prefixed("p1.", b);
+    assert_eq!(a.interval_ps, 1000);
+    assert_eq!(
+        a.series.get("p1.queue_depth"),
+        Some(&vec![(0, 3), (1000, 5)])
+    );
+}
