@@ -559,6 +559,15 @@ impl System {
     ///
     /// Returns the [`RunError`] describing why the run could not complete.
     pub fn try_run(&mut self) -> Result<RunResult, RunError> {
+        // An attached coverage map needs the run parameters some edges are
+        // defined against (watchdog near-miss threshold, backoff cap); both
+        // engines share this configuration point, and the sharded engine's
+        // merged replay feeds this same parent-held map.
+        let watchdog_ns = self.watchdog.map(|w| w.as_ns());
+        let backoff_cap = self.fault_spec.as_ref().map(|(_, x)| x.max_backoff_exp);
+        if let Some(cov) = self.tracer.coverage_mut() {
+            cov.configure(watchdog_ns, backoff_cap);
+        }
         let res = if let Some(workers) = self.sim_threads {
             crate::shard::run_sharded(self, workers)
         } else {

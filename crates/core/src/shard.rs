@@ -258,9 +258,9 @@ fn make_partition(parent: &System, host: u32, nparts: usize) -> System {
     s.watchdog = parent.watchdog;
     s.max_events = parent.max_events;
     // A buffer sink is only needed when the parent will replay the merged
-    // trace into a real sink or metrics recorder — flight-recorder-only
-    // tracing stays in the per-partition rings.
-    s.tracer = if parent.tracer.has_sink_or_metrics() {
+    // trace into a real sink, metrics recorder or coverage map —
+    // flight-recorder-only tracing stays in the per-partition rings.
+    s.tracer = if parent.tracer.needs_merged_replay() {
         Tracer::with_sink(Box::new(BufSink::new()))
     } else {
         Tracer::disabled()
@@ -623,17 +623,7 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
         resume_unwind(payload);
     }
     let events: u64 = states.iter().map(|st| st.events).sum();
-    if let Some((_, v)) = coord.verdict.into_inner().expect("verdict lock") {
-        return Err(match v {
-            Verdict::EventCap { events } => RunError::EventCap { events },
-            Verdict::NoProgress { since, now, window } => RunError::NoProgress {
-                since,
-                now,
-                window,
-                narrative: narrate_sharded(&shards),
-            },
-        });
-    }
+    let verdict = coord.verdict.into_inner().expect("verdict lock");
 
     let drained = states
         .iter()
@@ -641,15 +631,23 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
         .max()
         .unwrap_or(Time::ZERO);
     // Close stall episodes at the *global* drain time so stall totals and
-    // traces match for every worker count.
-    for sh in shards.iter_mut() {
-        sh.close_stalls(drained);
+    // traces match for every worker count. Only on success: the monolithic
+    // engine's failure paths leave stalls open too, so failure traces stay
+    // comparable across engines.
+    if verdict.is_none() {
+        for sh in shards.iter_mut() {
+            sh.close_stalls(drained);
+        }
     }
     // Deterministic trace merge: partition-local buffers, stably ordered by
     // (time, partition, emission index), replayed through the parent tracer
-    // (which owns the real sink and metrics recorder) to reassign global
-    // sequence numbers.
-    if sys.tracer.enabled() {
+    // (which owns the real sink, metrics recorder and coverage map) to
+    // reassign global sequence numbers. The round-barrier loop makes the
+    // buffers worker-count independent even when a verdict aborted the run,
+    // so the replay also happens on the failure path — coverage maps and
+    // sink output for a hang or event-cap repro are identical at any
+    // `CORD_SIM_THREADS`.
+    if sys.tracer.needs_merged_replay() {
         let mut merged: Vec<(u64, usize, usize, TraceEvent)> = Vec::new();
         for (h, sh) in shards.iter_mut().enumerate() {
             if let Some(mut sink) = sh.tracer.take_sink() {
@@ -666,6 +664,17 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
         }
     }
     sys.tracer.finish();
+    if let Some((_, v)) = verdict {
+        return Err(match v {
+            Verdict::EventCap { events } => RunError::EventCap { events },
+            Verdict::NoProgress { since, now, window } => RunError::NoProgress {
+                since,
+                now,
+                window,
+                narrative: narrate_sharded(&shards),
+            },
+        });
+    }
     let metrics = sys.tracer.take_metrics().map(|m| m.snapshot());
 
     // Merge the per-partition sample series under `p{host}.` prefixes (host

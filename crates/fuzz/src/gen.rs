@@ -24,8 +24,10 @@ use cord_sim::DetRng;
 
 use crate::scenario::{DataStore, Pair, Round, Scenario, Slot};
 
-/// Engine palette, weighted toward the paper's protocol.
-const ENGINES: [ProtocolKind; 7] = [
+/// Engine palette, weighted toward the paper's protocol. Shared with the
+/// corpus mutator ([`crate::mutate`]) so mutation explores the same engine
+/// space as blind generation.
+pub(crate) const ENGINES: [ProtocolKind; 7] = [
     ProtocolKind::Cord,
     ProtocolKind::Cord,
     ProtocolKind::Cord,
@@ -47,8 +49,9 @@ const RTO_NS: [u64; 3] = [800, 1500, 3000];
 /// messages plus the payload class).
 const CLASSES: [&str; 4] = ["Notify", "ReqNotify", "Ack", "Data"];
 
-/// Draws a random fault spec, or `None` for a fault-free scenario.
-fn gen_faults(rng: &mut DetRng) -> Option<String> {
+/// Draws a random fault spec, or `None` for a fault-free scenario. Also
+/// used by the mutator to re-roll a corpus entry's fault plan.
+pub(crate) fn gen_faults(rng: &mut DetRng) -> Option<String> {
     if rng.chance(0.25) {
         return None;
     }

@@ -15,6 +15,13 @@
 //! count, max_events)`, results are independent of the worker count, and
 //! a repro file pins every input of the failing run.
 //!
+//! On top of blind generation sits a *coverage-guided* mode: oracle runs
+//! feed trace-derived [`cord_sim::coverage::CoverageMap`]s, novelty-gated
+//! scenarios accumulate in a [`Corpus`] with energy-weighted scheduling,
+//! and [`run_guided`] mutates corpus parents ([`mutate`]) instead of
+//! generating blind — see `fuzz --serve` in `cord-bench` for the
+//! long-lived daemon built on it.
+//!
 //! # Example
 //!
 //! ```
@@ -28,15 +35,22 @@
 //! ```
 
 mod campaign;
+pub mod corpus;
 mod gen;
+mod guided;
+mod mutate;
 mod oracle;
 pub mod scenario;
 mod shrink;
 
 pub use campaign::{run_campaign, Campaign, CampaignConfig, Failure, ScenarioOutcome};
+pub use corpus::{Corpus, CorpusEntry};
 pub use gen::generate;
+pub use guided::{blind_union, replay_union, run_guided, GuidedCampaign, GuidedConfig};
+pub use mutate::mutate;
 pub use oracle::{
-    narrate_rc_violation, run_scenario, run_scenario_opts, Phase, RunReport, Verdict,
+    narrate_rc_violation, run_scenario, run_scenario_cov, run_scenario_opts, Phase, RunReport,
+    Verdict,
 };
 pub use scenario::{parse, Repro, Scenario};
 pub use shrink::{shrink, shrink_with, ShrinkStats};

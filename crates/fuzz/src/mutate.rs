@@ -1,0 +1,291 @@
+//! Corpus-based scenario mutation.
+//!
+//! [`mutate`] derives a new scenario from a corpus parent by applying a
+//! small number (1–3) of structural edits — engine/fabric/topology flips,
+//! table squeezes, fault-plan re-rolls, round/store/pair edits — followed
+//! by a canonicalizing repair pass that re-establishes every invariant
+//! [`Scenario::validate`] checks (tile lanes, slot uniqueness, flag
+//! locality, data homing for engines without cross-directory release
+//! ordering). Like [`crate::gen::generate`], the result is a pure function
+//! of `(seed, index, parent)`: replaying a guided campaign reproduces the
+//! exact same mutants.
+//!
+//! The repair pass is what keeps mutation *closed* over the deadlock-free
+//! shape family of [`crate::scenario`]: any edit sequence lands back on a
+//! valid producer/consumer scenario, so the oracles never reject a mutant
+//! and the guided loop wastes no iterations on malformed inputs.
+
+use cord_proto::TableSizes;
+use cord_sim::DetRng;
+
+use crate::gen::{gen_faults, generate, ENGINES};
+use crate::scenario::{DataStore, Pair, Round, Scenario, Slot};
+
+/// Bounds on per-pair structure growth so long mutation chains cannot
+/// inflate scenarios without limit (big scenarios are slow and skip the
+/// differential model check anyway).
+const MAX_ROUNDS: usize = 5;
+const MAX_DATA: usize = 5;
+
+/// Mutates `base` into a new valid scenario. Deterministic in
+/// `(seed, index, base)`; never returns an invalid scenario (on the
+/// off-chance repair fails, it falls back to blind generation so the
+/// guided loop keeps moving).
+pub fn mutate(base: &Scenario, seed: u64, index: u64) -> Scenario {
+    // Stream 2 of the per-index root: streams 0/1 belong to the blind
+    // generator's shape/fault draws, so mutation never correlates with it.
+    let mut rng = DetRng::new(seed).stream(index).stream(2);
+    let mut s = base.clone();
+    let old_tph = s.tph.max(1);
+    let ops = 1 + rng.range_usize(0..3);
+    for _ in 0..ops {
+        apply_op(&mut s, &mut rng, old_tph);
+    }
+    normalize(&mut s, old_tph);
+    if s.validate().is_err() {
+        debug_assert!(false, "repair failed: {:?}", s.validate());
+        return generate(seed, index, base.max_events);
+    }
+    s
+}
+
+/// Applies one random structural edit. Edits may leave the scenario
+/// temporarily invalid (placeholder slots, stale tile numbers); `normalize`
+/// repairs everything afterwards. `old_tph` is the parent's tiles-per-host,
+/// still the encoding of every `consumer` tile index at this point.
+fn apply_op(s: &mut Scenario, rng: &mut DetRng, old_tph: u32) {
+    match rng.range_usize(0..14) {
+        0 => s.engine = *rng.pick(&ENGINES),
+        1 => s.upi = !s.upi,
+        2 => s.hosts = *rng.pick(&[2u32, 3, 4]),
+        3 => s.tph = *rng.pick(&[2u32, 4]),
+        4 => {
+            // Squeeze one table toward its stall/evict edge.
+            let cap = *rng.pick(&[1usize, 1, 2, 4, 8]);
+            match rng.range_usize(0..5) {
+                0 => s.tables.proc_cnt = cap,
+                1 => s.tables.proc_unacked = cap,
+                2 => s.tables.dir_cnt_per_proc = cap,
+                3 => s.tables.dir_noti_per_proc = cap,
+                _ => s.tables.dir_pending_buf = cap,
+            }
+        }
+        5 => s.tables = TableSizes::default(),
+        6 => s.faults = gen_faults(rng),
+        7 => s.faults = None,
+        8 => {
+            // Append a publication round to a random pair.
+            let p = rng.range_usize(0..s.pairs.len());
+            let data = (0..rng.range_usize(1..4))
+                .map(|_| DataStore {
+                    slot: Slot { host: 0, idx: 0 },
+                    release: rng.chance(0.15),
+                })
+                .collect();
+            s.pairs[p].rounds.push(Round {
+                flag: Slot { host: 0, idx: 0 },
+                data,
+            });
+        }
+        9 => {
+            // Drop a round (pairs must keep at least one).
+            let p = rng.range_usize(0..s.pairs.len());
+            if s.pairs[p].rounds.len() > 1 {
+                let r = rng.range_usize(0..s.pairs[p].rounds.len());
+                s.pairs[p].rounds.remove(r);
+            }
+        }
+        10 => {
+            // Add a data store to a random round.
+            let p = rng.range_usize(0..s.pairs.len());
+            let r = rng.range_usize(0..s.pairs[p].rounds.len());
+            s.pairs[p].rounds[r].data.push(DataStore {
+                slot: Slot { host: 0, idx: 0 },
+                release: rng.chance(0.15),
+            });
+        }
+        11 => {
+            // Drop a data store (a flag-only round is valid).
+            let p = rng.range_usize(0..s.pairs.len());
+            let r = rng.range_usize(0..s.pairs[p].rounds.len());
+            let data = &mut s.pairs[p].rounds[r].data;
+            if !data.is_empty() {
+                let d = rng.range_usize(0..data.len());
+                data.remove(d);
+            }
+        }
+        12 => {
+            // Toggle Release ordering on a random data store.
+            let p = rng.range_usize(0..s.pairs.len());
+            let r = rng.range_usize(0..s.pairs[p].rounds.len());
+            let data = &mut s.pairs[p].rounds[r].data;
+            if !data.is_empty() {
+                let d = rng.range_usize(0..data.len());
+                data[d].release = !data[d].release;
+            }
+        }
+        _ => {
+            // Add or remove a producer/consumer pair.
+            if s.pairs.len() > 1 && rng.chance(0.5) {
+                let p = rng.range_usize(0..s.pairs.len());
+                s.pairs.remove(p);
+            } else {
+                // Encode the desired consumer host with the parent's tph so
+                // `normalize` recovers it the same way as for old pairs.
+                let chost = 1 + rng.range_u64(0..u64::from(s.hosts.max(2) - 1)) as u32;
+                s.pairs.push(Pair {
+                    producer: 0,
+                    consumer: chost * old_tph,
+                    rounds: vec![Round {
+                        flag: Slot { host: 0, idx: 0 },
+                        data: vec![DataStore {
+                            slot: Slot { host: 0, idx: 0 },
+                            release: rng.chance(0.15),
+                        }],
+                    }],
+                });
+            }
+        }
+    }
+}
+
+/// Canonicalizing repair: clamps topology and tables, re-lanes pairs
+/// (producer = lane on host 0, consumer = its host's same lane), re-homes
+/// flags onto the consumer host, re-homes data where the engine requires
+/// it, and renumbers every slot index sequentially. Equivalent structure
+/// in, valid scenario out.
+fn normalize(s: &mut Scenario, old_tph: u32) {
+    s.hosts = s.hosts.clamp(2, 64);
+    s.tph = s.tph.clamp(1, 16);
+    s.max_events = s.max_events.max(1);
+    let t = &mut s.tables;
+    t.proc_cnt = t.proc_cnt.max(1);
+    t.proc_unacked = t.proc_unacked.max(1);
+    t.dir_cnt_per_proc = t.dir_cnt_per_proc.max(1);
+    t.dir_noti_per_proc = t.dir_noti_per_proc.max(1);
+    t.dir_pending_buf = t.dir_pending_buf.max(1);
+
+    // One lane per pair: at most `tph` pairs fit (producers share host 0).
+    s.pairs.truncate(s.tph as usize);
+    if s.pairs.is_empty() {
+        // Unreachable through `apply_op` (removal keeps one pair), but keep
+        // the repair total: resurrect a minimal single-round pair.
+        s.pairs.push(Pair {
+            producer: 0,
+            consumer: old_tph,
+            rounds: vec![Round {
+                flag: Slot { host: 0, idx: 0 },
+                data: Vec::new(),
+            }],
+        });
+    }
+
+    let global_rc = s.engine.global_rc();
+    let (hosts, tph) = (s.hosts, s.tph);
+    let mut data_idx = 0u32;
+    let mut flag_idx = 0u32;
+    for (lane, pair) in s.pairs.iter_mut().enumerate() {
+        let lane = lane as u32;
+        // Recover the consumer's host under the parent's encoding, then
+        // wrap it into the (possibly shrunk) host range, never host 0.
+        let chost = 1 + (pair.consumer / old_tph).saturating_sub(1) % (hosts - 1);
+        pair.producer = lane;
+        pair.consumer = chost * tph + lane;
+        pair.rounds.truncate(MAX_ROUNDS);
+        for round in &mut pair.rounds {
+            round.flag = Slot {
+                host: chost,
+                idx: flag_idx,
+            };
+            flag_idx += 1;
+            round.data.truncate(MAX_DATA);
+            for d in &mut round.data {
+                d.slot.host = if global_rc {
+                    // Keep the parent's placement modulo the host range.
+                    d.slot.host % hosts
+                } else {
+                    chost
+                };
+                d.slot.idx = data_idx;
+                data_idx += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_proto::ProtocolKind;
+
+    #[test]
+    fn mutation_is_deterministic_and_valid() {
+        let base = generate(3, 0, 2_000_000);
+        for i in 0..300 {
+            let a = mutate(&base, 17, i);
+            let b = mutate(&base, 17, i);
+            assert_eq!(a, b, "index {i}");
+            a.validate().unwrap_or_else(|e| panic!("index {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn mutation_chains_stay_valid_and_bounded() {
+        // Iterate mutation on its own output: a worst case for invariant
+        // drift and structure inflation.
+        let mut s = generate(5, 2, 2_000_000);
+        for i in 0..200 {
+            s = mutate(&s, 99, i);
+            s.validate()
+                .unwrap_or_else(|e| panic!("step {i}: {e}\n{}", s.serialize(None)));
+            assert!(s.pairs.len() <= s.tph as usize);
+            for p in &s.pairs {
+                assert!(p.rounds.len() <= MAX_ROUNDS);
+                assert!(p.rounds.iter().all(|r| r.data.len() <= MAX_DATA));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_explores_the_space() {
+        let base = generate(3, 1, 2_000_000);
+        let muts: Vec<Scenario> = (0..300).map(|i| mutate(&base, 23, i)).collect();
+        assert!(muts.iter().any(|m| m.engine != base.engine));
+        assert!(muts.iter().any(|m| m.upi != base.upi));
+        assert!(muts.iter().any(|m| m.hosts != base.hosts));
+        assert!(muts.iter().any(|m| m.faults != base.faults));
+        assert!(muts.iter().any(|m| m.faults.is_none()));
+        assert!(muts.iter().any(|m| m.tables.dir_noti_per_proc == 1));
+        assert!(muts.iter().any(|m| m.pairs.len() != base.pairs.len()));
+        assert!(muts
+            .iter()
+            .any(|m| m.pairs[0].rounds.len() != base.pairs[0].rounds.len()));
+        // Engines without global release consistency always get re-homed
+        // data; mutants must honor that like the generator does.
+        assert!(
+            muts.iter()
+                .filter(|m| matches!(m.engine, ProtocolKind::Mp | ProtocolKind::Seq { .. }))
+                .count()
+                > 0
+        );
+    }
+
+    #[test]
+    fn repair_rehomes_data_when_engine_loses_global_rc() {
+        // Force an engine flip onto a cross-directory scenario and check
+        // the repair pass drags every data slot onto the consumer host.
+        let mut base = generate(3, 0, 2_000_000);
+        base.engine = ProtocolKind::Cord;
+        for i in 0..300 {
+            let m = mutate(&base, 41, i);
+            if !m.engine.global_rc() {
+                for p in &m.pairs {
+                    let chost = p.consumer / m.tph;
+                    for r in &p.rounds {
+                        assert!(r.data.iter().all(|d| d.slot.host == chost));
+                    }
+                }
+            }
+        }
+    }
+}

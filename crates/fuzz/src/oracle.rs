@@ -30,6 +30,7 @@ use cord::{RunError, RunResult, System};
 use cord_check::dsl::{r, w, wacq, wrel};
 use cord_check::{explore, narrate_violation, CheckConfig, Cond, Litmus, ThreadProto};
 use cord_mem::Addr;
+use cord_sim::coverage::CoverageMap;
 
 use crate::scenario::Scenario;
 
@@ -198,26 +199,40 @@ fn first_line(s: &str) -> String {
 
 /// Runs the scenario once (with or without its fault spec), catching
 /// panics. Returns the run outcome plus the final memory value of every
-/// scenario variable.
+/// scenario variable, and — when `coverage` is set — the run's coverage
+/// map (recovered on both clean exits and structured [`RunError`]s; only
+/// a panic loses it, since the `System` unwinds with the payload).
 #[allow(clippy::type_complexity)]
 fn exec(
     s: &Scenario,
     faults: Option<&str>,
     vars: &[Var],
-) -> Result<(Result<RunResult, RunError>, Vec<u64>), String> {
+    coverage: bool,
+) -> Result<(Result<RunResult, RunError>, Vec<u64>, Option<CoverageMap>), String> {
     catch_unwind(AssertUnwindSafe(|| {
         let cfg = s.config();
         let programs = s.programs(&cfg);
         let mut sys = System::new(cfg, programs);
         sys.set_max_events(s.max_events);
+        if coverage {
+            sys.tracer_mut().attach_coverage(CoverageMap::new());
+        }
         if let Some(spec) = faults {
             sys.set_fault_spec(spec).expect("scenario validated");
         }
         let out = sys.try_run();
         let mem = vars.iter().map(|v| sys.mem_peek(v.addr)).collect();
-        (out, mem)
+        let cov = sys.tracer_mut().take_coverage();
+        (out, mem, cov)
     }))
     .map_err(panic_message)
+}
+
+/// Folds one run's coverage into the accumulator, when both exist.
+fn absorb(acc: &mut Option<&mut CoverageMap>, cov: Option<CoverageMap>) {
+    if let (Some(acc), Some(cov)) = (acc.as_deref_mut(), cov) {
+        acc.merge(&cov);
+    }
 }
 
 /// The scenario rendered as a litmus test for the abstract checker, when
@@ -324,11 +339,27 @@ fn model_divergence(s: &Scenario, base: &RunResult, mem: &[u64]) -> Option<Verdi
 ///
 /// Panics if `s` fails [`Scenario::validate`].
 pub fn run_scenario_opts(s: &Scenario, model_check: bool) -> RunReport {
+    run_oracles(s, model_check, None)
+}
+
+/// [`run_scenario_opts`] that additionally collects the trace-derived
+/// [`CoverageMap`] of every DES run the oracles perform (baseline plus
+/// faulted, merged). Coverage observation rides the tracer, so the runs
+/// themselves are bit-identical to the uninstrumented ones; a panicking
+/// run contributes no coverage (the map unwinds with the `System`).
+pub fn run_scenario_cov(s: &Scenario, model_check: bool) -> (RunReport, CoverageMap) {
+    let mut cov = CoverageMap::new();
+    let report = run_oracles(s, model_check, Some(&mut cov));
+    (report, cov)
+}
+
+fn run_oracles(s: &Scenario, model_check: bool, mut cov: Option<&mut CoverageMap>) -> RunReport {
     s.validate().expect("scenario must validate");
     let vars = collect_vars(s);
+    let want_cov = cov.is_some();
     let report = |verdict, sim_ns| RunReport { verdict, sim_ns };
 
-    let (base, base_mem) = match exec(s, None, &vars) {
+    let (base, base_mem) = match exec(s, None, &vars, want_cov) {
         Err(detail) => {
             return report(
                 Verdict::Panic {
@@ -338,7 +369,8 @@ pub fn run_scenario_opts(s: &Scenario, model_check: bool) -> RunReport {
                 0.0,
             )
         }
-        Ok((Err(e), _)) => {
+        Ok((Err(e), _, c)) => {
+            absorb(&mut cov, c);
             let v = match e {
                 RunError::EventCap { .. } => Verdict::EventCap {
                     phase: Phase::Baseline,
@@ -350,7 +382,10 @@ pub fn run_scenario_opts(s: &Scenario, model_check: bool) -> RunReport {
             };
             return report(v, 0.0);
         }
-        Ok((Ok(res), mem)) => (res, mem),
+        Ok((Ok(res), mem, c)) => {
+            absorb(&mut cov, c);
+            (res, mem)
+        }
     };
     let mut sim_ns = base.completion().as_ns_f64();
 
@@ -363,7 +398,7 @@ pub fn run_scenario_opts(s: &Scenario, model_check: bool) -> RunReport {
     let Some(spec) = &s.faults else {
         return report(Verdict::Pass, sim_ns);
     };
-    let faulted = match exec(s, Some(spec), &vars) {
+    let faulted = match exec(s, Some(spec), &vars, want_cov) {
         Err(detail) => {
             return report(
                 Verdict::Panic {
@@ -373,7 +408,8 @@ pub fn run_scenario_opts(s: &Scenario, model_check: bool) -> RunReport {
                 sim_ns,
             )
         }
-        Ok((Err(e), _)) => {
+        Ok((Err(e), _, c)) => {
+            absorb(&mut cov, c);
             let v = match e {
                 RunError::EventCap { .. } => Verdict::EventCap {
                     phase: Phase::Faulted,
@@ -385,7 +421,10 @@ pub fn run_scenario_opts(s: &Scenario, model_check: bool) -> RunReport {
             };
             return report(v, sim_ns);
         }
-        Ok((Ok(res), _)) => res,
+        Ok((Ok(res), _, c)) => {
+            absorb(&mut cov, c);
+            res
+        }
     };
     sim_ns = faulted.completion().as_ns_f64();
 

@@ -16,6 +16,9 @@
 //! * [`trace`] — zero-cost-when-disabled protocol tracing: typed events,
 //!   pluggable sinks (ring buffer, Perfetto-compatible Chrome-trace JSON,
 //!   metrics timelines), keyed by `CORD_TRACE`/`CORD_TRACE_OUT`,
+//! * [`coverage`] — deterministic trace-derived coverage maps (protocol
+//!   event-pair, fault-recovery and table-pressure edges), the novelty
+//!   signal behind the coverage-guided fuzzer,
 //! * [`obs`] — continuous observability on top of the tracer: deterministic
 //!   sim-time-sampled series (JSON + Prometheus export), a failure flight
 //!   recorder, a wall-clock self-profiler, and the shared campaign
@@ -34,6 +37,7 @@
 //! assert_eq!((t, e), (Time::from_ns(5), "a"));
 //! ```
 
+pub mod coverage;
 mod event;
 pub mod fault;
 pub mod obs;

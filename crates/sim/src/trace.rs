@@ -43,6 +43,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::coverage::CoverageMap;
 use crate::stats::Histogram;
 use crate::time::Time;
 
@@ -415,6 +416,9 @@ pub trait TraceSink {
 pub struct Tracer {
     sink: Option<Box<dyn TraceSink + Send>>,
     metrics: Option<MetricsRecorder>,
+    /// Coverage map fed from the same event stream (see
+    /// [`cord_sim::coverage`](crate::coverage)).
+    coverage: Option<CoverageMap>,
     /// Flight recorder: a bounded ring of the most recent events, dumped
     /// by the runner on `RunError` (see `cord_sim::obs`).
     flight: Option<RingSink>,
@@ -426,6 +430,7 @@ impl std::fmt::Debug for Tracer {
         f.debug_struct("Tracer")
             .field("sink", &self.sink.is_some())
             .field("metrics", &self.metrics.is_some())
+            .field("coverage", &self.coverage.is_some())
             .field("flight", &self.flight.as_ref().map(|r| r.capacity()))
             .field("seq", &self.seq)
             .finish()
@@ -496,6 +501,21 @@ impl Tracer {
         self.metrics = Some(m);
     }
 
+    /// Attaches (or replaces) the coverage map.
+    pub fn attach_coverage(&mut self, c: CoverageMap) {
+        self.coverage = Some(c);
+    }
+
+    /// Removes and returns the coverage map, if attached.
+    pub fn take_coverage(&mut self) -> Option<CoverageMap> {
+        self.coverage.take()
+    }
+
+    /// The attached coverage map, if any (mutably, for configuration).
+    pub fn coverage_mut(&mut self) -> Option<&mut CoverageMap> {
+        self.coverage.as_mut()
+    }
+
     /// Arms the flight recorder: keep the most recent `cap` events for a
     /// post-mortem dump on `RunError`.
     pub fn arm_flight(&mut self, cap: usize) {
@@ -521,16 +541,20 @@ impl Tracer {
     /// Whether any consumer is installed.
     #[inline]
     pub fn enabled(&self) -> bool {
-        self.sink.is_some() || self.metrics.is_some() || self.flight.is_some()
+        self.sink.is_some()
+            || self.metrics.is_some()
+            || self.coverage.is_some()
+            || self.flight.is_some()
     }
 
-    /// Whether a sink or metrics recorder is installed, ignoring the
-    /// flight ring. The sharded runner's trace-merge machinery keys on
-    /// this: a run armed only for flight recording needs no per-partition
+    /// Whether a sink, metrics recorder or coverage map is installed,
+    /// ignoring the flight ring. The sharded runner's trace-merge machinery
+    /// keys on this: those consumers need the deterministic merged replay,
+    /// while a run armed only for flight recording needs no per-partition
     /// replay buffers (each partition keeps its own ring).
     #[inline]
-    pub fn has_sink_or_metrics(&self) -> bool {
-        self.sink.is_some() || self.metrics.is_some()
+    pub fn needs_merged_replay(&self) -> bool {
+        self.sink.is_some() || self.metrics.is_some() || self.coverage.is_some()
     }
 
     /// `Some(self)` when enabled — the shape instrumented code threads
@@ -554,6 +578,9 @@ impl Tracer {
         self.seq += 1;
         if let Some(m) = self.metrics.as_mut() {
             m.observe(&ev);
+        }
+        if let Some(c) = self.coverage.as_mut() {
+            c.observe(&ev);
         }
         if let Some(f) = self.flight.as_mut() {
             f.emit(&ev);

@@ -1,0 +1,69 @@
+//! Coverage-map determinism across shard widths and pool widths.
+//!
+//! The coverage map is the fuzzer's novelty signal: if its bytes depended
+//! on `CORD_SIM_THREADS` (within-run sharding) or `CORD_THREADS` (the
+//! campaign worker pool), corpus admission — and therefore the whole
+//! guided campaign — would be machine-dependent. This test replays the
+//! committed repro corpus and asserts the rendered map is **byte-identical**
+//!
+//! * across the host-sharded engine at 1, 2 and 4 workers — sharded runs
+//!   emit traces per partition and replay them merged in `(time,
+//!   partition, emission)` order, so the merged stream (and with it every
+//!   order-sensitive `pair` edge) is a pure function of the scenario, not
+//!   of how many threads executed the partitions; and
+//! * between campaign worker pools of width 1 and 4 (`replay_union` with
+//!   explicit worker counts), where per-scenario maps are merged in input
+//!   order regardless of completion order.
+//!
+//! The *monolithic* engine (`CORD_SIM_THREADS` unset) is a different
+//! execution engine with its own — equally deterministic — trace
+//! interleaving; on multi-host runs its event-pair edges can differ from
+//! the sharded merge. That is why `fuzz --serve` and `fuzz
+//! --check-coverage` pin the engine (they unset the variable) before
+//! recording or comparing coverage numbers.
+//!
+//! One `#[test]`: the sweep mutates process-wide environment variables,
+//! so it must not race sibling tests (each integration-test file is its
+//! own process).
+
+use cord_repro::cord_fuzz::{replay_union, run_scenario_cov};
+
+#[test]
+fn coverage_is_identical_across_shard_and_pool_widths() {
+    std::env::remove_var("CORD_FAULTS");
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/repros");
+    let (seeds, warnings) =
+        cord_repro::cord_fuzz::corpus::load_dir(&dir).expect("committed corpus");
+    assert!(warnings.is_empty(), "unparsable repros: {warnings:?}");
+    assert!(seeds.len() >= 6, "corpus shrank to {}", seeds.len());
+
+    // Per-repro maps under each shard width.
+    for (name, repro) in &seeds {
+        std::env::set_var("CORD_SIM_THREADS", "1");
+        let (_, base) = run_scenario_cov(&repro.scenario, false);
+        assert!(!base.is_empty(), "{name}: no coverage observed");
+        for w in ["2", "4"] {
+            std::env::set_var("CORD_SIM_THREADS", w);
+            let (_, sharded) = run_scenario_cov(&repro.scenario, false);
+            assert_eq!(
+                base.render(),
+                sharded.render(),
+                "{name}: coverage diverged at CORD_SIM_THREADS={w}"
+            );
+        }
+    }
+
+    // Whole-corpus union under different campaign pool widths (shard width
+    // still pinned, so the only varying dimension is the worker pool).
+    std::env::set_var("CORD_SIM_THREADS", "1");
+    let narrow = replay_union(&seeds, Some(1));
+    let wide = replay_union(&seeds, Some(4));
+    assert_eq!(
+        narrow.render(),
+        wide.render(),
+        "corpus union coverage depends on the worker pool width"
+    );
+    assert!(narrow.distinct() > 0);
+    std::env::remove_var("CORD_SIM_THREADS");
+}
