@@ -9,12 +9,24 @@
 //! watchdog trip, no event-cap blowout), then records timings into
 //! `results/BENCH_chaos.json` (override with `CORD_BENCH_JSON`).
 //!
+//! The matrix has two tiers: `fabric` (message-level loss, duplication,
+//! reordering, degradation bursts) and `crash` (node-scoped resets — a
+//! directory controller loses its ordering tables mid-run, a host
+//! transport loses its retransmission bookkeeping — which the CORD
+//! recovery protocol must mask and every other engine must degrade
+//! through gracefully). Crash-tier cells arm the flight recorder; a
+//! failing cell dumps its last-seen trace ring to
+//! `results/flight/chaos-<cell>.txt` for post-mortem (CI uploads these as
+//! artifacts).
+//!
 //! The final stanza is a *negative* check: it re-runs a multi-directory
 //! CORD release with every notification dropped on an unreliable transport
 //! and demands the liveness watchdog catch the hang with a readable
 //! narrative.
 //!
-//! Usage: `chaos [--quick]` — `--quick` runs one seed per plan.
+//! Usage: `chaos [--quick] [--tier fabric|crash] [--engines CORD,SO,...]`
+//! — `--quick` runs one seed per plan; the filters select a subset of the
+//! matrix (CI shards the campaign across them).
 
 use std::time::Instant;
 
@@ -22,7 +34,7 @@ use cord::{RunError, RunResult, System};
 use cord_bench::print_table;
 use cord_bench::sweep::Recorder;
 use cord_proto::{Program, ProtocolKind, SystemConfig};
-use cord_sim::obs::Progress;
+use cord_sim::obs::{render_flight, Progress};
 use cord_sim::Time;
 use cord_workloads::handshake::{multi_dir, single_dst};
 
@@ -39,16 +51,35 @@ const ENGINES: [ProtocolKind; 5] = [
     ProtocolKind::Seq { bits: 8 },
 ];
 
-/// Fault plans exercised by the campaign (name, spec). Every spec gets the
-/// per-run seed prepended. Addresses in the workloads are fresh per round,
-/// so reordering plans are safe for every protocol: the transport restores
-/// FIFO order for the protocols that need it.
-const PLANS: [(&str, &str); 5] = [
+/// Message-level fault plans (the `fabric` tier): (name, spec). Every spec
+/// gets the per-run seed prepended. Addresses in the workloads are fresh
+/// per round, so reordering plans are safe for every protocol: the
+/// transport restores FIFO order for the protocols that need it.
+const FABRIC_PLANS: [(&str, &str); 5] = [
     ("light", "drop=0.02; dup=0.02; jitter=50"),
     ("heavy", "drop=0.15; dup=0.10; jitter=200; rto=800"),
     ("reorder", "jitter=400"),
     ("burst", "drop=0.03; jitter=100; window=2000..6000x5"),
     ("notify", "drop.Notify=0.4; drop.ReqNotify=0.4; drop=0.02"),
+];
+
+/// Node-scoped crash plans (the `crash` tier). Directory resets wipe
+/// ATA/CNT tables and pending notifications mid-run; transport resets
+/// open a new session epoch and replay the unacked buffer. CORD must
+/// recover to fault-free results, other engines must no-op the directory
+/// crash (graceful degradation) while their transports still replay. The
+/// `storm` plan uses the hashed rate form: each (degradation window,
+/// host) pair crashes independently with the given probability.
+const CRASH_PLANS: [(&str, &str); 3] = [
+    ("dirreset", "jitter=50; crash.dir.0=900; crash.dir.1=1800"),
+    (
+        "xportreset",
+        "drop=0.05; rto=800; crash.xport.0=1000; crash.xport.1=2200",
+    ),
+    (
+        "storm",
+        "drop=0.02; rto=900; crash.dir=0.4; crash.xport.1=1500; window=600..2600x2",
+    ),
 ];
 
 /// A boxed workload generator, so the single- and multi-directory shapes
@@ -69,7 +100,8 @@ fn run_cell(
     hosts: u32,
     programs_for: &dyn Fn(&SystemConfig) -> Vec<Program>,
     spec: Option<&str>,
-) -> (Result<RunResult, RunError>, f64, usize) {
+    flight: bool,
+) -> (Result<RunResult, RunError>, f64, usize, Option<String>) {
     let cfg = SystemConfig::cxl(kind, hosts);
     let tph = cfg.noc.tiles_per_host as usize;
     let consumer = if hosts > 2 { 3 * tph } else { tph };
@@ -79,13 +111,86 @@ fn run_cell(
         sys.set_fault_spec(s)
             .unwrap_or_else(|e| panic!("bad spec {s:?}: {e}"));
     }
+    if flight {
+        // Crash-tier cells keep a post-mortem ring: big enough to retain
+        // the crash injection itself even when the failure is a late hang.
+        sys.tracer_mut().arm_flight(16384);
+        sys.set_watchdog(Some(Time::from_us(200)));
+    }
     let start = Instant::now();
     let out = sys.try_run();
-    (out, start.elapsed().as_secs_f64() * 1e3, consumer)
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let dump = match &out {
+        Err(e) if flight => {
+            let rings = sys.take_flight_rings();
+            (!rings.is_empty()).then(|| render_flight(&e.to_string(), &rings))
+        }
+        _ => None,
+    };
+    (out, wall_ms, consumer, dump)
+}
+
+/// Writes a failing crash-tier cell's flight dump under `results/flight/`
+/// so CI can collect it as an artifact.
+fn write_flight_dump(label: &str, text: &str) {
+    let dir = std::path::Path::new("results/flight");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("flight dump: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("chaos-{}.txt", label.replace('/', "-")));
+    match std::fs::write(&path, text) {
+        Ok(()) => eprintln!("flight dump: {}", path.display()),
+        Err(e) => eprintln!("flight dump: cannot write {}: {e}", path.display()),
+    }
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut tier_filter: Option<String> = None;
+    let mut engine_filter: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tier" => {
+                let v = args.get(i + 1).expect("--tier needs a value");
+                tier_filter = Some(v.to_lowercase());
+                i += 2;
+            }
+            "--engines" => {
+                let v = args.get(i + 1).expect("--engines needs a value");
+                engine_filter = Some(v.split(',').map(|s| s.trim().to_uppercase()).collect());
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    let tiers: Vec<(&str, &[(&str, &str)])> =
+        [("fabric", &FABRIC_PLANS[..]), ("crash", &CRASH_PLANS[..])]
+            .into_iter()
+            .filter(|(name, _)| tier_filter.as_deref().is_none_or(|t| t == *name))
+            .collect();
+    assert!(
+        !tiers.is_empty(),
+        "--tier {:?} matches nothing (want fabric or crash)",
+        tier_filter
+    );
+    let engines: Vec<ProtocolKind> = ENGINES
+        .into_iter()
+        .filter(|k| {
+            engine_filter
+                .as_ref()
+                .is_none_or(|f| f.iter().any(|e| *e == k.label()))
+        })
+        .collect();
+    assert!(
+        !engines.is_empty(),
+        "--engines {:?} matches nothing (labels: {:?})",
+        engine_filter,
+        ENGINES.map(ProtocolKind::label)
+    );
+
     if std::env::var_os("CORD_BENCH_JSON").is_none() {
         std::env::set_var("CORD_BENCH_JSON", "results/BENCH_chaos.json");
     }
@@ -94,14 +199,14 @@ fn main() {
 
     let mut rec = Recorder::new("chaos");
     // Campaign size, counted up front for the status line: engines × their
-    // eligible workloads × plans × seeds.
+    // eligible workloads × plans in selected tiers × seeds.
     let workloads_for = |kind: ProtocolKind| if kind.global_rc() { 2u64 } else { 1 };
-    let units: u64 = ENGINES.iter().map(|&k| workloads_for(k)).sum::<u64>()
-        * PLANS.len() as u64
-        * seeds.len() as u64;
+    let plan_count: u64 = tiers.iter().map(|(_, p)| p.len() as u64).sum();
+    let units: u64 =
+        engines.iter().map(|&k| workloads_for(k)).sum::<u64>() * plan_count * seeds.len() as u64;
     let prog = Progress::new("chaos", units);
     let mut cells: Vec<Cell> = Vec::new();
-    for &kind in &ENGINES {
+    for &kind in &engines {
         for workload in ["single", "multi"] {
             if workload == "multi" && !kind.global_rc() {
                 continue; // no cross-destination RC promise (MP, SEQ)
@@ -113,26 +218,34 @@ fn main() {
                 Box::new(move |cfg| single_dst(cfg, rounds, words))
             };
             // Fault-free reference for the RC invariant.
-            let (base, _, consumer) = run_cell(kind, hosts, programs_for.as_ref(), None);
+            let (base, _, consumer, _) = run_cell(kind, hosts, programs_for.as_ref(), None, false);
             let baseline = base.expect("fault-free reference must complete").regs[consumer];
-            for (plan, spec) in PLANS {
-                for &seed in seeds {
-                    let full = format!("seed={seed}; {spec}");
-                    let label = format!("{}/{workload}/{plan}/s{seed}", kind.label());
-                    let (outcome, wall_ms, consumer) =
-                        run_cell(kind, hosts, programs_for.as_ref(), Some(&full));
-                    match &outcome {
-                        Ok(r) => rec.record(&label, wall_ms, r.completion().as_ns_f64()),
-                        Err(_) => prog.flag(),
+            for &(tier, plans) in &tiers {
+                let flight = tier == "crash";
+                for &(plan, spec) in plans {
+                    for &seed in seeds {
+                        let full = format!("seed={seed}; {spec}");
+                        let label = format!("{}/{workload}/{plan}/s{seed}", kind.label());
+                        let (outcome, wall_ms, consumer, dump) =
+                            run_cell(kind, hosts, programs_for.as_ref(), Some(&full), flight);
+                        match &outcome {
+                            Ok(r) => rec.record(&label, wall_ms, r.completion().as_ns_f64()),
+                            Err(_) => {
+                                prog.flag();
+                                if let Some(text) = &dump {
+                                    write_flight_dump(&label, text);
+                                }
+                            }
+                        }
+                        prog.inc(1);
+                        cells.push(Cell {
+                            label,
+                            outcome,
+                            wall_ms,
+                            baseline,
+                            consumer,
+                        });
                     }
-                    prog.inc(1);
-                    cells.push(Cell {
-                        label,
-                        outcome,
-                        wall_ms,
-                        baseline,
-                        consumer,
-                    });
                 }
             }
         }
@@ -149,10 +262,17 @@ fn main() {
             }
             Ok(r) => {
                 let f = r.traffic.faults;
-                format!(
-                    "ok ({} drop, {} dup, {} rexmt)",
-                    f.dropped, f.duplicated, f.retransmits
-                )
+                if f.sessions_reset > 0 || f.replayed > 0 {
+                    format!(
+                        "ok ({} drop, {} rexmt, {} sess reset, {} replay)",
+                        f.dropped, f.retransmits, f.sessions_reset, f.replayed
+                    )
+                } else {
+                    format!(
+                        "ok ({} drop, {} dup, {} rexmt)",
+                        f.dropped, f.duplicated, f.retransmits
+                    )
+                }
             }
             Err(e) => {
                 failures += 1;
@@ -175,23 +295,26 @@ fn main() {
 
     // Negative check: a lost Notify with retransmission disabled must be
     // caught by the liveness watchdog, with a narrative naming the hang.
-    let cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
-    let programs = multi_dir(&cfg, 2);
-    let mut sys = System::new(cfg, programs);
-    sys.set_fault_spec("seed=1; drop.Notify=1.0; unreliable")
-        .expect("demo spec parses");
-    sys.set_watchdog(Some(Time::from_us(200)));
-    match sys.try_run() {
-        Err(RunError::NoProgress { narrative, .. }) => {
-            println!("\n== Watchdog demo: lost Notify without retransmission ==");
-            print!("{narrative}");
-        }
-        other => {
-            failures += 1;
-            eprintln!(
-                "watchdog demo FAILED: expected NoProgress, got {:?}",
-                other.map(|r| r.makespan)
-            );
+    // Skipped when the engine filter excludes CORD (the demo is CORD-only).
+    if engines.contains(&ProtocolKind::Cord) {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+        let programs = multi_dir(&cfg, 2);
+        let mut sys = System::new(cfg, programs);
+        sys.set_fault_spec("seed=1; drop.Notify=1.0; unreliable")
+            .expect("demo spec parses");
+        sys.set_watchdog(Some(Time::from_us(200)));
+        match sys.try_run() {
+            Err(RunError::NoProgress { narrative, .. }) => {
+                println!("\n== Watchdog demo: lost Notify without retransmission ==");
+                print!("{narrative}");
+            }
+            other => {
+                failures += 1;
+                eprintln!(
+                    "watchdog demo FAILED: expected NoProgress, got {:?}",
+                    other.map(|r| r.makespan)
+                );
+            }
         }
     }
 

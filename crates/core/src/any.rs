@@ -55,6 +55,32 @@ impl AnyCore {
             )),
         }
     }
+
+    /// Delivers a directory-recovery broadcast. Only the CORD engine has a
+    /// recovery protocol; every other engine ignores the crash (graceful
+    /// degradation) and returns `false` so the runner skips the polling.
+    pub fn on_dir_recover(&mut self, dir: DirId, ctx: &mut CoreCtx<'_>) -> bool {
+        match self {
+            AnyCore::Cord(c) => c.on_dir_recover(dir, ctx),
+            _ => false,
+        }
+    }
+
+    /// One recovery-fence step (CORD only); `true` when recovery is done.
+    pub fn finish_recover(&mut self, ctx: &mut CoreCtx<'_>) -> bool {
+        match self {
+            AnyCore::Cord(c) => c.finish_recover(ctx),
+            _ => true,
+        }
+    }
+
+    /// Whether a directory-crash recovery fence is active.
+    pub fn recovering(&self) -> bool {
+        match self {
+            AnyCore::Cord(c) => c.recovering(),
+            _ => false,
+        }
+    }
 }
 
 macro_rules! each_core {
@@ -116,6 +142,16 @@ impl AnyDir {
             ProtocolKind::Wb => AnyDir::Wb(WbDir::new(id, cfg)),
             ProtocolKind::Seq { .. } => AnyDir::Seq(SeqDir::new(id, cfg)),
             ProtocolKind::Hybrid { .. } => AnyDir::Hybrid(HybridDir::new(id, cfg)),
+        }
+    }
+
+    /// Crash-resets the directory controller. Only the CORD directory keeps
+    /// recoverable ordering state; other engines report `None` and the
+    /// runner traces the crash as ignored (graceful degradation).
+    pub fn crash_reset(&mut self) -> Option<u32> {
+        match self {
+            AnyDir::Cord(d) => Some(d.crash_reset()),
+            _ => None,
         }
     }
 }

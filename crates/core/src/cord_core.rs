@@ -36,6 +36,7 @@ use cord_proto::{
     SystemConfig, TableSizes, WtMeta,
 };
 use cord_sim::trace::TraceData;
+use cord_sim::Time;
 
 use crate::tables::LookupTable;
 
@@ -43,6 +44,42 @@ use crate::tables::LookupTable;
 pub const PROC_CNT_ENTRY_BYTES: u64 = 5;
 /// Bytes per unacknowledged-epoch entry (1 B directory tag + 1 B epoch).
 pub const PROC_UNACKED_ENTRY_BYTES: u64 = 2;
+
+/// Everything needed to re-issue an unacknowledged Release after the
+/// destination directory crashes and wipes its held copy.
+#[derive(Debug, Clone)]
+struct ReplayRel {
+    dir: DirId,
+    ep: u64,
+    addr: Addr,
+    bytes: u32,
+    value: u64,
+    cnt: u64,
+    last_prev_ep: Option<u64>,
+    noti_cnt: u32,
+    /// Pending directories that owe this Release a notification.
+    noti_dirs: Vec<DirId>,
+    /// `Some(addend)` when the Release was an atomic RMW.
+    atomic: Option<u64>,
+}
+
+/// Conservative re-fence after a directory crash. The runner polls
+/// [`CordCore::finish_recover`] once the core's transport channels have
+/// fully drained (every in-flight store is delivered), at which point the
+/// wiped directory counters can be waived safely.
+#[derive(Debug)]
+struct RecoverState {
+    /// Crashed directories (accumulates across overlapping crashes).
+    dirs: Vec<DirId>,
+    /// When the recovery fence began (for the RecoverEnd trace).
+    since: Time,
+    /// Re-fence messages sent so far.
+    sends: u32,
+    /// Release tids already re-issued (send-once across re-polls).
+    sent_rel: Vec<u64>,
+    /// (tid, pending-dir) notification re-requests already sent.
+    sent_rfn: Vec<(u64, DirId)>,
+}
 
 /// Processor-side CORD engine.
 #[derive(Debug)]
@@ -67,7 +104,21 @@ pub struct CordCore {
     fence_active: bool,
     /// An atomic awaiting its response (blocking, like a load).
     pending_atomic: Option<u64>,
+    /// tid → re-issue state for every unacknowledged Release (mirrors
+    /// `ack_wait`; consumed by directory-crash recovery).
+    replay: HashMap<u64, ReplayRel>,
+    /// Active directory-crash recovery fence, if any.
+    recover: Option<RecoverState>,
     reads: ReadPath,
+}
+
+/// The store payload of a Release (address, width, value), bundled so the
+/// allocation helpers stay within the argument budget.
+#[derive(Clone, Copy)]
+struct RelPayload {
+    addr: Addr,
+    bytes: u32,
+    value: u64,
 }
 
 impl CordCore {
@@ -87,6 +138,8 @@ impl CordCore {
             next_tid: 0,
             fence_active: false,
             pending_atomic: None,
+            replay: HashMap::new(),
+            recover: None,
             reads: ReadPath::default(),
         }
     }
@@ -144,13 +197,18 @@ impl CordCore {
     fn send_release(
         &mut self,
         dst: DirId,
-        addr: Addr,
-        bytes: u32,
-        value: u64,
-        noti_cnt: u32,
+        pay: RelPayload,
+        noti_dirs: &[DirId],
+        recover: bool,
         ctx: &mut CoreCtx<'_>,
     ) {
-        let (tid, meta) = self.alloc_release(dst, noti_cnt, ctx);
+        let RelPayload { addr, bytes, value } = pay;
+        let (tid, mut meta) = self.alloc_release(dst, pay, noti_dirs, None, ctx);
+        if recover {
+            if let WtMeta::Release { recover: r, .. } = &mut meta {
+                *r = true;
+            }
+        }
         let ep = self.epoch;
         ctx.trace(|| TraceData::StoreIssue {
             core: self.id.0,
@@ -177,14 +235,38 @@ impl CordCore {
     }
 
     /// Allocates a Release transaction: registers the epoch in the
-    /// unacknowledged table and builds the wire metadata.
-    fn alloc_release(&mut self, dst: DirId, noti_cnt: u32, ctx: &mut CoreCtx<'_>) -> (u64, WtMeta) {
+    /// unacknowledged table, records the re-issue state for crash recovery
+    /// and builds the wire metadata.
+    fn alloc_release(
+        &mut self,
+        dst: DirId,
+        RelPayload { addr, bytes, value }: RelPayload,
+        noti_dirs: &[DirId],
+        atomic: Option<u64>,
+        ctx: &mut CoreCtx<'_>,
+    ) -> (u64, WtMeta) {
         let ep = self.epoch;
         let cnt_d = self.cnt.get(&dst).copied().unwrap_or(0);
         let last_prev_ep = self.last_unacked_for(dst);
+        let noti_cnt = noti_dirs.len() as u32;
         let tid = self.next_tid;
         self.next_tid += 1;
         self.ack_wait.insert(tid, (ep, dst));
+        self.replay.insert(
+            tid,
+            ReplayRel {
+                dir: dst,
+                ep,
+                addr,
+                bytes,
+                value,
+                cnt: cnt_d,
+                last_prev_ep,
+                noti_cnt,
+                noti_dirs: noti_dirs.to_vec(),
+                atomic,
+            },
+        );
         let inserted = self.unacked.try_insert((ep, dst), ());
         debug_assert!(inserted, "caller must check unacked-table room");
         ctx.trace(|| TraceData::TableInsert {
@@ -201,6 +283,7 @@ impl CordCore {
                 cnt: cnt_d,
                 last_prev_ep,
                 noti_cnt,
+                recover: false,
             },
         )
     }
@@ -262,10 +345,11 @@ impl CordCore {
                     relaxed_cnt,
                     last_unacked_ep,
                     noti_dst: dst,
+                    recover: false,
                 },
             ));
         }
-        self.send_release(dst, addr, bytes, value, pending.len() as u32, ctx);
+        self.send_release(dst, RelPayload { addr, bytes, value }, &pending, false, ctx);
         self.close_epoch(pending.len() as u32, ctx);
         None
     }
@@ -412,7 +496,17 @@ impl CordCore {
                     // An empty Release still needs an address homed at `p` for
                     // routing; any line of that slice works — use line 0.
                     let addr = self.addr_for_dir(p);
-                    self.send_release(p, addr, 0, 0, 0, ctx);
+                    self.send_release(
+                        p,
+                        RelPayload {
+                            addr,
+                            bytes: 0,
+                            value: 0,
+                        },
+                        &[],
+                        false,
+                        ctx,
+                    );
                 }
                 self.close_epoch(pending.len() as u32, ctx);
                 self.fence_active = true;
@@ -426,10 +520,219 @@ impl CordCore {
         let sph = self.map.slices_per_host();
         self.map.addr_on_slice(d.0 / sph, d.0 % sph, 0, 0)
     }
+
+    /// Whether a directory-crash recovery fence is active (diagnostics).
+    pub fn recovering(&self) -> bool {
+        self.recover.is_some()
+    }
+
+    /// Handles a directory-recovery broadcast: enters (or extends) the
+    /// conservative re-fence. Returns `true` — the runner must then poll
+    /// [`Self::finish_recover`] once the core's transport egress is drained.
+    pub fn on_dir_recover(&mut self, dir: DirId, ctx: &mut CoreCtx<'_>) -> bool {
+        if self.recover.is_none() {
+            self.recover = Some(RecoverState {
+                dirs: Vec::new(),
+                since: ctx.now,
+                sends: 0,
+                sent_rel: Vec::new(),
+                sent_rfn: Vec::new(),
+            });
+            ctx.trace(|| TraceData::RecoverBegin {
+                core: self.id.0,
+                dir: dir.0,
+            });
+        }
+        let st = self.recover.as_mut().unwrap();
+        if !st.dirs.contains(&dir) {
+            st.dirs.push(dir);
+        }
+        // A repeat crash wiped whatever an earlier pass re-sent: re-arm the
+        // send-once sets so the next poll re-issues everything again (the
+        // directory drops any duplicate that did survive as stale).
+        st.sent_rel.clear();
+        st.sent_rfn.clear();
+        true
+    }
+
+    /// One step of the recovery fence; called by the runner only while the
+    /// core's transport egress is fully drained (every in-flight store
+    /// delivered). Returns `true` when recovery is complete.
+    ///
+    /// Re-issues are serialised oldest-epoch-first: a re-issued Release's
+    /// count waivers skip the cross-directory notification join, so it must
+    /// not commit before every older epoch has been acknowledged — otherwise
+    /// an observer could acquire the re-issued flag and still miss an older
+    /// Release's value (the Louvre-style conservative re-fence).
+    pub fn finish_recover(&mut self, ctx: &mut CoreCtx<'_>) -> bool {
+        if self.recover.is_none() {
+            return true;
+        }
+        let dirs = self.recover.as_ref().unwrap().dirs.clone();
+
+        // Phase 1: regenerate state the crashed directories wiped, for every
+        // still-unacknowledged Release.
+        let mut tids: Vec<u64> = self.replay.keys().copied().collect();
+        tids.sort_unstable();
+        let mut waiting = false;
+        for tid in tids {
+            let rp = self.replay.get(&tid).cloned().expect("replay entry");
+            // Wiped notifications: ask each crashed pending directory to
+            // notify again. The last-unacked gate is recomputed against the
+            // live table so the notification still waits for every earlier
+            // Release homed at that directory.
+            for nd in rp.noti_dirs.iter().copied() {
+                if !dirs.contains(&nd)
+                    || self.recover.as_ref().unwrap().sent_rfn.contains(&(tid, nd))
+                {
+                    continue;
+                }
+                let last_unacked_ep = self
+                    .unacked
+                    .keys()
+                    .filter(|(e, d)| *d == nd && *e < rp.ep)
+                    .map(|(e, _)| *e)
+                    .max();
+                ctx.send(Msg::new(
+                    NodeRef::Core(self.id),
+                    NodeRef::Dir(nd),
+                    MsgKind::ReqNotify {
+                        core: self.id,
+                        ep: rp.ep,
+                        relaxed_cnt: 0,
+                        last_unacked_ep,
+                        noti_dst: rp.dir,
+                        recover: true,
+                    },
+                ));
+                let st = self.recover.as_mut().unwrap();
+                st.sent_rfn.push((tid, nd));
+                st.sends += 1;
+            }
+            // Wiped held Release: re-issue it (same tid) once every older
+            // epoch is acknowledged; stay in the fence until its ack lands.
+            if dirs.contains(&rp.dir) {
+                waiting = true;
+                let ready = self.unacked.keys().all(|(e, _)| *e >= rp.ep);
+                if ready && !self.recover.as_ref().unwrap().sent_rel.contains(&tid) {
+                    let meta = WtMeta::Release {
+                        ep: rp.ep,
+                        cnt: rp.cnt,
+                        last_prev_ep: rp.last_prev_ep,
+                        noti_cnt: rp.noti_cnt,
+                        recover: true,
+                    };
+                    let kind = match rp.atomic {
+                        Some(add) => MsgKind::AtomicReq {
+                            tid,
+                            addr: rp.addr,
+                            add,
+                            ord: StoreOrd::Release,
+                            meta,
+                        },
+                        None => MsgKind::WtStore {
+                            tid,
+                            addr: rp.addr,
+                            bytes: rp.bytes,
+                            value: rp.value,
+                            ord: StoreOrd::Release,
+                            meta,
+                            needs_ack: true,
+                        },
+                    };
+                    ctx.send(Msg::sized(
+                        NodeRef::Core(self.id),
+                        NodeRef::Dir(rp.dir),
+                        kind,
+                        self.widths.release_overhead_bytes(),
+                    ));
+                    let st = self.recover.as_mut().unwrap();
+                    st.sent_rel.push(tid);
+                    st.sends += 1;
+                }
+            }
+        }
+        if waiting {
+            return false;
+        }
+
+        // Phase 2: the current epoch's store counts at a crashed directory
+        // were wiped, so no future Release could ever match them — close the
+        // epoch early with an empty recovery Release. The count waiver again
+        // demands that every older epoch is already acknowledged; with the
+        // unacknowledged table empty, the storage checks hold trivially.
+        let crashed_cnt: Vec<DirId> = dirs
+            .iter()
+            .copied()
+            .filter(|d| self.cnt.get(d).copied().unwrap_or(0) > 0)
+            .collect();
+        if !crashed_cnt.is_empty() {
+            if !self.unacked.is_empty() {
+                return false;
+            }
+            let dst = crashed_cnt[0];
+            let pending = self.pending_dirs(Some(dst));
+            for &p in &pending {
+                let relaxed_cnt = self.cnt.get(&p).copied().unwrap_or(0);
+                ctx.trace(|| TraceData::NotifyRequest {
+                    core: self.id.0,
+                    pending_dir: p.0,
+                    dst_dir: dst.0,
+                    epoch: self.epoch,
+                });
+                // Crashed pending directories lost their counts too: waive
+                // them; intact ones carry accurate claims. Either way the
+                // notification reclaims the directory's counter entry.
+                ctx.send(Msg::new(
+                    NodeRef::Core(self.id),
+                    NodeRef::Dir(p),
+                    MsgKind::ReqNotify {
+                        core: self.id,
+                        ep: self.epoch,
+                        relaxed_cnt,
+                        last_unacked_ep: None,
+                        noti_dst: dst,
+                        recover: dirs.contains(&p),
+                    },
+                ));
+            }
+            let addr = self.addr_for_dir(dst);
+            self.send_release(
+                dst,
+                RelPayload {
+                    addr,
+                    bytes: 0,
+                    value: 0,
+                },
+                &pending,
+                true,
+                ctx,
+            );
+            self.close_epoch(pending.len() as u32, ctx);
+            let st = self.recover.as_mut().unwrap();
+            st.sends += 1 + pending.len() as u32;
+        }
+
+        let st = self.recover.take().expect("recovery state");
+        ctx.trace(|| TraceData::RecoverEnd {
+            core: self.id.0,
+            since: st.since,
+            sends: st.sends,
+        });
+        // The frontend has been stalling on `StallCause::Recovery`.
+        ctx.wake();
+        true
+    }
 }
 
 impl CoreProtocol for CordCore {
     fn issue(&mut self, op: &Op, ctx: &mut CoreCtx<'_>) -> Issue {
+        // A directory-crash recovery fence stalls the frontend entirely:
+        // new stores would move the quiesce horizon and could race the
+        // conservative re-issues. `finish_recover` wakes the core.
+        if self.recover.is_some() {
+            return Issue::Stall(StallCause::Recovery);
+        }
         // Write-back stores belong to the Hybrid protocol (§4.4); a plain
         // CORD system treats them as write-through.
         let coerced;
@@ -517,10 +820,21 @@ impl CoreProtocol for CordCore {
                                 relaxed_cnt,
                                 last_unacked_ep,
                                 noti_dst: dst,
+                                recover: false,
                             },
                         ));
                     }
-                    let (tid, meta) = self.alloc_release(dst, pending.len() as u32, ctx);
+                    let (tid, meta) = self.alloc_release(
+                        dst,
+                        RelPayload {
+                            addr,
+                            bytes: 8,
+                            value: 0,
+                        },
+                        &pending,
+                        Some(add),
+                        ctx,
+                    );
                     self.pending_atomic = Some(tid);
                     let ep = self.epoch;
                     ctx.trace(|| TraceData::StoreIssue {
@@ -622,6 +936,7 @@ impl CoreProtocol for CordCore {
                     .remove(&tid)
                     .expect("CordCore: ack for unknown Release store");
                 self.unacked.remove(&(ep, dir));
+                self.replay.remove(&tid);
                 ctx.trace(|| TraceData::TableEvict {
                     node: "core",
                     id: self.id.0,
@@ -645,6 +960,7 @@ impl CoreProtocol for CordCore {
                         .remove(&tid)
                         .expect("release atomic registered in ack_wait");
                     self.unacked.remove(&(ep, dir));
+                    self.replay.remove(&tid);
                     ctx.trace(|| TraceData::TableEvict {
                         node: "core",
                         id: self.id.0,
@@ -662,7 +978,10 @@ impl CoreProtocol for CordCore {
     }
 
     fn quiesced(&self) -> bool {
-        self.ack_wait.is_empty() && self.pending_atomic.is_none() && !self.reads.is_pending()
+        self.ack_wait.is_empty()
+            && self.pending_atomic.is_none()
+            && !self.reads.is_pending()
+            && self.recover.is_none()
     }
 
     fn stats(&self) -> CoreProtoStats {
@@ -769,6 +1088,7 @@ mod tests {
                         cnt,
                         last_prev_ep,
                         noti_cnt,
+                        ..
                     },
                 needs_ack,
                 ..

@@ -52,6 +52,10 @@ struct HeldRelease {
     /// `Some(addend)` for Release atomics: commit performs the RMW and the
     /// response carries both the old value and the acknowledgment.
     atomic: Option<u64>,
+    /// Recovery re-issue after a directory crash: the issuing core has
+    /// quiesced all in-flight stores, so the wiped store and notification
+    /// counts are conservatively waived (Release-Release ordering is not).
+    recover: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -62,6 +66,8 @@ struct HeldReqNotify {
     last_unacked_ep: Option<u64>,
     noti_dst: DirId,
     wire_bytes: u64,
+    /// Recovery re-issue: the store-count claim is waived (see above).
+    recover: bool,
 }
 
 /// Directory-side CORD engine.
@@ -111,6 +117,30 @@ impl CordDir {
         self.buf_bytes
     }
 
+    /// Crash-resets the directory controller: wipes all volatile ordering
+    /// state (store counters, notification counters, recycled requests).
+    /// The largest-committed-epoch table survives — it is the durable
+    /// summary that lets the directory recognise and drop stale re-issues
+    /// of already-committed Release stores, preventing double commits.
+    /// Returns the number of discarded entries (for the crash trace).
+    pub fn crash_reset(&mut self) -> u32 {
+        let units = self.cnt.len() + self.noti.len() + self.held_rel.len() + self.held_rfn.len();
+        self.cnt.clear();
+        self.noti.clear();
+        self.held_rel.clear();
+        self.held_rfn.clear();
+        self.buf_bytes = 0;
+        units as u32
+    }
+
+    /// Whether a Release/ReqNotify/Notify for `(core, ep)` is a stale
+    /// duplicate: a Release with that epoch already committed here, so the
+    /// original acknowledgment is in flight (transport state survives
+    /// directory crashes) and the duplicate must be dropped without reply.
+    fn stale_epoch(&self, core: u32, ep: u64) -> bool {
+        self.largest.get(&core).is_some_and(|&l| l >= ep)
+    }
+
     fn epoch_committed(&self, core: u32, ep: Option<u64>) -> bool {
         match ep {
             None => true,
@@ -125,9 +155,17 @@ impl CordDir {
     /// Tries to commit a Release store; returns whether it committed.
     fn try_release(&mut self, r: &HeldRelease, ctx: &mut DirCtx<'_>) -> bool {
         let pid = r.src.0;
-        let cnt_ok = self.relaxed_count(pid, r.ep) == r.cnt;
+        // A recovery re-issue waives the store-count and notification checks:
+        // the issuing core quiesced every in-flight store before re-issuing
+        // (conservative re-fence) and serialises re-issues oldest-epoch-first,
+        // so the wiped counters are conservatively satisfied. Release-Release
+        // ordering (`prev_ok`) is still enforced against the surviving
+        // largest-committed-epoch table.
+        let cnt_ok = r.recover || self.relaxed_count(pid, r.ep) == r.cnt;
         let prev_ok = self.epoch_committed(pid, r.last_prev_ep);
-        let noti_ok = self.noti.get(&(pid, r.ep)).copied().unwrap_or(0) == r.noti_cnt;
+        // `>=`, not `==`: recovery can duplicate notifications when both the
+        // original and the re-issued ReqNotify produce one.
+        let noti_ok = r.recover || self.noti.get(&(pid, r.ep)).copied().unwrap_or(0) >= r.noti_cnt;
         if !(cnt_ok && prev_ok && noti_ok) {
             return false;
         }
@@ -188,7 +226,10 @@ impl CordDir {
     /// notification was sent.
     fn try_reqnotify(&mut self, r: &HeldReqNotify, ctx: &mut DirCtx<'_>) -> bool {
         let pid = r.core.0;
-        let cnt_ok = self.relaxed_count(pid, r.ep) == r.relaxed_cnt;
+        // Recovery re-issues waive the (wiped) store-count claim; the
+        // last-unacked-epoch gate is kept so notifications never race ahead
+        // of earlier Release stores homed here.
+        let cnt_ok = r.recover || self.relaxed_count(pid, r.ep) == r.relaxed_cnt;
         let prev_ok = self.epoch_committed(pid, r.last_unacked_ep);
         if !(cnt_ok && prev_ok) {
             return false;
@@ -224,7 +265,21 @@ impl CordDir {
             let mut i = 0;
             while i < self.held_rel.len() {
                 let r = self.held_rel[i].clone();
-                if self.try_release(&r, ctx) {
+                if self.stale_epoch(r.src.0, r.ep) {
+                    // A duplicate of an already-committed Release (its
+                    // recovery re-issue or its wiped original): drop without
+                    // a second acknowledgment or memory commit.
+                    self.buf_bytes -= r.wire_bytes;
+                    self.held_rel.swap_remove(i);
+                    ctx.trace(|| TraceData::StaleDrop {
+                        dir: self.id.0,
+                        core: r.src.0,
+                        ep: r.ep,
+                        what: "held_rel",
+                    });
+                    self.trace_netbuf_evict(ctx);
+                    advanced = true;
+                } else if self.try_release(&r, ctx) {
                     self.buf_bytes -= r.wire_bytes;
                     self.held_rel.swap_remove(i);
                     self.trace_netbuf_evict(ctx);
@@ -339,12 +394,25 @@ impl DirProtocol for CordDir {
                     cnt,
                     last_prev_ep,
                     noti_cnt,
+                    recover,
                 } => {
                     debug_assert_eq!(ord, StoreOrd::Release);
                     let src = match msg.src {
                         NodeRef::Core(c) => c,
                         other => panic!("CordDir: store from {other:?}"),
                     };
+                    if self.stale_epoch(src.0, ep) {
+                        // Already committed before a crash wiped the held
+                        // copy; the original acknowledgment is still in
+                        // flight. Drop silently — no second ack or commit.
+                        ctx.trace(|| TraceData::StaleDrop {
+                            dir: self.id.0,
+                            core: src.0,
+                            ep,
+                            what: "release",
+                        });
+                        return;
+                    }
                     let r = HeldRelease {
                         src,
                         tid,
@@ -357,6 +425,7 @@ impl DirProtocol for CordDir {
                         noti_cnt,
                         wire_bytes: msg.bytes,
                         atomic: None,
+                        recover,
                     };
                     if self.try_release(&r, ctx) {
                         self.progress(ctx);
@@ -421,7 +490,20 @@ impl DirProtocol for CordDir {
                         cnt,
                         last_prev_ep,
                         noti_cnt,
+                        recover,
                     } => {
+                        if self.stale_epoch(src.0, ep) {
+                            // The atomic already committed (and its response
+                            // is in flight): dropping the duplicate is what
+                            // keeps the read-modify-write exactly-once.
+                            ctx.trace(|| TraceData::StaleDrop {
+                                dir: self.id.0,
+                                core: src.0,
+                                ep,
+                                what: "atomic",
+                            });
+                            return;
+                        }
                         let r = HeldRelease {
                             src,
                             tid,
@@ -434,6 +516,7 @@ impl DirProtocol for CordDir {
                             noti_cnt,
                             wire_bytes: msg.bytes,
                             atomic: Some(add),
+                            recover,
                         };
                         if self.try_release(&r, ctx) {
                             self.progress(ctx);
@@ -450,7 +533,30 @@ impl DirProtocol for CordDir {
                 relaxed_cnt,
                 last_unacked_ep,
                 noti_dst,
+                recover,
             } => {
+                if recover {
+                    // The re-issue supersedes any held original (whose
+                    // store-count claim can never match the wiped counters):
+                    // purge duplicates so exactly one notification is owed.
+                    let mut k = 0;
+                    while k < self.held_rfn.len() {
+                        let h = &self.held_rfn[k];
+                        if h.core == core && h.ep == ep && h.noti_dst == noti_dst {
+                            let h = self.held_rfn.swap_remove(k);
+                            self.buf_bytes -= h.wire_bytes;
+                            ctx.trace(|| TraceData::StaleDrop {
+                                dir: self.id.0,
+                                core: core.0,
+                                ep,
+                                what: "held_rfn",
+                            });
+                            self.trace_netbuf_evict(ctx);
+                        } else {
+                            k += 1;
+                        }
+                    }
+                }
                 let r = HeldReqNotify {
                     core,
                     ep,
@@ -458,12 +564,25 @@ impl DirProtocol for CordDir {
                     last_unacked_ep,
                     noti_dst,
                     wire_bytes: msg.bytes,
+                    recover,
                 };
                 if !self.try_reqnotify(&r, ctx) {
                     self.hold_reqnotify(r, ctx);
                 }
             }
             MsgKind::Notify { core, ep } => {
+                if self.stale_epoch(core.0, ep) {
+                    // The Release this notification feeds already committed
+                    // (a recovery waiver or a duplicate path): counting it
+                    // would leak a notification-table entry forever.
+                    ctx.trace(|| TraceData::StaleDrop {
+                        dir: self.id.0,
+                        core: core.0,
+                        ep,
+                        what: "notify",
+                    });
+                    return;
+                }
                 match self.noti.get_or_insert_with((core.0, ep), || 0) {
                     Some(n) => *n += 1,
                     None => panic!(
@@ -563,6 +682,7 @@ mod tests {
                     cnt,
                     last_prev_ep: last_prev,
                     noti_cnt,
+                    recover: false,
                 },
                 needs_ack: true,
             },
@@ -671,6 +791,7 @@ mod tests {
                 relaxed_cnt: 1,
                 last_unacked_ep: None,
                 noti_dst: DirId(3),
+                recover: false,
             },
         );
         rig.deliver(rfn);
@@ -697,6 +818,7 @@ mod tests {
                 relaxed_cnt: 0,
                 last_unacked_ep: Some(0),
                 noti_dst: DirId(2),
+                recover: false,
             },
         );
         rig.deliver(rfn);
@@ -746,6 +868,7 @@ mod tests {
                     cnt: 1,
                     last_prev_ep: None,
                     noti_cnt: 0,
+                    recover: false,
                 },
             },
         ));
@@ -768,6 +891,112 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    fn recover_release(ep: u64, last_prev: Option<u64>, addr: u64, value: u64) -> Msg {
+        Msg::new(
+            NodeRef::Core(CoreId(0)),
+            NodeRef::Dir(DirId(0)),
+            MsgKind::WtStore {
+                tid: 100 + ep,
+                addr: Addr::new(addr),
+                bytes: 8,
+                value,
+                ord: StoreOrd::Release,
+                meta: WtMeta::Release {
+                    ep,
+                    cnt: 2,
+                    last_prev_ep: last_prev,
+                    noti_cnt: 1,
+                    recover: true,
+                },
+                needs_ack: true,
+            },
+        )
+    }
+
+    #[test]
+    fn crash_reset_wipes_counts_but_keeps_largest() {
+        let mut rig = Rig::new();
+        rig.deliver(relaxed(0, 0x40, 1));
+        rig.deliver(release(0, 1, None, 0, 0x100, 3)); // commits: largest[0]=0
+        rig.deliver(relaxed(1, 0x48, 2)); // next epoch's count
+        rig.deliver(release(2, 5, Some(1), 0, 0x108, 4)); // stalls: held
+        assert!(rig.dir.buffered_bytes() > 0);
+        let units = rig.dir.crash_reset();
+        assert_eq!(units, 2, "one count entry + one held release discarded");
+        assert_eq!(rig.dir.buffered_bytes(), 0);
+        // largest survives: a stale re-delivery of epoch 0 is dropped silently
+        // (no second ack, no second commit).
+        let acks_before = rig.acks();
+        rig.deliver(release(0, 1, None, 0, 0x100, 99));
+        assert_eq!(rig.acks(), acks_before, "stale release must not re-ack");
+        assert_eq!(rig.mem.peek(Addr::new(0x100)), 3, "no double commit");
+    }
+
+    #[test]
+    fn recover_release_waives_wiped_counts_but_keeps_release_chain() {
+        let mut rig = Rig::new();
+        rig.deliver(relaxed(0, 0x40, 1));
+        rig.dir.crash_reset();
+        // The re-issue of epoch 1 claims 2 stores and 1 notification that the
+        // crash wiped; it still must wait for epoch 0 (Release-Release order).
+        rig.deliver(recover_release(1, Some(0), 0x100, 7));
+        assert_eq!(rig.mem.peek(Addr::new(0x100)), 0, "chained on epoch 0");
+        // Epoch 0's re-issue commits despite the wiped counters...
+        rig.deliver(recover_release(0, None, 0x80, 5));
+        // ...and unblocks epoch 1 in the same progress pass.
+        assert_eq!(rig.mem.peek(Addr::new(0x80)), 5);
+        assert_eq!(rig.mem.peek(Addr::new(0x100)), 7);
+        assert_eq!(rig.acks(), 2);
+        // A late notification for a waived epoch is dropped, not leaked.
+        let peak_before = rig.dir.storage().peak_lut_bytes;
+        rig.deliver(Msg::new(
+            NodeRef::Dir(DirId(1)),
+            NodeRef::Dir(DirId(0)),
+            MsgKind::Notify {
+                core: CoreId(0),
+                ep: 1,
+            },
+        ));
+        assert_eq!(
+            rig.dir.storage().peak_lut_bytes,
+            peak_before,
+            "stale notification must not allocate a table entry"
+        );
+        assert_eq!(rig.dir.releases_committed(), 2);
+    }
+
+    #[test]
+    fn recover_reqnotify_supersedes_held_original() {
+        let mut rig = Rig::new();
+        let rfn = |recover| {
+            Msg::new(
+                NodeRef::Core(CoreId(0)),
+                NodeRef::Dir(DirId(0)),
+                MsgKind::ReqNotify {
+                    core: CoreId(0),
+                    ep: 3,
+                    relaxed_cnt: if recover { 0 } else { 4 },
+                    last_unacked_ep: None,
+                    noti_dst: DirId(2),
+                    recover,
+                },
+            )
+        };
+        // Original claims 4 stores that a crash wiped: held forever.
+        rig.deliver(rfn(false));
+        assert!(rig.out.is_empty());
+        assert!(rig.dir.buffered_bytes() > 0);
+        // The recovery re-issue purges the original and notifies at once.
+        rig.deliver(rfn(true));
+        let notifies = rig
+            .out
+            .iter()
+            .filter(|m| matches!(m.kind, MsgKind::Notify { .. }))
+            .count();
+        assert_eq!(notifies, 1, "exactly one notification after recovery");
+        assert_eq!(rig.dir.buffered_bytes(), 0, "held duplicate purged");
     }
 
     #[test]

@@ -16,10 +16,10 @@ use cord_mem::{Addr, Memory};
 use cord_noc::{Delivery, EgressDelivery, MsgClass, Noc, TileId, TrafficStats};
 use cord_proto::{
     CoreCtx, CoreEffect, CoreId, CoreProtoStats, CoreProtocol, DirCtx, DirEffect, DirId,
-    DirProtocol, DirStorage, FaultSpec, Msg, NodeRef, Program, RecvOutcome, StallCause,
+    DirProtocol, DirStorage, FaultSpec, Msg, MsgKind, NodeRef, Program, RecvOutcome, StallCause,
     SystemConfig, Transport, TransportConfig, ACK_BYTES,
 };
-use cord_sim::fault::FaultPlan;
+use cord_sim::fault::{CrashKind, FaultPlan};
 use cord_sim::obs::{self, ProfileSummary, Profiler, Sampler, SeriesSet};
 use cord_sim::trace::{MetricsSnapshot, RingSink, TraceData, Tracer};
 use cord_sim::{EventQueue, Time};
@@ -36,6 +36,8 @@ pub(crate) enum Event {
     DeliverSeq {
         /// The protocol message.
         msg: Msg,
+        /// The sender's session epoch when it was transmitted.
+        sess: u32,
         /// Its channel sequence number.
         seq: u64,
     },
@@ -44,11 +46,17 @@ pub(crate) enum Event {
     XportAck {
         src: u32,
         dst: u32,
+        sess: u32,
         seq: u64,
         dup: bool,
     },
     /// A retransmission timer fires at the sender.
-    XportTimeout { src: u32, dst: u32, seq: u64 },
+    XportTimeout {
+        src: u32,
+        dst: u32,
+        sess: u32,
+        seq: u64,
+    },
     /// A core's scheduled issue step (with its generation stamp).
     CoreStep { core: u32, gen: u64 },
     /// A protocol wake for a stalled core.
@@ -64,13 +72,28 @@ pub(crate) enum Event {
         /// The event to schedule once ingress resolves.
         wire: Wire,
     },
+    /// A scheduled crash fault strikes a host's node (from the
+    /// `CORD_FAULTS` crash grammar).
+    Crash {
+        /// What resets: the directory controllers or the transport.
+        kind: CrashKind,
+        /// The struck host.
+        host: u32,
+    },
+    /// Recovery poll for a core re-fencing after a directory crash: once
+    /// the core's transport egress is drained, run one
+    /// [`AnyCore::finish_recover`] step; re-polls until recovery completes.
+    RecoverCheck {
+        /// The recovering core.
+        core: u32,
+    },
 }
 
 impl Event {
     /// Event-class labels, indexed by [`Event::kind_index`]. Shared by the
     /// self-profiler's per-class buckets and the sampler's in-flight
     /// series.
-    pub(crate) const KINDS: [&'static str; 8] = [
+    pub(crate) const KINDS: [&'static str; 10] = [
         "deliver",
         "deliver_seq",
         "xport_ack",
@@ -79,6 +102,8 @@ impl Event {
         "core_wake",
         "dir_wake",
         "port_arrive",
+        "crash",
+        "recover_check",
     ];
 
     /// Index of this event's class in [`Event::KINDS`].
@@ -92,6 +117,8 @@ impl Event {
             Event::CoreWake { .. } => 5,
             Event::DirWake { .. } => 6,
             Event::PortArrive { .. } => 7,
+            Event::Crash { .. } => 8,
+            Event::RecoverCheck { .. } => 9,
         }
     }
 
@@ -103,7 +130,7 @@ impl Event {
 
 /// Sampler series names for in-flight events per class, index-aligned with
 /// [`Event::KINDS`] (static so the sampling hot path never formats).
-const INFLIGHT_SERIES: [&str; 8] = [
+const INFLIGHT_SERIES: [&str; 10] = [
     "inflight_deliver",
     "inflight_deliver_seq",
     "inflight_xport_ack",
@@ -112,6 +139,8 @@ const INFLIGHT_SERIES: [&str; 8] = [
     "inflight_core_wake",
     "inflight_dir_wake",
     "inflight_port_arrive",
+    "inflight_crash",
+    "inflight_recover_check",
 ];
 
 /// The cross-partition payload of a [`Event::PortArrive`] (sharded runs):
@@ -122,11 +151,12 @@ pub(crate) enum Wire {
     /// Clean-fabric delivery.
     Deliver(Msg),
     /// Transport-tagged delivery.
-    DeliverSeq { msg: Msg, seq: u64 },
+    DeliverSeq { msg: Msg, sess: u32, seq: u64 },
     /// Transport acknowledgment travelling back to the sender.
     XportAck {
         src: u32,
         dst: u32,
+        sess: u32,
         seq: u64,
         dup: bool,
     },
@@ -184,6 +214,17 @@ pub enum RunError {
         /// Human-readable description of the stuck state.
         detail: String,
     },
+    /// The liveness watchdog tripped while at least one core was still
+    /// inside a directory-crash recovery fence: the crash was injected but
+    /// recovery never quiesced (stuck re-fence, lost replay, ...).
+    Unrecovered {
+        /// First core still recovering.
+        core: u32,
+        /// When progress was last observed.
+        since: Time,
+        /// Narrative dump of stuck cores, crash plan and transport state.
+        narrative: String,
+    },
     /// The liveness watchdog saw no forward progress for a full window.
     NoProgress {
         /// When progress was last observed.
@@ -206,6 +247,14 @@ impl std::fmt::Display for RunError {
                 "event cap exceeded ({events}): livelock or runaway program?"
             ),
             RunError::Deadlock { detail, .. } => write!(f, "{detail}"),
+            RunError::Unrecovered {
+                core,
+                since,
+                narrative,
+            } => write!(
+                f,
+                "unrecovered crash: core {core} still re-fencing after a directory/transport reset (no progress since {since})\n{narrative}"
+            ),
             RunError::NoProgress {
                 since,
                 now,
@@ -372,6 +421,10 @@ pub struct System {
     /// held for the post-mortem dump and programmatic access
     /// ([`System::take_flight_rings`]).
     pub(crate) flight_rings: Vec<(u32, RingSink)>,
+    /// Per-host count of directory crashes already injected (the `gen`
+    /// stamped into [`MsgKind::DirRecover`] notices). Per-host so sharded
+    /// and monolithic runs stamp identical generations.
+    crash_gens: Vec<u32>,
 }
 
 impl System {
@@ -437,7 +490,10 @@ impl System {
             sampler: sampler_from_env(),
             profiler: profiler_from_env(),
             flight_rings: Vec::new(),
+            crash_gens: Vec::new(),
         };
+        let hosts = tiles / sys.cfg.noc.tiles_per_host as usize;
+        sys.crash_gens = vec![0; hosts];
         if let Some(cap) = flight_cap_from_env() {
             sys.tracer.arm_flight(cap);
         }
@@ -584,6 +640,7 @@ impl System {
 
     /// The classic single-queue event loop.
     fn run_monolithic(&mut self) -> Result<RunResult, RunError> {
+        self.schedule_crashes(None);
         let mut events = 0u64;
         let mut drained = Time::ZERO;
         // Watchdog state: last fingerprint and when it last changed.
@@ -605,6 +662,13 @@ impl System {
                         wd_fp = fp;
                         wd_since = now;
                     } else if now > wd_since + window {
+                        if let Some(c) = self.engines.iter().position(AnyCore::recovering) {
+                            return Err(RunError::Unrecovered {
+                                core: c as u32,
+                                since: wd_since,
+                                narrative: self.narrate_hang(),
+                            });
+                        }
                         return Err(RunError::NoProgress {
                             since: wd_since,
                             now,
@@ -662,6 +726,9 @@ impl System {
             f.retransmits = s.retransmits;
             f.spurious_retransmits = s.spurious_retransmits;
             f.dup_dropped = s.dup_dropped;
+            f.sessions_reset = s.sessions_reset;
+            f.replayed = s.replayed;
+            f.stale_rejected = s.stale_rejected;
         }
         let mut result = self.collect(drained, events);
         result.metrics = metrics;
@@ -763,13 +830,24 @@ impl System {
     pub(crate) fn handle_event(&mut self, now: Time, ev: Event) {
         match ev {
             Event::Deliver(msg) => self.dispatch(now, msg),
-            Event::DeliverSeq { msg, seq } => self.deliver_tagged(now, msg, seq),
-            Event::XportAck { src, dst, seq, dup } => {
+            Event::DeliverSeq { msg, sess, seq } => self.deliver_tagged(now, msg, sess, seq),
+            Event::XportAck {
+                src,
+                dst,
+                sess,
+                seq,
+                dup,
+            } => {
                 if let Some(x) = self.xport.as_mut() {
-                    x.on_ack(src, dst, seq, dup);
+                    x.on_ack(src, dst, sess, seq, dup);
                 }
             }
-            Event::XportTimeout { src, dst, seq } => self.on_xport_timeout(now, src, dst, seq),
+            Event::XportTimeout {
+                src,
+                dst,
+                sess,
+                seq,
+            } => self.on_xport_timeout(now, src, dst, sess, seq),
             Event::CoreStep { core, gen } => {
                 self.with_core(core as usize, now, |fe, eng, fx, acts, tr| {
                     fe.on_step(gen, now, eng, fx, acts, tr);
@@ -798,12 +876,165 @@ impl System {
                 let at = self.noc.ingress(now, dst, bytes);
                 let inner = match wire {
                     Wire::Deliver(msg) => Event::Deliver(msg),
-                    Wire::DeliverSeq { msg, seq } => Event::DeliverSeq { msg, seq },
-                    Wire::XportAck { src, dst, seq, dup } => Event::XportAck { src, dst, seq, dup },
+                    Wire::DeliverSeq { msg, sess, seq } => Event::DeliverSeq { msg, sess, seq },
+                    Wire::XportAck {
+                        src,
+                        dst,
+                        sess,
+                        seq,
+                        dup,
+                    } => Event::XportAck {
+                        src,
+                        dst,
+                        sess,
+                        seq,
+                        dup,
+                    },
                 };
                 self.queue.push(at, inner);
             }
+            Event::Crash { kind, host } => self.on_crash(now, kind, host),
+            Event::RecoverCheck { core } => self.on_recover_check(now, core),
         }
+    }
+
+    /// Schedules the fault plan's crash events into the queue. Monolithic
+    /// runs pass `None` (all hosts); sharded partitions pass their own host
+    /// so each crash fires exactly once, in the partition that owns the
+    /// struck node. The schedule is a pure function of the plan and host
+    /// count, so results stay bit-identical at any worker count.
+    pub(crate) fn schedule_crashes(&mut self, only_host: Option<u32>) {
+        let Some((plan, _)) = &self.fault_spec else {
+            return;
+        };
+        if !plan.has_crashes() {
+            return;
+        }
+        let hosts = self.fes.len() as u32 / self.cfg.noc.tiles_per_host;
+        for ev in plan.crash_events(hosts) {
+            // Explicit `crash.K.H=NS` directives may name a host the
+            // topology doesn't have (fuzzed specs do); skip those.
+            if ev.host >= hosts || only_host.is_some_and(|h| h != ev.host) {
+                continue;
+            }
+            self.queue.push(
+                ev.at,
+                Event::Crash {
+                    kind: ev.kind,
+                    host: ev.host,
+                },
+            );
+        }
+    }
+
+    /// A crash fault strikes `host`: reset its directory controllers (and
+    /// broadcast the recovery notice) or its transport send channels.
+    fn on_crash(&mut self, now: Time, kind: CrashKind, host: u32) {
+        let tph = self.cfg.noc.tiles_per_host;
+        let (lo, hi) = (host * tph, (host + 1) * tph);
+        match kind {
+            CrashKind::DirReset => {
+                // Reset every directory engine on the host. Engines without
+                // recoverable ordering state (every non-CORD protocol)
+                // report `None`: the crash is traced with zero units wiped
+                // and otherwise ignored — graceful degradation.
+                let mut units = 0u32;
+                let mut struck = Vec::new();
+                for t in lo..hi {
+                    if let Some(u) = self.dir_engines[t as usize].crash_reset() {
+                        units += u;
+                        struck.push(t);
+                    }
+                }
+                self.tracer.emit_with(now, || TraceData::CrashInject {
+                    host,
+                    kind: kind.label(),
+                    units,
+                });
+                let gen = self.crash_gens[host as usize];
+                self.crash_gens[host as usize] += 1;
+                // Tell every core the directory lost its tables; cores with
+                // in-flight epochs enter the conservative recovery fence.
+                // The notices ride the normal (faulty, reliable) fabric.
+                let cores = self.fes.len() as u32;
+                for d in struck {
+                    for c in 0..cores {
+                        let msg = Msg::new(
+                            NodeRef::Dir(DirId(d)),
+                            NodeRef::Core(CoreId(c)),
+                            MsgKind::DirRecover { gen },
+                        );
+                        self.route(now, msg);
+                    }
+                }
+            }
+            CrashKind::XportReset => {
+                let Some(x) = self.xport.as_mut() else {
+                    self.tracer.emit_with(now, || TraceData::CrashInject {
+                        host,
+                        kind: kind.label(),
+                        units: 0,
+                    });
+                    return;
+                };
+                let cfg = *x.config();
+                let replays = x.reset_src_range(lo, hi);
+                self.tracer.emit_with(now, || TraceData::CrashInject {
+                    host,
+                    kind: kind.label(),
+                    units: replays.len() as u32,
+                });
+                for r in replays {
+                    self.transmit_tagged(now, r.msg, r.sess, r.seq);
+                    if cfg.reliable {
+                        self.queue.push(
+                            now + cfg.rto,
+                            Event::XportTimeout {
+                                src: r.src,
+                                dst: r.dst,
+                                sess: r.sess,
+                                seq: r.seq,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recovery poll: once the recovering core's transport egress has fully
+    /// drained (every outbound message acknowledged), run one
+    /// [`AnyCore::finish_recover`] step; re-poll until recovery completes.
+    fn on_recover_check(&mut self, now: Time, core: u32) {
+        let c = core as usize;
+        if !self.engines[c].recovering() {
+            return;
+        }
+        let drained = self
+            .xport
+            .as_ref()
+            .is_none_or(|x| x.unacked_from(core) == 0);
+        if drained {
+            self.with_core(c, now, |_fe, eng, fx, _acts, tr| {
+                let mut ctx = CoreCtx::traced(now, fx, tr);
+                eng.finish_recover(&mut ctx);
+            });
+        }
+        if self.engines[c].recovering() {
+            self.queue.push(
+                now + self.recover_poll_interval(),
+                Event::RecoverCheck { core },
+            );
+        }
+    }
+
+    /// How often a recovering core re-checks its quiesce condition: the
+    /// transport RTO (the bound on how long an unacked message stays
+    /// outstanding before resend), or 1µs without a transport.
+    fn recover_poll_interval(&self) -> Time {
+        self.xport
+            .as_ref()
+            .map_or(Time::from_ns(1_000), |x| x.config().rto)
     }
 
     /// Closes stall episodes still open at `drained` so they are neither
@@ -835,7 +1066,12 @@ impl System {
             pcs += fe.pc() as u64;
             done += fe.is_done() as u64;
         }
-        let xp = self.xport.as_ref().map_or(0, |x| x.stats().retransmits);
+        let xp = self.xport.as_ref().map_or(0, |x| {
+            let s = x.stats();
+            // Session resets and replays are active crash recovery, not a
+            // hang; counting them keeps the watchdog quiet mid-recovery.
+            s.retransmits + s.sessions_reset + s.replayed
+        });
         (pcs, done, xp)
     }
 
@@ -860,11 +1096,16 @@ impl System {
         if let Some(x) = &self.xport {
             let _ = writeln!(
                 s,
-                "  transport: {} unacked ({} retransmits so far, reliable: {})",
+                "  transport: {} unacked ({} retransmits, {} session resets, {} replays, reliable: {})",
                 x.unacked_total(),
                 x.stats().retransmits,
+                x.stats().sessions_reset,
+                x.stats().replayed,
                 x.config().reliable,
             );
+        }
+        if let Some(plan) = self.crash_plan_summary() {
+            s.push_str(&plan);
         }
         s
     }
@@ -881,7 +1122,7 @@ impl System {
             }
             let _ = writeln!(
                 s,
-                "  core {i}: stuck at pc {} on {:?} (stall: {}, polls: {}, engine quiesced: {})",
+                "  core {i}: stuck at pc {} on {:?} (stall: {}, polls: {}, engine quiesced: {}, recovering: {})",
                 fe.pc(),
                 fe.current_op().map(|o| o.mnemonic()),
                 fe.open_stall()
@@ -891,9 +1132,47 @@ impl System {
                     )),
                 fe.polls(),
                 self.engines[i].quiesced(),
+                self.engines[i].recovering(),
             );
         }
         s
+    }
+
+    /// One-line-per-host summary of the active fault plan's crash schedule,
+    /// for hang/deadlock narratives; `None` when no crash faults are armed.
+    pub(crate) fn crash_plan_summary(&self) -> Option<String> {
+        let (plan, _) = self.fault_spec.as_ref()?;
+        if !plan.has_crashes() {
+            return None;
+        }
+        let hosts = self.fes.len() as u32 / self.cfg.noc.tiles_per_host;
+        let evs = plan.crash_events(hosts);
+        let mut per_host: std::collections::BTreeMap<u32, (u32, u32)> =
+            std::collections::BTreeMap::new();
+        for e in &evs {
+            let slot = per_host.entry(e.host).or_default();
+            match e.kind {
+                CrashKind::DirReset => slot.0 += 1,
+                CrashKind::XportReset => slot.1 += 1,
+            }
+        }
+        let mut s = format!("  fault plan: {} crash injection(s)\n", evs.len());
+        for (h, (d, x)) in per_host {
+            let _ = writeln!(s, "    host {h}: {d} dir reset(s), {x} transport reset(s)");
+        }
+        for e in evs.iter().take(8) {
+            let _ = writeln!(
+                s,
+                "    at {}: {} reset on host {}",
+                e.at,
+                e.kind.label(),
+                e.host
+            );
+        }
+        if evs.len() > 8 {
+            let _ = writeln!(s, "    … {} more", evs.len() - 8);
+        }
+        Some(s)
     }
 
     pub(crate) fn describe_event(ev: &Event) -> String {
@@ -904,17 +1183,28 @@ impl System {
                 m.src.tile_flat(),
                 m.dst.tile_flat()
             ),
-            Event::DeliverSeq { msg, seq } => format!(
-                "deliver {} seq {seq} tile{} -> tile{}",
+            Event::DeliverSeq { msg, sess, seq } => format!(
+                "deliver {} sess {sess} seq {seq} tile{} -> tile{}",
                 msg.kind.name(),
                 msg.src.tile_flat(),
                 msg.dst.tile_flat()
             ),
-            Event::XportAck { src, dst, seq, .. } => {
-                format!("xport ack seq {seq} for tile{src} -> tile{dst}")
+            Event::XportAck {
+                src,
+                dst,
+                sess,
+                seq,
+                ..
+            } => {
+                format!("xport ack sess {sess} seq {seq} for tile{src} -> tile{dst}")
             }
-            Event::XportTimeout { src, dst, seq } => {
-                format!("xport timer seq {seq} tile{src} -> tile{dst}")
+            Event::XportTimeout {
+                src,
+                dst,
+                sess,
+                seq,
+            } => {
+                format!("xport timer sess {sess} seq {seq} tile{src} -> tile{dst}")
             }
             Event::CoreStep { core, .. } => format!("core {core} step"),
             Event::CoreWake { core } => format!("core {core} wake"),
@@ -922,6 +1212,8 @@ impl System {
             Event::PortArrive { bytes, wire } => {
                 format!("port arrival for tile{} ({bytes} B)", wire.dst_flat())
             }
+            Event::Crash { kind, host } => format!("crash {} host {host}", kind.label()),
+            Event::RecoverCheck { core } => format!("recover check core {core}"),
         }
     }
 
@@ -936,6 +1228,12 @@ impl System {
         });
         match msg.dst {
             NodeRef::Core(CoreId(c)) => {
+                // Directory-recovery notices are a runner-level protocol:
+                // they may flip the core into the recovery fence, which the
+                // runner then polls with `RecoverCheck` events.
+                if matches!(msg.kind, MsgKind::DirRecover { .. }) {
+                    return self.on_dir_recover_msg(now, msg);
+                }
                 self.with_core(c as usize, now, |fe, eng, fx, acts, tr| {
                     let _ = fe;
                     let _ = acts;
@@ -947,16 +1245,38 @@ impl System {
         }
     }
 
+    /// Delivers a [`MsgKind::DirRecover`] notice to its core and, if the
+    /// core entered (or re-armed) the recovery fence, arms the quiesce poll.
+    fn on_dir_recover_msg(&mut self, now: Time, msg: Msg) {
+        let NodeRef::Dir(dir) = msg.src else {
+            return;
+        };
+        let NodeRef::Core(CoreId(c)) = msg.dst else {
+            return;
+        };
+        let c = c as usize;
+        self.with_core(c, now, |_fe, eng, fx, _acts, tr| {
+            let mut ctx = CoreCtx::traced(now, fx, tr);
+            eng.on_dir_recover(dir, &mut ctx);
+        });
+        if self.engines[c].recovering() {
+            self.queue.push(
+                now + self.recover_poll_interval(),
+                Event::RecoverCheck { core: c as u32 },
+            );
+        }
+    }
+
     /// Handles the arrival of a transport-tagged message: acknowledge,
     /// suppress duplicates, and deliver whatever the receiver releases
     /// (possibly several messages when a FIFO gap fills, or none when the
     /// arrival is held back).
-    fn deliver_tagged(&mut self, now: Time, msg: Msg, seq: u64) {
+    fn deliver_tagged(&mut self, now: Time, msg: Msg, sess: u32, seq: u64) {
         let (sflat, dflat) = (msg.src.tile_flat(), msg.dst.tile_flat());
         let Some(x) = self.xport.as_mut() else {
             return self.dispatch(now, msg);
         };
-        let outcome = x.on_deliver(sflat, dflat, seq, msg);
+        let outcome = x.on_deliver(sflat, dflat, sess, seq, msg);
         if outcome == RecvOutcome::Duplicate {
             self.tracer.emit_with(now, || TraceData::XportDupDrop {
                 src: sflat,
@@ -964,8 +1284,27 @@ impl System {
                 seq,
             });
         }
+        if outcome == RecvOutcome::Stale {
+            // A retransmission from before a transport reset: reject it
+            // WITHOUT acknowledging — the new session replayed this
+            // sequence, and an ack here could retire the replay first.
+            self.tracer.emit_with(now, || TraceData::XportStaleRej {
+                src: sflat,
+                dst: dflat,
+                seq,
+                sess,
+            });
+            return;
+        }
         // Always acknowledge — the sender may have missed an earlier ack.
-        self.send_ack(now, sflat, dflat, seq, outcome == RecvOutcome::Duplicate);
+        self.send_ack(
+            now,
+            sflat,
+            dflat,
+            sess,
+            seq,
+            outcome == RecvOutcome::Duplicate,
+        );
         if let RecvOutcome::Deliver(msgs) = outcome {
             for m in msgs {
                 self.dispatch(now, m);
@@ -976,7 +1315,7 @@ impl System {
     /// Sends a transport acknowledgment for `(src, dst)` sequence `seq`
     /// back across the (faulty) fabric. Acks are unsequenced: losing one is
     /// recovered by sender retransmission and receiver re-ack.
-    fn send_ack(&mut self, now: Time, sflat: u32, dflat: u32, seq: u64, dup: bool) {
+    fn send_ack(&mut self, now: Time, sflat: u32, dflat: u32, sess: u32, seq: u64, dup: bool) {
         let tph = self.cfg.noc.tiles_per_host;
         let from = TileId::from_flat(dflat, tph);
         let to = TileId::from_flat(sflat, tph);
@@ -984,6 +1323,7 @@ impl System {
             let wire = || Wire::XportAck {
                 src: sflat,
                 dst: dflat,
+                sess,
                 seq,
                 dup,
             };
@@ -999,7 +1339,13 @@ impl System {
             }
             return;
         }
-        let ev = |src: u32, dst: u32| Event::XportAck { src, dst, seq, dup };
+        let ev = |src: u32, dst: u32| Event::XportAck {
+            src,
+            dst,
+            sess,
+            seq,
+            dup,
+        };
         match self.transmit_traced(now, from, to, ACK_BYTES, MsgClass::Ack) {
             Delivery::Deliver { at, .. } => self.queue.push(at, ev(sflat, dflat)),
             Delivery::Drop => {}
@@ -1012,26 +1358,33 @@ impl System {
 
     /// Retransmission timer: if the message is still unacknowledged,
     /// retransmit it and re-arm the (backed-off) timer.
-    fn on_xport_timeout(&mut self, now: Time, src: u32, dst: u32, seq: u64) {
+    fn on_xport_timeout(&mut self, now: Time, src: u32, dst: u32, sess: u32, seq: u64) {
         let Some(x) = self.xport.as_mut() else {
             return;
         };
-        if let Some((msg, attempt, delay)) = x.on_timeout(src, dst, seq) {
+        if let Some((msg, attempt, delay)) = x.on_timeout(src, dst, sess, seq) {
             self.tracer.emit_with(now, || TraceData::XportRetrans {
                 src,
                 dst,
                 seq,
                 attempt,
             });
-            self.transmit_tagged(now, msg, seq);
-            self.queue
-                .push(now + delay, Event::XportTimeout { src, dst, seq });
+            self.transmit_tagged(now, msg, sess, seq);
+            self.queue.push(
+                now + delay,
+                Event::XportTimeout {
+                    src,
+                    dst,
+                    sess,
+                    seq,
+                },
+            );
         }
     }
 
     /// Pushes one tagged transmission through the faulty fabric, scheduling
     /// zero, one, or two [`Event::DeliverSeq`] arrivals.
-    fn transmit_tagged(&mut self, depart: Time, msg: Msg, seq: u64) {
+    fn transmit_tagged(&mut self, depart: Time, msg: Msg, sess: u32, seq: u64) {
         let tph = self.cfg.noc.tiles_per_host;
         let src = TileId::from_flat(msg.src.tile_flat(), tph);
         let dst = TileId::from_flat(msg.dst.tile_flat(), tph);
@@ -1047,7 +1400,7 @@ impl System {
                         bytes: msg.bytes,
                         arrive: reach,
                     });
-                    self.deliver_wire(reach, bytes, dst.host, Wire::DeliverSeq { msg, seq });
+                    self.deliver_wire(reach, bytes, dst.host, Wire::DeliverSeq { msg, sess, seq });
                 }
                 EgressDelivery::Drop => {}
                 EgressDelivery::Duplicate { first, second } => {
@@ -1057,10 +1410,11 @@ impl System {
                         dst.host,
                         Wire::DeliverSeq {
                             msg: msg.clone(),
+                            sess,
                             seq,
                         },
                     );
-                    self.deliver_wire(second, bytes, dst.host, Wire::DeliverSeq { msg, seq });
+                    self.deliver_wire(second, bytes, dst.host, Wire::DeliverSeq { msg, sess, seq });
                 }
             }
             return;
@@ -1075,7 +1429,7 @@ impl System {
                     bytes: msg.bytes,
                     arrive: at,
                 });
-                self.queue.push(at, Event::DeliverSeq { msg, seq });
+                self.queue.push(at, Event::DeliverSeq { msg, sess, seq });
             }
             Delivery::Drop => {}
             Delivery::Duplicate { first, second } => {
@@ -1083,10 +1437,12 @@ impl System {
                     first,
                     Event::DeliverSeq {
                         msg: msg.clone(),
+                        sess,
                         seq,
                     },
                 );
-                self.queue.push(second, Event::DeliverSeq { msg, seq });
+                self.queue
+                    .push(second, Event::DeliverSeq { msg, sess, seq });
             }
         }
     }
@@ -1166,8 +1522,20 @@ impl System {
         if dst_host == part.host {
             let ev = match wire {
                 Wire::Deliver(msg) => Event::Deliver(msg),
-                Wire::DeliverSeq { msg, seq } => Event::DeliverSeq { msg, seq },
-                Wire::XportAck { src, dst, seq, dup } => Event::XportAck { src, dst, seq, dup },
+                Wire::DeliverSeq { msg, sess, seq } => Event::DeliverSeq { msg, sess, seq },
+                Wire::XportAck {
+                    src,
+                    dst,
+                    sess,
+                    seq,
+                    dup,
+                } => Event::XportAck {
+                    src,
+                    dst,
+                    sess,
+                    seq,
+                    dup,
+                },
             };
             self.queue.push(reach, ev);
         } else {
@@ -1298,15 +1666,16 @@ impl System {
             // Fault-injection mode: tag with a sequence number, retain a
             // retransmission copy, and arm the first timer.
             let (sflat, dflat) = (msg.src.tile_flat(), msg.dst.tile_flat());
-            let seq = x.wrap(sflat, dflat, &mut msg);
+            let (sess, seq) = x.wrap(sflat, dflat, &mut msg);
             let cfg = *x.config();
-            self.transmit_tagged(depart, msg, seq);
+            self.transmit_tagged(depart, msg, sess, seq);
             if cfg.reliable {
                 self.queue.push(
                     depart + cfg.rto,
                     Event::XportTimeout {
                         src: sflat,
                         dst: dflat,
+                        sess,
                         seq,
                     },
                 );
@@ -1347,14 +1716,20 @@ impl System {
     pub(crate) fn check_finished(&self) -> Result<(), RunError> {
         for (i, fe) in self.fes.iter().enumerate() {
             if !fe.is_done() {
+                let mut detail = format!(
+                    "deadlock: core {i} stuck at pc {} on {:?} (engine quiesced: {}, recovering: {})",
+                    fe.pc(),
+                    fe.current_op().map(|o| o.mnemonic()),
+                    self.engines[i].quiesced(),
+                    self.engines[i].recovering(),
+                );
+                if let Some(plan) = self.crash_plan_summary() {
+                    detail.push('\n');
+                    detail.push_str(&plan);
+                }
                 return Err(RunError::Deadlock {
                     core: i as u32,
-                    detail: format!(
-                        "deadlock: core {i} stuck at pc {} on {:?} (engine quiesced: {})",
-                        fe.pc(),
-                        fe.current_op().map(|o| o.mnemonic()),
-                        self.engines[i].quiesced()
-                    ),
+                    detail,
                 });
             }
             debug_assert!(

@@ -274,6 +274,9 @@ fn make_partition(parent: &System, host: u32, nparts: usize) -> System {
         .map(|p| Box::new(Sampler::new(p.interval())));
     s.profiler = parent.profiler.as_ref().map(|_| Box::new(Profiler::new()));
     s.restrict_queue_to_host(host);
+    // Each partition injects only its own host's crash events, so every
+    // crash fires exactly once regardless of worker count.
+    s.schedule_crashes(Some(host));
     s.part = Some(Partition {
         host,
         outbox: (0..nparts).map(|_| Vec::new()).collect(),
@@ -503,11 +506,16 @@ fn narrate_sharded(shards: &[System]) -> String {
     if !xports.is_empty() {
         let _ = writeln!(
             s,
-            "  transport: {} unacked ({} retransmits so far, reliable: {})",
+            "  transport: {} unacked ({} retransmits, {} session resets, {} replays, reliable: {})",
             xports.iter().map(|x| x.unacked_total()).sum::<usize>(),
             xports.iter().map(|x| x.stats().retransmits).sum::<u64>(),
+            xports.iter().map(|x| x.stats().sessions_reset).sum::<u64>(),
+            xports.iter().map(|x| x.stats().replayed).sum::<u64>(),
             xports[0].config().reliable,
         );
+    }
+    if let Some(plan) = shards.first().and_then(System::crash_plan_summary) {
+        s.push_str(&plan);
     }
     s
 }
@@ -667,12 +675,27 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
     if let Some((_, v)) = verdict {
         return Err(match v {
             Verdict::EventCap { events } => RunError::EventCap { events },
-            Verdict::NoProgress { since, now, window } => RunError::NoProgress {
-                since,
-                now,
-                window,
-                narrative: narrate_sharded(&shards),
-            },
+            Verdict::NoProgress { since, now, window } => {
+                // A core stuck inside the recovery fence is an unrecovered
+                // crash, not a generic hang — report it as such.
+                let rec = shards.iter().enumerate().find_map(|(h, sh)| {
+                    let lo = h * tph;
+                    (lo..lo + tph).find(|&t| sh.engines[t].recovering())
+                });
+                match rec {
+                    Some(core) => RunError::Unrecovered {
+                        core: core as u32,
+                        since,
+                        narrative: narrate_sharded(&shards),
+                    },
+                    None => RunError::NoProgress {
+                        since,
+                        now,
+                        window,
+                        narrative: narrate_sharded(&shards),
+                    },
+                }
+            }
         });
     }
     let metrics = sys.tracer.take_metrics().map(|m| m.snapshot());
@@ -696,6 +719,9 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
     let mut xr = 0u64;
     let mut xs = 0u64;
     let mut xd = 0u64;
+    let mut xsr = 0u64;
+    let mut xrp = 0u64;
+    let mut xst = 0u64;
     for (h, sh) in shards.into_iter().enumerate() {
         let System {
             fes,
@@ -712,6 +738,9 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
             xr += st.retransmits;
             xs += st.spurious_retransmits;
             xd += st.dup_dropped;
+            xsr += st.sessions_reset;
+            xrp += st.replayed;
+            xst += st.stale_rejected;
         }
         let lo = h * tph;
         for (t, fe) in fes.into_iter().enumerate().skip(lo).take(tph) {
@@ -732,6 +761,9 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
         f.retransmits = xr;
         f.spurious_retransmits = xs;
         f.dup_dropped = xd;
+        f.sessions_reset = xsr;
+        f.replayed = xrp;
+        f.stale_rejected = xst;
     }
 
     sys.check_finished()?;

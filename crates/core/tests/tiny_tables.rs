@@ -110,6 +110,29 @@ fn tiny_tables_survive_a_lossy_reordering_fabric() {
 }
 
 #[test]
+fn tiny_tables_survive_a_mid_epoch_directory_reset() {
+    // Crash composition (ISSUE: crash–restart robustness): a directory
+    // controller on a busy remote host loses its ATA/CNT tables mid-epoch
+    // while capacity-1/2 provisioning is already forcing stall-and-retry.
+    // The recovery fence must re-register the in-flight epochs against the
+    // wiped tables without deadlocking or corrupting ordering.
+    for cap in [1, 2] {
+        let mut cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+        cfg.tables = tiny_tables(cap);
+        let programs = fan_out_workload(&cfg, 8, 3);
+        let clean = System::new(cfg.clone(), programs.clone()).run();
+        let mut sys = System::new(cfg, programs);
+        sys.set_fault_spec("seed=13; crash.dir.1=900; crash.dir.2=1700")
+            .unwrap();
+        let r = sys.run();
+        assert_eq!(
+            clean.regs, r.regs,
+            "capacity-{cap}: directory reset changed architectural results"
+        );
+    }
+}
+
+#[test]
 fn all_write_through_protocols_complete_with_tiny_tables() {
     for kind in [
         ProtocolKind::Cord,

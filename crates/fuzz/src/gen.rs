@@ -84,7 +84,24 @@ pub(crate) fn gen_faults(rng: &mut DetRng) -> Option<String> {
         let factor = rng.range_u64(2..11);
         parts.push(format!("window={start}..{}x{factor}", start + len));
     }
+    if rng.chance(0.2) {
+        parts.push(gen_crash(rng));
+    }
     Some(parts.join("; "))
+}
+
+/// Draws one `crash.*` directive: a node-scoped fault (directory-controller
+/// or transport reset) at an explicit nanosecond time, on one host or all
+/// of them. Hosts beyond the scenario's actual host count are harmless —
+/// the runner skips crash events for hosts that don't exist.
+pub(crate) fn gen_crash(rng: &mut DetRng) -> String {
+    let kind = *rng.pick(&["dir", "xport"]);
+    let at = rng.range_u64(1..9) * 1000;
+    if rng.chance(0.3) {
+        format!("crash.{kind}.*={at}")
+    } else {
+        format!("crash.{kind}.{}={at}", rng.range_u64(0..4))
+    }
 }
 
 /// Generates scenario `index` of the campaign with root `seed`. The result

@@ -18,7 +18,7 @@
 use cord_proto::TableSizes;
 use cord_sim::DetRng;
 
-use crate::gen::{gen_faults, generate, ENGINES};
+use crate::gen::{gen_crash, gen_faults, generate, ENGINES};
 use crate::scenario::{DataStore, Pair, Round, Scenario, Slot};
 
 /// Bounds on per-pair structure growth so long mutation chains cannot
@@ -54,7 +54,7 @@ pub fn mutate(base: &Scenario, seed: u64, index: u64) -> Scenario {
 /// repairs everything afterwards. `old_tph` is the parent's tiles-per-host,
 /// still the encoding of every `consumer` tile index at this point.
 fn apply_op(s: &mut Scenario, rng: &mut DetRng, old_tph: u32) {
-    match rng.range_usize(0..14) {
+    match rng.range_usize(0..16) {
         0 => s.engine = *rng.pick(&ENGINES),
         1 => s.upi = !s.upi,
         2 => s.hosts = *rng.pick(&[2u32, 3, 4]),
@@ -73,6 +73,26 @@ fn apply_op(s: &mut Scenario, rng: &mut DetRng, old_tph: u32) {
         5 => s.tables = TableSizes::default(),
         6 => s.faults = gen_faults(rng),
         7 => s.faults = None,
+        14 => {
+            // Arm (another) node-scoped crash: a directory-controller or
+            // transport reset joins whatever link faults are already there.
+            let d = gen_crash(rng);
+            s.faults = Some(match &s.faults {
+                Some(f) => format!("{f}; {d}"),
+                None => format!("seed={}; {d}", rng.range_u64(1..1_000_000)),
+            });
+        }
+        15 => {
+            // Disarm the crashes but keep the link faults.
+            if let Some(f) = &s.faults {
+                let kept: Vec<&str> = f
+                    .split(';')
+                    .map(str::trim)
+                    .filter(|p| !p.starts_with("crash."))
+                    .collect();
+                s.faults = (!kept.is_empty()).then(|| kept.join("; "));
+            }
+        }
         8 => {
             // Append a publication round to a random pair.
             let p = rng.range_usize(0..s.pairs.len());

@@ -47,6 +47,13 @@ pub struct FaultStats {
     pub spurious_retransmits: u64,
     /// Duplicate deliveries suppressed by the transport receiver.
     pub dup_dropped: u64,
+    /// Transport send channels reset into a new session epoch by a crash
+    /// fault (reported by the runner's transport shim).
+    pub sessions_reset: u64,
+    /// Unacked messages replayed into a new session after a transport reset.
+    pub replayed: u64,
+    /// Arrivals rejected for carrying a stale (pre-reset) session epoch.
+    pub stale_rejected: u64,
 }
 
 impl FaultStats {

@@ -51,6 +51,9 @@ pub enum StallCause {
     Overflow,
     /// The FIFO store buffer is draining (TSO mode).
     StoreBuffer,
+    /// The core is quiescing in-flight epochs after a directory crash
+    /// (conservative re-fence before re-registration).
+    Recovery,
     /// Any other protocol-specific condition.
     Other,
 }
@@ -64,6 +67,7 @@ impl StallCause {
             StallCause::TableFull => "TableFull",
             StallCause::Overflow => "Overflow",
             StallCause::StoreBuffer => "StoreBuffer",
+            StallCause::Recovery => "Recovery",
             StallCause::Other => "Other",
         }
     }

@@ -75,6 +75,10 @@ pub enum WtMeta {
         last_prev_ep: Option<u64>,
         /// Number of pending directories that will send notifications.
         noti_cnt: u32,
+        /// Recovery re-issue after a directory crash: the issuing core has
+        /// quiesced all its in-flight stores (conservative re-fence), so the
+        /// directory waives the wiped store/notification counts.
+        recover: bool,
     },
     /// SEQ-N strawman: a single per-(processor, directory) sequence number.
     Seq {
@@ -165,6 +169,10 @@ pub enum MsgKind {
         last_unacked_ep: Option<u64>,
         /// Destination directory of the triggering Release store.
         noti_dst: DirId,
+        /// Recovery re-send after this pending directory crashed: its store
+        /// counts were wiped, so it must send the notification on the
+        /// strength of the issuer's quiesce instead.
+        recover: bool,
     },
     /// CORD: pending directory → destination directory notification.
     Notify {
@@ -172,6 +180,14 @@ pub enum MsgKind {
         core: CoreId,
         /// Epoch the notification covers.
         ep: u64,
+    },
+    /// CORD: directory → core broadcast after a crash–restart: the
+    /// directory lost its volatile ordering tables (store counts, pending
+    /// notifications, buffered requests) and every core must re-register
+    /// its in-flight state via conservative re-fencing.
+    DirRecover {
+        /// Crash generation (how many times this directory has reset).
+        gen: u32,
     },
     /// Message passing: a posted write (PCIe-style), destination-ordered.
     MpWrite {
@@ -256,6 +272,7 @@ impl MsgKind {
             MsgKind::ReadResp { bytes, .. } => CTRL_BYTES + *bytes as u64,
             MsgKind::ReqNotify { .. } => CTRL_BYTES + 8,
             MsgKind::Notify { .. } => CTRL_BYTES,
+            MsgKind::DirRecover { .. } => CTRL_BYTES,
             MsgKind::MpWrite { bytes, .. } => CTRL_BYTES + *bytes as u64,
             MsgKind::GetS { .. } | MsgKind::GetM { .. } => CTRL_BYTES,
             MsgKind::DataResp { .. } => CTRL_BYTES + cord_mem::LINE_BYTES,
@@ -282,6 +299,7 @@ impl MsgKind {
             MsgKind::ReadResp { .. } => "ReadResp",
             MsgKind::ReqNotify { .. } => "ReqNotify",
             MsgKind::Notify { .. } => "Notify",
+            MsgKind::DirRecover { .. } => "DirRecover",
             MsgKind::MpWrite { .. } => "MpWrite",
             MsgKind::GetS { .. } => "GetS",
             MsgKind::GetM { .. } => "GetM",
@@ -381,6 +399,7 @@ mod tests {
                 relaxed_cnt: 0,
                 last_unacked_ep: None,
                 noti_dst: DirId(1),
+                recover: false,
             }
             .base_bytes(),
             24

@@ -86,6 +86,13 @@ pub struct XportStats {
     pub held_back: u64,
     /// Highest attempt count observed for any single message.
     pub max_attempts: u32,
+    /// Send channels that entered a new session epoch (host transport
+    /// resets × channels).
+    pub sessions_reset: u64,
+    /// Unacked messages replayed into a new session epoch.
+    pub replayed: u64,
+    /// Arrivals rejected because they carried a stale session epoch.
+    pub stale_rejected: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -96,12 +103,18 @@ struct Unacked {
 
 #[derive(Debug, Default, Clone)]
 struct SendChan {
+    /// Current session epoch; bumped by a host transport reset.
+    sess: u32,
     next_seq: u64,
     unacked: BTreeMap<u64, Unacked>,
 }
 
 #[derive(Debug, Default, Clone)]
 struct RecvChan {
+    /// Largest session epoch seen from the sender (the implicit reconnect
+    /// handshake: every message carries its session, and the receiver
+    /// adopts any newer one on first arrival).
+    sess: u32,
     /// Every sequence below this has been delivered (FIFO: in order).
     low: u64,
     /// Delivered sequences at or above `low` (non-FIFO mode).
@@ -116,9 +129,32 @@ pub enum RecvOutcome {
     /// Already seen — suppress, but still acknowledge (the first ack may
     /// have been lost).
     Duplicate,
+    /// The arrival carried a stale session epoch (a retransmission from
+    /// before a transport reset): reject without acknowledging — the new
+    /// session replayed the message under the same sequence number, so
+    /// acking here could retire the replay before it arrives.
+    Stale,
     /// Fresh arrival: deliver these messages now (empty when the arrival
     /// was held back for FIFO reassembly; several when it filled a gap).
     Deliver(Vec<Msg>),
+}
+
+/// One unacked message re-sent into a new session epoch by
+/// [`Transport::reset_src_range`]; the runner retransmits it and arms a
+/// fresh timeout carrying the new session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replay {
+    /// Source tile of the channel.
+    pub src: u32,
+    /// Destination tile of the channel.
+    pub dst: u32,
+    /// New session epoch.
+    pub sess: u32,
+    /// Sequence number (unchanged: the sequence space continues across
+    /// sessions so duplicate suppression and FIFO order survive the reset).
+    pub seq: u64,
+    /// The message (already sized with [`SEQ_BYTES`]).
+    pub msg: Msg,
 }
 
 /// Per-system transport state: one sender and one receiver channel per
@@ -159,12 +195,22 @@ impl Transport {
         self.send.values().map(|c| c.unacked.len()).sum()
     }
 
+    /// Messages awaiting acknowledgment on channels sourced at tile `src`
+    /// (the crash-recovery quiesce condition: a core's outbound traffic has
+    /// fully drained when this reaches zero).
+    pub fn unacked_from(&self, src: u32) -> usize {
+        self.send
+            .range((src, 0)..(src + 1, 0))
+            .map(|(_, c)| c.unacked.len())
+            .sum()
+    }
+
     /// Tags `msg` with the next sequence number on the `(src, dst)` channel,
     /// adds [`SEQ_BYTES`] to its wire size, and retains a retransmission
-    /// copy. Returns the assigned sequence number; the runner schedules the
-    /// first [`Transport::on_timeout`] at `now + config().rto` (when
-    /// `reliable`).
-    pub fn wrap(&mut self, src: u32, dst: u32, msg: &mut Msg) -> u64 {
+    /// copy. Returns the channel's session epoch and the assigned sequence
+    /// number; the runner schedules the first [`Transport::on_timeout`] at
+    /// `now + config().rto` (when `reliable`).
+    pub fn wrap(&mut self, src: u32, dst: u32, msg: &mut Msg) -> (u32, u64) {
         let chan = self.send.entry((src, dst)).or_default();
         let seq = chan.next_seq;
         chan.next_seq += 1;
@@ -177,12 +223,46 @@ impl Transport {
             },
         );
         self.stats.sent += 1;
-        seq
+        (chan.sess, seq)
     }
 
-    /// Handles the arrival of sequence `seq` on the `(src, dst)` channel.
-    pub fn on_deliver(&mut self, src: u32, dst: u32, seq: u64, msg: Msg) -> RecvOutcome {
+    /// Resets the transport of every source tile in `[src_lo, src_hi)` (a
+    /// host's tile range): each of its send channels enters a new session
+    /// epoch — in-flight acks and retransmission timers from the old
+    /// session become stale, per-message attempt counts reset — and every
+    /// unacked message is replayed into the new session under its original
+    /// sequence number. Returns the replays for the runner to retransmit.
+    pub fn reset_src_range(&mut self, src_lo: u32, src_hi: u32) -> Vec<Replay> {
+        let mut out = Vec::new();
+        for (&(src, dst), chan) in self.send.range_mut((src_lo, 0)..(src_hi, 0)) {
+            chan.sess += 1;
+            self.stats.sessions_reset += 1;
+            for (&seq, u) in chan.unacked.iter_mut() {
+                u.attempts = 1;
+                self.stats.replayed += 1;
+                out.push(Replay {
+                    src,
+                    dst,
+                    sess: chan.sess,
+                    seq,
+                    msg: u.msg.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Handles the arrival of sequence `seq` tagged with session `sess` on
+    /// the `(src, dst)` channel.
+    pub fn on_deliver(&mut self, src: u32, dst: u32, sess: u32, seq: u64, msg: Msg) -> RecvOutcome {
         let chan = self.recv.entry((src, dst)).or_default();
+        if sess < chan.sess {
+            self.stats.stale_rejected += 1;
+            return RecvOutcome::Stale;
+        }
+        // Adopt a newer session (the sender's transport reset): sequence
+        // numbering continues across sessions, so dedup/FIFO state carries.
+        chan.sess = sess;
         if seq < chan.low {
             self.stats.dup_dropped += 1;
             return RecvOutcome::Duplicate;
@@ -214,13 +294,18 @@ impl Transport {
         }
     }
 
-    /// Handles an acknowledgment of sequence `seq`; `dup` is the receiver's
-    /// report that the acknowledged delivery was a duplicate. Returns `true`
-    /// if this retired an outstanding message.
-    pub fn on_ack(&mut self, src: u32, dst: u32, seq: u64, dup: bool) -> bool {
+    /// Handles an acknowledgment of sequence `seq` from session `sess`;
+    /// `dup` is the receiver's report that the acknowledged delivery was a
+    /// duplicate. Acks from a stale session are ignored — the reset already
+    /// replayed the message, so only the new session's delivery may retire
+    /// it. Returns `true` if this retired an outstanding message.
+    pub fn on_ack(&mut self, src: u32, dst: u32, sess: u32, seq: u64, dup: bool) -> bool {
         let Some(chan) = self.send.get_mut(&(src, dst)) else {
             return false;
         };
+        if sess != chan.sess {
+            return false;
+        }
         match chan.unacked.remove(&seq) {
             Some(u) => {
                 if dup && u.attempts > 1 {
@@ -232,16 +317,27 @@ impl Transport {
         }
     }
 
-    /// Handles a retransmission timer for sequence `seq`. Returns the
-    /// message to retransmit together with its new attempt count and the
-    /// backed-off delay until the next timer, or `None` if the message was
-    /// acknowledged in the meantime (timer is stale) or retransmission is
-    /// disabled.
-    pub fn on_timeout(&mut self, src: u32, dst: u32, seq: u64) -> Option<(Msg, u32, Time)> {
+    /// Handles a retransmission timer for sequence `seq` armed in session
+    /// `sess`. Returns the message to retransmit together with its new
+    /// attempt count and the backed-off delay until the next timer, or
+    /// `None` if the message was acknowledged in the meantime, the timer
+    /// belongs to a stale session (a transport reset cancelled it), or
+    /// retransmission is disabled.
+    pub fn on_timeout(
+        &mut self,
+        src: u32,
+        dst: u32,
+        sess: u32,
+        seq: u64,
+    ) -> Option<(Msg, u32, Time)> {
         if !self.cfg.reliable {
             return None;
         }
-        let u = self.send.get_mut(&(src, dst))?.unacked.get_mut(&seq)?;
+        let chan = self.send.get_mut(&(src, dst))?;
+        if sess != chan.sess {
+            return None;
+        }
+        let u = chan.unacked.get_mut(&seq)?;
         u.attempts += 1;
         self.stats.retransmits += 1;
         self.stats.max_attempts = self.stats.max_attempts.max(u.attempts);
@@ -333,11 +429,11 @@ mod tests {
         let mut x = Transport::new(TransportConfig::default());
         let mut m = msg(1);
         let base = m.bytes;
-        assert_eq!(x.wrap(0, 8, &mut m), 0);
+        assert_eq!(x.wrap(0, 8, &mut m), (0, 0));
         assert_eq!(m.bytes, base + SEQ_BYTES);
         let mut m2 = msg(2);
-        assert_eq!(x.wrap(0, 8, &mut m2), 1);
-        assert_eq!(x.wrap(8, 0, &mut msg(3).clone()), 0); // independent channel
+        assert_eq!(x.wrap(0, 8, &mut m2), (0, 1));
+        assert_eq!(x.wrap(8, 0, &mut msg(3).clone()), (0, 0)); // independent channel
         assert_eq!(x.unacked_total(), 3);
         assert_eq!(x.stats().sent, 3);
     }
@@ -346,13 +442,16 @@ mod tests {
     fn duplicate_deliveries_are_suppressed() {
         let mut x = Transport::new(TransportConfig::default());
         let mut m = msg(1);
-        let seq = x.wrap(0, 8, &mut m);
+        let (_, seq) = x.wrap(0, 8, &mut m);
         assert_eq!(
-            x.on_deliver(0, 8, seq, m.clone()),
+            x.on_deliver(0, 8, 0, seq, m.clone()),
             RecvOutcome::Deliver(vec![m.clone()])
         );
-        assert_eq!(x.on_deliver(0, 8, seq, m.clone()), RecvOutcome::Duplicate);
-        assert_eq!(x.on_deliver(0, 8, seq, m), RecvOutcome::Duplicate);
+        assert_eq!(
+            x.on_deliver(0, 8, 0, seq, m.clone()),
+            RecvOutcome::Duplicate
+        );
+        assert_eq!(x.on_deliver(0, 8, 0, seq, m), RecvOutcome::Duplicate);
         assert_eq!(x.stats().dup_dropped, 2);
     }
 
@@ -360,15 +459,15 @@ mod tests {
     fn unordered_mode_delivers_immediately_out_of_order() {
         let mut x = Transport::new(TransportConfig::default());
         let (mut a, mut b) = (msg(1), msg(2));
-        let s0 = x.wrap(0, 8, &mut a);
-        let s1 = x.wrap(0, 8, &mut b);
+        let (_, s0) = x.wrap(0, 8, &mut a);
+        let (_, s1) = x.wrap(0, 8, &mut b);
         // Arrivals reversed: both deliver at once, no hold-back.
         assert_eq!(
-            x.on_deliver(0, 8, s1, b.clone()),
+            x.on_deliver(0, 8, 0, s1, b.clone()),
             RecvOutcome::Deliver(vec![b])
         );
         assert_eq!(
-            x.on_deliver(0, 8, s0, a.clone()),
+            x.on_deliver(0, 8, 0, s0, a.clone()),
             RecvOutcome::Deliver(vec![a])
         );
         assert_eq!(x.stats().held_back, 0);
@@ -381,25 +480,25 @@ mod tests {
             ..TransportConfig::default()
         });
         let (mut a, mut b, mut c) = (msg(1), msg(2), msg(3));
-        let s0 = x.wrap(0, 8, &mut a);
-        let s1 = x.wrap(0, 8, &mut b);
-        let s2 = x.wrap(0, 8, &mut c);
+        let (_, s0) = x.wrap(0, 8, &mut a);
+        let (_, s1) = x.wrap(0, 8, &mut b);
+        let (_, s2) = x.wrap(0, 8, &mut c);
         assert_eq!(
-            x.on_deliver(0, 8, s2, c.clone()),
+            x.on_deliver(0, 8, 0, s2, c.clone()),
             RecvOutcome::Deliver(vec![])
         );
         assert_eq!(
-            x.on_deliver(0, 8, s1, b.clone()),
+            x.on_deliver(0, 8, 0, s1, b.clone()),
             RecvOutcome::Deliver(vec![])
         );
         assert_eq!(x.stats().held_back, 2);
         // The gap fills: everything releases in sequence order.
         assert_eq!(
-            x.on_deliver(0, 8, s0, a.clone()),
+            x.on_deliver(0, 8, 0, s0, a.clone()),
             RecvOutcome::Deliver(vec![a, b, c])
         );
         // Late duplicate of a held-then-delivered seq is still a duplicate.
-        assert_eq!(x.on_deliver(0, 8, s1, msg(2)), RecvOutcome::Duplicate);
+        assert_eq!(x.on_deliver(0, 8, 0, s1, msg(2)), RecvOutcome::Duplicate);
     }
 
     #[test]
@@ -411,17 +510,17 @@ mod tests {
         };
         let mut x = Transport::new(cfg);
         let mut m = msg(1);
-        let seq = x.wrap(0, 8, &mut m);
-        let (r1, a1, d1) = x.on_timeout(0, 8, seq).unwrap();
+        let (_, seq) = x.wrap(0, 8, &mut m);
+        let (r1, a1, d1) = x.on_timeout(0, 8, 0, seq).unwrap();
         assert_eq!((r1.bytes, a1, d1), (m.bytes, 2, Time::from_ns(200)));
-        let (_, a2, d2) = x.on_timeout(0, 8, seq).unwrap();
+        let (_, a2, d2) = x.on_timeout(0, 8, 0, seq).unwrap();
         assert_eq!((a2, d2), (3, Time::from_ns(400)));
         // Backoff caps at rto << 2.
-        let (_, _, d3) = x.on_timeout(0, 8, seq).unwrap();
+        let (_, _, d3) = x.on_timeout(0, 8, 0, seq).unwrap();
         assert_eq!(d3, Time::from_ns(400));
-        assert!(x.on_ack(0, 8, seq, true));
-        assert!(!x.on_ack(0, 8, seq, false)); // stale ack
-        assert!(x.on_timeout(0, 8, seq).is_none()); // stale timer
+        assert!(x.on_ack(0, 8, 0, seq, true));
+        assert!(!x.on_ack(0, 8, 0, seq, false)); // stale ack
+        assert!(x.on_timeout(0, 8, 0, seq).is_none()); // stale timer
         assert_eq!(x.stats().retransmits, 3);
         assert_eq!(x.stats().spurious_retransmits, 1);
         assert_eq!(x.stats().max_attempts, 4);
@@ -435,9 +534,86 @@ mod tests {
             ..TransportConfig::default()
         });
         let mut m = msg(1);
-        let seq = x.wrap(0, 8, &mut m);
-        assert!(x.on_timeout(0, 8, seq).is_none());
+        let (_, seq) = x.wrap(0, 8, &mut m);
+        assert!(x.on_timeout(0, 8, 0, seq).is_none());
         assert_eq!(x.stats().retransmits, 0);
+    }
+
+    #[test]
+    fn session_reset_replays_unacked_and_stales_old_session() {
+        let mut x = Transport::new(TransportConfig::default());
+        let (mut a, mut b) = (msg(1), msg(2));
+        let (_, s0) = x.wrap(0, 8, &mut a);
+        let (_, s1) = x.wrap(0, 8, &mut b);
+        // First message delivered and acked in session 0; second in flight.
+        assert!(matches!(
+            x.on_deliver(0, 8, 0, s0, a.clone()),
+            RecvOutcome::Deliver(_)
+        ));
+        assert!(x.on_ack(0, 8, 0, s0, false));
+        // Host 0 (tiles 0..8) transport resets.
+        let replays = x.reset_src_range(0, 8);
+        assert_eq!(replays.len(), 1, "only the unacked message replays");
+        let r = &replays[0];
+        assert_eq!((r.src, r.dst, r.sess, r.seq), (0, 8, 1, s1));
+        assert_eq!(r.msg, b);
+        assert_eq!(x.stats().sessions_reset, 1);
+        assert_eq!(x.stats().replayed, 1);
+        // The old session's retransmission timer is stale (satellite:
+        // cancelled RTO timers), as is an old-session ack.
+        assert!(x.on_timeout(0, 8, 0, s1).is_none());
+        assert!(!x.on_ack(0, 8, 0, s1, false));
+        // The replay delivers once under the new session…
+        assert_eq!(
+            x.on_deliver(0, 8, 1, s1, b.clone()),
+            RecvOutcome::Deliver(vec![b.clone()])
+        );
+        // …after which an old-session in-flight copy (e.g. a pre-reset
+        // retransmission still in the fabric) is rejected without acking.
+        assert_eq!(x.on_deliver(0, 8, 0, s1, b), RecvOutcome::Stale);
+        assert_eq!(x.stats().stale_rejected, 1);
+        assert!(x.on_ack(0, 8, 1, s1, false));
+        assert_eq!(x.unacked_total(), 0);
+        // A second reset of an idle channel still bumps the session.
+        assert!(x.reset_src_range(0, 8).is_empty());
+        let mut c = msg(3);
+        assert_eq!(x.wrap(0, 8, &mut c).0, 2);
+    }
+
+    #[test]
+    fn session_reset_preserves_dedup_across_sessions() {
+        let mut x = Transport::new(TransportConfig::default());
+        let mut m = msg(1);
+        let (_, seq) = x.wrap(0, 8, &mut m);
+        // Delivered in session 0, but the ack is lost: still unacked.
+        assert!(matches!(
+            x.on_deliver(0, 8, 0, seq, m.clone()),
+            RecvOutcome::Deliver(_)
+        ));
+        let replays = x.reset_src_range(0, 8);
+        assert_eq!(replays.len(), 1);
+        // The replay arrives under the new session with the same sequence
+        // number: the receiver adopts the session and suppresses the dup,
+        // so the engine never sees the message twice.
+        assert_eq!(x.on_deliver(0, 8, 1, seq, m), RecvOutcome::Duplicate);
+        assert!(x.on_ack(0, 8, 1, seq, true));
+        assert_eq!(x.unacked_total(), 0);
+    }
+
+    #[test]
+    fn session_reset_scopes_to_the_host_tile_range() {
+        let mut x = Transport::new(TransportConfig::default());
+        let (mut a, mut b) = (msg(1), msg(2));
+        x.wrap(0, 8, &mut a); // host 0 tile
+        x.wrap(9, 0, &mut b); // host 1 tile
+        assert_eq!(x.unacked_from(0), 1);
+        assert_eq!(x.unacked_from(9), 1);
+        let replays = x.reset_src_range(0, 8);
+        assert_eq!(replays.len(), 1);
+        assert_eq!(replays[0].src, 0);
+        // Host 1's channel kept its session and timers.
+        assert!(x.on_timeout(9, 0, 0, 0).is_some());
+        assert_eq!(x.wrap(9, 0, &mut msg(4).clone()).0, 0);
     }
 
     #[test]

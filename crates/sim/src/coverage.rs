@@ -126,6 +126,31 @@ pub enum Edge {
         /// Quantized high-water bucket.
         bucket: u32,
     },
+    /// A node-scoped crash fault was injected.
+    Crash {
+        /// Crash-kind label: `"dir"` or `"xport"`.
+        kind: &'static str,
+    },
+    /// A core's recovery fence (crash → quiesce → re-registration) lasted
+    /// `~2^bucket` ns (log₂-bucketed duration).
+    RecoverDur {
+        /// `⌊log₂ duration_ns⌋`.
+        bucket: u32,
+    },
+    /// A recovery fence re-registered with `~2^bucket` re-fence messages
+    /// (re-issued Releases + ReqNotifies; bucket 0 also covers zero sends —
+    /// the core had nothing pending with the crashed directory).
+    Refence {
+        /// `⌊log₂ sends⌋` (0 for 0 or 1 sends).
+        bucket: u32,
+    },
+    /// Stale state was rejected after a crash: an old-session transport
+    /// arrival (`"sess"`) or an already-committed recovery re-issue at a
+    /// directory (`"release"`, `"reqnotify"`, `"notify"`).
+    Stale {
+        /// What was rejected.
+        what: &'static str,
+    },
 }
 
 impl Edge {
@@ -142,6 +167,10 @@ impl Edge {
             Edge::StallRecover { .. } => "stall_recover",
             Edge::WatchdogNearMiss { .. } => "watchdog_near_miss",
             Edge::Occ { .. } => "occ",
+            Edge::Crash { .. } => "crash",
+            Edge::RecoverDur { .. } => "recover_dur",
+            Edge::Refence { .. } => "refence",
+            Edge::Stale { .. } => "stale",
         }
     }
 
@@ -164,6 +193,10 @@ impl Edge {
                 table,
                 bucket,
             } => format!("occ {node} {table} q{bucket}"),
+            Edge::Crash { kind } => format!("crash {kind}"),
+            Edge::RecoverDur { bucket } => format!("recover_dur d{bucket}"),
+            Edge::Refence { bucket } => format!("refence f{bucket}"),
+            Edge::Stale { what } => format!("stale {what}"),
         }
     }
 }
@@ -187,6 +220,11 @@ fn node_of(data: &TraceData) -> Option<(&'static str, u32)> {
         TraceData::FaultInject { src, .. } => ("tile", src),
         TraceData::XportRetrans { src, .. } => ("tile", src),
         TraceData::XportDupDrop { dst, .. } => ("tile", dst),
+        TraceData::RecoverBegin { core, .. } | TraceData::RecoverEnd { core, .. } => ("core", core),
+        TraceData::StaleDrop { dir, .. } => ("dir", dir),
+        TraceData::XportStaleRej { dst, .. } => ("tile", dst),
+        // Crashes are host-scoped, not node-scoped: no pair adjacency.
+        TraceData::CrashInject { .. } => return None,
     })
 }
 
@@ -300,6 +338,18 @@ impl CoverageMap {
                     bucket,
                 });
             }
+            TraceData::CrashInject { kind, .. } => self.hit(Edge::Crash { kind }),
+            TraceData::RecoverEnd { since, sends, .. } => {
+                let dur_ns = ev.at.saturating_sub(since).as_ns();
+                self.hit(Edge::RecoverDur {
+                    bucket: log2_bucket(dur_ns),
+                });
+                self.hit(Edge::Refence {
+                    bucket: log2_bucket(sends as u64),
+                });
+            }
+            TraceData::XportStaleRej { .. } => self.hit(Edge::Stale { what: "sess" }),
+            TraceData::StaleDrop { what, .. } => self.hit(Edge::Stale { what }),
             _ => {}
         }
     }

@@ -107,6 +107,55 @@ impl FaultRule {
     }
 }
 
+/// Which node-scoped unit a crash event resets (paper-level: a directory
+/// controller losing its volatile ordering tables, or a host's transport
+/// layer losing its retransmission bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CrashKind {
+    /// Reset every directory controller on the host: ATA/CNT tables and
+    /// pending cross-directory notifications are wiped.
+    DirReset,
+    /// Reset the host's transport: unacked buffers are replayed into a new
+    /// session epoch and old-session retransmission timers become stale.
+    XportReset,
+}
+
+impl CrashKind {
+    /// Static label used in traces and the spec grammar.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrashKind::DirReset => "dir",
+            CrashKind::XportReset => "xport",
+        }
+    }
+}
+
+/// A scheduled node-scoped crash, expanded from the plan by
+/// [`FaultPlan::crash_events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashEvent {
+    /// Simulated time the crash strikes.
+    pub at: Time,
+    /// What resets.
+    pub kind: CrashKind,
+    /// The host whose node(s) reset.
+    pub host: u32,
+}
+
+/// One `crash.*` directive: either an explicit `(host, time)` pair or a
+/// per-(window, host) probability expanded by deterministic hashing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct CrashRule {
+    kind: CrashKind,
+    /// Host filter; `None` means every host (explicit form `crash.K.*=NS`
+    /// or the hashed rate form `crash.K=P`).
+    host: Option<u32>,
+    /// Explicit crash time; `None` for the hashed rate form.
+    at: Option<Time>,
+    /// Per-(window, host) crash probability for the rate form.
+    rate: f64,
+}
+
 /// A transient link-degradation window: within `[start, end)` simulated
 /// time, drop/duplicate probabilities are multiplied by `factor` (clamped
 /// to 1.0) and jitter is scaled by `factor`.
@@ -139,6 +188,7 @@ pub struct FaultPlan {
     seed: u64,
     rules: Vec<FaultRule>,
     windows: Vec<DegradeWindow>,
+    crashes: Vec<CrashRule>,
 }
 
 impl FaultPlan {
@@ -148,7 +198,31 @@ impl FaultPlan {
             seed,
             rules: Vec::new(),
             windows: Vec::new(),
+            crashes: Vec::new(),
         }
+    }
+
+    /// Appends an explicit crash of `kind` on `host` at time `at`.
+    pub fn with_crash(mut self, kind: CrashKind, host: u32, at: Time) -> Self {
+        self.crashes.push(CrashRule {
+            kind,
+            host: Some(host),
+            at: Some(at),
+            rate: 0.0,
+        });
+        self
+    }
+
+    /// Appends a hashed crash rate: each `(degradation window, host)` pair
+    /// independently crashes with probability `rate`.
+    pub fn with_crash_rate(mut self, kind: CrashKind, rate: f64) -> Self {
+        self.crashes.push(CrashRule {
+            kind,
+            host: None,
+            at: None,
+            rate,
+        });
+        self
     }
 
     /// Appends a rule (later rules override earlier ones on overlap).
@@ -178,9 +252,77 @@ impl FaultPlan {
         &self.windows
     }
 
-    /// Whether the plan can never touch a message.
+    /// Whether the plan can never touch a message or node.
     pub fn is_noop(&self) -> bool {
-        self.rules.iter().all(FaultRule::is_noop)
+        self.rules.iter().all(FaultRule::is_noop) && self.crashes.is_empty()
+    }
+
+    /// Whether the plan contains any `crash.*` directives (node-scoped
+    /// faults, as opposed to link-scoped drop/dup/delay).
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// Expands the plan's crash directives into a schedule for a system of
+    /// `hosts` hosts.
+    ///
+    /// Explicit `crash.K.H=NS` directives map directly; rate directives
+    /// (`crash.K=P`) are expanded by hashing `(seed, directive, window,
+    /// host)` — a pure function of the plan and `hosts`, so the schedule is
+    /// identical at any worker count. Rate directives require at least one
+    /// degradation window (the window supplies the time span the crash
+    /// lands in); with no windows they expand to nothing.
+    ///
+    /// The schedule is sorted by `(time, host, kind)`.
+    pub fn crash_events(&self, hosts: u32) -> Vec<CrashEvent> {
+        let mut out = Vec::new();
+        for (ri, r) in self.crashes.iter().enumerate() {
+            if let Some(at) = r.at {
+                match r.host {
+                    Some(h) => out.push(CrashEvent {
+                        at,
+                        kind: r.kind,
+                        host: h,
+                    }),
+                    None => out.extend((0..hosts).map(|h| CrashEvent {
+                        at,
+                        kind: r.kind,
+                        host: h,
+                    })),
+                }
+                continue;
+            }
+            for (wi, w) in self.windows.iter().enumerate() {
+                for h in 0..hosts {
+                    let base = mix64(
+                        self.seed
+                            ^ mix64(
+                                0xc7a5_0000_0000_0000
+                                    | ((ri as u64) << 40)
+                                    | ((wi as u64) << 20)
+                                    | h as u64,
+                            ),
+                    );
+                    let unit = (base >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                    if unit >= r.rate {
+                        continue;
+                    }
+                    let span = w.end.as_ps().saturating_sub(w.start.as_ps());
+                    let off = if span == 0 {
+                        0
+                    } else {
+                        mix64(base ^ 0x0ff5) % span
+                    };
+                    out.push(CrashEvent {
+                        at: w.start + Time::from_ps(off),
+                        kind: r.kind,
+                        host: h,
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|e| (e.at, e.host, e.kind));
+        out
     }
 
     /// Decides the fate of message number `seq` (the caller's monotonically
@@ -292,6 +434,56 @@ impl FaultPlan {
                         end: Time::from_ns(end),
                         factor,
                     });
+                    continue;
+                }
+                "crash" => {
+                    let kind = match parts.next() {
+                        Some("dir") => CrashKind::DirReset,
+                        Some("xport") => CrashKind::XportReset,
+                        other => {
+                            return Err(format!(
+                                "bad crash kind {other:?} (want crash.dir or crash.xport)"
+                            ))
+                        }
+                    };
+                    let host = parts.next();
+                    if parts.next().is_some() {
+                        return Err(format!("too many scope segments in {key:?}"));
+                    }
+                    match host {
+                        // Explicit form: crash.K.H=NS / crash.K.*=NS.
+                        Some(h) => {
+                            let host = if h == "*" {
+                                None
+                            } else {
+                                Some(h.parse().map_err(|_| format!("bad host {h:?}"))?)
+                            };
+                            let ns: u64 = value
+                                .parse()
+                                .map_err(|_| format!("bad crash time {value:?}"))?;
+                            plan.crashes.push(CrashRule {
+                                kind,
+                                host,
+                                at: Some(Time::from_ns(ns)),
+                                rate: 0.0,
+                            });
+                        }
+                        // Rate form: crash.K=P, hashed per (window, host).
+                        None => {
+                            let p: f64 = value
+                                .parse()
+                                .map_err(|_| format!("bad probability {value:?}"))?;
+                            if !(0.0..=1.0).contains(&p) {
+                                return Err(format!("probability {p} out of [0, 1]"));
+                            }
+                            plan.crashes.push(CrashRule {
+                                kind,
+                                host: None,
+                                at: None,
+                                rate: p,
+                            });
+                        }
+                    }
                     continue;
                 }
                 "drop" | "dup" | "delay" | "jitter" => {}
@@ -563,6 +755,74 @@ mod tests {
         ] {
             assert!(FaultPlan::parse(bad, resolver).is_err(), "{bad:?} accepted");
         }
+    }
+
+    #[test]
+    fn parse_crash_directives() {
+        let plan = FaultPlan::parse(
+            "seed=4; crash.dir.1=5000; crash.xport.*=9000; crash.dir=0.5; window=1000..2000x1",
+            resolver,
+        )
+        .expect("valid crash spec");
+        assert!(plan.has_crashes());
+        assert!(!plan.is_noop());
+        let evs = plan.crash_events(2);
+        // Explicit directives: dir reset on host 1 at 5 µs, xport reset on
+        // both hosts at 9 µs.
+        assert!(evs.contains(&CrashEvent {
+            at: Time::from_ns(5000),
+            kind: CrashKind::DirReset,
+            host: 1,
+        }));
+        assert_eq!(
+            evs.iter()
+                .filter(|e| e.kind == CrashKind::XportReset && e.at == Time::from_ns(9000))
+                .count(),
+            2
+        );
+        // Sorted by time.
+        assert!(evs.windows(2).all(|w| w[0].at <= w[1].at));
+        // Hashed expansion lands inside its window.
+        for e in evs
+            .iter()
+            .filter(|e| e.kind == CrashKind::DirReset && e.at != Time::from_ns(5000))
+        {
+            assert!(e.at >= Time::from_ns(1000) && e.at < Time::from_ns(2000));
+        }
+        for bad in [
+            "crash.dir",
+            "crash=0.5",
+            "crash.cpu.0=100",
+            "crash.dir.x=100",
+            "crash.dir.0.1=100",
+            "crash.xport=1.5",
+        ] {
+            assert!(FaultPlan::parse(bad, resolver).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn crash_schedule_is_pure() {
+        let mk = || {
+            FaultPlan::parse(
+                "seed=7; crash.dir=0.6; crash.xport=0.3; window=0..10000x2",
+                |_| None,
+            )
+            .unwrap()
+        };
+        assert_eq!(mk().crash_events(8), mk().crash_events(8));
+        assert_eq!(mk().crash_events(8), mk().clone().crash_events(8));
+        // Different seeds give a different schedule.
+        let other = FaultPlan::parse(
+            "seed=8; crash.dir=0.6; crash.xport=0.3; window=0..10000x2",
+            |_| None,
+        )
+        .unwrap();
+        assert_ne!(mk().crash_events(64), other.crash_events(64));
+        // Rate form without windows expands to nothing.
+        let bare = FaultPlan::parse("crash.dir=0.9", |_| None).unwrap();
+        assert!(bare.has_crashes());
+        assert!(bare.crash_events(8).is_empty());
     }
 
     #[test]

@@ -409,6 +409,27 @@ fn render_flight_line(part: u32, ev: &TraceEvent) -> String {
             attempt,
         } => format!("src={src} dst={dst} seq={seq} attempt={attempt}"),
         TraceData::XportDupDrop { src, dst, seq } => format!("src={src} dst={dst} seq={seq}"),
+        TraceData::CrashInject { host, kind, units } => {
+            format!("host={host} kind={kind} units={units}")
+        }
+        TraceData::RecoverBegin { core, dir } => format!("core={core} dir={dir}"),
+        TraceData::RecoverEnd { core, since, sends } => {
+            format!("core={core} since={} sends={sends}", since.as_ps())
+        }
+        TraceData::XportStaleRej {
+            src,
+            dst,
+            seq,
+            sess,
+        } => format!("src={src} dst={dst} seq={seq} sess={sess}"),
+        TraceData::StaleDrop {
+            dir,
+            core,
+            ep,
+            what,
+        } => {
+            format!("dir={dir} core={core} ep={ep} what={what}")
+        }
     };
     format!("{head} {body}")
 }
@@ -598,6 +619,32 @@ fn parse_flight_line(line: &str) -> Result<(u32, TraceEvent), String> {
             src: num("src")? as u32,
             dst: num("dst")? as u32,
             seq: num("seq")?,
+        },
+        "crash_inject" => TraceData::CrashInject {
+            host: num("host")? as u32,
+            kind: label("kind")?,
+            units: num("units")? as u32,
+        },
+        "recover_begin" => TraceData::RecoverBegin {
+            core: num("core")? as u32,
+            dir: num("dir")? as u32,
+        },
+        "recover_end" => TraceData::RecoverEnd {
+            core: num("core")? as u32,
+            since: Time::from_ps(num("since")?),
+            sends: num("sends")? as u32,
+        },
+        "xport_stale_rej" => TraceData::XportStaleRej {
+            src: num("src")? as u32,
+            dst: num("dst")? as u32,
+            seq: num("seq")?,
+            sess: num("sess")? as u32,
+        },
+        "stale_drop" => TraceData::StaleDrop {
+            dir: num("dir")? as u32,
+            core: num("core")? as u32,
+            ep: num("ep")?,
+            what: label("what")?,
         },
         other => return Err(format!("unknown event kind {other:?}")),
     };

@@ -234,6 +234,56 @@ pub enum TraceData {
         /// Duplicated sequence number.
         seq: u64,
     },
+    /// A node-scoped crash fault struck (directory-controller reset or host
+    /// transport reset).
+    CrashInject {
+        /// Host whose node(s) reset.
+        host: u32,
+        /// Crash-kind label: `"dir"` or `"xport"`.
+        kind: &'static str,
+        /// Units reset (directory engines wiped, or send channels replayed).
+        units: u32,
+    },
+    /// A core entered the recovery fence after learning a directory crashed.
+    RecoverBegin {
+        /// The recovering core.
+        core: u32,
+        /// The crashed directory.
+        dir: u32,
+    },
+    /// A core finished conservative re-fencing: in-flight epochs quiesced
+    /// and its ordering state re-registered with the crashed directories.
+    RecoverEnd {
+        /// The core.
+        core: u32,
+        /// When the recovery fence began.
+        since: Time,
+        /// Re-fence messages sent (re-issued Releases + ReqNotifies).
+        sends: u32,
+    },
+    /// The transport rejected an arrival tagged with a stale session epoch.
+    XportStaleRej {
+        /// Source tile of the channel.
+        src: u32,
+        /// Destination tile of the channel.
+        dst: u32,
+        /// Sequence number of the stale arrival.
+        seq: u64,
+        /// Session epoch it was tagged with.
+        sess: u32,
+    },
+    /// A directory dropped a stale recovery re-issue whose epoch was already
+    /// committed before the crash.
+    StaleDrop {
+        /// The directory.
+        dir: u32,
+        /// The issuing core.
+        core: u32,
+        /// The already-committed epoch.
+        ep: u64,
+        /// What was dropped: `"release"`, `"reqnotify"`, or `"notify"`.
+        what: &'static str,
+    },
 }
 
 impl TraceData {
@@ -256,6 +306,11 @@ impl TraceData {
             TraceData::FaultInject { .. } => "fault_inject",
             TraceData::XportRetrans { .. } => "xport_retrans",
             TraceData::XportDupDrop { .. } => "xport_dup_drop",
+            TraceData::CrashInject { .. } => "crash_inject",
+            TraceData::RecoverBegin { .. } => "recover_begin",
+            TraceData::RecoverEnd { .. } => "recover_end",
+            TraceData::XportStaleRej { .. } => "xport_stale_rej",
+            TraceData::StaleDrop { .. } => "stale_drop",
         }
     }
 }
@@ -375,6 +430,30 @@ pub fn render_event(ev: &TraceEvent) -> String {
         } => format!("tile{src}: retransmit seq {seq} -> tile{dst} (attempt {attempt})"),
         TraceData::XportDupDrop { src, dst, seq } => {
             format!("tile{dst}: duplicate seq {seq} from tile{src} suppressed")
+        }
+        TraceData::CrashInject { host, kind, units } => {
+            format!("fabric: CRASH {kind} reset on host{host} ({units} units)")
+        }
+        TraceData::RecoverBegin { core, dir } => {
+            format!("core{core}: recovery fence begin (dir{dir} crashed)")
+        }
+        TraceData::RecoverEnd { core, since, sends } => format!(
+            "core{core}: recovery fence end ({} ns, {sends} re-fence sends)",
+            ev.at.saturating_sub(since).as_ns()
+        ),
+        TraceData::XportStaleRej {
+            src,
+            dst,
+            seq,
+            sess,
+        } => format!("tile{dst}: stale session {sess} seq {seq} from tile{src} rejected"),
+        TraceData::StaleDrop {
+            dir,
+            core,
+            ep,
+            what,
+        } => {
+            format!("dir{dir}: stale {what} for core{core} epoch {ep} dropped")
         }
     };
     head + &body
@@ -973,6 +1052,31 @@ impl<W: Write> TraceSink for ChromeTraceWriter<W> {
             TraceData::XportDupDrop { src, dst, seq } => format!(
                 "{{\"name\":\"xport:dup_drop\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
                  \"tid\":{dst},\"args\":{{\"src\":{src},\"seq\":{seq}}}}}"
+            ),
+            TraceData::CrashInject { host, kind, units } => format!(
+                "{{\"name\":\"crash:{kind}\",\"ph\":\"i\",\"s\":\"g\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":0,\"args\":{{\"host\":{host},\"units\":{units}}}}}"
+            ),
+            TraceData::RecoverBegin { core, dir } => format!(
+                "{{\"name\":\"recover\",\"ph\":\"B\",\"ts\":{ts},\"pid\":0,\"tid\":{core},\
+                 \"args\":{{\"dir\":{dir}}}}}"
+            ),
+            TraceData::RecoverEnd { core, sends, .. } => format!(
+                "{{\"name\":\"recover\",\"ph\":\"E\",\"ts\":{ts},\"pid\":0,\"tid\":{core},\
+                 \"args\":{{\"sends\":{sends}}}}}"
+            ),
+            TraceData::XportStaleRej {
+                src,
+                dst,
+                seq,
+                sess,
+            } => format!(
+                "{{\"name\":\"xport:stale\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{dst},\"args\":{{\"src\":{src},\"seq\":{seq},\"sess\":{sess}}}}}"
+            ),
+            TraceData::StaleDrop { dir, core, ep, what } => format!(
+                "{{\"name\":\"stale:{what}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":0,\
+                 \"tid\":{dir},\"args\":{{\"core\":{core},\"epoch\":{ep}}}}}"
             ),
         };
         self.line(&line);

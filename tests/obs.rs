@@ -150,6 +150,60 @@ fn flight_recorder_survives_watchdog_hang() {
     assert_eq!(snap.events, total as u64, "replay dropped events");
 }
 
+/// The crash error path keeps the flight recorder: a run that injects a
+/// directory crash and then trips the watchdog retains rings whose crash
+/// and recovery events survive the render → parse → replay round-trip.
+#[test]
+fn flight_recorder_round_trips_crash_events() {
+    let cfg = SystemConfig::cxl(ProtocolKind::Cord, 2);
+    let flag = cfg.map.addr_on_host(1, 4096);
+    let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
+    // Publishes one epoch, then waits on a flag nobody ever publishes; the
+    // directory crash lands while the core is stuck, so the ring holds the
+    // full crash → recover-begin → recover-end sequence before the hang.
+    programs[0] = Program::build()
+        .store(
+            cfg.map.addr_on_host(1, 0),
+            8,
+            7,
+            cord_repro::cord_proto::StoreOrd::Release,
+        )
+        .wait_value(flag, 1)
+        .finish();
+    let mut sys = System::new(cfg, programs);
+    sys.set_sim_threads(None);
+    sys.set_fault_spec("seed=4; crash.dir.1=3000")
+        .expect("crash spec");
+    sys.set_watchdog(Some(Time::from_us(50)));
+    // Large enough to retain the whole run: the crash lands at 3µs but the
+    // hang is detected hundreds of µs later, after much polling traffic.
+    sys.tracer_mut().arm_flight(16384);
+    let err = sys.try_run().expect_err("must hang").to_string();
+    assert!(
+        err.contains("fault plan:") && err.contains("dir reset"),
+        "hang narrative must summarize the crash plan: {err}"
+    );
+
+    let rings = sys.take_flight_rings();
+    assert!(!rings.is_empty(), "no flight rings retained");
+    let text = obs::render_flight(&err, &rings);
+    let dump = obs::parse_flight(&text).expect("crash dump parses");
+    let merged = dump.merged();
+    let total: usize = rings.iter().map(|(_, r)| r.len()).sum();
+    assert_eq!(merged.len(), total, "events lost in the round-trip");
+    use cord_repro::cord_sim::trace::TraceData;
+    let has = |f: &dyn Fn(&TraceData) -> bool| merged.iter().any(|(_, ev)| f(&ev.data));
+    assert!(
+        has(&|d| matches!(d, TraceData::CrashInject { kind: "dir", .. })),
+        "crash injection missing from dump:\n{text}"
+    );
+    assert!(
+        has(&|d| matches!(d, TraceData::RecoverBegin { .. }))
+            && has(&|d| matches!(d, TraceData::RecoverEnd { .. })),
+        "recovery events missing from dump:\n{text}"
+    );
+}
+
 /// The per-level frontier series from the model checker is part of its
 /// deterministic search shape: identical at any shard count, with and
 /// without symmetry consistent with its own peak/level counters.

@@ -87,6 +87,29 @@ fn results_identical_across_worker_counts_under_faults() {
     }
 }
 
+/// Crash faults are host-scoped and scheduled per partition; the schedule
+/// is a pure function of the plan, so recovery must replay bit-identically
+/// at every worker count (ISSUE: `CORD_SIM_THREADS` ∈ {1, 2, 4}).
+#[test]
+fn results_identical_across_worker_counts_under_crash_faults() {
+    const CRASH_SPEC: &str =
+        "seed=11; drop=0.02; jitter=150; crash.dir.1=700; crash.xport.3=1200; crash.dir.5=2000";
+    let crash_system = || {
+        let mut sys = micro_system(ProtocolKind::Cord, 8, false);
+        sys.set_fault_spec(CRASH_SPEC).expect("crash spec");
+        sys
+    };
+    let base = fingerprint(&run_with_workers(crash_system(), 1));
+    assert!(
+        base.contains("sessions_reset: 1"),
+        "transport reset missing from fingerprint: {base}"
+    );
+    for workers in [2, 4, 8] {
+        let got = fingerprint(&run_with_workers(crash_system(), workers));
+        assert_eq!(base, got, "crash-faulted run diverged at {workers} workers");
+    }
+}
+
 #[test]
 fn app_results_identical_across_worker_counts() {
     let base = fingerprint(&run_with_workers(app_system("MOCFE", 4, false), 1));
