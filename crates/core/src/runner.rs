@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cord_mem::{Addr, Memory};
-use cord_noc::{Delivery, EgressDelivery, MsgClass, Noc, TileId, TrafficStats};
+use cord_noc::{Delivery, EgressDelivery, MsgClass, Noc, PairFlow, TileId, TrafficStats};
 use cord_proto::{
     CoreCtx, CoreEffect, CoreId, CoreProtoStats, CoreProtocol, DirCtx, DirEffect, DirId,
     DirProtocol, DirStorage, FaultSpec, Msg, MsgKind, NodeRef, Program, RecvOutcome, StallCause,
@@ -195,8 +195,11 @@ pub(crate) struct CrossMsg {
 pub(crate) struct Partition {
     /// The host this partition simulates.
     pub(crate) host: u32,
-    /// Outgoing cross-partition messages, indexed by destination host.
-    pub(crate) outbox: Vec<Vec<CrossMsg>>,
+    /// Outgoing cross-partition messages, keyed by destination host. Sparse:
+    /// only destinations actually written this round hold an entry, so a
+    /// 512-host run never materializes O(hosts) empty lanes per partition
+    /// (ordered so the flush visits destinations deterministically).
+    pub(crate) outbox: std::collections::BTreeMap<u32, Vec<CrossMsg>>,
 }
 
 /// Why a run could not complete (see [`System::try_run`]).
@@ -304,6 +307,9 @@ pub struct RunResult {
     /// `CORD_PROFILE` or [`System::set_profiling`]). Non-deterministic by
     /// construction — never part of run fingerprints.
     pub profile: Option<ProfileSummary>,
+    /// Sparse per-host-pair flow counters, sorted by `(src, dst)`, when
+    /// pair accounting was enabled ([`System::set_pair_accounting`]).
+    pub pair_flows: Option<Vec<(u32, u32, PairFlow)>>,
 }
 
 impl RunResult {
@@ -425,6 +431,12 @@ pub struct System {
     /// stamped into [`MsgKind::DirRecover`] notices). Per-host so sharded
     /// and monolithic runs stamp identical generations.
     crash_gens: Vec<u32>,
+    /// Global flat index of this system's first tile. Zero on monolithic
+    /// systems; `host * tiles_per_host` on a sharded partition, whose
+    /// per-tile vectors (`fes`, `engines`, `dir_engines`, `mems`) hold only
+    /// its own host's tiles. Events, traces and engine identities always
+    /// carry *global* tile ids; vector accesses subtract this base.
+    pub(crate) tile_base: u32,
 }
 
 impl System {
@@ -445,55 +457,12 @@ impl System {
             tiles
         );
         programs.resize(tiles, Program::new());
-        // Steady state holds roughly one in-flight event per tile plus
-        // messages on the wire; start with a few slots per tile so the
-        // calendar never regrows during warm-up.
-        let mut queue = EventQueue::with_capacity(4 * tiles);
-        let mut fes = Vec::with_capacity(tiles);
-        let mut engines = Vec::with_capacity(tiles);
-        for (i, p) in programs.iter().enumerate() {
-            let fe = Frontend::new(p.clone(), &cfg.costs);
-            let FeAction::StepAt { at, gen } = fe.initial_action();
-            queue.push(
-                at,
-                Event::CoreStep {
-                    core: i as u32,
-                    gen,
-                },
-            );
-            fes.push(fe);
-            engines.push(AnyCore::new(CoreId(i as u32), &cfg));
-        }
-        let dir_engines: Vec<AnyDir> = (0..tiles)
-            .map(|i| AnyDir::new(DirId(i as u32), &cfg))
-            .collect();
-        let mems: Vec<Memory> = (0..tiles).map(|_| Memory::new()).collect();
-        let mut sys = System {
-            noc: Noc::new(cfg.noc),
-            cfg,
-            queue,
-            fes,
-            engines,
-            dir_engines,
-            mems,
-            max_events: 500_000_000,
-            scratch_fx: Vec::new(),
-            scratch_acts: Vec::new(),
-            scratch_dfx: Vec::new(),
-            tracer: Tracer::from_env(),
-            xport: None,
-            watchdog: None,
-            programs,
-            fault_spec: None,
-            sim_threads: sim_threads_from_env(),
-            part: None,
-            sampler: sampler_from_env(),
-            profiler: profiler_from_env(),
-            flight_rings: Vec::new(),
-            crash_gens: Vec::new(),
-        };
-        let hosts = tiles / sys.cfg.noc.tiles_per_host as usize;
-        sys.crash_gens = vec![0; hosts];
+        let noc = Noc::new(cfg.noc);
+        let mut sys = Self::build(cfg, noc, programs, 0);
+        sys.tracer = Tracer::from_env();
+        sys.sim_threads = sim_threads_from_env();
+        sys.sampler = sampler_from_env();
+        sys.profiler = profiler_from_env();
         if let Some(cap) = flight_cap_from_env() {
             sys.tracer.arm_flight(cap);
         }
@@ -504,6 +473,70 @@ impl System {
             }
         }
         sys
+    }
+
+    /// Core constructor shared by [`System::new`] (full system, `tile_base`
+    /// 0) and the sharded engine's partition builder, which passes one
+    /// host's program slice plus that host's global first-tile index. Builds
+    /// exactly `programs.len()` tiles — a partition allocates O(tiles/host)
+    /// state, not O(total tiles) — and consults no environment variables
+    /// (the caller mirrors whatever configuration should apply).
+    pub(crate) fn build(
+        cfg: SystemConfig,
+        noc: Noc,
+        programs: Vec<Program>,
+        tile_base: u32,
+    ) -> Self {
+        let count = programs.len();
+        // Steady state holds roughly one in-flight event per tile plus
+        // messages on the wire; start with a few slots per tile so the
+        // calendar never regrows during warm-up.
+        let mut queue = EventQueue::with_capacity(4 * count);
+        let mut fes = Vec::with_capacity(count);
+        let mut engines = Vec::with_capacity(count);
+        for (i, p) in programs.iter().enumerate() {
+            let fe = Frontend::new(p.clone(), &cfg.costs);
+            let FeAction::StepAt { at, gen } = fe.initial_action();
+            queue.push(
+                at,
+                Event::CoreStep {
+                    core: tile_base + i as u32,
+                    gen,
+                },
+            );
+            fes.push(fe);
+            engines.push(AnyCore::new(CoreId(tile_base + i as u32), &cfg));
+        }
+        let dir_engines: Vec<AnyDir> = (0..count)
+            .map(|i| AnyDir::new(DirId(tile_base + i as u32), &cfg))
+            .collect();
+        let mems: Vec<Memory> = (0..count).map(|_| Memory::new()).collect();
+        let crash_gens = vec![0; cfg.noc.hosts as usize];
+        System {
+            noc,
+            cfg,
+            queue,
+            fes,
+            engines,
+            dir_engines,
+            mems,
+            max_events: 500_000_000,
+            scratch_fx: Vec::new(),
+            scratch_acts: Vec::new(),
+            scratch_dfx: Vec::new(),
+            tracer: Tracer::disabled(),
+            xport: None,
+            watchdog: None,
+            programs,
+            fault_spec: None,
+            sim_threads: None,
+            part: None,
+            sampler: None,
+            profiler: None,
+            flight_rings: Vec::new(),
+            crash_gens,
+            tile_base,
+        }
     }
 
     /// Enables fault injection: installs `plan` on the interconnect and the
@@ -571,6 +604,14 @@ impl System {
         self.sim_threads = workers.filter(|&w| w >= 1);
     }
 
+    /// Enables sparse per-host-pair flow accounting on the interconnect;
+    /// the sorted flows then ride [`RunResult::pair_flows`]. Off by default
+    /// (zero hot-path cost); identical under both engines at any worker
+    /// count.
+    pub fn set_pair_accounting(&mut self, on: bool) {
+        self.noc.set_pair_accounting(on);
+    }
+
     /// The system's tracer, for installing sinks or a metrics recorder
     /// programmatically (tests, the `trace` binary).
     pub fn tracer_mut(&mut self) -> &mut Tracer {
@@ -590,7 +631,7 @@ impl System {
 
     /// Reads a committed word from its home directory (test observation).
     pub fn mem_peek(&self, addr: Addr) -> u64 {
-        let d = self.cfg.map.home_dir(addr) as usize;
+        let d = (self.cfg.map.home_dir(addr) - self.tile_base) as usize;
         self.mems[d].peek(addr)
     }
 
@@ -664,7 +705,7 @@ impl System {
                     } else if now > wd_since + window {
                         if let Some(c) = self.engines.iter().position(AnyCore::recovering) {
                             return Err(RunError::Unrecovered {
-                                core: c as u32,
+                                core: self.tile_base + c as u32,
                                 since: wd_since,
                                 narrative: self.narrate_hang(),
                             });
@@ -849,17 +890,25 @@ impl System {
                 seq,
             } => self.on_xport_timeout(now, src, dst, sess, seq),
             Event::CoreStep { core, gen } => {
-                self.with_core(core as usize, now, |fe, eng, fx, acts, tr| {
-                    fe.on_step(gen, now, eng, fx, acts, tr);
-                });
+                self.with_core(
+                    (core - self.tile_base) as usize,
+                    now,
+                    |fe, eng, fx, acts, tr| {
+                        fe.on_step(gen, now, eng, fx, acts, tr);
+                    },
+                );
             }
             Event::CoreWake { core } => {
-                self.with_core(core as usize, now, |fe, eng, fx, acts, tr| {
-                    fe.on_wake(now, eng, fx, acts, tr);
-                });
+                self.with_core(
+                    (core - self.tile_base) as usize,
+                    now,
+                    |fe, eng, fx, acts, tr| {
+                        fe.on_wake(now, eng, fx, acts, tr);
+                    },
+                );
             }
             Event::DirWake { dir } => {
-                let d = dir as usize;
+                let d = (dir - self.tile_base) as usize;
                 let mut fx = std::mem::take(&mut self.scratch_dfx);
                 fx.clear();
                 {
@@ -910,7 +959,7 @@ impl System {
         if !plan.has_crashes() {
             return;
         }
-        let hosts = self.fes.len() as u32 / self.cfg.noc.tiles_per_host;
+        let hosts = self.cfg.noc.hosts;
         for ev in plan.crash_events(hosts) {
             // Explicit `crash.K.H=NS` directives may name a host the
             // topology doesn't have (fuzzed specs do); skip those.
@@ -941,7 +990,7 @@ impl System {
                 let mut units = 0u32;
                 let mut struck = Vec::new();
                 for t in lo..hi {
-                    if let Some(u) = self.dir_engines[t as usize].crash_reset() {
+                    if let Some(u) = self.dir_engines[(t - self.tile_base) as usize].crash_reset() {
                         units += u;
                         struck.push(t);
                     }
@@ -956,7 +1005,7 @@ impl System {
                 // Tell every core the directory lost its tables; cores with
                 // in-flight epochs enter the conservative recovery fence.
                 // The notices ride the normal (faulty, reliable) fabric.
-                let cores = self.fes.len() as u32;
+                let cores = self.cfg.total_tiles();
                 for d in struck {
                     for c in 0..cores {
                         let msg = Msg::new(
@@ -1006,7 +1055,7 @@ impl System {
     /// drained (every outbound message acknowledged), run one
     /// [`AnyCore::finish_recover`] step; re-poll until recovery completes.
     fn on_recover_check(&mut self, now: Time, core: u32) {
-        let c = core as usize;
+        let c = (core - self.tile_base) as usize;
         if !self.engines[c].recovering() {
             return;
         }
@@ -1040,10 +1089,11 @@ impl System {
     /// Closes stall episodes still open at `drained` so they are neither
     /// lost from `RunResult::stalls` nor left dangling in the trace.
     pub(crate) fn close_stalls(&mut self, drained: Time) {
+        let base = self.tile_base;
         for (i, fe) in self.fes.iter_mut().enumerate() {
             if let Some((cause, since)) = fe.open_stall() {
                 self.tracer.emit_with(drained, || TraceData::StallEnd {
-                    core: i as u32,
+                    core: base + i as u32,
                     cause: cause.label(),
                     since,
                 });
@@ -1079,7 +1129,7 @@ impl System {
     /// earliest in-flight events, and outstanding transport state.
     pub(crate) fn narrate_hang(&self) -> String {
         let mut s = String::new();
-        s.push_str(&self.narrate_stuck_cores(0..self.fes.len()));
+        s.push_str(&self.narrate_stuck_cores());
         let mut pending: Vec<(Time, String)> = self
             .queue
             .iter()
@@ -1110,19 +1160,20 @@ impl System {
         s
     }
 
-    /// The stuck-core lines of [`System::narrate_hang`] (the sharded engine
-    /// composes narratives across partitions and appends its own transport
-    /// and queue summaries).
-    pub(crate) fn narrate_stuck_cores(&self, tiles: std::ops::Range<usize>) -> String {
+    /// The stuck-core lines of [`System::narrate_hang`] over this system's
+    /// own tiles, labeled with global core ids (the sharded engine composes
+    /// narratives across partitions and appends its own transport and queue
+    /// summaries).
+    pub(crate) fn narrate_stuck_cores(&self) -> String {
         let mut s = String::new();
-        for i in tiles {
-            let fe = &self.fes[i];
+        for (i, fe) in self.fes.iter().enumerate() {
             if fe.is_done() {
                 continue;
             }
+            let gid = self.tile_base + i as u32;
             let _ = writeln!(
                 s,
-                "  core {i}: stuck at pc {} on {:?} (stall: {}, polls: {}, engine quiesced: {}, recovering: {})",
+                "  core {gid}: stuck at pc {} on {:?} (stall: {}, polls: {}, engine quiesced: {}, recovering: {})",
                 fe.pc(),
                 fe.current_op().map(|o| o.mnemonic()),
                 fe.open_stall()
@@ -1145,7 +1196,7 @@ impl System {
         if !plan.has_crashes() {
             return None;
         }
-        let hosts = self.fes.len() as u32 / self.cfg.noc.tiles_per_host;
+        let hosts = self.cfg.noc.hosts;
         let evs = plan.crash_events(hosts);
         let mut per_host: std::collections::BTreeMap<u32, (u32, u32)> =
             std::collections::BTreeMap::new();
@@ -1234,14 +1285,18 @@ impl System {
                 if matches!(msg.kind, MsgKind::DirRecover { .. }) {
                     return self.on_dir_recover_msg(now, msg);
                 }
-                self.with_core(c as usize, now, |fe, eng, fx, acts, tr| {
-                    let _ = fe;
-                    let _ = acts;
-                    let mut ctx = CoreCtx::traced(now, fx, tr);
-                    eng.on_msg(msg.src, msg.kind, &mut ctx);
-                });
+                self.with_core(
+                    (c - self.tile_base) as usize,
+                    now,
+                    |fe, eng, fx, acts, tr| {
+                        let _ = fe;
+                        let _ = acts;
+                        let mut ctx = CoreCtx::traced(now, fx, tr);
+                        eng.on_msg(msg.src, msg.kind, &mut ctx);
+                    },
+                );
             }
-            NodeRef::Dir(DirId(d)) => self.deliver_dir(d as usize, now, msg),
+            NodeRef::Dir(DirId(d)) => self.deliver_dir((d - self.tile_base) as usize, now, msg),
         }
     }
 
@@ -1254,15 +1309,15 @@ impl System {
         let NodeRef::Core(CoreId(c)) = msg.dst else {
             return;
         };
-        let c = c as usize;
-        self.with_core(c, now, |_fe, eng, fx, _acts, tr| {
+        let lc = (c - self.tile_base) as usize;
+        self.with_core(lc, now, |_fe, eng, fx, _acts, tr| {
             let mut ctx = CoreCtx::traced(now, fx, tr);
             eng.on_dir_recover(dir, &mut ctx);
         });
-        if self.engines[c].recovering() {
+        if self.engines[lc].recovering() {
             self.queue.push(
                 now + self.recover_poll_interval(),
-                Event::RecoverCheck { core: c as u32 },
+                Event::RecoverCheck { core: c },
             );
         }
     }
@@ -1539,7 +1594,10 @@ impl System {
             };
             self.queue.push(reach, ev);
         } else {
-            part.outbox[dst_host as usize].push(CrossMsg { reach, bytes, wire });
+            part.outbox
+                .entry(dst_host)
+                .or_default()
+                .push(CrossMsg { reach, bytes, wire });
         }
     }
 
@@ -1559,6 +1617,7 @@ impl System {
     ) {
         // Reuse the scratch vectors (taken, not borrowed, so the apply loop
         // below can still call &mut self methods).
+        let gid = self.tile_base + i as u32;
         let mut fx = std::mem::take(&mut self.scratch_fx);
         let mut acts = std::mem::take(&mut self.scratch_acts);
         fx.clear();
@@ -1587,7 +1646,7 @@ impl System {
                         self.tracer.emit(
                             now,
                             TraceData::StallEnd {
-                                core: i as u32,
+                                core: gid,
                                 cause: cause.label(),
                                 since,
                             },
@@ -1597,7 +1656,7 @@ impl System {
                         self.tracer.emit(
                             since,
                             TraceData::StallBegin {
-                                core: i as u32,
+                                core: gid,
                                 cause: cause.label(),
                             },
                         );
@@ -1612,8 +1671,7 @@ impl System {
             match fx[k].clone() {
                 CoreEffect::Send { msg, at } => self.route(at.max(now), msg),
                 CoreEffect::Wake(t) => {
-                    self.queue
-                        .push(t.max(now), Event::CoreWake { core: i as u32 });
+                    self.queue.push(t.max(now), Event::CoreWake { core: gid });
                 }
                 CoreEffect::LoadDone { value } => {
                     self.fes[i].on_load_done(value, now, &mut acts);
@@ -1625,13 +1683,8 @@ impl System {
             k += 1;
         }
         for FeAction::StepAt { at, gen } in acts.drain(..) {
-            self.queue.push(
-                at.max(now),
-                Event::CoreStep {
-                    core: i as u32,
-                    gen,
-                },
-            );
+            self.queue
+                .push(at.max(now), Event::CoreStep { core: gid, gen });
         }
         self.scratch_fx = fx;
         self.scratch_acts = acts;
@@ -1653,8 +1706,12 @@ impl System {
             match e {
                 DirEffect::Send { msg, at } => self.route(at.max(now), msg),
                 DirEffect::Wake(t) => {
-                    self.queue
-                        .push(t.max(now), Event::DirWake { dir: d as u32 });
+                    self.queue.push(
+                        t.max(now),
+                        Event::DirWake {
+                            dir: self.tile_base + d as u32,
+                        },
+                    );
                 }
             }
         }
@@ -1716,8 +1773,9 @@ impl System {
     pub(crate) fn check_finished(&self) -> Result<(), RunError> {
         for (i, fe) in self.fes.iter().enumerate() {
             if !fe.is_done() {
+                let gid = self.tile_base + i as u32;
                 let mut detail = format!(
-                    "deadlock: core {i} stuck at pc {} on {:?} (engine quiesced: {}, recovering: {})",
+                    "deadlock: core {gid} stuck at pc {} on {:?} (engine quiesced: {}, recovering: {})",
                     fe.pc(),
                     fe.current_op().map(|o| o.mnemonic()),
                     self.engines[i].quiesced(),
@@ -1727,10 +1785,7 @@ impl System {
                     detail.push('\n');
                     detail.push_str(&plan);
                 }
-                return Err(RunError::Deadlock {
-                    core: i as u32,
-                    detail,
-                });
+                return Err(RunError::Deadlock { core: gid, detail });
             }
             debug_assert!(
                 self.engines[i].quiesced(),
@@ -1769,6 +1824,10 @@ impl System {
             metrics: None,
             obs: None,
             profile: None,
+            pair_flows: self
+                .noc
+                .pair_accounting()
+                .then(|| self.noc.pair_flows_sorted()),
         }
     }
 }

@@ -38,10 +38,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use cord_noc::Noc;
 use cord_sim::obs::{Profiler, Sampler, ScopeTimer, SeriesSet};
 use cord_sim::trace::{BufSink, TraceEvent, Tracer};
-use cord_sim::{EventQueue, Time};
+use cord_sim::Time;
 
 use crate::runner::{CrossMsg, Event, Partition, RunError, RunResult, System};
 
@@ -124,10 +123,15 @@ struct Coord {
     /// Per-partition progress fingerprints (pc sum, done count,
     /// retransmits), summed globally for the round-level watchdog.
     fps: Vec<[AtomicU64; 3]>,
-    /// Mailbox lanes, indexed `src * nparts + dst`. Within a round each lane
-    /// has exactly one writer (the source partition's worker) and its reader
-    /// drains in a different phase, so the locks are uncontended.
-    mailboxes: Vec<Mutex<Vec<CrossMsg>>>,
+    /// Mailbox lanes, one per *destination* partition — O(nparts), not the
+    /// O(nparts²) src-major matrix a 512-host run would otherwise allocate.
+    /// Each entry is tagged `(src partition, emission index within this
+    /// round's batch)`; the reader sorts by `(port-arrival, src, idx)`, so
+    /// the merge order is identical to the per-pair-lane scheme no matter
+    /// how writer lock acquisitions interleave. Writers only contend with
+    /// the few other workers flushing to the same destination in the same
+    /// phase; the reader drains in a different phase.
+    mailboxes: Vec<Mutex<Vec<(u32, u32, CrossMsg)>>>,
     /// Set when any worker has decided the run is over (error or panic).
     aborted: AtomicBool,
     /// First error by partition id (lowest wins — deterministic regardless
@@ -159,24 +163,6 @@ impl Coord {
 }
 
 impl System {
-    /// Rebuilds the event queue keeping only `host`'s initial core steps
-    /// (partition construction seeds every tile; the other hosts' programs
-    /// run on their own partitions).
-    fn restrict_queue_to_host(&mut self, host: u32) {
-        let tph = self.cfg.noc.tiles_per_host;
-        let mut q = EventQueue::with_capacity(4 * tph as usize);
-        while let Some((t, ev)) = self.queue.pop() {
-            let keep = match &ev {
-                Event::CoreStep { core, .. } => core / tph == host,
-                _ => true,
-            };
-            if keep {
-                q.push(t, ev);
-            }
-        }
-        self.queue = q;
-    }
-
     /// Executes queued events strictly before `horizon_ps`. `solo` enables
     /// the in-round liveness watchdog (single-partition runs only — with
     /// several partitions liveness is judged globally at round barriers).
@@ -241,17 +227,26 @@ impl System {
     }
 }
 
-/// Builds the partition for `host`: a full `System` whose queue, transport,
-/// tracer and fault state are restricted to (or mirrored from) the parent.
-fn make_partition(parent: &System, host: u32, nparts: usize) -> System {
-    let mut s = System::new(parent.cfg.clone(), parent.programs.clone());
-    // `System::new` consults the environment (CORD_SIM_THREADS, CORD_FAULTS,
-    // CORD_TRACE); partitions must mirror the parent's *effective* state
-    // instead, which may have been set programmatically.
-    s.sim_threads = None;
-    s.noc = Noc::new(s.cfg.noc);
-    s.xport = None;
-    s.fault_spec = None;
+/// Builds the partition for `host`: a **sparse** `System` holding only that
+/// host's tiles (its frontends, engines, directory slices and memories),
+/// with transport, tracer and fault state mirrored from the parent. Tile
+/// identities stay global (`tile_base = host × tiles_per_host`), so events,
+/// traces and engine ids are bit-identical to the monolithic engine's; only
+/// the vectors are host-local. The fabric's per-pair latency table is shared
+/// with the parent via [`cord_noc::Noc::fork`], so 512 partitions cost
+/// O(hosts²) once, not per partition.
+fn make_partition(parent: &System, host: u32) -> System {
+    let tph = parent.cfg.noc.tiles_per_host;
+    let lo = (host * tph) as usize;
+    let mut s = System::build(
+        parent.cfg.clone(),
+        parent.noc.fork(),
+        parent.programs[lo..lo + tph as usize].to_vec(),
+        host * tph,
+    );
+    // `System::build` never consults the environment (CORD_SIM_THREADS,
+    // CORD_FAULTS, CORD_TRACE); partitions mirror the parent's *effective*
+    // state instead, which may have been set programmatically.
     if let Some((plan, xcfg)) = &parent.fault_spec {
         s.set_faults(plan.clone(), *xcfg);
     }
@@ -273,13 +268,12 @@ fn make_partition(parent: &System, host: u32, nparts: usize) -> System {
         .as_ref()
         .map(|p| Box::new(Sampler::new(p.interval())));
     s.profiler = parent.profiler.as_ref().map(|_| Box::new(Profiler::new()));
-    s.restrict_queue_to_host(host);
     // Each partition injects only its own host's crash events, so every
     // crash fires exactly once regardless of worker count.
     s.schedule_crashes(Some(host));
     s.part = Some(Partition {
         host,
-        outbox: (0..nparts).map(|_| Vec::new()).collect(),
+        outbox: std::collections::BTreeMap::new(),
     });
     s
 }
@@ -287,17 +281,13 @@ fn make_partition(parent: &System, host: u32, nparts: usize) -> System {
 /// Sorts one partition's inbound cross-partition messages into its queue in
 /// the deterministic merge order `(port-arrival, source partition, emission
 /// index)` — independent of worker count and flush timing.
-fn drain_inbox(s: &mut System, me: usize, nparts: usize, coord: &Coord) {
-    let mut incoming: Vec<(u64, usize, usize, CrossMsg)> = Vec::new();
-    for src in 0..nparts {
-        if src == me {
-            continue;
-        }
-        let mut lane = coord.mailboxes[src * nparts + me].lock().expect("mailbox");
-        for (idx, cm) in lane.drain(..).enumerate() {
-            incoming.push((cm.reach.as_ps(), src, idx, cm));
-        }
-    }
+fn drain_inbox(s: &mut System, me: usize, coord: &Coord) {
+    let mut incoming: Vec<(u64, u32, u32, CrossMsg)> = {
+        let mut lane = coord.mailboxes[me].lock().expect("mailbox");
+        lane.drain(..)
+            .map(|(src, idx, cm)| (cm.reach.as_ps(), src, idx, cm))
+            .collect()
+    };
     incoming.sort_by_key(|&(t, src, idx, _)| (t, src, idx));
     for (_, _, _, cm) in incoming {
         s.queue.push(
@@ -310,15 +300,23 @@ fn drain_inbox(s: &mut System, me: usize, nparts: usize, coord: &Coord) {
     }
 }
 
-/// Flushes one partition's outboxes into the shared mailbox lanes.
-fn flush_outbox(s: &mut System, me: usize, nparts: usize, coord: &Coord) {
+/// Flushes one partition's sparse outbox into the destination mailbox
+/// lanes, tagging each message with `(src partition, emission index)` so the
+/// reader can reconstruct the deterministic merge order. Since every reader
+/// drains its lane each phase A, at most one batch per source is ever in a
+/// lane, so the per-batch index is unambiguous.
+fn flush_outbox(s: &mut System, me: usize, coord: &Coord) {
     let part = s.part.as_mut().expect("partition state");
-    for dst in 0..nparts {
-        if part.outbox[dst].is_empty() {
+    for (&dst, msgs) in part.outbox.iter_mut() {
+        if msgs.is_empty() {
             continue;
         }
-        let mut lane = coord.mailboxes[me * nparts + dst].lock().expect("mailbox");
-        lane.append(&mut part.outbox[dst]);
+        let mut lane = coord.mailboxes[dst as usize].lock().expect("mailbox");
+        lane.extend(
+            msgs.drain(..)
+                .enumerate()
+                .map(|(idx, cm)| (me as u32, idx as u32, cm)),
+        );
     }
 }
 
@@ -357,9 +355,7 @@ fn worker_loop(
         for (k, s) in shards.iter_mut().enumerate() {
             let me = base + k;
             let timer = ScopeTimer::start(profiling);
-            if let Err(payload) =
-                catch_unwind(AssertUnwindSafe(|| drain_inbox(s, me, nparts, coord)))
-            {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| drain_inbox(s, me, coord))) {
                 coord.record_panic(me, payload);
             }
             if let (Some(ns), Some(p)) = (timer.stop(), s.profiler.as_mut()) {
@@ -437,9 +433,7 @@ fn worker_loop(
             if let (Some(ns), Some(p)) = (timer.stop(), s.profiler.as_mut()) {
                 p.add_phase("execute", ns);
             }
-            if let Err(payload) =
-                catch_unwind(AssertUnwindSafe(|| flush_outbox(s, me, nparts, coord)))
-            {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| flush_outbox(s, me, coord))) {
                 coord.record_panic(me, payload);
             }
             match outcome {
@@ -480,11 +474,8 @@ fn global_fingerprint(coord: &Coord, nparts: usize) -> (u64, u64, u64) {
 fn narrate_sharded(shards: &[System]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
-    let tph = shards
-        .first()
-        .map_or(0, |sh| sh.cfg.noc.tiles_per_host as usize);
-    for (h, sh) in shards.iter().enumerate() {
-        s.push_str(&sh.narrate_stuck_cores(h * tph..(h + 1) * tph));
+    for sh in shards.iter() {
+        s.push_str(&sh.narrate_stuck_cores());
     }
     let mut pending: Vec<(Time, String)> = shards
         .iter()
@@ -532,9 +523,7 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
     // rebuild their own, so clear it for a sane post-run state.
     while sys.queue.pop().is_some() {}
 
-    let shards: Vec<System> = (0..nparts)
-        .map(|h| make_partition(sys, h as u32, nparts))
-        .collect();
+    let shards: Vec<System> = (0..nparts).map(|h| make_partition(sys, h as u32)).collect();
     let coord = Coord {
         barrier: SpinBarrier::new(workers),
         mins: (0..nparts).map(|_| AtomicU64::new(u64::MAX)).collect(),
@@ -550,9 +539,7 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
                 ]
             })
             .collect(),
-        mailboxes: (0..nparts * nparts)
-            .map(|_| Mutex::new(Vec::new()))
-            .collect(),
+        mailboxes: (0..nparts).map(|_| Mutex::new(Vec::new())).collect(),
         aborted: AtomicBool::new(false),
         verdict: Mutex::new(None),
         panic: Mutex::new(None),
@@ -678,13 +665,15 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
             Verdict::NoProgress { since, now, window } => {
                 // A core stuck inside the recovery fence is an unrecovered
                 // crash, not a generic hang — report it as such.
-                let rec = shards.iter().enumerate().find_map(|(h, sh)| {
-                    let lo = h * tph;
-                    (lo..lo + tph).find(|&t| sh.engines[t].recovering())
+                let rec = shards.iter().find_map(|sh| {
+                    sh.engines
+                        .iter()
+                        .position(|e| e.recovering())
+                        .map(|lt| sh.tile_base + lt as u32)
                 });
                 match rec {
                     Some(core) => RunError::Unrecovered {
-                        core: core as u32,
+                        core,
                         since,
                         narrative: narrate_sharded(&shards),
                     },
@@ -733,6 +722,12 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
             ..
         } = sh;
         sys.noc.stats_mut().merge(noc.stats());
+        // Pair flows are recorded exactly once per inter-host message, on
+        // the *source* partition's egress, so summing per-partition maps
+        // reproduces the monolithic map without double counting.
+        for (ps, pd, f) in noc.pair_flows_sorted() {
+            sys.noc.add_pair_flow(ps, pd, f);
+        }
         if let Some(x) = &xport {
             let st = x.stats();
             xr += st.retransmits;
@@ -742,18 +737,20 @@ pub(crate) fn run_sharded(sys: &mut System, workers: usize) -> Result<RunResult,
             xrp += st.replayed;
             xst += st.stale_rejected;
         }
+        // Partitions are sparse: their vectors hold only their own host's
+        // tiles, so local index `t` maps to global `lo + t`.
         let lo = h * tph;
-        for (t, fe) in fes.into_iter().enumerate().skip(lo).take(tph) {
-            sys.fes[t] = fe;
+        for (t, fe) in fes.into_iter().enumerate() {
+            sys.fes[lo + t] = fe;
         }
-        for (t, e) in engines.into_iter().enumerate().skip(lo).take(tph) {
-            sys.engines[t] = e;
+        for (t, e) in engines.into_iter().enumerate() {
+            sys.engines[lo + t] = e;
         }
-        for (t, d) in dir_engines.into_iter().enumerate().skip(lo).take(tph) {
-            sys.dir_engines[t] = d;
+        for (t, d) in dir_engines.into_iter().enumerate() {
+            sys.dir_engines[lo + t] = d;
         }
-        for (t, m) in mems.into_iter().enumerate().skip(lo).take(tph) {
-            sys.mems[t] = m;
+        for (t, m) in mems.into_iter().enumerate() {
+            sys.mems[lo + t] = m;
         }
     }
     if sys.fault_spec.is_some() {

@@ -19,6 +19,7 @@
 //!   transport property, not a protocol bug (the chaos binary demonstrates
 //!   it separately). Repro files may still say `unreliable`.
 
+use cord_noc::Fabric;
 use cord_proto::{ProtocolKind, TableSizes};
 use cord_sim::DetRng;
 
@@ -90,6 +91,38 @@ pub(crate) fn gen_faults(rng: &mut DetRng) -> Option<String> {
     Some(parts.join("; "))
 }
 
+/// Small latency palettes for generated fabrics (whole nanoseconds so the
+/// `Display`/`parse` round trip is exact).
+const TIER_LO_NS: [u64; 3] = [40, 100, 200];
+const TIER_HI_NS: [u64; 3] = [400, 600, 1200];
+
+/// Draws a multi-tier fabric shape whose groups partition `hosts`, or
+/// `None` (the flat single switch) half the time. Group sizes are drawn
+/// from the divisors of `hosts`, so the result always passes
+/// [`Fabric::check`]. Shared with the corpus mutator so mutation explores
+/// the same fabric space as blind generation.
+pub(crate) fn gen_fabric(rng: &mut DetRng, hosts: u32) -> Option<Fabric> {
+    if rng.chance(0.5) {
+        return None;
+    }
+    let divisors: Vec<u32> = (1..=hosts).filter(|d| hosts.is_multiple_of(*d)).collect();
+    let g = *rng.pick(&divisors);
+    let lo = *rng.pick(&TIER_LO_NS);
+    let hi = *rng.pick(&TIER_HI_NS);
+    let shape = match rng.range_usize(0..3) {
+        0 => format!("pods {g} {lo} {hi}"),
+        1 => {
+            // Split the pod into edge × per-pod-edges tiers.
+            let sub: Vec<u32> = (1..=g).filter(|d| g.is_multiple_of(*d)).collect();
+            let hpe = *rng.pick(&sub);
+            let mid = *rng.pick(&TIER_LO_NS);
+            format!("fattree {hpe} {} {lo} {mid} {hi}", g / hpe)
+        }
+        _ => format!("dragonfly {g} {lo} {hi}"),
+    };
+    Some(Fabric::parse(&shape).expect("generated fabric parses"))
+}
+
 /// Draws one `crash.*` directive: a node-scoped fault (directory-controller
 /// or transport reset) at an explicit nanosecond time, on one host or all
 /// of them. Hosts beyond the scenario's actual host count are harmless —
@@ -110,6 +143,9 @@ pub fn generate(seed: u64, index: u64, max_events: u64) -> Scenario {
     let root = DetRng::new(seed).stream(index);
     let mut shape = root.stream(0);
     let mut fault = root.stream(1);
+    // Stream 2 belongs to the corpus mutator; the fabric draw gets its own
+    // stream so adding it left every pre-existing shape/fault draw intact.
+    let mut fabric_rng = root.stream(3);
 
     let engine = *shape.pick(&ENGINES);
     let upi = shape.chance(0.25);
@@ -172,6 +208,7 @@ pub fn generate(seed: u64, index: u64, max_events: u64) -> Scenario {
     let sc = Scenario {
         engine,
         upi,
+        fabric: gen_fabric(&mut fabric_rng, hosts),
         hosts,
         tph,
         tables,
@@ -209,6 +246,16 @@ mod tests {
             .any(|s| s.faults.as_deref().is_some_and(|f| f.contains("drop."))));
         assert!(scs.iter().any(|s| s.pairs.len() == 2));
         assert!(scs.iter().any(|s| s.tables.dir_cnt_per_proc == 1));
+        assert!(scs.iter().any(|s| s.fabric.is_none()));
+        assert!(scs
+            .iter()
+            .any(|s| matches!(s.fabric, Some(Fabric::Pods(_)))));
+        assert!(scs
+            .iter()
+            .any(|s| matches!(s.fabric, Some(Fabric::FatTree(_)))));
+        assert!(scs
+            .iter()
+            .any(|s| matches!(s.fabric, Some(Fabric::Dragonfly(_)))));
         assert!(scs.iter().any(|s| s
             .pairs
             .iter()

@@ -15,10 +15,11 @@
 //! valid producer/consumer scenario, so the oracles never reject a mutant
 //! and the guided loop wastes no iterations on malformed inputs.
 
+use cord_noc::Fabric;
 use cord_proto::TableSizes;
 use cord_sim::DetRng;
 
-use crate::gen::{gen_crash, gen_faults, generate, ENGINES};
+use crate::gen::{gen_crash, gen_fabric, gen_faults, generate, ENGINES};
 use crate::scenario::{DataStore, Pair, Round, Scenario, Slot};
 
 /// Bounds on per-pair structure growth so long mutation chains cannot
@@ -26,6 +27,15 @@ use crate::scenario::{DataStore, Pair, Round, Scenario, Slot};
 /// differential model check anyway).
 const MAX_ROUNDS: usize = 5;
 const MAX_DATA: usize = 5;
+
+/// Greatest common divisor (for the fabric-group divisibility repair).
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
 
 /// Mutates `base` into a new valid scenario. Deterministic in
 /// `(seed, index, base)`; never returns an invalid scenario (on the
@@ -54,10 +64,11 @@ pub fn mutate(base: &Scenario, seed: u64, index: u64) -> Scenario {
 /// repairs everything afterwards. `old_tph` is the parent's tiles-per-host,
 /// still the encoding of every `consumer` tile index at this point.
 fn apply_op(s: &mut Scenario, rng: &mut DetRng, old_tph: u32) {
-    match rng.range_usize(0..16) {
+    match rng.range_usize(0..17) {
         0 => s.engine = *rng.pick(&ENGINES),
         1 => s.upi = !s.upi,
         2 => s.hosts = *rng.pick(&[2u32, 3, 4]),
+        16 => s.fabric = gen_fabric(rng, s.hosts.clamp(2, 64)),
         3 => s.tph = *rng.pick(&[2u32, 4]),
         4 => {
             // Squeeze one table toward its stall/evict edge.
@@ -177,6 +188,18 @@ fn apply_op(s: &mut Scenario, rng: &mut DetRng, old_tph: u32) {
 fn normalize(s: &mut Scenario, old_tph: u32) {
     s.hosts = s.hosts.clamp(2, 64);
     s.tph = s.tph.clamp(1, 16);
+    // Fabric divisibility repair: a host-count edit can leave tier groups
+    // that no longer partition the hosts. Snap each group size to its gcd
+    // with the host count (1 divides everything, so repair never fails).
+    match &mut s.fabric {
+        None | Some(Fabric::Flat) => {}
+        Some(Fabric::Pods(p)) => p.hosts_per_pod = gcd(p.hosts_per_pod.max(1), s.hosts),
+        Some(Fabric::FatTree(t)) => {
+            t.hosts_per_edge = gcd(t.hosts_per_edge.max(1), s.hosts);
+            t.edges_per_pod = gcd(t.edges_per_pod.max(1), s.hosts / t.hosts_per_edge);
+        }
+        Some(Fabric::Dragonfly(d)) => d.hosts_per_group = gcd(d.hosts_per_group.max(1), s.hosts),
+    }
     s.max_events = s.max_events.max(1);
     let t = &mut s.tables;
     t.proc_cnt = t.proc_cnt.max(1);
@@ -288,6 +311,23 @@ mod tests {
                 .count()
                 > 0
         );
+    }
+
+    #[test]
+    fn mutation_explores_fabrics_and_repairs_divisibility() {
+        let mut base = generate(3, 1, 2_000_000);
+        base.fabric = Some(Fabric::parse("pods 2 200 600").unwrap());
+        base.hosts = 4;
+        let muts: Vec<Scenario> = (0..400).map(|i| mutate(&base, 29, i)).collect();
+        // The fabric op reaches shapes other than the parent's...
+        assert!(muts.iter().any(|m| m.fabric.is_none()));
+        assert!(muts.iter().any(|m| m.fabric != base.fabric));
+        // ...and a host flip onto 3 hosts repaired the 2-host pods (every
+        // mutant validates, which `mutate` itself also debug-asserts).
+        assert!(muts.iter().any(|m| m.hosts == 3 && m.fabric.is_some()));
+        for (i, m) in muts.iter().enumerate() {
+            m.validate().unwrap_or_else(|e| panic!("index {i}: {e}"));
+        }
     }
 
     #[test]

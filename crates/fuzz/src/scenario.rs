@@ -18,7 +18,7 @@ use std::collections::BTreeSet;
 use std::fmt::Write as _;
 
 use cord_mem::Addr;
-use cord_noc::NocConfig;
+use cord_noc::{Fabric, NocConfig};
 use cord_proto::{FaultSpec, LoadOrd, Program, ProtocolKind, StoreOrd, SystemConfig, TableSizes};
 
 /// Byte stride between generated addresses: one slice-0 line per slot, so
@@ -94,6 +94,9 @@ pub struct Scenario {
     pub engine: ProtocolKind,
     /// Fabric flavor: `true` = UPI, `false` = CXL.
     pub upi: bool,
+    /// Multi-tier switch-fabric shape ([`Fabric`] grammar); `None` = the
+    /// flat single switch.
+    pub fabric: Option<Fabric>,
     /// CPU host count.
     pub hosts: u32,
     /// Tiles per host.
@@ -111,11 +114,14 @@ pub struct Scenario {
 impl Scenario {
     /// The [`SystemConfig`] this scenario runs under.
     pub fn config(&self) -> SystemConfig {
-        let noc = if self.upi {
+        let mut noc = if self.upi {
             NocConfig::upi(self.hosts, self.tph)
         } else {
             NocConfig::cxl(self.hosts, self.tph)
         };
+        if let Some(f) = self.fabric {
+            noc = noc.with_fabric(f);
+        }
         let mut cfg = SystemConfig::with_noc(self.engine, noc);
         cfg.tables = self.tables;
         cfg
@@ -175,6 +181,10 @@ impl Scenario {
         }
         if self.tph < 1 || self.tph > 16 {
             return Err(format!("tph {} outside 1..=16", self.tph));
+        }
+        if let Some(f) = &self.fabric {
+            f.check(self.hosts)
+                .map_err(|e| format!("bad fabric: {e}"))?;
         }
         let t = &self.tables;
         if t.proc_cnt < 1
@@ -259,6 +269,9 @@ impl Scenario {
         let mut out = String::from("cord-fuzz repro v1\n");
         let _ = writeln!(out, "engine {}", self.engine.label());
         let _ = writeln!(out, "topo {}", if self.upi { "upi" } else { "cxl" });
+        if let Some(f) = &self.fabric {
+            let _ = writeln!(out, "fabric {f}");
+        }
         let _ = writeln!(out, "hosts {}", self.hosts);
         let _ = writeln!(out, "tph {}", self.tph);
         let t = &self.tables;
@@ -347,6 +360,7 @@ pub fn parse(text: &str) -> Result<Repro, String> {
     let mut sc = Scenario {
         engine: ProtocolKind::Cord,
         upi: false,
+        fabric: None,
         hosts: 0,
         tph: 0,
         tables: TableSizes::default(),
@@ -367,6 +381,7 @@ pub fn parse(text: &str) -> Result<Repro, String> {
                     _ => return Err(format!("bad topo {rest:?} (want cxl|upi)")),
                 }
             }
+            "fabric" => sc.fabric = Some(Fabric::parse(rest)?),
             "hosts" => sc.hosts = rest.parse().map_err(|_| format!("bad hosts {rest:?}"))?,
             "tph" => sc.tph = rest.parse().map_err(|_| format!("bad tph {rest:?}"))?,
             "tables" => {
@@ -437,6 +452,7 @@ mod tests {
         Scenario {
             engine: ProtocolKind::Cord,
             upi: false,
+            fabric: Some(Fabric::parse("pods 2 200 600").unwrap()),
             hosts: 4,
             tph: 2,
             tables: TableSizes::default(),
@@ -532,6 +548,32 @@ mod tests {
         let mut bad_spec = two_pair();
         bad_spec.faults = Some("drop=nope".into());
         assert!(bad_spec.validate().unwrap_err().contains("fault spec"));
+
+        let mut bad_fabric = two_pair();
+        bad_fabric.fabric = Some(Fabric::parse("pods 3 200 600").unwrap());
+        assert!(bad_fabric.validate().unwrap_err().contains("bad fabric"));
+    }
+
+    #[test]
+    fn fabric_directive_round_trips_every_shape() {
+        for shape in [
+            "pods 2 200 600",
+            "fattree 2 2 40 120 400",
+            "dragonfly 2 50 400",
+        ] {
+            let mut sc = two_pair();
+            sc.fabric = Some(Fabric::parse(shape).unwrap());
+            sc.validate().unwrap();
+            let text = sc.serialize(None);
+            assert!(text.contains(&format!("fabric {shape}\n")), "{text}");
+            assert_eq!(parse(&text).unwrap().scenario, sc);
+        }
+        // Absent directive = flat fabric.
+        let mut flat = two_pair();
+        flat.fabric = None;
+        let text = flat.serialize(None);
+        assert!(!text.contains("fabric "), "{text}");
+        assert_eq!(parse(&text).unwrap().scenario.fabric, None);
     }
 
     #[test]

@@ -60,5 +60,8 @@
 mod topology;
 mod traffic;
 
-pub use topology::{Delivery, EgressDelivery, MsgClass, Noc, NocConfig, PodConfig, TileId};
-pub use traffic::{ClassStats, FaultStats, TrafficStats};
+pub use topology::{
+    Delivery, DragonflyConfig, EgressDelivery, Fabric, FatTreeConfig, MsgClass, Noc, NocConfig,
+    PodConfig, TileId,
+};
+pub use traffic::{ClassStats, FaultStats, PairFlow, TrafficStats};

@@ -3,7 +3,7 @@
 use cord_sim::fault::{FaultAction, FaultPlan};
 use cord_sim::Time;
 
-use crate::traffic::TrafficStats;
+use crate::traffic::{PairFlow, TrafficStats};
 
 /// Identifies one tile (core + co-located LLC slice/directory) in the system.
 ///
@@ -99,6 +99,278 @@ pub struct PodConfig {
     pub root_latency: Time,
 }
 
+/// Three-tier fat-tree: hosts attach to edge switches, edge switches group
+/// into pods under an aggregation tier, and pods join through core switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FatTreeConfig {
+    /// Hosts per edge switch.
+    pub hosts_per_edge: u32,
+    /// Edge switches per pod (aggregation domain).
+    pub edges_per_pod: u32,
+    /// One-way latency through an edge switch (paid by every inter-host
+    /// message).
+    pub edge_latency: Time,
+    /// Additional one-way latency for the aggregation tier, paid when
+    /// traffic leaves its edge switch but stays in the pod.
+    pub aggr_latency: Time,
+    /// Additional one-way latency for the core tier, paid by cross-pod
+    /// traffic on top of edge + aggregation.
+    pub core_latency: Time,
+}
+
+/// Dragonfly: hosts grouped into fully connected local groups, groups joined
+/// by direct global links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DragonflyConfig {
+    /// Hosts per dragonfly group.
+    pub hosts_per_group: u32,
+    /// One-way latency of a local (intra-group) link.
+    pub local_latency: Time,
+    /// One-way latency of a global (inter-group) link; cross-group traffic
+    /// pays local + global + local.
+    pub global_latency: Time,
+}
+
+/// Inter-host fabric shape: what a frame pays between the source host's
+/// egress port and the destination host's ingress port.
+///
+/// The fabric is *data*, not code: every shape is parameterized by counts
+/// and per-tier latencies, parses from a one-line grammar ([`Fabric::parse`])
+/// and renders back canonically (`Display`), so benches, fuzzers and repro
+/// files can name arbitrary topologies:
+///
+/// ```text
+/// flat
+/// pods <hosts_per_pod> <pod_ns> <root_ns>
+/// fattree <hosts_per_edge> <edges_per_pod> <edge_ns> <aggr_ns> <core_ns>
+/// dragonfly <hosts_per_group> <local_ns> <global_ns>
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use cord_noc::Fabric;
+///
+/// let f = Fabric::parse("pods 4 60 180").unwrap();
+/// assert_eq!(f.to_string(), "pods 4 60 180");
+/// assert!(f.check(8).is_ok());   // 4-host pods partition 8 hosts
+/// assert!(f.check(6).is_err());  // ... but not 6
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fabric {
+    /// The paper's single switch: every distinct pair pays the config's
+    /// `inter_host_latency`.
+    Flat,
+    /// Two-level pod/root hierarchy.
+    Pods(PodConfig),
+    /// Three-tier fat-tree (edge / aggregation / core).
+    FatTree(FatTreeConfig),
+    /// Dragonfly groups with direct global links.
+    Dragonfly(DragonflyConfig),
+}
+
+impl Fabric {
+    /// Validates the shape against a host count: group sizes must be nonzero
+    /// and partition the hosts evenly. Returns a human-readable reason on
+    /// failure (the non-panicking mirror of [`NocConfig::with_fabric`]).
+    pub fn check(&self, hosts: u32) -> Result<(), String> {
+        match *self {
+            Fabric::Flat => Ok(()),
+            Fabric::Pods(p) => {
+                if p.hosts_per_pod == 0 || !hosts.is_multiple_of(p.hosts_per_pod) {
+                    Err(format!(
+                        "pods of {} hosts must partition the {hosts} hosts",
+                        p.hosts_per_pod
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            Fabric::FatTree(t) => {
+                let pod = t.hosts_per_edge.saturating_mul(t.edges_per_pod);
+                if pod == 0 || !hosts.is_multiple_of(pod) {
+                    Err(format!(
+                        "fat-tree pods of {}x{} hosts must partition the {hosts} hosts",
+                        t.hosts_per_edge, t.edges_per_pod
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            Fabric::Dragonfly(d) => {
+                if d.hosts_per_group == 0 || !hosts.is_multiple_of(d.hosts_per_group) {
+                    Err(format!(
+                        "dragonfly groups of {} hosts must partition the {hosts} hosts",
+                        d.hosts_per_group
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// One-way latency between two *distinct* hosts; `flat` is the config's
+    /// single-switch latency used by [`Fabric::Flat`].
+    fn latency(&self, flat: Time, src_host: u32, dst_host: u32) -> Time {
+        match *self {
+            Fabric::Flat => flat,
+            Fabric::Pods(p) => {
+                if src_host / p.hosts_per_pod == dst_host / p.hosts_per_pod {
+                    p.pod_latency
+                } else {
+                    p.pod_latency + p.root_latency
+                }
+            }
+            Fabric::FatTree(t) => {
+                let (se, de) = (src_host / t.hosts_per_edge, dst_host / t.hosts_per_edge);
+                if se == de {
+                    t.edge_latency
+                } else if se / t.edges_per_pod == de / t.edges_per_pod {
+                    t.edge_latency + t.aggr_latency
+                } else {
+                    t.edge_latency + t.aggr_latency + t.core_latency
+                }
+            }
+            Fabric::Dragonfly(d) => {
+                if src_host / d.hosts_per_group == dst_host / d.hosts_per_group {
+                    d.local_latency
+                } else {
+                    d.local_latency + d.global_latency + d.local_latency
+                }
+            }
+        }
+    }
+
+    /// Switch traversals between two *distinct* hosts (1 for a shared
+    /// lowest-tier switch, more per extra tier crossed). Symmetric in its
+    /// arguments by construction.
+    fn hops(&self, src_host: u32, dst_host: u32) -> u32 {
+        match *self {
+            Fabric::Flat => 1,
+            Fabric::Pods(p) => {
+                if src_host / p.hosts_per_pod == dst_host / p.hosts_per_pod {
+                    1
+                } else {
+                    2
+                }
+            }
+            Fabric::FatTree(t) => {
+                let (se, de) = (src_host / t.hosts_per_edge, dst_host / t.hosts_per_edge);
+                if se == de {
+                    1
+                } else if se / t.edges_per_pod == de / t.edges_per_pod {
+                    2
+                } else {
+                    3
+                }
+            }
+            Fabric::Dragonfly(d) => {
+                if src_host / d.hosts_per_group == dst_host / d.hosts_per_group {
+                    1
+                } else {
+                    3
+                }
+            }
+        }
+    }
+
+    /// The minimum pair latency over all distinct pairs of `hosts` hosts
+    /// (`hosts >= 2`), computed analytically: the closest pair shares the
+    /// lowest tier that holds at least two hosts.
+    fn floor(&self, flat: Time, _hosts: u32) -> Time {
+        match *self {
+            Fabric::Flat => flat,
+            Fabric::Pods(p) => {
+                if p.hosts_per_pod >= 2 {
+                    p.pod_latency
+                } else {
+                    p.pod_latency + p.root_latency
+                }
+            }
+            Fabric::FatTree(t) => {
+                if t.hosts_per_edge >= 2 {
+                    t.edge_latency
+                } else if t.edges_per_pod >= 2 {
+                    t.edge_latency + t.aggr_latency
+                } else {
+                    t.edge_latency + t.aggr_latency + t.core_latency
+                }
+            }
+            Fabric::Dragonfly(d) => {
+                if d.hosts_per_group >= 2 {
+                    d.local_latency
+                } else {
+                    d.local_latency + d.global_latency + d.local_latency
+                }
+            }
+        }
+    }
+
+    /// Parses the fabric grammar (see the type-level docs). Latencies are
+    /// whole nanoseconds; `Display` renders the same form back, and
+    /// `parse(x.to_string()) == x` for every ns-granular fabric.
+    pub fn parse(s: &str) -> Result<Fabric, String> {
+        let toks: Vec<&str> = s.split_whitespace().collect();
+        let num = |t: &str| -> Result<u64, String> {
+            t.parse::<u64>()
+                .map_err(|_| format!("bad fabric number {t:?}"))
+        };
+        match toks.as_slice() {
+            ["flat"] => Ok(Fabric::Flat),
+            ["pods", hpp, pod, root] => Ok(Fabric::Pods(PodConfig {
+                hosts_per_pod: num(hpp)? as u32,
+                pod_latency: Time::from_ns(num(pod)?),
+                root_latency: Time::from_ns(num(root)?),
+            })),
+            ["fattree", hpe, epp, edge, aggr, core] => Ok(Fabric::FatTree(FatTreeConfig {
+                hosts_per_edge: num(hpe)? as u32,
+                edges_per_pod: num(epp)? as u32,
+                edge_latency: Time::from_ns(num(edge)?),
+                aggr_latency: Time::from_ns(num(aggr)?),
+                core_latency: Time::from_ns(num(core)?),
+            })),
+            ["dragonfly", hpg, local, global] => Ok(Fabric::Dragonfly(DragonflyConfig {
+                hosts_per_group: num(hpg)? as u32,
+                local_latency: Time::from_ns(num(local)?),
+                global_latency: Time::from_ns(num(global)?),
+            })),
+            _ => Err(format!("unknown fabric {s:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Fabric::Flat => write!(f, "flat"),
+            Fabric::Pods(p) => write!(
+                f,
+                "pods {} {} {}",
+                p.hosts_per_pod,
+                p.pod_latency.as_ns(),
+                p.root_latency.as_ns()
+            ),
+            Fabric::FatTree(t) => write!(
+                f,
+                "fattree {} {} {} {} {}",
+                t.hosts_per_edge,
+                t.edges_per_pod,
+                t.edge_latency.as_ns(),
+                t.aggr_latency.as_ns(),
+                t.core_latency.as_ns()
+            ),
+            Fabric::Dragonfly(d) => write!(
+                f,
+                "dragonfly {} {} {}",
+                d.hosts_per_group,
+                d.local_latency.as_ns(),
+                d.global_latency.as_ns()
+            ),
+        }
+    }
+}
+
 /// Interconnect parameters (paper Table 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NocConfig {
@@ -116,9 +388,9 @@ pub struct NocConfig {
     pub link_bytes_per_ns: u64,
     /// Tile hosting the CXL/UPI port on each host.
     pub port_tile: u32,
-    /// Optional two-level switch hierarchy; `None` = the paper's single
-    /// switch with `inter_host_latency` per traversal.
-    pub pods: Option<PodConfig>,
+    /// Inter-host fabric shape; [`Fabric::Flat`] = the paper's single switch
+    /// with `inter_host_latency` per traversal.
+    pub fabric: Fabric,
 }
 
 impl NocConfig {
@@ -132,7 +404,7 @@ impl NocConfig {
             inter_host_latency: Time::from_ns(150),
             link_bytes_per_ns: 64,
             port_tile: 0,
-            pods: None,
+            fabric: Fabric::Flat,
         }
     }
 
@@ -155,28 +427,39 @@ impl NocConfig {
     /// # Panics
     ///
     /// Panics if `hosts_per_pod` is zero or does not divide the host count.
-    pub fn with_pods(mut self, pods: PodConfig) -> Self {
+    pub fn with_pods(self, pods: PodConfig) -> Self {
         assert!(
             pods.hosts_per_pod > 0 && self.hosts.is_multiple_of(pods.hosts_per_pod),
             "pods must partition the {} hosts",
             self.hosts
         );
-        self.pods = Some(pods);
+        self.with_fabric(Fabric::Pods(pods))
+    }
+
+    /// Replaces the inter-host fabric shape (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fabric's groups do not partition the host count; use
+    /// [`Fabric::check`] to validate untrusted shapes without panicking.
+    pub fn with_fabric(mut self, fabric: Fabric) -> Self {
+        if let Err(why) = fabric.check(self.hosts) {
+            panic!("{why}");
+        }
+        self.fabric = fabric;
         self
     }
 
     /// One-way switch-fabric latency between two (distinct) hosts.
     pub fn fabric_latency(&self, src_host: u32, dst_host: u32) -> Time {
-        match self.pods {
-            None => self.inter_host_latency,
-            Some(p) => {
-                if src_host / p.hosts_per_pod == dst_host / p.hosts_per_pod {
-                    p.pod_latency
-                } else {
-                    p.pod_latency + p.root_latency
-                }
-            }
-        }
+        self.fabric
+            .latency(self.inter_host_latency, src_host, dst_host)
+    }
+
+    /// Switch traversals between two (distinct) hosts: 1 when they share the
+    /// lowest-tier switch, plus one per extra tier crossed. Symmetric.
+    pub fn fabric_hops(&self, src_host: u32, dst_host: u32) -> u32 {
+        self.fabric.hops(src_host, dst_host)
     }
 
     /// The minimum one-way switch-fabric latency over all distinct host
@@ -184,22 +467,14 @@ impl NocConfig {
     /// message handed to the fabric at time `t` cannot arrive at any other
     /// host before `t + min_latency()`. Returns [`Time::MAX`] for
     /// single-host topologies (no inter-host edge ⇒ unbounded lookahead).
+    ///
+    /// Computed analytically from the fabric shape — O(1) at any host count,
+    /// no pair enumeration.
     pub fn min_latency(&self) -> Time {
         if self.hosts <= 1 {
             return Time::MAX;
         }
-        match self.pods {
-            None => self.inter_host_latency,
-            Some(p) => {
-                if p.hosts_per_pod >= 2 {
-                    // Some pair shares a pod: one pod-switch traversal.
-                    p.pod_latency
-                } else {
-                    // Every pair crosses the root.
-                    p.pod_latency + p.root_latency
-                }
-            }
-        }
+        self.fabric.floor(self.inter_host_latency, self.hosts)
     }
 
     /// Per-host-pair lookahead: a lower bound on the fabric delay of any
@@ -241,6 +516,12 @@ impl Default for NocConfig {
 #[derive(Debug, Clone)]
 pub struct Noc {
     cfg: NocConfig,
+    /// Precomputed per-pair fabric latency, host-major (`src * hosts + dst`,
+    /// [`Time::ZERO`] on the diagonal). Computed once at [`Noc::new`] and
+    /// shared by reference with every [`Noc::fork`] — the hot send path does
+    /// a table load instead of re-deriving the fabric shape per message, and
+    /// a 512-host sharded run holds one table, not one per partition.
+    pair_lat: std::sync::Arc<[Time]>,
     egress_free: Vec<Time>,
     ingress_free: Vec<Time>,
     stats: TrafficStats,
@@ -253,6 +534,12 @@ pub struct Noc {
     /// counter does not depend on the interleaving of *other* channels'
     /// traffic, so fault decisions survive repartitioning the simulation.
     pair_seq: std::collections::HashMap<(u32, u32), u64>,
+    /// Opt-in sparse per-pair flow accounting (see
+    /// [`Noc::set_pair_accounting`]): only pairs that actually exchanged
+    /// traffic hold an entry, so 512-host runs never allocate O(hosts²)
+    /// counters.
+    pair_acct: bool,
+    pair_flows: std::collections::HashMap<(u32, u32), PairFlow>,
 }
 
 /// The fabric's verdict on the source-side half of a transmission (see
@@ -301,22 +588,101 @@ pub enum Delivery {
 }
 
 impl Noc {
-    /// Creates an idle interconnect.
+    /// Creates an idle interconnect; precomputes the per-pair latency table
+    /// (one `hosts × hosts` allocation for the whole simulation — partitions
+    /// share it via [`Noc::fork`]).
     pub fn new(cfg: NocConfig) -> Self {
+        let hosts = cfg.hosts as usize;
+        let mut table = Vec::with_capacity(hosts * hosts);
+        for s in 0..cfg.hosts {
+            for d in 0..cfg.hosts {
+                table.push(if s == d {
+                    Time::ZERO
+                } else {
+                    cfg.fabric_latency(s, d)
+                });
+            }
+        }
         Noc {
-            egress_free: vec![Time::ZERO; cfg.hosts as usize],
-            ingress_free: vec![Time::ZERO; cfg.hosts as usize],
+            pair_lat: table.into(),
+            egress_free: vec![Time::ZERO; hosts],
+            ingress_free: vec![Time::ZERO; hosts],
             stats: TrafficStats::default(),
             faults: None,
             fault_seq: 0,
             pair_seq: std::collections::HashMap::new(),
+            pair_acct: false,
+            pair_flows: std::collections::HashMap::new(),
             cfg,
+        }
+    }
+
+    /// A fresh idle interconnect over the same topology, sharing the
+    /// precomputed pair-latency table by reference. Dynamic state (link
+    /// schedules, statistics, fault counters, installed plan) starts empty;
+    /// the pair-accounting switch is inherited. This is how the sharded
+    /// runner builds per-partition fabrics without re-deriving — or
+    /// duplicating — O(hosts²) latency state per partition.
+    pub fn fork(&self) -> Noc {
+        Noc {
+            cfg: self.cfg,
+            pair_lat: std::sync::Arc::clone(&self.pair_lat),
+            egress_free: vec![Time::ZERO; self.cfg.hosts as usize],
+            ingress_free: vec![Time::ZERO; self.cfg.hosts as usize],
+            stats: TrafficStats::default(),
+            faults: None,
+            fault_seq: 0,
+            pair_seq: std::collections::HashMap::new(),
+            pair_acct: self.pair_acct,
+            pair_flows: std::collections::HashMap::new(),
         }
     }
 
     /// The configuration this interconnect was built with.
     pub fn config(&self) -> &NocConfig {
         &self.cfg
+    }
+
+    /// Precomputed fabric latency between two hosts (table load; zero on the
+    /// diagonal). Equals [`NocConfig::lookahead`] for every pair.
+    #[inline]
+    pub fn pair_latency(&self, src_host: u32, dst_host: u32) -> Time {
+        self.pair_lat[(src_host * self.cfg.hosts + dst_host) as usize]
+    }
+
+    /// Enables (or disables) sparse per-pair flow accounting. Off by
+    /// default: the hot path then skips the hash-map touch entirely. When
+    /// on, every *inter-host* message is recorded once, at egress, under its
+    /// `(src_host, dst_host)` pair — so per-partition maps from a sharded
+    /// run sum to the monolithic map with no double counting.
+    pub fn set_pair_accounting(&mut self, on: bool) {
+        self.pair_acct = on;
+    }
+
+    /// Whether sparse per-pair flow accounting is enabled.
+    pub fn pair_accounting(&self) -> bool {
+        self.pair_acct
+    }
+
+    /// Recorded per-pair flows, sorted by `(src_host, dst_host)` for
+    /// deterministic iteration. Empty unless accounting was enabled.
+    pub fn pair_flows_sorted(&self) -> Vec<(u32, u32, PairFlow)> {
+        let mut v: Vec<_> = self
+            .pair_flows
+            .iter()
+            .map(|(&(s, d), &f)| (s, d, f))
+            .collect();
+        v.sort_unstable_by_key(|&(s, d, _)| (s, d));
+        v
+    }
+
+    /// Adds one pair's flow counters (the sharded runner merges partition
+    /// maps into the parent with this).
+    pub fn add_pair_flow(&mut self, src_host: u32, dst_host: u32, flow: PairFlow) {
+        self.pair_flows
+            .entry((src_host, dst_host))
+            .or_default()
+            .merge(&flow);
     }
 
     /// Traffic accounted so far.
@@ -516,6 +882,12 @@ impl Noc {
             let hops = self.cfg.mesh_hops(src.tile, dst.tile).max(1);
             return now + self.cfg.hop_latency * hops as u64;
         }
+        if self.pair_acct {
+            self.pair_flows
+                .entry((src.host, dst.host))
+                .or_default()
+                .record(bytes, class);
+        }
         // Mesh to the local CXL/UPI port.
         let to_port = self.cfg.mesh_hops(src.tile, self.cfg.port_tile) as u64;
         let at_port = now + self.cfg.hop_latency * to_port;
@@ -524,7 +896,7 @@ impl Noc {
         let depart = at_port.max(self.egress_free[src.host as usize]);
         self.egress_free[src.host as usize] = depart + ser;
         // Switch-fabric traversal to the destination host's port.
-        depart + ser + self.cfg.fabric_latency(src.host, dst.host)
+        depart + ser + self.pair_latency(src.host, dst.host)
     }
 
     /// Second (destination-side) half of an inter-host send: ingress-link
@@ -551,7 +923,7 @@ impl Noc {
         let from_port = self.cfg.mesh_hops(self.cfg.port_tile, dst.tile) as u64;
         self.cfg.hop_latency * (to_port + from_port)
             + self.cfg.serialization(bytes)
-            + self.cfg.fabric_latency(src.host, dst.host)
+            + self.pair_latency(src.host, dst.host)
     }
 
     fn check(&self, t: TileId) {
@@ -967,6 +1339,206 @@ mod tests {
         assert!(f.delayed > 0);
         // Duplicates consume bandwidth twice; drops still consume it once.
         assert_eq!(noc.stats().inter_msgs(), 200 + dups);
+    }
+
+    #[test]
+    fn fabric_grammar_round_trips() {
+        for s in [
+            "flat",
+            "pods 4 60 180",
+            "fattree 4 4 40 120 400",
+            "dragonfly 8 50 300",
+        ] {
+            let f = Fabric::parse(s).unwrap();
+            assert_eq!(f.to_string(), s);
+            assert_eq!(Fabric::parse(&f.to_string()).unwrap(), f);
+        }
+        assert!(Fabric::parse("torus 4 4").is_err());
+        assert!(Fabric::parse("pods x 60 180").is_err());
+        assert!(Fabric::parse("pods 4 60").is_err());
+        assert!(Fabric::parse("").is_err());
+    }
+
+    #[test]
+    fn fabric_check_requires_even_partition() {
+        let pods = Fabric::parse("pods 4 60 180").unwrap();
+        assert!(pods.check(8).is_ok());
+        assert!(pods.check(6).is_err());
+        let tree = Fabric::parse("fattree 4 4 40 120 400").unwrap();
+        assert!(tree.check(32).is_ok()); // 2 pods of 16
+        assert!(tree.check(24).is_err());
+        let fly = Fabric::parse("dragonfly 8 50 300").unwrap();
+        assert!(fly.check(64).is_ok());
+        assert!(fly.check(60).is_err());
+        assert!(Fabric::parse("pods 0 60 180").unwrap().check(8).is_err());
+    }
+
+    #[test]
+    fn fattree_latency_tiers() {
+        // 32 hosts: edges of 4 hosts, pods of 4 edges (16 hosts), 2 pods.
+        let cfg = NocConfig::cxl(32, 8).with_fabric(Fabric::FatTree(FatTreeConfig {
+            hosts_per_edge: 4,
+            edges_per_pod: 4,
+            edge_latency: Time::from_ns(40),
+            aggr_latency: Time::from_ns(120),
+            core_latency: Time::from_ns(400),
+        }));
+        // Same edge switch.
+        assert_eq!(cfg.fabric_latency(0, 3), Time::from_ns(40));
+        assert_eq!(cfg.fabric_hops(0, 3), 1);
+        // Same pod, different edge.
+        assert_eq!(cfg.fabric_latency(0, 4), Time::from_ns(160));
+        assert_eq!(cfg.fabric_hops(0, 4), 2);
+        // Cross pod.
+        assert_eq!(cfg.fabric_latency(0, 16), Time::from_ns(560));
+        assert_eq!(cfg.fabric_hops(0, 16), 3);
+        assert_eq!(cfg.min_latency(), Time::from_ns(40));
+    }
+
+    #[test]
+    fn dragonfly_latency_tiers() {
+        let cfg = NocConfig::cxl(64, 8).with_fabric(Fabric::Dragonfly(DragonflyConfig {
+            hosts_per_group: 8,
+            local_latency: Time::from_ns(50),
+            global_latency: Time::from_ns(300),
+        }));
+        // Same group: one local link.
+        assert_eq!(cfg.fabric_latency(0, 7), Time::from_ns(50));
+        assert_eq!(cfg.fabric_hops(0, 7), 1);
+        // Cross group: local + global + local.
+        assert_eq!(cfg.fabric_latency(0, 8), Time::from_ns(400));
+        assert_eq!(cfg.fabric_hops(0, 8), 3);
+        assert_eq!(cfg.min_latency(), Time::from_ns(50));
+    }
+
+    #[test]
+    fn tile_flat_roundtrip_at_scale() {
+        // 512 hosts × 16 tiles: the full flat index space round-trips.
+        for flat in 0..512 * 16 {
+            let t = TileId::from_flat(flat, 16);
+            assert!(t.host < 512 && t.tile < 16);
+            assert_eq!(t.flat(16), flat);
+        }
+    }
+
+    #[test]
+    fn min_latency_lower_bounds_every_pair_on_every_fabric() {
+        // Exhaustive over all pairs at 512 hosts for each fabric family —
+        // the analytic floor must never exceed a real pair latency, routes
+        // must be symmetric, and hops must grow with latency tiers.
+        let shapes = [
+            "flat",
+            "pods 16 60 180",
+            "pods 1 60 180",
+            "fattree 8 8 40 120 400",
+            "fattree 1 8 40 120 400",
+            "fattree 1 1 40 120 400",
+            "dragonfly 32 50 300",
+            "dragonfly 1 50 300",
+        ];
+        for shape in shapes {
+            let cfg = NocConfig::cxl(512, 8).with_fabric(Fabric::parse(shape).unwrap());
+            let floor = cfg.min_latency();
+            let mut hit_floor = false;
+            for s in 0..cfg.hosts {
+                for d in 0..cfg.hosts {
+                    if s == d {
+                        assert_eq!(cfg.lookahead(s, s), Time::ZERO);
+                        continue;
+                    }
+                    let lat = cfg.fabric_latency(s, d);
+                    assert!(lat >= floor, "{shape}: pair ({s},{d}) under the floor");
+                    hit_floor |= lat == floor;
+                    assert_eq!(lat, cfg.fabric_latency(d, s), "{shape}: asymmetric pair");
+                    assert_eq!(
+                        cfg.fabric_hops(s, d),
+                        cfg.fabric_hops(d, s),
+                        "{shape}: asymmetric hops"
+                    );
+                }
+            }
+            assert!(hit_floor, "{shape}: floor not achieved by any pair");
+        }
+    }
+
+    #[test]
+    fn pair_table_matches_fabric_latency_and_is_shared_by_fork() {
+        let cfg =
+            NocConfig::cxl(32, 8).with_fabric(Fabric::parse("fattree 4 2 40 120 400").unwrap());
+        let noc = Noc::new(cfg);
+        for s in 0..32 {
+            for d in 0..32 {
+                let want = if s == d {
+                    Time::ZERO
+                } else {
+                    cfg.fabric_latency(s, d)
+                };
+                assert_eq!(noc.pair_latency(s, d), want);
+            }
+        }
+        let forked = noc.fork();
+        assert!(std::sync::Arc::ptr_eq(&noc.pair_lat, &forked.pair_lat));
+        assert_eq!(forked.stats(), &TrafficStats::default());
+    }
+
+    #[test]
+    fn pair_accounting_is_sparse_and_opt_in() {
+        let mut noc = Noc::new(NocConfig::cxl(512, 8));
+        // Off by default: nothing recorded.
+        noc.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(9, 0),
+            64,
+            MsgClass::Data,
+        );
+        assert!(noc.pair_flows_sorted().is_empty());
+        noc.set_pair_accounting(true);
+        noc.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(9, 0),
+            64,
+            MsgClass::Data,
+        );
+        noc.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(9, 0),
+            16,
+            MsgClass::Notify,
+        );
+        noc.send(
+            Time::ZERO,
+            TileId::new(3, 0),
+            TileId::new(0, 0),
+            16,
+            MsgClass::ReqNotify,
+        );
+        // Intra-host traffic is not pair-accounted.
+        noc.send(
+            Time::ZERO,
+            TileId::new(0, 0),
+            TileId::new(0, 5),
+            64,
+            MsgClass::Data,
+        );
+        let flows = noc.pair_flows_sorted();
+        assert_eq!(flows.len(), 2, "only touched pairs get entries");
+        assert_eq!(flows[0].0, 0);
+        assert_eq!(flows[0].1, 9);
+        assert_eq!(flows[0].2.msgs, 2);
+        assert_eq!(flows[0].2.bytes, 80);
+        assert_eq!(flows[0].2.notify_msgs, 1);
+        assert_eq!(flows[1].2.notify_msgs, 1);
+        // Merging a partition's flow sums counters.
+        let mut whole = Noc::new(NocConfig::cxl(512, 8));
+        whole.set_pair_accounting(true);
+        for (s, d, f) in flows {
+            whole.add_pair_flow(s, d, f);
+            whole.add_pair_flow(s, d, f);
+        }
+        assert_eq!(whole.pair_flows_sorted()[0].2.msgs, 4);
     }
 
     #[test]

@@ -74,6 +74,40 @@ impl FaultStats {
     }
 }
 
+/// Flow counters for one `(src_host, dst_host)` pair, recorded sparsely by
+/// the [`crate::Noc`] when per-pair accounting is enabled
+/// ([`crate::Noc::set_pair_accounting`]). `notify_msgs` singles out the CORD
+/// cross-directory classes ([`MsgClass::ReqNotify`] + [`MsgClass::Notify`])
+/// so scale benches can report notification fan-out per pair.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PairFlow {
+    /// Inter-host messages on this pair.
+    pub msgs: u64,
+    /// Inter-host bytes on this pair.
+    pub bytes: u64,
+    /// The subset of `msgs` that are notification traffic
+    /// (ReqNotify/Notify).
+    pub notify_msgs: u64,
+}
+
+impl PairFlow {
+    /// Records one message.
+    pub fn record(&mut self, bytes: u64, class: MsgClass) {
+        self.msgs += 1;
+        self.bytes += bytes;
+        if matches!(class, MsgClass::ReqNotify | MsgClass::Notify) {
+            self.notify_msgs += 1;
+        }
+    }
+
+    /// Adds `other`'s counters into `self` (additive, order-independent).
+    pub fn merge(&mut self, other: &PairFlow) {
+        self.msgs += other.msgs;
+        self.bytes += other.bytes;
+        self.notify_msgs += other.notify_msgs;
+    }
+}
+
 /// Aggregate traffic statistics, indexable by [`MsgClass`].
 ///
 /// # Example

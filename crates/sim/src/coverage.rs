@@ -10,8 +10,8 @@
 //! failure modes live in:
 //!
 //! * **protocol shape** — consecutive event-kind pairs per node
-//!   ([`Edge::Pair`]) and the message vocabulary on the wire
-//!   ([`Edge::Msg`]),
+//!   ([`Edge::Pair`]), the message vocabulary on the wire ([`Edge::Msg`]),
+//!   and the cross-directory span of closing epochs ([`Edge::Fanout`]),
 //! * **fault recovery** — injected faults ([`Edge::Inject`]),
 //!   retransmission depth and backoff-cap saturation ([`Edge::Retrans`],
 //!   [`Edge::RetransCapHeld`]), duplicate suppression and the
@@ -39,7 +39,7 @@
 //! tr.emit(Time::ZERO, TraceData::EpochOpen { core: 0, epoch: 0 });
 //! tr.emit(Time::from_ns(2), TraceData::EpochClose { core: 0, epoch: 0, fanout: 1 });
 //! let cov = tr.take_coverage().unwrap();
-//! assert_eq!(cov.distinct(), 1, "one core-local event pair");
+//! assert_eq!(cov.distinct(), 2, "one event pair + the epoch's fan-out bucket");
 //! ```
 
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -151,6 +151,16 @@ pub enum Edge {
         /// What was rejected.
         what: &'static str,
     },
+    /// An epoch closed spanning `~2^bucket` directories (log₂-bucketed
+    /// notification fan-out): bucket 0 is the single-directory epoch with
+    /// no cross-directory ordering to enforce, higher buckets measure how
+    /// wide the ReqNotify/Notify fan-out got — the signal that
+    /// distinguishes pod-local from cross-pod release ordering on
+    /// multi-tier fabrics.
+    Fanout {
+        /// `⌊log₂ fanout⌋` (0 for fan-out 0 or 1).
+        bucket: u32,
+    },
 }
 
 impl Edge {
@@ -171,6 +181,7 @@ impl Edge {
             Edge::RecoverDur { .. } => "recover_dur",
             Edge::Refence { .. } => "refence",
             Edge::Stale { .. } => "stale",
+            Edge::Fanout { .. } => "fanout",
         }
     }
 
@@ -197,6 +208,7 @@ impl Edge {
             Edge::RecoverDur { bucket } => format!("recover_dur d{bucket}"),
             Edge::Refence { bucket } => format!("refence f{bucket}"),
             Edge::Stale { what } => format!("stale {what}"),
+            Edge::Fanout { bucket } => format!("fanout n{bucket}"),
         }
     }
 }
@@ -350,6 +362,9 @@ impl CoverageMap {
             }
             TraceData::XportStaleRej { .. } => self.hit(Edge::Stale { what: "sess" }),
             TraceData::StaleDrop { what, .. } => self.hit(Edge::Stale { what }),
+            TraceData::EpochClose { fanout, .. } => self.hit(Edge::Fanout {
+                bucket: log2_bucket(fanout as u64),
+            }),
             _ => {}
         }
     }
@@ -465,12 +480,36 @@ mod tests {
                 fanout: 1,
             },
         ));
-        assert_eq!(m.distinct(), 1);
+        assert_eq!(m.distinct(), 2, "the event pair plus the fan-out bucket");
         assert!(m.covers(&Edge::Pair {
             node: "core",
             from: "epoch_open",
             to: "epoch_close",
         }));
+        assert!(m.covers(&Edge::Fanout { bucket: 0 }));
+    }
+
+    #[test]
+    fn fanout_buckets_epoch_spans() {
+        let mut m = CoverageMap::new();
+        let close = |fanout| {
+            ev(
+                1,
+                TraceData::EpochClose {
+                    core: 0,
+                    epoch: 0,
+                    fanout,
+                },
+            )
+        };
+        m.observe(&close(0)); // local epoch: bucket 0
+        m.observe(&close(1)); // single remote directory: still bucket 0
+        m.observe(&close(5)); // five directories: bucket 2
+        m.observe(&close(500)); // pod-scale fan-out: bucket 8
+        assert_eq!(m.count(&Edge::Fanout { bucket: 0 }), 2);
+        assert!(m.covers(&Edge::Fanout { bucket: 2 }));
+        assert!(m.covers(&Edge::Fanout { bucket: 8 }));
+        assert_eq!(m.families().get("fanout"), Some(&3));
     }
 
     #[test]

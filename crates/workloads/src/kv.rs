@@ -1,0 +1,227 @@
+//! COPS-style partitioned causal key-value workload tier.
+//!
+//! Models the data-center tier the paper's scale-out argument targets: a
+//! key-value store **partitioned by key home** across all hosts, with
+//! clients issuing *causally consistent* write sessions in the COPS style
+//! (Lloyd et al., SOSP'11). One session is `puts_per_session` Relaxed puts
+//! to (generally remote) key partitions followed by a single Release store
+//! to the client's local session log — the release is the causal
+//! "dependency publication": under CORD it closes an epoch spanning every
+//! directory the puts touched, so each session drives the cross-directory
+//! notification path (ReqNotify/Notify fan-out) exactly where a causal KV
+//! store pays its metadata-propagation cost.
+//!
+//! The workload is **synchronization-free by construction**: clients never
+//! wait on other clients (no `WaitValue`), so any host count, fabric shape
+//! and fault plan runs without deadlock and the run length scales linearly
+//! in `total_sessions`. That makes it the driver for the 512-PU scale bench
+//! (`cargo run --release -p cord-bench --bin scale`), where millions of
+//! client sessions stream through the notification path in one run.
+
+use cord_mem::AddressMap;
+use cord_proto::{Op, Program, StoreOrd, SystemConfig};
+use cord_sim::DetRng;
+
+use crate::region::Region;
+
+/// A COPS-style causal-KV workload: partitioned keyspace, per-client put
+/// sessions closed by a Release.
+///
+/// # Example
+///
+/// ```
+/// use cord_proto::{ProtocolKind, SystemConfig};
+/// use cord_workloads::KvSpec;
+///
+/// let cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+/// let kv = KvSpec::small();
+/// let programs = kv.programs(&cfg);
+/// assert_eq!(programs.len(), 32);
+/// assert_eq!(kv.total_sessions(4), 4 * 2 * 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvSpec {
+    /// Client cores per host (must not exceed `tiles_per_host`).
+    pub clients_per_host: u32,
+    /// Write sessions each client issues.
+    pub sessions: u32,
+    /// Relaxed puts per session (the causal dependency set size).
+    pub puts_per_session: u32,
+    /// Bytes per put value (at most one cache line).
+    pub value_bytes: u32,
+    /// Number of distinct keys, sharded across hosts by `key % hosts`.
+    pub keyspace: u64,
+    /// Seed for the deterministic key-sampling streams.
+    pub seed: u64,
+}
+
+impl KvSpec {
+    /// A small configuration for tests: 2 clients × 8 sessions × 3 puts.
+    pub fn small() -> KvSpec {
+        KvSpec {
+            clients_per_host: 2,
+            sessions: 8,
+            puts_per_session: 3,
+            value_bytes: 8,
+            keyspace: 1 << 16,
+            seed: 7,
+        }
+    }
+
+    /// The scale-bench configuration: at 512 hosts this is
+    /// 512 × 4 × 512 = 1,048,576 client sessions in one run.
+    pub fn scale() -> KvSpec {
+        KvSpec {
+            clients_per_host: 4,
+            sessions: 512,
+            puts_per_session: 2,
+            value_bytes: 8,
+            keyspace: 1 << 20,
+            seed: 1,
+        }
+    }
+
+    /// Total client sessions a run simulates on `hosts` hosts.
+    pub fn total_sessions(&self, hosts: u32) -> u64 {
+        hosts as u64 * self.clients_per_host as u64 * self.sessions as u64
+    }
+
+    /// The home host of `key` (partition-by-key, as in COPS).
+    pub fn home_host(&self, key: u64, hosts: u32) -> u32 {
+        (key % hosts as u64) as u32
+    }
+
+    /// Builds per-core programs: client `c` of host `h` runs on tile
+    /// `h * tiles_per_host + c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients_per_host` exceeds `tiles_per_host`, if
+    /// `value_bytes` is zero or exceeds a cache line, or if `keyspace` or
+    /// `puts_per_session` is zero.
+    pub fn programs(&self, cfg: &SystemConfig) -> Vec<Program> {
+        let map: &AddressMap = &cfg.map;
+        let hosts = cfg.noc.hosts;
+        let tph = cfg.noc.tiles_per_host;
+        assert!(
+            self.clients_per_host >= 1 && self.clients_per_host <= tph,
+            "clients_per_host must be in 1..={tph}"
+        );
+        assert!(
+            self.value_bytes >= 1 && self.value_bytes <= 64,
+            "value_bytes must be within a cache line"
+        );
+        assert!(self.keyspace > 0, "keyspace must be nonempty");
+        assert!(self.puts_per_session > 0, "sessions must contain puts");
+        let slices = map.slices_per_host();
+        assert!(
+            self.clients_per_host <= slices,
+            "one session-log slice per client requires clients_per_host ≤ {slices}"
+        );
+        // Key data lives in region 0 of every (host, slice); session logs
+        // take the last region so they never alias key lines.
+        let log_region = Region::regions_per_slice(map) - 1;
+
+        let mut programs = vec![Program::new(); cfg.total_tiles() as usize];
+        for host in 0..hosts {
+            for client in 0..self.clients_per_host {
+                let global = host as u64 * self.clients_per_host as u64 + client as u64;
+                let mut rng = DetRng::new(self.seed).stream(global);
+                // The session log homes on the client's *own* host, so the
+                // closing Release's directory differs from the remote put
+                // directories — the epoch is cross-directory by design.
+                let log = Region::new(map, host, client % slices, log_region);
+                let mut ops =
+                    Vec::with_capacity((self.sessions * (self.puts_per_session + 1)) as usize);
+                for session in 0..self.sessions {
+                    let version = session as u64 + 1;
+                    for _ in 0..self.puts_per_session {
+                        let key = rng.next_u64() % self.keyspace;
+                        let home = self.home_host(key, hosts);
+                        let slice = ((key / hosts as u64) % slices as u64) as u32;
+                        let line = key / (hosts as u64 * slices as u64);
+                        let data = Region::new(map, home, slice, 0);
+                        ops.push(Op::Store {
+                            addr: data.addr(map, line),
+                            bytes: self.value_bytes,
+                            value: version,
+                            ord: StoreOrd::Relaxed,
+                        });
+                    }
+                    ops.push(Op::Store {
+                        addr: log.flag(map),
+                        bytes: 8,
+                        value: version,
+                        ord: StoreOrd::Release,
+                    });
+                }
+                programs[(host * tph + client) as usize] = Program::from_ops(ops);
+            }
+        }
+        programs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cord_proto::ProtocolKind;
+    use cord_sim::Time;
+
+    #[test]
+    fn programs_cover_every_client_and_are_deterministic() {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+        let kv = KvSpec::small();
+        let a = kv.programs(&cfg);
+        let b = kv.programs(&cfg);
+        assert_eq!(a, b);
+        for h in 0..4u32 {
+            for c in 0..kv.clients_per_host {
+                let p = &a[(h * 8 + c) as usize];
+                assert!(!p.is_empty(), "host {h} client {c} inactive");
+                assert_eq!(p.release_count(), kv.sessions as u64);
+            }
+            // non-client tiles idle
+            assert!(a[(h * 8 + kv.clients_per_host) as usize].is_empty());
+        }
+    }
+
+    #[test]
+    fn sessions_put_to_remote_partitions() {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+        let kv = KvSpec::small();
+        let programs = kv.programs(&cfg);
+        let map = &cfg.map;
+        let mut remote = 0u64;
+        for op in programs[0].iter() {
+            if let Op::Store {
+                addr,
+                ord: StoreOrd::Relaxed,
+                ..
+            } = op
+            {
+                if map.home_host(*addr) != 0 {
+                    remote += 1;
+                }
+            }
+        }
+        assert!(remote > 0, "keys must shard across hosts");
+    }
+
+    #[test]
+    fn scale_config_reaches_a_million_sessions() {
+        assert!(KvSpec::scale().total_sessions(512) >= 1_000_000);
+    }
+
+    #[test]
+    fn end_to_end_smoke_is_sync_free() {
+        let cfg = SystemConfig::cxl(ProtocolKind::Cord, 4);
+        let kv = KvSpec::small();
+        let programs = kv.programs(&cfg);
+        assert!(programs
+            .iter()
+            .all(|p| p.iter().all(|op| !matches!(op, Op::WaitValue { .. }))));
+        let r = cord::System::new(cfg, programs).run();
+        assert!(r.makespan > Time::ZERO);
+    }
+}

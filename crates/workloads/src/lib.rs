@@ -19,6 +19,10 @@
 //!   (synchronization) granularity, communication fan-out, write locality,
 //!   and comm/compute balance — which are exactly the characteristics the
 //!   paper uses to explain its results.
+//! * [`KvSpec`] — a COPS-style partitioned causal key-value tier:
+//!   per-client put sessions closed by a Release, synchronization-free so
+//!   it scales to millions of simulated client sessions at 512+ hosts (the
+//!   scale bench's driver).
 //!
 //! The paper runs the original binaries/traces under gem5; those are not
 //! available here, so these models are the documented substitution (see
@@ -27,10 +31,12 @@
 
 mod apps;
 pub mod handshake;
+mod kv;
 mod micro;
 mod region;
 pub mod trace;
 
 pub use apps::{table2_apps, AppSpec, FanoutClass, SyncGran};
+pub use kv::KvSpec;
 pub use micro::MicroBench;
 pub use region::Region;

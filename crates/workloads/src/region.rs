@@ -6,6 +6,12 @@
 //! different slices. A [`Region`] hands out store addresses that all home on
 //! one chosen slice, regardless of store granularity, by striding whole
 //! line-interleave periods.
+//!
+//! Each slice is carved into [`Region::regions_per_slice`] equal regions.
+//! The count scales with the host count (workloads index regions by peer
+//! host), so 512-host systems get 512 smaller regions per slice while the
+//! paper's 8-host system keeps the original 2²⁰-line regions — existing
+//! 8-host results are bit-identical.
 
 use cord_mem::{Addr, AddressMap, LINE_BYTES};
 
@@ -31,25 +37,55 @@ pub struct Region {
     slice: u32,
     /// First line index (within the slice's line sequence) of this region.
     base_k: u64,
+    /// Lines in this region (stores beyond this wrap back — workloads
+    /// rewrite regions every iteration anyway).
+    lines: u64,
 }
 
 impl Region {
-    /// Lines reserved per region (stores beyond this wrap back — workloads
-    /// rewrite regions every iteration anyway).
-    pub const LINES: u64 = 1 << 20;
+    /// Regions each slice is carved into for `map`: at least 8 (the paper's
+    /// host count), growing with the host count so region index `h` is
+    /// always valid for every peer host `h`.
+    pub fn regions_per_slice(map: &AddressMap) -> u64 {
+        (map.hosts().next_power_of_two() as u64).max(8)
+    }
+
+    /// Lines per region for `map` (2²⁰ on the paper's 8-host, 4 GB-host
+    /// system).
+    pub fn lines_per_region(map: &AddressMap) -> u64 {
+        let lines_per_slice = map.bytes_per_host() / LINE_BYTES / map.slices_per_host() as u64;
+        let lines = lines_per_slice / Self::regions_per_slice(map);
+        assert!(lines >= 2, "address map too small for this many hosts");
+        lines
+    }
 
     /// Creates region number `index` on (`host`, `slice`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host`, `slice` or `index` is out of range.
     pub fn new(map: &AddressMap, host: u32, slice: u32, index: u64) -> Self {
         assert!(host < map.hosts(), "host out of range");
         assert!(slice < map.slices_per_host(), "slice out of range");
+        assert!(
+            index < Self::regions_per_slice(map),
+            "region index out of range"
+        );
+        let lines = Self::lines_per_region(map);
         Region {
             host,
             slice,
-            base_k: index * Self::LINES,
+            base_k: index * lines,
+            lines,
         }
     }
 
-    /// The `k`-th store target of the region (wraps at [`Region::LINES`]).
+    /// Lines in this region.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// The `k`-th store target of the region (wraps at [`Region::lines`]).
     pub fn addr(&self, map: &AddressMap, k: u64) -> Addr {
         self.addr_at(map, k, 0)
     }
@@ -62,12 +98,12 @@ impl Region {
     /// Panics if `byte` is not within a line.
     pub fn addr_at(&self, map: &AddressMap, k: u64, byte: u64) -> Addr {
         assert!(byte < LINE_BYTES, "byte offset {byte} exceeds a line");
-        map.addr_on_slice(self.host, self.slice, self.base_k + (k % Self::LINES), byte)
+        map.addr_on_slice(self.host, self.slice, self.base_k + (k % self.lines), byte)
     }
 
     /// A dedicated flag address for this region (line after the data window).
     pub fn flag(&self, map: &AddressMap) -> Addr {
-        map.addr_on_slice(self.host, self.slice, self.base_k + Self::LINES - 1, 0)
+        map.addr_on_slice(self.host, self.slice, self.base_k + self.lines - 1, 0)
     }
 
     /// The home host.
@@ -124,7 +160,7 @@ mod tests {
         for host in [0u32, 3, 7] {
             for slice in [0u32, 5] {
                 let r = Region::new(&map, host, slice, 2);
-                for k in [0u64, 1, 100, Region::LINES - 1, Region::LINES + 3] {
+                for k in [0u64, 1, 100, r.lines() - 1, r.lines() + 3] {
                     let a = r.addr(&map, k);
                     assert_eq!(map.home_host(a), host);
                     assert_eq!(map.home_slice(a), slice);
@@ -145,6 +181,32 @@ mod tests {
         assert_ne!(a.flag(&map), b.flag(&map));
         // flag sits outside the data window
         assert_ne!(a.addr(&map, 0), a.flag(&map));
+    }
+
+    #[test]
+    fn eight_host_regions_keep_the_original_geometry() {
+        // The paper's 8-host system must be bit-identical to the original
+        // fixed 2²⁰-line carving — all committed results depend on it.
+        let map = AddressMap::default();
+        assert_eq!(Region::regions_per_slice(&map), 8);
+        assert_eq!(Region::lines_per_region(&map), 1 << 20);
+    }
+
+    #[test]
+    fn regions_scale_with_host_count() {
+        let map = AddressMap::new(512, 8, 4 << 30);
+        assert_eq!(Region::regions_per_slice(&map), 512);
+        // every peer-host index is now valid on every slice
+        let r = Region::new(&map, 511, 7, 511);
+        assert_eq!(map.home_host(r.addr(&map, 0)), 511);
+        assert_eq!(map.home_slice(r.flag(&map)), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "region index out of range")]
+    fn overflowing_region_index_panics() {
+        let map = AddressMap::default();
+        let _ = Region::new(&map, 0, 0, 8);
     }
 
     #[test]

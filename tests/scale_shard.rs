@@ -1,0 +1,135 @@
+//! Scale-out determinism: the causal-KV workload on many-host, multi-tier
+//! fabrics must produce bit-identical results, traces, and metrics at every
+//! `CORD_SIM_THREADS` worker count (ISSUE: workers ∈ {1, 2, 4, 8}).
+//!
+//! Partition count is always the host count; the worker count only decides
+//! what executes concurrently, so 64 hosts on 1 worker and 64 hosts on 8
+//! workers must be indistinguishable byte for byte.
+
+use cord_repro::cord::{RunResult, System};
+use cord_repro::cord_noc::{Fabric, NocConfig};
+use cord_repro::cord_proto::{ConsistencyModel, ProtocolKind, SystemConfig};
+use cord_repro::cord_sim::trace::{render_event, BufSink, MetricsRecorder};
+use cord_repro::cord_workloads::KvSpec;
+
+/// A small KV tier: one client per host keeps 64-host traced runs fast
+/// while still spraying puts across remote key partitions.
+fn kv_spec() -> KvSpec {
+    KvSpec {
+        clients_per_host: 1,
+        sessions: 2,
+        puts_per_session: 2,
+        value_bytes: 8,
+        keyspace: 1 << 12,
+        seed: 3,
+    }
+}
+
+fn kv_system(hosts: u32, fabric: &str) -> System {
+    let noc = NocConfig::cxl(hosts, 8).with_fabric(Fabric::parse(fabric).expect("fabric parses"));
+    let cfg = SystemConfig::with_noc(ProtocolKind::Cord, noc).with_model(ConsistencyModel::Rc);
+    let programs = kv_spec().programs(&cfg);
+    let mut sys = System::new(cfg, programs);
+    sys.set_sim_threads(None); // isolate from CORD_SIM_THREADS in the env
+    sys.set_pair_accounting(true);
+    sys
+}
+
+/// Everything observable about a run, rendered to a comparable string —
+/// including the sparse per-host-pair traffic ledger the scale bench reads.
+fn fingerprint(r: &RunResult) -> String {
+    let mut stalls: Vec<_> = r.stalls.iter().map(|(c, t)| format!("{c:?}={t}")).collect();
+    stalls.sort();
+    format!(
+        "makespan={} drained={} events={} polls={} regs={:?} stalls=[{}] \
+         traffic={:?} proc={:?} dir={:?} pairs={:?}",
+        r.makespan,
+        r.drained,
+        r.events,
+        r.polls,
+        r.regs,
+        stalls.join(","),
+        r.traffic,
+        r.proc_storages,
+        r.dir_storages,
+        r.pair_flows,
+    )
+}
+
+fn run_with_workers(mut sys: System, workers: usize) -> RunResult {
+    sys.set_sim_threads(Some(workers));
+    sys.try_run().expect("sharded run")
+}
+
+/// Runs with the tracer + metrics attached and returns every trace line
+/// plus the rendered metrics report.
+fn traced_run(mut sys: System, workers: usize) -> (Vec<String>, String) {
+    sys.set_sim_threads(Some(workers));
+    sys.tracer_mut().install(Box::new(BufSink::new()));
+    sys.tracer_mut().attach_metrics(MetricsRecorder::default());
+    let r = sys.try_run().expect("traced sharded run");
+    let metrics = r.metrics.expect("metrics recorded").render_text();
+    let mut sink = sys.tracer_mut().take_sink().expect("sink back");
+    let buf = sink
+        .as_any_mut()
+        .and_then(|a| a.downcast_mut::<BufSink>())
+        .expect("BufSink");
+    let lines = buf.take().iter().map(render_event).collect();
+    (lines, metrics)
+}
+
+#[test]
+fn kv_results_identical_at_64_hosts_across_worker_counts() {
+    let base = fingerprint(&run_with_workers(
+        kv_system(64, "fattree 8 2 40 120 400"),
+        1,
+    ));
+    for workers in [2, 4, 8] {
+        let got = fingerprint(&run_with_workers(
+            kv_system(64, "fattree 8 2 40 120 400"),
+            workers,
+        ));
+        assert_eq!(base, got, "64-host KV run diverged at {workers} workers");
+    }
+}
+
+#[test]
+fn kv_traces_and_metrics_identical_at_64_hosts() {
+    let (base_trace, base_metrics) = traced_run(kv_system(64, "dragonfly 8 50 400"), 1);
+    assert!(!base_trace.is_empty());
+    for workers in [2, 4, 8] {
+        let (trace, metrics) = traced_run(kv_system(64, "dragonfly 8 50 400"), workers);
+        assert_eq!(base_trace, trace, "KV trace diverged at {workers} workers");
+        assert_eq!(
+            base_metrics, metrics,
+            "KV metrics diverged at {workers} workers"
+        );
+    }
+}
+
+/// A pods fabric crosses the sharded engine's conservative lookahead with a
+/// two-tier latency table: pod-local pairs bound the lookahead while
+/// cross-pod notifications arrive much later.
+#[test]
+fn kv_results_identical_on_pods_fabric() {
+    let base = fingerprint(&run_with_workers(kv_system(16, "pods 4 200 600"), 1));
+    for workers in [2, 8] {
+        let got = fingerprint(&run_with_workers(kv_system(16, "pods 4 200 600"), workers));
+        assert_eq!(
+            base, got,
+            "pods-fabric KV run diverged at {workers} workers"
+        );
+    }
+}
+
+/// The sharded engine must agree with the monolithic engine on the run's
+/// semantics (final registers) on a multi-tier fabric too; event accounting
+/// legitimately differs (cross-host sends split into egress + port arrival).
+#[test]
+fn kv_sharded_matches_monolithic_observations() {
+    let mono = kv_system(16, "fattree 4 2 40 120 400")
+        .try_run()
+        .expect("monolithic");
+    let shard = run_with_workers(kv_system(16, "fattree 4 2 40 120 400"), 4);
+    assert_eq!(mono.regs, shard.regs, "KV observations diverged");
+}
